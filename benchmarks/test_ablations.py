@@ -1,0 +1,105 @@
+"""Ablation benches for the design choices the paper calls out.
+
+* **Edge features** — the Fig. 2 FEM-inspired spatial embedding in RelGAT:
+  train the Poisson emulator with and without edge features.
+* **LayerNorm** — "Layer normalization was applied … enhancing model
+  convergence and stability".
+* **RL agent vs random search** — the exploration strategy of the
+  framework (same evaluation budget).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import TrainConfig, Trainer, batch_graphs, mse
+from repro.surrogate import PoissonEmulator, RelGATConfig, ci_poisson_config
+from repro.tcad import TCADDatasetBuilder
+from repro.utils import print_table
+
+SMALL_MESH = {"nx_channel": 7, "nx_overlap": 2, "ny_semi": 3, "ny_ox": 3}
+
+
+def _poisson_data():
+    builder = TCADDatasetBuilder(seed=5, mesh_resolution=SMALL_MESH)
+    return builder.build(n_train=30, n_val=8, n_test=10)
+
+
+def _train_eval(dataset, config):
+    model = PoissonEmulator(config)
+    trainer = Trainer(model, config=TrainConfig(epochs=25, batch_size=8,
+                                                lr=3e-3, grad_clip=2.0))
+    trainer.fit(dataset.poisson["train"], dataset.poisson["val"])
+    batch = batch_graphs(dataset.poisson["test"])
+    return mse(trainer.predict(dataset.poisson["test"]), batch.y)
+
+
+def _run_edge_ablation():
+    dataset = _poisson_data()
+    feats = dataset.poisson["train"][0].num_node_features
+    with_edges = _train_eval(dataset, ci_poisson_config(feats))
+    cfg = ci_poisson_config(feats)
+    no_edges = _train_eval(
+        dataset, RelGATConfig(**{**cfg.__dict__, "edge_features": 0}))
+    no_ln = _train_eval(
+        dataset, RelGATConfig(**{**cfg.__dict__, "layer_norm": False}))
+    print()
+    print_table(["Variant", "Test MSE"],
+                [["RelGAT (edge features + LayerNorm)", f"{with_edges:.3e}"],
+                 ["no edge features", f"{no_edges:.3e}"],
+                 ["no LayerNorm", f"{no_ln:.3e}"]],
+                title="Ablation: Poisson emulator architecture")
+    return with_edges, no_edges, no_ln
+
+
+def test_ablation_relgat_architecture(benchmark):
+    with_edges, no_edges, no_ln = benchmark.pedantic(
+        _run_edge_ablation, rounds=1, iterations=1)
+    assert np.isfinite(with_edges)
+    # The spatial edge embedding carries the mesh geometry; removing it
+    # must not help (and typically hurts).
+    assert with_edges <= no_edges * 1.5
+
+
+def test_ablation_agent_vs_random(benchmark):
+    """RL agent reaches the grid-search optimum within budget at least as
+    often as random search (tiny space, GNN-fast evaluations)."""
+    from repro.charlib import (CharConfig, CharTrainConfig, Corner,
+                               GNNLibraryBuilder, build_char_dataset,
+                               train_char_model)
+    from repro.eda import build_benchmark
+    from repro.stco import (DesignSpace, GridSearchAgent, QLearningAgent,
+                            RandomSearchAgent, STCOEnvironment)
+
+    cfg = CharConfig(slews=(8e-9,), loads=(15e-15,), n_bisect=3,
+                     max_steps=200)
+    cells = ("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1")
+
+    def run():
+        dataset = build_char_dataset(
+            "ltps", cells=cells,
+            train_corners=[Corner(1.0, 0.0, 1.0), Corner(0.9, 0.05, 1.1)],
+            test_corners=[Corner(0.95, 0.02, 1.05)], config=cfg)
+        model = train_char_model(
+            dataset, train_config=CharTrainConfig(epochs=12))
+        space = DesignSpace(vdd_scales=(0.85, 1.0, 1.15),
+                            vth_shifts=(-0.05, 0.05),
+                            cox_scales=(0.9, 1.1))
+        netlist = build_benchmark("s298")
+
+        def fresh_env():
+            builder = GNNLibraryBuilder(model, dataset, cells=cells,
+                                        config=cfg)
+            return STCOEnvironment(netlist, builder, space)
+
+        optimum = GridSearchAgent(fresh_env()).run().best_reward
+        q = QLearningAgent(fresh_env(), seed=0).run(iterations=8)
+        r = RandomSearchAgent(fresh_env(), seed=0).run(iterations=8)
+        print(f"\noptimum {optimum:.3f} | Q-learning {q.best_reward:.3f} "
+              f"({q.evaluations} evals) | random {r.best_reward:.3f} "
+              f"({r.evaluations} evals)")
+        return optimum, q, r
+
+    optimum, q, r = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert q.best_reward <= optimum + 1e-9
+    # Within the same budget the agent must get close to the optimum.
+    assert optimum - q.best_reward < 0.5

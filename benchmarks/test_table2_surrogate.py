@@ -1,0 +1,55 @@
+"""Table II: MSE of the surrogate TCAD models.
+
+Trains the Poisson emulator and IV predictor on a physics-generated device
+dataset (CI-scale by default; set REPRO_FULL=1 for a larger run) and
+prints the validation / testing / unseen MSE plus unseen R2 — the paper's
+Table II structure. Absolute MSE differs from the paper (50k devices,
+1M-parameter model there); the reproduction target is the *shape*:
+test ~ validation (no overfit), unseen ~ test (generalisation), R2 -> 1.
+"""
+
+import os
+
+import pytest
+
+from repro.nn import TrainConfig
+from repro.surrogate import train_surrogates
+from repro.tcad import TCADDatasetBuilder
+from repro.utils import print_table
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+SMALL_MESH = {"nx_channel": 9, "nx_overlap": 3, "ny_semi": 4, "ny_ox": 3}
+
+
+def _run():
+    if FULL:
+        counts = dict(n_train=400, n_val=80, n_test=80, n_unseen=120)
+        train_cfg = TrainConfig(epochs=80, batch_size=16, lr=2e-3,
+                                grad_clip=2.0, early_stop_patience=20)
+    else:
+        counts = dict(n_train=70, n_val=15, n_test=15, n_unseen=15)
+        train_cfg = TrainConfig(epochs=30, batch_size=8, lr=3e-3,
+                                grad_clip=2.0)
+    builder = TCADDatasetBuilder(seed=42, mesh_resolution=SMALL_MESH)
+    dataset = builder.build(**counts)
+    metrics, _, _ = train_surrogates(dataset, train_cfg)
+    rows = [[m.name, f"{m.mse_val:.3e}", f"{m.mse_test:.3e}",
+             f"{m.mse_unseen:.3e}", f"{m.r2_unseen:.4f}"]
+            for m in metrics.values()]
+    print()
+    print_table(["Model", "Validation", "Testing", "Unseen", "R2"],
+                rows, title="Table II: MSE of surrogate TCAD "
+                            f"({'full' if FULL else 'CI'} profile, "
+                            f"{counts['n_train']} train devices)")
+    return metrics
+
+
+def test_table2_surrogate_tcad(benchmark):
+    metrics = benchmark.pedantic(_run, rounds=1, iterations=1)
+    poisson, iv = metrics["poisson"], metrics["iv"]
+    # Shape criteria (paper: val ~ test ~ unseen, R2 = 0.9999).
+    assert poisson.mse_test < 10 * poisson.mse_val + 1e-6
+    assert poisson.mse_unseen < 20 * poisson.mse_val + 1e-6
+    assert poisson.r2_unseen > 0.5
+    assert iv.mse_test < 20 * iv.mse_val + 1e-3
+    assert iv.r2_unseen > 0.0

@@ -1,0 +1,70 @@
+"""Quickstart: one full fast-STCO iteration, end to end (paper Fig. 1).
+
+Builds a small characterized library with transistor-level SPICE, trains
+the characterization GNN, and runs the RL-driven technology exploration on
+an ISCAS89-class benchmark — printing the PPA of the chosen technology
+corner and the measured GNN-vs-SPICE characterization speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+from repro.charlib import (CharConfig, CharTrainConfig, Corner,
+                           GNNLibraryBuilder, SpiceLibraryBuilder,
+                           build_char_dataset, train_char_model)
+from repro.eda import build_benchmark
+from repro.stco import DesignSpace, FastSTCO
+
+
+def main():
+    cells = ("INV_X1", "INV_X2", "NAND2_X1", "NOR2_X1", "AND2_X1",
+             "XOR2_X1", "DFF_X1")
+    cfg = CharConfig(slews=(8e-9,), loads=(15e-15,), n_bisect=3,
+                     max_steps=220)
+
+    print("1) Characterizing training corners with transistor-level SPICE…")
+    dataset = build_char_dataset(
+        "ltps", cells=cells,
+        train_corners=[Corner(1.0, 0.0, 1.0), Corner(0.85, 0.05, 1.1),
+                       Corner(1.15, -0.05, 0.9)],
+        test_corners=[Corner(0.95, 0.02, 1.05)],
+        config=cfg)
+    counts = dataset.counts()
+    print(f"   dataset: {sum(c['train'] for c in counts.values())} "
+          f"training points across {len(counts)} metrics")
+
+    print("2) Training the cell-characterization GNN (3-layer GCN)…")
+    model = train_char_model(dataset,
+                             train_config=CharTrainConfig(epochs=25))
+
+    print("3) Measuring characterization speedup (GNN vs SPICE)…")
+    spice = SpiceLibraryBuilder("ltps", cells=cells, config=cfg)
+    spice.build()
+    gnn = GNNLibraryBuilder(model, dataset, cells=cells, config=cfg)
+    gnn.build()
+    speedup = spice.last_runtime_s / max(gnn.last_runtime_s, 1e-9)
+    print(f"   SPICE {spice.last_runtime_s:.1f} s vs "
+          f"GNN {gnn.last_runtime_s * 1e3:.0f} ms -> {speedup:.0f}x")
+
+    print("4) RL exploration of (VDD, Vth, Cox) on benchmark s298…")
+    design = build_benchmark("s298")
+    space = DesignSpace(vdd_scales=(0.85, 1.0, 1.15),
+                        vth_shifts=(-0.05, 0.0, 0.05),
+                        cox_scales=(0.9, 1.1))
+    stco = FastSTCO(design, model, dataset, cells=cells, char_config=cfg,
+                    space=space)
+    t0 = time.perf_counter()
+    outcome = stco.run(iterations=10)
+    print(f"   {outcome.iterations} iterations, "
+          f"{outcome.evaluations} distinct corners, "
+          f"{time.perf_counter() - t0:.1f} s total")
+    print(f"   best corner (vdd, vth, cox scale): {outcome.best_corner}")
+    ppa = outcome.best_ppa
+    print(f"   PPA: {ppa['power_w'] * 1e6:.1f} uW, "
+          f"{ppa['performance_hz'] / 1e6:.2f} MHz, "
+          f"{ppa['area_um2']:.0f} um^2")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Standard-cell library: 35 combinational + sequential TFT cells."""
+
+from .cell import Cell, Transistor, SequentialSpec, VDD_NET, VSS_NET
+from .library import build_library, get_cell, cell_names
+
+__all__ = ["Cell", "Transistor", "SequentialSpec", "VDD_NET", "VSS_NET",
+           "build_library", "get_cell", "cell_names"]

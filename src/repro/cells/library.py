@@ -1,0 +1,356 @@
+"""The 35-cell standard library (paper Sec. II-C).
+
+"a comprehensive cell library comprising 35 types of combinational and
+sequential cells" — here: inverters/buffers at several drives, NAND/NOR
+stacks, AND/OR, XOR/XNOR, AOI/OAI, MUX, half/full adders, a transparent
+latch and D flip-flops (plain / async-reset / async-set), all as static
+CMOS transistor topologies over the unified TFT model.
+
+P/N width ratio of 2 compensates the mobility gap at X1 drive.
+"""
+
+from __future__ import annotations
+
+from .cell import Cell, SequentialSpec, Transistor, VDD_NET, VSS_NET
+
+__all__ = ["build_library", "get_cell", "cell_names"]
+
+_WP = 2.0   # unit PMOS width multiplier
+_WN = 1.0   # unit NMOS width multiplier
+
+
+class _Topo:
+    """Incremental transistor-list builder with unique naming."""
+
+    def __init__(self):
+        self.ts: list = []
+        self._k = 0
+
+    def _name(self, pol):
+        self._k += 1
+        return f"m{pol}{self._k}"
+
+    def fet(self, pol, d, g, s, w=1.0):
+        base = _WP if pol == "p" else _WN
+        self.ts.append(Transistor(self._name(pol), pol, d, g, s, base * w))
+
+    # -- gate primitives ------------------------------------------------
+    def inv(self, a, y, w=1.0):
+        self.fet("p", y, a, VDD_NET, w)
+        self.fet("n", y, a, VSS_NET, w)
+
+    def nand(self, ins, y, w=1.0):
+        k = len(ins)
+        for a in ins:
+            self.fet("p", y, a, VDD_NET, w)
+        chain = [y] + [f"{y}_nn{i}" for i in range(1, k)] + [VSS_NET]
+        for a, top, bot in zip(ins, chain[:-1], chain[1:]):
+            self.fet("n", top, a, bot, w * k / 2 if k > 2 else w)
+
+    def nor(self, ins, y, w=1.0):
+        k = len(ins)
+        for a in ins:
+            self.fet("n", y, a, VSS_NET, w)
+        chain = [VDD_NET] + [f"{y}_pp{i}" for i in range(1, k)] + [y]
+        for a, top, bot in zip(ins, chain[:-1], chain[1:]):
+            self.fet("p", bot, a, top, w * k / 2 if k > 1 else w)
+
+    def aoi21(self, a, b, c, y):
+        """y = !(a*b + c)"""
+        x = f"{y}_x"
+        self.fet("n", y, a, x)
+        self.fet("n", x, b, VSS_NET)
+        self.fet("n", y, c, VSS_NET)
+        u = f"{y}_u"
+        self.fet("p", u, a, VDD_NET)
+        self.fet("p", u, b, VDD_NET)
+        self.fet("p", y, c, u)
+
+    def oai21(self, a, b, c, y):
+        """y = !((a + b) * c)"""
+        x = f"{y}_x"
+        self.fet("n", y, a, x)
+        self.fet("n", y, b, x)
+        self.fet("n", x, c, VSS_NET)
+        u = f"{y}_u"
+        self.fet("p", u, a, VDD_NET)
+        self.fet("p", y, b, u)
+        self.fet("p", y, c, VDD_NET)
+
+    def aoi22(self, a, b, c, d, y):
+        """y = !(a*b + c*d)"""
+        x1, x2 = f"{y}_x1", f"{y}_x2"
+        self.fet("n", y, a, x1)
+        self.fet("n", x1, b, VSS_NET)
+        self.fet("n", y, c, x2)
+        self.fet("n", x2, d, VSS_NET)
+        u = f"{y}_u"
+        self.fet("p", u, a, VDD_NET)
+        self.fet("p", u, b, VDD_NET)
+        self.fet("p", y, c, u)
+        self.fet("p", y, d, u)
+
+    def oai22(self, a, b, c, d, y):
+        """y = !((a+b) * (c+d))"""
+        x = f"{y}_x"
+        self.fet("n", y, a, x)
+        self.fet("n", y, b, x)
+        self.fet("n", x, c, VSS_NET)
+        self.fet("n", x, d, VSS_NET)
+        u1, u2 = f"{y}_u1", f"{y}_u2"
+        self.fet("p", u1, a, VDD_NET)
+        self.fet("p", y, b, u1)
+        self.fet("p", u2, c, VDD_NET)
+        self.fet("p", y, d, u2)
+
+    def minority(self, a, b, c, y):
+        """y = !MAJ(a, b, c) (used for full-adder carry)."""
+        x = f"{y}_x"
+        self.fet("n", y, a, x)
+        self.fet("n", x, b, VSS_NET)
+        z = f"{y}_z"
+        self.fet("n", y, c, z)
+        self.fet("n", z, a, VSS_NET)
+        self.fet("n", z, b, VSS_NET)
+        u = f"{y}_u"
+        self.fet("p", u, a, VDD_NET)
+        self.fet("p", y, b, u)
+        w1 = f"{y}_w"
+        self.fet("p", w1, c, VDD_NET)
+        self.fet("p", y, a, w1)
+        self.fet("p", y, b, w1)
+
+    def xor_nand(self, a, b, y):
+        """4-NAND XOR."""
+        x1 = f"{y}_n1"
+        self.nand([a, b], x1)
+        x2, x3 = f"{y}_n2", f"{y}_n3"
+        self.nand([a, x1], x2)
+        self.nand([b, x1], x3)
+        self.nand([x2, x3], y)
+
+    def latch(self, d, en, q, tag, rstb=None, setb=None):
+        """Gated D latch (transparent when en=1) from NAND gates.
+
+        ``rstb`` (active-low reset net) forces q=0; ``setb`` forces q=1.
+        """
+        db, sb, rb, qb = (f"{tag}_db", f"{tag}_sb", f"{tag}_rb", f"{tag}_qb")
+        self.inv(d, db)
+        if rstb is not None:
+            self.nand([d, en, rstb], sb)
+            self.nand([db, en], rb)
+            self.nand([sb, qb], q)
+            self.nand([rb, q, rstb], qb)
+        elif setb is not None:
+            self.nand([d, en], sb)
+            self.nand([db, en, setb], rb)
+            self.nand([sb, qb, setb], q)
+            self.nand([rb, q], qb)
+        else:
+            self.nand([d, en], sb)
+            self.nand([db, en], rb)
+            self.nand([sb, qb], q)
+            self.nand([rb, q], qb)
+
+
+def _comb(name, inputs, outputs, build, logic, drive=1.0) -> Cell:
+    topo = _Topo()
+    build(topo)
+    return Cell(name=name, inputs=inputs, outputs=outputs,
+                transistors=topo.ts, logic=logic, drive=drive)
+
+
+def _and_reduce(pins):
+    return lambda v: all(v[p] for p in pins)
+
+
+def _or_reduce(pins):
+    return lambda v: any(v[p] for p in pins)
+
+
+def build_library() -> dict:
+    """Construct the 35-cell library (name -> :class:`Cell`)."""
+    cells: dict[str, Cell] = {}
+
+    def add(cell: Cell):
+        if cell.name in cells:
+            raise ValueError(f"duplicate cell {cell.name}")
+        cells[cell.name] = cell
+
+    # --- inverters / buffers at several drives -------------------------
+    for drive, suffix in ((1.0, "X1"), (2.0, "X2"), (4.0, "X4"),
+                          (8.0, "X8")):
+        add(_comb(f"INV_{suffix}", ["a"], ["y"],
+                  lambda t: t.inv("a", "y"),
+                  {"y": lambda v: not v["a"]}, drive=drive))
+    for drive, suffix in ((1.0, "X1"), (2.0, "X2"), (4.0, "X4")):
+        def buf(t):
+            t.inv("a", "yb")
+            t.inv("yb", "y", w=2.0)
+        add(_comb(f"BUF_{suffix}", ["a"], ["y"], buf,
+                  {"y": lambda v: v["a"]}, drive=drive))
+
+    # --- NAND / NOR stacks ---------------------------------------------
+    for k in (2, 3, 4):
+        pins = list("abcd"[:k])
+        add(_comb(f"NAND{k}_X1", pins, ["y"],
+                  lambda t, p=pins: t.nand(p, "y"),
+                  {"y": lambda v, p=pins: not all(v[x] for x in p)}))
+        add(_comb(f"NOR{k}_X1", pins, ["y"],
+                  lambda t, p=pins: t.nor(p, "y"),
+                  {"y": lambda v, p=pins: not any(v[x] for x in p)}))
+    add(_comb("NAND2_X2", ["a", "b"], ["y"],
+              lambda t: t.nand(["a", "b"], "y", w=2.0),
+              {"y": lambda v: not (v["a"] and v["b"])}, drive=1.0))
+    add(_comb("NOR2_X2", ["a", "b"], ["y"],
+              lambda t: t.nor(["a", "b"], "y", w=2.0),
+              {"y": lambda v: not (v["a"] or v["b"])}, drive=1.0))
+
+    # --- AND / OR (NAND/NOR + inverter) --------------------------------
+    for k in (2, 3, 4):
+        pins = list("abcd"[:k])
+
+        def and_build(t, p=pins):
+            t.nand(p, "yb")
+            t.inv("yb", "y")
+
+        def or_build(t, p=pins):
+            t.nor(p, "yb")
+            t.inv("yb", "y")
+
+        add(_comb(f"AND{k}_X1", pins, ["y"], and_build,
+                  {"y": _and_reduce(pins)}))
+        add(_comb(f"OR{k}_X1", pins, ["y"], or_build,
+                  {"y": _or_reduce(pins)}))
+
+    # --- XOR / XNOR ------------------------------------------------------
+    add(_comb("XOR2_X1", ["a", "b"], ["y"],
+              lambda t: t.xor_nand("a", "b", "y"),
+              {"y": lambda v: v["a"] != v["b"]}))
+
+    def xnor_build(t):
+        t.xor_nand("a", "b", "x")
+        t.inv("x", "y")
+    add(_comb("XNOR2_X1", ["a", "b"], ["y"], xnor_build,
+              {"y": lambda v: v["a"] == v["b"]}))
+
+    # --- AOI / OAI --------------------------------------------------------
+    add(_comb("AOI21_X1", ["a", "b", "c"], ["y"],
+              lambda t: t.aoi21("a", "b", "c", "y"),
+              {"y": lambda v: not ((v["a"] and v["b"]) or v["c"])}))
+    add(_comb("OAI21_X1", ["a", "b", "c"], ["y"],
+              lambda t: t.oai21("a", "b", "c", "y"),
+              {"y": lambda v: not ((v["a"] or v["b"]) and v["c"])}))
+    add(_comb("AOI22_X1", ["a", "b", "c", "d"], ["y"],
+              lambda t: t.aoi22("a", "b", "c", "d", "y"),
+              {"y": lambda v: not ((v["a"] and v["b"])
+                                   or (v["c"] and v["d"]))}))
+    add(_comb("OAI22_X1", ["a", "b", "c", "d"], ["y"],
+              lambda t: t.oai22("a", "b", "c", "d", "y"),
+              {"y": lambda v: not ((v["a"] or v["b"])
+                                   and (v["c"] or v["d"]))}))
+
+    # --- MUX --------------------------------------------------------------
+    def mux_build(t):
+        t.inv("s", "sb")
+        t.nand(["a", "s"], "x1")
+        t.nand(["b", "sb"], "x2")
+        t.nand(["x1", "x2"], "y")
+    add(_comb("MUX2_X1", ["a", "b", "s"], ["y"], mux_build,
+              {"y": lambda v: v["a"] if v["s"] else v["b"]}))
+
+    # --- adders ------------------------------------------------------------
+    def ha_build(t):
+        t.xor_nand("a", "b", "s")
+        t.nand(["a", "b"], "cb")
+        t.inv("cb", "co")
+    add(_comb("HA_X1", ["a", "b"], ["s", "co"], ha_build,
+              {"s": lambda v: v["a"] != v["b"],
+               "co": lambda v: v["a"] and v["b"]}))
+
+    def fa_build(t):
+        t.xor_nand("a", "b", "x")
+        t.xor_nand("x", "ci", "s")
+        t.minority("a", "b", "ci", "cob")
+        t.inv("cob", "co")
+    add(_comb("FA_X1", ["a", "b", "ci"], ["s", "co"], fa_build,
+              {"s": lambda v: (int(v["a"]) + int(v["b"]) + int(v["ci"]))
+                  % 2 == 1,
+               "co": lambda v: (int(v["a"]) + int(v["b"])
+                                + int(v["ci"])) >= 2}))
+
+    # --- sequential -----------------------------------------------------
+    def dlatch_build(t):
+        t.latch("d", "en", "q", "l0")
+    add(Cell(name="DLATCH_X1", inputs=["d", "en"], outputs=["q"],
+             transistors=_build(dlatch_build),
+             logic={"q": lambda v: v["d"]},
+             seq=SequentialSpec(kind="dlatch", data="d", clock="en")))
+
+    def dff_build(t, drive_tag=""):
+        t.inv("clk", "clkb")
+        t.latch("d", "clkb", "qm", "lm")
+        t.latch("qm", "clk", "q", "ls")
+
+    for name, drv in (("DFF_X1", 1.0), ("DFF_X2", 2.0)):
+        add(Cell(name=name, inputs=["d", "clk"], outputs=["q"],
+                 transistors=_build(dff_build),
+                 logic={"q": lambda v: v["d"]},
+                 seq=SequentialSpec(kind="dff", data="d", clock="clk"),
+                 drive=drv))
+
+    def dffr_build(t):
+        t.inv("rst", "rstb")
+        t.inv("clk", "clkb")
+        t.latch("d", "clkb", "qm", "lm", rstb="rstb")
+        t.latch("qm", "clk", "q", "ls", rstb="rstb")
+    add(Cell(name="DFFR_X1", inputs=["d", "clk", "rst"], outputs=["q"],
+             transistors=_build(dffr_build),
+             logic={"q": lambda v: v["d"] and not v.get("rst", False)},
+             seq=SequentialSpec(kind="dff", data="d", clock="clk",
+                                reset="rst")))
+
+    def dffs_build(t):
+        t.inv("set", "setb")
+        t.inv("clk", "clkb")
+        t.latch("d", "clkb", "qm", "lm", setb="setb")
+        t.latch("qm", "clk", "q", "ls", setb="setb")
+    add(Cell(name="DFFS_X1", inputs=["d", "clk", "set"], outputs=["q"],
+             transistors=_build(dffs_build),
+             logic={"q": lambda v: v["d"] or v.get("set", False)},
+             seq=SequentialSpec(kind="dff", data="d", clock="clk",
+                                set_pin="set")))
+
+    if len(cells) != 35:
+        raise AssertionError(f"library must have 35 cells, got {len(cells)}")
+    return cells
+
+
+def _build(fn) -> list:
+    topo = _Topo()
+    fn(topo)
+    return topo.ts
+
+
+_LIBRARY_CACHE: dict | None = None
+
+
+def _library() -> dict:
+    global _LIBRARY_CACHE
+    if _LIBRARY_CACHE is None:
+        _LIBRARY_CACHE = build_library()
+    return _LIBRARY_CACHE
+
+
+def get_cell(name: str) -> Cell:
+    """Look up a library cell by name."""
+    lib = _library()
+    try:
+        return lib[name]
+    except KeyError:
+        raise ValueError(f"unknown cell {name!r}") from None
+
+
+def cell_names() -> list:
+    """All 35 cell names."""
+    return sorted(_library())

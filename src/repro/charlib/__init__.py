@@ -1,0 +1,25 @@
+"""GNN-based fast cell library characterization (paper Sec. II-C)."""
+
+from .technology import TechnologyPair, technology_pair, CHARLIB_TECHNOLOGIES
+from .corners import (Corner, corner_grid, paper_train_corners,
+                      paper_test_corners, ci_train_corners, ci_test_corners)
+from .characterizer import CharConfig, Measurement, CellCharacterizer
+from .dataset import (METRICS, MetricNormalizer, CharDataset,
+                      build_char_dataset, DEFAULT_CI_CELLS)
+from .model import (CellCharGCNConfig, CellCharGCN, CharTrainConfig,
+                    train_char_model, evaluate_char_model)
+from .liberty import TimingTable, LibCell, Library
+from .fastchar import SpiceLibraryBuilder, GNNLibraryBuilder
+
+__all__ = [
+    "TechnologyPair", "technology_pair", "CHARLIB_TECHNOLOGIES",
+    "Corner", "corner_grid", "paper_train_corners", "paper_test_corners",
+    "ci_train_corners", "ci_test_corners",
+    "CharConfig", "Measurement", "CellCharacterizer",
+    "METRICS", "MetricNormalizer", "CharDataset", "build_char_dataset",
+    "DEFAULT_CI_CELLS",
+    "CellCharGCNConfig", "CellCharGCN", "CharTrainConfig",
+    "train_char_model", "evaluate_char_model",
+    "TimingTable", "LibCell", "Library",
+    "SpiceLibraryBuilder", "GNNLibraryBuilder",
+]

@@ -1,0 +1,443 @@
+"""SPICE-based cell characterization: the nine Table IV metrics.
+
+For each cell/corner the characterizer measures, with transistor-level
+transient / DC simulation:
+
+* **delay** and **output slew** per timing arc over a slew x load grid;
+* **capacitance** — effective input capacitance per input pin (charge
+  injected during an input edge divided by the swing);
+* **flip power** — energy per transition when input and output both flip;
+* **non-flip power** — energy per transition when only inputs flip;
+* **leakage power** — static power per input vector;
+* **min setup / min hold / min pulse width** for sequential cells, by
+  bisection on pass/fail capture transients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cells.cell import Cell, VDD_NET
+from ..spice import (Circuit, CompiledCircuit, DC, PWL, Pulse,
+                     dc_operating_point, integrate_supply_energy,
+                     propagation_delay, settles_to, transient,
+                     transition_time)
+from .corners import Corner
+from .technology import TechnologyPair
+
+__all__ = ["CharConfig", "Measurement", "CellCharacterizer"]
+
+
+@dataclass(frozen=True)
+class CharConfig:
+    """Characterization effort knobs."""
+
+    slews: tuple = (5e-9, 20e-9)
+    loads: tuple = (10e-15, 40e-15)
+    cap_slew: float = 10e-9
+    seq_slew: float = 8e-9
+    seq_load: float = 20e-15
+    n_bisect: int = 7
+    max_steps: int = 420
+    min_steps: int = 120
+
+
+@dataclass
+class Measurement:
+    """One characterized data point (a row of the paper's dataset)."""
+
+    cell: str
+    metric: str
+    value: float
+    technology: str
+    corner: Corner
+    pin: str | None = None
+    output: str | None = None
+    slew: float = 0.0
+    load: float = 0.0
+    states: dict = field(default_factory=dict)   # pin -> (cur, nxt) bools
+
+
+class CellCharacterizer:
+    """Characterize one cell at one technology corner."""
+
+    def __init__(self, cell: Cell, tech: TechnologyPair,
+                 corner: Corner | None = None,
+                 config: CharConfig | None = None):
+        self.cell = cell
+        self.corner = corner if corner is not None else Corner(1.0, 0.0, 1.0)
+        self.tech = tech.at_corner(vdd=tech.vdd * self.corner.vdd_scale,
+                                   vth_shift=self.corner.vth_shift,
+                                   cox_scale=self.corner.cox_scale)
+        self.config = config if config is not None else CharConfig()
+        self.vdd = self.tech.vdd
+        self._tau = self._estimate_tau()
+
+    # ------------------------------------------------------------------
+    def _estimate_tau(self) -> float:
+        """Drive-strength time constant for window sizing."""
+        n = self.tech.nmos
+        ov = max(self.vdd - n.vth, 0.3)
+        g2 = n.gamma + 2.0
+        i_on = (n.w / n.l) * n.mu0 * n.cox / g2 * ov ** g2
+        c = max(self.config.loads) + 50e-15
+        return c * self.vdd / max(i_on, 1e-12)
+
+    def _build(self, waveforms: dict, load: float) -> Circuit:
+        """Cell testbench: supplies, input sources, output loads."""
+        ckt = Circuit(self.cell.name)
+        ckt.vsource("vdd", "vddn", "0", DC(self.vdd))
+        pin_map = {VDD_NET: "vddn"}
+        for pin in self.cell.inputs:
+            wf = waveforms.get(pin, DC(0.0))
+            ckt.vsource(f"v_{pin}", f"n_{pin}", "0", wf)
+            pin_map[pin] = f"n_{pin}"
+        for pin in self.cell.outputs:
+            pin_map[pin] = f"n_{pin}"
+            ckt.capacitor(f"cl_{pin}", f"n_{pin}", "0", load)
+        self.cell.instantiate(ckt, "u0", pin_map, self.tech.nmos,
+                              self.tech.pmos)
+        return ckt
+
+    def _run(self, waveforms: dict, load: float, t_stop: float):
+        dt = t_stop / self.config.max_steps
+        ckt = self._build(waveforms, load)
+        return transient(ckt, t_stop=t_stop, dt=dt)
+
+    def _leakage_current(self, vector: dict) -> float:
+        wf = {p: DC(self.vdd if vector[p] else 0.0) for p in self.cell.inputs}
+        ckt = self._build(wf, load=1e-15)
+        op = dc_operating_point(ckt)
+        return abs(op.i("vdd"))
+
+    # ------------------------------------------------------------------
+    def _sensitizing_vectors(self):
+        """(pin, base vector) pairs where toggling pin flips an output,
+        plus (pin, vector) pairs where it flips no output."""
+        flips, nonflips = [], []
+        for pin in self.cell.inputs:
+            flip_found = nonflip_found = None
+            for vec in self.cell.input_vectors():
+                if vec[pin]:
+                    continue
+                lo = self.cell.evaluate(vec)
+                hi = self.cell.evaluate({**vec, pin: True})
+                changed = [o for o in self.cell.outputs if lo[o] != hi[o]]
+                if changed and flip_found is None:
+                    flip_found = (vec, changed[0])
+                if not changed and nonflip_found is None:
+                    nonflip_found = vec
+                if flip_found and nonflip_found:
+                    break
+            if flip_found:
+                flips.append((pin, *flip_found))
+            if nonflip_found is not None:
+                nonflips.append((pin, nonflip_found))
+        return flips, nonflips
+
+    def _states(self, vector: dict, toggling: str | None = None) -> dict:
+        return {p: ((vector[p], not vector[p]) if p == toggling
+                    else (vector[p], vector[p]))
+                for p in self.cell.inputs}
+
+    # ------------------------------------------------------------------
+    def characterize_combinational(self) -> list:
+        """All nine-metric rows for a combinational cell."""
+        cell, cfg, vdd = self.cell, self.config, self.vdd
+        rows: list[Measurement] = []
+        flips, nonflips = self._sensitizing_vectors()
+        tau = self._tau
+
+        def mk(metric, value, **kw):
+            rows.append(Measurement(cell=cell.name, metric=metric,
+                                    value=value, technology=self.tech.name,
+                                    corner=self.corner, **kw))
+
+        leak_i = self._leakage_current(
+            {p: False for p in cell.inputs})
+
+        for pin, vec, out in flips:
+            out_rises_with_pin = not self.cell.evaluate(vec)[out]
+            for slew in cfg.slews:
+                for load in cfg.loads:
+                    t_edge = 3 * slew + 6 * tau
+                    td = 2 * slew + 2 * tau
+                    pw = t_edge + 4 * slew
+                    t_stop = td + pw + t_edge + 4 * slew
+                    wf = {p: DC(vdd if vec[p] else 0.0)
+                          for p in cell.inputs}
+                    wf[pin] = Pulse(0.0, vdd, td=td, tr=slew, tf=slew,
+                                    pw=pw)
+                    res = self._run(wf, load, t_stop)
+                    t = res.t
+                    v_in = res.v(f"n_{pin}")
+                    v_out = res.v(f"n_{out}")
+                    d1 = propagation_delay(t, v_in, v_out, vdd,
+                                           in_rising=True,
+                                           out_rising=out_rises_with_pin,
+                                           after=td * 0.5)
+                    d2 = propagation_delay(t, v_in, v_out, vdd,
+                                           in_rising=False,
+                                           out_rising=not out_rises_with_pin,
+                                           after=td + pw - slew)
+                    s1 = transition_time(t, v_out, vdd,
+                                         rising=out_rises_with_pin,
+                                         after=td * 0.5)
+                    s2 = transition_time(t, v_out, vdd,
+                                         rising=not out_rises_with_pin,
+                                         after=td + pw - slew)
+                    for d, s, rising in ((d1, s1, True), (d2, s2, False)):
+                        states = self._states(
+                            {**vec, pin: not rising}, toggling=pin)
+                        if np.isfinite(d) and d > 0:
+                            mk("delay", d, pin=pin, output=out, slew=slew,
+                               load=load, states=states)
+                        if np.isfinite(s) and s > 0:
+                            mk("output_slew", s, pin=pin, output=out,
+                               slew=slew, load=load, states=states)
+                    # Flip power: supply energy minus leakage, split over
+                    # the two transitions.
+                    e_tot = integrate_supply_energy(t, res.i("vdd"), vdd)
+                    e_dyn = max(e_tot - leak_i * vdd * t[-1], 0.0)
+                    mk("flip_power", e_dyn / 2.0, pin=pin, output=out,
+                       slew=slew, load=load,
+                       states=self._states(vec, toggling=pin))
+
+        # Input capacitance per pin (single condition).
+        for pin, vec, out in flips:
+            slew = cfg.cap_slew
+            td = 2 * slew + 2 * tau
+            pw = 4 * slew + 6 * tau
+            t_stop = td + pw + 6 * slew
+            wf = {p: DC(vdd if vec[p] else 0.0) for p in cell.inputs}
+            wf[pin] = Pulse(0.0, vdd, td=td, tr=slew, tf=slew, pw=pw)
+            res = self._run(wf, min(cfg.loads), t_stop)
+            t = res.t
+            i_pin = res.i(f"v_{pin}")
+            mask = (t >= td - slew) & (t <= td + 3 * slew)
+            q = abs(np.trapezoid(i_pin[mask], t[mask]))
+            mk("capacitance", q / vdd, pin=pin,
+               states=self._states(vec, toggling=pin))
+
+        # Non-flip power per pin where a masking vector exists.
+        for pin, vec in nonflips:
+            slew = cfg.slews[0]
+            td = 2 * slew + 2 * tau
+            pw = 4 * slew + 4 * tau
+            t_stop = td + pw + 6 * slew
+            wf = {p: DC(vdd if vec[p] else 0.0) for p in cell.inputs}
+            wf[pin] = Pulse(0.0, vdd, td=td, tr=slew, tf=slew, pw=pw)
+            res = self._run(wf, min(cfg.loads), t_stop)
+            e_tot = integrate_supply_energy(res.t, res.i("vdd"), vdd)
+            e_dyn = max(e_tot - leak_i * vdd * res.t[-1], 0.0)
+            mk("non_flip_power", e_dyn / 2.0, pin=pin, slew=slew,
+               load=min(cfg.loads), states=self._states(vec, toggling=pin))
+
+        # Leakage per input vector.
+        for vec in cell.input_vectors():
+            p_leak = self._leakage_current(vec) * vdd
+            mk("leakage_power", p_leak, states=self._states(vec))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Sequential characterization
+    # ------------------------------------------------------------------
+    def _seq_nets(self):
+        seq = self.cell.seq
+        others = [p for p in self.cell.inputs
+                  if p not in (seq.data, seq.clock)]
+        q = self.cell.outputs[0]
+        return seq, others, q
+
+    def _capture_run(self, d_times, d_values, clk_wf, t_stop):
+        seq, others, q = self._seq_nets()
+        wf = {seq.data: PWL(tuple(d_times), tuple(d_values)),
+              seq.clock: clk_wf}
+        for p in others:
+            wf[p] = DC(0.0)   # reset/set inactive
+        res = self._run(wf, self.config.seq_load, t_stop)
+        return res, q
+
+    def _two_edge_clock(self, t_first: float, period: float, slew: float,
+                        t_stop: float):
+        """Clock with exactly two rising edges: a priming edge at
+        ``t_first`` (loads a known initial state) and the measurement edge
+        at ``t_first + period``. No further edges — stray captures would
+        corrupt the setup/hold pass/fail tests."""
+        vdd = self.vdd
+        half = period / 2.0
+        t2 = t_first + period
+        return PWL((0.0, t_first, t_first + slew, t_first + half,
+                    t_first + half + slew, t2, t2 + slew, t2 + half,
+                    t2 + half + slew, t_stop),
+                   (0.0, 0.0, vdd, vdd, 0.0, 0.0, vdd, vdd, 0.0, 0.0))
+
+    def _capture_ok(self, setup: float, hold_window: float,
+                    capture_one: bool, t_clk: float, slew: float,
+                    t_stop: float) -> bool:
+        """Single capture trial: the FF is primed to the opposite state by
+        a first clock edge; data then toggles ``setup`` before the
+        measurement edge and toggles back ``hold_window`` after it."""
+        vdd = self.vdd
+        start, target = (0.0, vdd) if capture_one else (vdd, 0.0)
+        period = t_clk / 2.0
+        t_prime = t_clk - period           # priming edge
+        t_d = t_clk - setup
+        t_back = t_clk + hold_window
+        t_d = max(t_d, t_prime + period * 0.25)   # after priming capture
+        times = [0.0, t_d, t_d + slew,
+                 max(t_back, t_d + slew + 1e-12),
+                 max(t_back, t_d + slew + 1e-12) + slew, t_stop]
+        values = [start, start, target, target, start, start]
+        clk = self._two_edge_clock(t_prime, period, slew, t_stop)
+        res, q = self._capture_run(times, values, clk, t_stop)
+        want = vdd if capture_one else 0.0
+        return settles_to(res.t, res.v(f"n_{q}"), want, tol=0.2 * vdd)
+
+    def _bisect(self, lo, hi, ok_at_hi, predicate) -> float:
+        """Smallest x in [lo, hi] with predicate(x) true (monotone)."""
+        if not ok_at_hi:
+            return float("nan")
+        for _ in range(self.config.n_bisect):
+            mid = 0.5 * (lo + hi)
+            if predicate(mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def characterize_sequential(self) -> list:
+        """Sequential metrics: clk->q delay/slew/power + setup/hold/MPW."""
+        cell, cfg, vdd = self.cell, self.config, self.vdd
+        rows: list[Measurement] = []
+        seq, others, q = self._seq_nets()
+        slew = cfg.seq_slew
+        tau = self._tau
+        # The NAND-latch q transitions take tens of gate delays; the settle
+        # window must cover the slowest one or pass/fail bisection lies.
+        guard = 30 * tau + 12 * slew
+        t_clk = guard
+        t_stop = t_clk + guard
+
+        def mk(metric, value, **kw):
+            rows.append(Measurement(cell=cell.name, metric=metric,
+                                    value=value, technology=self.tech.name,
+                                    corner=self.corner, **kw))
+
+        # clk->q delay, slew, flip power for both captured values. A first
+        # clock edge primes the FF with the opposite value so q makes a
+        # real transition at the measurement edge.
+        for capture_one in (True, False):
+            start = 0.0 if capture_one else vdd
+            target = vdd if capture_one else 0.0
+            period = t_clk / 2.0
+            t_prime = t_clk - period
+            t_d = t_prime + period * 0.4      # ample setup to second edge
+            times = (0.0, t_d, t_d + slew, t_stop)
+            values = (start, start, target, target)
+            clk = self._two_edge_clock(t_prime, period, slew, t_stop)
+            res, _ = self._capture_run(times, values, clk, t_stop)
+            t = res.t
+            v_clk = res.v(f"n_{seq.clock}")
+            v_q = res.v(f"n_{q}")
+            d = propagation_delay(t, v_clk, v_q, vdd, in_rising=True,
+                                  out_rising=capture_one,
+                                  after=t_clk - 2 * slew)
+            s = transition_time(t, v_q, vdd, rising=capture_one,
+                                after=t_clk - 2 * slew)
+            states = {seq.data: (capture_one, capture_one),
+                      seq.clock: (False, True)}
+            for p in others:
+                states[p] = (False, False)
+            if np.isfinite(d) and d > 0:
+                mk("delay", d, pin=seq.clock, output=q, slew=slew,
+                   load=cfg.seq_load, states=states)
+            if np.isfinite(s) and s > 0:
+                mk("output_slew", s, pin=seq.clock, output=q, slew=slew,
+                   load=cfg.seq_load, states=states)
+            e = integrate_supply_energy(t, res.i("vdd"), vdd)
+            mk("flip_power", max(e, 0.0) / 2.0, pin=seq.clock, output=q,
+               slew=slew, load=cfg.seq_load, states=states)
+
+        # Setup / hold (both data polarities). Ranges stay inside the
+        # half-period around the measurement edge.
+        period = t_clk / 2.0
+        hold_safe = period * 0.45
+        setup_max = period * 0.6
+        for capture_one in (True, False):
+            ok_hi = self._capture_ok(setup_max, hold_safe, capture_one,
+                                     t_clk, slew, t_stop)
+            ts = self._bisect(
+                0.0, setup_max, ok_hi,
+                lambda x: self._capture_ok(x, hold_safe, capture_one,
+                                           t_clk, slew, t_stop))
+            states = {seq.data: (not capture_one, capture_one),
+                      seq.clock: (False, True)}
+            for p in others:
+                states[p] = (False, False)
+            if np.isfinite(ts):
+                mk("min_setup", ts, pin=seq.data, slew=slew,
+                   load=cfg.seq_load, states=states)
+            th = self._bisect(
+                0.0, hold_safe, ok_hi,
+                lambda x: self._capture_ok(setup_max, x, capture_one,
+                                           t_clk, slew, t_stop))
+            if np.isfinite(th):
+                mk("min_hold", th, pin=seq.data, slew=slew,
+                   load=cfg.seq_load, states=states)
+
+        # Minimum clock pulse width (high phase). Prime to 0 with a long
+        # first pulse, then test the narrow pulse capturing a 1.
+        def mpw_ok(width: float) -> bool:
+            period = t_clk / 2.0
+            t_prime = t_clk - period
+            t_d = t_prime + period * 0.4
+            times = (0.0, t_d, t_d + slew, t_stop)
+            values = (0.0, 0.0, vdd, vdd)
+            ckt_clk = PWL(
+                (0.0, t_prime, t_prime + slew, t_prime + period * 0.3,
+                 t_prime + period * 0.3 + slew,
+                 t_clk, t_clk + slew, t_clk + slew + width,
+                 t_clk + 2 * slew + width, t_stop),
+                (0.0, 0.0, vdd, vdd, 0.0, 0.0, vdd, vdd, 0.0, 0.0))
+            res, _ = self._capture_run(times, values, ckt_clk, t_stop)
+            return settles_to(res.t, res.v(f"n_{q}"), vdd, tol=0.2 * vdd)
+
+        ok_hi = mpw_ok(guard * 0.9)
+        w = self._bisect(slew * 0.5, guard * 0.9, ok_hi, mpw_ok)
+        if np.isfinite(w):
+            states = {seq.data: (True, True), seq.clock: (False, True)}
+            for p in others:
+                states[p] = (False, False)
+            mk("min_pulse_width", w, pin=seq.clock, slew=slew,
+               load=cfg.seq_load, states=states)
+
+        # Leakage per data value with a *settled* internal state: clock a
+        # full cycle (so the FF holds a definite value), then average the
+        # supply current over the quiet tail. A cold DC solve would sit at
+        # the latch's metastable point and report crowbar current instead.
+        for d_high in (False, True):
+            d_v = vdd if d_high else 0.0
+            period = t_clk / 2.0
+            clk = PWL((0.0, t_prime0 := t_clk - period,
+                       t_prime0 + slew, t_prime0 + period * 0.5,
+                       t_prime0 + period * 0.5 + slew, t_stop),
+                      (0.0, 0.0, vdd, vdd, 0.0, 0.0))
+            times = (0.0, t_stop)
+            values = (d_v, d_v)
+            res, _ = self._capture_run(times, values, clk, t_stop)
+            tail = res.t > 0.9 * t_stop
+            i_leak = float(np.mean(np.abs(res.i("vdd")[tail])))
+            vec = {p: False for p in cell.inputs}
+            vec[seq.data] = d_high
+            mk("leakage_power", i_leak * vdd, states=self._states(vec))
+        return rows
+
+    # ------------------------------------------------------------------
+    def characterize(self) -> list:
+        """All measurements for this cell/corner."""
+        if self.cell.is_sequential:
+            return self.characterize_sequential()
+        return self.characterize_combinational()

@@ -1,0 +1,85 @@
+"""Characterization corners over (VDD, Vth, Cox).
+
+"we utilized the unified compact model and specifically focused on
+analyzing the variation of supply voltage (VDD), threshold voltage (Vth),
+and gate unit capacitance (Cox)" — corners are the Cartesian grid over
+those three knobs. The paper trains on 125 corners (5 per axis) and tests
+on 512 (8 per axis); :func:`paper_train_corners` / :func:`paper_test_corners`
+reproduce that, and smaller grids are available for CI-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Corner", "corner_grid", "paper_train_corners",
+           "paper_test_corners", "ci_train_corners", "ci_test_corners"]
+
+#: Relative knob ranges around nominal.
+_VDD_REL = (0.8, 1.2)
+_VTH_SHIFT = (-0.15, 0.15)      # volts
+_COX_REL = (0.8, 1.2)
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One (VDD, Vth shift, Cox scale) technology corner."""
+
+    vdd_scale: float
+    vth_shift: float
+    cox_scale: float
+
+    def key(self) -> tuple:
+        return (round(self.vdd_scale, 6), round(self.vth_shift, 6),
+                round(self.cox_scale, 6))
+
+    def feature_vector(self) -> np.ndarray:
+        """Normalised corner descriptor (used as auxiliary features)."""
+        return np.array([self.vdd_scale - 1.0, self.vth_shift * 5.0,
+                         self.cox_scale - 1.0])
+
+
+def corner_grid(n_per_axis: int, offset: bool = False) -> list:
+    """A full n^3 grid over the knob ranges.
+
+    ``offset=True`` samples the staggered midpoints of the same ranges, so
+    a test grid does not coincide with the training grid (the paper's 512
+    test corners are a denser, distinct grid).
+    """
+    def axis(lo, hi):
+        if n_per_axis == 1:
+            return np.array([(lo + hi) / 2.0])
+        if offset:
+            # Interval midpoints: staggered so they never coincide with a
+            # uniform training grid over the same range.
+            edges = np.linspace(lo, hi, n_per_axis + 1)
+            return (edges[:-1] + edges[1:]) / 2.0
+        return np.linspace(lo, hi, n_per_axis)
+
+    vdds = axis(*_VDD_REL)
+    vths = axis(*_VTH_SHIFT)
+    coxs = axis(*_COX_REL)
+    return [Corner(float(v), float(t), float(c))
+            for v in vdds for t in vths for c in coxs]
+
+
+def paper_train_corners() -> list:
+    """125 training corners (5 x 5 x 5), as in Table IV."""
+    return corner_grid(5)
+
+
+def paper_test_corners() -> list:
+    """512 testing corners (8 x 8 x 8), as in Table IV."""
+    return corner_grid(8, offset=True)
+
+
+def ci_train_corners() -> list:
+    """8 corners (2 x 2 x 2) for minute-scale runs."""
+    return corner_grid(2)
+
+
+def ci_test_corners() -> list:
+    """27 corners (3 x 3 x 3, staggered) for minute-scale runs."""
+    return corner_grid(3, offset=True)

@@ -1,0 +1,104 @@
+"""Liberty-style characterized library: NLDM lookup tables for the EDA flow.
+
+A :class:`Library` is the hand-off artifact between the technology level
+(characterization) and the system level (synthesis / STA / power): per-cell
+delay and output-slew tables over (input slew x output load), pin
+capacitances, leakage and switching energy, plus sequential constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TimingTable", "LibCell", "Library"]
+
+
+@dataclass
+class TimingTable:
+    """Bilinear-interpolated (slew x load) lookup table."""
+
+    slews: np.ndarray
+    loads: np.ndarray
+    values: np.ndarray      # (n_slew, n_load)
+
+    def __post_init__(self):
+        self.slews = np.asarray(self.slews, dtype=np.float64)
+        self.loads = np.asarray(self.loads, dtype=np.float64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.shape != (len(self.slews), len(self.loads)):
+            raise ValueError("table shape mismatch")
+
+    def lookup(self, slew: float, load: float) -> float:
+        """Bilinear interpolation, clamped to the characterized window."""
+        s = float(np.clip(slew, self.slews[0], self.slews[-1]))
+        ld = float(np.clip(load, self.loads[0], self.loads[-1]))
+        i = int(np.clip(np.searchsorted(self.slews, s) - 1, 0,
+                        max(len(self.slews) - 2, 0)))
+        j = int(np.clip(np.searchsorted(self.loads, ld) - 1, 0,
+                        max(len(self.loads) - 2, 0)))
+        if len(self.slews) == 1 and len(self.loads) == 1:
+            return float(self.values[0, 0])
+        if len(self.slews) == 1:
+            return float(np.interp(ld, self.loads, self.values[0]))
+        if len(self.loads) == 1:
+            return float(np.interp(s, self.slews, self.values[:, 0]))
+        s0, s1 = self.slews[i], self.slews[i + 1]
+        l0, l1 = self.loads[j], self.loads[j + 1]
+        fs = (s - s0) / (s1 - s0)
+        fl = (ld - l0) / (l1 - l0)
+        v = self.values
+        return float(v[i, j] * (1 - fs) * (1 - fl)
+                     + v[i + 1, j] * fs * (1 - fl)
+                     + v[i, j + 1] * (1 - fs) * fl
+                     + v[i + 1, j + 1] * fs * fl)
+
+
+@dataclass
+class LibCell:
+    """Characterized view of one standard cell."""
+
+    name: str
+    area: float
+    input_caps: dict                    # pin -> F
+    delay: TimingTable
+    output_slew: TimingTable
+    leakage: float                      # W (mean over vectors)
+    switch_energy: float                # J per output transition
+    is_sequential: bool = False
+    setup: float = 0.0                  # s
+    hold: float = 0.0
+    clk_q: float = 0.0
+    min_pulse_width: float = 0.0
+
+    @property
+    def max_input_cap(self) -> float:
+        return max(self.input_caps.values()) if self.input_caps else 0.0
+
+    def pin_cap(self, pin: str) -> float:
+        if pin in self.input_caps:
+            return self.input_caps[pin]
+        return self.max_input_cap
+
+
+@dataclass
+class Library:
+    """A corner-resolved characterized library."""
+
+    technology: str
+    vdd: float
+    cells: dict = field(default_factory=dict)    # name -> LibCell
+    meta: dict = field(default_factory=dict)
+
+    def cell(self, name: str) -> LibCell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise ValueError(f"library has no cell {name!r}") from None
+
+    def __contains__(self, name) -> bool:
+        return name in self.cells
+
+    def names(self):
+        return sorted(self.cells)

@@ -1,0 +1,80 @@
+"""Complementary device pairs per technology for cell characterization.
+
+The paper characterizes libraries in LTPS and CNT (Table IV) — both
+technologies with demonstrated complementary (CMOS-style) circuits. A
+:class:`TechnologyPair` holds matched N/P transistor parameters derived
+from :func:`repro.compact.tft.technology_presets`, sized for logic, plus
+the nominal supply.
+
+STCO knobs (Sec. II-C): supply voltage VDD, threshold voltage Vth and gate
+unit capacitance Cox — :meth:`TechnologyPair.at_corner` applies them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compact.tft import NType, PType, TFTParams, technology_presets
+
+__all__ = ["TechnologyPair", "technology_pair", "CHARLIB_TECHNOLOGIES"]
+
+CHARLIB_TECHNOLOGIES = ("ltps", "cnt")
+
+#: Logic-transistor geometry (much smaller than the measurement devices).
+_LOGIC_W = 10e-6
+_LOGIC_L = 4e-6
+
+
+@dataclass(frozen=True)
+class TechnologyPair:
+    """Matched N/P logic transistors + nominal supply for one technology."""
+
+    name: str
+    nmos: TFTParams
+    pmos: TFTParams
+    vdd: float
+
+    def at_corner(self, vdd: float | None = None, vth_shift: float = 0.0,
+                  cox_scale: float = 1.0) -> "TechnologyPair":
+        """Apply STCO corner knobs.
+
+        ``vth_shift`` moves both device thresholds outward (+ makes both
+        slower: N up, P down); ``cox_scale`` scales the gate unit
+        capacitance of both devices.
+        """
+        if cox_scale <= 0:
+            raise ValueError("cox_scale must be positive")
+        n = self.nmos.with_updates(vth=self.nmos.vth + vth_shift,
+                                   cox=self.nmos.cox * cox_scale)
+        p = self.pmos.with_updates(vth=self.pmos.vth - vth_shift,
+                                   cox=self.pmos.cox * cox_scale)
+        return TechnologyPair(name=self.name, nmos=n, pmos=p,
+                              vdd=self.vdd if vdd is None else vdd)
+
+
+def technology_pair(name: str) -> TechnologyPair:
+    """Build the nominal N/P pair for ``name`` ("ltps" or "cnt").
+
+    The preset of the technology's native polarity anchors the parameters;
+    the complementary device mirrors it with a mobility penalty reflecting
+    the weaker carrier (as fabricated complementary LTPS / CNT processes
+    show).
+    """
+    if name not in CHARLIB_TECHNOLOGIES:
+        raise ValueError(f"unsupported technology {name!r}; "
+                         f"choose from {CHARLIB_TECHNOLOGIES}")
+    preset = technology_presets()[name]
+    common = dict(w=_LOGIC_W, l=_LOGIC_L, cov=2e-10, i_leak=1e-13)
+    if name == "ltps":
+        vdd = 3.0
+        nmos = preset.with_updates(polarity=NType, vth=abs(preset.vth) * 0.7,
+                                   **common)
+        pmos = nmos.with_updates(polarity=PType, vth=-nmos.vth,
+                                 mu0=nmos.mu0 * 0.45)
+    else:  # cnt — native p-type preset, mirror for the n-device
+        vdd = 2.5
+        pmos = preset.with_updates(polarity=PType,
+                                   vth=-abs(preset.vth) * 0.7, **common)
+        nmos = pmos.with_updates(polarity=NType, vth=-pmos.vth,
+                                 mu0=pmos.mu0 * 0.8)
+    return TechnologyPair(name=name, nmos=nmos, pmos=pmos, vdd=vdd)

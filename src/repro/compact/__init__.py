@@ -1,0 +1,19 @@
+"""Unified compact model for emerging TFT technologies (paper Sec. II-B).
+
+Eq. (1) field-enhanced mobility integrated into a charge-drift intrinsic
+current model, parameter extraction, and synthetic measured devices for the
+Fig. 3 validation (CNT / LTPS / IGZO).
+"""
+
+from .tft import (TFTParams, TFTModel, NType, PType, CM2_PER_M2,
+                  technology_presets)
+from .extraction import (IVData, ExtractionResult, extract_parameters,
+                         initial_guess)
+from .measured import MeasuredDevice, measured_device, MEASUREMENT_GEOMETRIES
+
+__all__ = [
+    "TFTParams", "TFTModel", "NType", "PType", "CM2_PER_M2",
+    "technology_presets",
+    "IVData", "ExtractionResult", "extract_parameters", "initial_guess",
+    "MeasuredDevice", "measured_device", "MEASUREMENT_GEOMETRIES",
+]

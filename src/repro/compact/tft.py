@@ -1,0 +1,298 @@
+"""Unified compact model for emerging thin-film transistors.
+
+Implements the paper's Sec. II-B model: mobility enhancement due to charge
+drift in the presence of tail-distributed traps (TDTs) and variable range
+hopping (VRH), Eq. (1)::
+
+    mu = mu0 * (VG - Vth)^gamma        (N-type)
+    mu = mu0 * (Vth - VG)^gamma        (P-type)
+
+integrated with the charge-drift (gradual channel) approximation to give an
+intrinsic current model valid across CNT, IGZO and LTPS technologies.
+
+Integrating ``Id = (W/L) * mu(V) * Cox * (Vov - V) dV`` along the channel
+with the local field-enhanced mobility yields::
+
+    Id = (W/L) * mu0 * Cox / (gamma + 2)
+         * [Veff^(gamma+2) - (Veff - VDeff)^(gamma+2)] * (1 + lambda*VD)
+
+where ``Veff`` is a softplus-smoothed overdrive (giving the exponential
+subthreshold region with swing ``ss``) and ``VDeff`` a smoothly saturating
+drain voltage. All branches are smooth, so small-signal parameters are
+obtained by complex-step differentiation at machine precision — crucial for
+Newton convergence in :mod:`repro.spice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["TFTParams", "TFTModel", "NType", "PType", "CM2_PER_M2",
+           "technology_presets"]
+
+# mobility unit conversion: 1 m^2/Vs = 1e4 cm^2/Vs
+CM2_PER_M2 = 1e4
+
+# Types as string constants keeps the dataclass JSON-friendly.
+NType = "n"
+PType = "p"
+
+
+@dataclass(frozen=True)
+class TFTParams:
+    """Parameters of the unified TFT compact model.
+
+    Attributes
+    ----------
+    polarity:
+        ``"n"`` or ``"p"``.
+    vth:
+        Threshold voltage [V] (positive for typical N-type enhancement).
+    mu0:
+        Effective mobility at ``|VG - Vth| = 1 V`` [m^2 / V s].
+    gamma:
+        Field-enhancement exponent of Eq. (1) (0 recovers square law).
+    ss:
+        Subthreshold swing [V/decade].
+    lambda_cl:
+        Channel-length modulation [1/V].
+    cox:
+        Gate oxide capacitance per area [F/m^2].
+    w, l:
+        Channel width / length [m].
+    i_leak:
+        Gate-bias-independent leakage floor [A].
+    alpha_sat:
+        Saturation voltage as a fraction of the overdrive (≤ 1).
+    m_sat:
+        Transition sharpness of the linear→saturation knee.
+    cov:
+        Source/drain overlap capacitance per width [F/m].
+    rs, rd:
+        Optional series contact resistances [ohm] (0 disables; the SPICE
+        device inserts explicit resistors when nonzero).
+    """
+
+    polarity: str = NType
+    vth: float = 0.8
+    mu0: float = 1e-3            # 10 cm^2/Vs
+    gamma: float = 0.3
+    ss: float = 0.2              # V/decade
+    lambda_cl: float = 0.02
+    cox: float = 1.0e-4          # F/m^2 (≈ 100 nF/cm^2)
+    w: float = 10e-6
+    l: float = 5e-6
+    i_leak: float = 1e-13
+    alpha_sat: float = 0.95
+    m_sat: float = 4.0
+    cov: float = 1e-10           # F/m
+    rs: float = 0.0
+    rd: float = 0.0
+
+    def __post_init__(self):
+        if self.polarity not in (NType, PType):
+            raise ValueError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        for name in ("mu0", "ss", "cox", "w", "l"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        if not 0 < self.alpha_sat <= 1.0:
+            raise ValueError("alpha_sat must be in (0, 1]")
+
+    def with_updates(self, **kwargs) -> "TFTParams":
+        """Return a copy with fields replaced (STCO knob application)."""
+        return replace(self, **kwargs)
+
+    @property
+    def mu0_cm2(self) -> float:
+        """Mobility prefactor in cm^2/Vs."""
+        return self.mu0 * CM2_PER_M2
+
+    @property
+    def cox_total(self) -> float:
+        """Total intrinsic gate capacitance W*L*Cox [F]."""
+        return self.cox * self.w * self.l
+
+
+def _softplus(x, scale):
+    """``scale * ln(1 + exp(x / scale))`` — smooth max(x, 0).
+
+    Complex-safe and overflow-safe: the branch is selected on the real part,
+    and both branches are analytic, so complex-step differentiation remains
+    exact.
+    """
+    z = x / scale
+    re = np.real(z)
+    big = re > 30.0
+    safe_small = np.where(big, 0.0, z)
+    small_val = np.log1p(np.exp(safe_small))
+    # for large z: log(1+e^z) = z + log(1+e^-z)
+    safe_big = np.where(big, -z, 0.0)
+    big_val = z + np.log1p(np.exp(safe_big))
+    return scale * np.where(big, big_val, small_val)
+
+
+class TFTModel:
+    """Evaluate the unified compact model for a parameter set.
+
+    All terminal-voltage arguments are *intrinsic* (source-referenced):
+    ``vgs`` gate-source, ``vds`` drain-source. Current is the conventional
+    drain-to-source current ``Id`` (negative for P-type devices in normal
+    operation).
+    """
+
+    #: complex-step size for derivatives
+    _H = 1e-30
+
+    def __init__(self, params: TFTParams):
+        self.params = params
+        # Subthreshold slope voltage: ss [V/dec] -> V_ss = ss / ln(10).
+        self._vss = params.ss / np.log(10.0)
+        # The drift integral raises the overdrive to the power (gamma + 2),
+        # which would multiply the subthreshold slope by the same factor.
+        # Widening the softplus by (gamma + 2) cancels it, so the *current*
+        # decays one decade per `ss` volts below threshold as measured.
+        self._vss_eff = self._vss * (params.gamma + 2.0)
+
+    # ------------------------------------------------------------------
+    # Current
+    # ------------------------------------------------------------------
+    def ids(self, vgs, vds):
+        """Drain current [A] (vectorised; supports complex inputs)."""
+        p = self.params
+        vgs = np.asarray(vgs)
+        vds = np.asarray(vds)
+        if p.polarity == NType:
+            return self._ids_core(vgs, vds, p.vth)
+        # P-type mirrors the N-type equations: the mirrored device's
+        # threshold is -vth (a P-type vth of -0.9 V maps to +0.9 V).
+        return -self._ids_core(-vgs, -vds, -p.vth)
+
+    def _ids_core(self, vgs, vds, vth):
+        """N-type oriented current; handles negative vds by source/drain
+        exchange (symmetry)."""
+        # Swap roles when vds < 0: Id(vg, vd) = -Id(vg - vd, -vd).
+        re_vds = np.real(vds)
+        swap = re_vds < 0
+        vgs_eff = np.where(swap, vgs - vds, vgs)
+        vds_eff = np.where(swap, -vds, vds)
+        ids = self._ids_forward(vgs_eff, vds_eff, vth)
+        return np.where(swap, -ids, ids)
+
+    def _ids_forward(self, vgs, vds, vth):
+        p = self.params
+        g2 = p.gamma + 2.0
+        # Smoothed overdrive: exponential subthreshold, linear above Vth.
+        veff = _softplus(vgs - vth, self._vss_eff) + 1e-12
+        # Smooth drain saturation at alpha_sat * veff.
+        vdsat = p.alpha_sat * veff
+        ratio = vds / vdsat
+        vdeff = vds * (1.0 + ratio ** p.m_sat) ** (-1.0 / p.m_sat)
+        k = (p.w / p.l) * p.mu0 * p.cox / g2
+        drift = k * (veff ** g2 - (veff - vdeff) ** g2)
+        return drift * (1.0 + p.lambda_cl * vds) + p.i_leak * np.tanh(
+            vds / 0.025)
+
+    # ------------------------------------------------------------------
+    # Small-signal parameters (complex-step derivatives)
+    # ------------------------------------------------------------------
+    def gm(self, vgs, vds):
+        """Transconductance dId/dVgs [S]."""
+        h = self._H
+        vgs = np.asarray(vgs, dtype=np.float64)
+        vds = np.asarray(vds, dtype=np.float64)
+        return np.imag(self.ids(vgs + 1j * h, vds.astype(complex))) / h
+
+    def gds(self, vgs, vds):
+        """Output conductance dId/dVds [S]."""
+        h = self._H
+        vgs = np.asarray(vgs, dtype=np.float64)
+        vds = np.asarray(vds, dtype=np.float64)
+        return np.imag(self.ids(vgs.astype(complex), vds + 1j * h)) / h
+
+    # ------------------------------------------------------------------
+    # Charge / capacitance (Meyer-style, smoothed)
+    # ------------------------------------------------------------------
+    def capacitances(self, vgs, vds):
+        """Return ``(cgs, cgd)`` [F] with overlap, Meyer partitioning.
+
+        In the linear region the intrinsic channel splits evenly; towards
+        saturation Cgs → (2/3) Cox_t and Cgd → 0. The transition reuses the
+        drain-voltage smoothing so the caps are continuous.
+        """
+        p = self.params
+        vgs = np.asarray(vgs, dtype=np.float64)
+        vds = np.asarray(vds, dtype=np.float64)
+        vth = p.vth
+        if p.polarity == PType:
+            vgs, vds, vth = -vgs, -vds, -vth
+        re_vds = np.real(vds)
+        swap = re_vds < 0
+        vgs_f = np.where(swap, vgs - vds, vgs)
+        vds_f = np.where(swap, -vds, vds)
+
+        veff = _softplus(vgs_f - vth, self._vss_eff) + 1e-12
+        vdsat = p.alpha_sat * veff
+        # Saturation degree s = vdeff / vdsat in [0, 1): ~vds/vdsat in the
+        # linear region, asymptotically 1 deep in saturation.
+        ratio = vds_f / vdsat
+        vdeff = vds_f * (1.0 + ratio ** p.m_sat) ** (-1.0 / p.m_sat)
+        s = vdeff / vdsat
+        cox_t = p.cox_total
+        # Channel formation factor: no channel far below threshold.
+        on = 1.0 / (1.0 + np.exp(-(vgs_f - vth) / (2 * self._vss)))
+        cgs_i = cox_t * on * (0.5 + s / 6.0)          # 1/2 → 2/3
+        cgd_i = cox_t * on * 0.5 * (1.0 - s)          # 1/2 → 0
+        cov = p.cov * p.w
+        cgs = cgs_i + cov
+        cgd = cgd_i + cov
+        # Undo source/drain swap.
+        cgs_out = np.where(swap, cgd, cgs)
+        cgd_out = np.where(swap, cgs, cgd)
+        return cgs_out, cgd_out
+
+    # ------------------------------------------------------------------
+    # Convenience sweeps
+    # ------------------------------------------------------------------
+    def transfer_curve(self, vgs: np.ndarray, vds: float) -> np.ndarray:
+        """Id over a gate sweep at fixed ``vds``."""
+        return self.ids(np.asarray(vgs, dtype=np.float64), float(vds))
+
+    def output_curve(self, vds: np.ndarray, vgs: float) -> np.ndarray:
+        """Id over a drain sweep at fixed ``vgs``."""
+        return self.ids(float(vgs), np.asarray(vds, dtype=np.float64))
+
+    def mobility(self, vgs) -> np.ndarray:
+        """Eq. (1) field-enhanced mobility [m^2/Vs] (0 below threshold)."""
+        p = self.params
+        vgs = np.asarray(vgs, dtype=np.float64)
+        if p.polarity == NType:
+            ov = np.maximum(vgs - p.vth, 0.0)
+        else:
+            ov = np.maximum(p.vth - vgs, 0.0)
+        return p.mu0 * ov ** p.gamma
+
+
+def technology_presets() -> dict[str, TFTParams]:
+    """Literature-grade parameter sets for the three technologies.
+
+    These play the role of the paper's fabricated devices: CNT network TFT
+    (p-type, as in most solution-processed CNT films), LTPS (n-type, high
+    mobility) and IGZO (n-type, moderate mobility, steeper gamma). The
+    geometries match Fig. 3: CNT L=25um/W=125um, LTPS L=16um/W=40um,
+    IGZO L=20um/W=30um.
+    """
+    return {
+        "cnt": TFTParams(
+            polarity=PType, vth=-0.9, mu0=18e-4, gamma=0.35, ss=0.18,
+            lambda_cl=0.03, cox=1.2e-4, w=125e-6, l=25e-6, i_leak=2e-12),
+        "ltps": TFTParams(
+            polarity=NType, vth=1.1, mu0=85e-4, gamma=0.18, ss=0.30,
+            lambda_cl=0.015, cox=0.8e-4, w=40e-6, l=16e-6, i_leak=5e-13),
+        "igzo": TFTParams(
+            polarity=NType, vth=0.6, mu0=11e-4, gamma=0.42, ss=0.25,
+            lambda_cl=0.02, cox=1.0e-4, w=30e-6, l=20e-6, i_leak=1e-13),
+    }

@@ -1,0 +1,33 @@
+"""System-evaluation substrate: synthesis, P&R, STA, power, DRC/LVS.
+
+Stands in for the commercial implementation tools the paper used for its
+system level, plus generators for the ten Table I benchmarks and the
+calibrated runtime cost model."""
+
+from .netlist import Instance, GateNetlist
+from .benchmarks import BENCHMARKS, build_benchmark, benchmark_names
+from .synthesis import SynthesisResult, synthesize
+from .placement import PlacementResult, place
+from .routing import RoutingResult, route
+from .sta import TimingResult, analyze_timing
+from .power import PowerResult, analyze_power
+from .drc import CheckResult, run_drc, run_lvs
+from .flow import SystemResult, evaluate_system, evaluate_benchmark
+from .simulation import LogicSimulator, SimulationResult
+from .cost_model import (PaperCosts, PAPER_SYSTEM_EVAL_S, PAPER_TABLE1,
+                         table1_row, table1_rows)
+
+__all__ = [
+    "Instance", "GateNetlist",
+    "BENCHMARKS", "build_benchmark", "benchmark_names",
+    "SynthesisResult", "synthesize",
+    "PlacementResult", "place",
+    "RoutingResult", "route",
+    "TimingResult", "analyze_timing",
+    "PowerResult", "analyze_power",
+    "CheckResult", "run_drc", "run_lvs",
+    "SystemResult", "evaluate_system", "evaluate_benchmark",
+    "LogicSimulator", "SimulationResult",
+    "PaperCosts", "PAPER_SYSTEM_EVAL_S", "PAPER_TABLE1",
+    "table1_row", "table1_rows",
+]

@@ -1,0 +1,65 @@
+"""Design rule and netlist-consistency (LVS-style) checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cells import get_cell
+from .netlist import GateNetlist
+
+__all__ = ["CheckResult", "run_drc", "run_lvs"]
+
+
+@dataclass
+class CheckResult:
+    violations: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def count(self) -> int:
+        return len(self.violations)
+
+
+def run_drc(netlist: GateNetlist, max_fanout: int = 16,
+            min_spacing_um: float = 0.0) -> CheckResult:
+    """Geometry + electrical rules on the placed netlist."""
+    result = CheckResult()
+    # Overlap / spacing within rows.
+    by_row: dict = {}
+    for inst in netlist.instances.values():
+        by_row.setdefault(round(inst.y, 3), []).append(inst)
+    for row in by_row.values():
+        row.sort(key=lambda i: i.x)
+        for a, b in zip(row, row[1:]):
+            wa = get_cell(a.cell).area / 2
+            wb = get_cell(b.cell).area / 2
+            if (b.x - wb) - (a.x + wa) < min_spacing_um - 1e-9:
+                result.violations.append(
+                    ("spacing", a.name, b.name))
+    # Fanout limit.
+    for net, sinks in netlist.loads().items():
+        if len(sinks) > max_fanout:
+            result.violations.append(("fanout", net, len(sinks)))
+    return result
+
+
+def run_lvs(netlist: GateNetlist) -> CheckResult:
+    """Connectivity checks: every input driven, single driver per net."""
+    result = CheckResult()
+    try:
+        drivers = netlist.drivers()
+    except ValueError as err:
+        result.violations.append(("multi_driver", str(err)))
+        return result
+    driven = set(drivers) | set(netlist.primary_inputs) | {netlist.clock}
+    for inst in netlist.instances.values():
+        for pin, net in inst.pins.items():
+            cell = get_cell(inst.cell)
+            if pin in cell.inputs and net not in driven:
+                result.violations.append(("floating", inst.name, pin, net))
+    for net in netlist.primary_outputs:
+        if net not in driven:
+            result.violations.append(("undriven_output", net))
+    return result

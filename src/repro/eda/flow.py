@@ -1,0 +1,106 @@
+"""Complete system-evaluation flow: synthesis -> place -> route -> STA ->
+power -> DRC/LVS, producing PPA and per-stage runtimes."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..charlib.liberty import Library
+from .benchmarks import build_benchmark
+from .drc import run_drc, run_lvs
+from .netlist import GateNetlist
+from .placement import place
+from .power import analyze_power
+from .routing import route
+from .sta import analyze_timing
+from .synthesis import synthesize
+
+__all__ = ["SystemResult", "evaluate_system", "evaluate_benchmark"]
+
+
+@dataclass
+class SystemResult:
+    """PPA + diagnostics of one flow run."""
+
+    design: str
+    gates: int
+    flops: int
+    area_um2: float
+    wirelength_um: float
+    min_period_s: float
+    fmax_hz: float
+    total_power_w: float
+    dynamic_power_w: float
+    leakage_power_w: float
+    drc_violations: int
+    lvs_violations: int
+    stage_runtimes_s: dict = field(default_factory=dict)
+
+    @property
+    def runtime_s(self) -> float:
+        return sum(self.stage_runtimes_s.values())
+
+    def ppa(self) -> dict:
+        """The three STCO objectives."""
+        return {"power_w": self.total_power_w,
+                "performance_hz": self.fmax_hz,
+                "area_um2": self.area_um2}
+
+
+def evaluate_system(netlist: GateNetlist, library: Library,
+                    frequency_hz: float | None = None,
+                    activity: float = 0.15) -> SystemResult:
+    """Run the full flow on ``netlist`` with ``library``.
+
+    ``frequency_hz`` defaults to the design's fmax (operating at speed).
+    """
+    runtimes = {}
+
+    t0 = time.perf_counter()
+    syn = synthesize(netlist.copy())   # the input netlist is not mutated
+    runtimes["synthesis"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    placed = place(syn.netlist)
+    runtimes["placement"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    routed = route(syn.netlist, die_area_um2=placed.die_area_um2)
+    runtimes["routing"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    timing = analyze_timing(syn.netlist, library, routed)
+    runtimes["sta"] = time.perf_counter() - t0
+
+    freq = frequency_hz if frequency_hz is not None else timing.fmax_hz
+    t0 = time.perf_counter()
+    power = analyze_power(syn.netlist, library, freq, routed,
+                          activity=activity)
+    runtimes["power"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    drc = run_drc(syn.netlist)
+    lvs = run_lvs(syn.netlist)
+    runtimes["drc_lvs"] = time.perf_counter() - t0
+
+    return SystemResult(
+        design=netlist.name,
+        gates=syn.netlist.num_gates,
+        flops=syn.netlist.num_flops,
+        area_um2=placed.die_area_um2,
+        wirelength_um=routed.total_wirelength_um,
+        min_period_s=timing.min_period_s,
+        fmax_hz=timing.fmax_hz,
+        total_power_w=power.total_w,
+        dynamic_power_w=power.dynamic_w + power.clock_w,
+        leakage_power_w=power.leakage_w,
+        drc_violations=drc.count(),
+        lvs_violations=lvs.count(),
+        stage_runtimes_s=runtimes)
+
+
+def evaluate_benchmark(name: str, library: Library,
+                       **kwargs) -> SystemResult:
+    """Build one of the ten Table I benchmarks and evaluate it."""
+    return evaluate_system(build_benchmark(name), library, **kwargs)

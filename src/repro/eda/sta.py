@@ -1,0 +1,168 @@
+"""Static timing analysis with slew propagation.
+
+Topological arrival-time propagation over the combinational graph, with
+flip-flop Q pins as launch points (clk->q delay) and D pins / primary
+outputs as capture points (setup). Cell delay/slew come from the
+characterized :class:`~repro.charlib.liberty.Library` NLDM tables; nets
+add wire capacitance from the router.
+
+Cells absent from the library are estimated from INV_X1 scaled by area —
+this keeps CI-scale libraries (a cell subset) usable on full netlists,
+mirroring how black-box timing models are used in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cells import get_cell
+from ..charlib.liberty import LibCell, Library, TimingTable
+from .netlist import GateNetlist
+from .routing import RoutingResult
+
+__all__ = ["TimingResult", "analyze_timing"]
+
+_DEFAULT_INPUT_SLEW = 10e-9
+_PO_LOAD = 20e-15
+
+
+@dataclass
+class TimingResult:
+    min_period_s: float
+    fmax_hz: float
+    critical_path: list
+    worst_arrival_s: float
+    arrival: dict = field(default_factory=dict)
+    slew: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        return {"min_period_ns": self.min_period_s * 1e9,
+                "fmax_mhz": self.fmax_hz / 1e6,
+                "critical_path_len": len(self.critical_path)}
+
+
+def _lib_cell(library: Library, name: str) -> LibCell:
+    if name in library:
+        return library.cell(name)
+    # Estimate from the inverter scaled by area (black-box fallback).
+    if "INV_X1" not in library:
+        raise ValueError(f"library lacks {name} and INV_X1 fallback")
+    inv = library.cell("INV_X1")
+    cell = get_cell(name)
+    scale = max(cell.area / max(get_cell("INV_X1").area, 1e-9), 1.0)
+    est = LibCell(
+        name=name, area=cell.area,
+        input_caps={p: inv.max_input_cap for p in cell.inputs},
+        delay=TimingTable(inv.delay.slews, inv.delay.loads,
+                          inv.delay.values * scale ** 0.5),
+        output_slew=TimingTable(inv.output_slew.slews,
+                                inv.output_slew.loads,
+                                inv.output_slew.values * scale ** 0.5),
+        leakage=inv.leakage * scale,
+        switch_energy=inv.switch_energy * scale,
+        is_sequential=cell.is_sequential,
+        setup=inv.delay.values.max() * 2,
+        hold=0.0,
+        clk_q=inv.delay.values.max() * 3 * scale ** 0.5,
+        min_pulse_width=inv.delay.values.max() * 2)
+    library.cells[name] = est
+    return est
+
+
+def analyze_timing(netlist: GateNetlist, library: Library,
+                   routing: RoutingResult | None = None) -> TimingResult:
+    """Propagate arrivals and compute the minimum clock period."""
+    drivers = netlist.drivers()
+    loads = netlist.loads()
+
+    def net_load(net: str) -> float:
+        total = routing.wire_cap(net) if routing is not None else 0.0
+        for sink, pin in loads.get(net, []):
+            lc = _lib_cell(library, netlist.instances[sink].cell)
+            total += lc.pin_cap(pin)
+        if net in netlist.primary_outputs:
+            total += _PO_LOAD
+        return total
+
+    arrival: dict = {}
+    slew: dict = {}
+    parent: dict = {}
+    for net in netlist.primary_inputs:
+        arrival[net] = 0.0
+        slew[net] = _DEFAULT_INPUT_SLEW
+    arrival[netlist.clock] = 0.0
+    slew[netlist.clock] = _DEFAULT_INPUT_SLEW
+
+    order = netlist.topological_order()
+    # Seed FF outputs (launch at clk->q).
+    for name in order:
+        inst = netlist.instances[name]
+        lc = _lib_cell(library, inst.cell)
+        if lc.is_sequential:
+            for net in inst.output_nets():
+                arrival[net] = lc.clk_q
+                slew[net] = lc.output_slew.lookup(_DEFAULT_INPUT_SLEW,
+                                                  net_load(net))
+                parent[net] = (name, None)
+
+    for name in order:
+        inst = netlist.instances[name]
+        lc = _lib_cell(library, inst.cell)
+        if lc.is_sequential:
+            continue
+        cell = get_cell(inst.cell)
+        worst_t, worst_s, worst_from = 0.0, _DEFAULT_INPUT_SLEW, None
+        for pin in cell.inputs:
+            net = inst.pins[pin]
+            t_in = arrival.get(net, 0.0)
+            s_in = slew.get(net, _DEFAULT_INPUT_SLEW)
+            if t_in >= worst_t:
+                worst_t, worst_s, worst_from = t_in, s_in, net
+        for out in cell.outputs:
+            net = inst.pins[out]
+            load = net_load(net)
+            d = lc.delay.lookup(worst_s, load)
+            arrival[net] = worst_t + d
+            slew[net] = lc.output_slew.lookup(worst_s, load)
+            parent[net] = (name, worst_from)
+
+    # Capture: FF D pins need setup; POs captured at the period boundary.
+    min_period = 0.0
+    worst_net = None
+    for name, inst in netlist.instances.items():
+        lc = _lib_cell(library, inst.cell)
+        if not lc.is_sequential:
+            continue
+        cell = get_cell(inst.cell)
+        d_pin = cell.seq.data
+        net = inst.pins[d_pin]
+        t = arrival.get(net, 0.0) + lc.setup
+        if t > min_period:
+            min_period = t
+            worst_net = net
+    for net in netlist.primary_outputs:
+        t = arrival.get(net, 0.0)
+        if t > min_period:
+            min_period = t
+            worst_net = net
+
+    # Trace the critical path back through parents.
+    path = []
+    net = worst_net
+    seen = set()
+    while net is not None and net not in seen:
+        seen.add(net)
+        if net in parent:
+            inst_name, prev = parent[net]
+            path.append(inst_name)
+            net = prev
+        else:
+            break
+    path.reverse()
+
+    min_period = max(min_period, 1e-12)
+    return TimingResult(
+        min_period_s=min_period, fmax_hz=1.0 / min_period,
+        critical_path=path,
+        worst_arrival_s=max(arrival.values()) if arrival else 0.0,
+        arrival=arrival, slew=slew)

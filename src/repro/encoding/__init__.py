@@ -1,0 +1,7 @@
+"""Unified graph encodings: devices (Fig. 2) and cells (Table III)."""
+
+from .device_encoding import (DeviceEncoder, PSI_SCALE, CHARGE_SCALE,
+                              encode_charge_density, encode_potential)
+
+__all__ = ["DeviceEncoder", "PSI_SCALE", "CHARGE_SCALE",
+           "encode_charge_density", "encode_potential"]

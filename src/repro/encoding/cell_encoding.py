@@ -1,0 +1,170 @@
+"""Cell netlist -> graph encoding (paper Table III).
+
+Nodes: one per input pin (IN), output pin (OUT), transistor (N-FET /
+P-FET), plus VDD and VSS. The 12-entry node feature vector follows
+Table III exactly:
+
+====  ======================================================
+Bit   Meaning
+====  ======================================================
+0     supply flag (1 on VDD and VSS)
+1     1 on OUT, N-FET, P-FET
+2     1 on IN, N-FET, P-FET, VSS
+3     FET polarity: -1 for N-FET, +1 for P-FET
+4     VDD value (on the VDD node)
+5     transistor width (on FETs)
+6     gate unit capacitance (on FETs)
+7     threshold voltage (on FETs)
+8     input slew (on the switching IN pin)
+9     output load (on OUT pins)
+10    current state (on IN pins)
+11    next state (on IN pins)
+====  ======================================================
+
+Edges follow electrical connectivity: gate/drain/source terminals sharing
+a net are connected pairwise; rail connections go through the VDD / VSS
+nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cells.cell import Cell, VDD_NET, VSS_NET
+from ..nn.graph import Graph
+
+__all__ = ["CellGraphEncoder", "NUM_CELL_FEATURES"]
+
+NUM_CELL_FEATURES = 12
+
+# Feature normalisation scales (keep values O(1) for the GNN).
+_W_SCALE = 20e-6          # transistor width [m]
+_COX_SCALE = 1e-4         # gate unit capacitance [F/m^2]
+_VTH_SCALE = 1.0          # threshold [V]
+_VDD_SCALE = 3.0          # supply [V]
+_SLEW_SCALE = 20e-9       # input slew [s]
+_LOAD_SCALE = 40e-15      # output load [F]
+
+
+class CellGraphEncoder:
+    """Encode a cell + technology + stimulus as a Table III graph.
+
+    The structural part (nodes, edges) depends only on the cell and is
+    cached; per-measurement features (vdd, widths, slew, load, states)
+    are filled per call.
+    """
+
+    def __init__(self):
+        self._structure_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def _structure(self, cell: Cell):
+        if cell.name in self._structure_cache:
+            return self._structure_cache[cell.name]
+        nodes = []           # (kind, payload)
+        node_of_input = {}
+        node_of_output = {}
+        for pin in cell.inputs:
+            node_of_input[pin] = len(nodes)
+            nodes.append(("in", pin))
+        for pin in cell.outputs:
+            node_of_output[pin] = len(nodes)
+            nodes.append(("out", pin))
+        fet_nodes = []
+        for t in cell.transistors:
+            fet_nodes.append(len(nodes))
+            nodes.append(("fet", t))
+        vdd_node = len(nodes)
+        nodes.append(("vdd", None))
+        vss_node = len(nodes)
+        nodes.append(("vss", None))
+
+        # net -> attached node ids (rails handled through supply nodes).
+        net_members: dict = {}
+
+        def attach(net, node_id):
+            if net == VDD_NET:
+                edges.add((node_id, vdd_node))
+            elif net == VSS_NET:
+                edges.add((node_id, vss_node))
+            else:
+                net_members.setdefault(net, set()).add(node_id)
+
+        edges: set = set()
+        for pin, nid in node_of_input.items():
+            net_members.setdefault(pin, set()).add(nid)
+        for pin, nid in node_of_output.items():
+            net_members.setdefault(pin, set()).add(nid)
+        for t, nid in zip(cell.transistors, fet_nodes):
+            for net in (t.gate, t.drain, t.source):
+                attach(net, nid)
+        for members in net_members.values():
+            members = sorted(members)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    edges.add((a, b))
+        pairs = sorted(edges)
+        src = [a for a, b in pairs] + [b for a, b in pairs]
+        dst = [b for a, b in pairs] + [a for a, b in pairs]
+        edge_index = np.array([src, dst], dtype=np.intp)
+        structure = (nodes, node_of_input, node_of_output, edge_index)
+        self._structure_cache[cell.name] = structure
+        return structure
+
+    # ------------------------------------------------------------------
+    def encode(self, cell: Cell, nmos, pmos, vdd: float,
+               slew: float = 0.0, load: float = 0.0,
+               slew_pin: str | None = None,
+               states: dict | None = None,
+               y: np.ndarray | None = None) -> Graph:
+        """Build the measurement graph.
+
+        Parameters
+        ----------
+        cell:
+            Library cell.
+        nmos, pmos:
+            Corner-resolved :class:`~repro.compact.tft.TFTParams`.
+        vdd:
+            Corner supply [V].
+        slew, slew_pin:
+            Input slew value and the pin it applies to (bit 8).
+        load:
+            Output load (bit 9, set on all OUT pins).
+        states:
+            pin -> (current, next) booleans (bits 10-11).
+        y:
+            Optional graph-level target.
+        """
+        nodes, node_in, node_out, edge_index = self._structure(cell)
+        states = states or {}
+        x = np.zeros((len(nodes), NUM_CELL_FEATURES))
+        for nid, (kind, payload) in enumerate(nodes):
+            row = x[nid]
+            if kind == "in":
+                row[2] = 1.0
+                if payload == slew_pin:
+                    row[8] = slew / _SLEW_SCALE
+                cur, nxt = states.get(payload, (False, False))
+                row[10] = float(cur)
+                row[11] = float(nxt)
+            elif kind == "out":
+                row[1] = 1.0
+                row[9] = load / _LOAD_SCALE
+            elif kind == "fet":
+                t = payload
+                params = nmos if t.polarity == "n" else pmos
+                row[1] = 1.0
+                row[2] = 1.0
+                row[3] = -1.0 if t.polarity == "n" else 1.0
+                row[5] = (params.w * t.w_mult * cell.drive) / _W_SCALE
+                row[6] = params.cox / _COX_SCALE
+                row[7] = params.vth / _VTH_SCALE
+            elif kind == "vdd":
+                row[0] = 1.0
+                row[4] = vdd / _VDD_SCALE
+            else:  # vss
+                row[0] = 1.0
+                row[2] = 1.0
+        return Graph(x=x, edge_index=edge_index, y=y,
+                     meta={"cell": cell.name, "target_level": "graph"})

@@ -1,0 +1,143 @@
+"""Unified device encoding (paper Fig. 2).
+
+Turns a meshed device plus its bias point into an attributed graph:
+
+* **Material-level embedding** — one-hot material type + a parameter vector
+  of material properties and physics-model parameters (SRH, tail traps).
+* **Device-level embedding** — one-hot region label (gate / oxide / channel /
+  source / drain) + an attribute vector with normalised position, doping,
+  bias and contact information.
+* **Spatial relationship embedding** — edge features (dx, dy, distance),
+  inspired by finite element methods, describing relative node positions.
+* **Task-specific self-consistent features** — charge density (for the
+  Poisson emulator) and additionally the potential (for the IV predictor),
+  appended as extra node features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.graph import Graph
+from ..tcad.materials import MATERIALS, NUM_MATERIALS
+from ..tcad.mesh import DeviceMesh, Region
+
+__all__ = ["DeviceEncoder", "PSI_SCALE", "CHARGE_SCALE",
+           "encode_charge_density", "encode_potential"]
+
+#: Normalisation constants shared by encoder and dataset targets.
+PSI_SCALE = 5.0          # potentials land in [-1, 1] for |psi| <= 5 V
+CHARGE_SCALE = 30.0      # log10(1/m^3) dynamic range
+BIAS_SCALE = 5.0
+DOPING_SCALE = 30.0
+
+
+def encode_charge_density(n: np.ndarray) -> np.ndarray:
+    """Log-compress a carrier density [1/m^3] into roughly [0, 1]."""
+    return np.log10(np.asarray(n, dtype=np.float64) + 1.0) / CHARGE_SCALE
+
+
+def encode_potential(psi: np.ndarray) -> np.ndarray:
+    """Scale a potential [V] into roughly [-1, 1]."""
+    return np.asarray(psi, dtype=np.float64) / PSI_SCALE
+
+
+class DeviceEncoder:
+    """Encode meshed devices as GNN-ready graphs.
+
+    Parameters
+    ----------
+    include_charge:
+        Append the self-consistent charge-density feature (Poisson emulator
+        and IV predictor inputs).
+    include_potential:
+        Append the self-consistent potential feature (IV predictor input).
+    """
+
+    def __init__(self, include_charge: bool = True,
+                 include_potential: bool = False):
+        self.include_charge = include_charge
+        self.include_potential = include_potential
+        self._param_len = len(
+            next(iter(MATERIALS.values())).param_vector())
+
+    # -- feature layout ------------------------------------------------------
+    @property
+    def base_features(self) -> int:
+        """Features before task-specific additions."""
+        #   material one-hot + material params
+        # + region one-hot + [x, y, doping, contact, vg, vd]
+        return NUM_MATERIALS + self._param_len + Region.COUNT + 6
+
+    @property
+    def num_features(self) -> int:
+        extra = int(self.include_charge) + int(self.include_potential)
+        return self.base_features + extra
+
+    @property
+    def num_edge_features(self) -> int:
+        return 3
+
+    # -- encoding -------------------------------------------------------------
+    def encode(self, mesh: DeviceMesh, vg: float, vd: float,
+               charge: np.ndarray | None = None,
+               psi: np.ndarray | None = None,
+               y: np.ndarray | None = None,
+               target_level: str = "node") -> Graph:
+        """Build the graph for one (device, bias) sample.
+
+        Parameters
+        ----------
+        mesh:
+            Device mesh.
+        vg, vd:
+            Applied bias [V] (encoded as global node attributes).
+        charge, psi:
+            Self-consistent node fields, required when the corresponding
+            ``include_*`` flag is set.
+        y:
+            Optional regression target (node- or graph-level).
+        """
+        n_nodes = mesh.num_nodes
+        params_by_idx = {m.index: m.param_vector()
+                         for m in MATERIALS.values()}
+
+        mat_onehot = np.zeros((n_nodes, NUM_MATERIALS))
+        mat_onehot[np.arange(n_nodes), mesh.material_idx] = 1.0
+        mat_params = np.stack([params_by_idx[int(i)]
+                               for i in mesh.material_idx])
+
+        region_onehot = np.zeros((n_nodes, Region.COUNT))
+        region_onehot[np.arange(n_nodes), mesh.region] = 1.0
+
+        xy = mesh.node_xy
+        x_span = float(mesh.xs[-1] - mesh.xs[0]) or 1.0
+        y_span = float(mesh.ys[-1] - mesh.ys[0]) or 1.0
+        doping = np.sign(mesh.doping) * np.log10(np.abs(mesh.doping) + 1.0)
+        attrs = np.stack([
+            xy[:, 0] / x_span,
+            xy[:, 1] / y_span,
+            doping / DOPING_SCALE,
+            mesh.dirichlet_mask.astype(np.float64),
+            np.full(n_nodes, vg / BIAS_SCALE),
+            np.full(n_nodes, vd / BIAS_SCALE),
+        ], axis=1)
+
+        blocks = [mat_onehot, mat_params, region_onehot, attrs]
+        if self.include_charge:
+            if charge is None:
+                raise ValueError("encoder requires the charge-density field")
+            blocks.append(encode_charge_density(charge)[:, None])
+        if self.include_potential:
+            if psi is None:
+                raise ValueError("encoder requires the potential field")
+            blocks.append(encode_potential(psi)[:, None])
+        x = np.concatenate(blocks, axis=1)
+
+        vec = mesh.edge_vectors()
+        diag = float(np.hypot(x_span, y_span))
+        edge_attr = vec / np.array([x_span, y_span, diag])
+
+        return Graph(x=x, edge_index=mesh.edges, edge_attr=edge_attr, y=y,
+                     meta={"vg": vg, "vd": vd, "target_level": target_level,
+                           **mesh.meta})

@@ -1,0 +1,35 @@
+"""Minimal numpy-based neural network framework with GNN support.
+
+Provides reverse-mode autograd (:mod:`~repro.nn.tensor`), standard layers,
+graph layers (GCN, edge-feature GAT / RelGAT), optimizers, losses, metrics,
+graph batching and a training loop — everything the paper's surrogates need,
+with no dependency beyond numpy.
+"""
+
+from .tensor import Tensor, Parameter, as_tensor, no_grad, is_grad_enabled
+from . import functional
+from .layers import (Module, Linear, MLP, LayerNorm, Sequential, Activation,
+                     Dropout, ModuleList)
+from .graph import Graph, Batch, batch_graphs, add_self_loops
+from .gnn import (GCNConv, RelGATConv, global_mean_pool, global_sum_pool,
+                  global_max_pool)
+from .optim import SGD, Adam, clip_grad_norm, StepLR, CosineLR
+from .loss import mse_loss, l1_loss, huber_loss, relative_l2_loss
+from .metrics import mse, rmse, mae, mape, r2_score
+from .trainer import Trainer, TrainConfig, TrainResult
+from .serialization import save_model, load_model
+
+__all__ = [
+    "Tensor", "Parameter", "as_tensor", "no_grad", "is_grad_enabled",
+    "functional",
+    "Module", "Linear", "MLP", "LayerNorm", "Sequential", "Activation",
+    "Dropout", "ModuleList",
+    "Graph", "Batch", "batch_graphs", "add_self_loops",
+    "GCNConv", "RelGATConv", "global_mean_pool", "global_sum_pool",
+    "global_max_pool",
+    "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR",
+    "mse_loss", "l1_loss", "huber_loss", "relative_l2_loss",
+    "mse", "rmse", "mae", "mape", "r2_score",
+    "Trainer", "TrainConfig", "TrainResult",
+    "save_model", "load_model",
+]

@@ -1,0 +1,148 @@
+"""Graph containers and batching for GNN training.
+
+A :class:`Graph` stores node features ``x (N, F)``, directed edges
+``edge_index (2, E)``, optional edge features ``edge_attr (E, Fe)`` and
+targets ``y`` (node-level ``(N, T)`` or graph-level ``(T,)``).
+:func:`batch_graphs` merges a list of graphs into one block-diagonal graph,
+tracking the node → graph assignment needed by pooling layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Graph", "Batch", "batch_graphs", "add_self_loops"]
+
+
+@dataclass
+class Graph:
+    """A single attributed graph sample."""
+
+    x: np.ndarray
+    edge_index: np.ndarray
+    edge_attr: np.ndarray | None = None
+    y: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.edge_index = np.asarray(self.edge_index, dtype=np.intp)
+        if self.edge_index.ndim != 2 or self.edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, E)")
+        if self.edge_attr is not None:
+            self.edge_attr = np.asarray(self.edge_attr, dtype=np.float64)
+            if self.edge_attr.shape[0] != self.edge_index.shape[1]:
+                raise ValueError("edge_attr rows must match number of edges")
+        if self.y is not None:
+            self.y = np.asarray(self.y, dtype=np.float64)
+        if self.num_edges and self.edge_index.max(initial=-1) >= self.num_nodes:
+            raise ValueError("edge_index references a node that does not exist")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_index.shape[1]
+
+    @property
+    def num_node_features(self) -> int:
+        return self.x.shape[1] if self.x.ndim > 1 else 1
+
+    @property
+    def num_edge_features(self) -> int:
+        if self.edge_attr is None:
+            return 0
+        return self.edge_attr.shape[1] if self.edge_attr.ndim > 1 else 1
+
+    def to_undirected(self) -> "Graph":
+        """Return a copy with every edge mirrored (edge attrs duplicated)."""
+        rev = self.edge_index[::-1]
+        edge_index = np.concatenate([self.edge_index, rev], axis=1)
+        edge_attr = None
+        if self.edge_attr is not None:
+            edge_attr = np.concatenate([self.edge_attr, self.edge_attr], axis=0)
+        return Graph(self.x, edge_index, edge_attr, self.y, dict(self.meta))
+
+
+@dataclass
+class Batch:
+    """A block-diagonal merge of several graphs."""
+
+    x: np.ndarray
+    edge_index: np.ndarray
+    edge_attr: np.ndarray | None
+    y: np.ndarray | None
+    batch: np.ndarray          # (N,) node -> graph id
+    num_graphs: int
+    node_offsets: np.ndarray   # (num_graphs + 1,)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_index.shape[1]
+
+
+def batch_graphs(graphs) -> Batch:
+    """Merge graphs into one disconnected union graph.
+
+    Node-level targets are concatenated along axis 0; graph-level targets are
+    stacked into ``(num_graphs, T)``.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("cannot batch an empty list of graphs")
+    xs, eis, eas, ys, batch_ids = [], [], [], [], []
+    offsets = [0]
+    has_edge_attr = graphs[0].edge_attr is not None
+    node_level = (graphs[0].y is not None
+                  and graphs[0].y.ndim >= 1
+                  and graphs[0].y.shape[0] == graphs[0].num_nodes
+                  and graphs[0].y.ndim > 0
+                  and graphs[0].meta.get("target_level", "node") == "node")
+    offset = 0
+    for gid, g in enumerate(graphs):
+        xs.append(g.x)
+        eis.append(g.edge_index + offset)
+        if has_edge_attr:
+            if g.edge_attr is None:
+                raise ValueError("cannot mix graphs with and without edge_attr")
+            eas.append(g.edge_attr)
+        if g.y is not None:
+            ys.append(g.y)
+        batch_ids.append(np.full(g.num_nodes, gid, dtype=np.intp))
+        offset += g.num_nodes
+        offsets.append(offset)
+    y = None
+    if ys:
+        if node_level:
+            y = np.concatenate(ys, axis=0)
+        else:
+            y = np.stack(ys, axis=0)
+    return Batch(
+        x=np.concatenate(xs, axis=0),
+        edge_index=np.concatenate(eis, axis=1),
+        edge_attr=np.concatenate(eas, axis=0) if eas else None,
+        y=y,
+        batch=np.concatenate(batch_ids),
+        num_graphs=len(graphs),
+        node_offsets=np.asarray(offsets, dtype=np.intp),
+    )
+
+
+def add_self_loops(edge_index: np.ndarray, num_nodes: int,
+                   edge_attr: np.ndarray | None = None,
+                   fill_value: float = 0.0):
+    """Append one self loop per node; self-loop edge attrs are constant."""
+    loops = np.arange(num_nodes, dtype=np.intp)
+    ei = np.concatenate([edge_index, np.stack([loops, loops])], axis=1)
+    if edge_attr is None:
+        return ei, None
+    loop_attr = np.full((num_nodes, edge_attr.shape[1]), fill_value)
+    return ei, np.concatenate([edge_attr, loop_attr], axis=0)

@@ -1,0 +1,41 @@
+"""Differentiable loss functions."""
+
+from __future__ import annotations
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["mse_loss", "l1_loss", "huber_loss", "relative_l2_loss"]
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = as_tensor(target)
+    diff = pred - target.detach()
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target) -> Tensor:
+    """Mean absolute error."""
+    target = as_tensor(target)
+    return (pred - target.detach()).abs().mean()
+
+
+def huber_loss(pred: Tensor, target, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails.
+
+    Implemented with the smooth identity
+    ``huber(r) = delta^2 * (sqrt(1 + (r/delta)^2) - 1)`` (pseudo-Huber),
+    which keeps the computation graph free of branches.
+    """
+    target = as_tensor(target)
+    r = (pred - target.detach()) * (1.0 / delta)
+    return ((r * r + 1.0).sqrt() - 1.0).mean() * (delta ** 2)
+
+
+def relative_l2_loss(pred: Tensor, target, eps: float = 1e-8) -> Tensor:
+    """MSE normalised by target magnitude — useful when targets span
+    orders of magnitude (e.g. dynamic power across cells)."""
+    target = as_tensor(target).detach()
+    scale = (target * target).mean().item() + eps
+    diff = pred - target
+    return (diff * diff).mean() * (1.0 / scale)

@@ -1,0 +1,60 @@
+"""Evaluation metrics (plain numpy; no gradients).
+
+These are the metrics the paper reports: MSE (Table II), MAPE (Table IV)
+and the coefficient of determination R² (Table II, 32k unseen split).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "rmse", "mae", "mape", "r2_score"]
+
+
+def _pair(pred, target):
+    pred = np.asarray(pred, dtype=np.float64).ravel()
+    target = np.asarray(target, dtype=np.float64).ravel()
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return pred, target
+
+
+def mse(pred, target) -> float:
+    """Mean squared error."""
+    pred, target = _pair(pred, target)
+    return float(np.mean((pred - target) ** 2))
+
+
+def rmse(pred, target) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(pred, target)))
+
+
+def mae(pred, target) -> float:
+    """Mean absolute error."""
+    pred, target = _pair(pred, target)
+    return float(np.mean(np.abs(pred - target)))
+
+
+def mape(pred, target, eps: float = 1e-12) -> float:
+    """Mean absolute percentage error, in percent.
+
+    Targets with magnitude below ``eps`` are excluded (they would produce
+    unbounded percentages); if all targets are excluded the result is NaN.
+    """
+    pred, target = _pair(pred, target)
+    mask = np.abs(target) > eps
+    if not mask.any():
+        return float("nan")
+    return float(np.mean(np.abs((pred[mask] - target[mask]) / target[mask]))
+                 * 100.0)
+
+
+def r2_score(pred, target) -> float:
+    """Coefficient of determination ``1 - SS_res / SS_tot``."""
+    pred, target = _pair(pred, target)
+    ss_res = float(np.sum((target - pred) ** 2))
+    ss_tot = float(np.sum((target - target.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,43 @@
+"""Save and load model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model, path, meta: dict | None = None) -> None:
+    """Write a module's ``state_dict`` (and optional JSON metadata) to disk.
+
+    Parameter names may contain ``.``, which ``np.savez`` preserves as-is.
+    Metadata is stored under the reserved key ``__meta__``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(model.state_dict())
+    if "__meta__" in payload:
+        raise ValueError("'__meta__' is a reserved key")
+    payload["__meta__"] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **payload)
+
+
+def load_model(model, path) -> dict:
+    """Load parameters saved by :func:`save_model` into ``model``.
+
+    Returns the metadata dictionary stored alongside the parameters.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != "__meta__"}
+        meta_raw = archive["__meta__"] if "__meta__" in archive.files else None
+    model.load_state_dict(state)
+    if meta_raw is None:
+        return {}
+    return json.loads(bytes(meta_raw.tobytes()).decode("utf-8"))

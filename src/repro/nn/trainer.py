@@ -1,0 +1,161 @@
+"""Generic mini-batch training loop for graph regression models.
+
+The models in :mod:`repro.surrogate` and :mod:`repro.charlib` expose
+``forward_batch(batch) -> Tensor`` returning predictions aligned with
+``batch.y``. :class:`Trainer` shuffles graphs, batches them block-diagonally,
+runs Adam with gradient clipping, and tracks validation loss with optional
+early stopping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graph import batch_graphs
+from .loss import mse_loss
+from .optim import Adam, clip_grad_norm
+from .tensor import no_grad
+
+__all__ = ["TrainConfig", "TrainResult", "Trainer"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for :class:`Trainer`."""
+
+    epochs: int = 100
+    batch_size: int = 16
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    grad_clip: float = 5.0
+    early_stop_patience: int = 0      # 0 disables early stopping
+    shuffle: bool = True
+    seed: int = 0
+    verbose: bool = False
+    log_every: int = 10
+
+
+@dataclass
+class TrainResult:
+    """Training history and timing."""
+
+    train_losses: list = field(default_factory=list)
+    val_losses: list = field(default_factory=list)
+    best_val_loss: float = float("inf")
+    best_epoch: int = -1
+    wall_time_s: float = 0.0
+    epochs_run: int = 0
+
+
+class Trainer:
+    """Train a graph model by minimising a loss over mini-batches.
+
+    Parameters
+    ----------
+    model:
+        Module exposing ``forward_batch(batch) -> Tensor`` (or being callable
+        on a batch directly).
+    loss_fn:
+        ``(pred_tensor, target_array) -> scalar Tensor``; default MSE.
+    config:
+        :class:`TrainConfig` hyperparameters.
+    """
+
+    def __init__(self, model, loss_fn=mse_loss, config: TrainConfig | None = None):
+        self.model = model
+        self.loss_fn = loss_fn
+        self.config = config if config is not None else TrainConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr,
+                              weight_decay=self.config.weight_decay)
+
+    # ------------------------------------------------------------------
+    def _forward(self, batch):
+        if hasattr(self.model, "forward_batch"):
+            return self.model.forward_batch(batch)
+        return self.model(batch)
+
+    def _iter_batches(self, graphs, rng: np.random.Generator | None):
+        idx = np.arange(len(graphs))
+        if rng is not None and self.config.shuffle:
+            rng.shuffle(idx)
+        bs = self.config.batch_size
+        for start in range(0, len(idx), bs):
+            chunk = [graphs[i] for i in idx[start:start + bs]]
+            yield batch_graphs(chunk)
+
+    def evaluate(self, graphs) -> float:
+        """Mean loss over ``graphs`` without gradient tracking."""
+        if not graphs:
+            return float("nan")
+        self.model.eval()
+        total, count = 0.0, 0
+        with no_grad():
+            for batch in self._iter_batches(graphs, rng=None):
+                pred = self._forward(batch)
+                loss = self.loss_fn(pred, batch.y)
+                n = batch.num_graphs
+                total += loss.item() * n
+                count += n
+        self.model.train()
+        return total / count
+
+    def predict(self, graphs) -> np.ndarray:
+        """Concatenated predictions over ``graphs`` (inference mode)."""
+        outs = []
+        self.model.eval()
+        with no_grad():
+            for batch in self._iter_batches(graphs, rng=None):
+                outs.append(self._forward(batch).data)
+        self.model.train()
+        return np.concatenate(outs, axis=0)
+
+    # ------------------------------------------------------------------
+    def fit(self, train_graphs, val_graphs=None) -> TrainResult:
+        """Run the optimisation loop; returns the training history."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        result = TrainResult()
+        best_state = None
+        patience = 0
+        start = time.perf_counter()
+        for epoch in range(cfg.epochs):
+            epoch_loss, seen = 0.0, 0
+            for batch in self._iter_batches(train_graphs, rng):
+                self.optimizer.zero_grad()
+                pred = self._forward(batch)
+                loss = self.loss_fn(pred, batch.y)
+                loss.backward()
+                if cfg.grad_clip > 0:
+                    clip_grad_norm(self.optimizer.params, cfg.grad_clip)
+                self.optimizer.step()
+                epoch_loss += loss.item() * batch.num_graphs
+                seen += batch.num_graphs
+            train_loss = epoch_loss / max(seen, 1)
+            result.train_losses.append(train_loss)
+            result.epochs_run = epoch + 1
+
+            if val_graphs:
+                val_loss = self.evaluate(val_graphs)
+                result.val_losses.append(val_loss)
+                if val_loss < result.best_val_loss:
+                    result.best_val_loss = val_loss
+                    result.best_epoch = epoch
+                    best_state = self.model.state_dict()
+                    patience = 0
+                else:
+                    patience += 1
+                if cfg.early_stop_patience and patience >= cfg.early_stop_patience:
+                    break
+            if cfg.verbose and (epoch % cfg.log_every == 0 or
+                                epoch == cfg.epochs - 1):
+                msg = f"epoch {epoch:4d} train {train_loss:.3e}"
+                if val_graphs:
+                    msg += f" val {result.val_losses[-1]:.3e}"
+                print(msg)
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        result.wall_time_s = time.perf_counter() - start
+        return result

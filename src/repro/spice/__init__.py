@@ -1,0 +1,29 @@
+"""SPICE-class circuit simulator: MNA + Newton DC + BE/trap transient.
+
+Stands in for the commercial transistor-level SPICE the paper used to
+generate cell-characterization datasets. Devices: R, C, V/I sources and the
+unified-compact-model TFT (vectorised evaluation with complex-step
+derivatives).
+"""
+
+from .waveforms import DC, Pulse, PWL
+from .netlist import (Circuit, Resistor, Capacitor, VoltageSource,
+                      CurrentSource, TFT, GROUND)
+from .mna import CompiledCircuit, NewtonResult
+from .dc import OperatingPoint, dc_operating_point, dc_sweep
+from .transient import TransientResult, transient
+from .measure import (crossing_times, first_crossing, propagation_delay,
+                      transition_time, integrate_supply_energy,
+                      average_power, settles_to)
+
+__all__ = [
+    "DC", "Pulse", "PWL",
+    "Circuit", "Resistor", "Capacitor", "VoltageSource", "CurrentSource",
+    "TFT", "GROUND",
+    "CompiledCircuit", "NewtonResult",
+    "OperatingPoint", "dc_operating_point", "dc_sweep",
+    "TransientResult", "transient",
+    "crossing_times", "first_crossing", "propagation_delay",
+    "transition_time", "integrate_supply_energy", "average_power",
+    "settles_to",
+]

@@ -1,0 +1,103 @@
+"""DC analyses: operating point and sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mna import CompiledCircuit
+from .netlist import Circuit
+
+__all__ = ["OperatingPoint", "dc_operating_point", "dc_sweep"]
+
+
+@dataclass
+class OperatingPoint:
+    """Converged DC solution."""
+
+    voltages: dict            # node name -> volts
+    source_currents: dict     # vsource name -> amps (into + terminal)
+    converged: bool
+    x: np.ndarray
+    compiled: CompiledCircuit
+
+    def v(self, node: str) -> float:
+        if Circuit.is_ground(node):
+            return 0.0
+        return self.voltages[node]
+
+    def i(self, vsource: str) -> float:
+        return self.source_currents[vsource]
+
+
+def _package(compiled: CompiledCircuit, x, converged) -> OperatingPoint:
+    voltages = {name: float(x[i])
+                for i, name in enumerate(compiled.node_names)}
+    currents = {src.name: float(x[compiled.n_nodes + k])
+                for k, src in enumerate(compiled.vsources)}
+    return OperatingPoint(voltages=voltages, source_currents=currents,
+                          converged=converged, x=x, compiled=compiled)
+
+
+def dc_operating_point(circuit: Circuit | CompiledCircuit,
+                       x0: np.ndarray | None = None,
+                       t: float = 0.0) -> OperatingPoint:
+    """Find the DC operating point (sources evaluated at time ``t``).
+
+    Tries plain Newton first; on failure falls back to source stepping
+    (ramping all sources from 25 % to 100 %), which handles the bistable
+    startup of latches and flip-flops.
+    """
+    compiled = (circuit if isinstance(circuit, CompiledCircuit)
+                else CompiledCircuit(circuit))
+    x = np.zeros(compiled.size) if x0 is None else np.array(x0, dtype=float)
+    result = compiled.newton(x, t=t)
+    if not result.converged:
+        x = np.zeros(compiled.size)
+        for scale in (0.25, 0.5, 0.75, 1.0):
+            result = compiled.newton(x, t=t, source_scale=scale)
+            x = result.x
+    return _package(compiled, result.x, result.converged)
+
+
+def dc_sweep(circuit: Circuit, source_name: str, values,
+             record_nodes=None) -> dict:
+    """Sweep one voltage source; returns arrays per recorded node plus the
+    swept source's branch current.
+
+    The swept source's waveform is replaced per point; each solution warm
+    starts from the previous one.
+    """
+    from .waveforms import DC
+
+    compiled = CompiledCircuit(circuit)
+    src = None
+    for el in compiled.vsources:
+        if el.name == source_name:
+            src = el
+            break
+    if src is None:
+        raise KeyError(f"no voltage source named {source_name!r}")
+    values = np.asarray(values, dtype=np.float64)
+    record_nodes = list(record_nodes or compiled.node_names)
+    out = {node: np.zeros(len(values)) for node in record_nodes}
+    out["i(" + source_name + ")"] = np.zeros(len(values))
+    x = np.zeros(compiled.size)
+    original = src.waveform
+    try:
+        for k, val in enumerate(values):
+            src.waveform = DC(float(val))
+            result = compiled.newton(x)
+            if not result.converged:
+                for scale in (0.5, 1.0):
+                    result = compiled.newton(result.x, source_scale=scale)
+            x = result.x
+            for node in record_nodes:
+                out[node][k] = compiled.voltage(x, node)
+            out["i(" + source_name + ")"][k] = float(
+                x[compiled.vsource_index(source_name)])
+    finally:
+        src.waveform = original
+    out["sweep"] = values
+    return out

@@ -1,0 +1,110 @@
+"""Waveform measurements: crossings, delay, slew, energy, power.
+
+These implement the nine cell metrics' raw measurements used by
+:mod:`repro.charlib`: propagation delay (50 %–50 %), output slew
+(10 %–90 % transition time), and supply-energy integration for dynamic
+power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["crossing_times", "first_crossing", "propagation_delay",
+           "transition_time", "integrate_supply_energy", "average_power",
+           "settles_to"]
+
+
+def crossing_times(t: np.ndarray, v: np.ndarray, level: float,
+                   rising: bool | None = None) -> np.ndarray:
+    """All times where ``v`` crosses ``level`` (linear interpolation).
+
+    ``rising=True`` keeps upward crossings only, ``False`` downward,
+    ``None`` keeps both.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    below = v < level
+    change = below[:-1] != below[1:]
+    idx = np.flatnonzero(change)
+    out = []
+    for i in idx:
+        v0, v1 = v[i], v[i + 1]
+        if v1 == v0:
+            continue
+        is_rising = v1 > v0
+        if rising is not None and is_rising != rising:
+            continue
+        frac = (level - v0) / (v1 - v0)
+        out.append(t[i] + frac * (t[i + 1] - t[i]))
+    return np.asarray(out)
+
+
+def first_crossing(t, v, level, rising=None, after: float = 0.0) -> float:
+    """First crossing at or after ``after``; NaN if none."""
+    times = crossing_times(t, v, level, rising)
+    times = times[times >= after]
+    return float(times[0]) if len(times) else float("nan")
+
+
+def propagation_delay(t, v_in, v_out, vdd: float,
+                      in_rising: bool, out_rising: bool,
+                      after: float = 0.0) -> float:
+    """50 %-to-50 % propagation delay; NaN if either edge is missing."""
+    mid = vdd / 2.0
+    t_in = first_crossing(t, v_in, mid, rising=in_rising, after=after)
+    if np.isnan(t_in):
+        return float("nan")
+    t_out = first_crossing(t, v_out, mid, rising=out_rising, after=t_in)
+    if np.isnan(t_out):
+        return float("nan")
+    return t_out - t_in
+
+
+def transition_time(t, v, vdd: float, rising: bool, after: float = 0.0,
+                    low_frac: float = 0.1, high_frac: float = 0.9) -> float:
+    """Output slew: 10 %–90 % (default) transition time; NaN if missing."""
+    lo, hi = low_frac * vdd, high_frac * vdd
+    if rising:
+        t0 = first_crossing(t, v, lo, rising=True, after=after)
+        t1 = first_crossing(t, v, hi, rising=True, after=t0)
+    else:
+        t0 = first_crossing(t, v, hi, rising=False, after=after)
+        t1 = first_crossing(t, v, lo, rising=False, after=t0)
+    if np.isnan(t0) or np.isnan(t1):
+        return float("nan")
+    return t1 - t0
+
+
+def integrate_supply_energy(t, i_source, v_supply: float,
+                            t0: float = 0.0, t1: float | None = None) -> float:
+    """Energy delivered by a supply [J] over [t0, t1].
+
+    ``i_source`` is the MNA branch current *into the + terminal* of the
+    supply source; current drawn by the circuit makes it negative, so the
+    delivered energy is ``-vdd * integral(i) dt``.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    i = np.asarray(i_source, dtype=np.float64)
+    if t1 is None:
+        t1 = float(t[-1])
+    mask = (t >= t0) & (t <= t1)
+    if mask.sum() < 2:
+        return 0.0
+    return float(-v_supply * np.trapezoid(i[mask], t[mask]))
+
+
+def average_power(t, i_source, v_supply: float) -> float:
+    """Mean power delivered by a supply [W]."""
+    span = float(t[-1] - t[0])
+    if span <= 0:
+        return 0.0
+    return integrate_supply_energy(t, i_source, v_supply) / span
+
+
+def settles_to(t, v, target: float, tol: float, tail_frac: float = 0.1) -> bool:
+    """True if the waveform's final ``tail_frac`` stays within ``tol`` of
+    ``target`` (used by the setup/hold bisection to detect capture)."""
+    v = np.asarray(v, dtype=np.float64)
+    n_tail = max(int(len(v) * tail_frac), 1)
+    return bool(np.all(np.abs(v[-n_tail:] - target) <= tol))

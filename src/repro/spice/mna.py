@@ -1,0 +1,424 @@
+"""Modified nodal analysis: compiled system assembly + Newton solver.
+
+A :class:`CompiledCircuit` resolves node names to indices once and splits
+the system into a *linear* part (resistors, sources, capacitor companions —
+stamped as a constant matrix ``G`` and vector ``b``) and the *nonlinear*
+TFT part, evaluated for all devices at once with complex-step derivatives.
+Each Newton iteration is then::
+
+    f(x) = G x + b(t) + f_tft(x)        J(x) = G + J_tft(x)
+
+with ``J_tft`` accumulated via ``bincount`` on flattened indices — no
+per-element Python work in the hot loop.
+
+Unknown vector layout: ``x = [node voltages..., vsource branch currents...]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .netlist import (Capacitor, Circuit, CurrentSource, Resistor, TFT,
+                      VoltageSource)
+
+__all__ = ["CompiledCircuit", "NewtonResult"]
+
+_H = 1e-30      # complex-step size
+_GMIN = 1e-12   # conductance from every node to ground
+
+
+class _BatchedTFTs:
+    """Vectorised evaluation of all TFTs in a circuit.
+
+    Re-implements the unified compact model arithmetic of
+    :class:`repro.compact.tft.TFTModel` over arrays of per-device
+    parameters; results match per-device evaluation because the formulas
+    (and the complex-step trick) are identical.
+    """
+
+    def __init__(self, tfts: list):
+        self.n = len(tfts)
+        if self.n == 0:
+            return
+        get = lambda attr: np.array([getattr(t.params, attr) for t in tfts])
+        self.sign = np.where(
+            np.array([t.params.polarity for t in tfts]) == "n", 1.0, -1.0)
+        self.vth = get("vth") * self.sign          # mirrored to N-type
+        self.mu0 = get("mu0")
+        self.gamma = get("gamma")
+        self.ss = get("ss")
+        self.lambda_cl = get("lambda_cl")
+        self.cox = get("cox")
+        self.w = get("w")
+        self.l = get("l")
+        self.i_leak = get("i_leak")
+        self.alpha_sat = get("alpha_sat")
+        self.m_sat = get("m_sat")
+        self.cov = get("cov")
+        self.vss_eff = self.ss / np.log(10.0) * (self.gamma + 2.0)
+        self.k = (self.w / self.l) * self.mu0 * self.cox / (self.gamma + 2.0)
+
+    def _softplus(self, x, scale):
+        z = x / scale
+        re = np.real(z)
+        big = re > 30.0
+        small_val = np.log1p(np.exp(np.where(big, 0.0, z)))
+        big_val = z + np.log1p(np.exp(np.where(big, -z, 0.0)))
+        return scale * np.where(big, big_val, small_val)
+
+    def _forward(self, vgs, vds):
+        g2 = self.gamma + 2.0
+        veff = self._softplus(vgs - self.vth, self.vss_eff) + 1e-12
+        vdsat = self.alpha_sat * veff
+        ratio = vds / vdsat
+        vdeff = vds * (1.0 + ratio ** self.m_sat) ** (-1.0 / self.m_sat)
+        drift = self.k * (veff ** g2 - (veff - vdeff) ** g2)
+        return (drift * (1.0 + self.lambda_cl * vds)
+                + self.i_leak * np.tanh(vds / 0.025))
+
+    def ids(self, vgs, vds):
+        """Drain currents [A] for terminal voltages (device order)."""
+        vgs = self.sign * vgs
+        vds = self.sign * vds
+        swap = np.real(vds) < 0
+        vgs_eff = np.where(swap, vgs - vds, vgs)
+        vds_eff = np.where(swap, -vds, vds)
+        out = self._forward(vgs_eff, vds_eff)
+        return self.sign * np.where(swap, -out, out)
+
+    def ids_gm_gds(self, vgs, vds):
+        """Currents and complex-step derivatives in one stacked call.
+
+        Row 0 perturbs vgs, row 1 perturbs vds; the real parts agree, so a
+        single (2, n) evaluation yields ids, gm and gds together.
+        """
+        vgs2 = np.stack([vgs + 1j * _H, vgs.astype(complex)])
+        vds2 = np.stack([vds.astype(complex), vds + 1j * _H])
+        out = self.ids(vgs2, vds2)
+        i0 = np.real(out[0])
+        gm = np.imag(out[0]) / _H
+        gds = np.imag(out[1]) / _H
+        return i0, gm, gds
+
+    def capacitances(self, vgs, vds):
+        """Meyer (cgs, cgd) [F] per device."""
+        vgs = self.sign * np.asarray(vgs, dtype=np.float64)
+        vds = self.sign * np.asarray(vds, dtype=np.float64)
+        swap = vds < 0
+        vgs_f = np.where(swap, vgs - vds, vgs)
+        vds_f = np.where(swap, -vds, vds)
+        veff = self._softplus(vgs_f - self.vth, self.vss_eff) + 1e-12
+        vdsat = self.alpha_sat * veff
+        ratio = vds_f / vdsat
+        vdeff = vds_f * (1.0 + ratio ** self.m_sat) ** (-1.0 / self.m_sat)
+        s = vdeff / vdsat
+        cox_t = self.cox * self.w * self.l
+        vss = self.ss / np.log(10.0)
+        on = 1.0 / (1.0 + np.exp(-np.clip((vgs_f - self.vth) / (2 * vss),
+                                          -60, 60)))
+        cgs_i = cox_t * on * (0.5 + s / 6.0)
+        cgd_i = cox_t * on * 0.5 * (1.0 - s)
+        cov = self.cov * self.w
+        cgs = cgs_i + cov
+        cgd = cgd_i + cov
+        return (np.where(swap, cgd, cgs), np.where(swap, cgs, cgd))
+
+
+@dataclass
+class NewtonResult:
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual: float
+
+
+class _StampSet:
+    """Accumulates (row, col, val) conductance triplets and constant
+    current injections, then bakes them into dense G and b arrays."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.rows: list = []
+        self.cols: list = []
+        self.vals: list = []
+        self.b = np.zeros(size)
+
+    def conductance(self, a: np.ndarray, b_idx: np.ndarray, g: np.ndarray):
+        """Two-terminal conductance stamps (vectorised, ground-aware)."""
+        for rows, cols, sign in ((a, a, 1.0), (a, b_idx, -1.0),
+                                 (b_idx, b_idx, 1.0), (b_idx, a, -1.0)):
+            mask = (rows >= 0) & (cols >= 0)
+            if mask.any():
+                self.rows.append(rows[mask])
+                self.cols.append(cols[mask])
+                self.vals.append(np.broadcast_to(g, a.shape)[mask] * sign)
+
+    def current(self, nodes: np.ndarray, i: np.ndarray):
+        """Constant current injections (into f)."""
+        mask = nodes >= 0
+        np.add.at(self.b, nodes[mask], np.broadcast_to(i, nodes.shape)[mask])
+
+    def entry(self, r: int, c: int, v: float):
+        self.rows.append(np.array([r], dtype=np.intp))
+        self.cols.append(np.array([c], dtype=np.intp))
+        self.vals.append(np.array([v]))
+
+    def bake(self) -> np.ndarray:
+        G = np.zeros((self.size, self.size))
+        if self.rows:
+            rows = np.concatenate(self.rows)
+            cols = np.concatenate(self.cols)
+            vals = np.concatenate(self.vals)
+            flat = rows * self.size + cols
+            G = np.bincount(flat, weights=vals,
+                            minlength=self.size * self.size).reshape(
+                                self.size, self.size)
+        return G
+
+
+class CompiledCircuit:
+    """Index-resolved circuit ready for DC / transient analysis."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.node_names = circuit.nodes()
+        self._node_idx = {name: i for i, name in enumerate(self.node_names)}
+        self.n_nodes = len(self.node_names)
+        self.vsources = circuit.voltage_sources()
+        self.n_vsrc = len(self.vsources)
+        self.size = self.n_nodes + self.n_vsrc
+
+        def idx(node):
+            return -1 if Circuit.is_ground(node) else self._node_idx[node]
+
+        rs = [e for e in circuit.elements if isinstance(e, Resistor)]
+        self._r_a = np.array([idx(e.a) for e in rs], dtype=np.intp)
+        self._r_b = np.array([idx(e.b) for e in rs], dtype=np.intp)
+        self._r_g = np.array([1.0 / e.r for e in rs])
+
+        caps = [e for e in circuit.elements if isinstance(e, Capacitor)]
+        self.caps = caps
+        self._c_a = np.array([idx(e.a) for e in caps], dtype=np.intp)
+        self._c_b = np.array([idx(e.b) for e in caps], dtype=np.intp)
+        self._c_val = np.array([e.c for e in caps])
+
+        isrcs = [e for e in circuit.elements if isinstance(e, CurrentSource)]
+        self.isources = isrcs
+        self._i_p = np.array([idx(e.pos) for e in isrcs], dtype=np.intp)
+        self._i_n = np.array([idx(e.neg) for e in isrcs], dtype=np.intp)
+
+        self._v_p = np.array([idx(e.pos) for e in self.vsources],
+                             dtype=np.intp)
+        self._v_n = np.array([idx(e.neg) for e in self.vsources],
+                             dtype=np.intp)
+
+        tfts = circuit.tfts()
+        self.tfts = tfts
+        self.batched = _BatchedTFTs(tfts)
+        self._t_d = np.array([idx(e.drain) for e in tfts], dtype=np.intp)
+        self._t_g = np.array([idx(e.gate) for e in tfts], dtype=np.intp)
+        self._t_s = np.array([idx(e.source) for e in tfts], dtype=np.intp)
+
+        self._g_static = self._build_static()
+        self._tft_jac_index = self._build_tft_jac_index()
+        self._cap_stamp = self._pair_stamp_index(self._c_a, self._c_b)
+        self._tft_gs_stamp = self._pair_stamp_index(self._t_g, self._t_s)
+        self._tft_gd_stamp = self._pair_stamp_index(self._t_g, self._t_d)
+
+    # ------------------------------------------------------------------
+    def _build_static(self) -> np.ndarray:
+        """Constant conductance matrix: gmin + resistors + vsource rows."""
+        st = _StampSet(self.size)
+        if len(self._r_g):
+            st.conductance(self._r_a, self._r_b, self._r_g)
+        for k in range(self.n_vsrc):
+            br = self.n_nodes + k
+            p, q = self._v_p[k], self._v_n[k]
+            if p >= 0:
+                st.entry(p, br, 1.0)
+                st.entry(br, p, 1.0)
+            if q >= 0:
+                st.entry(q, br, -1.0)
+                st.entry(br, q, -1.0)
+        G = st.bake()
+        G[np.arange(self.n_nodes), np.arange(self.n_nodes)] += _GMIN
+        return G
+
+    def _build_tft_jac_index(self):
+        """Flattened (row*size+col) indices for the 6 TFT Jacobian entries
+        per device that touch non-ground unknowns, plus masks."""
+        if self.batched.n == 0:
+            return None
+        entries = []
+        for rows, row_sign in ((self._t_d, 1.0), (self._t_s, -1.0)):
+            for cols, which in ((self._t_d, "gds"), (self._t_g, "gm"),
+                                (self._t_s, "gmgds")):
+                mask = (rows >= 0) & (cols >= 0)
+                flat = np.where(mask, rows * self.size + cols, 0)
+                entries.append((flat, mask, row_sign, which))
+        return entries
+
+    def _pair_stamp_index(self, a: np.ndarray, b: np.ndarray):
+        """Precompute flattened Jacobian indices and sign masks for
+        two-terminal conductance stamps between index arrays a and b."""
+        if len(a) == 0:
+            return None
+        flats, signs, masks = [], [], []
+        for rows, cols, sign in ((a, a, 1.0), (a, b, -1.0),
+                                 (b, b, 1.0), (b, a, -1.0)):
+            mask = (rows >= 0) & (cols >= 0)
+            flats.append(np.where(mask, rows * self.size + cols, 0))
+            signs.append(sign)
+            masks.append(mask)
+        a_mask, b_mask = a >= 0, b >= 0
+        return (flats, signs, masks, a, b, a_mask, b_mask)
+
+    def _apply_pair_stamp(self, stamp, g, ieq, G_flat, b):
+        """Accumulate conductance + companion-current stamps in place."""
+        flats, signs, masks, a, b_idx, a_mask, b_mask = stamp
+        for flat, sign, mask in zip(flats, signs, masks):
+            G_flat += np.bincount(flat, weights=np.where(mask, g * sign, 0.0),
+                                  minlength=self.size * self.size)
+        if ieq is not None:
+            np.add.at(b, a[a_mask], ieq[a_mask])
+            np.add.at(b, b_idx[b_mask], -ieq[b_mask])
+
+    def step_system(self, t: float, cap_geq=None, cap_ieq=None,
+                    tft_caps=None) -> tuple:
+        """Fast (G, b) assembly for one transient step (precomputed
+        indices, no Python-level element loops)."""
+        G_flat = np.zeros(self.size * self.size)
+        b = np.zeros(self.size)
+        if cap_geq is not None and self._cap_stamp is not None:
+            self._apply_pair_stamp(self._cap_stamp, cap_geq, cap_ieq,
+                                   G_flat, b)
+        if tft_caps is not None and self._tft_gs_stamp is not None:
+            geq_gs, ieq_gs, geq_gd, ieq_gd = tft_caps
+            self._apply_pair_stamp(self._tft_gs_stamp, geq_gs, ieq_gs,
+                                   G_flat, b)
+            self._apply_pair_stamp(self._tft_gd_stamp, geq_gd, ieq_gd,
+                                   G_flat, b)
+        for k, src in enumerate(self.isources):
+            i = src.value(t)
+            if self._i_p[k] >= 0:
+                b[self._i_p[k]] += i
+            if self._i_n[k] >= 0:
+                b[self._i_n[k]] -= i
+        for k, src in enumerate(self.vsources):
+            b[self.n_nodes + k] -= src.value(t)
+        return (G_flat.reshape(self.size, self.size) + self._g_static, b)
+
+    # ------------------------------------------------------------------
+    def node_index(self, name: str) -> int:
+        """Index of a node in the unknown vector (-1 for ground)."""
+        if Circuit.is_ground(name):
+            return -1
+        return self._node_idx[name]
+
+    def vsource_index(self, name: str) -> int:
+        """Unknown-vector index of a source's branch current."""
+        for k, src in enumerate(self.vsources):
+            if src.name == name:
+                return self.n_nodes + k
+        raise KeyError(f"no voltage source named {name!r}")
+
+    def voltage(self, x: np.ndarray, name: str) -> float:
+        i = self.node_index(name)
+        return 0.0 if i < 0 else float(x[i])
+
+    def _v_of(self, x, idx_arr):
+        """Voltages at (possibly grounded) element terminals."""
+        v = np.zeros(len(idx_arr))
+        mask = idx_arr >= 0
+        v[mask] = x[idx_arr[mask]]
+        return v
+
+    # ------------------------------------------------------------------
+    def linear_system(self, t: float, cap_geq=None, cap_ieq=None,
+                      tft_caps=None, source_scale: float = 1.0):
+        """(G, b) for the linear part at time ``t``.
+
+        ``cap_geq``/``cap_ieq`` are explicit-capacitor companion terms;
+        ``tft_caps = (geq_gs, ieq_gs, geq_gd, ieq_gd)`` carries the Meyer
+        capacitance companions. All None for DC.
+        """
+        st = _StampSet(self.size)
+        if cap_geq is not None and len(self._c_val):
+            st.conductance(self._c_a, self._c_b, cap_geq)
+            st.current(self._c_a, cap_ieq)
+            st.current(self._c_b, -cap_ieq)
+        if tft_caps is not None and self.batched.n:
+            geq_gs, ieq_gs, geq_gd, ieq_gd = tft_caps
+            st.conductance(self._t_g, self._t_s, geq_gs)
+            st.current(self._t_g, ieq_gs)
+            st.current(self._t_s, -ieq_gs)
+            st.conductance(self._t_g, self._t_d, geq_gd)
+            st.current(self._t_g, ieq_gd)
+            st.current(self._t_d, -ieq_gd)
+        for k, src in enumerate(self.isources):
+            i = src.value(t) * source_scale
+            if self._i_p[k] >= 0:
+                st.b[self._i_p[k]] += i
+            if self._i_n[k] >= 0:
+                st.b[self._i_n[k]] -= i
+        for k, src in enumerate(self.vsources):
+            st.b[self.n_nodes + k] -= src.value(t) * source_scale
+        G = st.bake() + self._g_static
+        return G, st.b
+
+    def tft_contributions(self, x: np.ndarray):
+        """(f_tft, J_tft) for the current state."""
+        f = np.zeros(self.size)
+        J = np.zeros(self.size * self.size)
+        if self.batched.n == 0:
+            return f, J.reshape(self.size, self.size)
+        vd = self._v_of(x, self._t_d)
+        vg = self._v_of(x, self._t_g)
+        vs = self._v_of(x, self._t_s)
+        i0, gm, gds = self.batched.ids_gm_gds(vg - vs, vd - vs)
+        for sign, nodes in ((1.0, self._t_d), (-1.0, self._t_s)):
+            mask = nodes >= 0
+            np.add.at(f, nodes[mask], sign * i0[mask])
+        vals = {"gds": gds, "gm": gm, "gmgds": -(gm + gds)}
+        for flat, mask, row_sign, which in self._tft_jac_index:
+            contrib = np.where(mask, vals[which] * row_sign, 0.0)
+            J += np.bincount(flat, weights=contrib,
+                             minlength=self.size * self.size)
+        return f, J.reshape(self.size, self.size)
+
+    # ------------------------------------------------------------------
+    def newton(self, x0: np.ndarray, t: float = 0.0,
+               cap_geq=None, cap_ieq=None, tft_caps=None,
+               source_scale: float = 1.0, max_iter: int = 60,
+               vtol: float = 1e-9, itol: float = 1e-12,
+               clamp: float = 1.0,
+               linear: tuple | None = None) -> NewtonResult:
+        """Damped Newton iteration from ``x0``.
+
+        ``linear`` optionally carries a precomputed ``(G, b)`` pair (the
+        transient loop builds it once per step).
+        """
+        if linear is None:
+            G, b = self.linear_system(t, cap_geq, cap_ieq, tft_caps,
+                                      source_scale)
+        else:
+            G, b = linear
+        x = np.array(x0, dtype=np.float64)
+        res = np.inf
+        for it in range(1, max_iter + 1):
+            f_tft, J_tft = self.tft_contributions(x)
+            f = G @ x + b + f_tft
+            res = float(np.abs(f).max())
+            try:
+                delta = np.linalg.solve(G + J_tft, -f)
+            except np.linalg.LinAlgError:
+                delta = np.linalg.lstsq(G + J_tft, -f, rcond=None)[0]
+            step = np.clip(delta, -clamp, clamp)
+            x += step
+            if (np.abs(step).max() < vtol) and res < max(itol, 1e-9):
+                return NewtonResult(x, True, it, res)
+            if np.abs(step).max() < vtol * 1e-3:
+                break
+        return NewtonResult(x, res < 1e-6, max_iter, res)

@@ -1,0 +1,159 @@
+"""Circuit netlist container for the MNA simulator.
+
+A :class:`Circuit` is a bag of elements connected at named nodes; node
+``"0"`` (alias ``"gnd"``) is ground. Elements are dataclasses carrying
+terminal node names; the solver resolves names to indices at analysis time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compact.tft import TFTParams
+from .waveforms import DC
+
+__all__ = ["Circuit", "Resistor", "Capacitor", "VoltageSource",
+           "CurrentSource", "TFT", "GROUND"]
+
+GROUND = "0"
+_GROUND_ALIASES = {"0", "gnd", "GND", "vss!"}
+
+
+@dataclass
+class Resistor:
+    name: str
+    a: str
+    b: str
+    r: float
+
+    def __post_init__(self):
+        if self.r <= 0:
+            raise ValueError(f"resistor {self.name}: r must be positive")
+
+
+@dataclass
+class Capacitor:
+    name: str
+    a: str
+    b: str
+    c: float
+
+    def __post_init__(self):
+        if self.c < 0:
+            raise ValueError(f"capacitor {self.name}: c must be >= 0")
+
+
+@dataclass
+class VoltageSource:
+    """Ideal voltage source; ``waveform(t)`` gives the value at time t."""
+
+    name: str
+    pos: str
+    neg: str
+    waveform: object = field(default_factory=lambda: DC(0.0))
+
+    def value(self, t: float) -> float:
+        return float(self.waveform(t))
+
+
+@dataclass
+class CurrentSource:
+    """Ideal current source from ``pos`` to ``neg`` through the source."""
+
+    name: str
+    pos: str
+    neg: str
+    waveform: object = field(default_factory=lambda: DC(0.0))
+
+    def value(self, t: float) -> float:
+        return float(self.waveform(t))
+
+
+@dataclass
+class TFT:
+    """Thin-film transistor bound to the unified compact model."""
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    params: TFTParams
+
+
+class Circuit:
+    """A named collection of circuit elements."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.elements: list = []
+        self._names: set = set()
+
+    # -- element addition ------------------------------------------------
+    def _check_name(self, name: str):
+        if name in self._names:
+            raise ValueError(f"duplicate element name {name!r}")
+        self._names.add(name)
+
+    def add(self, element) -> "Circuit":
+        self._check_name(element.name)
+        self.elements.append(element)
+        return self
+
+    def resistor(self, name, a, b, r) -> "Circuit":
+        return self.add(Resistor(name, a, b, r))
+
+    def capacitor(self, name, a, b, c) -> "Circuit":
+        return self.add(Capacitor(name, a, b, c))
+
+    def vsource(self, name, pos, neg, waveform) -> "Circuit":
+        if not callable(waveform):
+            waveform = DC(float(waveform))
+        return self.add(VoltageSource(name, pos, neg, waveform))
+
+    def isource(self, name, pos, neg, waveform) -> "Circuit":
+        if not callable(waveform):
+            waveform = DC(float(waveform))
+        return self.add(CurrentSource(name, pos, neg, waveform))
+
+    def tft(self, name, drain, gate, source, params: TFTParams) -> "Circuit":
+        return self.add(TFT(name, drain, gate, source, params))
+
+    # -- node bookkeeping ---------------------------------------------------
+    @staticmethod
+    def is_ground(node: str) -> bool:
+        return node in _GROUND_ALIASES
+
+    def nodes(self) -> list:
+        """All non-ground node names in first-use order."""
+        seen, order = set(), []
+
+        def visit(node):
+            if not self.is_ground(node) and node not in seen:
+                seen.add(node)
+                order.append(node)
+
+        for el in self.elements:
+            if isinstance(el, (Resistor, Capacitor)):
+                visit(el.a)
+                visit(el.b)
+            elif isinstance(el, (VoltageSource, CurrentSource)):
+                visit(el.pos)
+                visit(el.neg)
+            elif isinstance(el, TFT):
+                visit(el.drain)
+                visit(el.gate)
+                visit(el.source)
+        return order
+
+    def voltage_sources(self) -> list:
+        return [el for el in self.elements if isinstance(el, VoltageSource)]
+
+    def tfts(self) -> list:
+        return [el for el in self.elements if isinstance(el, TFT)]
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.title!r}, {len(self.elements)} elements, "
+                f"{len(self.nodes())} nodes)")

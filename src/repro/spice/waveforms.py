@@ -1,0 +1,72 @@
+"""Source waveforms: DC, pulse, and piecewise-linear."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DC", "Pulse", "PWL"]
+
+
+@dataclass(frozen=True)
+class DC:
+    """Constant source."""
+
+    value: float
+
+    def __call__(self, t: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """SPICE-style pulse: v1 -> v2 with linear edges.
+
+    Attributes mirror the SPICE PULSE card: initial value ``v1``, pulsed
+    value ``v2``, delay ``td``, rise ``tr``, fall ``tf``, width ``pw``,
+    ``period`` (0 disables repetition).
+    """
+
+    v1: float
+    v2: float
+    td: float = 0.0
+    tr: float = 1e-9
+    tf: float = 1e-9
+    pw: float = 1e-6
+    period: float = 0.0
+
+    def __call__(self, t: float) -> float:
+        if t < self.td:
+            return self.v1
+        tt = t - self.td
+        if self.period > 0:
+            tt = tt % self.period
+        if tt < self.tr:
+            return self.v1 + (self.v2 - self.v1) * tt / self.tr
+        tt -= self.tr
+        if tt < self.pw:
+            return self.v2
+        tt -= self.pw
+        if tt < self.tf:
+            return self.v2 + (self.v1 - self.v2) * tt / self.tf
+        return self.v1
+
+
+@dataclass(frozen=True)
+class PWL:
+    """Piecewise-linear source defined by (time, value) breakpoints."""
+
+    times: tuple
+    values: tuple
+
+    def __post_init__(self):
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have equal length")
+        if len(self.times) < 1:
+            raise ValueError("PWL needs at least one breakpoint")
+        if any(b < a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("times must be non-decreasing")
+
+    def __call__(self, t: float) -> float:
+        return float(np.interp(t, self.times, self.values))

@@ -1,0 +1,15 @@
+"""The fast STCO framework: RL-driven technology exploration (paper core)."""
+
+from .space import DesignSpace, default_space
+from .env import PPAWeights, STCOEnvironment, EvaluationRecord
+from .agent import QLearningAgent, RandomSearchAgent, GridSearchAgent
+from .runtime import RuntimeLedger, IterationTiming
+from .framework import STCOOutcome, FastSTCO, TraditionalSTCO
+
+__all__ = [
+    "DesignSpace", "default_space",
+    "PPAWeights", "STCOEnvironment", "EvaluationRecord",
+    "QLearningAgent", "RandomSearchAgent", "GridSearchAgent",
+    "RuntimeLedger", "IterationTiming",
+    "STCOOutcome", "FastSTCO", "TraditionalSTCO",
+]

@@ -1,0 +1,113 @@
+"""Design-space exploration agents.
+
+The paper "employs a reinforcement learning (RL) agent to explore the
+design space across diverse benchmarks"; no further details are given, so
+the canonical choice for a small discrete knob space is tabular Q-learning
+with epsilon-greedy local moves. Random and exhaustive searches are
+provided as baselines for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .env import STCOEnvironment
+
+__all__ = ["QLearningAgent", "RandomSearchAgent", "GridSearchAgent"]
+
+
+@dataclass
+class _ExploreResult:
+    best_reward: float
+    best_action: int
+    rewards: list
+    evaluations: int
+
+
+class QLearningAgent:
+    """Tabular Q-learning over the design-space graph.
+
+    States are grid points; actions move to a neighbouring point (or stay).
+    The reward of a state is the scalarised PPA of its corner; Q-values
+    propagate which regions of the space are promising, so the walk
+    concentrates evaluations near optima while epsilon keeps exploring.
+    """
+
+    def __init__(self, env: STCOEnvironment, epsilon: float = 0.3,
+                 alpha: float = 0.5, gamma: float = 0.8,
+                 seed: int = 0):
+        self.env = env
+        self.epsilon = epsilon
+        self.alpha = alpha
+        self.gamma = gamma
+        self.rng = make_rng(seed)
+        n = env.space.size
+        self.q = np.zeros(n)
+
+    def run(self, iterations: int = 15) -> _ExploreResult:
+        env = self.env
+        state = env.space.random_index(self.rng)
+        rewards = []
+        best_r, best_a = -np.inf, state
+        for _ in range(iterations):
+            record = env.evaluate(state)
+            r = record.reward
+            rewards.append(r)
+            if r > best_r:
+                best_r, best_a = r, state
+            neigh = env.space.neighbors(state) or [state]
+            # TD update toward the best neighbouring value.
+            target = r + self.gamma * max(self.q[n] for n in neigh)
+            self.q[state] += self.alpha * (target - self.q[state])
+            if self.rng.random() < self.epsilon:
+                state = int(self.rng.choice(neigh))
+            else:
+                state = int(max(neigh, key=lambda n: self.q[n]))
+        return _ExploreResult(best_reward=best_r, best_action=best_a,
+                              rewards=rewards,
+                              evaluations=len(env._cache))
+
+
+class RandomSearchAgent:
+    """Uniform random sampling baseline."""
+
+    def __init__(self, env: STCOEnvironment, seed: int = 0):
+        self.env = env
+        self.rng = make_rng(seed)
+
+    def run(self, iterations: int = 15) -> _ExploreResult:
+        rewards = []
+        best_r, best_a = -np.inf, 0
+        for _ in range(iterations):
+            action = self.env.space.random_index(self.rng)
+            record = self.env.evaluate(action)
+            rewards.append(record.reward)
+            if record.reward > best_r:
+                best_r, best_a = record.reward, action
+        return _ExploreResult(best_reward=best_r, best_action=best_a,
+                              rewards=rewards,
+                              evaluations=len(self.env._cache))
+
+
+class GridSearchAgent:
+    """Exhaustive sweep (ground truth for small spaces)."""
+
+    def __init__(self, env: STCOEnvironment):
+        self.env = env
+
+    def run(self, iterations: int | None = None) -> _ExploreResult:
+        n = self.env.space.size
+        count = n if iterations is None else min(iterations, n)
+        rewards = []
+        best_r, best_a = -np.inf, 0
+        for action in range(count):
+            record = self.env.evaluate(action)
+            rewards.append(record.reward)
+            if record.reward > best_r:
+                best_r, best_a = record.reward, action
+        return _ExploreResult(best_reward=best_r, best_action=best_a,
+                              rewards=rewards,
+                              evaluations=len(self.env._cache))

@@ -1,0 +1,102 @@
+"""STCO environment: technology knobs in, PPA reward out.
+
+One environment step is one STCO iteration: pick a technology corner,
+regenerate the cell library there (GNN fast path or SPICE traditional
+path), run the system-evaluation flow on the target design, and score the
+resulting power / performance / area.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..charlib.corners import Corner
+from ..charlib.liberty import Library
+from ..eda.flow import SystemResult, evaluate_system
+from ..eda.netlist import GateNetlist
+from .space import DesignSpace
+
+__all__ = ["PPAWeights", "STCOEnvironment", "EvaluationRecord"]
+
+
+@dataclass(frozen=True)
+class PPAWeights:
+    """Scalarisation of the PPA objectives (log-domain weighted sum)."""
+
+    power: float = 1.0
+    performance: float = 1.0
+    area: float = 0.5
+
+    def score(self, result: SystemResult) -> float:
+        """Higher is better: reward performance, penalise power and area."""
+        perf = np.log10(max(result.fmax_hz, 1.0))
+        pwr = np.log10(max(result.total_power_w, 1e-12))
+        area = np.log10(max(result.area_um2, 1.0))
+        return float(self.performance * perf - self.power * pwr
+                     - self.area * area)
+
+
+@dataclass
+class EvaluationRecord:
+    """One STCO iteration's outcome."""
+
+    corner: Corner
+    result: SystemResult
+    reward: float
+    library_runtime_s: float
+    flow_runtime_s: float
+
+
+class STCOEnvironment:
+    """Wraps (library builder + design + flow) as an RL environment.
+
+    Parameters
+    ----------
+    netlist:
+        Target design (one of the ten benchmarks, or any netlist).
+    library_builder:
+        Object with ``build(corner) -> Library`` and ``last_runtime_s``
+        (either :class:`~repro.charlib.fastchar.GNNLibraryBuilder` or
+        :class:`~repro.charlib.fastchar.SpiceLibraryBuilder`).
+    space:
+        Discrete exploration grid.
+    weights:
+        PPA scalarisation.
+    """
+
+    def __init__(self, netlist: GateNetlist, library_builder,
+                 space: DesignSpace, weights: PPAWeights | None = None):
+        self.netlist = netlist
+        self.builder = library_builder
+        self.space = space
+        self.weights = weights if weights is not None else PPAWeights()
+        self.history: list[EvaluationRecord] = []
+        self._cache: dict = {}
+
+    def evaluate(self, action: int) -> EvaluationRecord:
+        """Evaluate design-space point ``action`` (cached per corner)."""
+        corner = self.space.point(action)
+        key = corner.key()
+        if key in self._cache:
+            return self._cache[key]
+        library = self.builder.build(corner)
+        lib_rt = getattr(self.builder, "last_runtime_s", 0.0)
+        t0 = time.perf_counter()
+        result = evaluate_system(self.netlist, library)
+        flow_rt = time.perf_counter() - t0
+        reward = self.weights.score(result)
+        record = EvaluationRecord(corner=corner, result=result,
+                                  reward=reward,
+                                  library_runtime_s=lib_rt,
+                                  flow_runtime_s=flow_rt)
+        self._cache[key] = record
+        self.history.append(record)
+        return record
+
+    def best(self) -> EvaluationRecord | None:
+        if not self.history:
+            return None
+        return max(self.history, key=lambda r: r.reward)

@@ -1,0 +1,105 @@
+"""FastSTCO: the paper's framework, end to end.
+
+``FastSTCO`` runs RL-driven technology exploration using the GNN-fast
+technology level (surrogate TCAD + GNN characterization);
+``TraditionalSTCO`` is the baseline using the full physics solvers. Both
+share the system-evaluation flow, mirroring the paper's Table I setup
+where system evaluation is common to both rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..charlib.dataset import CharDataset, DEFAULT_CI_CELLS
+from ..charlib.fastchar import GNNLibraryBuilder, SpiceLibraryBuilder
+from ..charlib.characterizer import CharConfig
+from ..charlib.model import CellCharGCN
+from ..eda.netlist import GateNetlist
+from .agent import QLearningAgent
+from .env import PPAWeights, STCOEnvironment
+from .runtime import IterationTiming, RuntimeLedger
+from .space import DesignSpace, default_space
+
+__all__ = ["STCOOutcome", "FastSTCO", "TraditionalSTCO"]
+
+
+@dataclass
+class STCOOutcome:
+    """Result of one STCO campaign on one design."""
+
+    design: str
+    best_corner: tuple
+    best_reward: float
+    best_ppa: dict
+    iterations: int
+    evaluations: int
+    total_runtime_s: float
+    mean_iteration_s: float
+    history_rewards: list = field(default_factory=list)
+
+
+class _CampaignBase:
+    def __init__(self, netlist: GateNetlist, builder,
+                 space: DesignSpace | None = None,
+                 weights: PPAWeights | None = None,
+                 agent_seed: int = 0):
+        self.netlist = netlist
+        self.builder = builder
+        self.space = space if space is not None else default_space()
+        self.env = STCOEnvironment(netlist, builder, self.space, weights)
+        self.agent = QLearningAgent(self.env, seed=agent_seed)
+        self.ledger = RuntimeLedger()
+
+    def run(self, iterations: int = 12) -> STCOOutcome:
+        start = time.perf_counter()
+        explore = self.agent.run(iterations)
+        total = time.perf_counter() - start
+        best = self.env.best()
+        return STCOOutcome(
+            design=self.netlist.name,
+            best_corner=best.corner.key(),
+            best_reward=best.reward,
+            best_ppa=best.result.ppa(),
+            iterations=iterations,
+            evaluations=explore.evaluations,
+            total_runtime_s=total,
+            mean_iteration_s=total / max(iterations, 1),
+            history_rewards=explore.rewards)
+
+
+class FastSTCO(_CampaignBase):
+    """GNN-accelerated STCO (the paper's framework).
+
+    Parameters
+    ----------
+    netlist:
+        Target design.
+    model, dataset:
+        Trained characterization GNN and its dataset (for normalisers).
+    cells:
+        Library cell subset to build per corner.
+    """
+
+    def __init__(self, netlist: GateNetlist, model: CellCharGCN,
+                 dataset: CharDataset, cells=DEFAULT_CI_CELLS,
+                 char_config: CharConfig | None = None,
+                 space: DesignSpace | None = None,
+                 weights: PPAWeights | None = None, agent_seed: int = 0):
+        builder = GNNLibraryBuilder(model, dataset, cells=cells,
+                                    config=char_config)
+        super().__init__(netlist, builder, space, weights, agent_seed)
+
+
+class TraditionalSTCO(_CampaignBase):
+    """Baseline STCO using full SPICE characterization per corner."""
+
+    def __init__(self, netlist: GateNetlist, technology: str = "ltps",
+                 cells=DEFAULT_CI_CELLS,
+                 char_config: CharConfig | None = None,
+                 space: DesignSpace | None = None,
+                 weights: PPAWeights | None = None, agent_seed: int = 0):
+        builder = SpiceLibraryBuilder(technology, cells=cells,
+                                      config=char_config)
+        super().__init__(netlist, builder, space, weights, agent_seed)

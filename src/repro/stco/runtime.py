@@ -1,0 +1,67 @@
+"""Dual runtime ledger: paper-calibrated and substrate-measured.
+
+Table I compares wall-clock of commercial tools against the GNN framework.
+This ledger carries both views:
+
+* **calibrated** — the paper's published constants
+  (:class:`~repro.eda.cost_model.PaperCosts`), used to regenerate Table I
+  exactly;
+* **measured** — wall-clock actually spent by this library's slow path
+  (SPICE characterization, full Poisson solves) vs fast path (GNN
+  inference) on this machine, demonstrating the same speedup structure
+  end-to-end on real code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..eda.cost_model import PaperCosts, table1_row
+
+__all__ = ["RuntimeLedger", "IterationTiming"]
+
+
+@dataclass
+class IterationTiming:
+    """Technology + system times of one STCO iteration [s]."""
+
+    tcad_s: float = 0.0
+    charlib_s: float = 0.0
+    setup_s: float = 0.0
+    system_eval_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.tcad_s + self.charlib_s + self.setup_s \
+            + self.system_eval_s
+
+
+@dataclass
+class RuntimeLedger:
+    """Accumulates measured timings and renders both Table I variants."""
+
+    costs: PaperCosts = field(default_factory=PaperCosts)
+    measured: dict = field(default_factory=dict)   # benchmark -> IterationTiming (fast path)
+    measured_slow: dict = field(default_factory=dict)  # benchmark -> IterationTiming
+
+    def record(self, benchmark: str, timing: IterationTiming,
+               slow_path: bool = False) -> None:
+        target = self.measured_slow if slow_path else self.measured
+        target[benchmark] = timing
+
+    # ------------------------------------------------------------------
+    def calibrated_row(self, benchmark: str) -> dict:
+        """Table I row from the paper's constants."""
+        return table1_row(benchmark, costs=self.costs)
+
+    def measured_row(self, benchmark: str) -> dict | None:
+        """Speedup of fast vs slow path measured on this substrate."""
+        fast = self.measured.get(benchmark)
+        slow = self.measured_slow.get(benchmark)
+        if fast is None or slow is None:
+            return None
+        return {"benchmark": benchmark,
+                "system_eval_s": fast.system_eval_s,
+                "traditional_s": slow.total_s,
+                "ours_s": fast.total_s,
+                "speedup": slow.total_s / max(fast.total_s, 1e-12)}

@@ -1,0 +1,67 @@
+"""Technology design space for STCO exploration.
+
+The paper's framework explores technology knobs — the same three the cell
+characterization varies: supply voltage VDD, threshold voltage Vth, and
+gate unit capacitance Cox — searching for the best PPA at the system
+level. The space is discretised so tabular RL applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from ..charlib.corners import Corner
+
+__all__ = ["DesignSpace", "default_space"]
+
+
+@dataclass
+class DesignSpace:
+    """Discrete grid over (vdd_scale, vth_shift, cox_scale)."""
+
+    vdd_scales: tuple = (0.8, 0.9, 1.0, 1.1, 1.2)
+    vth_shifts: tuple = (-0.1, 0.0, 0.1)
+    cox_scales: tuple = (0.8, 1.0, 1.2)
+
+    def __post_init__(self):
+        self._points = [Corner(v, t, c) for v, t, c in product(
+            self.vdd_scales, self.vth_shifts, self.cox_scales)]
+
+    @property
+    def size(self) -> int:
+        return len(self._points)
+
+    def point(self, index: int) -> Corner:
+        return self._points[index]
+
+    def index_of(self, corner: Corner) -> int:
+        return self._points.index(corner)
+
+    def points(self) -> list:
+        return list(self._points)
+
+    def neighbors(self, index: int) -> list:
+        """Indices reachable by one step along any axis."""
+        corner = self._points[index]
+        out = []
+        axes = (self.vdd_scales, self.vth_shifts, self.cox_scales)
+        values = (corner.vdd_scale, corner.vth_shift, corner.cox_scale)
+        for axis_i, (axis, value) in enumerate(zip(axes, values)):
+            k = axis.index(value)
+            for dk in (-1, 1):
+                if 0 <= k + dk < len(axis):
+                    new = list(values)
+                    new[axis_i] = axis[k + dk]
+                    out.append(self.index_of(Corner(*new)))
+        return out
+
+    def random_index(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.size))
+
+
+def default_space() -> DesignSpace:
+    """The 5 x 3 x 3 = 45-point default exploration grid."""
+    return DesignSpace()

@@ -1,0 +1,14 @@
+"""GNN surrogates for TCAD simulation (paper Sec. II-A, Table II)."""
+
+from .relgat import (RelGATConfig, RelGATNetwork, paper_poisson_config,
+                     paper_iv_config, ci_poisson_config, ci_iv_config)
+from .poisson_emulator import PoissonEmulator
+from .iv_predictor import IVPredictor
+from .training import SurrogateMetrics, SurrogateTrainer, train_surrogates
+
+__all__ = [
+    "RelGATConfig", "RelGATNetwork", "paper_poisson_config",
+    "paper_iv_config", "ci_poisson_config", "ci_iv_config",
+    "PoissonEmulator", "IVPredictor",
+    "SurrogateMetrics", "SurrogateTrainer", "train_surrogates",
+]

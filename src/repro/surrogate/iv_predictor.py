@@ -1,0 +1,57 @@
+"""GNN IV predictor: graph regression of the drain current.
+
+Input graphs carry the Fig. 2 encoding plus charge density *and* potential
+(the paper's task-specific self-consistent features for this task); the
+model pools node embeddings and regresses the normalised log drain current
+through a 4-layer MLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import MLP, Module, Tensor, no_grad
+from ..nn.gnn import global_max_pool, global_mean_pool
+from ..nn.graph import batch_graphs
+from ..tcad.dataset import denormalize_log_current
+from .relgat import RelGATConfig, RelGATNetwork
+
+__all__ = ["IVPredictor"]
+
+
+class IVPredictor(Module):
+    """Drain-current surrogate (graph-level RelGAT regression).
+
+    The trunk follows ``config``; pooling concatenates mean and max
+    statistics; the head is the paper's 4-layer MLP.
+    """
+
+    def __init__(self, config: RelGATConfig):
+        super().__init__()
+        self.net = RelGATNetwork(config)
+        width = config.hidden * config.heads
+        rng = np.random.default_rng(config.seed + 1)
+        # 4-layer MLP head: [2*width -> width -> width/2 -> width/4 -> 1]
+        self.head = MLP([2 * width, width, max(width // 2, 8),
+                         max(width // 4, 8), 1],
+                        activation=config.activation, rng=rng)
+
+    def forward_batch(self, batch) -> Tensor:
+        """Normalised log-current prediction per graph, shape (B, 1)."""
+        h = self.net.node_embeddings(batch)
+        mean = global_mean_pool(h, batch.batch, batch.num_graphs)
+        mx = global_max_pool(h, batch.batch, batch.num_graphs)
+        from ..nn import functional as F
+        pooled = F.concat([mean, mx], axis=1)
+        return self.head(pooled)
+
+    forward = forward_batch
+
+    def predict_current(self, graphs) -> np.ndarray:
+        """Drain currents in amps for encoded device graphs."""
+        batch = batch_graphs(list(graphs))
+        self.eval()
+        with no_grad():
+            pred = self.forward_batch(batch).data
+        self.train()
+        return denormalize_log_current(pred[:, 0])

@@ -1,0 +1,42 @@
+"""GNN Poisson emulator: node regression of the electrostatic potential.
+
+Input graphs carry the Fig. 2 encoding plus the self-consistent charge
+density; the model predicts the normalised potential at every mesh node,
+replacing the Newton solve of :class:`~repro.tcad.poisson.PoissonSolver`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..encoding.device_encoding import PSI_SCALE
+from ..nn import Module, Tensor, no_grad
+from ..nn.graph import batch_graphs
+from .relgat import RelGATConfig, RelGATNetwork
+
+__all__ = ["PoissonEmulator"]
+
+
+class PoissonEmulator(Module):
+    """Potential-field surrogate (node-level RelGAT regression)."""
+
+    def __init__(self, config: RelGATConfig):
+        super().__init__()
+        if config.mlp_dims[-1] != 1:
+            raise ValueError("Poisson emulator head must end in 1 output")
+        self.net = RelGATNetwork(config)
+
+    def forward_batch(self, batch) -> Tensor:
+        """Normalised potential prediction per node, shape (N, 1)."""
+        return self.net.forward_batch(batch)
+
+    forward = forward_batch
+
+    def predict_potential(self, graph) -> np.ndarray:
+        """Potential in volts for one encoded device graph."""
+        batch = batch_graphs([graph])
+        self.eval()
+        with no_grad():
+            pred = self.forward_batch(batch).data
+        self.train()
+        return pred[:, 0] * PSI_SCALE

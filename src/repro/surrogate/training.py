@@ -1,0 +1,128 @@
+"""Training and Table II evaluation pipeline for the TCAD surrogates.
+
+Trains the Poisson emulator and IV predictor on a
+:class:`~repro.tcad.dataset.TCADDataset` and reports the paper's Table II
+metrics: MSE on validation / testing / unseen splits plus R² on the unseen
+split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import TrainConfig, Trainer, mse, r2_score
+from ..nn.graph import batch_graphs
+from ..tcad.dataset import TCADDataset
+from .iv_predictor import IVPredictor
+from .poisson_emulator import PoissonEmulator
+from .relgat import RelGATConfig, ci_iv_config, ci_poisson_config
+
+__all__ = ["SurrogateMetrics", "SurrogateTrainer", "train_surrogates"]
+
+
+@dataclass
+class SurrogateMetrics:
+    """Table II row: per-split MSE and unseen R² for one model."""
+
+    name: str
+    mse_val: float
+    mse_test: float
+    mse_unseen: float
+    r2_unseen: float
+    train_epochs: int = 0
+    wall_time_s: float = 0.0
+
+    def row(self):
+        """Values in the paper's column order."""
+        return [self.name, self.mse_val, self.mse_test, self.mse_unseen,
+                self.r2_unseen]
+
+
+def _eval_split(trainer: Trainer, graphs) -> tuple[float, float]:
+    """(MSE, R²) of a trained model on a list of graphs."""
+    if not graphs:
+        return float("nan"), float("nan")
+    preds = trainer.predict(graphs)
+    batch = batch_graphs(graphs)
+    return mse(preds, batch.y), r2_score(preds, batch.y)
+
+
+@dataclass
+class SurrogateTrainer:
+    """Train both surrogates on one dataset.
+
+    Parameters default to CI-scale configs; pass
+    :func:`~repro.surrogate.relgat.paper_poisson_config` /
+    ``paper_iv_config`` results for paper-scale runs.
+    """
+
+    dataset: TCADDataset
+    poisson_config: RelGATConfig | None = None
+    iv_config: RelGATConfig | None = None
+    train_config: TrainConfig = field(
+        default_factory=lambda: TrainConfig(epochs=60, batch_size=8,
+                                            lr=3e-3, grad_clip=2.0,
+                                            early_stop_patience=15))
+    poisson_model: PoissonEmulator | None = None
+    iv_model: IVPredictor | None = None
+
+    def _configs(self):
+        p_feats = self.dataset.poisson["train"][0].num_node_features
+        i_feats = self.dataset.iv["train"][0].num_node_features
+        pc = self.poisson_config or ci_poisson_config(p_feats)
+        ic = self.iv_config or ci_iv_config(i_feats)
+        if pc.in_features != p_feats:
+            raise ValueError("poisson config in_features mismatch")
+        if ic.in_features != i_feats:
+            raise ValueError("iv config in_features mismatch")
+        return pc, ic
+
+    def train(self) -> dict[str, SurrogateMetrics]:
+        """Train both models; returns Table II metrics keyed by model."""
+        pc, ic = self._configs()
+        results = {}
+
+        self.poisson_model = PoissonEmulator(pc)
+        trainer = Trainer(self.poisson_model, config=self.train_config)
+        hist = trainer.fit(self.dataset.poisson["train"],
+                           self.dataset.poisson.get("val"))
+        mse_val, _ = _eval_split(trainer, self.dataset.poisson.get("val", []))
+        mse_test, _ = _eval_split(trainer,
+                                  self.dataset.poisson.get("test", []))
+        mse_unseen, r2_unseen = _eval_split(
+            trainer, self.dataset.poisson.get("unseen", []))
+        results["poisson"] = SurrogateMetrics(
+            name="Poisson Emulator", mse_val=mse_val, mse_test=mse_test,
+            mse_unseen=mse_unseen, r2_unseen=r2_unseen,
+            train_epochs=hist.epochs_run, wall_time_s=hist.wall_time_s)
+
+        self.iv_model = IVPredictor(ic)
+        trainer = Trainer(self.iv_model, config=self.train_config)
+        hist = trainer.fit(self.dataset.iv["train"],
+                           self.dataset.iv.get("val"))
+        mse_val, _ = _eval_split(trainer, self.dataset.iv.get("val", []))
+        mse_test, _ = _eval_split(trainer, self.dataset.iv.get("test", []))
+        mse_unseen, r2_unseen = _eval_split(
+            trainer, self.dataset.iv.get("unseen", []))
+        results["iv"] = SurrogateMetrics(
+            name="IV Predictor", mse_val=mse_val, mse_test=mse_test,
+            mse_unseen=mse_unseen, r2_unseen=r2_unseen,
+            train_epochs=hist.epochs_run, wall_time_s=hist.wall_time_s)
+        return results
+
+
+def train_surrogates(dataset: TCADDataset,
+                     train_config: TrainConfig | None = None,
+                     poisson_config: RelGATConfig | None = None,
+                     iv_config: RelGATConfig | None = None):
+    """Convenience wrapper: train both surrogates, return
+    ``(metrics, poisson_model, iv_model)``."""
+    kwargs = {}
+    if train_config is not None:
+        kwargs["train_config"] = train_config
+    trainer = SurrogateTrainer(dataset, poisson_config=poisson_config,
+                               iv_config=iv_config, **kwargs)
+    metrics = trainer.train()
+    return metrics, trainer.poisson_model, trainer.iv_model

@@ -1,0 +1,30 @@
+"""2-D TCAD substrate: materials, meshing, Poisson, quasi-2D IV, datasets.
+
+Stands in for the commercial TCAD the paper used (calibrated to 576 planar
+CNT devices): a finite-volume nonlinear Poisson solver plus a charge-sheet
+drift IV engine over a material database covering CNT, IGZO, LTPS and a-Si.
+"""
+
+from .materials import (Material, MATERIALS, material, material_names,
+                        SEMICONDUCTOR, INSULATOR, METAL, EPS0, Q, KB_T)
+from .mesh import Region, DeviceMesh, build_tft_mesh
+from .device import PlanarTFT, DeviceSampler, SamplerRanges
+from .physics import ChargeModel, srh_recombination, tdt_mobility, tdt_gamma
+from .poisson import PoissonSolver, PoissonSolution
+from .iv import ChargeSheetIV, IVResult
+from .simulator import TCADSimulator, DeviceSolution
+from .dataset import (TCADDataset, TCADDatasetBuilder, normalize_log_current,
+                      denormalize_log_current, LOG_I_CENTER, LOG_I_SCALE)
+
+__all__ = [
+    "Material", "MATERIALS", "material", "material_names",
+    "SEMICONDUCTOR", "INSULATOR", "METAL", "EPS0", "Q", "KB_T",
+    "Region", "DeviceMesh", "build_tft_mesh",
+    "PlanarTFT", "DeviceSampler", "SamplerRanges",
+    "ChargeModel", "srh_recombination", "tdt_mobility", "tdt_gamma",
+    "PoissonSolver", "PoissonSolution",
+    "ChargeSheetIV", "IVResult",
+    "TCADSimulator", "DeviceSolution",
+    "TCADDataset", "TCADDatasetBuilder", "normalize_log_current",
+    "denormalize_log_current", "LOG_I_CENTER", "LOG_I_SCALE",
+]

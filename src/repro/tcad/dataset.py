@@ -1,0 +1,124 @@
+"""Dataset generation for the GNN TCAD surrogates (Table II).
+
+For every sampled (device, bias) point the full physics is solved once and
+two training samples are emitted:
+
+* a **Poisson sample** — inputs: Fig. 2 encoding + self-consistent charge
+  density; node-level target: electrostatic potential (normalised);
+* an **IV sample** — inputs: encoding + charge density + potential;
+  graph-level target: normalised log drain current.
+
+The paper trains on 50,000 independent devices and evaluates an additional
+32,000 *unseen* samples; sizes here are arguments (CI-scale by default) and
+the unseen split draws from widened geometry ranges so it is genuinely
+out-of-distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .device import DeviceSampler, SamplerRanges
+from .simulator import TCADSimulator
+
+__all__ = ["TCADDataset", "TCADDatasetBuilder", "LOG_I_CENTER", "LOG_I_SCALE",
+           "normalize_log_current", "denormalize_log_current"]
+
+LOG_I_CENTER = -9.0
+LOG_I_SCALE = 9.0
+_I_FLOOR = 1e-18
+
+
+def normalize_log_current(ids: float) -> float:
+    """Map a drain current [A] to a ~[-1, 1] regression target."""
+    return (np.log10(abs(ids) + _I_FLOOR) - LOG_I_CENTER) / LOG_I_SCALE
+
+
+def denormalize_log_current(y: float) -> float:
+    """Inverse of :func:`normalize_log_current` (returns amps)."""
+    return 10.0 ** (np.asarray(y) * LOG_I_SCALE + LOG_I_CENTER)
+
+
+@dataclass
+class TCADDataset:
+    """Paired Poisson / IV graph samples with the paper's split names."""
+
+    poisson: dict = field(default_factory=dict)   # split -> [Graph]
+    iv: dict = field(default_factory=dict)        # split -> [Graph]
+
+    def sizes(self) -> dict:
+        return {split: len(graphs) for split, graphs in self.poisson.items()}
+
+
+class TCADDatasetBuilder:
+    """Generate surrogate training data by running the physics solvers."""
+
+    def __init__(self, seed: int = 0, ranges: SamplerRanges | None = None,
+                 mesh_resolution: dict | None = None):
+        # Imported here: repro.encoding depends on repro.tcad submodules,
+        # so a module-level import would be circular.
+        from ..encoding.device_encoding import DeviceEncoder
+        self.seed = seed
+        self.ranges = ranges if ranges is not None else SamplerRanges()
+        self.mesh_resolution = mesh_resolution or {}
+        self.simulator = TCADSimulator()
+        self.poisson_encoder = DeviceEncoder(include_charge=True,
+                                             include_potential=False)
+        self.iv_encoder = DeviceEncoder(include_charge=True,
+                                        include_potential=True)
+
+    def _generate(self, n: int, sampler: DeviceSampler):
+        poisson_graphs, iv_graphs = [], []
+        produced = 0
+        attempts = 0
+        while produced < n and attempts < 4 * n + 20:
+            attempts += 1
+            device, vg, vd = next(iter(sampler.sample(1)))
+            if self.mesh_resolution:
+                device = device.with_updates(**self.mesh_resolution)
+            try:
+                sol = self.simulator.simulate_point(device, vg, vd)
+            except Exception:
+                continue
+            if not sol.poisson.converged:
+                continue
+            from ..encoding.device_encoding import PSI_SCALE
+            psi_target = sol.poisson.psi[:, None] / PSI_SCALE
+            pg = self.poisson_encoder.encode(
+                sol.mesh, vg, vd, charge=sol.poisson.n, y=psi_target,
+                target_level="node")
+            ig = self.iv_encoder.encode(
+                sol.mesh, vg, vd, charge=sol.poisson.n, psi=sol.poisson.psi,
+                y=np.array([normalize_log_current(sol.ids)]),
+                target_level="graph")
+            ig.meta["ids"] = sol.ids
+            poisson_graphs.append(pg)
+            iv_graphs.append(ig)
+            produced += 1
+        return poisson_graphs, iv_graphs
+
+    def build(self, n_train: int, n_val: int, n_test: int,
+              n_unseen: int = 0) -> TCADDataset:
+        """Generate all splits.
+
+        train/val/test share the sampling distribution (paper's 50k pool);
+        ``unseen`` uses widened geometry ranges (paper's extra 32k samples).
+        """
+        dataset = TCADDataset()
+        base_rng = make_rng(self.seed)
+        sampler = DeviceSampler(self.ranges, seed=base_rng)
+        for split, count in (("train", n_train), ("val", n_val),
+                             ("test", n_test)):
+            pg, ig = self._generate(count, sampler)
+            dataset.poisson[split] = pg
+            dataset.iv[split] = ig
+        if n_unseen > 0:
+            unseen_sampler = DeviceSampler(self.ranges.shifted(),
+                                           seed=make_rng(self.seed + 991))
+            pg, ig = self._generate(n_unseen, unseen_sampler)
+            dataset.poisson["unseen"] = pg
+            dataset.iv["unseen"] = ig
+        return dataset

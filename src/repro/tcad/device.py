@@ -1,0 +1,154 @@
+"""Planar TFT device specifications and random sampling.
+
+:class:`PlanarTFT` captures everything needed to mesh and simulate one
+device; :class:`DeviceSampler` draws randomised devices the way the paper's
+dataset was built (50,000 independent devices with varying geometry,
+materials and bias) — the calibration study it cites used 576 planar CNT
+devices with 2-D TCAD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .materials import SEMICONDUCTOR, material
+from .mesh import DeviceMesh, build_tft_mesh
+
+__all__ = ["PlanarTFT", "DeviceSampler", "SamplerRanges"]
+
+
+@dataclass(frozen=True)
+class PlanarTFT:
+    """Geometry + materials of one planar bottom-gate TFT."""
+
+    channel_material: str = "cnt"
+    oxide_material: str = "sio2"
+    gate_material: str = "al"
+    l_channel: float = 10e-6
+    l_overlap: float = 2e-6
+    w: float = 50e-6
+    t_semi: float = 50e-9
+    t_ox: float = 100e-9
+    t_gate: float = 50e-9
+    contact_doping: float = 1e25      # donors positive
+    channel_doping: float = 1e21
+    nx_channel: int = 13
+    nx_overlap: int = 4
+    ny_semi: int = 5
+    ny_ox: int = 4
+    ny_gate: int = 2
+
+    def __post_init__(self):
+        ch = material(self.channel_material)
+        if ch.kind != SEMICONDUCTOR:
+            raise ValueError(f"{self.channel_material} is not a semiconductor")
+        for name in ("l_channel", "l_overlap", "w", "t_semi", "t_ox",
+                     "t_gate"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def polarity(self) -> str:
+        """'n' if the contacts are donor-doped, else 'p'."""
+        return "n" if self.contact_doping >= 0 else "p"
+
+    def with_updates(self, **kwargs) -> "PlanarTFT":
+        return replace(self, **kwargs)
+
+    def mesh(self) -> DeviceMesh:
+        """Build the finite-difference mesh for this device."""
+        return build_tft_mesh(
+            l_channel=self.l_channel, l_overlap=self.l_overlap,
+            t_semi=self.t_semi, t_ox=self.t_ox, t_gate=self.t_gate,
+            channel_material=self.channel_material,
+            oxide_material=self.oxide_material,
+            gate_material=self.gate_material,
+            contact_doping=self.contact_doping,
+            channel_doping=self.channel_doping,
+            nx_channel=self.nx_channel, nx_overlap=self.nx_overlap,
+            ny_semi=self.ny_semi, ny_ox=self.ny_ox, ny_gate=self.ny_gate)
+
+    @property
+    def cox(self) -> float:
+        """Gate capacitance per area [F/m^2]."""
+        from .materials import EPS0
+        return EPS0 * material(self.oxide_material).eps_r / self.t_ox
+
+
+@dataclass(frozen=True)
+class SamplerRanges:
+    """Uniform / log-uniform ranges for :class:`DeviceSampler`.
+
+    The ``unseen`` split of Table II uses :meth:`shifted`, which widens the
+    geometry ranges by 20 % so generalisation is tested on devices outside
+    the training distribution.
+    """
+
+    l_channel: tuple = (2e-6, 30e-6)
+    l_overlap: tuple = (0.5e-6, 4e-6)
+    w: tuple = (10e-6, 200e-6)
+    t_semi: tuple = (30e-9, 100e-9)
+    t_ox: tuple = (50e-9, 300e-9)
+    contact_doping: tuple = (1e24, 1e26)      # log-uniform
+    channel_doping: tuple = (1e20, 5e21)      # log-uniform
+    channel_materials: tuple = ("cnt", "igzo", "ltps", "a-si")
+    oxide_materials: tuple = ("sio2", "hfo2", "al2o3")
+    gate_materials: tuple = ("al", "au", "ito")
+    vg: tuple = (-1.0, 4.0)
+    vd: tuple = (0.05, 4.0)
+
+    def shifted(self, factor: float = 1.2) -> "SamplerRanges":
+        """Widen geometric ranges (out-of-distribution 'unseen' split)."""
+        def widen(lo_hi):
+            lo, hi = lo_hi
+            return (lo / factor, hi * factor)
+
+        return replace(self, l_channel=widen(self.l_channel),
+                       t_semi=widen(self.t_semi), t_ox=widen(self.t_ox))
+
+
+class DeviceSampler:
+    """Draw random :class:`PlanarTFT` devices plus bias points."""
+
+    def __init__(self, ranges: SamplerRanges | None = None,
+                 seed: int | np.random.Generator = 0):
+        self.ranges = ranges if ranges is not None else SamplerRanges()
+        self.rng = make_rng(seed)
+
+    def _uniform(self, lo_hi):
+        lo, hi = lo_hi
+        return float(self.rng.uniform(lo, hi))
+
+    def _log_uniform(self, lo_hi):
+        lo, hi = lo_hi
+        return float(np.exp(self.rng.uniform(np.log(lo), np.log(hi))))
+
+    def sample_device(self) -> PlanarTFT:
+        """One random device specification."""
+        r = self.ranges
+        return PlanarTFT(
+            channel_material=str(self.rng.choice(r.channel_materials)),
+            oxide_material=str(self.rng.choice(r.oxide_materials)),
+            gate_material=str(self.rng.choice(r.gate_materials)),
+            l_channel=self._uniform(r.l_channel),
+            l_overlap=self._uniform(r.l_overlap),
+            w=self._uniform(r.w),
+            t_semi=self._uniform(r.t_semi),
+            t_ox=self._uniform(r.t_ox),
+            contact_doping=self._log_uniform(r.contact_doping),
+            channel_doping=self._log_uniform(r.channel_doping),
+        )
+
+    def sample_bias(self) -> tuple[float, float]:
+        """One (vg, vd) bias point."""
+        return self._uniform(self.ranges.vg), self._uniform(self.ranges.vd)
+
+    def sample(self, n: int):
+        """Yield ``n`` (device, vg, vd) tuples."""
+        for _ in range(n):
+            device = self.sample_device()
+            vg, vd = self.sample_bias()
+            yield device, vg, vd

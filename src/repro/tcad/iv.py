@@ -1,0 +1,166 @@
+"""Quasi-2D IV simulation: vertical electrostatics + charge-sheet drift.
+
+For each channel quasi-Fermi level ``V`` a 1-D vertical Poisson solve gives
+the induced sheet charge ``Qs(VG, V)``; the gradual-channel integral then
+yields the drain current with the trap-limited (TDT/VRH) mobility::
+
+    Id = (W/L) * Integral_0^VD  mu_eff(Qs(V)) * Qs(V)  dV
+
+This is the physics the paper's IV predictor GNN learns to emulate, and the
+origin of the compact model's Eq. (1) power law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import PlanarTFT
+from .materials import EPS0, KB_T, Q, material
+from .physics import ChargeModel, tdt_mobility
+
+__all__ = ["IVResult", "ChargeSheetIV"]
+
+
+@dataclass
+class IVResult:
+    """An IV surface: currents over a (vg, vd) grid."""
+
+    vgs: np.ndarray           # (G,)
+    vds: np.ndarray           # (D,)
+    ids: np.ndarray           # (G, D) drain current [A]
+    device: PlanarTFT
+
+    def at(self, vg: float, vd: float) -> float:
+        """Current at a grid point (must be on the grid)."""
+        gi = int(np.argmin(np.abs(self.vgs - vg)))
+        di = int(np.argmin(np.abs(self.vds - vd)))
+        return float(self.ids[gi, di])
+
+
+class ChargeSheetIV:
+    """Per-device IV engine (n-type; the sampler generates donor contacts).
+
+    Parameters
+    ----------
+    device:
+        Device specification (geometry + materials).
+    n_quad:
+        Quadrature points for the gradual-channel integral.
+    lambda_cl:
+        Channel-length-modulation factor applied as ``(1 + lambda*vd)``.
+    """
+
+    def __init__(self, device: PlanarTFT, n_quad: int = 17,
+                 lambda_cl: float = 0.02, vt: float = KB_T):
+        self.device = device
+        self.n_quad = n_quad
+        self.lambda_cl = lambda_cl
+        self.vt = vt
+        self._mat = material(device.channel_material)
+        self._charge = ChargeModel(self._mat, vt=vt)
+        self._build_grid()
+
+    def _build_grid(self):
+        d = self.device
+        ox = material(d.oxide_material)
+        gate = material(d.gate_material)
+        n_ox, n_semi = 6, 8
+        y_ox = np.linspace(0.0, d.t_ox, n_ox + 1)
+        y_semi = np.linspace(0.0, d.t_semi, n_semi + 1)[1:] + d.t_ox
+        ys = np.concatenate([y_ox, y_semi])
+        self._ys = ys
+        self._is_semi = ys > d.t_ox - 1e-15
+        eps = np.where(self._is_semi, self._mat.eps_r, ox.eps_r) * EPS0
+        # Interface node takes the semiconductor's permittivity; fluxes use
+        # harmonic means so the oxide side is still ox-limited.
+        d_y = np.diff(ys)
+        e_pair = 2.0 * eps[:-1] * eps[1:] / (eps[:-1] + eps[1:])
+        self._flux = e_pair / d_y                     # per unit area
+        w = np.empty_like(ys)
+        w[0] = d_y[0] / 2
+        w[-1] = d_y[-1] / 2
+        w[1:-1] = (d_y[:-1] + d_y[1:]) / 2
+        self._w = w
+        midgap_wf = self._mat.affinity + self._mat.bandgap / 2.0
+        self._phi_ms = gate.work_function - midgap_wf
+
+    # ------------------------------------------------------------------
+    def sheet_charge(self, vg: float, vch: float,
+                     max_iter: int = 80) -> float:
+        """Induced sheet charge Qs [C/m^2] (mobile + tail-trapped).
+
+        Solves the 1-D vertical Poisson equation with the gate at ``vg``
+        and the channel quasi-Fermi level at ``vch``.
+        """
+        ys = self._ys
+        m = len(ys)
+        model = self._charge
+        doping = self.device.channel_doping
+        psi = np.full(m, vch + float(model.builtin_potential(doping)))
+        psi_gate = vg - self._phi_ms
+        psi[0] = psi_gate
+        semi = self._is_semi
+        flux = self._flux
+        w = self._w
+        for _ in range(max_iter):
+            f = np.zeros(m)
+            f[1:] += flux * (psi[:-1] - psi[1:])
+            f[:-1] += flux * (psi[1:] - psi[:-1])
+            rho = np.zeros(m)
+            drho = np.zeros(m)
+            rho[semi] = model.rho(psi[semi], doping, vch)
+            drho[semi] = model.drho_dpsi(psi[semi], vch)
+            f += rho * w
+            jac = np.zeros((m, m))
+            idx = np.arange(m - 1)
+            jac[idx, idx] -= flux
+            jac[idx, idx + 1] += flux
+            jac[idx + 1, idx + 1] -= flux
+            jac[idx + 1, idx] += flux
+            jac[np.arange(m), np.arange(m)] += drho * w
+            # Dirichlet at the gate node.
+            f_free = f[1:]
+            if np.abs(f_free).max() < 1e-12 * max(flux.max(), 1.0):
+                break
+            delta = np.linalg.solve(jac[1:, 1:], -f_free)
+            psi[1:] += np.clip(delta, -1.0, 1.0)
+        n_free = model.n(psi[semi], vch)
+        n_trap = model.n_tail(psi[semi], vch)
+        return float(Q * np.sum((n_free + n_trap) * w[semi]))
+
+    def _qs_interpolator(self, vg: float, v_max: float):
+        """Tabulate Qs(V) on [0, v_max] and return a linear interpolant."""
+        v_pts = np.linspace(0.0, max(v_max, 1e-3), self.n_quad)
+        qs = np.array([self.sheet_charge(vg, v) for v in v_pts])
+        return v_pts, qs
+
+    def ids(self, vg: float, vd: float) -> float:
+        """Drain current [A] at one bias point."""
+        d = self.device
+        v_pts, qs = self._qs_interpolator(vg, vd)
+        mu = tdt_mobility(self._mat, qs, vt=self.vt)
+        integrand = mu * qs
+        integral = float(np.trapezoid(integrand, v_pts)) if vd > 0 else 0.0
+        current = (d.w / d.l_channel) * integral * (1.0 + self.lambda_cl * vd)
+        return current
+
+    def iv_surface(self, vgs, vds) -> IVResult:
+        """Currents over the outer product of ``vgs`` and ``vds``."""
+        vgs = np.asarray(vgs, dtype=np.float64)
+        vds = np.asarray(vds, dtype=np.float64)
+        out = np.zeros((len(vgs), len(vds)))
+        for i, vg in enumerate(vgs):
+            # One Qs table per vg covering the largest vd, reused per vd.
+            v_pts, qs = self._qs_interpolator(vg, float(vds.max()))
+            mu = tdt_mobility(self._mat, qs, vt=self.vt)
+            integrand = mu * qs
+            cumulative = np.concatenate(
+                [[0.0], np.cumsum(np.diff(v_pts)
+                                  * (integrand[:-1] + integrand[1:]) / 2.0)])
+            for j, vd in enumerate(vds):
+                val = float(np.interp(vd, v_pts, cumulative))
+                out[i, j] = ((self.device.w / self.device.l_channel) * val
+                             * (1.0 + self.lambda_cl * vd))
+        return IVResult(vgs=vgs, vds=vds, ids=out, device=self.device)

@@ -1,0 +1,144 @@
+"""Material database for the TCAD substrate.
+
+Each :class:`Material` carries the electrostatic and transport parameters
+the Poisson / IV solvers need, plus the fixed one-hot index used by the
+unified device encoding (Fig. 2 material-level embedding). Parameter values
+are literature-grade for the emerging technologies the paper targets (CNT
+network films, IGZO, LTPS) plus conventional references (a-Si, poly-Si) and
+the dielectrics / metals that complete a planar TFT stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Material", "MATERIALS", "material", "material_names",
+           "SEMICONDUCTOR", "INSULATOR", "METAL", "EPS0", "Q", "KB_T"]
+
+# Physical constants (SI, T = 300 K)
+EPS0 = 8.8541878128e-12     # F/m
+Q = 1.602176634e-19         # C
+KB_T = 0.02585              # eV at 300 K (thermal voltage in volts)
+
+SEMICONDUCTOR = "semiconductor"
+INSULATOR = "insulator"
+METAL = "metal"
+
+
+@dataclass(frozen=True)
+class Material:
+    """Physical parameters of one material.
+
+    Attributes
+    ----------
+    name:
+        Database key.
+    kind:
+        ``semiconductor``, ``insulator`` or ``metal``.
+    index:
+        Stable one-hot position in the encoding.
+    eps_r:
+        Relative permittivity.
+    bandgap:
+        Bandgap [eV] (0 for metals).
+    affinity:
+        Electron affinity [eV].
+    nc, nv:
+        Effective conduction / valence band DOS [1/m^3].
+    mu_band:
+        Band (free-carrier) mobility [m^2/Vs].
+    tail_nt:
+        Tail-distributed-trap density [1/m^3] (drives the VRH/TDT mobility
+        enhancement the compact model's gamma captures).
+    tail_kt:
+        Characteristic tail energy [eV].
+    tau_srh:
+        SRH lifetime [s] (recombination in the IV solver).
+    work_function:
+        For metals, the work function [eV]; 0 otherwise.
+    """
+
+    name: str
+    kind: str
+    index: int
+    eps_r: float
+    bandgap: float = 0.0
+    affinity: float = 0.0
+    nc: float = 0.0
+    nv: float = 0.0
+    mu_band: float = 0.0
+    tail_nt: float = 0.0
+    tail_kt: float = 0.035
+    tau_srh: float = 1e-7
+    work_function: float = 0.0
+
+    @property
+    def ni(self) -> float:
+        """Intrinsic carrier density [1/m^3] (0 for non-semiconductors)."""
+        if self.kind != SEMICONDUCTOR or self.nc <= 0:
+            return 0.0
+        return float(np.sqrt(self.nc * self.nv)
+                     * np.exp(-self.bandgap / (2 * KB_T)))
+
+    def param_vector(self) -> np.ndarray:
+        """Material-level parameter embedding (Fig. 2): normalised physical
+        properties and physics-model parameters (SRH, tail traps)."""
+        log = lambda v: np.log10(v) if v > 0 else 0.0
+        return np.array([
+            self.eps_r / 25.0,
+            self.bandgap / 3.0,
+            self.affinity / 5.0,
+            log(self.nc) / 30.0,
+            log(self.mu_band * 1e4) / 4.0,     # cm^2/Vs scale
+            log(self.tail_nt) / 30.0,
+            self.tail_kt / 0.1,
+            log(self.tau_srh / 1e-9) / 6.0,
+            self.work_function / 6.0,
+        ])
+
+
+#: Parameter-vector length (kept in sync with Material.param_vector).
+PARAM_VECTOR_LEN = 9
+
+_DB = [
+    # Emerging channel materials (the paper's focus)
+    Material("cnt", SEMICONDUCTOR, 0, eps_r=5.0, bandgap=0.6, affinity=4.5,
+             nc=5e25, nv=5e25, mu_band=40e-4, tail_nt=5e24, tail_kt=0.045,
+             tau_srh=5e-8),
+    Material("igzo", SEMICONDUCTOR, 1, eps_r=10.0, bandgap=3.1, affinity=4.16,
+             nc=5e24, nv=5e24, mu_band=15e-4, tail_nt=2e25, tail_kt=0.06,
+             tau_srh=1e-7),
+    Material("ltps", SEMICONDUCTOR, 2, eps_r=11.7, bandgap=1.12, affinity=4.05,
+             nc=2.8e25, nv=1.04e25, mu_band=100e-4, tail_nt=8e24,
+             tail_kt=0.03, tau_srh=1e-7),
+    Material("a-si", SEMICONDUCTOR, 3, eps_r=11.8, bandgap=1.7, affinity=3.9,
+             nc=2.5e26, nv=2.5e26, mu_band=1e-4, tail_nt=1e26, tail_kt=0.05,
+             tau_srh=1e-8),
+    # Dielectrics
+    Material("sio2", INSULATOR, 4, eps_r=3.9, bandgap=9.0, affinity=0.9),
+    Material("hfo2", INSULATOR, 5, eps_r=22.0, bandgap=5.8, affinity=2.0),
+    Material("al2o3", INSULATOR, 6, eps_r=9.0, bandgap=6.5, affinity=1.0),
+    # Electrodes
+    Material("al", METAL, 7, eps_r=1.0, work_function=4.1),
+    Material("au", METAL, 8, eps_r=1.0, work_function=5.1),
+    Material("ito", METAL, 9, eps_r=4.0, work_function=4.7),
+]
+
+MATERIALS: dict[str, Material] = {m.name: m for m in _DB}
+NUM_MATERIALS = len(_DB)
+
+
+def material(name: str) -> Material:
+    """Look up a material by name."""
+    try:
+        return MATERIALS[name]
+    except KeyError:
+        raise ValueError(f"unknown material {name!r}; "
+                         f"available: {sorted(MATERIALS)}") from None
+
+
+def material_names() -> list[str]:
+    """All database keys in one-hot index order."""
+    return [m.name for m in sorted(_DB, key=lambda m: m.index)]

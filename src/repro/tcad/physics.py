@@ -1,0 +1,118 @@
+"""Semiconductor charge physics for the Poisson / IV solvers.
+
+Uses the intrinsic-level-referenced Boltzmann formulation:
+``n = ni exp((psi - phi_n)/Vt)``, ``p = ni exp((phi_p - psi)/Vt)`` with an
+acceptor-like exponential tail-trap term (the TDT population whose transport
+signature is the compact model's gamma), SRH recombination, and the
+percolation / variable-range-hopping mobility enhancement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .materials import KB_T, Material, Q
+
+__all__ = ["ChargeModel", "srh_recombination", "tdt_mobility",
+           "tdt_gamma"]
+
+#: Exponent clip keeping exp() inside float64 while allowing full
+#: accumulation for wide-gap materials (IGZO needs ~ e^60 above intrinsic).
+_EXP_CLIP = 80.0
+
+
+def _bexp(x):
+    """Clipped exponential."""
+    return np.exp(np.clip(x, -_EXP_CLIP, _EXP_CLIP))
+
+
+class ChargeModel:
+    """Charge density and its derivative for one semiconductor material.
+
+    Parameters
+    ----------
+    mat:
+        Semiconductor material (must have ``nc > 0``).
+    vt:
+        Thermal voltage [V].
+    """
+
+    def __init__(self, mat: Material, vt: float = KB_T):
+        if mat.nc <= 0:
+            raise ValueError(f"{mat.name} has no band parameters")
+        self.mat = mat
+        self.vt = vt
+        self.ni = mat.ni
+        # Tail traps: acceptor-like band-tail states just below the
+        # conduction band edge (Ec sits Eg/2 above the intrinsic reference),
+        # with characteristic energy tail_kt; occupation grows with psi.
+        self.vt_tail = max(mat.tail_kt, 1e-3)
+        self.tail_offset = max(mat.bandgap / 2.0 - 0.1, 0.05)
+
+    # -- carrier densities --------------------------------------------------
+    def n(self, psi, phi_n=0.0):
+        """Electron density [1/m^3]."""
+        return self.ni * _bexp((psi - phi_n) / self.vt)
+
+    def p(self, psi, phi_p=0.0):
+        """Hole density [1/m^3]."""
+        return self.ni * _bexp((phi_p - psi) / self.vt)
+
+    def n_tail(self, psi, phi_n=0.0):
+        """Occupied tail-trap density [1/m^3] (bounded by tail_nt)."""
+        x = (psi - phi_n - self.tail_offset) / self.vt_tail
+        return self.mat.tail_nt / (1.0 + _bexp(-x))
+
+    # -- space charge and derivative ----------------------------------------
+    def rho(self, psi, doping, phi_n=0.0, phi_p=None):
+        """Space charge density [C/m^3]: q (p - n - n_tail + N_dop)."""
+        if phi_p is None:
+            phi_p = phi_n
+        return Q * (self.p(psi, phi_p) - self.n(psi, phi_n)
+                    - self.n_tail(psi, phi_n) + doping)
+
+    def drho_dpsi(self, psi, phi_n=0.0, phi_p=None):
+        """d(rho)/d(psi) [C/m^3/V] (for the Newton Jacobian)."""
+        if phi_p is None:
+            phi_p = phi_n
+        n = self.n(psi, phi_n)
+        p = self.p(psi, phi_p)
+        x = (psi - phi_n - self.tail_offset) / self.vt_tail
+        f = 1.0 / (1.0 + _bexp(-x))
+        dtail = self.mat.tail_nt * f * (1.0 - f) / self.vt_tail
+        return Q * (-(p + n) / self.vt - dtail)
+
+    def builtin_potential(self, doping) -> np.ndarray:
+        """Equilibrium potential of a doped region:
+        ``Vt * asinh(N / 2 ni)`` (exact for Boltzmann statistics)."""
+        return self.vt * np.arcsinh(np.asarray(doping) / (2.0 * self.ni))
+
+
+def srh_recombination(n, p, ni, tau_n, tau_p=None):
+    """Shockley-Read-Hall recombination rate [1/m^3/s] with midgap traps."""
+    if tau_p is None:
+        tau_p = tau_n
+    n1 = p1 = ni
+    return (n * p - ni ** 2) / (tau_p * (n + n1) + tau_n * (p + p1) + 1e-300)
+
+
+def tdt_gamma(mat: Material, vt: float = KB_T) -> float:
+    """Mobility-enhancement exponent implied by the tail-trap energy.
+
+    Multiple-trapping / VRH transport in an exponential tail of
+    characteristic temperature ``T_t`` gives a power-law carrier-density
+    dependence with exponent ``~ T_t/T - 1``.
+    """
+    return float(np.clip(mat.tail_kt / vt - 1.0, 0.0, 1.5))
+
+
+def tdt_mobility(mat: Material, sheet_charge, q_ref: float = 1e-3,
+                 vt: float = KB_T):
+    """Effective mobility [m^2/Vs] vs sheet charge [C/m^2].
+
+    ``mu = mu_band * (Qs / q_ref)^gamma`` — the microscopic origin of the
+    compact model's Eq. (1).
+    """
+    gamma = tdt_gamma(mat, vt)
+    qs = np.maximum(np.asarray(sheet_charge, dtype=np.float64), 1e-12)
+    return mat.mu_band * (qs / q_ref) ** gamma

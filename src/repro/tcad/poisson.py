@@ -1,0 +1,270 @@
+"""Nonlinear 2-D Poisson solver on the device mesh.
+
+Finite-volume discretisation of ``div(eps grad psi) = -rho(psi)`` with
+Dirichlet contacts (gate / source / drain) and Neumann outer boundaries,
+solved by damped Newton iteration with a sparse Jacobian. This is the
+"traditional TCAD" ground truth the paper's Poisson emulator learns to
+replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from .materials import EPS0, KB_T, MATERIALS, SEMICONDUCTOR
+from .mesh import DeviceMesh, Region
+from .physics import ChargeModel
+
+__all__ = ["PoissonSolution", "PoissonSolver"]
+
+
+@dataclass
+class PoissonSolution:
+    """Self-consistent electrostatic solution on a mesh."""
+
+    psi: np.ndarray              # (N,) potential [V]
+    n: np.ndarray                # (N,) electron density [1/m^3]
+    p: np.ndarray                # (N,) hole density [1/m^3]
+    phi_n: np.ndarray            # (N,) quasi-Fermi potential [V]
+    converged: bool
+    iterations: int
+    residual: float
+    vg: float
+    vd: float
+
+
+class PoissonSolver:
+    """Newton solver for one meshed device.
+
+    Geometry factors (flux coefficients, node volumes) are assembled once
+    per mesh, so repeated bias points reuse the expensive part.
+    """
+
+    def __init__(self, mesh: DeviceMesh, vt: float = KB_T,
+                 max_iter: int = 150, tol: float = 1e-9,
+                 damp_clip: float = 1.0):
+        self.mesh = mesh
+        self.vt = vt
+        self.max_iter = max_iter
+        self.tol = tol
+        self.damp_clip = damp_clip
+        self._assemble_geometry()
+        self._setup_charge()
+
+    # ------------------------------------------------------------------
+    def _assemble_geometry(self):
+        mesh = self.mesh
+        xs, ys = mesh.xs, mesh.ys
+        nx, ny = mesh.nx, mesh.ny
+        n_nodes = mesh.num_nodes
+        by_index = {m.index: m for m in MATERIALS.values()}
+        eps = np.array([by_index[i].eps_r for i in mesh.material_idx]) * EPS0
+
+        # Half-widths of the dual (control-volume) cells.
+        def half_steps(coords):
+            d = np.diff(coords)
+            left = np.concatenate([[0.0], d]) / 2.0
+            right = np.concatenate([d, [0.0]]) / 2.0
+            return left + right
+
+        wx = half_steps(xs)          # control-volume width per column
+        wy = half_steps(ys)          # control-volume height per row
+        vol = np.outer(wy, wx).ravel()      # per unit depth [m^2]
+
+        rows, cols, vals = [], [], []
+        diag = np.zeros(n_nodes)
+
+        def add_flux(a, b, coeff):
+            rows.extend([a, a, b, b])
+            cols.extend([a, b, b, a])
+            vals.extend([-coeff, coeff, -coeff, coeff])
+
+        for iy in range(ny):
+            for ix in range(nx):
+                a = iy * nx + ix
+                if ix + 1 < nx:
+                    b = a + 1
+                    d = xs[ix + 1] - xs[ix]
+                    e = 2.0 * eps[a] * eps[b] / (eps[a] + eps[b])
+                    add_flux(a, b, e * wy[iy] / d)
+                if iy + 1 < ny:
+                    b = a + nx
+                    d = ys[iy + 1] - ys[iy]
+                    e = 2.0 * eps[a] * eps[b] / (eps[a] + eps[b])
+                    add_flux(a, b, e * wx[ix] / d)
+
+        lap = sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(n_nodes, n_nodes))
+        self._lap = lap                      # div(eps grad .) operator
+        self._vol = vol
+        self._scale = float(np.abs(lap.diagonal()).max())
+
+    def _setup_charge(self):
+        mesh = self.mesh
+        by_index = {m.index: m for m in MATERIALS.values()}
+        self._semi_mask = mesh.semiconductor_mask()
+        # One ChargeModel per distinct semiconductor material on the mesh.
+        self._charge_models = {}
+        for idx in np.unique(mesh.material_idx[self._semi_mask]):
+            self._charge_models[int(idx)] = ChargeModel(by_index[int(idx)],
+                                                        vt=self.vt)
+        ch_nodes = mesh.region == Region.CHANNEL
+        if ch_nodes.any():
+            ch_idx = int(mesh.material_idx[ch_nodes][0])
+        else:
+            ch_idx = int(mesh.material_idx[self._semi_mask][0])
+        self._channel_model = self._charge_models[ch_idx]
+        ch_mat = self._channel_model.mat
+        self._phi_ms_offset = {}
+        for kind in ("gate",):
+            gm = by_index[int(mesh.material_idx[mesh.region == Region.GATE][0])]
+            # Metal-semiconductor work function difference vs channel midgap.
+            midgap_wf = ch_mat.affinity + ch_mat.bandgap / 2.0
+            self._phi_ms_offset[kind] = gm.work_function - midgap_wf
+
+    # ------------------------------------------------------------------
+    def _quasi_fermi(self, vd: float) -> np.ndarray:
+        """Quasi-Fermi potential per node: 0 in the source, vd in the
+        drain, linear along the channel (above-threshold approximation)."""
+        mesh = self.mesh
+        phi = np.zeros(mesh.num_nodes)
+        x = mesh.node_xy[:, 0]
+        x0 = mesh.meta["l_overlap"]
+        x1 = x0 + mesh.meta["l_channel"]
+        frac = np.clip((x - x0) / max(x1 - x0, 1e-12), 0.0, 1.0)
+        phi[:] = frac * vd
+        phi[mesh.region == Region.SOURCE] = 0.0
+        phi[mesh.region == Region.DRAIN] = vd
+        return phi
+
+    def _boundary_values(self, vg: float, vd: float) -> np.ndarray:
+        mesh = self.mesh
+        bc = np.zeros(mesh.num_nodes)
+        model = self._channel_model
+        for i in np.flatnonzero(mesh.dirichlet_mask):
+            kind = mesh.dirichlet_kind[i]
+            if kind == "gate":
+                bc[i] = vg - self._phi_ms_offset["gate"]
+            elif kind == "source":
+                bc[i] = float(model.builtin_potential(mesh.doping[i]))
+            elif kind == "drain":
+                bc[i] = vd + float(model.builtin_potential(mesh.doping[i]))
+        return bc
+
+    def _charge_terms(self, psi, phi_n):
+        """Space charge rho [C/m^3] and its psi-derivative, per node."""
+        mesh = self.mesh
+        rho = np.zeros(mesh.num_nodes)
+        drho = np.zeros(mesh.num_nodes)
+        for idx, model in self._charge_models.items():
+            mask = self._semi_mask & (mesh.material_idx == idx)
+            if not mask.any():
+                continue
+            rho[mask] = model.rho(psi[mask], mesh.doping[mask],
+                                  phi_n[mask])
+            drho[mask] = model.drho_dpsi(psi[mask], phi_n[mask])
+        return rho, drho
+
+    def _neutral_start(self, bc: np.ndarray, phi_n: np.ndarray) -> np.ndarray:
+        """Initial guess: semiconductor nodes at their local charge-neutral
+        potential, dielectric nodes from a Laplace interpolation.
+
+        Starting in the neutral basin avoids the well-known ~Vt-per-step
+        Newton crawl of exponential charge models.
+        """
+        mesh = self.mesh
+        psi = np.array(bc)
+        semi_vals = np.zeros(mesh.num_nodes)
+        for idx, model in self._charge_models.items():
+            mask = self._semi_mask & (mesh.material_idx == idx)
+            semi_vals[mask] = (phi_n[mask]
+                               + model.builtin_potential(mesh.doping[mask]))
+        pinned = mesh.dirichlet_mask | self._semi_mask
+        psi[self._semi_mask & ~mesh.dirichlet_mask] = \
+            semi_vals[self._semi_mask & ~mesh.dirichlet_mask]
+        free = ~pinned
+        if free.any():
+            lap_ff = self._lap[free][:, free]
+            rhs = -self._lap[free][:, pinned] @ psi[pinned]
+            psi[free] = spsolve(lap_ff.tocsc(), rhs)
+        return psi
+
+    def solve_ramped(self, vg: float, vd: float, steps: int = 4,
+                     psi0: np.ndarray | None = None) -> PoissonSolution:
+        """Continuation solve: ramp (vg, vd) from zero bias in ``steps``
+        increments, warm-starting each from the previous solution."""
+        sol = None
+        psi = psi0
+        for k in range(1, steps + 1):
+            frac = k / steps
+            sol = self.solve(vg * frac, vd * frac, psi0=psi)
+            psi = sol.psi
+        return sol
+
+    # ------------------------------------------------------------------
+    def solve(self, vg: float, vd: float,
+              psi0: np.ndarray | None = None) -> PoissonSolution:
+        """Solve for the bias point ``(vg, vd)``.
+
+        Parameters
+        ----------
+        psi0:
+            Warm-start potential (e.g. the previous bias point's solution).
+        """
+        mesh = self.mesh
+        n_nodes = mesh.num_nodes
+        fixed = mesh.dirichlet_mask
+        free = ~fixed
+        bc = self._boundary_values(vg, vd)
+        phi_n = self._quasi_fermi(vd)
+
+        if psi0 is not None:
+            psi = np.array(psi0, dtype=float)
+            psi[fixed] = bc[fixed]
+        else:
+            psi = self._neutral_start(bc, phi_n)
+
+        lap = self._lap
+        converged = False
+        res_norm = np.inf
+        it = 0
+        for it in range(1, self.max_iter + 1):
+            rho, drho = self._charge_terms(psi, phi_n)
+            f_all = lap @ psi + rho * self._vol
+            f = f_all[free]
+            res_norm = float(np.abs(f).max()) / self._scale
+            if res_norm < self.tol:
+                converged = True
+                break
+            jac = (lap + sparse.diags(drho * self._vol)).tocsr()
+            jac_ff = jac[free][:, free].tocsc()
+            delta = spsolve(jac_ff, -f)
+            # Potential-style damping keeps Newton stable with exp charge.
+            step = np.clip(delta, -self.damp_clip, self.damp_clip)
+            psi_new = psi.copy()
+            psi_new[free] += step
+            # Backtracking line search on the residual norm.
+            shrink = 1.0
+            for _ in range(8):
+                rho_n, _ = self._charge_terms(psi_new, phi_n)
+                f_new = (lap @ psi_new + rho_n * self._vol)[free]
+                if np.abs(f_new).max() <= np.abs(f).max() * (1 - 1e-4 * shrink):
+                    break
+                shrink *= 0.5
+                psi_new = psi.copy()
+                psi_new[free] += step * shrink
+            psi = psi_new
+
+        n = np.zeros(n_nodes)
+        p = np.zeros(n_nodes)
+        for idx, model in self._charge_models.items():
+            mask = self._semi_mask & (mesh.material_idx == idx)
+            n[mask] = model.n(psi[mask], phi_n[mask])
+            p[mask] = model.p(psi[mask], phi_n[mask])
+        return PoissonSolution(psi=psi, n=n, p=p, phi_n=phi_n,
+                               converged=converged, iterations=it,
+                               residual=res_norm, vg=vg, vd=vd)

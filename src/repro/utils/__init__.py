@@ -1,0 +1,8 @@
+"""Shared utilities: deterministic RNG streams, timing, table rendering."""
+
+from .rng import make_rng, spawn, derive
+from .timing import Stopwatch, timed, TimingRecord
+from .tables import format_table, print_table
+
+__all__ = ["make_rng", "spawn", "derive", "Stopwatch", "timed",
+           "TimingRecord", "format_table", "print_table"]

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harnesses print the same rows the paper's tables report;
+this module renders them with aligned columns, no external deps.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "print_table"]
+
+
+def _fmt(value, ndigits: int = 4) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.{ndigits - 1}e}"
+        return f"{value:.{ndigits}g}"
+    return str(value)
+
+
+def format_table(headers, rows, title: str | None = None,
+                 ndigits: int = 4) -> str:
+    """Render a list-of-rows table as aligned monospace text."""
+    str_rows = [[_fmt(cell, ndigits) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers, rows, title: str | None = None,
+                ndigits: int = 4) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(headers, rows, title=title, ndigits=ndigits))

@@ -1,0 +1,69 @@
+"""Wall-clock timing helpers used by the runtime ledgers."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "timed", "TimingRecord"]
+
+
+@dataclass
+class TimingRecord:
+    """Accumulated wall-clock per named stage."""
+
+    totals: dict = field(default_factory=dict)
+    counts: dict = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str | None = None) -> float:
+        if name is None:
+            return sum(self.totals.values())
+        return self.totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        count = self.counts.get(name, 0)
+        return self.totals.get(name, 0.0) / count if count else 0.0
+
+    def merge(self, other: "TimingRecord") -> None:
+        for name, seconds in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = (self.counts.get(name, 0)
+                                 + other.counts.get(name, 0))
+
+
+class Stopwatch:
+    """Simple start/stop stopwatch with lap support."""
+
+    def __init__(self):
+        self._start = None
+        self.elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch not started")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+
+@contextmanager
+def timed(record: TimingRecord, name: str):
+    """Context manager adding the block's wall-clock to ``record[name]``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record.add(name, time.perf_counter() - start)

@@ -1,0 +1,261 @@
+"""Tests for the unified TFT compact model (Eq. 1 + charge drift)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compact import (NType, PType, TFTModel, TFTParams,
+                           technology_presets)
+
+
+def n_model(**kw):
+    return TFTModel(TFTParams(polarity=NType, **kw))
+
+
+def p_model(**kw):
+    return TFTModel(TFTParams(polarity=PType, vth=-0.8, **kw))
+
+
+class TestParams:
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(ValueError):
+            TFTParams(polarity="x")
+
+    @pytest.mark.parametrize("field", ["mu0", "ss", "cox", "w", "l"])
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError):
+            TFTParams(**{field: 0.0})
+
+    def test_rejects_negative_gamma(self):
+        with pytest.raises(ValueError):
+            TFTParams(gamma=-0.1)
+
+    def test_with_updates_immutable(self):
+        p = TFTParams()
+        q = p.with_updates(vth=1.5)
+        assert p.vth != 1.5 and q.vth == 1.5
+
+    def test_unit_helpers(self):
+        p = TFTParams(mu0=1e-3, cox=1e-4, w=10e-6, l=5e-6)
+        assert p.mu0_cm2 == pytest.approx(10.0)
+        assert p.cox_total == pytest.approx(1e-4 * 10e-6 * 5e-6)
+
+
+class TestCurrentNType:
+    def test_off_current_small(self):
+        m = n_model(vth=0.8, i_leak=1e-13)
+        assert abs(m.ids(0.0, 1.0)) < 1e-11
+
+    def test_on_current_large(self):
+        m = n_model(vth=0.8)
+        assert m.ids(3.0, 3.0) > 1e-7
+
+    def test_monotone_in_vgs(self):
+        m = n_model()
+        vg = np.linspace(-1, 4, 100)
+        ids = m.ids(vg, 2.0)
+        assert np.all(np.diff(ids) >= 0)
+        # Strictly increasing once the channel starts forming.
+        on = vg[:-1] > 0.0
+        assert np.all(np.diff(ids)[on] > 0)
+
+    def test_monotone_in_vds(self):
+        m = n_model()
+        vd = np.linspace(0, 4, 100)
+        ids = m.ids(3.0, vd)
+        assert np.all(np.diff(ids) > 0)  # lambda keeps slope positive
+
+    def test_saturation_flattens(self):
+        m = n_model(vth=0.8, lambda_cl=0.0)
+        lin_slope = m.ids(3.0, 0.2) - m.ids(3.0, 0.1)
+        sat_slope = m.ids(3.0, 3.5) - m.ids(3.0, 3.4)
+        assert sat_slope < lin_slope / 20
+
+    def test_zero_vds_zero_current(self):
+        m = n_model()
+        assert m.ids(3.0, 0.0) == pytest.approx(0.0, abs=1e-18)
+
+    def test_symmetry_vds_reversal(self):
+        """Id(vg, -vd) equals -Id(vg + vd, vd) by source/drain exchange."""
+        m = n_model(vth=0.6, i_leak=0.0)
+        vg, vd = 2.0, 0.7
+        left = m.ids(vg, -vd)
+        right = -m.ids(vg + vd, vd)
+        assert left == pytest.approx(right, rel=1e-9)
+
+    def test_subthreshold_slope_close_to_ss(self):
+        ss = 0.2
+        m = n_model(vth=1.0, ss=ss, i_leak=0.0)
+        # Measure decade spacing well below threshold.
+        vg = np.array([0.0, 0.2])
+        i = m.ids(vg, 1.0)
+        decades = np.log10(i[1] / i[0])
+        measured_ss = (vg[1] - vg[0]) / decades
+        assert measured_ss == pytest.approx(ss, rel=0.1)
+
+    def test_gamma_increases_on_current(self):
+        base = n_model(vth=0.5, gamma=0.0).ids(3.0, 3.0)
+        enhanced = n_model(vth=0.5, gamma=0.5).ids(3.0, 3.0)
+        assert enhanced > base  # overdrive 2.5 V > 1 V so gamma boosts
+
+
+class TestCurrentPType:
+    def test_mirror_of_ntype(self):
+        pn = TFTParams(polarity=NType, vth=0.8, i_leak=0.0)
+        pp = TFTParams(polarity=PType, vth=-0.8, i_leak=0.0)
+        mn, mp = TFTModel(pn), TFTModel(pp)
+        vg, vd = 2.1, 1.3
+        assert mp.ids(-vg, -vd) == pytest.approx(-mn.ids(vg, vd), rel=1e-12)
+
+    def test_off_when_gate_high(self):
+        m = p_model(i_leak=1e-13)
+        assert abs(m.ids(0.0, -2.0)) < 1e-11
+
+    def test_on_when_gate_low(self):
+        m = p_model()
+        assert m.ids(-3.0, -3.0) < -1e-8
+
+    def test_cnt_preset_off_current(self):
+        m = TFTModel(technology_presets()["cnt"])
+        assert abs(m.ids(0.0, -2.0)) < 1e-10
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("tech", ["cnt", "ltps", "igzo"])
+    def test_gm_matches_finite_difference(self, tech):
+        m = TFTModel(technology_presets()[tech])
+        sign = 1 if m.params.polarity == NType else -1
+        vg = sign * np.linspace(0.2, 3.0, 9)
+        vd = sign * 1.5
+        h = 1e-5
+        fd = (m.ids(vg + h, vd) - m.ids(vg - h, vd)) / (2 * h)
+        np.testing.assert_allclose(m.gm(vg, vd), fd, rtol=1e-4, atol=1e-15)
+
+    @pytest.mark.parametrize("tech", ["cnt", "ltps", "igzo"])
+    def test_gds_matches_finite_difference(self, tech):
+        m = TFTModel(technology_presets()[tech])
+        sign = 1 if m.params.polarity == NType else -1
+        vd = sign * np.linspace(0.1, 3.0, 9)
+        vg = sign * 2.5
+        h = 1e-5
+        fd = (m.ids(vg, vd + h) - m.ids(vg, vd - h)) / (2 * h)
+        np.testing.assert_allclose(m.gds(vg, vd), fd, rtol=1e-4, atol=1e-15)
+
+    def test_gm_positive_in_on_region(self):
+        m = n_model()
+        assert m.gm(3.0, 2.0) > 0
+
+    def test_gds_positive(self):
+        m = n_model()
+        assert m.gds(3.0, 2.0) > 0
+
+
+class TestCapacitances:
+    def test_linear_region_split(self):
+        p = TFTParams(vth=0.5, cov=0.0)
+        m = TFTModel(p)
+        cgs, cgd = m.capacitances(3.0, 0.0)
+        # At vds=0 the channel splits evenly, ~Cox/2 each (on-factor ~1).
+        assert cgs == pytest.approx(p.cox_total / 2, rel=0.1)
+        assert cgd == pytest.approx(p.cox_total / 2, rel=0.1)
+
+    def test_saturation_partition(self):
+        p = TFTParams(vth=0.5, cov=0.0)
+        m = TFTModel(p)
+        cgs, cgd = m.capacitances(1.5, 3.0)
+        assert cgs > cgd * 5
+        assert cgs < p.cox_total  # bounded by the oxide cap
+
+    def test_off_state_only_overlap(self):
+        p = TFTParams(vth=1.0, cov=1e-10)
+        m = TFTModel(p)
+        cgs, cgd = m.capacitances(-1.0, 0.5)
+        overlap = p.cov * p.w
+        assert cgs == pytest.approx(overlap, rel=0.05)
+        assert cgd == pytest.approx(overlap, rel=0.05)
+
+    def test_always_positive(self):
+        m = TFTModel(technology_presets()["igzo"])
+        rng = np.random.default_rng(0)
+        vg = rng.uniform(-3, 3, 50)
+        vd = rng.uniform(-3, 3, 50)
+        cgs, cgd = m.capacitances(vg, vd)
+        assert np.all(cgs > 0) and np.all(cgd > 0)
+
+    def test_ptype_mirrors(self):
+        pn = TFTParams(polarity=NType, vth=0.8)
+        pp = TFTParams(polarity=PType, vth=-0.8)
+        cgs_n, cgd_n = TFTModel(pn).capacitances(2.0, 1.0)
+        cgs_p, cgd_p = TFTModel(pp).capacitances(-2.0, -1.0)
+        assert cgs_p == pytest.approx(cgs_n, rel=1e-12)
+        assert cgd_p == pytest.approx(cgd_n, rel=1e-12)
+
+
+class TestSweepsAndMobility:
+    def test_transfer_curve_shape(self):
+        m = n_model()
+        vg = np.linspace(-1, 3, 20)
+        assert m.transfer_curve(vg, 1.0).shape == (20,)
+
+    def test_output_curve_shape(self):
+        m = n_model()
+        vd = np.linspace(0, 3, 15)
+        assert m.output_curve(vd, 2.0).shape == (15,)
+
+    def test_mobility_zero_below_threshold(self):
+        m = n_model(vth=1.0)
+        assert m.mobility(0.0) == 0.0
+
+    def test_mobility_follows_power_law(self):
+        m = n_model(vth=1.0, mu0=1e-3, gamma=0.5)
+        assert m.mobility(2.0) == pytest.approx(1e-3 * 1.0 ** 0.5)
+        assert m.mobility(5.0) == pytest.approx(1e-3 * 4.0 ** 0.5)
+
+    def test_mobility_ptype(self):
+        m = p_model(mu0=1e-3, gamma=1.0)
+        assert m.mobility(-2.8) == pytest.approx(1e-3 * 2.0)
+
+
+class TestPresets:
+    def test_all_three_technologies(self):
+        presets = technology_presets()
+        assert set(presets) == {"cnt", "ltps", "igzo"}
+
+    def test_fig3_geometries(self):
+        presets = technology_presets()
+        assert presets["cnt"].l == pytest.approx(25e-6)
+        assert presets["cnt"].w == pytest.approx(125e-6)
+        assert presets["ltps"].l == pytest.approx(16e-6)
+        assert presets["ltps"].w == pytest.approx(40e-6)
+        assert presets["igzo"].l == pytest.approx(20e-6)
+        assert presets["igzo"].w == pytest.approx(30e-6)
+
+    def test_ltps_fastest(self):
+        """LTPS has the highest mobility of the three technologies."""
+        presets = technology_presets()
+        assert presets["ltps"].mu0 > presets["igzo"].mu0
+        assert presets["ltps"].mu0 > presets["cnt"].mu0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=-1.0, max_value=3.5),
+       st.floats(min_value=0.0, max_value=3.5))
+def test_property_current_finite_and_signed(vg, vd):
+    """N-type forward current is finite and non-negative for vd >= 0."""
+    m = TFTModel(TFTParams(vth=0.7, i_leak=1e-13))
+    i = float(m.ids(vg, vd))
+    assert np.isfinite(i)
+    assert i >= -1e-15
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.1, max_value=2.0),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_property_width_scaling(w_scale, gamma):
+    """Current scales linearly with W/L (intrinsic model, on-state)."""
+    base = TFTParams(vth=0.5, gamma=gamma, i_leak=0.0)
+    wide = base.with_updates(w=base.w * w_scale)
+    i1 = float(TFTModel(base).ids(2.5, 2.0))
+    i2 = float(TFTModel(wide).ids(2.5, 2.0))
+    assert i2 == pytest.approx(i1 * w_scale, rel=1e-9)

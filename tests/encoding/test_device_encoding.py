@@ -1,0 +1,143 @@
+"""Tests for the unified device encoding (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.encoding import DeviceEncoder, encode_charge_density, \
+    encode_potential
+from repro.tcad import PlanarTFT, Region
+from repro.tcad.materials import NUM_MATERIALS
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return PlanarTFT(channel_material="igzo").mesh()
+
+
+class TestFeatureLayout:
+    def test_feature_counts(self, mesh):
+        enc = DeviceEncoder(include_charge=False)
+        g = enc.encode(mesh, 1.0, 0.5)
+        assert g.num_node_features == enc.base_features
+
+    def test_charge_adds_one(self, mesh):
+        enc = DeviceEncoder(include_charge=True)
+        g = enc.encode(mesh, 1.0, 0.5, charge=np.ones(mesh.num_nodes))
+        assert g.num_node_features == enc.base_features + 1
+
+    def test_charge_and_potential_add_two(self, mesh):
+        enc = DeviceEncoder(include_charge=True, include_potential=True)
+        g = enc.encode(mesh, 1.0, 0.5, charge=np.ones(mesh.num_nodes),
+                       psi=np.zeros(mesh.num_nodes))
+        assert g.num_node_features == enc.base_features + 2
+
+    def test_missing_charge_raises(self, mesh):
+        enc = DeviceEncoder(include_charge=True)
+        with pytest.raises(ValueError):
+            enc.encode(mesh, 1.0, 0.5)
+
+    def test_missing_potential_raises(self, mesh):
+        enc = DeviceEncoder(include_charge=False, include_potential=True)
+        with pytest.raises(ValueError):
+            enc.encode(mesh, 1.0, 0.5)
+
+
+class TestMaterialEmbedding:
+    def test_one_hot_valid(self, mesh):
+        enc = DeviceEncoder(include_charge=False)
+        g = enc.encode(mesh, 0.0, 0.0)
+        onehot = g.x[:, :NUM_MATERIALS]
+        np.testing.assert_allclose(onehot.sum(axis=1), 1.0)
+        assert set(np.unique(onehot)) <= {0.0, 1.0}
+
+    def test_one_hot_matches_mesh(self, mesh):
+        enc = DeviceEncoder(include_charge=False)
+        g = enc.encode(mesh, 0.0, 0.0)
+        onehot = g.x[:, :NUM_MATERIALS]
+        np.testing.assert_array_equal(np.argmax(onehot, axis=1),
+                                      mesh.material_idx)
+
+
+class TestDeviceEmbedding:
+    def test_region_one_hot(self, mesh):
+        enc = DeviceEncoder(include_charge=False)
+        g = enc.encode(mesh, 0.0, 0.0)
+        start = NUM_MATERIALS + 9  # material params vector length
+        region = g.x[:, start:start + Region.COUNT]
+        np.testing.assert_allclose(region.sum(axis=1), 1.0)
+        np.testing.assert_array_equal(np.argmax(region, axis=1), mesh.region)
+
+    def test_positions_normalised(self, mesh):
+        enc = DeviceEncoder(include_charge=False)
+        g = enc.encode(mesh, 0.0, 0.0)
+        start = NUM_MATERIALS + 9 + Region.COUNT
+        xs, ys = g.x[:, start], g.x[:, start + 1]
+        assert xs.min() == pytest.approx(0.0)
+        assert xs.max() == pytest.approx(1.0)
+        assert ys.max() == pytest.approx(1.0)
+
+    def test_bias_encoded_globally(self, mesh):
+        enc = DeviceEncoder(include_charge=False)
+        g = enc.encode(mesh, 2.5, 1.0)
+        start = NUM_MATERIALS + 9 + Region.COUNT
+        vg_col = g.x[:, start + 4]
+        vd_col = g.x[:, start + 5]
+        np.testing.assert_allclose(vg_col, 0.5)
+        np.testing.assert_allclose(vd_col, 0.2)
+
+    def test_bias_changes_features(self, mesh):
+        enc = DeviceEncoder(include_charge=False)
+        g1 = enc.encode(mesh, 0.0, 0.0)
+        g2 = enc.encode(mesh, 3.0, 1.0)
+        assert not np.allclose(g1.x, g2.x)
+
+
+class TestSpatialEmbedding:
+    def test_edge_features_antisymmetric(self, mesh):
+        """Edge (a->b) has dx,dy = -(b->a); distance equal."""
+        enc = DeviceEncoder(include_charge=False)
+        g = enc.encode(mesh, 0.0, 0.0)
+        # Mesh emits consecutive (a->b, b->a) pairs.
+        ea = g.edge_attr
+        np.testing.assert_allclose(ea[0::2, :2], -ea[1::2, :2])
+        np.testing.assert_allclose(ea[0::2, 2], ea[1::2, 2])
+
+    def test_edge_distances_positive_normalised(self, mesh):
+        enc = DeviceEncoder(include_charge=False)
+        g = enc.encode(mesh, 0.0, 0.0)
+        assert np.all(g.edge_attr[:, 2] > 0)
+        assert np.all(g.edge_attr[:, 2] <= 1.0)
+
+
+class TestSelfConsistentFeatures:
+    def test_charge_compression_monotone(self):
+        n = np.array([0.0, 1e10, 1e20, 1e25])
+        enc = encode_charge_density(n)
+        assert np.all(np.diff(enc) > 0)
+        assert enc.max() < 1.0
+
+    def test_potential_scaling(self):
+        psi = np.array([-5.0, 0.0, 5.0])
+        np.testing.assert_allclose(encode_potential(psi), [-1, 0, 1])
+
+    def test_charge_feature_in_last_column(self, mesh):
+        enc = DeviceEncoder(include_charge=True)
+        charge = np.full(mesh.num_nodes, 1e20)
+        g = enc.encode(mesh, 0.0, 0.0, charge=charge)
+        np.testing.assert_allclose(g.x[:, -1],
+                                   encode_charge_density(charge))
+
+
+class TestGraphTargets:
+    def test_node_target_passthrough(self, mesh):
+        enc = DeviceEncoder(include_charge=False)
+        y = np.zeros((mesh.num_nodes, 1))
+        g = enc.encode(mesh, 0.0, 0.0, y=y, target_level="node")
+        assert g.y.shape == (mesh.num_nodes, 1)
+
+    def test_meta_carries_bias_and_geometry(self, mesh):
+        enc = DeviceEncoder(include_charge=False)
+        g = enc.encode(mesh, 1.5, 0.7)
+        assert g.meta["vg"] == 1.5
+        assert g.meta["vd"] == 0.7
+        assert "l_channel" in g.meta

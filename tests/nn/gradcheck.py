@@ -1,0 +1,50 @@
+"""Finite-difference gradient checking helper for autograd tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_grad(fn, arrays, index, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*arrays)`` w.r.t.
+    ``arrays[index]``."""
+    base = [np.array(a, dtype=np.float64) for a in arrays]
+    target = base[index]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = target[idx]
+        target[idx] = orig + eps
+        f_plus = fn(*base)
+        target[idx] = orig - eps
+        f_minus = fn(*base)
+        target[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradients(tensor_fn, arrays, rtol: float = 1e-4,
+                    atol: float = 1e-6, eps: float = 1e-6) -> None:
+    """Assert autograd gradients match finite differences.
+
+    ``tensor_fn(*tensors) -> Tensor`` must return a scalar tensor.
+    """
+    tensors = [Tensor(np.array(a, dtype=np.float64), requires_grad=True)
+               for a in arrays]
+    out = tensor_fn(*tensors)
+    out.backward()
+
+    def scalar_fn(*arrs):
+        ts = [Tensor(a) for a in arrs]
+        return tensor_fn(*ts).item()
+
+    for i, t in enumerate(tensors):
+        expected = numeric_grad(scalar_fn, arrays, i, eps=eps)
+        actual = t.grad if t.grad is not None else np.zeros_like(expected)
+        np.testing.assert_allclose(
+            actual, expected, rtol=rtol, atol=atol,
+            err_msg=f"gradient mismatch for argument {i}")

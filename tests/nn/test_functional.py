@@ -1,0 +1,169 @@
+"""Tests for functional ops: softmax, concat/stack, scatter/segment ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from .gradcheck import check_gradients
+
+RNG = np.random.default_rng(7)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(RNG.normal(size=(4, 6)))
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_invariant_to_shift(self):
+        x = RNG.normal(size=(3, 5))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_gradient(self):
+        w = RNG.normal(size=(2, 4))
+        check_gradients(lambda a: (F.softmax(a) * w).sum(),
+                        [RNG.normal(size=(2, 4))])
+
+    def test_log_softmax_consistent(self):
+        x = Tensor(RNG.normal(size=(3, 4)))
+        np.testing.assert_allclose(F.log_softmax(x).data,
+                                   np.log(F.softmax(x).data), atol=1e-10)
+
+
+class TestConcatStack:
+    def test_concat_forward(self):
+        a, b = RNG.normal(size=(2, 3)), RNG.normal(size=(4, 3))
+        out = F.concat([Tensor(a), Tensor(b)], axis=0)
+        np.testing.assert_allclose(out.data, np.concatenate([a, b]))
+
+    def test_concat_gradient_axis0(self):
+        check_gradients(
+            lambda a, b: F.concat([a, b], axis=0).sum(),
+            [RNG.normal(size=(2, 3)), RNG.normal(size=(3, 3))])
+
+    def test_concat_gradient_axis1(self):
+        w = RNG.normal(size=(2, 5))
+        check_gradients(
+            lambda a, b: (F.concat([a, b], axis=1) * w).sum(),
+            [RNG.normal(size=(2, 2)), RNG.normal(size=(2, 3))])
+
+    def test_stack_gradient(self):
+        w = RNG.normal(size=(2, 3, 4))
+        check_gradients(
+            lambda a, b: (F.stack([a, b], axis=0) * w).sum(),
+            [RNG.normal(size=(3, 4)), RNG.normal(size=(3, 4))])
+
+
+class TestScatterGather:
+    def test_scatter_sum_forward(self):
+        src = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        out = F.scatter_sum(Tensor(src), np.array([0, 1, 0]), 2)
+        np.testing.assert_allclose(out.data, [[6.0, 8.0], [3.0, 4.0]])
+
+    def test_scatter_sum_empty_segment(self):
+        src = np.ones((2, 3))
+        out = F.scatter_sum(Tensor(src), np.array([0, 2]), 4)
+        np.testing.assert_allclose(out.data[1], 0.0)
+        np.testing.assert_allclose(out.data[3], 0.0)
+
+    def test_scatter_sum_gradient(self):
+        w = RNG.normal(size=(3, 2))
+        check_gradients(
+            lambda s: (F.scatter_sum(s, np.array([0, 2, 0, 1]), 3) * w).sum(),
+            [RNG.normal(size=(4, 2))])
+
+    def test_scatter_mean_forward(self):
+        src = np.array([[2.0], [4.0], [6.0]])
+        out = F.scatter_mean(Tensor(src), np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [6.0]])
+
+    def test_gather_scatter_roundtrip(self):
+        """scatter_sum(gather(x, idx), idx) multiplies rows by occurrence."""
+        x = Tensor(RNG.normal(size=(3, 2)), requires_grad=True)
+        idx = np.array([0, 0, 1, 2, 2, 2])
+        gathered = F.gather_rows(x, idx)
+        back = F.scatter_sum(gathered, idx, 3)
+        counts = np.array([2.0, 1.0, 3.0])[:, None]
+        np.testing.assert_allclose(back.data, x.data * counts)
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_per_segment(self):
+        logits = Tensor(RNG.normal(size=8))
+        index = np.array([0, 0, 0, 1, 1, 2, 2, 2])
+        alpha = F.segment_softmax(logits, index, 3)
+        sums = np.zeros(3)
+        np.add.at(sums, index, alpha.data)
+        np.testing.assert_allclose(sums, np.ones(3))
+
+    def test_multihead_shape(self):
+        logits = Tensor(RNG.normal(size=(6, 2)))
+        index = np.array([0, 0, 1, 1, 1, 1])
+        alpha = F.segment_softmax(logits, index, 2)
+        assert alpha.shape == (6, 2)
+        sums = np.zeros((2, 2))
+        np.add.at(sums, index, alpha.data)
+        np.testing.assert_allclose(sums, np.ones((2, 2)))
+
+    def test_matches_dense_softmax_single_segment(self):
+        logits = RNG.normal(size=5)
+        index = np.zeros(5, dtype=int)
+        seg = F.segment_softmax(Tensor(logits), index, 1).data
+        dense = np.exp(logits) / np.exp(logits).sum()
+        np.testing.assert_allclose(seg, dense, rtol=1e-10)
+
+    def test_gradient(self):
+        index = np.array([0, 0, 1, 1, 1])
+        w = RNG.normal(size=5)
+        check_gradients(
+            lambda lg: (F.segment_softmax(lg, index, 2) * w).sum(),
+            [RNG.normal(size=5)], rtol=1e-3, atol=1e-6)
+
+    def test_large_logits_stable(self):
+        logits = Tensor(np.array([1000.0, 1000.0, -1000.0]))
+        alpha = F.segment_softmax(logits, np.array([0, 0, 0]), 1)
+        assert np.all(np.isfinite(alpha.data))
+        np.testing.assert_allclose(alpha.data.sum(), 1.0)
+
+
+class TestActivationRegistry:
+    @pytest.mark.parametrize("name", ["relu", "tanh", "sigmoid", "elu",
+                                      "leaky_relu", "gelu", "softplus",
+                                      "identity"])
+    def test_lookup(self, name):
+        fn = F.get_activation(name)
+        out = fn(Tensor(np.array([0.5, -0.5])))
+        assert out.shape == (2,)
+        assert np.all(np.isfinite(out.data))
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            F.get_activation("swizzle")
+
+    def test_callable_passthrough(self):
+        fn = F.get_activation(lambda x: x)
+        assert fn(Tensor(np.ones(2))).shape == (2,)
+
+    def test_softplus_matches_reference(self):
+        x = np.linspace(-20, 20, 41)
+        out = F.softplus(Tensor(x)).data
+        np.testing.assert_allclose(out, np.logaddexp(0, x), atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=4))
+def test_property_scatter_sum_conserves_total(n_rows, n_segments):
+    """Total mass is conserved by scatter_sum regardless of the index map."""
+    rng = np.random.default_rng(n_rows * 13 + n_segments)
+    src = rng.normal(size=(n_rows, 3))
+    index = rng.integers(0, n_segments, size=n_rows)
+    out = F.scatter_sum(Tensor(src), index, n_segments)
+    np.testing.assert_allclose(out.data.sum(axis=0), src.sum(axis=0),
+                               atol=1e-12)

@@ -1,0 +1,247 @@
+"""Tests for GCNConv, RelGATConv, pooling, and graph batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (Batch, GCNConv, Graph, RelGATConv, Tensor, add_self_loops,
+                      batch_graphs, global_max_pool, global_mean_pool,
+                      global_sum_pool)
+
+RNG = np.random.default_rng(11)
+
+
+def chain_graph(n, fx=4, fe=3, rng=RNG):
+    edges = np.stack([np.arange(n - 1), np.arange(1, n)])
+    return Graph(x=rng.normal(size=(n, fx)), edge_index=edges,
+                 edge_attr=rng.normal(size=(n - 1, fe)))
+
+
+class TestGraphContainer:
+    def test_validates_edge_index_shape(self):
+        with pytest.raises(ValueError):
+            Graph(x=np.ones((3, 2)), edge_index=np.ones((3, 3), dtype=int))
+
+    def test_validates_node_reference(self):
+        with pytest.raises(ValueError):
+            Graph(x=np.ones((2, 2)), edge_index=np.array([[0, 1], [1, 5]]))
+
+    def test_validates_edge_attr_rows(self):
+        with pytest.raises(ValueError):
+            Graph(x=np.ones((3, 2)), edge_index=np.array([[0], [1]]),
+                  edge_attr=np.ones((2, 4)))
+
+    def test_to_undirected_doubles_edges(self):
+        g = chain_graph(4)
+        u = g.to_undirected()
+        assert u.num_edges == 2 * g.num_edges
+        assert u.edge_attr.shape[0] == u.num_edges
+
+    def test_counts(self):
+        g = chain_graph(5, fx=4, fe=3)
+        assert g.num_nodes == 5
+        assert g.num_edges == 4
+        assert g.num_node_features == 4
+        assert g.num_edge_features == 3
+
+
+class TestBatching:
+    def test_offsets_and_batch_vector(self):
+        g1, g2 = chain_graph(3), chain_graph(5)
+        b = batch_graphs([g1, g2])
+        assert b.num_nodes == 8
+        assert b.num_graphs == 2
+        np.testing.assert_array_equal(b.node_offsets, [0, 3, 8])
+        np.testing.assert_array_equal(b.batch, [0, 0, 0, 1, 1, 1, 1, 1])
+
+    def test_edges_offset(self):
+        g1, g2 = chain_graph(3), chain_graph(3)
+        b = batch_graphs([g1, g2])
+        # second graph's edges must reference nodes 3..5
+        np.testing.assert_array_equal(b.edge_index[:, 2:],
+                                      g2.edge_index + 3)
+
+    def test_graph_level_targets_stacked(self):
+        gs = []
+        for i in range(3):
+            g = chain_graph(4)
+            g.y = np.array([float(i), float(i) * 2])
+            g.meta["target_level"] = "graph"
+            gs.append(g)
+        b = batch_graphs(gs)
+        assert b.y.shape == (3, 2)
+
+    def test_node_level_targets_concatenated(self):
+        gs = []
+        for i in range(2):
+            g = chain_graph(3 + i)
+            g.y = np.ones((g.num_nodes, 1)) * i
+            gs.append(g)
+        b = batch_graphs(gs)
+        assert b.y.shape == (7, 1)
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            batch_graphs([])
+
+    def test_mixed_edge_attr_raises(self):
+        g1 = chain_graph(3)
+        g2 = Graph(x=np.ones((2, 4)), edge_index=np.array([[0], [1]]))
+        with pytest.raises(ValueError):
+            batch_graphs([g1, g2])
+
+
+class TestSelfLoops:
+    def test_adds_one_loop_per_node(self):
+        ei = np.array([[0, 1], [1, 2]])
+        out, _ = add_self_loops(ei, 4)
+        assert out.shape == (2, 6)
+        np.testing.assert_array_equal(out[:, 2:], [[0, 1, 2, 3]] * 2)
+
+    def test_edge_attr_filled(self):
+        ei = np.array([[0], [1]])
+        ea = np.ones((1, 2))
+        out_ei, out_ea = add_self_loops(ei, 2, ea, fill_value=0.5)
+        assert out_ea.shape == (3, 2)
+        np.testing.assert_allclose(out_ea[1:], 0.5)
+
+
+class TestGCNConv:
+    def test_shape(self):
+        g = chain_graph(6)
+        conv = GCNConv(4, 8, rng=RNG)
+        assert conv(Tensor(g.x), g.edge_index).shape == (6, 8)
+
+    def test_isolated_node_keeps_self_message(self):
+        # Node 2 has no edges; with self loops its output is its own features.
+        x = np.eye(3)
+        ei = np.array([[0], [1]])
+        conv = GCNConv(3, 3, bias=False, rng=RNG)
+        out = conv(Tensor(x), ei, num_nodes=3).data
+        expected_row2 = (x @ conv.lin.weight.data)[2]
+        np.testing.assert_allclose(out[2], expected_row2, atol=1e-12)
+
+    def test_permutation_equivariance(self):
+        """Relabeling nodes permutes the output rows identically."""
+        g = chain_graph(5).to_undirected()
+        conv = GCNConv(4, 6, rng=np.random.default_rng(5))
+        out = conv(Tensor(g.x), g.edge_index).data
+        perm = np.array([3, 1, 4, 0, 2])
+        inv = np.argsort(perm)
+        x_p = g.x[perm]
+        ei_p = inv[g.edge_index]
+        out_p = conv(Tensor(x_p), ei_p).data
+        np.testing.assert_allclose(out_p, out[perm], atol=1e-10)
+
+    def test_gradients_reach_weights(self):
+        g = chain_graph(4)
+        conv = GCNConv(4, 2, rng=RNG)
+        conv(Tensor(g.x), g.edge_index).sum().backward()
+        assert conv.lin.weight.grad is not None
+        assert np.any(conv.lin.weight.grad != 0)
+
+
+class TestRelGATConv:
+    def test_concat_heads_shape(self):
+        g = chain_graph(5)
+        conv = RelGATConv(4, 8, edge_features=3, heads=2, rng=RNG)
+        out = conv(Tensor(g.x), g.edge_index, g.edge_attr)
+        assert out.shape == (5, 16)
+
+    def test_mean_heads_shape(self):
+        g = chain_graph(5)
+        conv = RelGATConv(4, 8, edge_features=3, heads=2, concat=False,
+                          rng=RNG)
+        assert conv(Tensor(g.x), g.edge_index, g.edge_attr).shape == (5, 8)
+
+    def test_requires_edge_attr_when_configured(self):
+        g = chain_graph(4)
+        conv = RelGATConv(4, 8, edge_features=3, rng=RNG)
+        with pytest.raises(ValueError):
+            conv(Tensor(g.x), g.edge_index, None)
+
+    def test_works_without_edge_features(self):
+        g = chain_graph(4)
+        conv = RelGATConv(4, 8, edge_features=0, heads=2, rng=RNG)
+        assert conv(Tensor(g.x), g.edge_index).shape == (4, 16)
+
+    def test_residual_projects(self):
+        g = chain_graph(4)
+        conv = RelGATConv(4, 8, edge_features=3, heads=2, residual=True,
+                          rng=RNG)
+        assert conv(Tensor(g.x), g.edge_index, g.edge_attr).shape == (4, 16)
+
+    def test_edge_features_change_output(self):
+        g = chain_graph(5)
+        conv = RelGATConv(4, 8, edge_features=3, rng=np.random.default_rng(9))
+        out1 = conv(Tensor(g.x), g.edge_index, g.edge_attr).data
+        out2 = conv(Tensor(g.x), g.edge_index, g.edge_attr * 3.0).data
+        assert not np.allclose(out1, out2)
+
+    def test_permutation_equivariance(self):
+        g = chain_graph(6).to_undirected()
+        conv = RelGATConv(4, 5, edge_features=3, heads=2,
+                          rng=np.random.default_rng(2))
+        out = conv(Tensor(g.x), g.edge_index, g.edge_attr).data
+        perm = RNG.permutation(6)
+        inv = np.argsort(perm)
+        out_p = conv(Tensor(g.x[perm]), inv[g.edge_index], g.edge_attr).data
+        np.testing.assert_allclose(out_p, out[perm], atol=1e-10)
+
+    def test_gradients_reach_attention_params(self):
+        g = chain_graph(5)
+        conv = RelGATConv(4, 3, edge_features=3, heads=2, rng=RNG)
+        conv(Tensor(g.x), g.edge_index, g.edge_attr).sum().backward()
+        for p, name in [(conv.att_src, "att_src"), (conv.att_dst, "att_dst"),
+                        (conv.att_edge, "att_edge"),
+                        (conv.lin.weight, "lin"),
+                        (conv.lin_edge.weight, "lin_edge")]:
+            assert p.grad is not None, name
+            assert np.any(p.grad != 0), name
+
+    def test_batched_equals_individual(self):
+        """Disconnected batching must not leak messages between graphs."""
+        g1, g2 = chain_graph(4), chain_graph(3)
+        conv = RelGATConv(4, 6, edge_features=3, rng=np.random.default_rng(4))
+        b = batch_graphs([g1, g2])
+        out_b = conv(Tensor(b.x), b.edge_index, b.edge_attr).data
+        out_1 = conv(Tensor(g1.x), g1.edge_index, g1.edge_attr).data
+        out_2 = conv(Tensor(g2.x), g2.edge_index, g2.edge_attr).data
+        np.testing.assert_allclose(out_b[:4], out_1, atol=1e-12)
+        np.testing.assert_allclose(out_b[4:], out_2, atol=1e-12)
+
+
+class TestPooling:
+    def test_mean_pool(self):
+        x = Tensor(np.array([[1.0], [3.0], [10.0]]))
+        out = global_mean_pool(x, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[2.0], [10.0]])
+
+    def test_sum_pool(self):
+        x = Tensor(np.array([[1.0], [3.0], [10.0]]))
+        out = global_sum_pool(x, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[4.0], [10.0]])
+
+    def test_max_pool(self):
+        x = Tensor(np.array([[1.0, 5.0], [3.0, 2.0], [10.0, -1.0]]))
+        out = global_max_pool(x, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0, 5.0], [10.0, -1.0]])
+
+    def test_max_pool_gradient_goes_to_argmax(self):
+        x = Tensor(np.array([[1.0], [3.0]]), requires_grad=True)
+        global_max_pool(x, np.array([0, 0]), 1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0], [1.0]])
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=8))
+def test_property_gcn_chain_mirror_symmetry(n):
+    """A chain with constant features is mirror-symmetric, so GCN outputs
+    at positions i and n-1-i must be equal."""
+    x = np.ones((n, 3))
+    edges = np.stack([np.arange(n - 1), np.arange(1, n)])
+    g = Graph(x=x, edge_index=edges).to_undirected()
+    conv = GCNConv(3, 4, rng=np.random.default_rng(0))
+    out = conv(Tensor(g.x), g.edge_index).data
+    np.testing.assert_allclose(out, out[::-1], atol=1e-10)

@@ -1,0 +1,189 @@
+"""Tests for Module, Linear, MLP, LayerNorm, Sequential, Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (MLP, Activation, Dropout, LayerNorm, Linear, Module,
+                      ModuleList, Sequential, Tensor)
+
+from .gradcheck import check_gradients
+
+RNG = np.random.default_rng(3)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        lin = Linear(4, 7, rng=RNG)
+        out = lin(Tensor(RNG.normal(size=(5, 4))))
+        assert out.shape == (5, 7)
+
+    def test_matches_manual(self):
+        lin = Linear(3, 2, rng=RNG)
+        x = RNG.normal(size=(4, 3))
+        expected = x @ lin.weight.data + lin.bias.data
+        np.testing.assert_allclose(lin(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        lin = Linear(3, 2, bias=False, rng=RNG)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        lin = Linear(3, 2, rng=RNG)
+        out = lin(Tensor(RNG.normal(size=(4, 3))))
+        out.sum().backward()
+        assert lin.weight.grad is not None
+        assert lin.bias.grad is not None
+        np.testing.assert_allclose(lin.bias.grad, [4.0, 4.0])
+
+
+class TestMLP:
+    def test_depth(self):
+        mlp = MLP([3, 8, 8, 1], rng=RNG)
+        # 3 linear layers => 6 parameters (w, b each)
+        assert len(mlp.parameters()) == 6
+
+    def test_forward_shape(self):
+        mlp = MLP([5, 16, 2], rng=RNG)
+        assert mlp(Tensor(RNG.normal(size=(7, 5)))).shape == (7, 2)
+
+    def test_final_activation(self):
+        mlp = MLP([2, 4, 1], final_activation="sigmoid", rng=RNG)
+        out = mlp(Tensor(RNG.normal(size=(10, 2)))).data
+        assert np.all((out > 0) & (out < 1))
+
+    def test_layer_norm_variant(self):
+        mlp = MLP([2, 4, 1], layer_norm=True, rng=RNG)
+        # LayerNorm adds gamma/beta parameters
+        assert len(mlp.parameters()) == 6
+        assert mlp(Tensor(RNG.normal(size=(3, 2)))).shape == (3, 1)
+
+    def test_rejects_single_dim(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_can_fit_linear_function(self):
+        from repro.nn import Adam, mse_loss
+        rng = np.random.default_rng(0)
+        mlp = MLP([2, 16, 1], rng=rng)
+        opt = Adam(mlp.parameters(), lr=5e-3)
+        X = rng.normal(size=(128, 2))
+        y = (X @ np.array([[1.5], [-2.0]])) + 0.3
+        for _ in range(500):
+            opt.zero_grad()
+            loss = mse_loss(mlp(Tensor(X)), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 5e-2
+
+
+class TestLayerNorm:
+    def test_output_normalised(self):
+        ln = LayerNorm(6)
+        x = RNG.normal(size=(4, 6)) * 10 + 5
+        out = ln(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self):
+        ln = LayerNorm(3)
+        ln.gamma.data = np.array([2.0, 2.0, 2.0])
+        ln.beta.data = np.array([1.0, 1.0, 1.0])
+        out = ln(Tensor(RNG.normal(size=(5, 3)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-7)
+
+    def test_gradient(self):
+        ln = LayerNorm(4)
+        w = RNG.normal(size=(2, 4))
+
+        def fn(x):
+            return (ln(x) * w).sum()
+
+        check_gradients(fn, [RNG.normal(size=(2, 4))], rtol=1e-3)
+
+
+class TestModuleInfra:
+    def test_named_parameters_nested(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 3, rng=RNG)
+                self.blocks = ModuleList([Linear(3, 3, rng=RNG),
+                                          Linear(3, 1, rng=RNG)])
+
+            def forward(self, x):
+                x = self.a(x)
+                for b in self.blocks:
+                    x = b(x)
+                return x
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "a.weight" in names
+        assert "blocks.items.0.weight" in names
+        assert "blocks.items.1.bias" in names
+        assert net.num_parameters() == 2 * 3 + 3 + 3 * 3 + 3 + 3 + 1
+
+    def test_state_dict_roundtrip(self):
+        m1 = MLP([3, 5, 1], rng=np.random.default_rng(1))
+        m2 = MLP([3, 5, 1], rng=np.random.default_rng(2))
+        m2.load_state_dict(m1.state_dict())
+        x = Tensor(RNG.normal(size=(4, 3)))
+        np.testing.assert_allclose(m1(x).data, m2(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        m = MLP([3, 5, 1], rng=RNG)
+        state = m.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        m = Linear(3, 2, rng=RNG)
+        state = m.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2, rng=RNG), Dropout(0.5))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_zero_grad(self):
+        m = Linear(2, 2, rng=RNG)
+        m(Tensor(RNG.normal(size=(3, 2)))).sum().backward()
+        assert m.weight.grad is not None
+        m.zero_grad()
+        assert m.weight.grad is None
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        d = Dropout(0.9, rng=np.random.default_rng(0))
+        d.eval()
+        x = RNG.normal(size=(10, 10))
+        np.testing.assert_allclose(d(Tensor(x)).data, x)
+
+    def test_scales_in_train(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((2000, 1))
+        out = d(Tensor(x)).data
+        # Inverted dropout keeps the expectation ~1.
+        assert abs(out.mean() - 1.0) < 0.1
+        assert set(np.unique(out)) <= {0.0, 2.0}
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestSequentialActivation:
+    def test_sequential_iterates(self):
+        seq = Sequential(Linear(2, 3, rng=RNG), Activation("relu"))
+        assert len(seq) == 2
+        out = seq(Tensor(RNG.normal(size=(4, 2))))
+        assert out.shape == (4, 3)
+        assert np.all(out.data >= 0)

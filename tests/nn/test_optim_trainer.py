@@ -1,0 +1,252 @@
+"""Tests for optimizers, LR schedules, losses, metrics, trainer, and
+serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, CosineLR, Graph, Linear, MLP, SGD, StepLR, Tensor,
+                      TrainConfig, Trainer, clip_grad_norm, huber_loss,
+                      l1_loss, load_model, mape, mse, mse_loss, r2_score,
+                      relative_l2_loss, rmse, save_model, mae)
+from repro.nn.gnn import GCNConv, global_mean_pool
+from repro.nn.layers import Module
+
+RNG = np.random.default_rng(21)
+
+
+def quadratic_params():
+    """A single-parameter model for convergence tests: minimise (w - 3)^2."""
+    from repro.nn import Parameter
+    return Parameter(np.array([0.0]))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w = quadratic_params()
+        opt = SGD([w], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = ((w - 3.0) * (w - 3.0)).sum()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, [3.0], atol=1e-3)
+
+    def test_momentum_faster_than_plain(self):
+        def run(momentum):
+            w = quadratic_params()
+            opt = SGD([w], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                ((w - 3.0) * (w - 3.0)).sum().backward()
+                opt.step()
+            return abs(w.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        from repro.nn import Parameter
+        w = Parameter(np.array([10.0]))
+        opt = SGD([w], lr=0.1, weight_decay=0.5)
+        for _ in range(20):
+            opt.zero_grad()
+            (w * 0.0).sum().backward()
+            opt.step()
+        assert abs(w.data[0]) < 10.0
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = quadratic_params()
+        opt = Adam([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            ((w - 3.0) * (w - 3.0)).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, [3.0], atol=1e-2)
+
+    def test_skips_params_without_grad(self):
+        from repro.nn import Parameter
+        w1, w2 = Parameter(np.array([1.0])), Parameter(np.array([1.0]))
+        opt = Adam([w1, w2], lr=0.1)
+        (w1 * w1).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(w2.data, [1.0])
+        assert w1.data[0] != 1.0
+
+
+class TestClipAndSchedules:
+    def test_clip_grad_norm(self):
+        from repro.nn import Parameter
+        w = Parameter(np.array([1.0, 1.0]))
+        w.grad = np.array([3.0, 4.0])  # norm 5
+        pre = clip_grad_norm([w], max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(w.grad), 1.0)
+
+    def test_clip_noop_below_threshold(self):
+        from repro.nn import Parameter
+        w = Parameter(np.array([1.0]))
+        w.grad = np.array([0.5])
+        clip_grad_norm([w], max_norm=1.0)
+        np.testing.assert_allclose(w.grad, [0.5])
+
+    def test_step_lr(self):
+        w = quadratic_params()
+        opt = SGD([w], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == 0.5
+
+    def test_cosine_lr_endpoints(self):
+        w = quadratic_params()
+        opt = SGD([w], lr=1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+
+class TestLosses:
+    def test_mse_loss_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_l1_loss_value(self):
+        pred = Tensor(np.array([1.0, -3.0]))
+        assert l1_loss(pred, np.zeros(2)).item() == pytest.approx(2.0)
+
+    def test_huber_between_l1_and_l2_for_large_errors(self):
+        pred = Tensor(np.array([10.0]))
+        target = np.array([0.0])
+        h = huber_loss(pred, target, delta=1.0).item()
+        assert h < mse_loss(pred, target).item()
+        assert h > 0
+
+    def test_relative_l2_scale_invariant(self):
+        pred1 = Tensor(np.array([1.1, 0.9]))
+        t1 = np.array([1.0, 1.0])
+        pred2 = Tensor(np.array([1100.0, 900.0]))
+        t2 = np.array([1000.0, 1000.0])
+        a = relative_l2_loss(pred1, t1).item()
+        b = relative_l2_loss(pred2, t2).item()
+        assert a == pytest.approx(b, rel=1e-6)
+
+
+class TestMetrics:
+    def test_mse_rmse_mae(self):
+        pred, target = np.array([2.0, 4.0]), np.array([0.0, 0.0])
+        assert mse(pred, target) == pytest.approx(10.0)
+        assert rmse(pred, target) == pytest.approx(np.sqrt(10.0))
+        assert mae(pred, target) == pytest.approx(3.0)
+
+    def test_mape_percent(self):
+        assert mape(np.array([110.0]), np.array([100.0])) == pytest.approx(10.0)
+
+    def test_mape_ignores_zero_targets(self):
+        val = mape(np.array([1.0, 110.0]), np.array([0.0, 100.0]))
+        assert val == pytest.approx(10.0)
+
+    def test_mape_all_zero_targets_nan(self):
+        assert np.isnan(mape(np.ones(3), np.zeros(3)))
+
+    def test_r2_perfect(self):
+        y = RNG.normal(size=50)
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_zero(self):
+        y = RNG.normal(size=50)
+        assert r2_score(np.full_like(y, y.mean()), y) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.ones(3), np.ones(4))
+
+
+class _GraphRegressor(Module):
+    """Toy graph-level regressor: mean-pool then linear."""
+
+    def __init__(self, fx, rng):
+        super().__init__()
+        self.conv = GCNConv(fx, 8, rng=rng)
+        self.head = Linear(8, 1, rng=rng)
+
+    def forward_batch(self, batch):
+        h = self.conv(Tensor(batch.x), batch.edge_index).relu()
+        pooled = global_mean_pool(h, batch.batch, batch.num_graphs)
+        return self.head(pooled)
+
+
+def _make_graph_dataset(n, rng):
+    """Graphs whose target is the mean of node feature 0 (learnable)."""
+    graphs = []
+    for _ in range(n):
+        k = rng.integers(3, 7)
+        x = rng.normal(size=(k, 3))
+        edges = np.stack([np.arange(k - 1), np.arange(1, k)])
+        g = Graph(x=x, edge_index=edges, y=np.array([x[:, 0].mean()]),
+                  meta={"target_level": "graph"})
+        graphs.append(g)
+    return graphs
+
+
+class TestTrainer:
+    def test_fit_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        graphs = _make_graph_dataset(40, rng)
+        model = _GraphRegressor(3, rng)
+        trainer = Trainer(model, config=TrainConfig(epochs=30, batch_size=8,
+                                                    lr=5e-3, seed=1))
+        result = trainer.fit(graphs[:32], graphs[32:])
+        assert result.train_losses[-1] < result.train_losses[0]
+        assert result.epochs_run == 30
+
+    def test_early_stopping(self):
+        rng = np.random.default_rng(0)
+        graphs = _make_graph_dataset(20, rng)
+        model = _GraphRegressor(3, rng)
+        # lr=0 keeps validation loss flat, so patience must trigger.
+        cfg = TrainConfig(epochs=200, batch_size=8, lr=0.0,
+                          early_stop_patience=3, seed=1)
+        result = Trainer(model, config=cfg).fit(graphs[:16], graphs[16:])
+        assert result.epochs_run < 200
+
+    def test_restores_best_state(self):
+        rng = np.random.default_rng(0)
+        graphs = _make_graph_dataset(20, rng)
+        model = _GraphRegressor(3, rng)
+        cfg = TrainConfig(epochs=15, batch_size=4, lr=1e-2, seed=1)
+        trainer = Trainer(model, config=cfg)
+        result = trainer.fit(graphs[:16], graphs[16:])
+        final_val = trainer.evaluate(graphs[16:])
+        assert final_val == pytest.approx(result.best_val_loss, rel=1e-6)
+
+    def test_predict_shape(self):
+        rng = np.random.default_rng(0)
+        graphs = _make_graph_dataset(10, rng)
+        model = _GraphRegressor(3, rng)
+        preds = Trainer(model).predict(graphs)
+        assert preds.shape == (10, 1)
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        m1 = MLP([3, 7, 2], rng=np.random.default_rng(1))
+        m2 = MLP([3, 7, 2], rng=np.random.default_rng(2))
+        path = tmp_path / "model.npz"
+        save_model(m1, path, meta={"kind": "test", "epoch": 3})
+        meta = load_model(m2, path)
+        assert meta == {"kind": "test", "epoch": 3}
+        x = Tensor(RNG.normal(size=(4, 3)))
+        np.testing.assert_allclose(m1(x).data, m2(x).data)
+
+    def test_load_appends_npz_suffix(self, tmp_path):
+        m = MLP([2, 3, 1], rng=RNG)
+        path = tmp_path / "weights"
+        save_model(m, path.with_suffix(".npz"))
+        load_model(m, path)  # resolves weights.npz

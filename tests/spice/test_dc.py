@@ -1,0 +1,185 @@
+"""Tests for netlist construction, waveforms, and DC analyses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compact import TFTParams
+from repro.spice import (Circuit, DC, PWL, Pulse, dc_operating_point,
+                         dc_sweep)
+
+NMOS = TFTParams(polarity="n", vth=0.8, mu0=50e-4, gamma=0.2, ss=0.2,
+                 cox=1e-4, w=20e-6, l=4e-6)
+PMOS = TFTParams(polarity="p", vth=-0.8, mu0=25e-4, gamma=0.2, ss=0.2,
+                 cox=1e-4, w=40e-6, l=4e-6)
+
+
+def inverter(vdd=3.0, vin=0.0):
+    ckt = Circuit("inv")
+    ckt.vsource("vdd", "vdd", "0", vdd)
+    ckt.vsource("vin", "in", "0", vin)
+    ckt.tft("mp", "out", "in", "vdd", PMOS)
+    ckt.tft("mn", "out", "in", "0", NMOS)
+    return ckt
+
+
+class TestWaveforms:
+    def test_dc(self):
+        assert DC(2.5)(0.0) == 2.5
+        assert DC(2.5)(1e9) == 2.5
+
+    def test_pulse_phases(self):
+        p = Pulse(0.0, 3.0, td=10e-9, tr=5e-9, tf=5e-9, pw=20e-9)
+        assert p(0.0) == 0.0
+        assert p(10e-9 + 2.5e-9) == pytest.approx(1.5)
+        assert p(20e-9) == 3.0
+        assert p(10e-9 + 5e-9 + 20e-9 + 2.5e-9) == pytest.approx(1.5)
+        assert p(100e-9) == 0.0
+
+    def test_pulse_periodic(self):
+        p = Pulse(0.0, 1.0, td=0, tr=1e-9, tf=1e-9, pw=3e-9, period=10e-9)
+        assert p(0.5e-9) == pytest.approx(p(10.5e-9))
+
+    def test_pwl(self):
+        w = PWL((0.0, 1.0, 2.0), (0.0, 3.0, 3.0))
+        assert w(0.5) == pytest.approx(1.5)
+        assert w(5.0) == 3.0
+
+    def test_pwl_validation(self):
+        with pytest.raises(ValueError):
+            PWL((0.0, 1.0), (1.0,))
+        with pytest.raises(ValueError):
+            PWL((1.0, 0.5), (0.0, 0.0))
+
+
+class TestCircuit:
+    def test_duplicate_name_rejected(self):
+        ckt = Circuit()
+        ckt.resistor("r1", "a", "0", 100.0)
+        with pytest.raises(ValueError):
+            ckt.resistor("r1", "b", "0", 100.0)
+
+    def test_nodes_exclude_ground(self):
+        ckt = inverter()
+        assert "0" not in ckt.nodes()
+        assert set(ckt.nodes()) == {"vdd", "in", "out"}
+
+    def test_invalid_resistor(self):
+        with pytest.raises(ValueError):
+            Circuit().resistor("r", "a", "0", -1.0)
+
+    def test_vsource_scalar_becomes_dc(self):
+        ckt = Circuit()
+        ckt.vsource("v1", "a", "0", 1.5)
+        assert ckt.voltage_sources()[0].value(0.0) == 1.5
+
+
+class TestLinearDC:
+    def test_voltage_divider(self):
+        ckt = Circuit()
+        ckt.vsource("v1", "a", "0", 10.0)
+        ckt.resistor("r1", "a", "b", 1000.0)
+        ckt.resistor("r2", "b", "0", 3000.0)
+        op = dc_operating_point(ckt)
+        assert op.converged
+        assert op.v("b") == pytest.approx(7.5, rel=1e-6)
+
+    def test_source_current(self):
+        ckt = Circuit()
+        ckt.vsource("v1", "a", "0", 10.0)
+        ckt.resistor("r1", "a", "0", 1000.0)
+        op = dc_operating_point(ckt)
+        # Current into + terminal is negative when sourcing.
+        assert op.i("v1") == pytest.approx(-0.01, rel=1e-6)
+
+    def test_current_source(self):
+        ckt = Circuit()
+        ckt.isource("i1", "0", "a", 1e-3)  # pushes current into node a
+        ckt.resistor("r1", "a", "0", 2000.0)
+        op = dc_operating_point(ckt)
+        assert op.v("a") == pytest.approx(2.0, rel=1e-5)
+
+    def test_kcl_conservation(self):
+        """Sum of all vsource currents equals zero in a closed loop."""
+        ckt = Circuit()
+        ckt.vsource("v1", "a", "0", 5.0)
+        ckt.resistor("r1", "a", "b", 500.0)
+        ckt.vsource("v2", "b", "0", 1.0)
+        op = dc_operating_point(ckt)
+        assert op.i("v1") + (5.0 - 1.0) / 500.0 == pytest.approx(0, abs=1e-9)
+
+
+class TestInverterDC:
+    def test_output_high_for_low_input(self):
+        op = dc_operating_point(inverter(vin=0.0))
+        assert op.converged
+        assert op.v("out") == pytest.approx(3.0, abs=0.01)
+
+    def test_output_low_for_high_input(self):
+        op = dc_operating_point(inverter(vin=3.0))
+        assert op.v("out") == pytest.approx(0.0, abs=0.01)
+
+    def test_leakage_small(self):
+        op = dc_operating_point(inverter(vin=0.0))
+        assert abs(op.i("vdd")) < 1e-9
+
+    def test_transfer_curve_monotone_falling(self):
+        ckt = inverter()
+        sweep = dc_sweep(ckt, "vin", np.linspace(0, 3, 16),
+                         record_nodes=["out"])
+        out = sweep["out"]
+        assert np.all(np.diff(out) <= 1e-6)
+        assert out[0] > 2.9 and out[-1] < 0.1
+
+    def test_switching_threshold_near_mid(self):
+        ckt = inverter()
+        sweep = dc_sweep(ckt, "vin", np.linspace(0, 3, 61),
+                         record_nodes=["out"])
+        vin = sweep["sweep"]
+        out = sweep["out"]
+        vm = float(np.interp(1.5, out[::-1], vin[::-1]))
+        assert 1.0 < vm < 2.0
+
+    def test_sweep_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            dc_sweep(inverter(), "nosuch", [0.0])
+
+
+class TestNandDC:
+    def _nand(self, va, vb, vdd=3.0):
+        ckt = Circuit("nand2")
+        ckt.vsource("vdd", "vdd", "0", vdd)
+        ckt.vsource("va", "a", "0", va)
+        ckt.vsource("vb", "b", "0", vb)
+        ckt.tft("mpa", "out", "a", "vdd", PMOS)
+        ckt.tft("mpb", "out", "b", "vdd", PMOS)
+        ckt.tft("mna", "out", "a", "x", NMOS)
+        ckt.tft("mnb", "x", "b", "0", NMOS)
+        return ckt
+
+    @pytest.mark.parametrize("va,vb,expect_high", [
+        (0.0, 0.0, True), (0.0, 3.0, True), (3.0, 0.0, True),
+        (3.0, 3.0, False)])
+    def test_truth_table(self, va, vb, expect_high):
+        op = dc_operating_point(self._nand(va, vb))
+        assert op.converged
+        if expect_high:
+            assert op.v("out") > 2.9
+        else:
+            assert op.v("out") < 0.1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=100.0, max_value=1e6),
+       st.floats(min_value=100.0, max_value=1e6),
+       st.floats(min_value=-10.0, max_value=10.0))
+def test_property_divider_formula(r1, r2, v):
+    """DC solution matches the analytic divider for any element values."""
+    ckt = Circuit()
+    ckt.vsource("v1", "a", "0", v)
+    ckt.resistor("r1", "a", "b", r1)
+    ckt.resistor("r2", "b", "0", r2)
+    op = dc_operating_point(ckt)
+    assert op.v("b") == pytest.approx(v * r2 / (r1 + r2), rel=1e-6,
+                                      abs=1e-9)

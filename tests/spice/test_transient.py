@@ -1,0 +1,193 @@
+"""Tests for transient analysis and waveform measurements."""
+
+import numpy as np
+import pytest
+
+from repro.compact import TFTParams
+from repro.spice import (Circuit, Pulse, average_power, crossing_times,
+                         first_crossing, integrate_supply_energy,
+                         propagation_delay, settles_to, transient,
+                         transition_time)
+
+NMOS = TFTParams(polarity="n", vth=0.8, mu0=50e-4, gamma=0.2, ss=0.2,
+                 cox=1e-4, w=20e-6, l=4e-6, cov=2e-10)
+PMOS = TFTParams(polarity="p", vth=-0.8, mu0=25e-4, gamma=0.2, ss=0.2,
+                 cox=1e-4, w=40e-6, l=4e-6, cov=2e-10)
+VDD = 3.0
+
+
+def inverter_tran():
+    ckt = Circuit("inv")
+    ckt.vsource("vdd", "vdd", "0", VDD)
+    ckt.vsource("vin", "in", "0",
+                Pulse(0.0, VDD, td=1e-7, tr=2e-8, tf=2e-8, pw=3e-7))
+    ckt.tft("mp", "out", "in", "vdd", PMOS)
+    ckt.tft("mn", "out", "in", "0", NMOS)
+    ckt.capacitor("cl", "out", "0", 50e-15)
+    return ckt
+
+
+class TestRCTransient:
+    def _rc(self):
+        ckt = Circuit("rc")
+        ckt.vsource("v1", "a", "0", Pulse(0.0, 1.0, td=0.0, tr=1e-12,
+                                          tf=1e-12, pw=1.0))
+        ckt.resistor("r1", "a", "b", 1000.0)
+        ckt.capacitor("c1", "b", "0", 1e-9)  # tau = 1 us
+        return ckt
+
+    def test_exponential_charge_be(self):
+        res = transient(self._rc(), t_stop=5e-6, dt=2e-8)
+        v = res.v("b")
+        t = res.t
+        expected = 1.0 - np.exp(-t / 1e-6)
+        # BE is first order; modest tolerance.
+        assert np.max(np.abs(v[5:] - expected[5:])) < 0.03
+
+    def test_trapezoidal_more_accurate_on_smooth_input(self):
+        """With an input ramp resolved by the grid (no step discontinuity),
+        second-order trapezoidal beats first-order BE."""
+        def rc_ramp():
+            ckt = Circuit("rc")
+            ckt.vsource("v1", "a", "0", Pulse(0.0, 1.0, td=0.0, tr=1e-6,
+                                              tf=1e-6, pw=10.0))
+            ckt.resistor("r1", "a", "b", 1000.0)
+            ckt.capacitor("c1", "b", "0", 1e-9)
+            return ckt
+
+        tau, t_r = 1e-6, 1e-6
+
+        def exact(t):
+            # Ramp response of a first-order RC (piecewise analytic).
+            ramp = (t - tau * (1 - np.exp(-t / tau))) / t_r
+            after = ((t - t_r) - tau * (1 - np.exp(-(t - t_r) / tau))) / t_r
+            return np.where(t < t_r, ramp, ramp - after)
+
+        res_be = transient(rc_ramp(), t_stop=4e-6, dt=1e-7)
+        res_tr = transient(rc_ramp(), t_stop=4e-6, dt=1e-7, method="trap")
+        err_be = np.max(np.abs(res_be.v("b") - exact(res_be.t)))
+        err_tr = np.max(np.abs(res_tr.v("b") - exact(res_tr.t)))
+        assert err_tr < err_be
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            transient(self._rc(), 1e-6, 1e-8, method="euler")
+
+    def test_time_axis(self):
+        res = transient(self._rc(), t_stop=1e-6, dt=1e-7)
+        assert res.t[0] == 0.0
+        assert res.t[-1] >= 1e-6
+        assert len(res.t) == 11
+
+
+class TestInverterTransient:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return transient(inverter_tran(), t_stop=6e-7, dt=2e-9)
+
+    def test_converged(self, result):
+        assert result.converged
+
+    def test_output_switches_both_ways(self, result):
+        out = result.v("out")
+        assert out[0] > 2.9                       # high before edge
+        mid = out[(result.t > 2e-7) & (result.t < 3.5e-7)]
+        assert mid.min() < 0.1                    # low after rising input
+
+    def test_delays_positive_and_sane(self, result):
+        d_f = propagation_delay(result.t, result.v("in"), result.v("out"),
+                                VDD, in_rising=True, out_rising=False)
+        d_r = propagation_delay(result.t, result.v("in"), result.v("out"),
+                                VDD, in_rising=False, out_rising=True,
+                                after=3e-7)
+        assert 1e-9 < d_f < 1e-7
+        assert 1e-9 < d_r < 1e-7
+
+    def test_output_slew_measured(self, result):
+        s = transition_time(result.t, result.v("out"), VDD, rising=False,
+                            after=1e-7)
+        assert 1e-9 < s < 2e-7
+
+    def test_load_increases_delay(self):
+        def delay_with(cl):
+            ckt = Circuit("inv")
+            ckt.vsource("vdd", "vdd", "0", VDD)
+            ckt.vsource("vin", "in", "0",
+                        Pulse(0.0, VDD, td=1e-7, tr=2e-8, tf=2e-8, pw=4e-7))
+            ckt.tft("mp", "out", "in", "vdd", PMOS)
+            ckt.tft("mn", "out", "in", "0", NMOS)
+            ckt.capacitor("cl", "out", "0", cl)
+            res = transient(ckt, t_stop=4e-7, dt=2e-9)
+            return propagation_delay(res.t, res.v("in"), res.v("out"), VDD,
+                                     in_rising=True, out_rising=False)
+
+        assert delay_with(100e-15) > delay_with(20e-15)
+
+    def test_dynamic_energy_positive(self, result):
+        e = integrate_supply_energy(result.t, result.i("vdd"), VDD)
+        assert e > 0
+        # CV^2-scale sanity: tens of fJ to pJ for 50 fF at 3 V.
+        assert 1e-14 < e < 1e-11
+
+    def test_average_power(self, result):
+        p = average_power(result.t, result.i("vdd"), VDD)
+        assert p > 0
+
+
+class TestRingOscillator:
+    def test_three_stage_ring_oscillates(self):
+        ckt = Circuit("ring3")
+        ckt.vsource("vdd", "vdd", "0", VDD)
+        nodes = ["n1", "n2", "n3"]
+        for i in range(3):
+            a, y = nodes[i], nodes[(i + 1) % 3]
+            ckt.tft(f"mp{i}", y, a, "vdd", PMOS)
+            ckt.tft(f"mn{i}", y, a, "0", NMOS)
+            ckt.capacitor(f"c{i}", y, "0", 10e-15)
+        # Kick the ring out of its metastable DC point.
+        ckt.isource("kick", "0", "n1",
+                    Pulse(0.0, 1e-6, td=0, tr=1e-9, tf=1e-9, pw=2e-8))
+        res = transient(ckt, t_stop=2e-6, dt=4e-9)
+        v = res.v("n1")[len(res.t) // 2:]
+        # Oscillation: output repeatedly crosses mid-rail.
+        crossings = crossing_times(res.t[len(res.t) // 2:], v, VDD / 2)
+        assert len(crossings) >= 4
+        assert v.max() > 2.0 and v.min() < 1.0
+
+
+class TestMeasureHelpers:
+    def test_crossing_times_interpolation(self):
+        t = np.array([0.0, 1.0, 2.0])
+        v = np.array([0.0, 2.0, 0.0])
+        ups = crossing_times(t, v, 1.0, rising=True)
+        downs = crossing_times(t, v, 1.0, rising=False)
+        np.testing.assert_allclose(ups, [0.5])
+        np.testing.assert_allclose(downs, [1.5])
+
+    def test_first_crossing_after(self):
+        t = np.linspace(0, 10, 101)
+        v = np.sin(t)
+        c = first_crossing(t, v, 0.0, rising=True, after=5.0)
+        assert c == pytest.approx(2 * np.pi, abs=0.1)
+
+    def test_first_crossing_none_is_nan(self):
+        t = np.linspace(0, 1, 10)
+        assert np.isnan(first_crossing(t, np.zeros(10), 1.0))
+
+    def test_propagation_delay_nan_when_no_output_edge(self):
+        t = np.linspace(0, 1, 100)
+        vin = np.where(t > 0.5, 3.0, 0.0)
+        vout = np.full_like(t, 3.0)
+        assert np.isnan(propagation_delay(t, vin, vout, 3.0, True, False))
+
+    def test_settles_to(self):
+        t = np.linspace(0, 1, 100)
+        v = 3.0 * (1 - np.exp(-t * 20))
+        assert settles_to(t, v, 3.0, tol=0.05)
+        assert not settles_to(t, v, 0.0, tol=0.05)
+
+    def test_energy_window(self):
+        t = np.linspace(0, 1, 101)
+        i = np.full_like(t, -1e-3)   # constant 1 mA draw
+        e = integrate_supply_energy(t, i, 2.0, t0=0.0, t1=0.5)
+        assert e == pytest.approx(1e-3, rel=1e-6)

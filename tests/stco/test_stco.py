@@ -1,0 +1,168 @@
+"""Tests for the STCO framework: space, env, agents, runtime ledger."""
+
+import numpy as np
+import pytest
+
+from repro.charlib import (CharConfig, CharTrainConfig, Corner,
+                           build_char_dataset, train_char_model)
+from repro.eda import build_benchmark
+from repro.stco import (DesignSpace, FastSTCO, GridSearchAgent, PPAWeights,
+                        QLearningAgent, RandomSearchAgent, RuntimeLedger,
+                        IterationTiming, STCOEnvironment, default_space)
+
+FAST_CFG = CharConfig(slews=(8e-9,), loads=(15e-15,), n_bisect=3,
+                      max_steps=200)
+CELLS = ("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1")
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("stco_cache")
+    ds = build_char_dataset(
+        "ltps", cells=CELLS,
+        train_corners=[Corner(1.0, 0.0, 1.0), Corner(0.9, 0.05, 1.1),
+                       Corner(1.1, -0.05, 0.9)],
+        test_corners=[Corner(0.95, 0.02, 1.05)],
+        config=FAST_CFG, cache_dir=cache)
+    model = train_char_model(ds, train_config=CharTrainConfig(epochs=12))
+    return model, ds
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return DesignSpace(vdd_scales=(0.9, 1.0, 1.1), vth_shifts=(0.0,),
+                       cox_scales=(0.9, 1.1))
+
+
+@pytest.fixture(scope="module")
+def env(trained, small_space):
+    from repro.charlib import GNNLibraryBuilder
+    model, ds = trained
+    builder = GNNLibraryBuilder(model, ds, cells=CELLS, config=FAST_CFG)
+    return STCOEnvironment(build_benchmark("s298"), builder, small_space)
+
+
+class TestDesignSpace:
+    def test_default_size(self):
+        assert default_space().size == 5 * 3 * 3
+
+    def test_point_roundtrip(self):
+        space = default_space()
+        for i in (0, 7, space.size - 1):
+            assert space.index_of(space.point(i)) == i
+
+    def test_neighbors_are_adjacent(self):
+        space = default_space()
+        idx = space.size // 2
+        corner = space.point(idx)
+        for n in space.neighbors(idx):
+            other = space.point(n)
+            diffs = sum(1 for a, b in (
+                (corner.vdd_scale, other.vdd_scale),
+                (corner.vth_shift, other.vth_shift),
+                (corner.cox_scale, other.cox_scale)) if a != b)
+            assert diffs == 1
+
+    def test_corner_neighbors_fewer(self):
+        space = default_space()
+        assert len(space.neighbors(0)) == 3   # corner of the 3-D grid
+
+
+class TestPPAWeights:
+    def test_faster_is_better(self):
+        from repro.eda import SystemResult
+        base = dict(design="d", gates=1, flops=0, area_um2=1e4,
+                    wirelength_um=1.0, min_period_s=1e-6,
+                    total_power_w=1e-5, dynamic_power_w=1e-5,
+                    leakage_power_w=0.0, drc_violations=0,
+                    lvs_violations=0)
+        slow = SystemResult(fmax_hz=1e6, **base)
+        fast = SystemResult(fmax_hz=2e6, **base)
+        w = PPAWeights()
+        assert w.score(fast) > w.score(slow)
+
+    def test_lower_power_is_better(self):
+        from repro.eda import SystemResult
+        base = dict(design="d", gates=1, flops=0, area_um2=1e4,
+                    wirelength_um=1.0, min_period_s=1e-6, fmax_hz=1e6,
+                    dynamic_power_w=0.0, leakage_power_w=0.0,
+                    drc_violations=0, lvs_violations=0)
+        hungry = SystemResult(total_power_w=1e-4, **base)
+        frugal = SystemResult(total_power_w=1e-6, **base)
+        assert PPAWeights().score(frugal) > PPAWeights().score(hungry)
+
+
+class TestEnvironment:
+    def test_evaluate_returns_record(self, env):
+        rec = env.evaluate(0)
+        assert rec.result.fmax_hz > 0
+        assert np.isfinite(rec.reward)
+
+    def test_evaluation_cached(self, env):
+        r1 = env.evaluate(1)
+        n_before = len(env.history)
+        r2 = env.evaluate(1)
+        assert r1 is r2
+        assert len(env.history) == n_before
+
+    def test_best_tracks_max(self, env):
+        env.evaluate(0)
+        env.evaluate(2)
+        best = env.best()
+        assert best.reward == max(r.reward for r in env.history)
+
+
+class TestAgents:
+    def test_qlearning_explores(self, env):
+        agent = QLearningAgent(env, seed=3)
+        result = agent.run(iterations=6)
+        assert np.isfinite(result.best_reward)
+        assert result.evaluations >= 1
+        assert len(result.rewards) == 6
+
+    def test_grid_search_finds_global_best(self, env, small_space):
+        grid = GridSearchAgent(env).run()
+        assert grid.evaluations == small_space.size
+        # Q-learning can't beat exhaustive search.
+        q = QLearningAgent(env, seed=0).run(iterations=8)
+        assert q.best_reward <= grid.best_reward + 1e-9
+
+    def test_random_search(self, env):
+        result = RandomSearchAgent(env, seed=1).run(iterations=5)
+        assert len(result.rewards) == 5
+
+
+class TestFastSTCO:
+    def test_campaign(self, trained, small_space):
+        model, ds = trained
+        stco = FastSTCO(build_benchmark("s298"), model, ds, cells=CELLS,
+                        char_config=FAST_CFG, space=small_space)
+        out = stco.run(iterations=5)
+        assert out.iterations == 5
+        assert out.best_reward > -np.inf
+        assert set(out.best_ppa) == {"power_w", "performance_hz",
+                                     "area_um2"}
+        assert out.mean_iteration_s < 5.0    # the GNN path must be fast
+
+
+class TestRuntimeLedger:
+    def test_calibrated_matches_paper(self):
+        ledger = RuntimeLedger()
+        row = ledger.calibrated_row("s386")
+        assert row["speedup"] == pytest.approx(14.1, abs=0.15)
+
+    def test_measured_speedup(self):
+        ledger = RuntimeLedger()
+        fast = IterationTiming(tcad_s=0.1, charlib_s=0.2, setup_s=0.05,
+                               system_eval_s=1.0)
+        slow = IterationTiming(tcad_s=10.0, charlib_s=50.0,
+                               system_eval_s=1.0)
+        ledger.record("s298", fast)
+        ledger.record("s298", slow, slow_path=True)
+        row = ledger.measured_row("s298")
+        assert row["speedup"] == pytest.approx(61.0 / 1.35, rel=1e-6)
+
+    def test_measured_row_requires_both_paths(self):
+        ledger = RuntimeLedger()
+        ledger.record("s298", IterationTiming(system_eval_s=1.0))
+        assert ledger.measured_row("s298") is None

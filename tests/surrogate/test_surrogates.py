@@ -1,0 +1,129 @@
+"""Tests for the RelGAT surrogates and the Table II training pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.nn import TrainConfig, batch_graphs
+from repro.surrogate import (IVPredictor, PoissonEmulator, RelGATConfig,
+                             SurrogateTrainer, ci_iv_config,
+                             ci_poisson_config, paper_iv_config,
+                             paper_poisson_config, train_surrogates)
+from repro.tcad import TCADDatasetBuilder
+
+SMALL_MESH = {"nx_channel": 7, "nx_overlap": 2, "ny_semi": 3, "ny_ox": 3}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    builder = TCADDatasetBuilder(seed=11, mesh_resolution=SMALL_MESH)
+    return builder.build(n_train=10, n_val=3, n_test=3, n_unseen=3)
+
+
+class TestRelGATConfigs:
+    def test_paper_poisson_size(self):
+        model = PoissonEmulator(paper_poisson_config(31))
+        n = model.num_parameters()
+        assert 0.7e6 < n < 1.3e6, n
+
+    def test_paper_poisson_depth_and_heads(self):
+        cfg = paper_poisson_config(31)
+        assert cfg.num_layers == 12
+        assert cfg.heads == 2
+
+    def test_paper_iv_size(self):
+        model = IVPredictor(paper_iv_config(32))
+        n = model.num_parameters()
+        assert 0.1e6 < n < 0.22e6, n
+
+    def test_paper_iv_depth_and_heads(self):
+        cfg = paper_iv_config(32)
+        assert cfg.num_layers == 3
+        assert cfg.heads == 1
+
+    def test_iv_head_is_4_layer_mlp(self):
+        model = IVPredictor(ci_iv_config(32))
+        linear_count = sum(1 for m in model.head.modules()
+                           if m.__class__.__name__ == "Linear")
+        assert linear_count == 4
+
+    def test_poisson_head_must_output_scalar(self):
+        cfg = ci_poisson_config(31)
+        bad = RelGATConfig(**{**cfg.__dict__, "mlp_dims": (16, 3)})
+        with pytest.raises(ValueError):
+            PoissonEmulator(bad)
+
+
+class TestForwardShapes:
+    def test_poisson_node_outputs(self, dataset):
+        graphs = dataset.poisson["train"][:3]
+        model = PoissonEmulator(
+            ci_poisson_config(graphs[0].num_node_features))
+        batch = batch_graphs(graphs)
+        out = model.forward_batch(batch)
+        assert out.shape == (batch.num_nodes, 1)
+
+    def test_iv_graph_outputs(self, dataset):
+        graphs = dataset.iv["train"][:3]
+        model = IVPredictor(ci_iv_config(graphs[0].num_node_features))
+        batch = batch_graphs(graphs)
+        out = model.forward_batch(batch)
+        assert out.shape == (3, 1)
+
+    def test_predict_potential_volts(self, dataset):
+        g = dataset.poisson["train"][0]
+        model = PoissonEmulator(ci_poisson_config(g.num_node_features))
+        psi = model.predict_potential(g)
+        assert psi.shape == (g.num_nodes,)
+        assert np.all(np.isfinite(psi))
+
+    def test_predict_current_amps(self, dataset):
+        graphs = dataset.iv["train"][:2]
+        model = IVPredictor(ci_iv_config(graphs[0].num_node_features))
+        ids = model.predict_current(graphs)
+        assert ids.shape == (2,)
+        assert np.all(ids > 0)
+
+
+class TestTrainingPipeline:
+    @pytest.fixture(scope="class")
+    def results(self, dataset):
+        cfg = TrainConfig(epochs=8, batch_size=4, lr=3e-3, grad_clip=2.0)
+        metrics, pm, im = train_surrogates(dataset, cfg)
+        return metrics, pm, im
+
+    def test_metrics_structure(self, results):
+        metrics, _, _ = results
+        assert set(metrics) == {"poisson", "iv"}
+        for m in metrics.values():
+            assert np.isfinite(m.mse_val)
+            assert np.isfinite(m.mse_test)
+            assert np.isfinite(m.mse_unseen)
+            assert m.train_epochs > 0
+
+    def test_models_returned_trained(self, results):
+        _, pm, im = results
+        assert pm is not None and im is not None
+
+    def test_training_improves_over_untrained(self, dataset, results):
+        """A trained Poisson emulator must beat a freshly initialised one."""
+        metrics, pm, _ = results
+        graphs = dataset.poisson["test"]
+        fresh = PoissonEmulator(
+            ci_poisson_config(graphs[0].num_node_features))
+        batch = batch_graphs(graphs)
+        from repro.nn import no_grad, mse
+        with no_grad():
+            fresh_mse = mse(fresh.forward_batch(batch).data, batch.y)
+            trained_mse = mse(pm.forward_batch(batch).data, batch.y)
+        assert trained_mse < fresh_mse
+
+    def test_config_mismatch_raises(self, dataset):
+        bad = ci_poisson_config(999)
+        with pytest.raises(ValueError):
+            SurrogateTrainer(dataset, poisson_config=bad).train()
+
+    def test_metrics_row_format(self, results):
+        metrics, _, _ = results
+        row = metrics["poisson"].row()
+        assert row[0] == "Poisson Emulator"
+        assert len(row) == 5

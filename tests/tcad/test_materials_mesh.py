@@ -1,0 +1,120 @@
+"""Tests for the material database and device meshing."""
+
+import numpy as np
+import pytest
+
+from repro.tcad import (MATERIALS, Material, PlanarTFT, Region, material,
+                        material_names)
+from repro.tcad.materials import INSULATOR, METAL, SEMICONDUCTOR
+
+
+class TestMaterials:
+    def test_lookup(self):
+        assert material("igzo").kind == SEMICONDUCTOR
+        assert material("sio2").kind == INSULATOR
+        assert material("al").kind == METAL
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            material("unobtainium")
+
+    def test_indices_unique_and_dense(self):
+        indices = sorted(m.index for m in MATERIALS.values())
+        assert indices == list(range(len(MATERIALS)))
+
+    def test_names_in_index_order(self):
+        names = material_names()
+        assert [material(n).index for n in names] == list(range(len(names)))
+
+    def test_intrinsic_density_wide_gap_small(self):
+        """IGZO (3.1 eV) must have far fewer intrinsic carriers than CNT
+        (0.6 eV)."""
+        assert material("igzo").ni < material("cnt").ni * 1e-10
+
+    def test_metal_ni_zero(self):
+        assert material("al").ni == 0.0
+
+    def test_param_vector_finite_and_stable_length(self):
+        lengths = {len(m.param_vector()) for m in MATERIALS.values()}
+        assert len(lengths) == 1
+        for m in MATERIALS.values():
+            assert np.all(np.isfinite(m.param_vector()))
+
+
+class TestPlanarTFT:
+    def test_rejects_non_semiconductor_channel(self):
+        with pytest.raises(ValueError):
+            PlanarTFT(channel_material="sio2")
+
+    def test_rejects_nonpositive_geometry(self):
+        with pytest.raises(ValueError):
+            PlanarTFT(l_channel=0.0)
+
+    def test_polarity_from_doping(self):
+        assert PlanarTFT(contact_doping=1e25).polarity == "n"
+        assert PlanarTFT(contact_doping=-1e25).polarity == "p"
+
+    def test_cox(self):
+        dev = PlanarTFT(oxide_material="sio2", t_ox=100e-9)
+        # eps0 * 3.9 / 100nm ~ 3.45e-4 F/m^2
+        assert dev.cox == pytest.approx(3.45e-4, rel=0.01)
+
+
+class TestMesh:
+    @pytest.fixture
+    def mesh(self):
+        return PlanarTFT().mesh()
+
+    def test_node_count(self, mesh):
+        assert mesh.num_nodes == mesh.nx * mesh.ny
+
+    def test_all_regions_present(self, mesh):
+        present = set(mesh.region)
+        assert present == {Region.GATE, Region.OXIDE, Region.CHANNEL,
+                           Region.SOURCE, Region.DRAIN}
+
+    def test_gate_nodes_dirichlet(self, mesh):
+        gate = mesh.region == Region.GATE
+        assert mesh.dirichlet_mask[gate].all()
+
+    def test_source_drain_contacts_on_top(self, mesh):
+        top = mesh.node_xy[:, 1] == mesh.ys[-1]
+        for kind in ("source", "drain"):
+            ids = [i for i, k in enumerate(mesh.dirichlet_kind) if k == kind]
+            assert ids, kind
+            assert all(top[i] for i in ids)
+
+    def test_channel_not_dirichlet(self, mesh):
+        ch = mesh.region == Region.CHANNEL
+        assert not mesh.dirichlet_mask[ch].any()
+
+    def test_doping_in_contacts_only(self, mesh):
+        contacts = np.isin(mesh.region, [Region.SOURCE, Region.DRAIN])
+        assert np.all(mesh.doping[contacts] == 1e25)
+        channel = mesh.region == Region.CHANNEL
+        assert np.all(mesh.doping[channel] == 1e21)
+
+    def test_edges_bidirectional(self, mesh):
+        pairs = set(map(tuple, mesh.edges.T))
+        for a, b in list(pairs)[:200]:
+            assert (b, a) in pairs
+
+    def test_edge_vectors_match_coords(self, mesh):
+        vec = mesh.edge_vectors()
+        src, dst = mesh.edges
+        delta = mesh.node_xy[dst] - mesh.node_xy[src]
+        np.testing.assert_allclose(vec[:, :2], delta)
+        np.testing.assert_allclose(vec[:, 2],
+                                   np.linalg.norm(delta, axis=1))
+
+    def test_semiconductor_mask(self, mesh):
+        mask = mesh.semiconductor_mask()
+        assert mask.sum() == np.isin(
+            mesh.region, [Region.CHANNEL, Region.SOURCE, Region.DRAIN]).sum()
+
+    def test_geometry_spans(self, mesh):
+        meta = mesh.meta
+        total_l = meta["l_channel"] + 2 * meta["l_overlap"]
+        total_t = meta["t_gate"] + meta["t_ox"] + meta["t_semi"]
+        assert mesh.xs[-1] == pytest.approx(total_l)
+        assert mesh.ys[-1] == pytest.approx(total_t)
