@@ -1,4 +1,10 @@
-"""Setup shim for offline editable installs (no `wheel` package available)."""
+"""Setup shim for offline editable installs (no `wheel` package available).
+
+All metadata and the src-layout package configuration live in
+``setup.cfg``; keeping a plain ``setup.py`` (and **no** ``pyproject.toml``)
+lets ``pip install -e .`` take the legacy ``setup.py develop`` path, which
+works in this container's offline toolchain (setuptools without ``wheel``).
+"""
 from setuptools import setup
 
 setup()

@@ -4,12 +4,31 @@ Both produce the same :class:`~repro.charlib.liberty.Library` artifact, so
 the EDA flow is agnostic to how the library was characterized — exactly
 the property the paper's framework exploits: swap the ~1900 s commercial
 characterization for an 8.88 s GNN inference pass.
+
+The GNN builder is factored into three stages so the evaluation engine
+can batch across cells *and* corners:
+
+* :meth:`GNNLibraryBuilder.plan_cell` — encode every graph one cell needs
+  at one corner (the timing grid, per-pin capacitance probes, the power
+  base point, the sequential constraint point);
+* :meth:`GNNLibraryBuilder.cell_predictions` — run the per-cell forward
+  passes (the serial path, bit-identical to the historical behavior);
+* :meth:`GNNLibraryBuilder.assemble_cell` — turn predictions into a
+  :class:`~repro.charlib.liberty.LibCell`.
+
+:mod:`repro.engine.batching` replaces stage two with concatenated
+forward passes over many cells/corners at once.
+
+Both builders also expose :meth:`fingerprint`, a stable content hash of
+everything that influences their output (technology, cell list, config,
+and — for the GNN — the exact model weights and dataset normalizers),
+which the engine uses for content-addressed caching.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, asdict
 
 import numpy as np
 
@@ -22,7 +41,17 @@ from .liberty import LibCell, Library, TimingTable
 from .model import CellCharGCN
 from .technology import technology_pair
 
-__all__ = ["SpiceLibraryBuilder", "GNNLibraryBuilder"]
+__all__ = ["SpiceLibraryBuilder", "GNNLibraryBuilder", "CellPlan"]
+
+#: Per-cell prediction slots: (slot name, metric, graph group attribute).
+_COMB_SLOTS = (("delay", "delay", "grid_graphs"),
+               ("output_slew", "output_slew", "grid_graphs"),
+               ("capacitance", "capacitance", "cap_graphs"),
+               ("leakage_power", "leakage_power", "base_graphs"),
+               ("flip_power", "flip_power", "base_graphs"))
+_SEQ_SLOTS = (("min_setup", "min_setup", "seq_graphs"),
+              ("min_hold", "min_hold", "seq_graphs"),
+              ("min_pulse_width", "min_pulse_width", "seq_graphs"))
 
 
 def _tables_from_rows(rows, metric: str, slews, loads):
@@ -56,6 +85,13 @@ class SpiceLibraryBuilder:
         self.cells = list(cells)
         self.config = config if config is not None else CharConfig()
         self.last_runtime_s = 0.0
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines ``build`` output."""
+        from ..engine.hashing import stable_hash
+        return stable_hash({"kind": "spice", "technology": self.technology,
+                            "cells": self.cells,
+                            "config": asdict(self.config)})
 
     def build(self, corner: Corner | None = None) -> Library:
         corner = corner if corner is not None else Corner(1.0, 0.0, 1.0)
@@ -112,6 +148,28 @@ class SpiceLibraryBuilder:
         return lib
 
 
+@dataclass
+class CellPlan:
+    """Every graph one cell needs at one corner, grouped by purpose."""
+
+    cell: object                  # repro.cells.Cell
+    shape: tuple                  # (n_slews, n_loads) of the timing grid
+    grid_graphs: list             # delay / output-slew grid
+    cap_graphs: list              # one probe per input pin
+    base_graphs: list             # single nominal point (leakage / flip)
+    seq_graphs: list              # single seq point ([] for comb cells)
+
+    def slots(self, metrics):
+        """Yield ``(slot, metric, graphs)`` for metrics the model has."""
+        for slot, metric, group in _COMB_SLOTS:
+            if metric in metrics:
+                yield slot, metric, getattr(self, group)
+        if self.cell.is_sequential:
+            for slot, metric, group in _SEQ_SLOTS:
+                if metric in metrics:
+                    yield slot, metric, getattr(self, group)
+
+
 class GNNLibraryBuilder:
     """Fast path: library predicted by the trained characterization GNN."""
 
@@ -125,76 +183,128 @@ class GNNLibraryBuilder:
         self.config = config if config is not None else CharConfig()
         self.encoder = CellGraphEncoder()
         self.last_runtime_s = 0.0
+        self._fingerprint = None
+
+    def fingerprint(self) -> str:
+        """Content hash: technology, cells, config, weights, normalizers.
+
+        Computed once and cached — the engine assumes model weights do
+        not change underneath a builder once evaluations started.
+        """
+        if self._fingerprint is None:
+            from ..engine.hashing import model_fingerprint, stable_hash
+            self._fingerprint = stable_hash({
+                "kind": "gnn", "technology": self.technology,
+                "cells": self.cells, "config": asdict(self.config),
+                "model": model_fingerprint(self.model),
+                "normalizers": {m: (n.mean, n.std) for m, n in
+                                self.dataset.normalizers.items()},
+            })
+        return self._fingerprint
+
+    def corner_technology(self, corner: Corner):
+        tech = technology_pair(self.technology)
+        return tech.at_corner(vdd=tech.vdd * corner.vdd_scale,
+                              vth_shift=corner.vth_shift,
+                              cox_scale=corner.cox_scale)
+
+    def metrics_present(self) -> set:
+        return set(self.dataset.metrics_present())
 
     def _predict(self, graphs, metric: str) -> np.ndarray:
         norm = self.dataset.normalizers[metric]
         return norm.denormalize(self.model.predict(graphs, metric))
 
+    # -- plan / predict / assemble stages ---------------------------------
+    def plan_cell(self, name: str, cornered) -> CellPlan:
+        """Encode all graphs cell ``name`` needs at one cornered tech."""
+        cell = get_cell(name)
+        cfg = self.config
+        pin0 = cell.inputs[0]
+        states = {p: (False, False) for p in cell.inputs}
+        states[pin0] = (False, True)
+
+        def graph(slew, load, metric_pin=pin0, st=None):
+            return self.encoder.encode(
+                cell, cornered.nmos, cornered.pmos, vdd=cornered.vdd,
+                slew=slew, load=load, slew_pin=metric_pin,
+                states=st if st is not None else states)
+
+        grid_graphs = [graph(s, ld) for s in cfg.slews for ld in cfg.loads]
+        cap_graphs = []
+        for p in cell.inputs:
+            st = {q: (False, False) for q in cell.inputs}
+            st[p] = (False, True)
+            cap_graphs.append(graph(cfg.cap_slew, min(cfg.loads),
+                                    metric_pin=p, st=st))
+        base_graphs = [graph(cfg.slews[0], cfg.loads[0])]
+        seq_graphs = ([graph(cfg.seq_slew, cfg.seq_load)]
+                      if cell.is_sequential else [])
+        return CellPlan(cell=cell, shape=(len(cfg.slews), len(cfg.loads)),
+                        grid_graphs=grid_graphs, cap_graphs=cap_graphs,
+                        base_graphs=base_graphs, seq_graphs=seq_graphs)
+
+    def cell_predictions(self, plan: CellPlan, metrics) -> dict:
+        """Serial per-cell forward passes: ``slot -> physical values``."""
+        return {slot: self._predict(graphs, metric)
+                for slot, metric, graphs in plan.slots(metrics)}
+
+    def assemble_cell(self, plan: CellPlan, preds: dict,
+                      cornered) -> LibCell:
+        """Build the :class:`LibCell` from one plan's predictions."""
+        cell, cfg = plan.cell, self.config
+        shape = plan.shape
+        delay_vals = (preds["delay"].reshape(shape)
+                      if "delay" in preds else np.zeros(shape))
+        slew_vals = (preds["output_slew"].reshape(shape)
+                     if "output_slew" in preds else np.zeros(shape))
+        if "capacitance" in preds:
+            caps = {p: float(c)
+                    for p, c in zip(cell.inputs, preds["capacitance"])}
+        else:
+            caps = {p: cornered.nmos.cox * cornered.nmos.w
+                    * cornered.nmos.l * 3.0 for p in cell.inputs}
+        leak = (float(preds["leakage_power"][0])
+                if "leakage_power" in preds else 0.0)
+        flip = (float(preds["flip_power"][0])
+                if "flip_power" in preds else 0.0)
+        kw = {}
+        if cell.is_sequential:
+            def seq(slot):
+                return float(preds[slot][0]) if slot in preds else 0.0
+            kw = {"setup": seq("min_setup"), "hold": seq("min_hold"),
+                  "clk_q": float(delay_vals.max()),
+                  "min_pulse_width": seq("min_pulse_width")}
+        return LibCell(
+            name=cell.name, area=cell.area, input_caps=caps,
+            delay=TimingTable(cfg.slews, cfg.loads, delay_vals),
+            output_slew=TimingTable(cfg.slews, cfg.loads, slew_vals),
+            leakage=leak, switch_energy=flip,
+            is_sequential=cell.is_sequential, **kw)
+
+    def new_library(self, corner: Corner, cornered) -> Library:
+        return Library(technology=self.technology, vdd=cornered.vdd,
+                       meta={"source": "gnn", "corner": corner.key()})
+
     def build(self, corner: Corner | None = None) -> Library:
         corner = corner if corner is not None else Corner(1.0, 0.0, 1.0)
-        tech = technology_pair(self.technology)
-        cornered = tech.at_corner(vdd=tech.vdd * corner.vdd_scale,
-                                  vth_shift=corner.vth_shift,
-                                  cox_scale=corner.cox_scale)
-        cfg = self.config
-        metrics = set(self.dataset.metrics_present())
+        cornered = self.corner_technology(corner)
+        metrics = self.metrics_present()
         start = time.perf_counter()
-        lib = Library(technology=self.technology, vdd=cornered.vdd,
-                      meta={"source": "gnn", "corner": corner.key()})
+        lib = self.new_library(corner, cornered)
         for name in self.cells:
-            cell = get_cell(name)
-            pin0 = cell.inputs[0]
-            states = {p: (False, False) for p in cell.inputs}
-            states[pin0] = (False, True)
-
-            def graph(slew, load, metric_pin=pin0, st=None):
-                return self.encoder.encode(
-                    cell, cornered.nmos, cornered.pmos, vdd=cornered.vdd,
-                    slew=slew, load=load, slew_pin=metric_pin,
-                    states=st if st is not None else states)
-
-            grid = [(s, ld) for s in cfg.slews for ld in cfg.loads]
-            graphs = [graph(s, ld) for s, ld in grid]
-            shape = (len(cfg.slews), len(cfg.loads))
-            delay_vals = (self._predict(graphs, "delay").reshape(shape)
-                          if "delay" in metrics else np.zeros(shape))
-            slew_vals = (self._predict(graphs, "output_slew").reshape(shape)
-                         if "output_slew" in metrics else np.zeros(shape))
-            cap_graphs = []
-            for p in cell.inputs:
-                st = {q: (False, False) for q in cell.inputs}
-                st[p] = (False, True)
-                cap_graphs.append(graph(cfg.cap_slew, min(cfg.loads),
-                                        metric_pin=p, st=st))
-            if "capacitance" in metrics:
-                caps_arr = self._predict(cap_graphs, "capacitance")
-                caps = {p: float(c) for p, c in zip(cell.inputs, caps_arr)}
-            else:
-                caps = {p: cornered.nmos.cox * cornered.nmos.w
-                        * cornered.nmos.l * 3.0 for p in cell.inputs}
-            base = [graph(cfg.slews[0], cfg.loads[0])]
-            leak = (float(self._predict(base, "leakage_power")[0])
-                    if "leakage_power" in metrics else 0.0)
-            flip = (float(self._predict(base, "flip_power")[0])
-                    if "flip_power" in metrics else 0.0)
-            kw = {}
-            if cell.is_sequential:
-                seq_base = [graph(cfg.seq_slew, cfg.seq_load)]
-                kw = {
-                    "setup": (float(self._predict(seq_base, "min_setup")[0])
-                              if "min_setup" in metrics else 0.0),
-                    "hold": (float(self._predict(seq_base, "min_hold")[0])
-                             if "min_hold" in metrics else 0.0),
-                    "clk_q": float(delay_vals.max()),
-                    "min_pulse_width": (
-                        float(self._predict(seq_base, "min_pulse_width")[0])
-                        if "min_pulse_width" in metrics else 0.0),
-                }
-            lib.cells[name] = LibCell(
-                name=name, area=cell.area, input_caps=caps,
-                delay=TimingTable(cfg.slews, cfg.loads, delay_vals),
-                output_slew=TimingTable(cfg.slews, cfg.loads, slew_vals),
-                leakage=leak, switch_energy=flip,
-                is_sequential=cell.is_sequential, **kw)
+            plan = self.plan_cell(name, cornered)
+            preds = self.cell_predictions(plan, metrics)
+            lib.cells[name] = self.assemble_cell(plan, preds, cornered)
         self.last_runtime_s = time.perf_counter() - start
         return lib
+
+    def build_many(self, corners) -> list:
+        """Batched characterization of many corners at once.
+
+        Delegates to :class:`repro.engine.batching.BatchedGNNCharacterizer`
+        — graphs from every (cell, corner) pair are packed into one
+        forward pass per metric instead of per-cell calls.
+        """
+        from ..engine.batching import BatchedGNNCharacterizer
+        return BatchedGNNCharacterizer(self).build_many(corners)

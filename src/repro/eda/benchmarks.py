@@ -220,11 +220,23 @@ def _riscv_core(name: str, regfile_words: int, width: int,
     return nl
 
 
+def _stable_seed(name: str) -> int:
+    """Process-stable seed from a benchmark name.
+
+    Python's builtin ``hash`` of a string is randomized per process
+    (PYTHONHASHSEED), which silently generated a *different* netlist for
+    the same benchmark in every interpreter — breaking cross-process
+    reproducibility and the engine's content-addressed result cache.
+    """
+    import zlib
+    return zlib.crc32(name.encode("utf-8")) % (2 ** 31)
+
+
 #: name -> builder callable
 BENCHMARKS = {
     **{name: (lambda n=name: _random_sequential(
         n, _ISCAS[n][0], _ISCAS[n][1], n_inputs=8, n_outputs=6,
-        seed=hash(n) % (2 ** 31))) for name in _ISCAS},
+        seed=_stable_seed(n))) for name in _ISCAS},
     "mac16": lambda: _mac_core("mac16", 16),
     "mac32": lambda: _mac_core("mac32", 32),
     "picorv32": lambda: _riscv_core("picorv32", regfile_words=16, width=32,

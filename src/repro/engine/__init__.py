@@ -1,0 +1,40 @@
+"""Parallel evaluation engine with content-addressed caching.
+
+The subsystem that turns corner evaluation into a first-class service:
+
+* :mod:`~repro.engine.hashing` — stable content hashes (corner × builder
+  config × model weights) usable across processes and campaigns;
+* :mod:`~repro.engine.cache` — in-memory LRU + optional on-disk tier;
+* :mod:`~repro.engine.executor` — serial / thread / process backends
+  with deterministic result ordering;
+* :mod:`~repro.engine.batching` — packed GNN characterization across
+  cells and corners;
+* :mod:`~repro.engine.engine` — the :class:`EvaluationEngine` funnel
+  (result cache → library cache → batcher → executor);
+* :mod:`~repro.engine.campaign` — (benchmark × weights × agent) sweeps
+  with JSON checkpoint/resume over one shared engine.
+"""
+
+from .records import PPAWeights, EvaluationRecord
+from .hashing import (canonicalize, stable_hash, array_digest,
+                      model_fingerprint, netlist_fingerprint, EvalKey)
+from .cache import CacheStats, LRUCache, DiskCache, EvaluationCache
+from .executor import (SerialBackend, ThreadPoolBackend, ProcessPoolBackend,
+                       get_backend, available_workers)
+from .batching import BatchedGNNCharacterizer
+from .engine import EngineConfig, EvaluationEngine
+from .campaign import (Scenario, ScenarioResult, CampaignReport, Campaign,
+                       sweep_scenarios)
+
+__all__ = [
+    "PPAWeights", "EvaluationRecord",
+    "canonicalize", "stable_hash", "array_digest", "model_fingerprint",
+    "netlist_fingerprint", "EvalKey",
+    "CacheStats", "LRUCache", "DiskCache", "EvaluationCache",
+    "SerialBackend", "ThreadPoolBackend", "ProcessPoolBackend",
+    "get_backend", "available_workers",
+    "BatchedGNNCharacterizer",
+    "EngineConfig", "EvaluationEngine",
+    "Scenario", "ScenarioResult", "CampaignReport", "Campaign",
+    "sweep_scenarios",
+]

@@ -1,0 +1,183 @@
+"""Content-addressed memoization: in-memory LRU + optional disk tier.
+
+The cache is keyed on :class:`~repro.engine.hashing.EvalKey` digests, so
+a hit means "the exact same (corner, builder config, model weights)
+combination was characterized before" — whether earlier in this process,
+by another worker, or in a previous campaign that persisted its cache
+directory. Disk entries are pickled under ``<dir>/<digest>.pkl`` and
+written atomically (temp file + rename) so concurrent workers never
+observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .hashing import EvalKey
+
+__all__ = ["CacheStats", "LRUCache", "DiskCache", "EvaluationCache"]
+
+_MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache tier."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "evictions": self.evictions,
+                "hit_rate": self.hit_rate}
+
+
+class LRUCache:
+    """Bounded in-memory cache with least-recently-used eviction."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = int(capacity)
+        self._data: OrderedDict = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._data
+
+    def get(self, digest: str, default=None):
+        if digest not in self._data:
+            self.stats.misses += 1
+            return default
+        self._data.move_to_end(digest)
+        self.stats.hits += 1
+        return self._data[digest]
+
+    def put(self, digest: str, value) -> None:
+        if self.capacity <= 0:
+            return
+        if digest in self._data:
+            self._data.move_to_end(digest)
+        self._data[digest] = value
+        self.stats.puts += 1
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class DiskCache:
+    """Pickle-per-entry persistent cache under one directory."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.pkl"
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path(digest).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def get(self, digest: str, default=None):
+        path = self.path(digest)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            # A cache entry that cannot load — truncated file, or a
+            # stale pickle referencing since-renamed classes/fields from
+            # an older version — is a miss, never an error: the caller
+            # just re-characterizes and overwrites it.
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def put(self, digest: str, value) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.path(digest))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.pkl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+class EvaluationCache:
+    """Two-tier cache: LRU in front of an optional persistent directory.
+
+    ``get`` promotes disk hits into memory; ``put`` writes through to
+    both tiers. With ``directory=None`` this degrades to a plain LRU.
+    """
+
+    def __init__(self, capacity: int = 256,
+                 directory: str | Path | None = None):
+        self.memory = LRUCache(capacity)
+        self.disk = DiskCache(directory) if directory is not None else None
+
+    def get(self, key: EvalKey, default=None):
+        digest = key.digest if isinstance(key, EvalKey) else key
+        value = self.memory.get(digest, _MISS)
+        if value is not _MISS:
+            return value
+        if self.disk is not None:
+            value = self.disk.get(digest, _MISS)
+            if value is not _MISS:
+                self.memory.put(digest, value)
+                return value
+        return default
+
+    def put(self, key: EvalKey, value) -> None:
+        digest = key.digest if isinstance(key, EvalKey) else key
+        self.memory.put(digest, value)
+        if self.disk is not None:
+            self.disk.put(digest, value)
+
+    def __contains__(self, key) -> bool:
+        digest = key.digest if isinstance(key, EvalKey) else key
+        return digest in self.memory or (
+            self.disk is not None and digest in self.disk)
+
+    def clear(self) -> None:
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()
+
+    def stats(self) -> dict:
+        out = {"memory": self.memory.stats.as_dict()}
+        if self.disk is not None:
+            out["disk"] = self.disk.stats.as_dict()
+        return out

@@ -1,0 +1,319 @@
+"""Campaign orchestration: (benchmark × weights × agent) scenario sweeps.
+
+A :class:`Campaign` runs many STCO explorations against **one shared
+engine**, so every scenario amortizes the others' characterizations: two
+agents exploring the same design space hit the same corners, and a second
+campaign pointed at the same ``cache_dir`` re-characterizes nothing.
+
+Progress is checkpointed to JSON after every scenario (atomic replace),
+keyed by a content hash of the campaign configuration — rerunning the
+same campaign resumes where it stopped, while any change to the builder,
+space or scenario list invalidates the checkpoint instead of silently
+mixing results.
+
+The STCO layer is imported lazily to keep the package import DAG acyclic
+(``repro.stco`` itself builds on :mod:`repro.engine`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import EngineConfig, EvaluationEngine
+from .hashing import stable_hash
+from .records import PPAWeights
+
+__all__ = ["Scenario", "ScenarioResult", "CampaignReport", "Campaign",
+           "sweep_scenarios"]
+
+_CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One exploration: a benchmark, a PPA trade-off, an agent, a seed."""
+
+    benchmark: str
+    agent: str = "qlearning"            # qlearning | random | grid
+    seed: int = 0
+    iterations: int = 12
+    weights: tuple = (1.0, 1.0, 0.5)    # (power, performance, area)
+
+    def ppa_weights(self) -> PPAWeights:
+        power, performance, area = self.weights
+        return PPAWeights(power=power, performance=performance, area=area)
+
+    def scenario_id(self) -> str:
+        return stable_hash({"benchmark": self.benchmark, "agent": self.agent,
+                            "seed": self.seed,
+                            "iterations": self.iterations,
+                            "weights": list(self.weights)})
+
+    def label(self) -> str:
+        weights = ",".join(f"{w:g}" for w in self.weights)
+        return (f"{self.benchmark}/{self.agent}"
+                f"(seed={self.seed}, iters={self.iterations},"
+                f" w={weights})")
+
+    def to_dict(self) -> dict:
+        return {"benchmark": self.benchmark, "agent": self.agent,
+                "seed": self.seed, "iterations": self.iterations,
+                "weights": list(self.weights)}
+
+    @staticmethod
+    def from_dict(d: dict) -> "Scenario":
+        return Scenario(benchmark=d["benchmark"], agent=d["agent"],
+                        seed=int(d["seed"]),
+                        iterations=int(d["iterations"]),
+                        weights=tuple(d["weights"]))
+
+
+def sweep_scenarios(benchmarks, agents=("qlearning",), seeds=(0,),
+                    weights_list=((1.0, 1.0, 0.5),),
+                    iterations: int = 12) -> list:
+    """Cartesian scenario grid over benchmarks × agents × seeds × weights."""
+    return [Scenario(benchmark=b, agent=a, seed=s, iterations=iterations,
+                     weights=tuple(w))
+            for b in benchmarks for a in agents for s in seeds
+            for w in weights_list]
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's outcome (JSON round-trippable for checkpoints)."""
+
+    scenario: Scenario
+    best_corner: tuple
+    best_reward: float
+    best_ppa: dict
+    evaluations: int
+    runtime_s: float
+    charlib_s: float                # library build time inside this scenario
+    flow_s: float                   # system-flow time inside this scenario
+    history_rewards: list = field(default_factory=list)
+    resumed: bool = False           # restored from checkpoint, not re-run
+
+    def to_dict(self) -> dict:
+        return {"scenario": self.scenario.to_dict(),
+                "best_corner": list(self.best_corner),
+                "best_reward": self.best_reward,
+                "best_ppa": dict(self.best_ppa),
+                "evaluations": self.evaluations,
+                "runtime_s": self.runtime_s,
+                "charlib_s": self.charlib_s,
+                "flow_s": self.flow_s,
+                "history_rewards": list(self.history_rewards)}
+
+    @staticmethod
+    def from_dict(d: dict, resumed: bool = False) -> "ScenarioResult":
+        return ScenarioResult(
+            scenario=Scenario.from_dict(d["scenario"]),
+            best_corner=tuple(d["best_corner"]),
+            best_reward=float(d["best_reward"]),
+            best_ppa=dict(d["best_ppa"]),
+            evaluations=int(d["evaluations"]),
+            runtime_s=float(d["runtime_s"]),
+            charlib_s=float(d["charlib_s"]),
+            flow_s=float(d["flow_s"]),
+            history_rewards=list(d["history_rewards"]),
+            resumed=resumed)
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign run produced."""
+
+    results: list
+    engine_stats: dict
+    total_runtime_s: float
+    resumed_scenarios: int = 0
+
+    def best(self) -> ScenarioResult | None:
+        return max(self.results, key=lambda r: r.best_reward,
+                   default=None)
+
+    def ledger(self):
+        """A :class:`repro.stco.runtime.RuntimeLedger` view of the sweep.
+
+        Per benchmark, the mean per-iteration characterization and
+        system-evaluation times across scenarios are recorded as the
+        fast-path :class:`~repro.stco.runtime.IterationTiming`.
+        """
+        from ..stco.runtime import IterationTiming, RuntimeLedger
+        ledger = RuntimeLedger()
+        by_benchmark: dict = {}
+        for r in self.results:
+            by_benchmark.setdefault(r.scenario.benchmark, []).append(r)
+        for benchmark, results in by_benchmark.items():
+            iters = max(sum(r.scenario.iterations for r in results), 1)
+            ledger.record(benchmark, IterationTiming(
+                charlib_s=sum(r.charlib_s for r in results) / iters,
+                system_eval_s=sum(r.flow_s for r in results) / iters))
+        return ledger
+
+    def summary_rows(self) -> list:
+        return [[r.scenario.label(),
+                 str(r.best_corner), f"{r.best_reward:.3f}",
+                 str(r.evaluations),
+                 "resume" if r.resumed else f"{r.runtime_s:.2f}s"]
+                for r in self.results]
+
+
+class Campaign:
+    """Sweep scenarios through one shared evaluation engine.
+
+    Parameters
+    ----------
+    builder:
+        Library builder shared by every scenario (its fingerprint keys
+        the caches, so campaigns with the same builder share work).
+    scenarios:
+        List of :class:`Scenario` (see :func:`sweep_scenarios`).
+    space:
+        Design space explored by every scenario (default: the 45-point
+        grid from :func:`repro.stco.space.default_space`).
+    engine / engine_config:
+        Pass an existing engine to share caches with other campaigns, or
+        a config for the campaign to build its own.
+    checkpoint_path:
+        JSON file written after every scenario; an existing, matching
+        checkpoint makes ``run()`` skip completed scenarios.
+    prefetch:
+        Characterize the whole design space up-front through the
+        engine's backend/batcher before any agent runs. RL agents
+        request corners one at a time, so this is what lets a parallel
+        or batched engine actually amortize characterization across a
+        campaign; with the serial default it merely reorders work.
+    """
+
+    def __init__(self, builder, scenarios, space=None,
+                 engine: EvaluationEngine | None = None,
+                 engine_config: EngineConfig | None = None,
+                 checkpoint_path: str | Path | None = None,
+                 prefetch: bool = False):
+        self.builder = builder
+        self.scenarios = list(scenarios)
+        self.space = space
+        self.engine = engine if engine is not None else EvaluationEngine(
+            builder, engine_config)
+        self.checkpoint_path = (Path(checkpoint_path)
+                                if checkpoint_path is not None else None)
+        self.prefetch = prefetch
+
+    def _space(self):
+        if self.space is None:
+            from ..stco.space import default_space
+            self.space = default_space()
+        return self.space
+
+    def fingerprint(self) -> str:
+        """Identity of this campaign: builder + design space.
+
+        Deliberately excludes the scenario list, so extending a campaign
+        with new scenarios still resumes the already-completed ones
+        (results are keyed per scenario id inside the checkpoint).
+        """
+        space = self._space()
+        return stable_hash({
+            "builder": self.engine.builder_fingerprint(),
+            "space": {"vdd": list(space.vdd_scales),
+                      "vth": list(space.vth_shifts),
+                      "cox": list(space.cox_scales)},
+        })
+
+    # -- checkpointing ------------------------------------------------------
+    def _load_checkpoint(self) -> dict:
+        path = self.checkpoint_path
+        if path is None or not path.exists():
+            return {}
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if (data.get("version") != _CHECKPOINT_VERSION
+                or data.get("campaign") != self.fingerprint()):
+            return {}
+        return dict(data.get("completed", {}))
+
+    def _write_checkpoint(self, completed: dict) -> None:
+        path = self.checkpoint_path
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": _CHECKPOINT_VERSION,
+                   "campaign": self.fingerprint(),
+                   "completed": completed}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+        os.replace(tmp, path)
+
+    # -- execution ----------------------------------------------------------
+    def _make_agent(self, scenario: Scenario, env):
+        from ..stco.agent import (GridSearchAgent, QLearningAgent,
+                                  RandomSearchAgent)
+        if scenario.agent == "qlearning":
+            return QLearningAgent(env, seed=scenario.seed)
+        if scenario.agent == "random":
+            return RandomSearchAgent(env, seed=scenario.seed)
+        if scenario.agent == "grid":
+            return GridSearchAgent(env)
+        raise ValueError(f"unknown agent {scenario.agent!r}; expected "
+                         "'qlearning', 'random' or 'grid'")
+
+    def _run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        from ..eda.benchmarks import build_benchmark
+        from ..stco.env import STCOEnvironment
+        netlist = build_benchmark(scenario.benchmark)
+        env = STCOEnvironment(netlist, self.builder, self._space(),
+                              scenario.ppa_weights(), engine=self.engine)
+        agent = self._make_agent(scenario, env)
+        t0 = time.perf_counter()
+        explore = agent.run(scenario.iterations)
+        runtime = time.perf_counter() - t0
+        best = env.best()
+        return ScenarioResult(
+            scenario=scenario,
+            best_corner=best.corner.key(),
+            best_reward=best.reward,
+            best_ppa=best.result.ppa(),
+            evaluations=explore.evaluations,
+            runtime_s=runtime,
+            # Cache-hit records carry the *original* run's timings; only
+            # freshly evaluated records represent time spent here.
+            charlib_s=sum(r.library_runtime_s for r in env.history
+                          if not r.cached),
+            flow_s=sum(r.flow_runtime_s for r in env.history
+                       if not r.cached),
+            history_rewards=list(explore.rewards))
+
+    def run(self, resume: bool = True) -> CampaignReport:
+        """Run (or resume) every scenario; checkpoint after each one."""
+        completed = self._load_checkpoint() if resume else {}
+        results = []
+        resumed = 0
+        t0 = time.perf_counter()
+        todo = {s.scenario_id() for s in self.scenarios} - set(completed)
+        if self.prefetch and todo:
+            self.engine.libraries(self._space().points())
+        for scenario in self.scenarios:
+            sid = scenario.scenario_id()
+            if sid in completed:
+                results.append(ScenarioResult.from_dict(completed[sid],
+                                                        resumed=True))
+                resumed += 1
+                continue
+            result = self._run_scenario(scenario)
+            results.append(result)
+            completed[sid] = result.to_dict()
+            self._write_checkpoint(completed)
+        return CampaignReport(results=results,
+                              engine_stats=self.engine.stats(),
+                              total_runtime_s=time.perf_counter() - t0,
+                              resumed_scenarios=resumed)

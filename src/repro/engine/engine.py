@@ -1,0 +1,315 @@
+"""The evaluation engine: cache → batcher → executor, one front door.
+
+:class:`EvaluationEngine` turns corner evaluation into a schedulable,
+cacheable service. Every request flows through the same funnel:
+
+1. **result cache** — (builder, corner, design, weights) already
+   evaluated? Return the record (memory hit, or promoted from disk).
+2. **library cache** — corner already characterized for this builder?
+   Reuse the library, skip characterization entirely.
+3. **batcher** — remaining GNN characterizations are packed into large
+   forward passes (opt-in, see :mod:`repro.engine.batching`).
+4. **executor** — remaining full evaluations fan out over the configured
+   backend (serial / thread / process pool) with input-order results.
+
+The default configuration (serial backend, per-cell characterization,
+in-memory cache) reproduces the historical serial path bit-for-bit;
+parallelism, batching and disk persistence are opt-in knobs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import weakref
+from dataclasses import dataclass, replace
+
+from ..eda.flow import evaluate_system
+from ..utils.timing import TimingRecord
+from .batching import BatchedGNNCharacterizer
+from .cache import EvaluationCache
+from .executor import ProcessPoolBackend, SerialBackend, get_backend
+from .hashing import EvalKey, netlist_fingerprint, stable_hash
+from .records import EvaluationRecord, PPAWeights
+
+__all__ = ["EngineConfig", "EvaluationEngine"]
+
+
+@dataclass
+class EngineConfig:
+    """Engine behavior knobs (all defaults preserve seed behavior)."""
+
+    backend: object = "serial"          # spec string or backend instance
+    cache_capacity: int = 512           # in-memory LRU entries per tier
+    cache_dir: object = None            # persistence root (str/Path/None)
+    cache_results: bool = True          # cache full evaluation records
+    batch_characterization: bool = False
+    max_graphs_per_batch: int = 1024
+
+
+def _build_library_task(payload):
+    """Worker task: characterize one corner (library only, no flow)."""
+    builder, corner = payload
+    library = builder.build(corner)
+    return library, getattr(builder, "last_runtime_s", 0.0)
+
+
+def _evaluate_corner_task(payload):
+    """Worker task: (build library if needed) + system flow + score.
+
+    Module-level so it pickles into pool workers; returns the library so
+    the parent process can populate its caches.
+    """
+    builder, library, netlist, corner, weights = payload
+    lib_rt = 0.0
+    if library is None:
+        library = builder.build(corner)
+        lib_rt = getattr(builder, "last_runtime_s", 0.0)
+    t0 = time.perf_counter()
+    result = evaluate_system(netlist, library)
+    flow_rt = time.perf_counter() - t0
+    record = EvaluationRecord(corner=corner, result=result,
+                              reward=weights.score(result),
+                              library_runtime_s=lib_rt,
+                              flow_runtime_s=flow_rt)
+    return library, record
+
+
+class EvaluationEngine:
+    """Parallel, cached corner-evaluation service around one builder."""
+
+    def __init__(self, builder, config: EngineConfig | None = None):
+        self.builder = builder
+        self.config = config if config is not None else EngineConfig()
+        self.backend = get_backend(self.config.backend)
+        cap = self.config.cache_capacity
+        root = self.config.cache_dir
+        self.library_cache = EvaluationCache(
+            cap, None if root is None else f"{root}/libraries")
+        self.result_cache = EvaluationCache(
+            cap, None if root is None else f"{root}/results")
+        self.characterizations = 0      # corners actually characterized
+        self.flow_evaluations = 0       # system flows actually run
+        self.timing = TimingRecord()
+        self._builder_fp = None
+        # Weakly keyed so a long-lived shared engine does not pin every
+        # netlist it ever evaluated in memory.
+        self._netlist_fps = weakref.WeakKeyDictionary()
+
+    # -- keys --------------------------------------------------------------
+    def builder_fingerprint(self) -> str:
+        if self._builder_fp is None:
+            fp = getattr(self.builder, "fingerprint", None)
+            if callable(fp):
+                self._builder_fp = fp()
+            else:
+                # No content fingerprint: fall back to a random identity
+                # token unique to this builder *instance* (id() alone
+                # would be reusable across processes and could alias a
+                # persistent disk cache onto a differently configured
+                # builder). Consequence: fingerprint-less builders never
+                # share cache entries — in-process, across processes, or
+                # across runs — so they get correctness, not reuse.
+                self._builder_fp = stable_hash(
+                    [type(self.builder).__qualname__,
+                     os.urandom(16).hex()])
+        return self._builder_fp
+
+    def _netlist_fp(self, netlist) -> str:
+        fp = self._netlist_fps.get(netlist)
+        if fp is None:
+            fp = netlist_fingerprint(netlist)
+            self._netlist_fps[netlist] = fp
+        return fp
+
+    def library_key(self, corner) -> EvalKey:
+        return EvalKey("lib", builder=self.builder_fingerprint(),
+                       corner=corner.key())
+
+    def evaluation_key(self, netlist, corner, weights) -> EvalKey:
+        return EvalKey("eval", builder=self.builder_fingerprint(),
+                       corner=corner.key(),
+                       design=self._netlist_fp(netlist),
+                       weights=weights.key())
+
+    # -- library characterization -----------------------------------------
+    def library(self, corner):
+        """One corner's characterized library (cached)."""
+        return self.libraries([corner])[0]
+
+    def libraries(self, corners) -> list:
+        """Libraries for every corner, characterizing only cache misses."""
+        return self._libraries_with_times(list(corners))[0]
+
+    def _libraries_with_times(self, corners):
+        """Libraries plus per-corner build seconds (0.0 for cache hits).
+
+        Duplicate corners within one call are characterized once.
+        """
+        libs = [None] * len(corners)
+        times = [0.0] * len(corners)
+        missing, first_at, dup_of = [], {}, {}
+        for i, corner in enumerate(corners):
+            lib = self.library_cache.get(self.library_key(corner))
+            if lib is not None:
+                libs[i] = lib
+                continue
+            key = corner.key()
+            if key in first_at:
+                dup_of[i] = first_at[key]
+            else:
+                first_at[key] = i
+                missing.append(i)
+        if missing:
+            t0 = time.perf_counter()
+            built, built_times = self._characterize(
+                [corners[i] for i in missing])
+            self.timing.add("characterization", time.perf_counter() - t0)
+            for i, lib, secs in zip(missing, built, built_times):
+                libs[i] = lib
+                times[i] = secs
+                self.library_cache.put(self.library_key(corners[i]), lib)
+        for i, j in dup_of.items():
+            libs[i] = libs[j]
+        return libs, times
+
+    def _characterize(self, corners):
+        self.characterizations += len(corners)
+        if (self.config.batch_characterization
+                and hasattr(self.builder, "plan_cell")
+                and len(corners) > 1):
+            batcher = BatchedGNNCharacterizer(
+                self.builder, self.config.max_graphs_per_batch)
+            libs = batcher.build_many(corners)
+            per = batcher.last_runtime_s / max(len(corners), 1)
+            return libs, [per] * len(corners)
+        if isinstance(self.backend, ProcessPoolBackend) and len(corners) > 1:
+            results = self.backend.map(
+                _build_library_task,
+                [(self.builder, corner) for corner in corners])
+            return [lib for lib, _ in results], [t for _, t in results]
+        libs, times = [], []
+        for corner in corners:
+            libs.append(self.builder.build(corner))
+            times.append(getattr(self.builder, "last_runtime_s", 0.0))
+        return libs, times
+
+    # -- full evaluations ---------------------------------------------------
+    def evaluate(self, netlist, corner,
+                 weights: PPAWeights | None = None) -> EvaluationRecord:
+        """Evaluate one corner on one design (cache-through)."""
+        return self.evaluate_many(netlist, [corner], weights)[0]
+
+    def evaluate_many(self, netlist, corners,
+                      weights: PPAWeights | None = None) -> list:
+        """Evaluate corners in input order, reusing every cache tier."""
+        weights = weights if weights is not None else PPAWeights()
+        corners = list(corners)
+        total0 = time.perf_counter()
+        out = [None] * len(corners)
+        missing, first_at, dup_of = [], {}, {}
+        for i, corner in enumerate(corners):
+            key = self.evaluation_key(netlist, corner, weights)
+            record = (self.result_cache.get(key)
+                      if self.config.cache_results else None)
+            if record is not None:
+                out[i] = replace(record, cached=True)
+                continue
+            # Duplicate corners in one call are evaluated once.
+            if key.digest in first_at:
+                dup_of[i] = first_at[key.digest]
+            else:
+                first_at[key.digest] = i
+                missing.append(i)
+        if missing:
+            self._evaluate_missing(netlist, corners, weights, missing, out)
+        for i, j in dup_of.items():
+            out[i] = out[j]
+        self.timing.add("evaluate_many", time.perf_counter() - total0)
+        return out
+
+    def _evaluate_missing(self, netlist, corners, weights, missing, out):
+        batching = (self.config.batch_characterization
+                    and hasattr(self.builder, "plan_cell"))
+        full_fanout = (isinstance(self.backend, ProcessPoolBackend)
+                       and not batching)
+        miss_corners = [corners[i] for i in missing]
+        if not full_fanout:
+            # Characterize first (batched when enabled), then flow each.
+            # Serial: identical call structure to the historical loop.
+            # Threads: builds stay in this thread — the GNN inference
+            # path toggles process-global autograd state and per-builder
+            # timing, neither thread-safe — and only the independent,
+            # read-only system flows fan out over the pool. A process
+            # pool with batching enabled also lands here: the packed
+            # forward passes happen once in this process, and only the
+            # flows fan out (shipping libraries, not the builder).
+            libs, lib_times = self._libraries_with_times(miss_corners)
+            payloads = [(None, lib, netlist, corner, weights)
+                        for lib, corner in zip(libs, miss_corners)]
+            t0 = time.perf_counter()
+            results = self.backend.map(_evaluate_corner_task, payloads)
+            self.timing.add("system_flow", time.perf_counter() - t0)
+            records = []
+            for (lib, record), secs in zip(results, lib_times):
+                record.library_runtime_s = secs
+                records.append(record)
+        else:
+            # Fan the full (characterize + flow) evaluations out across
+            # processes; corners whose library is already cached ship the
+            # library instead of the builder so workers skip
+            # characterization. Payload pickling is bounded: Pool.map
+            # serializes each *chunk* of tasks as one object, so the
+            # shared builder reference is pickled once per chunk (about
+            # 4 x workers times per sweep), not once per corner.
+            payloads = []
+            for corner in miss_corners:
+                lib = self.library_cache.get(self.library_key(corner))
+                if lib is not None:
+                    payloads.append((None, lib, netlist, corner, weights))
+                else:
+                    self.characterizations += 1
+                    payloads.append((self.builder, None, netlist, corner,
+                                     weights))
+            t0 = time.perf_counter()
+            results = self.backend.map(_evaluate_corner_task, payloads)
+            self.timing.add("parallel_evaluate", time.perf_counter() - t0)
+            records = []
+            for (lib, record), payload, corner in zip(results, payloads,
+                                                      miss_corners):
+                if payload[1] is None:   # freshly characterized only —
+                    # re-putting cache hits would re-pickle every library
+                    # to disk on each warm sweep.
+                    self.library_cache.put(self.library_key(corner), lib)
+                records.append(record)
+        self.flow_evaluations += len(records)
+        for i, record in zip(missing, records):
+            if self.config.cache_results:
+                key = self.evaluation_key(netlist, corners[i], weights)
+                self.result_cache.put(key, record)
+            out[i] = record
+
+    # -- reporting / lifecycle ----------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "backend": repr(self.backend),
+            "characterizations": self.characterizations,
+            "flow_evaluations": self.flow_evaluations,
+            "library_cache": self.library_cache.stats(),
+            "result_cache": self.result_cache.stats(),
+            "timing_s": dict(self.timing.totals),
+        }
+
+    def reset_counters(self) -> None:
+        self.characterizations = 0
+        self.flow_evaluations = 0
+        self.timing = TimingRecord()
+
+    def shutdown(self) -> None:
+        self.backend.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()

@@ -1,0 +1,156 @@
+"""Pluggable execution backends for batch corner evaluation.
+
+A backend maps a picklable task function over a list of payloads and
+returns results in **input order**, whatever the completion order — the
+property the engine relies on for reproducible campaign trajectories.
+
+* :class:`SerialBackend` — in-process loop, zero overhead, the default.
+* :class:`ThreadPoolBackend` — threads; suited to work that releases
+  the GIL (numpy-heavy flows). The engine keeps GNN characterization
+  out of thread pools — model inference toggles process-global
+  autograd state — and threads only the independent system flows.
+* :class:`ProcessPoolBackend` — ``multiprocessing`` pool; wins for the
+  CPU-bound SPICE/flow work on multi-core machines (workers get their
+  own copy of the builder, so no shared mutable state).
+
+Backends are addressable by spec string (``"serial"``, ``"process"``,
+``"process:4"``, ``"thread:8"``) so campaign configs stay JSON-able.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["SerialBackend", "ThreadPoolBackend", "ProcessPoolBackend",
+           "get_backend", "available_workers"]
+
+
+def available_workers() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:          # non-Linux
+        return multiprocessing.cpu_count()
+
+
+class SerialBackend:
+    """Evaluate tasks one by one in the calling process."""
+
+    name = "serial"
+    workers = 1
+
+    def map(self, fn, payloads) -> list:
+        return [fn(p) for p in payloads]
+
+    def shutdown(self) -> None:
+        pass
+
+    def __repr__(self):
+        return "SerialBackend()"
+
+
+class ThreadPoolBackend:
+    """Thread pool; results are reordered back to input order."""
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers if workers else available_workers()
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn, payloads) -> list:
+        payloads = list(payloads)
+        if len(payloads) <= 1:
+            return [fn(p) for p in payloads]
+        return list(self._ensure().map(fn, payloads))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self):
+        return f"ThreadPoolBackend(workers={self.workers})"
+
+
+class ProcessPoolBackend:
+    """``multiprocessing.Pool`` over picklable payloads.
+
+    ``Pool.map`` already returns results in input order regardless of
+    which worker finished first, giving deterministic result ordering.
+    The pool is created lazily (first ``map``) and kept warm across
+    calls so repeated sweeps don't pay fork+import each time.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers if workers else available_workers()
+        self._pool = None
+
+    def _ensure(self):
+        if self._pool is None:
+            self._pool = multiprocessing.get_context("fork" if hasattr(
+                os, "fork") else "spawn").Pool(self.workers)
+        return self._pool
+
+    def map(self, fn, payloads) -> list:
+        payloads = list(payloads)
+        if len(payloads) <= 1 or self.workers <= 1:
+            return [fn(p) for p in payloads]
+        chunk = max(1, len(payloads) // (self.workers * 4))
+        return self._ensure().map(fn, payloads, chunksize=chunk)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    def __repr__(self):
+        return f"ProcessPoolBackend(workers={self.workers})"
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadPoolBackend,
+    "process": ProcessPoolBackend,
+}
+
+
+def get_backend(spec):
+    """Resolve a backend instance from a spec string or pass one through.
+
+    Specs: ``"serial"``, ``"thread"``, ``"process"``, optionally with a
+    worker count suffix — ``"process:4"``.
+    """
+    if not isinstance(spec, str):
+        return spec
+    name, _, count = spec.partition(":")
+    if name not in _BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; "
+                         f"expected one of {sorted(_BACKENDS)}")
+    cls = _BACKENDS[name]
+    if name == "serial":
+        return cls()
+    if not count:
+        return cls()
+    try:
+        workers = int(count)
+    except ValueError:
+        raise ValueError(f"invalid worker count in backend spec "
+                         f"{spec!r}; expected e.g. '{name}:4'") from None
+    return cls(workers)

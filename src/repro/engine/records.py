@@ -1,0 +1,52 @@
+"""Evaluation-outcome types shared by the engine and the STCO layer.
+
+These used to live in :mod:`repro.stco.env`; they moved here so the
+evaluation engine (cache, executor, campaign orchestration) can produce
+and consume them without depending on the RL layer. :mod:`repro.stco`
+re-exports both names, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..charlib.corners import Corner
+from ..eda.flow import SystemResult
+
+__all__ = ["PPAWeights", "EvaluationRecord"]
+
+
+@dataclass(frozen=True)
+class PPAWeights:
+    """Scalarisation of the PPA objectives (log-domain weighted sum)."""
+
+    power: float = 1.0
+    performance: float = 1.0
+    area: float = 0.5
+
+    def score(self, result: SystemResult) -> float:
+        """Higher is better: reward performance, penalise power and area."""
+        perf = np.log10(max(result.fmax_hz, 1.0))
+        pwr = np.log10(max(result.total_power_w, 1e-12))
+        area = np.log10(max(result.area_um2, 1.0))
+        return float(self.performance * perf - self.power * pwr
+                     - self.area * area)
+
+    def key(self) -> tuple:
+        """Stable identity tuple (used in engine cache keys)."""
+        return (round(self.power, 9), round(self.performance, 9),
+                round(self.area, 9))
+
+
+@dataclass
+class EvaluationRecord:
+    """One corner evaluation's outcome (one STCO iteration)."""
+
+    corner: Corner
+    result: SystemResult
+    reward: float
+    library_runtime_s: float
+    flow_runtime_s: float
+    cached: bool = False

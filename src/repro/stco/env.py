@@ -4,54 +4,28 @@ One environment step is one STCO iteration: pick a technology corner,
 regenerate the cell library there (GNN fast path or SPICE traditional
 path), run the system-evaluation flow on the target design, and score the
 resulting power / performance / area.
+
+All evaluations are routed through a
+:class:`~repro.engine.engine.EvaluationEngine` — by default a serial,
+in-memory-cached engine that reproduces the historical behavior
+bit-for-bit, but callers can pass an engine configured for parallel
+backends, batched characterization, or persistent cross-run caching.
+``PPAWeights`` and ``EvaluationRecord`` now live in
+:mod:`repro.engine.records` and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from ..charlib.corners import Corner
-from ..charlib.liberty import Library
-from ..eda.flow import SystemResult, evaluate_system
 from ..eda.netlist import GateNetlist
+from ..engine.engine import EngineConfig, EvaluationEngine
+from ..engine.records import EvaluationRecord, PPAWeights
 from .space import DesignSpace
 
 __all__ = ["PPAWeights", "STCOEnvironment", "EvaluationRecord"]
 
 
-@dataclass(frozen=True)
-class PPAWeights:
-    """Scalarisation of the PPA objectives (log-domain weighted sum)."""
-
-    power: float = 1.0
-    performance: float = 1.0
-    area: float = 0.5
-
-    def score(self, result: SystemResult) -> float:
-        """Higher is better: reward performance, penalise power and area."""
-        perf = np.log10(max(result.fmax_hz, 1.0))
-        pwr = np.log10(max(result.total_power_w, 1e-12))
-        area = np.log10(max(result.area_um2, 1.0))
-        return float(self.performance * perf - self.power * pwr
-                     - self.area * area)
-
-
-@dataclass
-class EvaluationRecord:
-    """One STCO iteration's outcome."""
-
-    corner: Corner
-    result: SystemResult
-    reward: float
-    library_runtime_s: float
-    flow_runtime_s: float
-
-
 class STCOEnvironment:
-    """Wraps (library builder + design + flow) as an RL environment.
+    """Wraps (evaluation engine + design + space) as an RL environment.
 
     Parameters
     ----------
@@ -65,14 +39,21 @@ class STCOEnvironment:
         Discrete exploration grid.
     weights:
         PPA scalarisation.
+    engine:
+        Evaluation engine to route through. Defaults to a serial
+        in-process engine around ``library_builder``. Pass a shared
+        engine to reuse characterizations across environments.
     """
 
     def __init__(self, netlist: GateNetlist, library_builder,
-                 space: DesignSpace, weights: PPAWeights | None = None):
+                 space: DesignSpace, weights: PPAWeights | None = None,
+                 engine: EvaluationEngine | None = None):
         self.netlist = netlist
         self.builder = library_builder
         self.space = space
         self.weights = weights if weights is not None else PPAWeights()
+        self.engine = engine if engine is not None else EvaluationEngine(
+            library_builder, EngineConfig())
         self.history: list[EvaluationRecord] = []
         self._cache: dict = {}
 
@@ -82,19 +63,33 @@ class STCOEnvironment:
         key = corner.key()
         if key in self._cache:
             return self._cache[key]
-        library = self.builder.build(corner)
-        lib_rt = getattr(self.builder, "last_runtime_s", 0.0)
-        t0 = time.perf_counter()
-        result = evaluate_system(self.netlist, library)
-        flow_rt = time.perf_counter() - t0
-        reward = self.weights.score(result)
-        record = EvaluationRecord(corner=corner, result=result,
-                                  reward=reward,
-                                  library_runtime_s=lib_rt,
-                                  flow_runtime_s=flow_rt)
+        record = self.engine.evaluate(self.netlist, corner, self.weights)
         self._cache[key] = record
         self.history.append(record)
         return record
+
+    def prefetch(self, actions) -> list:
+        """Evaluate many actions at once through the engine.
+
+        With a parallel backend the corners fan out over the pool; with
+        batching enabled their characterizations share forward passes.
+        Records enter the environment cache/history exactly as serial
+        ``evaluate`` calls would (input order, duplicates skipped).
+        """
+        actions = list(actions)
+        keys = [self.space.point(a).key() for a in actions]
+        corners, fresh_keys = [], []
+        for action, key in zip(actions, keys):
+            if key in self._cache or key in fresh_keys:
+                continue
+            corners.append(self.space.point(action))
+            fresh_keys.append(key)
+        fresh = self.engine.evaluate_many(self.netlist, corners,
+                                          self.weights)
+        for key, record in zip(fresh_keys, fresh):
+            self._cache[key] = record
+            self.history.append(record)
+        return [self._cache[key] for key in keys]
 
     def best(self) -> EvaluationRecord | None:
         if not self.history:

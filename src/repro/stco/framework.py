@@ -5,6 +5,15 @@ technology level (surrogate TCAD + GNN characterization);
 ``TraditionalSTCO`` is the baseline using the full physics solvers. Both
 share the system-evaluation flow, mirroring the paper's Table I setup
 where system evaluation is common to both rows.
+
+Both campaigns route every corner evaluation through
+:class:`~repro.engine.engine.EvaluationEngine`. The default engine
+(serial backend, in-memory cache) reproduces the historical serial
+behavior bit-for-bit; pass ``backend="process"``, ``cache_dir=...`` or
+``batch_characterization=True`` — or a fully configured shared
+``engine`` — to parallelize, persist, and amortize characterization
+across campaigns. Multi-scenario sweeps live in
+:class:`repro.engine.campaign.Campaign`.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from ..charlib.fastchar import GNNLibraryBuilder, SpiceLibraryBuilder
 from ..charlib.characterizer import CharConfig
 from ..charlib.model import CellCharGCN
 from ..eda.netlist import GateNetlist
+from ..engine.engine import EngineConfig, EvaluationEngine
 from .agent import QLearningAgent
 from .env import PPAWeights, STCOEnvironment
 from .runtime import IterationTiming, RuntimeLedger
@@ -38,17 +48,39 @@ class STCOOutcome:
     total_runtime_s: float
     mean_iteration_s: float
     history_rewards: list = field(default_factory=list)
+    engine_stats: dict = field(default_factory=dict)
+
+
+def _check_engine_kwargs(engine, backend, cache_dir,
+                         batch_characterization):
+    """A provided engine carries its own config; reject conflicts."""
+    if engine is not None and (backend != "serial" or cache_dir is not None
+                               or batch_characterization):
+        raise ValueError(
+            "pass engine routing either as a configured `engine=` or via "
+            "backend/cache_dir/batch_characterization — not both (the "
+            "provided engine's own configuration would silently win)")
 
 
 class _CampaignBase:
     def __init__(self, netlist: GateNetlist, builder,
                  space: DesignSpace | None = None,
                  weights: PPAWeights | None = None,
-                 agent_seed: int = 0):
+                 agent_seed: int = 0,
+                 engine: EvaluationEngine | None = None,
+                 backend: str = "serial",
+                 cache_dir=None,
+                 batch_characterization: bool = False):
         self.netlist = netlist
         self.builder = builder
         self.space = space if space is not None else default_space()
-        self.env = STCOEnvironment(netlist, builder, self.space, weights)
+        if engine is None:
+            engine = EvaluationEngine(builder, EngineConfig(
+                backend=backend, cache_dir=cache_dir,
+                batch_characterization=batch_characterization))
+        self.engine = engine
+        self.env = STCOEnvironment(netlist, builder, self.space, weights,
+                                   engine=engine)
         self.agent = QLearningAgent(self.env, seed=agent_seed)
         self.ledger = RuntimeLedger()
 
@@ -66,7 +98,8 @@ class _CampaignBase:
             evaluations=explore.evaluations,
             total_runtime_s=total,
             mean_iteration_s=total / max(iterations, 1),
-            history_rewards=explore.rewards)
+            history_rewards=explore.rewards,
+            engine_stats=self.engine.stats())
 
 
 class FastSTCO(_CampaignBase):
@@ -80,16 +113,41 @@ class FastSTCO(_CampaignBase):
         Trained characterization GNN and its dataset (for normalisers).
     cells:
         Library cell subset to build per corner.
+    engine, backend, cache_dir, batch_characterization:
+        Evaluation-engine routing (see :class:`_CampaignBase`); the
+        defaults reproduce the historical serial behavior exactly.
     """
 
     def __init__(self, netlist: GateNetlist, model: CellCharGCN,
                  dataset: CharDataset, cells=DEFAULT_CI_CELLS,
                  char_config: CharConfig | None = None,
                  space: DesignSpace | None = None,
-                 weights: PPAWeights | None = None, agent_seed: int = 0):
-        builder = GNNLibraryBuilder(model, dataset, cells=cells,
-                                    config=char_config)
-        super().__init__(netlist, builder, space, weights, agent_seed)
+                 weights: PPAWeights | None = None, agent_seed: int = 0,
+                 engine: EvaluationEngine | None = None,
+                 backend: str = "serial", cache_dir=None,
+                 batch_characterization: bool = False):
+        _check_engine_kwargs(engine, backend, cache_dir,
+                             batch_characterization)
+        if engine is not None:
+            if cells is not DEFAULT_CI_CELLS or char_config is not None:
+                raise ValueError(
+                    "cells/char_config are determined by the provided "
+                    "engine's builder; omit them, or build the "
+                    "GNNLibraryBuilder + engine yourself")
+            builder = engine.builder
+            if (getattr(builder, "model", None) is not model
+                    or getattr(builder, "dataset", None) is not dataset):
+                raise ValueError(
+                    "the provided engine's builder was constructed from a "
+                    "different model/dataset than the ones passed; reuse "
+                    "the matching engine or omit `engine=`")
+        else:
+            builder = GNNLibraryBuilder(model, dataset, cells=cells,
+                                        config=char_config)
+        super().__init__(netlist, builder, space, weights, agent_seed,
+                         engine=engine, backend=backend,
+                         cache_dir=cache_dir,
+                         batch_characterization=batch_characterization)
 
 
 class TraditionalSTCO(_CampaignBase):
@@ -99,7 +157,28 @@ class TraditionalSTCO(_CampaignBase):
                  cells=DEFAULT_CI_CELLS,
                  char_config: CharConfig | None = None,
                  space: DesignSpace | None = None,
-                 weights: PPAWeights | None = None, agent_seed: int = 0):
-        builder = SpiceLibraryBuilder(technology, cells=cells,
-                                      config=char_config)
-        super().__init__(netlist, builder, space, weights, agent_seed)
+                 weights: PPAWeights | None = None, agent_seed: int = 0,
+                 engine: EvaluationEngine | None = None,
+                 backend: str = "serial", cache_dir=None,
+                 batch_characterization: bool = False):
+        _check_engine_kwargs(engine, backend, cache_dir,
+                             batch_characterization)
+        if engine is not None:
+            if cells is not DEFAULT_CI_CELLS or char_config is not None:
+                raise ValueError(
+                    "cells/char_config are determined by the provided "
+                    "engine's builder; omit them, or build the "
+                    "SpiceLibraryBuilder + engine yourself")
+            builder = engine.builder
+            if getattr(builder, "technology", None) != technology:
+                raise ValueError(
+                    f"the provided engine's builder characterizes "
+                    f"{getattr(builder, 'technology', None)!r}, not the "
+                    f"requested {technology!r}")
+        else:
+            builder = SpiceLibraryBuilder(technology, cells=cells,
+                                          config=char_config)
+        super().__init__(netlist, builder, space, weights, agent_seed,
+                         engine=engine, backend=backend,
+                         cache_dir=cache_dir,
+                         batch_characterization=batch_characterization)

@@ -7,6 +7,8 @@ deriving independent, reproducible streams from a root seed.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 __all__ = ["make_rng", "spawn", "derive"]
@@ -29,8 +31,10 @@ def derive(seed: int, *tags) -> np.random.Generator:
     """Derive a named, stable stream: same ``(seed, tags)`` → same stream.
 
     Useful when parallel components must be reproducible independently of
-    call order (e.g. device #k of a dataset).
+    call order (e.g. device #k of a dataset). Tags are mixed in via a
+    process-stable digest — never builtin ``hash``, whose string seed is
+    randomized per interpreter.
     """
-    mixed = np.random.SeedSequence([seed] + [abs(hash(t)) % (2 ** 32)
-                                             for t in tags])
+    mixed = np.random.SeedSequence(
+        [seed] + [zlib.crc32(str(t).encode("utf-8")) for t in tags])
     return np.random.default_rng(mixed)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the evaluation-engine tests: one tiny trained
+characterization GNN (built once per session) plus a small design space."""
+
+import pytest
+
+from repro.charlib import (CharConfig, CharTrainConfig, Corner,
+                           GNNLibraryBuilder, build_char_dataset,
+                           train_char_model)
+from repro.eda import build_benchmark
+from repro.stco import DesignSpace
+
+FAST_CFG = CharConfig(slews=(8e-9,), loads=(15e-15,), n_bisect=3,
+                      max_steps=200)
+CELLS = ("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1")
+
+
+@pytest.fixture(scope="session")
+def trained(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("engine_char_cache")
+    dataset = build_char_dataset(
+        "ltps", cells=CELLS,
+        train_corners=[Corner(1.0, 0.0, 1.0), Corner(0.9, 0.05, 1.1)],
+        test_corners=[Corner(0.95, 0.02, 1.05)],
+        config=FAST_CFG, cache_dir=cache)
+    model = train_char_model(dataset,
+                             train_config=CharTrainConfig(epochs=10))
+    return model, dataset
+
+
+@pytest.fixture(scope="session")
+def builder(trained):
+    model, dataset = trained
+    return GNNLibraryBuilder(model, dataset, cells=CELLS, config=FAST_CFG)
+
+
+@pytest.fixture(scope="session")
+def netlist():
+    return build_benchmark("s298")
+
+
+@pytest.fixture(scope="session")
+def small_space():
+    return DesignSpace(vdd_scales=(0.9, 1.0, 1.1), vth_shifts=(0.0,),
+                       cox_scales=(0.9, 1.1))
+
+
+@pytest.fixture
+def corners(small_space):
+    return small_space.points()

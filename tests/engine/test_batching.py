@@ -1,0 +1,56 @@
+"""Batched GNN characterization vs the serial per-cell path."""
+
+import numpy as np
+
+from repro.charlib import Corner
+from repro.engine import BatchedGNNCharacterizer
+
+
+def _assert_libraries_close(a, b):
+    assert a.names() == b.names()
+    assert a.vdd == b.vdd
+    for name in a.names():
+        ca, cb = a.cell(name), b.cell(name)
+        np.testing.assert_allclose(ca.delay.values, cb.delay.values,
+                                   rtol=1e-9)
+        np.testing.assert_allclose(ca.output_slew.values,
+                                   cb.output_slew.values, rtol=1e-9)
+        assert set(ca.input_caps) == set(cb.input_caps)
+        for pin, cap in ca.input_caps.items():
+            np.testing.assert_allclose(cap, cb.input_caps[pin], rtol=1e-9)
+        np.testing.assert_allclose(ca.leakage, cb.leakage, rtol=1e-9)
+        np.testing.assert_allclose(ca.switch_energy, cb.switch_energy,
+                                   rtol=1e-9)
+        assert ca.is_sequential == cb.is_sequential
+        if ca.is_sequential:
+            np.testing.assert_allclose(
+                [ca.setup, ca.hold, ca.clk_q, ca.min_pulse_width],
+                [cb.setup, cb.hold, cb.clk_q, cb.min_pulse_width],
+                rtol=1e-9)
+
+
+class TestBatchedCharacterization:
+    def test_matches_serial_per_corner(self, builder, corners):
+        batched = BatchedGNNCharacterizer(builder).build_many(corners)
+        assert len(batched) == len(corners)
+        for corner, lib in zip(corners, batched):
+            assert lib.meta["corner"] == corner.key()
+            _assert_libraries_close(builder.build(corner), lib)
+
+    def test_chunking_preserves_results(self, builder):
+        corners = [Corner(0.9, 0.0, 1.0), Corner(1.1, 0.0, 1.0)]
+        big = BatchedGNNCharacterizer(builder,
+                                      max_graphs_per_batch=4096)
+        small = BatchedGNNCharacterizer(builder, max_graphs_per_batch=3)
+        libs_big = big.build_many(corners)
+        libs_small = small.build_many(corners)
+        assert small.last_forward_passes > big.last_forward_passes
+        for a, b in zip(libs_big, libs_small):
+            _assert_libraries_close(a, b)
+
+    def test_fewer_forward_passes_than_serial(self, builder, corners):
+        """The whole point: per-metric passes, not per-cell-per-corner."""
+        batcher = BatchedGNNCharacterizer(builder)
+        batcher.build_many(corners)
+        metrics = len(builder.metrics_present())
+        assert batcher.last_forward_passes <= metrics + 3  # chunk slack

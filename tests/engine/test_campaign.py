@@ -1,0 +1,178 @@
+"""Campaign orchestration: sweeps, checkpoint/resume, ledger report."""
+
+import json
+
+import pytest
+
+from repro.engine import (Campaign, CampaignReport, EngineConfig,
+                          EvaluationEngine, Scenario, ScenarioResult,
+                          sweep_scenarios)
+
+
+@pytest.fixture
+def scenarios():
+    return sweep_scenarios(["s298", "s386"], agents=("qlearning", "random"),
+                           iterations=4)
+
+
+class TestScenario:
+    def test_sweep_cartesian(self):
+        scenarios = sweep_scenarios(["s298", "s386"],
+                                    agents=("qlearning", "grid"),
+                                    seeds=(0, 1),
+                                    weights_list=((1, 1, 0.5), (2, 1, 0.5)))
+        assert len(scenarios) == 2 * 2 * 2 * 2
+        assert len({s.scenario_id() for s in scenarios}) == len(scenarios)
+
+    def test_roundtrip(self):
+        scenario = Scenario("s298", agent="random", seed=3, iterations=9,
+                            weights=(2.0, 1.0, 0.25))
+        clone = Scenario.from_dict(
+            json.loads(json.dumps(scenario.to_dict())))
+        assert clone == scenario
+        assert clone.scenario_id() == scenario.scenario_id()
+
+    def test_weights_materialize(self):
+        weights = Scenario("s298", weights=(2.0, 3.0, 0.5)).ppa_weights()
+        assert (weights.power, weights.performance, weights.area) \
+            == (2.0, 3.0, 0.5)
+
+
+class TestCampaignRun:
+    def test_shared_engine_amortizes(self, builder, small_space,
+                                     scenarios):
+        campaign = Campaign(builder, scenarios, space=small_space)
+        report = campaign.run()
+        assert len(report.results) == len(scenarios)
+        assert report.resumed_scenarios == 0
+        # Two agents × two benchmarks explore the same 6-point space:
+        # far fewer characterizations than total evaluations.
+        chars = report.engine_stats["characterizations"]
+        evals = sum(r.evaluations for r in report.results)
+        assert chars <= small_space.size
+        assert evals > chars
+        assert report.best().best_reward == max(
+            r.best_reward for r in report.results)
+
+    def test_ledger_report(self, builder, small_space, scenarios):
+        report = Campaign(builder, scenarios, space=small_space).run()
+        ledger = report.ledger()
+        for benchmark in ("s298", "s386"):
+            timing = ledger.measured[benchmark]
+            assert timing.system_eval_s > 0
+            assert timing.charlib_s >= 0
+        assert report.summary_rows()
+
+    def test_prefetch_characterizes_space_upfront(self, builder,
+                                                  small_space,
+                                                  scenarios):
+        plain = Campaign(builder, scenarios, space=small_space).run()
+        prefetched = Campaign(
+            builder, scenarios, space=small_space,
+            engine_config=EngineConfig(batch_characterization=True),
+            prefetch=True).run()
+        # Prefetch characterizes every space point (batched), then the
+        # agents run entirely against the warm library cache.
+        assert (prefetched.engine_stats["characterizations"]
+                == small_space.size)
+        for a, b in zip(plain.results, prefetched.results):
+            assert a.best_corner == b.best_corner
+
+    def test_warm_scenarios_report_zero_charlib_time(self, builder,
+                                                     small_space,
+                                                     scenarios):
+        engine = EvaluationEngine(builder, EngineConfig())
+        Campaign(builder, scenarios[:1], space=small_space,
+                 engine=engine).run()
+        warm = Campaign(builder, scenarios[:1], space=small_space,
+                        engine=engine).run()
+        result = warm.results[0]
+        # Every record came from the engine cache: no characterization
+        # or flow time may be attributed to this scenario.
+        assert result.charlib_s == 0.0
+        assert result.flow_s == 0.0
+
+    def test_unknown_agent_raises(self, builder, small_space):
+        campaign = Campaign(builder, [Scenario("s298", agent="sgd")],
+                            space=small_space)
+        with pytest.raises(ValueError, match="unknown agent"):
+            campaign.run()
+
+
+class TestCheckpointResume:
+    def test_full_resume_roundtrip(self, builder, small_space, scenarios,
+                                   tmp_path):
+        ckpt = tmp_path / "campaign.json"
+        first = Campaign(builder, scenarios, space=small_space,
+                         checkpoint_path=ckpt)
+        report = first.run()
+        assert ckpt.exists()
+        second = Campaign(builder, scenarios, space=small_space,
+                          checkpoint_path=ckpt)
+        resumed = second.run()
+        assert resumed.resumed_scenarios == len(scenarios)
+        assert all(r.resumed for r in resumed.results)
+        for a, b in zip(report.results, resumed.results):
+            assert a.scenario == b.scenario
+            assert a.best_corner == b.best_corner
+            assert a.best_reward == b.best_reward
+            assert a.history_rewards == b.history_rewards
+
+    def test_partial_resume_extends(self, builder, small_space,
+                                    scenarios, tmp_path):
+        """A checkpoint from a shorter campaign resumes inside a longer
+        one — only the new scenarios actually run."""
+        ckpt = tmp_path / "campaign.json"
+        Campaign(builder, scenarios[:2], space=small_space,
+                 checkpoint_path=ckpt).run()
+        extended = Campaign(builder, scenarios, space=small_space,
+                            checkpoint_path=ckpt)
+        report = extended.run()
+        assert report.resumed_scenarios == 2
+        assert [r.resumed for r in report.results] == [
+            True, True, False, False]
+
+    def test_space_change_invalidates(self, builder, small_space,
+                                      scenarios, tmp_path):
+        from repro.stco import DesignSpace
+        ckpt = tmp_path / "campaign.json"
+        Campaign(builder, scenarios[:1], space=small_space,
+                 checkpoint_path=ckpt).run()
+        other_space = DesignSpace(vdd_scales=(0.8, 1.2),
+                                  vth_shifts=(0.0,), cox_scales=(1.0,))
+        report = Campaign(builder, scenarios[:1], space=other_space,
+                          checkpoint_path=ckpt).run()
+        assert report.resumed_scenarios == 0
+
+    def test_no_resume_flag(self, builder, small_space, scenarios,
+                            tmp_path):
+        ckpt = tmp_path / "campaign.json"
+        Campaign(builder, scenarios[:1], space=small_space,
+                 checkpoint_path=ckpt).run()
+        report = Campaign(builder, scenarios[:1], space=small_space,
+                          checkpoint_path=ckpt).run(resume=False)
+        assert report.resumed_scenarios == 0
+
+    def test_corrupt_checkpoint_ignored(self, builder, small_space,
+                                        scenarios, tmp_path):
+        ckpt = tmp_path / "campaign.json"
+        ckpt.write_text("{ not json")
+        report = Campaign(builder, scenarios[:1], space=small_space,
+                          checkpoint_path=ckpt).run()
+        assert report.resumed_scenarios == 0
+        assert json.loads(ckpt.read_text())["completed"]
+
+    def test_shared_disk_cache_between_campaigns(self, builder,
+                                                 small_space, scenarios,
+                                                 tmp_path):
+        """Second campaign, fresh engine, same cache dir: zero
+        re-characterizations (the acceptance criterion)."""
+        config = EngineConfig(cache_dir=tmp_path / "shared")
+        cold = Campaign(builder, scenarios, space=small_space,
+                        engine=EvaluationEngine(builder, config)).run()
+        assert cold.engine_stats["characterizations"] > 0
+        warm = Campaign(builder, scenarios, space=small_space,
+                        engine=EvaluationEngine(builder, config)).run()
+        assert warm.engine_stats["characterizations"] == 0
+        assert warm.best().best_corner == cold.best().best_corner
+        assert isinstance(warm, CampaignReport)

@@ -1,0 +1,270 @@
+"""EvaluationEngine semantics: seed equivalence, caching, parallelism."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eda import evaluate_system
+from repro.engine import EngineConfig, EvaluationEngine, PPAWeights
+
+
+@pytest.fixture
+def engine(builder):
+    return EvaluationEngine(builder, EngineConfig())
+
+
+class TestSerialEquivalence:
+    def test_matches_seed_serial_loop(self, builder, netlist, corners):
+        """The engine's default path must be bit-identical to the
+        historical loop: build library, run flow, score."""
+        weights = PPAWeights()
+        engine = EvaluationEngine(builder, EngineConfig())
+        records = engine.evaluate_many(netlist, corners[:3], weights)
+        for corner, record in zip(corners[:3], records):
+            library = builder.build(corner)
+            result = evaluate_system(netlist, library)
+            assert record.reward == weights.score(result)
+            assert record.result.fmax_hz == result.fmax_hz
+            assert record.result.total_power_w == result.total_power_w
+            assert record.result.area_um2 == result.area_um2
+
+    def test_input_order_preserved(self, engine, netlist, corners):
+        forward = engine.evaluate_many(netlist, corners)
+        backward = engine.evaluate_many(netlist, corners[::-1])
+        assert [r.corner for r in backward] == [
+            r.corner for r in forward[::-1]]
+
+
+class TestCaching:
+    def test_warm_rerun_hits_cache(self, builder, netlist, corners):
+        engine = EvaluationEngine(builder, EngineConfig())
+        cold = engine.evaluate_many(netlist, corners)
+        assert engine.characterizations == len(corners)
+        assert not any(r.cached for r in cold)
+        warm = engine.evaluate_many(netlist, corners)
+        assert engine.characterizations == len(corners)   # unchanged
+        assert all(r.cached for r in warm)
+        assert [r.reward for r in warm] == [r.reward for r in cold]
+
+    def test_library_reused_across_weights(self, builder, netlist,
+                                           corners):
+        """New PPA trade-off: new rewards, but zero re-characterization."""
+        engine = EvaluationEngine(builder, EngineConfig())
+        engine.evaluate_many(netlist, corners[:2], PPAWeights())
+        chars = engine.characterizations
+        flows = engine.flow_evaluations
+        records = engine.evaluate_many(netlist, corners[:2],
+                                       PPAWeights(power=2.0))
+        assert engine.characterizations == chars          # libs reused
+        assert engine.flow_evaluations == flows + 2       # flows re-run
+        assert not any(r.cached for r in records)
+
+    def test_disk_cache_survives_engine_restart(self, builder, netlist,
+                                                corners, tmp_path):
+        config = EngineConfig(cache_dir=tmp_path / "engine")
+        first = EvaluationEngine(builder, config)
+        cold = first.evaluate_many(netlist, corners)
+        assert first.characterizations == len(corners)
+        second = EvaluationEngine(builder, config)        # fresh process sim
+        warm = second.evaluate_many(netlist, corners)
+        assert second.characterizations == 0              # zero re-chars
+        assert second.flow_evaluations == 0
+        assert [r.reward for r in warm] == [r.reward for r in cold]
+
+    def test_result_caching_can_be_disabled(self, builder, netlist,
+                                            corners):
+        engine = EvaluationEngine(builder,
+                                  EngineConfig(cache_results=False))
+        engine.evaluate_many(netlist, corners[:2])
+        again = engine.evaluate_many(netlist, corners[:2])
+        assert not any(r.cached for r in again)
+        assert engine.flow_evaluations == 4
+        assert engine.characterizations == 2              # libs still cached
+
+    def test_duplicate_corners_evaluated_once(self, builder, netlist,
+                                              corners):
+        engine = EvaluationEngine(builder, EngineConfig())
+        records = engine.evaluate_many(
+            netlist, [corners[0], corners[1], corners[0]])
+        assert engine.characterizations == 2
+        assert engine.flow_evaluations == 2
+        assert records[0] is records[2]
+        assert records[0].reward != records[1].reward or \
+            records[0].corner != records[1].corner
+
+    def test_stats_shape(self, engine, netlist, corners):
+        engine.evaluate(netlist, corners[0])
+        stats = engine.stats()
+        assert stats["characterizations"] == 1
+        assert stats["flow_evaluations"] == 1
+        assert "memory" in stats["library_cache"]
+        assert "timing_s" in stats
+
+
+class TestBackends:
+    def test_parallel_matches_serial(self, builder, netlist, corners):
+        serial = EvaluationEngine(builder, EngineConfig())
+        reference = serial.evaluate_many(netlist, corners)
+        with EvaluationEngine(
+                builder, EngineConfig(backend="process:2")) as parallel:
+            records = parallel.evaluate_many(netlist, corners)
+        assert [r.reward for r in records] == [
+            r.reward for r in reference]
+        assert [r.corner for r in records] == [
+            r.corner for r in reference]
+
+    def test_parallel_populates_library_cache(self, builder, netlist,
+                                              corners):
+        with EvaluationEngine(
+                builder, EngineConfig(backend="process:2")) as engine:
+            engine.evaluate_many(netlist, corners[:2])
+            libs = engine.libraries(corners[:2])
+            assert engine.characterizations == 2          # no rebuilds
+            assert all(lib is not None for lib in libs)
+
+    def test_thread_backend_matches_serial(self, builder, netlist,
+                                           corners):
+        serial = EvaluationEngine(builder, EngineConfig())
+        reference = serial.evaluate_many(netlist, corners)
+        with EvaluationEngine(
+                builder, EngineConfig(backend="thread:4")) as threaded:
+            records = threaded.evaluate_many(netlist, corners)
+            # Characterization stays in the calling thread (autograd
+            # state is process-global); flows fan out.
+            assert threaded.characterizations == len(corners)
+        assert [r.reward for r in records] == [
+            r.reward for r in reference]
+
+    def test_batched_matches_serial(self, builder, netlist, corners):
+        serial = EvaluationEngine(builder, EngineConfig())
+        reference = serial.evaluate_many(netlist, corners)
+        batched = EvaluationEngine(
+            builder, EngineConfig(batch_characterization=True))
+        records = batched.evaluate_many(netlist, corners)
+        np.testing.assert_allclose([r.reward for r in records],
+                                   [r.reward for r in reference],
+                                   rtol=1e-9)
+        assert ([r.corner.key() for r in records]
+                == [r.corner.key() for r in reference])
+
+    def test_process_backend_honors_batching(self, builder, netlist,
+                                             corners):
+        """process + batch_characterization: packed forward passes run
+        in this process, only the flows fan out."""
+        serial = EvaluationEngine(builder, EngineConfig())
+        reference = serial.evaluate_many(netlist, corners)
+        config = EngineConfig(backend="process:2",
+                              batch_characterization=True)
+        with EvaluationEngine(builder, config) as engine:
+            records = engine.evaluate_many(netlist, corners)
+            assert "characterization" in engine.timing.totals
+            assert engine.characterizations == len(corners)
+        np.testing.assert_allclose([r.reward for r in records],
+                                   [r.reward for r in reference],
+                                   rtol=1e-9)
+
+
+class TestBuilderFingerprintFallback:
+    def test_fingerprintless_builders_never_share_identity(self):
+        class BareBuilder:
+            def build(self, corner):
+                raise NotImplementedError
+
+        a = EvaluationEngine(BareBuilder(), EngineConfig())
+        b = EvaluationEngine(BareBuilder(), EngineConfig())
+        assert a.builder_fingerprint() != b.builder_fingerprint()
+        assert a.builder_fingerprint() == a.builder_fingerprint()
+
+
+class TestEngineKwargConflicts:
+    def test_engine_plus_config_kwargs_rejected(self, trained,
+                                                small_space, netlist,
+                                                builder):
+        from repro.stco import FastSTCO
+        model, dataset = trained
+        engine = EvaluationEngine(builder, EngineConfig())
+        with pytest.raises(ValueError, match="not both"):
+            FastSTCO(netlist, model, dataset, space=small_space,
+                     engine=engine, backend="process:2")
+
+    def test_engine_with_foreign_model_rejected(self, trained,
+                                                small_space, netlist,
+                                                builder):
+        from repro.charlib import CellCharGCN
+        from repro.stco import FastSTCO
+        _, dataset = trained
+        other_model = CellCharGCN()
+        engine = EvaluationEngine(builder, EngineConfig())
+        with pytest.raises(ValueError, match="different model/dataset"):
+            FastSTCO(netlist, other_model, dataset, space=small_space,
+                     engine=engine)
+
+    def test_engine_plus_cells_rejected(self, trained, small_space,
+                                        netlist, builder):
+        from repro.stco import FastSTCO
+        model, dataset = trained
+        engine = EvaluationEngine(builder, EngineConfig())
+        with pytest.raises(ValueError, match="cells/char_config"):
+            FastSTCO(netlist, model, dataset, cells=("INV_X1",),
+                     space=small_space, engine=engine)
+
+    def test_matching_engine_accepted(self, trained, small_space,
+                                      netlist, builder):
+        from repro.stco import FastSTCO
+        model, dataset = trained
+        engine = EvaluationEngine(builder, EngineConfig())
+        stco = FastSTCO(netlist, model, dataset, space=small_space,
+                        engine=engine)
+        assert stco.engine is engine
+
+
+class TestEnvPrefetch:
+    def test_prefetch_matches_serial_evaluate(self, builder, netlist,
+                                              small_space):
+        from repro.stco import STCOEnvironment
+        serial_env = STCOEnvironment(netlist, builder, small_space)
+        serial = [serial_env.evaluate(a)
+                  for a in range(small_space.size)]
+        batch_env = STCOEnvironment(netlist, builder, small_space)
+        records = batch_env.prefetch(range(small_space.size))
+        assert [r.reward for r in records] == [r.reward for r in serial]
+        # Every action now resolves from the environment cache.
+        for action in range(small_space.size):
+            assert batch_env.evaluate(action) is records[action]
+        assert len(batch_env.history) == small_space.size
+
+    def test_prefetch_dedupes_actions(self, builder, netlist,
+                                      small_space):
+        from repro.stco import STCOEnvironment
+        env = STCOEnvironment(netlist, builder, small_space)
+        records = env.prefetch([0, 1, 0, 1])
+        assert len(records) == 4
+        assert records[0] is records[2]
+        assert len(env.history) == 2
+
+
+class TestFastSTCOEquivalence:
+    def test_engine_backends_agree_on_best_corner(self, trained,
+                                                  small_space):
+        """FastSTCO through the default serial engine and through a
+        batched engine must find the identical best corner and rewards."""
+        from repro.eda import build_benchmark
+        from repro.stco import FastSTCO
+        from tests.engine.conftest import CELLS, FAST_CFG
+        model, dataset = trained
+        runs = {}
+        for label, kwargs in {
+            "serial": {},
+            "batched": {"batch_characterization": True},
+        }.items():
+            stco = FastSTCO(build_benchmark("s298"), model, dataset,
+                            cells=CELLS, char_config=FAST_CFG,
+                            space=small_space, agent_seed=7, **kwargs)
+            runs[label] = stco.run(iterations=6)
+        assert (runs["serial"].best_corner
+                == runs["batched"].best_corner)
+        np.testing.assert_allclose(runs["serial"].history_rewards,
+                                   runs["batched"].history_rewards,
+                                   rtol=1e-9)
+        assert runs["serial"].engine_stats["characterizations"] >= 1
