@@ -1,0 +1,124 @@
+"""Search-quality bench: evaluations-to-optimum and hypervolume per
+optimizer, written to ``BENCH_search.json``.
+
+Every optimizer races the same 45-point default space on ≥3 benchmark
+netlists through a **serial** engine — unlike the engine-speedup bench
+this is runner-independent: it measures *search efficiency* (how many
+engine evaluations each strategy spends before finding the optimum, and
+how much of the Pareto surface it uncovers), not wall-clock parallelism.
+
+Per (netlist, optimizer) the bench records:
+
+* ``evaluations`` / ``engine_misses`` — distinct corners asked and flows
+  actually run (each optimizer gets a cold engine, so misses = unique);
+* ``evaluations_to_optimum`` — unique-eval index at which the eventual
+  best corner was first evaluated;
+* ``found_optimum`` — whether that best equals the exhaustive grid's;
+* ``hypervolume`` — final archive hypervolume, measured against one
+  shared reference per netlist (the exhaustive sweep's nadir), so the
+  numbers are comparable across optimizers.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.charlib import (CharConfig, CharTrainConfig, Corner,
+                           GNNLibraryBuilder, build_char_dataset,
+                           train_char_model)
+from repro.eda import build_benchmark
+from repro.engine import EngineConfig, EvaluationEngine, PPAWeights
+from repro.search import (ParetoArchive, SearchRun, make_optimizer)
+from repro.stco import default_space
+from repro.utils import print_table
+
+CELLS = ("INV_X1", "NAND2_X1", "NOR2_X1", "AND2_X1", "DFF_X1")
+CFG = CharConfig(slews=(8e-9,), loads=(15e-15,), n_bisect=3, max_steps=200)
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+
+NETLISTS = ("s298", "s386", "s526")
+OPTIMIZERS = ("random", "qlearning", "anneal", "evolution", "nsga2",
+              "surrogate", "portfolio")
+BUDGET = 32
+
+
+@pytest.fixture(scope="module")
+def builder():
+    dataset = build_char_dataset(
+        "ltps", cells=CELLS,
+        train_corners=[Corner(1.0, 0.0, 1.0), Corner(0.9, 0.05, 1.1)],
+        test_corners=[Corner(0.95, 0.02, 1.05)],
+        config=CFG)
+    model = train_char_model(dataset,
+                             train_config=CharTrainConfig(epochs=15))
+    return GNNLibraryBuilder(model, dataset, cells=CELLS, config=CFG)
+
+
+def test_search_quality(builder):
+    space = default_space()
+    weights = PPAWeights()
+    corners = space.points()
+    report = {"space_size": space.size, "budget": BUDGET,
+              "netlists": {}}
+    rows = []
+    for name in NETLISTS:
+        netlist = build_benchmark(name)
+
+        # Exhaustive sweep: ground truth optimum + shared hv reference.
+        grid_engine = EvaluationEngine(builder, EngineConfig())
+        truth_archive = ParetoArchive()
+        records = grid_engine.evaluate_many(netlist, corners, weights)
+        truth_archive.add_many(records)
+        best = max(records, key=lambda r: r.reward)
+        reference = truth_archive.reference_point()
+        per_netlist = {"grid": {
+            "evaluations": space.size,
+            "engine_misses": space.size,
+            "evaluations_to_optimum": records.index(best) + 1,
+            "found_optimum": True,
+            "best_reward": float(best.reward),
+            "hypervolume": truth_archive.hypervolume(reference),
+            "pareto_points": len(truth_archive)}}
+
+        for opt_name in OPTIMIZERS:
+            engine = EvaluationEngine(builder, EngineConfig())
+            optimizer = make_optimizer(opt_name, space, seed=0,
+                                       weights=weights, builder=builder)
+            result = SearchRun(netlist, optimizer, engine,
+                               weights=weights,
+                               hv_reference=reference).run(budget=BUDGET)
+            per_netlist[opt_name] = {
+                "evaluations": result.evaluations,
+                "engine_misses": result.engine_misses,
+                "evaluations_to_optimum": result.evaluations_to_optimum,
+                "found_optimum": result.best_corner == best.corner.key(),
+                "best_reward": float(result.best_reward),
+                "hypervolume": result.hypervolume,
+                "pareto_points": len(result.pareto_front)}
+            # Every optimizer stays within budget; nothing exceeds the
+            # exhaustive sweep's cost.
+            assert result.engine_misses <= space.size
+            assert result.evaluations <= BUDGET
+            assert per_netlist[opt_name]["hypervolume"] \
+                <= per_netlist["grid"]["hypervolume"] + 1e-9
+
+        # The headline claim: guided search beats exhaustive sweep on
+        # evaluations while still finding the optimum.
+        winners = [o for o in ("anneal", "evolution", "portfolio")
+                   if per_netlist[o]["found_optimum"]
+                   and per_netlist[o]["engine_misses"] < space.size]
+        assert winners, f"no guided optimizer found the optimum on {name}"
+
+        report["netlists"][name] = per_netlist
+        for opt_name, row in per_netlist.items():
+            rows.append([name, opt_name, str(row["evaluations"]),
+                         str(row["evaluations_to_optimum"]),
+                         "yes" if row["found_optimum"] else "no",
+                         f"{row['hypervolume']:.3f}"])
+
+    ARTIFACT.write_text(json.dumps(report, indent=1))
+    print_table(["Netlist", "Optimizer", "Evals", "Evals→opt", "Found",
+                 "Hypervolume"], rows,
+                title=f"Search quality on the {space.size}-point space "
+                      f"(budget {BUDGET})")

@@ -10,8 +10,11 @@ Demonstrates the engine subsystem end to end:
    **zero** re-characterizations.
 
 Run:  python examples/parallel_campaign.py
-(add PYTHONPATH=src if the package is not installed)
+(add PYTHONPATH=src if the package is not installed;
+ set REPRO_SMOKE=1 for a CI-sized run)
 """
+
+import os
 
 from repro.charlib import (CharConfig, CharTrainConfig, Corner,
                            GNNLibraryBuilder, build_char_dataset,
@@ -21,12 +24,15 @@ from repro.engine import (Campaign, EngineConfig, available_workers,
 from repro.stco import DesignSpace
 from repro.utils import print_table
 
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def main():
-    cells = ("INV_X1", "NAND2_X1", "NOR2_X1", "AND2_X1", "XOR2_X1",
-             "DFF_X1")
+    cells = (("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1") if SMOKE else
+             ("INV_X1", "NAND2_X1", "NOR2_X1", "AND2_X1", "XOR2_X1",
+              "DFF_X1"))
     cfg = CharConfig(slews=(8e-9,), loads=(15e-15,), n_bisect=3,
-                     max_steps=220)
+                     max_steps=200 if SMOKE else 220)
 
     print("1) Building the characterization dataset + GNN (cached)…")
     dataset = build_char_dataset(
@@ -34,17 +40,18 @@ def main():
         train_corners=[Corner(1.0, 0.0, 1.0), Corner(0.85, 0.05, 1.1),
                        Corner(1.15, -0.05, 0.9)],
         test_corners=[Corner(0.95, 0.02, 1.05)], config=cfg)
-    model = train_char_model(dataset,
-                             train_config=CharTrainConfig(epochs=25))
+    model = train_char_model(
+        dataset, train_config=CharTrainConfig(epochs=8 if SMOKE else 25))
     builder = GNNLibraryBuilder(model, dataset, cells=cells, config=cfg)
 
     print("2) Sweeping (benchmark x agent x weights) scenarios…")
     scenarios = sweep_scenarios(
-        benchmarks=["s298", "s386", "s526"],
-        agents=("qlearning", "random"),
+        benchmarks=["s298"] if SMOKE else ["s298", "s386", "s526"],
+        agents=("qlearning", "random") if SMOKE
+        else ("qlearning", "random", "anneal"),
         weights_list=((1.0, 1.0, 0.5),    # balanced
                       (2.0, 1.0, 0.5)),   # power-conscious
-        iterations=8)
+        iterations=4 if SMOKE else 8)
     space = DesignSpace(vdd_scales=(0.9, 1.0, 1.1),
                         vth_shifts=(-0.05, 0.05), cox_scales=(0.9, 1.1))
 

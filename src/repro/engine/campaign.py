@@ -36,10 +36,16 @@ _CHECKPOINT_VERSION = 1
 
 @dataclass(frozen=True)
 class Scenario:
-    """One exploration: a benchmark, a PPA trade-off, an agent, a seed."""
+    """One exploration: a benchmark, a PPA trade-off, an agent, a seed.
+
+    ``agent`` names any strategy in the
+    :func:`repro.search.optimizers.make_optimizer` registry: the
+    historical ``qlearning`` / ``random`` / ``grid``, plus ``anneal``,
+    ``evolution``, ``nsga2``, ``surrogate`` and ``portfolio``.
+    """
 
     benchmark: str
-    agent: str = "qlearning"            # qlearning | random | grid
+    agent: str = "qlearning"
     seed: int = 0
     iterations: int = 12
     weights: tuple = (1.0, 1.0, 0.5)    # (power, performance, area)
@@ -97,6 +103,9 @@ class ScenarioResult:
     flow_s: float                   # system-flow time inside this scenario
     history_rewards: list = field(default_factory=list)
     resumed: bool = False           # restored from checkpoint, not re-run
+    pareto_front: list = field(default_factory=list)
+    hypervolume: float = 0.0
+    evaluations_to_optimum: int = 0
 
     def to_dict(self) -> dict:
         return {"scenario": self.scenario.to_dict(),
@@ -107,7 +116,10 @@ class ScenarioResult:
                 "runtime_s": self.runtime_s,
                 "charlib_s": self.charlib_s,
                 "flow_s": self.flow_s,
-                "history_rewards": list(self.history_rewards)}
+                "history_rewards": list(self.history_rewards),
+                "pareto_front": list(self.pareto_front),
+                "hypervolume": self.hypervolume,
+                "evaluations_to_optimum": self.evaluations_to_optimum}
 
     @staticmethod
     def from_dict(d: dict, resumed: bool = False) -> "ScenarioResult":
@@ -121,7 +133,12 @@ class ScenarioResult:
             charlib_s=float(d["charlib_s"]),
             flow_s=float(d["flow_s"]),
             history_rewards=list(d["history_rewards"]),
-            resumed=resumed)
+            resumed=resumed,
+            # Absent in pre-search checkpoints; default rather than
+            # invalidate them.
+            pareto_front=list(d.get("pareto_front", [])),
+            hypervolume=float(d.get("hypervolume", 0.0)),
+            evaluations_to_optimum=int(d.get("evaluations_to_optimum", 0)))
 
 
 @dataclass
@@ -136,6 +153,30 @@ class CampaignReport:
     def best(self) -> ScenarioResult | None:
         return max(self.results, key=lambda r: r.best_reward,
                    default=None)
+
+    def pareto_fronts(self) -> dict:
+        """Per-benchmark non-dominated fronts merged across scenarios.
+
+        Every scenario contributes its archive (different agents and
+        PPA weightings explore different regions), so the merged front
+        is the campaign's actual multi-objective outcome — the
+        trade-off surface, not just each scalarisation's winner.
+        """
+        from ..search.pareto import non_dominated
+        by_benchmark: dict = {}
+        for r in self.results:
+            by_benchmark.setdefault(r.scenario.benchmark,
+                                    []).extend(r.pareto_front)
+        out = {}
+        for benchmark, entries in by_benchmark.items():
+            unique = {}
+            for e in entries:
+                unique.setdefault(tuple(e["corner"]), e)
+            entries = list(unique.values())
+            vectors = [(e["power_w"], e["delay_s"], e["area_um2"])
+                       for e in entries]
+            out[benchmark] = [entries[i] for i in non_dominated(vectors)]
+        return out
 
     def ledger(self):
         """A :class:`repro.stco.runtime.RuntimeLedger` view of the sweep.
@@ -219,11 +260,18 @@ class Campaign:
         (results are keyed per scenario id inside the checkpoint).
         """
         space = self._space()
+        if hasattr(space, "vdd_scales"):
+            # DesignSpace: keep the historical layout so existing
+            # checkpoints stay valid.
+            desc = {"vdd": list(space.vdd_scales),
+                    "vth": list(space.vth_shifts),
+                    "cox": list(space.cox_scales)}
+        else:
+            desc = {"axes": [[a.name, list(a.values), a.lo, a.hi,
+                              a.step] for a in space.axes]}
         return stable_hash({
             "builder": self.engine.builder_fingerprint(),
-            "space": {"vdd": list(space.vdd_scales),
-                      "vth": list(space.vth_shifts),
-                      "cox": list(space.cox_scales)},
+            "space": desc,
         })
 
     # -- checkpointing ------------------------------------------------------
@@ -255,43 +303,40 @@ class Campaign:
         os.replace(tmp, path)
 
     # -- execution ----------------------------------------------------------
-    def _make_agent(self, scenario: Scenario, env):
-        from ..stco.agent import (GridSearchAgent, QLearningAgent,
-                                  RandomSearchAgent)
-        if scenario.agent == "qlearning":
-            return QLearningAgent(env, seed=scenario.seed)
-        if scenario.agent == "random":
-            return RandomSearchAgent(env, seed=scenario.seed)
-        if scenario.agent == "grid":
-            return GridSearchAgent(env)
-        raise ValueError(f"unknown agent {scenario.agent!r}; expected "
-                         "'qlearning', 'random' or 'grid'")
+    def _make_optimizer(self, scenario: Scenario):
+        from ..search.optimizers import make_optimizer
+        return make_optimizer(scenario.agent, self._space(),
+                              seed=scenario.seed,
+                              weights=scenario.ppa_weights(),
+                              builder=self.builder)
 
     def _run_scenario(self, scenario: Scenario) -> ScenarioResult:
         from ..eda.benchmarks import build_benchmark
-        from ..stco.env import STCOEnvironment
+        from ..search.driver import SearchRun
         netlist = build_benchmark(scenario.benchmark)
-        env = STCOEnvironment(netlist, self.builder, self._space(),
-                              scenario.ppa_weights(), engine=self.engine)
-        agent = self._make_agent(scenario, env)
+        optimizer = self._make_optimizer(scenario)
+        search = SearchRun(netlist, optimizer, self.engine,
+                           weights=scenario.ppa_weights())
         t0 = time.perf_counter()
-        explore = agent.run(scenario.iterations)
+        result = search.run(budget=scenario.iterations)
         runtime = time.perf_counter() - t0
-        best = env.best()
         return ScenarioResult(
             scenario=scenario,
-            best_corner=best.corner.key(),
-            best_reward=best.reward,
-            best_ppa=best.result.ppa(),
-            evaluations=explore.evaluations,
+            best_corner=result.best_corner,
+            best_reward=result.best_reward,
+            best_ppa=result.best_record.result.ppa(),
+            evaluations=result.evaluations,
             runtime_s=runtime,
             # Cache-hit records carry the *original* run's timings; only
             # freshly evaluated records represent time spent here.
-            charlib_s=sum(r.library_runtime_s for r in env.history
+            charlib_s=sum(r.library_runtime_s for r in result.records
                           if not r.cached),
-            flow_s=sum(r.flow_runtime_s for r in env.history
+            flow_s=sum(r.flow_runtime_s for r in result.records
                        if not r.cached),
-            history_rewards=list(explore.rewards))
+            history_rewards=list(result.rewards),
+            pareto_front=result.pareto_front,
+            hypervolume=result.hypervolume,
+            evaluations_to_optimum=result.evaluations_to_optimum)
 
     def run(self, resume: bool = True) -> CampaignReport:
         """Run (or resume) every scenario; checkpoint after each one."""

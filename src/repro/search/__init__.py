@@ -1,0 +1,47 @@
+"""Multi-objective design-space exploration.
+
+The search subsystem generalises the paper's fixed-grid RL exploration
+into a first-class layer over the evaluation engine:
+
+* :mod:`~repro.search.spaces` — discrete grids, continuous boxes and
+  mixed spaces with snapping, arbitrary knob axes, O(1) index/neighbor
+  lookup;
+* :mod:`~repro.search.pareto` — a Pareto archive over raw
+  (power, delay, area) vectors with dominance checks, exact hypervolume
+  and scalarisation views (``PPAWeights`` agents keep working);
+* :mod:`~repro.search.optimizers` — one ask/tell ``Optimizer``
+  interface: simulated annealing, (μ+λ) evolution with NSGA-II
+  survivor selection, surrogate-guided ranking, plus the historical
+  Q-learning / random / grid strategies;
+* :mod:`~repro.search.portfolio` — racing several optimizers over one
+  shared engine, reallocating budget to whichever is winning;
+* :mod:`~repro.search.driver` — ``SearchRun`` wires any optimizer to an
+  ``EvaluationEngine``, records evaluations-to-optimum and emits Pareto
+  fronts into campaign sweeps.
+"""
+
+from .spaces import (Axis, SearchSpace, grid_space, box_space, mixed_space,
+                     from_design_space, as_search_space, default_grid)
+from .pareto import (OBJECTIVE_NAMES, objectives_of, dominates,
+                     non_dominated, non_dominated_sort, crowding_distance,
+                     hypervolume, ParetoArchive)
+from .optimizers import (Optimizer, RandomOptimizer, GridOptimizer,
+                         QLearningOptimizer, SimulatedAnnealing,
+                         EvolutionaryOptimizer, SurrogateGuidedOptimizer,
+                         surrogate_ranker, make_optimizer, OPTIMIZER_NAMES)
+from .portfolio import PortfolioSearch
+from .driver import SearchResult, SearchRun
+
+__all__ = [
+    "Axis", "SearchSpace", "grid_space", "box_space", "mixed_space",
+    "from_design_space", "as_search_space", "default_grid",
+    "OBJECTIVE_NAMES", "objectives_of", "dominates", "non_dominated",
+    "non_dominated_sort", "crowding_distance", "hypervolume",
+    "ParetoArchive",
+    "Optimizer", "RandomOptimizer", "GridOptimizer", "QLearningOptimizer",
+    "SimulatedAnnealing", "EvolutionaryOptimizer",
+    "SurrogateGuidedOptimizer", "surrogate_ranker", "make_optimizer",
+    "OPTIMIZER_NAMES",
+    "PortfolioSearch",
+    "SearchResult", "SearchRun",
+]

@@ -1,0 +1,454 @@
+"""The optimizer suite: one ask/tell interface, many search strategies.
+
+Every optimizer speaks the same protocol:
+
+* :meth:`Optimizer.ask` returns the next batch of
+  :class:`~repro.charlib.corners.Corner` candidates to evaluate;
+* :meth:`Optimizer.tell` receives the matching
+  :class:`~repro.engine.records.EvaluationRecord` list (possibly a
+  prefix, when the driver's budget ran out mid-batch) and updates
+  internal state;
+* :attr:`Optimizer.done` signals exhaustion (only finite sweeps set it).
+
+The driver (:class:`repro.search.driver.SearchRun`) owns evaluation —
+optimizers never touch the engine, so the same strategy runs against a
+serial engine, a process pool, or a warm cache unchanged, and a
+:class:`~repro.search.portfolio.PortfolioSearch` can multiplex several
+strategies over one engine.
+
+Index-based optimizers (Q-learning, grid, random) accept either a
+:class:`repro.stco.space.DesignSpace` or an all-discrete
+:class:`~repro.search.spaces.SearchSpace`; the move-based optimizers
+(annealing, evolutionary, surrogate-guided) accept any space and coerce
+DesignSpace grids via :func:`~repro.search.spaces.as_search_space`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .pareto import (crowding_distance, non_dominated_sort, objectives_of)
+from .spaces import SearchSpace, as_search_space
+
+__all__ = ["Optimizer", "RandomOptimizer", "GridOptimizer",
+           "QLearningOptimizer", "SimulatedAnnealing",
+           "EvolutionaryOptimizer", "SurrogateGuidedOptimizer",
+           "surrogate_ranker", "make_optimizer", "OPTIMIZER_NAMES"]
+
+
+class Optimizer(abc.ABC):
+    """Ask/tell search strategy over a design space."""
+
+    name = "optimizer"
+
+    def __init__(self):
+        self.best_record = None
+        self.told = 0
+
+    @abc.abstractmethod
+    def ask(self) -> list:
+        """Next corners to evaluate (possibly empty when done)."""
+
+    def tell(self, records) -> None:
+        """Consume evaluations for (a prefix of) the last ask."""
+        for record in records:
+            self.told += 1
+            if (self.best_record is None
+                    or record.reward > self.best_record.reward):
+                self.best_record = record
+            self._observe(record)
+
+    def _observe(self, record) -> None:
+        """Strategy-specific update for one record (ask order)."""
+
+    @property
+    def done(self) -> bool:
+        return False
+
+    @property
+    def best_reward(self) -> float:
+        return -np.inf if self.best_record is None else \
+            self.best_record.reward
+
+
+class RandomOptimizer(Optimizer):
+    """Uniform random sampling (the baseline every strategy must beat)."""
+
+    name = "random"
+
+    def __init__(self, space, seed: int = 0, batch: int = 1):
+        super().__init__()
+        self.space = space
+        self.rng = make_rng(seed)
+        self.batch = batch
+
+    def ask(self) -> list:
+        if hasattr(self.space, "random_index"):
+            return [self.space.point(self.space.random_index(self.rng))
+                    for _ in range(self.batch)]
+        return [self.space.corner(self.space.sample_point(self.rng))
+                for _ in range(self.batch)]
+
+
+class GridOptimizer(Optimizer):
+    """Exhaustive sweep of a finite space, in index order."""
+
+    name = "grid"
+
+    def __init__(self, space, batch: int = 1):
+        super().__init__()
+        self.space = space
+        self.batch = batch
+        self._cursor = 0
+
+    def ask(self) -> list:
+        lo = self._cursor
+        hi = min(lo + self.batch, self.space.size)
+        self._cursor = hi
+        return [self.space.point(i) for i in range(lo, hi)]
+
+    @property
+    def done(self) -> bool:
+        return self._cursor >= self.space.size
+
+
+class QLearningOptimizer(Optimizer):
+    """Tabular Q-learning walk over a discrete space's neighbor graph.
+
+    The exact strategy of the historical ``QLearningAgent`` — same RNG
+    stream, same TD update, same epsilon-greedy transition — factored
+    onto the ask/tell interface, so it is now just one optimizer among
+    several instead of the framework's hard-wired exploration loop.
+    """
+
+    name = "qlearning"
+
+    def __init__(self, space, epsilon: float = 0.3, alpha: float = 0.5,
+                 gamma: float = 0.8, seed: int = 0):
+        super().__init__()
+        self.space = space
+        self.epsilon = epsilon
+        self.alpha = alpha
+        self.gamma = gamma
+        self.rng = make_rng(seed)
+        self.q = np.zeros(space.size)
+        self.state = None
+
+    def ask(self) -> list:
+        if self.state is None:
+            self.state = self.space.random_index(self.rng)
+        return [self.space.point(self.state)]
+
+    def _observe(self, record) -> None:
+        r = record.reward
+        neigh = self.space.neighbors(self.state) or [self.state]
+        target = r + self.gamma * max(self.q[n] for n in neigh)
+        self.q[self.state] += self.alpha * (target - self.q[self.state])
+        if self.rng.random() < self.epsilon:
+            self.state = int(self.rng.choice(neigh))
+        else:
+            self.state = int(max(neigh, key=lambda n: self.q[n]))
+
+
+class SimulatedAnnealing(Optimizer):
+    """Metropolis walk with geometric cooling (scalarised reward).
+
+    Rewards live in the log10 PPA domain where meaningful differences
+    are O(0.01–1), so the default temperature schedule (0.2 → 0.005)
+    starts permissive and ends greedy. Restarts re-seed the walk from a
+    fresh random point when progress stalls.
+    """
+
+    name = "anneal"
+
+    def __init__(self, space, seed: int = 0, t0: float = 0.2,
+                 t_final: float = 0.005, steps: int = 40,
+                 scale: float = 0.35, restart_after: int = 12):
+        super().__init__()
+        self.space = as_search_space(space)
+        self.rng = make_rng(seed)
+        self.t0 = t0
+        self.t_final = t_final
+        self.steps = max(steps, 2)
+        self.scale = scale
+        self.restart_after = restart_after
+        self._current = None            # (point, reward)
+        self._pending = None
+        self._restarting = False
+        self._stale = 0
+
+    def _temperature(self) -> float:
+        frac = min(self.told / (self.steps - 1), 1.0)
+        return self.t0 * (self.t_final / self.t0) ** frac
+
+    def ask(self) -> list:
+        self._restarting = False
+        if self._current is None:
+            self._pending = self.space.sample_point(self.rng)
+        elif self._stale >= self.restart_after:
+            self._pending = self.space.sample_point(self.rng)
+            self._restarting = True
+            self._stale = 0
+        else:
+            self._pending = self.space.perturb_point(
+                self._current[0], self.rng, self.scale)
+        return [self.space.corner(self._pending)]
+
+    def _observe(self, record) -> None:
+        r = record.reward
+        if self._current is None or self._restarting:
+            # Restarts adopt the fresh point unconditionally — running
+            # it through the Metropolis test at a late-schedule (cold)
+            # temperature would reject it and keep the stuck walk.
+            # The global best is tracked separately, so nothing is lost.
+            self._current = (self._pending, r)
+            self._restarting = False
+            return
+        delta = r - self._current[1]
+        if delta > 0:
+            self._current = (self._pending, r)
+            self._stale = 0
+            return
+        self._stale += 1
+        t = self._temperature()
+        if t > 0 and self.rng.random() < np.exp(delta / t):
+            self._current = (self._pending, r)
+
+
+class EvolutionaryOptimizer(Optimizer):
+    """(μ+λ) evolution with NSGA-II survivor selection.
+
+    ``mode="scalar"`` (default) selects survivors by the scalarised
+    reward — the drop-in replacement for single-objective agents.
+    ``mode="pareto"`` selects by non-dominated rank then crowding
+    distance over the raw (power, delay, area) vectors, pushing the
+    population to *spread along the front* instead of collapsing onto
+    one scalarisation's optimum.
+    """
+
+    name = "evolution"
+
+    def __init__(self, space, seed: int = 0, mu: int = 6, lam: int = 6,
+                 mode: str = "scalar", crossover: float = 0.5,
+                 scale: float = 0.35):
+        if mode not in ("scalar", "pareto"):
+            raise ValueError(f"mode must be 'scalar' or 'pareto', "
+                             f"got {mode!r}")
+        super().__init__()
+        self.space = as_search_space(space)
+        self.rng = make_rng(seed)
+        self.mu = max(mu, 2)
+        self.lam = max(lam, 1)
+        self.mode = mode
+        self.crossover = crossover
+        self.scale = scale
+        self._population = []           # list of (point, record)
+        self._pending = []              # points awaiting tell, ask order
+        self._incoming = []
+
+    # -- selection ---------------------------------------------------------
+    def _survivors(self, pool) -> list:
+        if len(pool) <= self.mu:
+            return list(pool)
+        if self.mode == "scalar":
+            return sorted(pool, key=lambda pr: pr[1].reward,
+                          reverse=True)[:self.mu]
+        vectors = [objectives_of(r.result) for _, r in pool]
+        chosen = []
+        for front in non_dominated_sort(vectors):
+            if len(chosen) + len(front) <= self.mu:
+                chosen.extend(front)
+                continue
+            dist = crowding_distance([vectors[i] for i in front])
+            ranked = sorted(zip(front, dist), key=lambda t: -t[1])
+            chosen.extend(i for i, _ in
+                          ranked[:self.mu - len(chosen)])
+            break
+        return [pool[i] for i in chosen]
+
+    def _pick_parent(self):
+        i, j = (int(self.rng.integers(0, len(self._population)))
+                for _ in range(2))
+        a, b = self._population[i], self._population[j]
+        return a if a[1].reward >= b[1].reward else b
+
+    def _offspring(self) -> tuple:
+        mother = self._pick_parent()[0]
+        father = self._pick_parent()[0]
+        child = tuple(m if self.rng.random() < self.crossover else f
+                      for m, f in zip(mother, father))
+        return self.space.perturb_point(child, self.rng, self.scale)
+
+    # -- ask/tell ----------------------------------------------------------
+    def ask(self) -> list:
+        if not self._population and not self._pending:
+            self._pending = [self.space.sample_point(self.rng)
+                             for _ in range(self.mu)]
+        elif not self._pending:
+            self._pending = [self._offspring() for _ in range(self.lam)]
+        self._incoming = list(self._pending)
+        return [self.space.corner(p) for p in self._pending]
+
+    def tell(self, records) -> None:
+        super().tell(records)
+        paired = list(zip(self._incoming, records))
+        self._pending = []
+        self._incoming = []
+        if not paired:
+            return
+        pool = self._population + [(p, r) for p, r in paired]
+        self._population = self._survivors(pool)
+
+    def _observe(self, record) -> None:
+        pass
+
+
+class SurrogateGuidedOptimizer(Optimizer):
+    """Rank a candidate pool with a cheap surrogate, evaluate the top-k.
+
+    Each round proposes ``pool`` candidates (random samples mixed with
+    perturbations of the best-known points), scores them with ``ranker``
+    — a callable mapping corners to "higher is better" floats, typically
+    single-cell GNN predictions via
+    :meth:`repro.charlib.fastchar.GNNLibraryBuilder.proxy_scores` — and
+    only sends the ``batch`` most promising to the engine. Without a
+    ranker it degrades to batched random search.
+    """
+
+    name = "surrogate"
+
+    def __init__(self, space, ranker=None, seed: int = 0, pool: int = 12,
+                 batch: int = 3, explore: float = 0.5):
+        super().__init__()
+        self.space = as_search_space(space)
+        self.ranker = ranker
+        self.rng = make_rng(seed)
+        self.pool = max(pool, batch)
+        self.batch = batch
+        self.explore = explore
+        self._elites = []               # best points seen, ask order
+        self._pending = []
+        self._asked_keys = set()
+        self._score_cache = {}          # corner key -> proxy score
+
+    @classmethod
+    def from_builder(cls, space, builder, weights=None, **kwargs):
+        """Wire the ranker from a library builder's proxy hook."""
+        return cls(space, ranker=surrogate_ranker(builder, weights),
+                   **kwargs)
+
+    def _candidates(self) -> list:
+        out, keys = [], set()
+        attempts = 0
+        while len(out) < self.pool and attempts < self.pool * 8:
+            attempts += 1
+            if self._elites and self.rng.random() > self.explore:
+                base = self._elites[int(self.rng.integers(
+                    0, len(self._elites)))]
+                point = self.space.perturb_point(base, self.rng, 0.3)
+            else:
+                point = self.space.sample_point(self.rng)
+            key = self.space.corner(point).key()
+            if key in keys or key in self._asked_keys:
+                continue
+            keys.add(key)
+            out.append(point)
+        return out
+
+    def ask(self) -> list:
+        points = self._candidates()
+        if not points:
+            # Pool exhausted (tiny grids): fall back to random samples.
+            points = [self.space.sample_point(self.rng)
+                      for _ in range(self.batch)]
+        corners = [self.space.corner(p) for p in points]
+        if self.ranker is not None and len(points) > self.batch:
+            scores = self._rank(corners)
+            order = np.argsort(-scores, kind="stable")[:self.batch]
+        else:
+            order = range(min(self.batch, len(points)))
+        chosen = [points[i] for i in order]
+        self._pending = chosen
+        for p in chosen:
+            self._asked_keys.add(self.space.corner(p).key())
+        return [self.space.corner(p) for p in chosen]
+
+    def _rank(self, corners) -> np.ndarray:
+        """Ranker scores, memoized by corner key — a corner screened but
+        not chosen this round must not cost another surrogate pass when
+        it reappears in a later candidate pool."""
+        fresh = [c for c in corners
+                 if c.key() not in self._score_cache]
+        if fresh:
+            for corner, score in zip(fresh, self.ranker(fresh)):
+                self._score_cache[corner.key()] = float(score)
+        return np.array([self._score_cache[c.key()] for c in corners])
+
+    def tell(self, records) -> None:
+        super().tell(records)
+        for point, record in zip(self._pending, records):
+            if (self.best_record is not None
+                    and record.reward >= self.best_record.reward):
+                self._elites.append(point)
+        self._elites = self._elites[-4:]
+        self._pending = []
+
+
+def surrogate_ranker(builder, weights=None):
+    """A corner-ranking callable from a builder's proxy hook, or None.
+
+    Builders without :meth:`proxy_scores` (e.g. the SPICE path) yield
+    ``None`` — the surrogate optimizer then runs unguided rather than
+    paying full characterizations just to rank.
+    """
+    proxy = getattr(builder, "proxy_scores", None)
+    if proxy is None:
+        return None
+    def rank(corners):
+        return proxy(corners, weights=weights)
+    return rank
+
+
+#: Names accepted by make_optimizer / Scenario.agent.
+OPTIMIZER_NAMES = ("qlearning", "random", "grid", "anneal", "evolution",
+                   "nsga2", "surrogate", "portfolio")
+
+
+def make_optimizer(name: str, space, seed: int = 0, weights=None,
+                   builder=None) -> Optimizer:
+    """Build a named optimizer (the registry campaigns use).
+
+    ``nsga2`` is :class:`EvolutionaryOptimizer` in pareto mode;
+    ``surrogate`` wires the ranker from ``builder`` when it has the
+    proxy hook; ``portfolio`` races annealing, evolution and random
+    (see :class:`repro.search.portfolio.PortfolioSearch`).
+    """
+    if name == "qlearning":
+        return QLearningOptimizer(space, seed=seed)
+    if name == "random":
+        return RandomOptimizer(space, seed=seed)
+    if name == "grid":
+        return GridOptimizer(space)
+    if name == "anneal":
+        return SimulatedAnnealing(space, seed=seed)
+    if name == "evolution":
+        return EvolutionaryOptimizer(space, seed=seed)
+    if name == "nsga2":
+        return EvolutionaryOptimizer(space, seed=seed, mode="pareto")
+    if name == "surrogate":
+        if builder is not None:
+            return SurrogateGuidedOptimizer.from_builder(
+                space, builder, weights=weights, seed=seed)
+        return SurrogateGuidedOptimizer(space, seed=seed)
+    if name == "portfolio":
+        # Scheduling is deterministic; seed only diversifies the members.
+        from .portfolio import PortfolioSearch
+        return PortfolioSearch(
+            [SimulatedAnnealing(space, seed=seed),
+             EvolutionaryOptimizer(space, seed=seed + 1),
+             RandomOptimizer(space, seed=seed + 2)])
+    raise ValueError(f"unknown agent {name!r}; expected one of "
+                     f"{OPTIMIZER_NAMES}")

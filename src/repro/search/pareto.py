@@ -1,0 +1,236 @@
+"""Multi-objective Pareto machinery over raw PPA vectors.
+
+The scalarised reward (:class:`repro.engine.records.PPAWeights`) collapses
+power / performance / area into one number — useful for single-objective
+agents, but it hides the trade-off surface STCO actually cares about.
+This module keeps the **raw** objective vectors:
+
+    (total power [W], min clock period [s], area [um^2])   — all minimised
+
+and maintains the non-dominated front over them. ``PPAWeights`` remains a
+*view*: for positive weights its optimum is always a point of this front
+(a weighted sum in the log domain is monotone in every objective), so
+:meth:`ParetoArchive.scalarized_best` recovers exactly what a
+single-objective agent would have chased — the archive strictly adds
+information, it never loses any.
+
+Hypervolume is computed in log10 space (the objectives span orders of
+magnitude) by recursive slicing — exact, and fast for the front sizes a
+45–1000 point design space produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OBJECTIVE_NAMES", "objectives_of", "dominates",
+           "non_dominated", "non_dominated_sort", "crowding_distance",
+           "hypervolume", "ParetoArchive"]
+
+#: Objective order used throughout the subsystem (all minimised).
+OBJECTIVE_NAMES = ("power_w", "delay_s", "area_um2")
+
+
+def objectives_of(result) -> tuple:
+    """Minimisation vector from a :class:`~repro.eda.flow.SystemResult`."""
+    return (float(result.total_power_w), float(result.min_period_s),
+            float(result.area_um2))
+
+
+def dominates(a, b) -> bool:
+    """True if ``a`` is no worse than ``b`` everywhere and better somewhere."""
+    worse = False
+    for ai, bi in zip(a, b):
+        if ai > bi:
+            return False
+        if ai < bi:
+            worse = True
+    return worse
+
+
+def non_dominated(vectors) -> list:
+    """Indices of the non-dominated subset, in input order."""
+    vectors = [tuple(v) for v in vectors]
+    keep = []
+    for i, v in enumerate(vectors):
+        if not any(dominates(w, v) for j, w in enumerate(vectors) if j != i):
+            keep.append(i)
+    return keep
+
+
+def non_dominated_sort(vectors) -> list:
+    """NSGA-II fast non-dominated sort: a list of fronts (index lists)."""
+    vectors = [tuple(v) for v in vectors]
+    n = len(vectors)
+    dominated_by = [[] for _ in range(n)]   # i dominates these
+    count = [0] * n                         # how many dominate i
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(vectors[i], vectors[j]):
+                dominated_by[i].append(j)
+                count[j] += 1
+            elif dominates(vectors[j], vectors[i]):
+                dominated_by[j].append(i)
+                count[i] += 1
+    fronts = [[i for i in range(n) if count[i] == 0]]
+    while fronts[-1]:
+        nxt = []
+        for i in fronts[-1]:
+            for j in dominated_by[i]:
+                count[j] -= 1
+                if count[j] == 0:
+                    nxt.append(j)
+        fronts.append(nxt)
+    return fronts[:-1]
+
+
+def crowding_distance(vectors) -> np.ndarray:
+    """NSGA-II crowding distance of each vector within its set."""
+    vectors = np.asarray(vectors, dtype=float)
+    n, m = vectors.shape
+    dist = np.zeros(n)
+    if n <= 2:
+        dist[:] = np.inf
+        return dist
+    for k in range(m):
+        order = np.argsort(vectors[:, k], kind="stable")
+        lo, hi = vectors[order[0], k], vectors[order[-1], k]
+        dist[order[0]] = dist[order[-1]] = np.inf
+        span = hi - lo
+        if span <= 0:
+            continue
+        gaps = (vectors[order[2:], k] - vectors[order[:-2], k]) / span
+        dist[order[1:-1]] += gaps
+    return dist
+
+
+def hypervolume(vectors, reference) -> float:
+    """Exact hypervolume (minimisation) dominated w.r.t. ``reference``.
+
+    Recursive slicing on the last objective; exact for any dimension,
+    O(n^2) per level — plenty for archive-sized fronts.
+    """
+    reference = tuple(float(r) for r in reference)
+    pts = [tuple(float(x) for x in v) for v in vectors]
+    pts = [p for p in pts if all(x < r for x, r in zip(p, reference))]
+    if not pts:
+        return 0.0
+    pts = [pts[i] for i in non_dominated(pts)]
+    return _hv(pts, reference)
+
+
+def _hv(pts, ref) -> float:
+    d = len(ref)
+    if d == 1:
+        return ref[0] - min(p[0] for p in pts)
+    if d == 2:
+        # Sweep ascending in f0; the ND set has strictly descending f1.
+        out, prev = 0.0, ref[1]
+        for x, y in sorted(pts):
+            if y < prev:
+                out += (ref[0] - x) * (prev - y)
+                prev = y
+        return out
+    pts = sorted(pts, key=lambda p: p[-1])
+    out = 0.0
+    for i, p in enumerate(pts):
+        z_next = pts[i + 1][-1] if i + 1 < len(pts) else ref[-1]
+        thickness = z_next - p[-1]
+        if thickness <= 0:
+            continue
+        slab = [q[:-1] for q in pts[:i + 1]]
+        slab = [slab[j] for j in non_dominated(slab)]
+        out += _hv(slab, ref[:-1]) * thickness
+    return out
+
+
+class ParetoArchive:
+    """Non-dominated archive of :class:`EvaluationRecord`s.
+
+    Records enter via :meth:`add`; dominated entries (and exact corner
+    duplicates) are evicted/skipped. The archive also counts everything
+    it has seen, so coverage statistics survive even though only the
+    front is stored.
+    """
+
+    def __init__(self, objectives=objectives_of):
+        self.objectives = objectives
+        self._front = []            # list of (vector, record)
+        self._keys = set()          # corner keys currently on the front
+        self.seen = 0
+        self.dominated = 0
+
+    def __len__(self) -> int:
+        return len(self._front)
+
+    def add(self, record) -> bool:
+        """Insert; True iff the record is now on the front."""
+        self.seen += 1
+        key = record.corner.key()
+        if key in self._keys:
+            return False
+        v = tuple(self.objectives(record.result))
+        if any(dominates(w, v) or w == v for w, _ in self._front):
+            self.dominated += 1
+            return False
+        kept = [(w, r) for w, r in self._front if not dominates(v, w)]
+        self._keys = {r.corner.key() for _, r in kept}
+        self._keys.add(key)
+        kept.append((v, record))
+        self._front = kept
+        return True
+
+    def add_many(self, records) -> int:
+        return sum(self.add(r) for r in records)
+
+    def front(self) -> list:
+        """Non-dominated records, in insertion order."""
+        return [r for _, r in self._front]
+
+    def vectors(self) -> np.ndarray:
+        if not self._front:
+            return np.empty((0, len(OBJECTIVE_NAMES)))
+        return np.array([v for v, _ in self._front], dtype=float)
+
+    def reference_point(self, margin: float = 0.1) -> tuple:
+        """Default hypervolume reference: the log10 nadir plus a margin."""
+        if not self._front:
+            raise ValueError("empty archive has no reference point")
+        logs = np.log10(np.maximum(self.vectors(), 1e-300))
+        span = np.maximum(logs.max(axis=0) - logs.min(axis=0), 1.0)
+        return tuple(logs.max(axis=0) + margin * span)
+
+    def hypervolume(self, reference=None) -> float:
+        """Hypervolume of the front in log10-objective space.
+
+        ``reference`` (log10-domain) makes values comparable across
+        archives; without it, a nadir-plus-margin reference of *this*
+        archive is used (fine for tracking one run's progress).
+        """
+        if not self._front:
+            return 0.0
+        if reference is None:
+            reference = self.reference_point()
+        logs = np.log10(np.maximum(self.vectors(), 1e-300))
+        return hypervolume(logs, reference)
+
+    def scalarized_best(self, weights):
+        """The front record a ``PPAWeights`` agent would have picked.
+
+        Exact for non-negative weights (their optimum is non-dominated);
+        a scalarisation view over the archive, so single-objective
+        reporting keeps working on top of multi-objective search.
+        """
+        best, best_score = None, -np.inf
+        for _, record in self._front:
+            score = weights.score(record.result)
+            if score > best_score:
+                best, best_score = record, score
+        return best
+
+    def summary(self) -> list:
+        """JSON-able front: corner key + objectives + stored reward."""
+        return [{"corner": list(r.corner.key()),
+                 **dict(zip(OBJECTIVE_NAMES, (float(x) for x in v))),
+                 "reward": float(r.reward)}
+                for v, r in self._front]

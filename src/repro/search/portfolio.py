@@ -1,0 +1,157 @@
+"""Portfolio racing: several optimizers, one engine, budget to the winner.
+
+No single strategy wins every landscape — annealing excels on smooth
+scalarised surfaces, evolution on multi-modal ones, random is unbeatable
+on pure noise. :class:`PortfolioSearch` runs a set of member optimizers
+against the **same** engine (so they share every characterization and
+flow through its caches) and re-divides the evaluation budget between
+rounds: members are ranked by best-reward-so-far, recent improvement
+breaking ties, and the next round's quota is allocated by rank —
+the leader gets the largest share, but every live member keeps at least
+one evaluation per round so a late bloomer can still take over.
+
+``PortfolioSearch`` is itself an :class:`~repro.search.optimizers.Optimizer`,
+so it plugs into :class:`~repro.search.driver.SearchRun` (and campaigns)
+exactly like any single strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizers import Optimizer
+
+__all__ = ["PortfolioSearch"]
+
+
+class PortfolioSearch(Optimizer):
+    """Race member optimizers; reallocate budget to whichever is winning.
+
+    Parameters
+    ----------
+    members:
+        Optimizer instances (or ``(name, optimizer)`` pairs). Names
+        default to ``optimizer.name`` with a numeric suffix on clashes.
+    round_size:
+        Evaluations per member per round *on average* — each round
+        distributes ``round_size × len(members)`` evaluations by rank.
+    """
+
+    name = "portfolio"
+
+    def __init__(self, members, round_size: int = 4):
+        super().__init__()
+        named = []
+        used = set()
+        for member in members:
+            if isinstance(member, tuple):
+                name, opt = member
+            else:
+                name, opt = member.name, member
+            base, k = name, 2
+            while name in used:
+                name, k = f"{base}{k}", k + 1
+            used.add(name)
+            named.append((name, opt))
+        if not named:
+            raise ValueError("a portfolio needs at least one member")
+        self.members = dict(named)
+        self.round_size = max(round_size, 1)
+        self._quota = {name: self.round_size for name in self.members}
+        self._order = list(self.members)        # round-robin rotation
+        self._asker = None                      # member owing a tell
+        self._stats = {name: {"evaluations": 0, "best": -np.inf,
+                              "prev_best": -np.inf, "rounds": 0}
+                       for name in self.members}
+        self.rounds = 0
+
+    # -- scheduling --------------------------------------------------------
+    def _live(self) -> list:
+        return [n for n in self._order if not self.members[n].done]
+
+    def _reallocate(self) -> None:
+        """Rank members and hand out the next round's quotas."""
+        self.rounds += 1
+        live = self._live()
+        if not live:
+            return
+        # Sort best-first; recent improvement breaks ties so a member
+        # that just moved outranks one that has been flat at the same
+        # reward for rounds.
+        def key(name):
+            s = self._stats[name]
+            improve = s["best"] - s["prev_best"]
+            return (s["best"], improve)
+        ranked = sorted(live, key=key, reverse=True)
+        total = self.round_size * len(live)
+        shares = np.array([len(ranked) - i for i in range(len(ranked))],
+                          dtype=float)
+        shares = shares / shares.sum() * total
+        self._quota = {}
+        for name, share in zip(ranked, shares):
+            self._quota[name] = max(int(round(share)), 1)
+        for name in self.members:
+            s = self._stats[name]
+            s["prev_best"] = s["best"]
+        # The leader asks first next round.
+        self._order = ranked
+
+    def _next_member(self):
+        live = self._live()
+        if not live:
+            return None
+        for name in self._order:
+            if name in live and self._quota.get(name, 0) > 0:
+                return name
+        self._reallocate()
+        for name in self._order:
+            if name in self._live() and self._quota.get(name, 0) > 0:
+                return name
+        return None
+
+    # -- ask/tell ----------------------------------------------------------
+    def ask(self) -> list:
+        name = self._next_member()
+        if name is None:
+            return []
+        corners = self.members[name].ask()
+        if not corners:
+            # Member stalled: charge its quota and move on next ask.
+            self._quota[name] = 0
+            self._asker = None
+            return []
+        self._asker = name
+        self._quota[name] -= len(corners)
+        return corners
+
+    def tell(self, records) -> None:
+        super().tell(records)
+        name = self._asker
+        self._asker = None
+        if name is None:
+            return
+        self.members[name].tell(records)
+        s = self._stats[name]
+        s["evaluations"] += len(records)
+        for record in records:
+            if record.reward > s["best"]:
+                s["best"] = record.reward
+
+    def _observe(self, record) -> None:
+        pass
+
+    @property
+    def done(self) -> bool:
+        return not self._live()
+
+    def standings(self) -> list:
+        """Per-member race state, leader first."""
+        rows = [{"name": name,
+                 "evaluations": s["evaluations"],
+                 "best_reward": (None if not np.isfinite(s["best"])
+                                 else float(s["best"])),
+                 "quota": self._quota.get(name, 0),
+                 "done": self.members[name].done}
+                for name, s in self._stats.items()]
+        return sorted(rows, key=lambda r: (r["best_reward"] is None,
+                                           -(r["best_reward"] or 0.0)))

@@ -2,7 +2,9 @@
 
 from .space import DesignSpace, default_space
 from .env import PPAWeights, STCOEnvironment, EvaluationRecord
-from .agent import QLearningAgent, RandomSearchAgent, GridSearchAgent
+from .agent import (QLearningAgent, RandomSearchAgent, GridSearchAgent,
+                    OptimizerAgent, Optimizer, QLearningOptimizer,
+                    RandomOptimizer, GridOptimizer)
 from .runtime import RuntimeLedger, IterationTiming
 from .framework import STCOOutcome, FastSTCO, TraditionalSTCO
 
@@ -10,6 +12,8 @@ __all__ = [
     "DesignSpace", "default_space",
     "PPAWeights", "STCOEnvironment", "EvaluationRecord",
     "QLearningAgent", "RandomSearchAgent", "GridSearchAgent",
+    "OptimizerAgent", "Optimizer", "QLearningOptimizer",
+    "RandomOptimizer", "GridOptimizer",
     "RuntimeLedger", "IterationTiming",
     "STCOOutcome", "FastSTCO", "TraditionalSTCO",
 ]

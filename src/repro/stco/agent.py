@@ -1,10 +1,17 @@
-"""Design-space exploration agents.
+"""Design-space exploration agents (compatibility layer).
 
 The paper "employs a reinforcement learning (RL) agent to explore the
-design space across diverse benchmarks"; no further details are given, so
-the canonical choice for a small discrete knob space is tabular Q-learning
-with epsilon-greedy local moves. Random and exhaustive searches are
-provided as baselines for the ablation bench.
+design space across diverse benchmarks"; the canonical choice for a small
+discrete knob space is tabular Q-learning with epsilon-greedy local
+moves, with random and exhaustive searches as baselines.
+
+The strategies themselves now live in :mod:`repro.search.optimizers` as
+ask/tell :class:`~repro.search.optimizers.Optimizer` implementations —
+one interface shared with annealing, evolutionary and surrogate-guided
+search. These agent classes are thin drivers that run an optimizer
+against an :class:`~repro.stco.env.STCOEnvironment`, preserving the
+historical API, RNG streams and result shape exactly (``evaluations``
+still reports the environment's cumulative unique-corner count).
 """
 
 from __future__ import annotations
@@ -13,10 +20,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..utils.rng import make_rng
+# Re-exported so the optimizer suite is reachable from the stco layer.
+from ..search.optimizers import (Optimizer, GridOptimizer,
+                                 QLearningOptimizer, RandomOptimizer)
 from .env import STCOEnvironment
 
-__all__ = ["QLearningAgent", "RandomSearchAgent", "GridSearchAgent"]
+__all__ = ["QLearningAgent", "RandomSearchAgent", "GridSearchAgent",
+           "OptimizerAgent", "Optimizer", "QLearningOptimizer",
+           "RandomOptimizer", "GridOptimizer"]
 
 
 @dataclass
@@ -27,87 +38,78 @@ class _ExploreResult:
     evaluations: int
 
 
-class QLearningAgent:
-    """Tabular Q-learning over the design-space graph.
+class OptimizerAgent:
+    """Drive any ask/tell optimizer against an STCO environment.
 
-    States are grid points; actions move to a neighbouring point (or stay).
-    The reward of a state is the scalarised PPA of its corner; Q-values
-    propagate which regions of the space are promising, so the walk
-    concentrates evaluations near optima while epsilon keeps exploring.
+    One iteration = one told evaluation; corners the optimizer asks for
+    are resolved through the environment (so its per-corner cache and
+    history behave exactly as the historical agents' did).
     """
 
-    def __init__(self, env: STCOEnvironment, epsilon: float = 0.3,
-                 alpha: float = 0.5, gamma: float = 0.8,
-                 seed: int = 0):
+    def __init__(self, env: STCOEnvironment, optimizer: Optimizer):
         self.env = env
-        self.epsilon = epsilon
-        self.alpha = alpha
-        self.gamma = gamma
-        self.rng = make_rng(seed)
-        n = env.space.size
-        self.q = np.zeros(n)
+        self.optimizer = optimizer
 
     def run(self, iterations: int = 15) -> _ExploreResult:
         env = self.env
-        state = env.space.random_index(self.rng)
         rewards = []
-        best_r, best_a = -np.inf, state
-        for _ in range(iterations):
-            record = env.evaluate(state)
-            r = record.reward
-            rewards.append(r)
-            if r > best_r:
-                best_r, best_a = r, state
-            neigh = env.space.neighbors(state) or [state]
-            # TD update toward the best neighbouring value.
-            target = r + self.gamma * max(self.q[n] for n in neigh)
-            self.q[state] += self.alpha * (target - self.q[state])
-            if self.rng.random() < self.epsilon:
-                state = int(self.rng.choice(neigh))
-            else:
-                state = int(max(neigh, key=lambda n: self.q[n]))
+        best_r, best_a = -np.inf, 0
+        while len(rewards) < iterations and not self.optimizer.done:
+            corners = self.optimizer.ask()
+            if not corners:
+                break
+            corners = corners[:iterations - len(rewards)]
+            records = []
+            for corner in corners:
+                action = env.space.index_of(corner)
+                record = env.evaluate(action)
+                records.append(record)
+                rewards.append(record.reward)
+                if record.reward > best_r:
+                    best_r, best_a = record.reward, action
+            self.optimizer.tell(records)
         return _ExploreResult(best_reward=best_r, best_action=best_a,
                               rewards=rewards,
                               evaluations=len(env._cache))
 
 
-class RandomSearchAgent:
+class QLearningAgent(OptimizerAgent):
+    """Tabular Q-learning over the design-space graph.
+
+    States are grid points; actions move to a neighbouring point (or
+    stay). The reward of a state is the scalarised PPA of its corner;
+    Q-values propagate which regions of the space are promising, so the
+    walk concentrates evaluations near optima while epsilon keeps
+    exploring. (Strategy: :class:`repro.search.optimizers.QLearningOptimizer`.)
+    """
+
+    def __init__(self, env: STCOEnvironment, epsilon: float = 0.3,
+                 alpha: float = 0.5, gamma: float = 0.8,
+                 seed: int = 0):
+        super().__init__(env, QLearningOptimizer(
+            env.space, epsilon=epsilon, alpha=alpha, gamma=gamma,
+            seed=seed))
+
+    @property
+    def q(self) -> np.ndarray:
+        """The Q-table (kept for observability)."""
+        return self.optimizer.q
+
+
+class RandomSearchAgent(OptimizerAgent):
     """Uniform random sampling baseline."""
 
     def __init__(self, env: STCOEnvironment, seed: int = 0):
-        self.env = env
-        self.rng = make_rng(seed)
-
-    def run(self, iterations: int = 15) -> _ExploreResult:
-        rewards = []
-        best_r, best_a = -np.inf, 0
-        for _ in range(iterations):
-            action = self.env.space.random_index(self.rng)
-            record = self.env.evaluate(action)
-            rewards.append(record.reward)
-            if record.reward > best_r:
-                best_r, best_a = record.reward, action
-        return _ExploreResult(best_reward=best_r, best_action=best_a,
-                              rewards=rewards,
-                              evaluations=len(self.env._cache))
+        super().__init__(env, RandomOptimizer(env.space, seed=seed))
 
 
-class GridSearchAgent:
+class GridSearchAgent(OptimizerAgent):
     """Exhaustive sweep (ground truth for small spaces)."""
 
     def __init__(self, env: STCOEnvironment):
-        self.env = env
+        super().__init__(env, GridOptimizer(env.space))
 
     def run(self, iterations: int | None = None) -> _ExploreResult:
         n = self.env.space.size
         count = n if iterations is None else min(iterations, n)
-        rewards = []
-        best_r, best_a = -np.inf, 0
-        for action in range(count):
-            record = self.env.evaluate(action)
-            rewards.append(record.reward)
-            if record.reward > best_r:
-                best_r, best_a = record.reward, action
-        return _ExploreResult(best_reward=best_r, best_action=best_a,
-                              rewards=rewards,
-                              evaluations=len(self.env._cache))
+        return super().run(count)

@@ -1,10 +1,17 @@
 """FastSTCO: the paper's framework, end to end.
 
-``FastSTCO`` runs RL-driven technology exploration using the GNN-fast
-technology level (surrogate TCAD + GNN characterization);
+``FastSTCO`` runs search-driven technology exploration using the
+GNN-fast technology level (surrogate TCAD + GNN characterization);
 ``TraditionalSTCO`` is the baseline using the full physics solvers. Both
 share the system-evaluation flow, mirroring the paper's Table I setup
 where system evaluation is common to both rows.
+
+Exploration is routed through :class:`repro.search.driver.SearchRun`:
+the ``optimizer`` argument picks any strategy from the
+:func:`repro.search.optimizers.make_optimizer` registry (tabular
+Q-learning remains the default, reproducing the historical trajectories
+exactly), and every outcome carries the run's Pareto front and
+hypervolume alongside the scalarised best.
 
 Both campaigns route every corner evaluation through
 :class:`~repro.engine.engine.EvaluationEngine`. The default engine
@@ -27,7 +34,8 @@ from ..charlib.characterizer import CharConfig
 from ..charlib.model import CellCharGCN
 from ..eda.netlist import GateNetlist
 from ..engine.engine import EngineConfig, EvaluationEngine
-from .agent import QLearningAgent
+from ..search.driver import SearchRun
+from ..search.optimizers import Optimizer, make_optimizer
 from .env import PPAWeights, STCOEnvironment
 from .runtime import IterationTiming, RuntimeLedger
 from .space import DesignSpace, default_space
@@ -49,6 +57,10 @@ class STCOOutcome:
     mean_iteration_s: float
     history_rewards: list = field(default_factory=list)
     engine_stats: dict = field(default_factory=dict)
+    optimizer: str = "qlearning"
+    pareto_front: list = field(default_factory=list)
+    hypervolume: float = 0.0
+    evaluations_to_optimum: int = 0
 
 
 def _check_engine_kwargs(engine, backend, cache_dir,
@@ -70,36 +82,56 @@ class _CampaignBase:
                  engine: EvaluationEngine | None = None,
                  backend: str = "serial",
                  cache_dir=None,
-                 batch_characterization: bool = False):
+                 batch_characterization: bool = False,
+                 optimizer: str | Optimizer = "qlearning"):
         self.netlist = netlist
         self.builder = builder
         self.space = space if space is not None else default_space()
+        self.weights = weights if weights is not None else PPAWeights()
         if engine is None:
             engine = EvaluationEngine(builder, EngineConfig(
                 backend=backend, cache_dir=cache_dir,
                 batch_characterization=batch_characterization))
         self.engine = engine
-        self.env = STCOEnvironment(netlist, builder, self.space, weights,
-                                   engine=engine)
-        self.agent = QLearningAgent(self.env, seed=agent_seed)
+        self.env = STCOEnvironment(netlist, builder, self.space,
+                                   self.weights, engine=engine)
+        if isinstance(optimizer, str):
+            optimizer = make_optimizer(optimizer, self.space,
+                                       seed=agent_seed,
+                                       weights=self.weights,
+                                       builder=builder)
+        self.optimizer = optimizer
         self.ledger = RuntimeLedger()
 
     def run(self, iterations: int = 12) -> STCOOutcome:
         start = time.perf_counter()
-        explore = self.agent.run(iterations)
+        search = SearchRun(self.netlist, self.optimizer, self.engine,
+                           weights=self.weights)
+        result = search.run(budget=iterations)
         total = time.perf_counter() - start
-        best = self.env.best()
+        # Mirror the run into the environment, which remains the
+        # user-facing observability surface (env.history / env.best()).
+        for record in result.records:
+            key = record.corner.key()
+            if key not in self.env._cache:
+                self.env._cache[key] = record
+                self.env.history.append(record)
+        best = result.best_record
         return STCOOutcome(
             design=self.netlist.name,
-            best_corner=best.corner.key(),
-            best_reward=best.reward,
+            best_corner=result.best_corner,
+            best_reward=result.best_reward,
             best_ppa=best.result.ppa(),
             iterations=iterations,
-            evaluations=explore.evaluations,
+            evaluations=result.evaluations,
             total_runtime_s=total,
             mean_iteration_s=total / max(iterations, 1),
-            history_rewards=explore.rewards,
-            engine_stats=self.engine.stats())
+            history_rewards=result.rewards,
+            engine_stats=self.engine.stats(),
+            optimizer=result.optimizer,
+            pareto_front=result.pareto_front,
+            hypervolume=result.hypervolume,
+            evaluations_to_optimum=result.evaluations_to_optimum)
 
 
 class FastSTCO(_CampaignBase):
@@ -116,6 +148,11 @@ class FastSTCO(_CampaignBase):
     engine, backend, cache_dir, batch_characterization:
         Evaluation-engine routing (see :class:`_CampaignBase`); the
         defaults reproduce the historical serial behavior exactly.
+    optimizer:
+        Exploration strategy: a :class:`repro.search.optimizers.Optimizer`
+        instance or a registry name (``"qlearning"`` — the historical
+        default — ``"random"``, ``"grid"``, ``"anneal"``, ``"evolution"``,
+        ``"nsga2"``, ``"surrogate"``, ``"portfolio"``).
     """
 
     def __init__(self, netlist: GateNetlist, model: CellCharGCN,
@@ -125,7 +162,8 @@ class FastSTCO(_CampaignBase):
                  weights: PPAWeights | None = None, agent_seed: int = 0,
                  engine: EvaluationEngine | None = None,
                  backend: str = "serial", cache_dir=None,
-                 batch_characterization: bool = False):
+                 batch_characterization: bool = False,
+                 optimizer: str | Optimizer = "qlearning"):
         _check_engine_kwargs(engine, backend, cache_dir,
                              batch_characterization)
         if engine is not None:
@@ -147,7 +185,8 @@ class FastSTCO(_CampaignBase):
         super().__init__(netlist, builder, space, weights, agent_seed,
                          engine=engine, backend=backend,
                          cache_dir=cache_dir,
-                         batch_characterization=batch_characterization)
+                         batch_characterization=batch_characterization,
+                         optimizer=optimizer)
 
 
 class TraditionalSTCO(_CampaignBase):
@@ -160,7 +199,8 @@ class TraditionalSTCO(_CampaignBase):
                  weights: PPAWeights | None = None, agent_seed: int = 0,
                  engine: EvaluationEngine | None = None,
                  backend: str = "serial", cache_dir=None,
-                 batch_characterization: bool = False):
+                 batch_characterization: bool = False,
+                 optimizer: str | Optimizer = "qlearning"):
         _check_engine_kwargs(engine, backend, cache_dir,
                              batch_characterization)
         if engine is not None:
@@ -181,4 +221,5 @@ class TraditionalSTCO(_CampaignBase):
         super().__init__(netlist, builder, space, weights, agent_seed,
                          engine=engine, backend=backend,
                          cache_dir=cache_dir,
-                         batch_characterization=batch_characterization)
+                         batch_characterization=batch_characterization,
+                         optimizer=optimizer)

@@ -27,8 +27,16 @@ class DesignSpace:
     cox_scales: tuple = (0.8, 1.0, 1.2)
 
     def __post_init__(self):
+        from ..search.spaces import grid_neighbor_table
         self._points = [Corner(v, t, c) for v, t, c in product(
             self.vdd_scales, self.vth_shifts, self.cox_scales)]
+        # Index map + neighbor lists are precomputed once: float equality
+        # against Corner fields made every index_of/neighbors call an O(n)
+        # linear scan, and the agents call both every iteration.
+        self._index = {p.key(): i for i, p in enumerate(self._points)}
+        self._neighbors = grid_neighbor_table(
+            [len(self.vdd_scales), len(self.vth_shifts),
+             len(self.cox_scales)])
 
     @property
     def size(self) -> int:
@@ -38,25 +46,18 @@ class DesignSpace:
         return self._points[index]
 
     def index_of(self, corner: Corner) -> int:
-        return self._points.index(corner)
+        try:
+            return self._index[corner.key()]
+        except KeyError:
+            raise ValueError(f"{corner} is not a point of this space") \
+                from None
 
     def points(self) -> list:
         return list(self._points)
 
     def neighbors(self, index: int) -> list:
-        """Indices reachable by one step along any axis."""
-        corner = self._points[index]
-        out = []
-        axes = (self.vdd_scales, self.vth_shifts, self.cox_scales)
-        values = (corner.vdd_scale, corner.vth_shift, corner.cox_scale)
-        for axis_i, (axis, value) in enumerate(zip(axes, values)):
-            k = axis.index(value)
-            for dk in (-1, 1):
-                if 0 <= k + dk < len(axis):
-                    new = list(values)
-                    new[axis_i] = axis[k + dk]
-                    out.append(self.index_of(Corner(*new)))
-        return out
+        """Indices reachable by one step along any axis (precomputed)."""
+        return list(self._neighbors[index])
 
     def random_index(self, rng: np.random.Generator) -> int:
         return int(rng.integers(0, self.size))

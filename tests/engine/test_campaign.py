@@ -99,6 +99,70 @@ class TestCampaignRun:
             campaign.run()
 
 
+class TestMultiObjectiveCampaign:
+    def test_search_agents_run(self, builder, small_space):
+        scenarios = [Scenario("s298", agent=a, iterations=6)
+                     for a in ("anneal", "evolution", "surrogate")]
+        report = Campaign(builder, scenarios, space=small_space).run()
+        assert len(report.results) == 3
+        for r in report.results:
+            assert r.evaluations >= 1
+            assert r.pareto_front          # every scenario emits a front
+            assert r.evaluations_to_optimum >= 1
+
+    def test_nsga2_front_is_non_dominated(self, builder, small_space):
+        from repro.search import non_dominated
+        report = Campaign(builder,
+                          [Scenario("s298", agent="nsga2",
+                                    iterations=8)],
+                          space=small_space).run()
+        front = report.results[0].pareto_front
+        assert front
+        vectors = [(f["power_w"], f["delay_s"], f["area_um2"])
+                   for f in front]
+        assert len(non_dominated(vectors)) == len(vectors)
+        fronts = report.pareto_fronts()
+        assert "s298" in fronts and fronts["s298"]
+
+    def test_portfolio_agent_runs(self, builder, small_space):
+        report = Campaign(builder,
+                          [Scenario("s386", agent="portfolio",
+                                    iterations=8)],
+                          space=small_space).run()
+        result = report.results[0]
+        assert result.evaluations <= 8
+        assert result.hypervolume >= 0.0
+
+    def test_checkpoint_preserves_pareto_fields(self, builder,
+                                                small_space, tmp_path):
+        ckpt = tmp_path / "mo.json"
+        scenarios = [Scenario("s298", agent="nsga2", iterations=6)]
+        first = Campaign(builder, scenarios, space=small_space,
+                         checkpoint_path=ckpt).run()
+        resumed = Campaign(builder, scenarios, space=small_space,
+                           checkpoint_path=ckpt).run()
+        a, b = first.results[0], resumed.results[0]
+        assert b.resumed
+        assert a.pareto_front == b.pareto_front
+        assert a.hypervolume == pytest.approx(b.hypervolume)
+        assert a.evaluations_to_optimum == b.evaluations_to_optimum
+
+    def test_pre_search_checkpoint_rows_still_parse(self):
+        """Rows written before the search subsystem lack the Pareto
+        fields; they must load with defaults, not invalidate."""
+        legacy = {"scenario": Scenario("s298").to_dict(),
+                  "best_corner": [1.0, 0.0, 1.0],
+                  "best_reward": 1.5,
+                  "best_ppa": {"power_w": 1e-5},
+                  "evaluations": 4, "runtime_s": 0.1,
+                  "charlib_s": 0.05, "flow_s": 0.05,
+                  "history_rewards": [1.0, 1.5]}
+        row = ScenarioResult.from_dict(legacy, resumed=True)
+        assert row.pareto_front == []
+        assert row.hypervolume == 0.0
+        assert row.evaluations_to_optimum == 0
+
+
 class TestCheckpointResume:
     def test_full_resume_roundtrip(self, builder, small_space, scenarios,
                                    tmp_path):

@@ -1,0 +1,115 @@
+"""Shared fixtures for the search subsystem tests.
+
+``FakeEngine`` evaluates corners with an analytic PPA model — the
+optimizer/driver/portfolio unit tests run in milliseconds and make the
+search landscape fully controllable. The ``builder`` fixture trains the
+real (tiny) characterization GNN for the end-to-end acceptance tests.
+"""
+
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.charlib import (CharConfig, CharTrainConfig, Corner,
+                           GNNLibraryBuilder, build_char_dataset,
+                           train_char_model)
+from repro.eda import build_benchmark
+from repro.engine.records import EvaluationRecord, PPAWeights
+
+FAST_CFG = CharConfig(slews=(8e-9,), loads=(15e-15,), n_bisect=3,
+                      max_steps=200)
+CELLS = ("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1")
+
+
+@dataclass
+class FakeResult:
+    """The SystemResult fields the search layer consumes."""
+
+    total_power_w: float
+    min_period_s: float
+    area_um2: float
+
+    @property
+    def fmax_hz(self) -> float:
+        return 1.0 / self.min_period_s
+
+    def ppa(self) -> dict:
+        return {"power_w": self.total_power_w,
+                "performance_hz": self.fmax_hz,
+                "area_um2": self.area_um2}
+
+
+def smooth_ppa(corner: Corner) -> FakeResult:
+    """A smooth landscape: faster at high VDD, thirstier at low Vth.
+
+    The scalarised optimum with default weights sits at an interior
+    trade-off, and the three objectives genuinely conflict, so Pareto
+    fronts have more than one point.
+    """
+    v, t, c = corner.vdd_scale, corner.vth_shift, corner.cox_scale
+    delay = 1e-7 * (1.0 + (1.3 - v) ** 2 + 2.0 * (t + 0.1) ** 2) / c
+    power = 1e-5 * (v ** 3) * c * (1.0 + 4.0 * (0.15 - t))
+    area = 1e4 * (1.0 + 0.2 * c)
+    return FakeResult(total_power_w=power, min_period_s=delay,
+                      area_um2=area)
+
+
+class FakeEngine:
+    """Engine-shaped analytic evaluator (cache + counters included)."""
+
+    def __init__(self, fn=smooth_ppa):
+        self.fn = fn
+        self.flow_evaluations = 0
+        self.characterizations = 0
+        self._cache = {}
+
+    def evaluate(self, netlist, corner, weights=None):
+        return self.evaluate_many(netlist, [corner], weights)[0]
+
+    def evaluate_many(self, netlist, corners, weights=None):
+        weights = weights if weights is not None else PPAWeights()
+        out = []
+        for corner in corners:
+            key = (corner.key(), weights.key())
+            if key in self._cache:
+                out.append(replace(self._cache[key], cached=True))
+                continue
+            result = self.fn(corner)
+            record = EvaluationRecord(corner=corner, result=result,
+                                      reward=weights.score(result),
+                                      library_runtime_s=1e-3,
+                                      flow_runtime_s=1e-3)
+            self._cache[key] = record
+            self.flow_evaluations += 1
+            self.characterizations += 1
+            out.append(record)
+        return out
+
+
+@pytest.fixture
+def fake_engine():
+    return FakeEngine()
+
+
+@pytest.fixture(scope="session")
+def trained(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("search_char_cache")
+    dataset = build_char_dataset(
+        "ltps", cells=CELLS,
+        train_corners=[Corner(1.0, 0.0, 1.0), Corner(0.9, 0.05, 1.1)],
+        test_corners=[Corner(0.95, 0.02, 1.05)],
+        config=FAST_CFG, cache_dir=cache)
+    model = train_char_model(dataset,
+                             train_config=CharTrainConfig(epochs=10))
+    return model, dataset
+
+
+@pytest.fixture(scope="session")
+def builder(trained):
+    model, dataset = trained
+    return GNNLibraryBuilder(model, dataset, cells=CELLS, config=FAST_CFG)
+
+
+@pytest.fixture(scope="session")
+def netlist():
+    return build_benchmark("s298")

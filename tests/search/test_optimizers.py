@@ -1,0 +1,226 @@
+"""Optimizer suite on the analytic landscape: ask/tell contracts,
+convergence, determinism, portfolio racing."""
+
+import numpy as np
+import pytest
+
+from repro.engine.records import PPAWeights
+from repro.search import (EvolutionaryOptimizer, GridOptimizer,
+                          ParetoArchive, PortfolioSearch,
+                          QLearningOptimizer, RandomOptimizer, SearchRun,
+                          SimulatedAnnealing, SurrogateGuidedOptimizer,
+                          from_design_space, make_optimizer, non_dominated,
+                          objectives_of, surrogate_ranker)
+from repro.stco import default_space
+
+from .conftest import FakeEngine, smooth_ppa
+
+SPACE = default_space()
+
+
+def true_best(engine=None):
+    """Exhaustive optimum of the analytic landscape on the 45 grid."""
+    engine = engine if engine is not None else FakeEngine()
+    records = engine.evaluate_many(None, SPACE.points(), PPAWeights())
+    return max(records, key=lambda r: r.reward)
+
+
+def drive(optimizer, budget, engine=None):
+    engine = engine if engine is not None else FakeEngine()
+    result = SearchRun(None, optimizer, engine).run(budget=budget)
+    return result, engine
+
+
+class TestAskTellContracts:
+    @pytest.mark.parametrize("name", ["qlearning", "random", "grid",
+                                      "anneal", "evolution", "nsga2",
+                                      "surrogate", "portfolio"])
+    def test_registry_runs(self, name):
+        optimizer = make_optimizer(name, SPACE, seed=0)
+        result, _ = drive(optimizer, budget=12)
+        assert np.isfinite(result.best_reward)
+        assert len(result.rewards) <= 12
+        assert result.evaluations <= len(result.rewards)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown agent"):
+            make_optimizer("sgd", SPACE)
+
+    def test_partial_tell_tolerated(self):
+        """Budget can truncate a batch mid-ask; optimizers must cope."""
+        optimizer = EvolutionaryOptimizer(SPACE, seed=0, mu=6, lam=6)
+        result, _ = drive(optimizer, budget=4)     # < one population
+        assert len(result.rewards) == 4
+
+    def test_grid_done_stops_early(self):
+        optimizer = GridOptimizer(SPACE)
+        result, engine = drive(optimizer, budget=1000)
+        assert optimizer.done
+        assert result.evaluations == SPACE.size
+        assert engine.flow_evaluations == SPACE.size
+
+
+class TestConvergence:
+    def test_anneal_finds_optimum(self):
+        best = true_best()
+        result, _ = drive(SimulatedAnnealing(SPACE, seed=0), budget=40)
+        assert result.best_corner == best.corner.key()
+
+    def test_evolution_finds_optimum(self):
+        best = true_best()
+        result, _ = drive(EvolutionaryOptimizer(SPACE, seed=0), budget=40)
+        assert result.best_corner == best.corner.key()
+
+    def test_qlearning_beats_nothing_but_runs(self):
+        result, _ = drive(QLearningOptimizer(SPACE, seed=0), budget=20)
+        assert np.isfinite(result.best_reward)
+
+    def test_random_eventually_covers(self):
+        result, _ = drive(RandomOptimizer(SPACE, seed=0), budget=200)
+        best = true_best()
+        assert result.best_reward == pytest.approx(best.reward)
+
+    def test_determinism_same_seed(self):
+        a, _ = drive(SimulatedAnnealing(SPACE, seed=7), budget=25)
+        b, _ = drive(SimulatedAnnealing(SPACE, seed=7), budget=25)
+        assert a.rewards == b.rewards
+        assert a.best_corner == b.best_corner
+
+    def test_seeds_differ(self):
+        a, _ = drive(SimulatedAnnealing(SPACE, seed=1), budget=25)
+        b, _ = drive(SimulatedAnnealing(SPACE, seed=2), budget=25)
+        assert a.rewards != b.rewards
+
+    def test_restart_adopts_fresh_point(self):
+        """A restart must re-seed the walk unconditionally — running the
+        fresh point through the (cold) Metropolis test would reject it
+        and leave the walk stuck where it stalled."""
+        engine = FakeEngine()
+        sa = SimulatedAnnealing(SPACE, seed=0, t0=1e-6, t_final=1e-9)
+        for _ in range(3):
+            sa.tell(engine.evaluate_many(None, sa.ask(), PPAWeights()))
+        sa._stale = sa.restart_after       # force the next ask to restart
+        records = engine.evaluate_many(None, sa.ask(), PPAWeights())
+        sa.tell(records)
+        # Even if the restart point is worse, it becomes the current
+        # state (the global best is tracked separately).
+        assert sa._current[1] == records[0].reward
+
+
+class TestEvolutionPareto:
+    def test_pareto_mode_spreads_population(self):
+        optimizer = EvolutionaryOptimizer(SPACE, seed=0, mode="pareto",
+                                          mu=6, lam=6)
+        drive(optimizer, budget=36)
+        vectors = [objectives_of(r.result)
+                   for _, r in optimizer._population]
+        # Survivor selection is non-dominated-first: the surviving
+        # population must contain several mutually non-dominated points,
+        # not collapse onto one scalar optimum.
+        front = non_dominated(vectors)
+        assert len(front) >= 2
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            EvolutionaryOptimizer(SPACE, mode="weighted")
+
+
+class TestSurrogate:
+    def test_perfect_ranker_accelerates(self):
+        """With an oracle ranker, the top-batch contains the optimum as
+        soon as it enters the candidate pool."""
+        engine = FakeEngine()
+        best = true_best()
+        weights = PPAWeights()
+
+        def oracle(corners):
+            return [weights.score(smooth_ppa(c)) for c in corners]
+
+        guided = SurrogateGuidedOptimizer(SPACE, ranker=oracle, seed=0,
+                                          pool=16, batch=2)
+        result, _ = drive(guided, budget=20, engine=engine)
+        unguided, _ = drive(SurrogateGuidedOptimizer(SPACE, ranker=None,
+                                                     seed=0, pool=16,
+                                                     batch=2), budget=20)
+        assert result.best_reward >= unguided.best_reward
+        assert result.best_reward == pytest.approx(best.reward, rel=1e-6)
+
+    def test_ranker_from_builder_requires_hook(self):
+        class NoHook:
+            pass
+        assert surrogate_ranker(NoHook()) is None
+
+    def test_proxy_scores_memoized(self):
+        """A corner screened but not chosen must not pay another
+        surrogate pass when it reappears in a later candidate pool."""
+        scored = []
+
+        def counting(corners):
+            scored.extend(c.key() for c in corners)
+            return [0.0] * len(corners)
+
+        optimizer = SurrogateGuidedOptimizer(SPACE, ranker=counting,
+                                             seed=0, pool=16, batch=2)
+        drive(optimizer, budget=20)
+        assert len(scored) == len(set(scored))
+
+    def test_does_not_reask_evaluated_corners(self):
+        optimizer = SurrogateGuidedOptimizer(SPACE, seed=0, pool=16,
+                                             batch=4)
+        result, engine = drive(optimizer, budget=40)
+        # Every told evaluation was a distinct corner: no budget wasted
+        # re-asking what it already knows.
+        assert result.evaluations == len(result.rewards)
+
+
+class TestPortfolio:
+    def test_races_and_reports_standings(self):
+        members = [SimulatedAnnealing(SPACE, seed=0),
+                   EvolutionaryOptimizer(SPACE, seed=1),
+                   RandomOptimizer(SPACE, seed=2)]
+        portfolio = PortfolioSearch(members, round_size=4)
+        result, _ = drive(portfolio, budget=48)
+        rows = portfolio.standings()
+        assert {r["name"] for r in rows} == {"anneal", "evolution",
+                                             "random"}
+        assert sum(r["evaluations"] for r in rows) == len(result.rewards)
+        # Standings are leader-first.
+        rewards = [r["best_reward"] for r in rows]
+        assert rewards == sorted(rewards, reverse=True)
+
+    def test_budget_flows_to_winner(self):
+        """A member that always proposes the optimum out-earns one that
+        always proposes the worst point."""
+        engine = FakeEngine()
+        best = true_best()
+        records = engine.evaluate_many(None, SPACE.points(), PPAWeights())
+        worst = min(records, key=lambda r: r.reward)
+
+        class Fixed(RandomOptimizer):
+            def __init__(self, corner, name):
+                super().__init__(SPACE, seed=0)
+                self._corner = corner
+                self.name = name
+
+            def ask(self):
+                return [self._corner]
+
+        portfolio = PortfolioSearch(
+            [Fixed(best.corner, "winner"), Fixed(worst.corner, "loser")],
+            round_size=3)
+        drive(portfolio, budget=30, engine=FakeEngine())
+        stats = {r["name"]: r for r in portfolio.standings()}
+        assert stats["winner"]["evaluations"] \
+            > stats["loser"]["evaluations"]
+
+    def test_duplicate_member_names_suffixed(self):
+        portfolio = PortfolioSearch([RandomOptimizer(SPACE, seed=0),
+                                     RandomOptimizer(SPACE, seed=1)])
+        assert set(portfolio.members) == {"random", "random2"}
+
+    def test_all_done_terminates(self):
+        tiny = from_design_space(default_space())
+        portfolio = PortfolioSearch([GridOptimizer(tiny)])
+        result, _ = drive(portfolio, budget=1000)
+        assert portfolio.done
+        assert result.evaluations == tiny.size

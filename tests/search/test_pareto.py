@@ -1,0 +1,145 @@
+"""Pareto machinery: dominance, sorting, crowding, hypervolume, archive."""
+
+import numpy as np
+import pytest
+
+from repro.charlib import Corner
+from repro.engine.records import EvaluationRecord, PPAWeights
+from repro.search import (ParetoArchive, crowding_distance, dominates,
+                          hypervolume, non_dominated, non_dominated_sort)
+
+from .conftest import FakeResult
+
+
+def record(power, delay, area, corner=None):
+    result = FakeResult(total_power_w=power, min_period_s=delay,
+                        area_um2=area)
+    corner = corner if corner is not None else Corner(
+        round(power * 1e5, 6), round(delay * 1e7 - 1.0, 6), 1.0)
+    return EvaluationRecord(corner=corner, result=result,
+                            reward=PPAWeights().score(result),
+                            library_runtime_s=0.0, flow_runtime_s=0.0)
+
+
+class TestDominance:
+    def test_dominates(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 2), (2, 1))
+        assert not dominates((1, 1), (1, 1))
+
+    def test_non_dominated(self):
+        vectors = [(1, 3), (2, 2), (3, 1), (3, 3)]
+        assert non_dominated(vectors) == [0, 1, 2]
+
+    def test_non_dominated_sort_fronts(self):
+        vectors = [(1, 3), (3, 1), (2, 4), (4, 2), (5, 5)]
+        fronts = non_dominated_sort(vectors)
+        assert fronts[0] == [0, 1]
+        assert fronts[1] == [2, 3]
+        assert fronts[2] == [4]
+
+    def test_crowding_extremes_infinite(self):
+        vectors = [(1, 4), (2, 3), (3, 2), (4, 1)]
+        dist = crowding_distance(vectors)
+        assert np.isinf(dist[0]) and np.isinf(dist[3])
+        assert np.isfinite(dist[1]) and np.isfinite(dist[2])
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume([(0.0, 0.0)], (1.0, 1.0)) == pytest.approx(1.0)
+
+    def test_two_points_2d(self):
+        hv = hypervolume([(0.0, 0.5), (0.5, 0.0)], (1.0, 1.0))
+        assert hv == pytest.approx(0.75)
+
+    def test_three_points_3d_inclusion_exclusion(self):
+        pts = [(0, 0, 0.5), (0.5, 0, 0), (0, 0.5, 0)]
+        assert hypervolume(pts, (1, 1, 1)) == pytest.approx(0.875)
+
+    def test_dominated_points_add_nothing(self):
+        base = hypervolume([(0.2, 0.2)], (1.0, 1.0))
+        with_dup = hypervolume([(0.2, 0.2), (0.5, 0.5)], (1.0, 1.0))
+        assert with_dup == pytest.approx(base)
+
+    def test_points_outside_reference_ignored(self):
+        assert hypervolume([(2.0, 2.0)], (1.0, 1.0)) == 0.0
+
+    def test_more_points_more_volume(self):
+        one = hypervolume([(0.5, 0.5, 0.5)], (1, 1, 1))
+        two = hypervolume([(0.5, 0.5, 0.5), (0.1, 0.9, 0.5)], (1, 1, 1))
+        assert two > one
+
+
+class TestParetoArchive:
+    def test_keeps_only_non_dominated(self):
+        archive = ParetoArchive()
+        assert archive.add(record(1e-5, 1e-7, 1e4))
+        assert archive.add(record(2e-5, 0.5e-7, 1e4))   # trade-off: kept
+        assert not archive.add(record(3e-5, 2e-7, 2e4))  # dominated
+        assert len(archive) == 2
+        assert archive.seen == 3
+        assert archive.dominated == 1
+
+    def test_insert_evicts_dominated(self):
+        archive = ParetoArchive()
+        archive.add(record(2e-5, 2e-7, 1e4))
+        archive.add(record(1e-5, 1e-7, 1e4, corner=Corner(0.9, 0, 1)))
+        assert len(archive) == 1
+        assert archive.front()[0].result.total_power_w == 1e-5
+
+    def test_duplicate_corner_skipped(self):
+        archive = ParetoArchive()
+        c = Corner(1.0, 0.0, 1.0)
+        archive.add(record(1e-5, 1e-7, 1e4, corner=c))
+        assert not archive.add(record(9e-6, 1e-7, 1e4, corner=c))
+        assert len(archive) == 1
+
+    def test_front_is_mutually_non_dominated(self):
+        rng = np.random.default_rng(0)
+        archive = ParetoArchive()
+        for i in range(60):
+            p, d, a = rng.uniform(0.5, 2.0, size=3)
+            archive.add(record(p * 1e-5, d * 1e-7, a * 1e4,
+                               corner=Corner(float(i), 0.0, 1.0)))
+        vectors = archive.vectors()
+        assert len(non_dominated(vectors)) == len(vectors)
+
+    def test_scalarized_best_matches_weights(self):
+        archive = ParetoArchive()
+        records = [record(1e-5, 1e-7, 1e4, corner=Corner(1, 0, 1)),
+                   record(3e-6, 3e-7, 1e4, corner=Corner(2, 0, 1)),
+                   record(5e-5, 0.5e-7, 1e4, corner=Corner(3, 0, 1))]
+        for r in records:
+            archive.add(r)
+        for weights in (PPAWeights(), PPAWeights(power=3.0),
+                        PPAWeights(performance=3.0)):
+            expect = max(records, key=lambda r: weights.score(r.result))
+            assert archive.scalarized_best(weights) is expect
+
+    def test_hypervolume_grows_with_coverage(self):
+        archive = ParetoArchive()
+        archive.add(record(1e-5, 1e-7, 1e4, corner=Corner(1, 0, 1)))
+        ref = None
+        archive.add(record(0.9e-5, 1.1e-7, 1e4, corner=Corner(2, 0, 1)))
+        ref = archive.reference_point()
+        hv_two = archive.hypervolume(ref)
+        # A new trade-off point inside the reference box grows the front.
+        archive.add(record(0.5e-5, 1.2e-7, 1e4, corner=Corner(3, 0, 1)))
+        assert archive.hypervolume(ref) > hv_two
+
+    def test_summary_round_trips_to_json(self):
+        import json
+        archive = ParetoArchive()
+        archive.add(record(1e-5, 1e-7, 1e4))
+        row = json.loads(json.dumps(archive.summary()))[0]
+        assert set(row) == {"corner", "power_w", "delay_s", "area_um2",
+                            "reward"}
+
+    def test_empty_archive(self):
+        archive = ParetoArchive()
+        assert archive.hypervolume() == 0.0
+        assert archive.front() == []
+        with pytest.raises(ValueError):
+            archive.reference_point()

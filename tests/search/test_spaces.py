@@ -1,0 +1,160 @@
+"""Generalised design spaces: axes, snapping, grids, mixed spaces."""
+
+import numpy as np
+import pytest
+
+from repro.charlib import Corner
+from repro.search import (Axis, SearchSpace, as_search_space, box_space,
+                          default_grid, from_design_space, grid_space,
+                          mixed_space)
+from repro.stco import DesignSpace, default_space
+from repro.utils.rng import make_rng
+
+
+class TestAxis:
+    def test_discrete_snap_to_nearest(self):
+        axis = Axis.discrete("vdd_scale", (0.8, 1.0, 1.2))
+        assert axis.snap(0.97) == 1.0
+        assert axis.snap(0.0) == 0.8
+        assert axis.snap(9.0) == 1.2
+
+    def test_continuous_snap_clips_and_steps(self):
+        axis = Axis.continuous("vdd_scale", 0.8, 1.2, step=0.05)
+        assert axis.snap(1.03) == pytest.approx(1.05)
+        assert axis.snap(0.5) == 0.8
+        assert axis.snap(2.0) == pytest.approx(1.2)
+
+    def test_continuous_snap_respects_corner_key_precision(self):
+        axis = Axis.continuous("vdd_scale", 0.8, 1.2)
+        v = axis.snap(1.0000000301)
+        assert v == round(v, 6)
+
+    def test_perturb_stays_in_range(self):
+        rng = make_rng(0)
+        axis = Axis.continuous("vth_shift", -0.1, 0.1)
+        values = [axis.perturb(0.0, rng, scale=2.0) for _ in range(50)]
+        assert all(-0.1 <= v <= 0.1 for v in values)
+
+    def test_discrete_perturb_moves_one_step(self):
+        rng = make_rng(1)
+        axis = Axis.discrete("cox_scale", (0.8, 1.0, 1.2))
+        for _ in range(20):
+            v = axis.perturb(1.0, rng)
+            assert v in (0.8, 1.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Axis.discrete("x", ())
+        with pytest.raises(ValueError):
+            Axis.continuous("x", 1.0, 1.0)
+
+
+class TestGridSpace:
+    def test_matches_design_space(self):
+        ds = default_space()
+        grid = from_design_space(ds)
+        assert grid.size == ds.size
+        for i in (0, 7, 21, ds.size - 1):
+            assert grid.point(i) == ds.point(i)
+            assert grid.neighbors(i) == ds.neighbors(i)
+            assert grid.index_of(ds.point(i)) == i
+
+    def test_index_of_rejects_foreign_corner(self):
+        grid = default_grid()
+        with pytest.raises(ValueError, match="not a point"):
+            grid.index_of(Corner(0.123, 0.0, 1.0))
+
+    def test_points_are_corners(self):
+        grid = grid_space(vdd_scale=(0.9, 1.1), vth_shift=(0.0,),
+                          cox_scale=(1.0,))
+        pts = grid.points()
+        assert len(pts) == 2
+        assert all(isinstance(p, Corner) for p in pts)
+
+    def test_random_index_in_range(self):
+        grid = default_grid()
+        rng = make_rng(0)
+        assert all(0 <= grid.random_index(rng) < grid.size
+                   for _ in range(20))
+
+
+class TestBoxAndMixed:
+    def test_box_sample_snaps(self):
+        space = box_space(step=0.1, vdd_scale=(0.8, 1.2),
+                          cox_scale=(0.8, 1.2))
+        rng = make_rng(3)
+        for _ in range(20):
+            point = space.sample_point(rng)
+            corner = space.corner(point)
+            assert 0.8 <= corner.vdd_scale <= 1.2
+            # Snapped to the 0.1 resolution grid anchored at 0.8.
+            assert round((corner.vdd_scale - 0.8) / 0.1, 6) \
+                == int(round((corner.vdd_scale - 0.8) / 0.1))
+            # Unlisted knobs take their nominal defaults.
+            assert corner.vth_shift == 0.0
+
+    def test_mixed_space_axes(self):
+        space = mixed_space(vdd_scale=(0.8, 1.2),              # box
+                            vth_shift=(-0.1, 0.0, 0.1),        # discrete
+                            cox_scale=Axis.discrete("cox_scale",
+                                                    (0.9, 1.1)))
+        assert not space.is_grid
+        rng = make_rng(0)
+        for _ in range(10):
+            c = space.corner(space.sample_point(rng))
+            assert c.vth_shift in (-0.1, 0.0, 0.1)
+            assert c.cox_scale in (0.9, 1.1)
+            assert 0.8 <= c.vdd_scale <= 1.2
+
+    def test_grid_api_requires_grid(self):
+        space = box_space(vdd_scale=(0.8, 1.2))
+        with pytest.raises(TypeError, match="grid"):
+            space.size
+        with pytest.raises(TypeError, match="grid"):
+            space.neighbors(0)
+
+    def test_perturb_moves_at_least_one_axis(self):
+        space = mixed_space(vdd_scale=(0.8, 1.2),
+                            vth_shift=(-0.1, 0.0, 0.1))
+        rng = make_rng(5)
+        point = space.snap_point((1.0, 0.0))
+        for _ in range(20):
+            assert space.perturb_point(point, rng) != point \
+                or True  # perturb may return same discrete value at edge
+        # Statistically some moves must differ.
+        moved = [space.perturb_point(point, rng) != point
+                 for _ in range(30)]
+        assert any(moved)
+
+
+class TestFactories:
+    def test_unknown_knob_needs_factory(self):
+        # Grids build their corner index eagerly, so the missing-factory
+        # error surfaces at construction…
+        with pytest.raises(ValueError, match="corner_factory"):
+            grid_space(fin_count=(1.0, 2.0))
+        # …continuous spaces surface it at the first corner() call.
+        space = box_space(fin_count=(1.0, 2.0))
+        with pytest.raises(ValueError, match="corner_factory"):
+            space.corner((1.5,))
+
+    def test_custom_corner_factory(self):
+        def factory(params):
+            return Corner(params["vdd"], 0.0, params["fins"] / 2.0)
+        space = grid_space(corner_factory=factory,
+                           vdd=(0.9, 1.1), fins=(1.0, 2.0))
+        corner = space.point(3)
+        assert corner == Corner(1.1, 0.0, 1.0)
+
+    def test_as_search_space_passthrough_and_coercion(self):
+        ds = DesignSpace(vdd_scales=(0.9, 1.1), vth_shifts=(0.0,),
+                         cox_scales=(1.0,))
+        coerced = as_search_space(ds)
+        assert isinstance(coerced, SearchSpace)
+        assert coerced.size == ds.size
+        assert as_search_space(coerced) is coerced
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SearchSpace([Axis.discrete("a", (1.0,)),
+                         Axis.discrete("a", (2.0,))])

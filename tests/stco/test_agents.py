@@ -1,0 +1,131 @@
+"""Agent-layer guarantees: seeded determinism, best-reward consistency,
+and the O(1) design-space index fast paths.
+
+These run against an analytic engine (no GNN training), so they pin the
+agents' exact trajectories cheaply — the contract the campaign layer's
+checkpoint/resume and the optimizer refactor both rely on.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.charlib import Corner
+from repro.stco import (DesignSpace, GridSearchAgent, QLearningAgent,
+                        RandomSearchAgent, STCOEnvironment, default_space)
+
+from ..search.conftest import FakeEngine
+
+SPACE = DesignSpace(vdd_scales=(0.8, 1.0, 1.2), vth_shifts=(-0.1, 0.1),
+                    cox_scales=(0.9, 1.1))
+
+
+def make_env(space=SPACE):
+    return STCOEnvironment(SimpleNamespace(name="fake"), None, space,
+                           engine=FakeEngine())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("agent_cls", [QLearningAgent,
+                                           RandomSearchAgent])
+    def test_same_seed_same_trajectory(self, agent_cls):
+        runs = []
+        for _ in range(2):
+            env = make_env()
+            result = agent_cls(env, seed=11).run(iterations=10)
+            runs.append(result)
+        assert runs[0].rewards == runs[1].rewards
+        assert runs[0].best_action == runs[1].best_action
+        assert runs[0].best_reward == runs[1].best_reward
+
+    @pytest.mark.parametrize("agent_cls", [QLearningAgent,
+                                           RandomSearchAgent])
+    def test_different_seeds_diverge(self, agent_cls):
+        a = agent_cls(make_env(), seed=0).run(iterations=10)
+        b = agent_cls(make_env(), seed=1).run(iterations=10)
+        assert a.rewards != b.rewards
+
+    def test_grid_agent_is_seedless_and_deterministic(self):
+        a = GridSearchAgent(make_env()).run()
+        b = GridSearchAgent(make_env()).run()
+        assert a.rewards == b.rewards
+        assert a.evaluations == SPACE.size
+
+
+class TestBestRewardConsistency:
+    @pytest.mark.parametrize("agent_cls", [QLearningAgent,
+                                           RandomSearchAgent,
+                                           GridSearchAgent])
+    def test_best_is_max_of_trajectory(self, agent_cls):
+        env = make_env()
+        result = agent_cls(env, **({} if agent_cls is GridSearchAgent
+                                   else {"seed": 3})).run(iterations=12)
+        assert result.best_reward == max(result.rewards)
+        # The reported best action really is the argmax the env saw.
+        best = env.best()
+        assert best.reward == result.best_reward
+        assert env.space.index_of(best.corner) == result.best_action
+
+    def test_running_best_is_monotone(self):
+        env = make_env()
+        result = QLearningAgent(env, seed=5).run(iterations=12)
+        running = np.maximum.accumulate(result.rewards)
+        assert running[-1] == result.best_reward
+        assert all(x <= y for x, y in zip(running, running[1:]))
+
+    def test_grid_finds_global_optimum(self):
+        env = make_env()
+        grid = GridSearchAgent(env).run()
+        rewards = [env.evaluate(i).reward for i in range(SPACE.size)]
+        assert grid.best_reward == max(rewards)
+
+
+class TestSpaceFastPaths:
+    def test_index_roundtrip_entire_space(self):
+        space = default_space()
+        for i in range(space.size):
+            assert space.index_of(space.point(i)) == i
+
+    def test_neighbors_match_bruteforce(self):
+        space = DesignSpace(vdd_scales=(0.8, 0.9, 1.0, 1.1),
+                            vth_shifts=(-0.1, 0.0, 0.1),
+                            cox_scales=(0.8, 1.0, 1.2))
+
+        def brute(index):
+            corner = space.point(index)
+            out = []
+            axes = (space.vdd_scales, space.vth_shifts, space.cox_scales)
+            values = (corner.vdd_scale, corner.vth_shift,
+                      corner.cox_scale)
+            for axis_i, (axis, value) in enumerate(zip(axes, values)):
+                k = axis.index(value)
+                for dk in (-1, 1):
+                    if 0 <= k + dk < len(axis):
+                        new = list(values)
+                        new[axis_i] = axis[k + dk]
+                        out.append(space.points().index(Corner(*new)))
+            return out
+
+        for i in range(space.size):
+            assert space.neighbors(i) == brute(i)
+
+    def test_index_of_foreign_corner_raises(self):
+        with pytest.raises(ValueError, match="not a point"):
+            default_space().index_of(Corner(0.123, 0.456, 0.789))
+
+    def test_large_space_indexes_fast(self):
+        import time
+        big = DesignSpace(vdd_scales=tuple(0.5 + 0.01 * i
+                                           for i in range(20)),
+                          vth_shifts=tuple(-0.1 + 0.01 * i
+                                           for i in range(20)),
+                          cox_scales=tuple(0.5 + 0.05 * i
+                                           for i in range(20)))
+        t0 = time.perf_counter()
+        for i in range(0, big.size, 7):
+            assert big.index_of(big.point(i)) == i
+            big.neighbors(i)
+        # 8000 points, ~1100 lookups: the precomputed maps make this
+        # effectively instant (the old linear scans took seconds).
+        assert time.perf_counter() - t0 < 1.0
