@@ -1,12 +1,15 @@
 """Campaign quickstart: sweep scenarios through the evaluation engine.
 
-Demonstrates the engine subsystem end to end:
+Demonstrates the engine subsystem end to end, driven declaratively:
 
-1. train the characterization GNN once (as in ``quickstart.py``);
-2. sweep (benchmark × agent × PPA-weights) scenarios through one shared
+1. a :class:`repro.api.Workspace` builds (and caches) the
+   characterization GNN — no copy-pasted training block;
+2. a ``mode="campaign"`` :class:`repro.api.StcoConfig` sweeps
+   (benchmark × agent × PPA-weights) scenarios through one shared
    engine — every scenario reuses the others' characterized corners;
-3. checkpoint after every scenario and resume instantly on a re-run;
-4. persist the corner cache on disk, so re-running this script performs
+3. the campaign checkpoints after every scenario and resumes instantly
+   on a re-run;
+4. the workspace's disk cache means re-running this script performs
    **zero** re-characterizations.
 
 Run:  python examples/parallel_campaign.py
@@ -16,12 +19,10 @@ Run:  python examples/parallel_campaign.py
 
 import os
 
-from repro.charlib import (CharConfig, CharTrainConfig, Corner,
-                           GNNLibraryBuilder, build_char_dataset,
-                           train_char_model)
-from repro.engine import (Campaign, EngineConfig, available_workers,
-                          sweep_scenarios)
-from repro.stco import DesignSpace
+from repro.api import (EngineConfig, ModelConfig, ScenarioConfig,
+                       SearchConfig, StcoConfig, TechnologyConfig,
+                       Workspace, run)
+from repro.engine import available_workers
 from repro.utils import print_table
 
 SMOKE = bool(os.environ.get("REPRO_SMOKE"))
@@ -31,54 +32,68 @@ def main():
     cells = (("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1") if SMOKE else
              ("INV_X1", "NAND2_X1", "NOR2_X1", "AND2_X1", "XOR2_X1",
               "DFF_X1"))
-    cfg = CharConfig(slews=(8e-9,), loads=(15e-15,), n_bisect=3,
-                     max_steps=200 if SMOKE else 220)
+    benchmarks = ["s298"] if SMOKE else ["s298", "s386", "s526"]
+    agents = (("qlearning", "random") if SMOKE
+              else ("qlearning", "random", "anneal"))
+    weights_list = ((1.0, 1.0, 0.5),    # balanced
+                    (2.0, 1.0, 0.5))    # power-conscious
+    iterations = 4 if SMOKE else 8
+    scenarios = tuple(
+        ScenarioConfig(benchmark=b, agent=a, weights=w,
+                       iterations=iterations)
+        for b in benchmarks for a in agents for w in weights_list)
 
-    print("1) Building the characterization dataset + GNN (cached)…")
-    dataset = build_char_dataset(
-        "ltps", cells=cells,
-        train_corners=[Corner(1.0, 0.0, 1.0), Corner(0.85, 0.05, 1.1),
-                       Corner(1.15, -0.05, 0.9)],
-        test_corners=[Corner(0.95, 0.02, 1.05)], config=cfg)
-    model = train_char_model(
-        dataset, train_config=CharTrainConfig(epochs=8 if SMOKE else 25))
-    builder = GNNLibraryBuilder(model, dataset, cells=cells, config=cfg)
+    workers = available_workers()
+    config = StcoConfig(
+        mode="campaign",
+        technology=TechnologyConfig(
+            cells=cells,
+            train_corners=((1.0, 0.0, 1.0), (0.85, 0.05, 1.1),
+                           (1.15, -0.05, 0.9)),
+            test_corners=((0.95, 0.02, 1.05),),
+            slews=(8e-9,), loads=(15e-15,),
+            n_bisect=3, max_steps=200 if SMOKE else 220),
+        model=ModelConfig(epochs=8 if SMOKE else 25),
+        # One engine for the whole campaign: the design space is
+        # prefetched up-front (parallel across CPUs when the machine has
+        # them, batched through the GNN otherwise), and the workspace's
+        # persistent cache means the *next* campaign starts warm.
+        engine=EngineConfig(
+            backend=f"process:{workers}" if workers > 1 else "serial",
+            batch_characterization=True),
+        search=SearchConfig(vdd_scales=(0.9, 1.0, 1.1),
+                            vth_shifts=(-0.05, 0.05),
+                            cox_scales=(0.9, 1.1)),
+        scenarios=scenarios,
+        checkpoint="campaign_ckpt.json",
+        prefetch=True)
+
+    print("1) Building the characterization dataset + GNN "
+          "(workspace-cached)…")
+    workspace = Workspace(".cache/workspace")
 
     print("2) Sweeping (benchmark x agent x weights) scenarios…")
-    scenarios = sweep_scenarios(
-        benchmarks=["s298"] if SMOKE else ["s298", "s386", "s526"],
-        agents=("qlearning", "random") if SMOKE
-        else ("qlearning", "random", "anneal"),
-        weights_list=((1.0, 1.0, 0.5),    # balanced
-                      (2.0, 1.0, 0.5)),   # power-conscious
-        iterations=4 if SMOKE else 8)
-    space = DesignSpace(vdd_scales=(0.9, 1.0, 1.1),
-                        vth_shifts=(-0.05, 0.05), cox_scales=(0.9, 1.1))
+    report = run(config, workspace)
 
-    # One engine for the whole campaign: the design space is prefetched
-    # up-front (parallel across CPUs when the machine has them, batched
-    # through the GNN otherwise), and the persistent cache means the
-    # *next* campaign starts warm.
-    workers = available_workers()
-    config = EngineConfig(
-        backend=f"process:{workers}" if workers > 1 else "serial",
-        batch_characterization=True,
-        cache_dir=".cache/engine")
-    campaign = Campaign(builder, scenarios, space=space,
-                        engine_config=config,
-                        checkpoint_path=".cache/campaign_ckpt.json",
-                        prefetch=True)
-    report = campaign.run()
+    def label(s):
+        weights_txt = ",".join(f"{w:g}" for w in s["weights"])
+        return (f"{s['benchmark']}/{s['agent']}"
+                f"(seed={s['seed']}, w={weights_txt})")
 
+    rows = [[label(s["scenario"]),
+             str(tuple(s["best_corner"])), f"{s['best_reward']:.3f}",
+             str(s["evaluations"]),
+             "resume" if s.get("resumed") else f"{s['runtime_s']:.2f}s"]
+            for s in report.scenarios]
+    engine_stats = report.cache_stats["engine"]
     print_table(["Scenario", "Best corner", "Reward", "Evals", "Time"],
-                report.summary_rows(),
+                rows,
                 title=f"Campaign: {len(scenarios)} scenarios, "
-                      f"{report.engine_stats['characterizations']} "
+                      f"{engine_stats['characterizations']} "
                       f"characterizations, "
                       f"{report.resumed_scenarios} resumed")
-    best = report.best()
-    print(f"\nBest overall: {best.scenario.label()} at corner "
-          f"{best.best_corner} (reward {best.best_reward:.3f})")
+    print(f"\nBest overall: corner {report.best_corner} "
+          f"(reward {report.best_reward:.3f})")
     print("Re-run this script: scenarios resume from the checkpoint and "
           "the corner cache makes re-characterization count 0.")
 

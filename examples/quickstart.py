@@ -1,7 +1,10 @@
 """Quickstart: one full fast-STCO iteration, end to end (paper Fig. 1).
 
-Builds a small characterized library with transistor-level SPICE, trains
-the characterization GNN, and runs the RL-driven technology exploration on
+Uses the declarative API: a :class:`repro.api.StcoConfig` describes the
+technology, the characterization GNN and the exploration; a
+:class:`repro.api.Workspace` owns the trained model and the engine
+caches (so re-running this script is nearly instant); and
+:func:`repro.api.run` executes the RL-driven technology exploration on
 an ISCAS89-class benchmark — printing the PPA of the chosen technology
 corner and the measured GNN-vs-SPICE characterization speedup.
 
@@ -10,57 +13,59 @@ Run:  python examples/quickstart.py
 
 import time
 
-from repro.charlib import (CharConfig, CharTrainConfig, Corner,
-                           GNNLibraryBuilder, SpiceLibraryBuilder,
-                           build_char_dataset, train_char_model)
-from repro.eda import build_benchmark
-from repro.stco import DesignSpace, FastSTCO
+from repro.api import (ModelConfig, SearchConfig, StcoConfig,
+                       TechnologyConfig, Workspace, run)
+from repro.charlib import SpiceLibraryBuilder
 
 
 def main():
-    cells = ("INV_X1", "INV_X2", "NAND2_X1", "NOR2_X1", "AND2_X1",
-             "XOR2_X1", "DFF_X1")
-    cfg = CharConfig(slews=(8e-9,), loads=(15e-15,), n_bisect=3,
-                     max_steps=220)
+    config = StcoConfig(
+        mode="fast",
+        benchmark="s298",
+        technology=TechnologyConfig(
+            cells=("INV_X1", "INV_X2", "NAND2_X1", "NOR2_X1", "AND2_X1",
+                   "XOR2_X1", "DFF_X1"),
+            train_corners=((1.0, 0.0, 1.0), (0.85, 0.05, 1.1),
+                           (1.15, -0.05, 0.9)),
+            test_corners=((0.95, 0.02, 1.05),),
+            slews=(8e-9,), loads=(15e-15,), n_bisect=3, max_steps=220),
+        model=ModelConfig(epochs=25),
+        search=SearchConfig(
+            optimizer="qlearning", iterations=10,
+            vdd_scales=(0.85, 1.0, 1.15),
+            vth_shifts=(-0.05, 0.0, 0.05),
+            cox_scales=(0.9, 1.1)))
+    workspace = Workspace(".cache/workspace")
+    tech = config.technology
 
-    print("1) Characterizing training corners with transistor-level SPICE…")
-    dataset = build_char_dataset(
-        "ltps", cells=cells,
-        train_corners=[Corner(1.0, 0.0, 1.0), Corner(0.85, 0.05, 1.1),
-                       Corner(1.15, -0.05, 0.9)],
-        test_corners=[Corner(0.95, 0.02, 1.05)],
-        config=cfg)
+    print("1) Characterizing training corners with transistor-level "
+          "SPICE (workspace-cached)…")
+    dataset = workspace.dataset(tech)
     counts = dataset.counts()
     print(f"   dataset: {sum(c['train'] for c in counts.values())} "
           f"training points across {len(counts)} metrics")
 
-    print("2) Training the cell-characterization GNN (3-layer GCN)…")
-    model = train_char_model(dataset,
-                             train_config=CharTrainConfig(epochs=25))
+    print("2) Training the cell-characterization GNN (3-layer GCN, "
+          "workspace-cached)…")
+    gnn = workspace.builder(tech, config.model)
 
     print("3) Measuring characterization speedup (GNN vs SPICE)…")
-    spice = SpiceLibraryBuilder("ltps", cells=cells, config=cfg)
+    spice = SpiceLibraryBuilder(tech.technology, cells=tech.cells,
+                                config=tech.char_config())
     spice.build()
-    gnn = GNNLibraryBuilder(model, dataset, cells=cells, config=cfg)
     gnn.build()
     speedup = spice.last_runtime_s / max(gnn.last_runtime_s, 1e-9)
     print(f"   SPICE {spice.last_runtime_s:.1f} s vs "
           f"GNN {gnn.last_runtime_s * 1e3:.0f} ms -> {speedup:.0f}x")
 
     print("4) RL exploration of (VDD, Vth, Cox) on benchmark s298…")
-    design = build_benchmark("s298")
-    space = DesignSpace(vdd_scales=(0.85, 1.0, 1.15),
-                        vth_shifts=(-0.05, 0.0, 0.05),
-                        cox_scales=(0.9, 1.1))
-    stco = FastSTCO(design, model, dataset, cells=cells, char_config=cfg,
-                    space=space)
     t0 = time.perf_counter()
-    outcome = stco.run(iterations=10)
-    print(f"   {outcome.iterations} iterations, "
-          f"{outcome.evaluations} distinct corners, "
+    report = run(config, workspace)
+    print(f"   {config.search.iterations} iterations, "
+          f"{report.evaluations} distinct corners, "
           f"{time.perf_counter() - t0:.1f} s total")
-    print(f"   best corner (vdd, vth, cox scale): {outcome.best_corner}")
-    ppa = outcome.best_ppa
+    print(f"   best corner (vdd, vth, cox scale): {report.best_corner}")
+    ppa = report.best_ppa
     print(f"   PPA: {ppa['power_w'] * 1e6:.1f} uW, "
           f"{ppa['performance_hz'] / 1e6:.2f} MHz, "
           f"{ppa['area_um2']:.0f} um^2")

@@ -14,6 +14,11 @@ Networks" (DAC 2024) as a self-contained Python library:
 * :mod:`repro.charlib` — GNN fast cell-library characterization
 * :mod:`repro.eda` — synthesis / place & route / STA / power evaluation flow
 * :mod:`repro.stco` — the RL-driven STCO framework tying it all together
+* :mod:`repro.engine` — parallel evaluation engine with content caching
+* :mod:`repro.search` — multi-objective design-space exploration
+* :mod:`repro.api` — the declarative entry point: typed configs →
+  :class:`~repro.api.workspace.Workspace` → :func:`~repro.api.runner.run`
+  → :class:`~repro.api.report.RunReport`, plus the ``repro`` CLI
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,173 @@
+"""``repro`` — drive the whole pipeline headlessly from JSON configs.
+
+::
+
+    repro run cfg.json --workspace .cache/ws --out report.json
+    repro search cfg.json --optimizer anneal --iterations 30
+    repro campaign cfg.json --workspace .cache/ws
+    repro report report.json
+
+``run`` executes whatever ``mode`` the document declares; ``search`` /
+``campaign`` force that mode (with a few common overrides) so one base
+document can serve several invocations. ``report`` pretty-prints a
+previously saved :class:`~repro.api.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .config import ConfigError, SCHEMA_VERSION, StcoConfig
+from .report import RunReport
+from .workspace import Workspace
+
+__all__ = ["main"]
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("config", help="path to an StcoConfig JSON file")
+    parser.add_argument("--workspace", metavar="DIR", default=None,
+                        help="artifact workspace directory (default: a "
+                             "throwaway temp dir — nothing persists)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="where to write the RunReport JSON "
+                             "(default: <workspace>/reports/report.json "
+                             "when --workspace is given)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="campaign mode: ignore any checkpoint")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the report path")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast STCO framework: config-driven runs "
+                    f"(config schema v{SCHEMA_VERSION})")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="execute a config document (any mode)")
+    _add_run_arguments(run_p)
+
+    search_p = sub.add_parser(
+        "search", help="execute a config forced to mode=search")
+    _add_run_arguments(search_p)
+    search_p.add_argument("--optimizer", default=None,
+                          help="override search.optimizer")
+    search_p.add_argument("--iterations", type=int, default=None,
+                          help="override search.iterations")
+    search_p.add_argument("--seed", type=int, default=None,
+                          help="override search.seed")
+    search_p.add_argument("--benchmark", default=None,
+                          help="override the target benchmark")
+
+    campaign_p = sub.add_parser(
+        "campaign", help="execute a config forced to mode=campaign")
+    _add_run_arguments(campaign_p)
+
+    report_p = sub.add_parser(
+        "report", help="pretty-print a saved RunReport JSON")
+    report_p.add_argument("report", help="path to a RunReport JSON file")
+    return parser
+
+
+def _load_document(path: str) -> dict:
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read config {path!r}: {exc}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            f"config {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ConfigError(f"config {path!r} must be a JSON object")
+    return data
+
+
+def _apply_overrides(data: dict, args) -> dict:
+    if args.command == "search":
+        data["mode"] = "search"
+        search = dict(data.get("search", {}))
+        if args.optimizer is not None:
+            search["optimizer"] = args.optimizer
+        if args.iterations is not None:
+            search["iterations"] = args.iterations
+        if args.seed is not None:
+            search["seed"] = args.seed
+        data["search"] = search
+        if args.benchmark is not None:
+            data["benchmark"] = args.benchmark
+    elif args.command == "campaign":
+        data["mode"] = "campaign"
+    return data
+
+
+def _cmd_run(args) -> int:
+    from .runner import run
+    data = _apply_overrides(_load_document(args.config), args)
+    config = StcoConfig.from_dict(data)
+    workspace = (Workspace(args.workspace) if args.workspace is not None
+                 else None)
+    report = run(config, workspace=workspace,
+                 resume=not args.no_resume)
+    out = args.out
+    if out is None and workspace is not None:
+        out = workspace.reports_dir / "report.json"
+    if out is not None:
+        path = report.save(out)
+        print(str(path))
+    if not args.quiet:
+        _print_report(report)
+    return 0
+
+
+def _print_report(report: RunReport) -> None:
+    from ..utils.tables import print_table
+    print_table(["field", "value"], report.summary_rows(),
+                title=f"repro {report.mode} report")
+    engine = report.cache_stats.get("engine", {})
+    if engine:
+        for tier in ("library_cache", "result_cache"):
+            stats = engine.get(tier, {})
+            mem = stats.get("memory", {})
+            disk = stats.get("disk", {})
+            line = (f"  {tier}: memory {mem.get('hits', 0)} hits / "
+                    f"{mem.get('misses', 0)} misses")
+            if disk:
+                line += (f", disk {disk.get('hits', 0)} hits / "
+                         f"{disk.get('misses', 0)} misses, "
+                         f"{disk.get('evictions', 0)} evictions")
+            print(line)
+
+
+def _cmd_report(args) -> int:
+    try:
+        report = RunReport.load(args.report)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load report {args.report!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    _print_report(report)
+    return 0
+
+
+def main(argv=None) -> int:
+    from ..engine.campaign import CampaignCheckpointError
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_run(args)
+    except (ConfigError, CampaignCheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

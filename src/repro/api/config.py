@@ -1,0 +1,368 @@
+"""Typed, validating, JSON-round-trippable scenario configs.
+
+One :class:`StcoConfig` document describes an entire run of the paper's
+pipeline — technology → GNN characterization → system evaluation →
+optimization — so every scenario is a serializable artifact: write it to
+JSON, version it, hand it to the ``repro`` CLI, and get the same run
+back. The config layer is deliberately dependency-free (stdlib only);
+the :mod:`repro.api.runner` maps it onto live objects.
+
+Guarantees:
+
+* ``from_dict(to_dict(c)) == c`` for every config class (sequences are
+  stored as tuples and serialized as JSON lists);
+* unknown keys raise :class:`ConfigError` naming the offending keys and
+  the accepted ones — a typo never silently becomes a default;
+* the root document carries ``schema_version``; loading a document
+  written under a different schema raises instead of misinterpreting it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import ClassVar
+
+__all__ = ["SCHEMA_VERSION", "ConfigError", "TechnologyConfig",
+           "ModelConfig", "EngineConfig", "SearchConfig", "ScenarioConfig",
+           "StcoConfig", "MODES"]
+
+#: Version of the config document schema. Bumped whenever the meaning of
+#: an existing field changes (adding fields with defaults does not bump).
+SCHEMA_VERSION = 1
+
+#: Run modes the runner dispatches on.
+MODES = ("fast", "traditional", "search", "portfolio", "campaign")
+
+
+class ConfigError(ValueError):
+    """A config document is malformed (unknown key, bad value, wrong
+    schema version)."""
+
+
+def _jsonable(value):
+    """Recursively convert a config value to JSON-native types."""
+    if isinstance(value, _Config):
+        return value.to_dict()
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _tuplify(value):
+    """Recursively convert JSON lists back to tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class _Config:
+    """Shared to_dict / from_dict with unknown-key rejection."""
+
+    #: Per-class nested-field registry: name -> config class, or
+    #: ("tuple", config class) for a tuple of nested configs.
+    _nested: ClassVar[dict] = {}
+
+    def to_dict(self) -> dict:
+        return {f.name: _jsonable(getattr(self, f.name))
+                for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_Config":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"{cls.__name__} expects a mapping, got "
+                f"{type(data).__name__}")
+        names = [f.name for f in fields(cls)]
+        unknown = sorted(set(data) - set(names))
+        if unknown:
+            raise ConfigError(
+                f"unknown key(s) {unknown} for {cls.__name__}; "
+                f"expected a subset of {sorted(names)}")
+        nested = cls._nested
+        kwargs = {}
+        for name in names:
+            if name not in data:
+                continue
+            value = data[name]
+            spec = nested.get(name)
+            if spec is None:
+                kwargs[name] = _tuplify(value)
+            elif isinstance(spec, tuple):
+                kwargs[name] = tuple(spec[1].from_dict(v) for v in value)
+            else:
+                kwargs[name] = spec.from_dict(value)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigError(f"bad {cls.__name__}: {exc}") from None
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class TechnologyConfig(_Config):
+    """The technology + characterization side of the pipeline.
+
+    ``train_corners`` / ``test_corners`` are explicit (vdd_scale,
+    vth_shift, cox_scale) triples; empty tuples select the CI-scale
+    default grids (2^3 train / 3^3 test, see
+    :mod:`repro.charlib.corners`). The remaining fields mirror
+    :class:`repro.charlib.characterizer.CharConfig`.
+    """
+
+    technology: str = "ltps"
+    cells: tuple = ("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1")
+    train_corners: tuple = ()
+    test_corners: tuple = ()
+    slews: tuple = (5e-9, 20e-9)
+    loads: tuple = (10e-15, 40e-15)
+    cap_slew: float = 10e-9
+    seq_slew: float = 8e-9
+    seq_load: float = 20e-15
+    n_bisect: int = 7
+    max_steps: int = 420
+    min_steps: int = 120
+
+    def __post_init__(self):
+        _require(bool(self.cells), "technology.cells must not be empty")
+        _require(bool(self.slews) and bool(self.loads),
+                 "technology.slews/loads must not be empty")
+        for name in ("train_corners", "test_corners"):
+            for c in getattr(self, name):
+                _require(isinstance(c, tuple) and len(c) == 3,
+                         f"technology.{name} entries must be "
+                         f"(vdd_scale, vth_shift, cox_scale) triples")
+
+    def char_config(self):
+        """The :class:`repro.charlib.characterizer.CharConfig` this maps to."""
+        from ..charlib.characterizer import CharConfig
+        return CharConfig(slews=self.slews, loads=self.loads,
+                          cap_slew=self.cap_slew, seq_slew=self.seq_slew,
+                          seq_load=self.seq_load, n_bisect=self.n_bisect,
+                          max_steps=self.max_steps,
+                          min_steps=self.min_steps)
+
+    def corners(self, split: str) -> list:
+        """Corner objects for ``split`` ('train' / 'test')."""
+        from ..charlib.corners import (Corner, ci_test_corners,
+                                       ci_train_corners)
+        spec = (self.train_corners if split == "train"
+                else self.test_corners)
+        if not spec:
+            return (ci_train_corners() if split == "train"
+                    else ci_test_corners())
+        return [Corner(float(v), float(t), float(c)) for v, t, c in spec]
+
+
+@dataclass(frozen=True)
+class ModelConfig(_Config):
+    """Characterization model: the GNN fast path or the SPICE baseline.
+
+    ``kind="gnn"`` trains (or loads from the workspace registry) a
+    :class:`~repro.charlib.model.CellCharGCN`; ``kind="spice"`` selects
+    the full transistor-level characterizer and ignores the
+    architecture / training fields.
+    """
+
+    kind: str = "gnn"
+    hidden: int = 48
+    num_layers: int = 3
+    head_hidden: int = 48
+    model_seed: int = 0
+    epochs: int = 40
+    batch_size: int = 32
+    lr: float = 3e-3
+    grad_clip: float = 2.0
+    train_seed: int = 0
+
+    def __post_init__(self):
+        _require(self.kind in ("gnn", "spice"),
+                 f"model.kind must be 'gnn' or 'spice', got {self.kind!r}")
+        _require(self.epochs > 0, "model.epochs must be positive")
+
+
+@dataclass(frozen=True)
+class EngineConfig(_Config):
+    """Evaluation-engine knobs (maps to :class:`repro.engine.engine.EngineConfig`).
+
+    ``cache_max_bytes`` bounds each on-disk cache tier, evicting
+    least-recently-used entries by mtime (see
+    :class:`repro.engine.cache.DiskCache`). The cache directory itself
+    is owned by the :class:`~repro.api.workspace.Workspace`;
+    ``persist=False`` opts a run out of the disk tier entirely.
+    """
+
+    backend: str = "serial"
+    cache_capacity: int = 512
+    cache_results: bool = True
+    batch_characterization: bool = False
+    max_graphs_per_batch: int = 1024
+    cache_max_bytes: int = 0          # 0 = unbounded
+    persist: bool = True
+
+    def __post_init__(self):
+        _require(self.cache_capacity >= 0,
+                 "engine.cache_capacity must be >= 0")
+        _require(self.cache_max_bytes >= 0,
+                 "engine.cache_max_bytes must be >= 0 (0 = unbounded)")
+
+    def engine_config(self, cache_dir=None):
+        """The :class:`repro.engine.engine.EngineConfig` this maps to."""
+        from ..engine.engine import EngineConfig as _EngineConfig
+        return _EngineConfig(
+            backend=self.backend,
+            cache_capacity=self.cache_capacity,
+            cache_dir=str(cache_dir) if (self.persist
+                                         and cache_dir is not None)
+            else None,
+            cache_results=self.cache_results,
+            batch_characterization=self.batch_characterization,
+            max_graphs_per_batch=self.max_graphs_per_batch,
+            cache_max_bytes=self.cache_max_bytes or None)
+
+
+@dataclass(frozen=True)
+class SearchConfig(_Config):
+    """One exploration: optimizer, budget, scalarisation, design space.
+
+    The space is the discrete (vdd_scale × vth_shift × cox_scale) grid
+    of :class:`repro.stco.space.DesignSpace`; defaults reproduce the
+    paper's 45-point grid. ``members`` names the portfolio entrants
+    (``mode="portfolio"``); empty means the registry default race.
+    """
+
+    optimizer: str = "qlearning"
+    seed: int = 0
+    iterations: int = 12
+    weights: tuple = (1.0, 1.0, 0.5)    # (power, performance, area)
+    vdd_scales: tuple = (0.8, 0.9, 1.0, 1.1, 1.2)
+    vth_shifts: tuple = (-0.1, 0.0, 0.1)
+    cox_scales: tuple = (0.8, 1.0, 1.2)
+    members: tuple = ()
+
+    def __post_init__(self):
+        _require(self.iterations > 0, "search.iterations must be positive")
+        _require(len(self.weights) == 3,
+                 "search.weights must be (power, performance, area)")
+        for name in ("vdd_scales", "vth_shifts", "cox_scales"):
+            _require(bool(getattr(self, name)),
+                     f"search.{name} must not be empty")
+
+    def ppa_weights(self):
+        from ..engine.records import PPAWeights
+        power, performance, area = self.weights
+        return PPAWeights(power=float(power),
+                          performance=float(performance),
+                          area=float(area))
+
+    def space(self):
+        from ..stco.space import DesignSpace
+        return DesignSpace(vdd_scales=self.vdd_scales,
+                           vth_shifts=self.vth_shifts,
+                           cox_scales=self.cox_scales)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig(_Config):
+    """One campaign scenario (maps to :class:`repro.engine.campaign.Scenario`)."""
+
+    benchmark: str = "s298"
+    agent: str = "qlearning"
+    seed: int = 0
+    iterations: int = 12
+    weights: tuple = (1.0, 1.0, 0.5)
+
+    def __post_init__(self):
+        _require(self.iterations > 0,
+                 "scenario.iterations must be positive")
+        _require(len(self.weights) == 3,
+                 "scenario.weights must be (power, performance, area)")
+
+    def scenario(self):
+        from ..engine.campaign import Scenario
+        return Scenario(benchmark=self.benchmark, agent=self.agent,
+                        seed=self.seed, iterations=self.iterations,
+                        weights=tuple(float(w) for w in self.weights))
+
+
+@dataclass(frozen=True)
+class StcoConfig(_Config):
+    """The root document: one complete, serializable run description.
+
+    ``mode`` selects what :func:`repro.api.runner.run` executes:
+
+    * ``"fast"`` — the paper's GNN-accelerated STCO on ``benchmark``;
+    * ``"traditional"`` — the SPICE-characterized baseline;
+    * ``"search"`` — a single instrumented
+      :class:`~repro.search.driver.SearchRun` with any registry
+      optimizer (builder chosen by ``model.kind``);
+    * ``"portfolio"`` — a :class:`~repro.search.portfolio.PortfolioSearch`
+      race over ``search.members``;
+    * ``"campaign"`` — a full checkpointed
+      :class:`~repro.engine.campaign.Campaign` over ``scenarios``.
+    """
+
+    _nested: ClassVar[dict] = {
+        "technology": TechnologyConfig, "model": ModelConfig,
+        "engine": EngineConfig, "search": SearchConfig,
+        "scenarios": ("tuple", ScenarioConfig)}
+
+    schema_version: int = SCHEMA_VERSION
+    mode: str = "fast"
+    benchmark: str = "s298"
+    technology: TechnologyConfig = field(default_factory=TechnologyConfig)
+    model: ModelConfig = field(default_factory=ModelConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    search: SearchConfig = field(default_factory=SearchConfig)
+    scenarios: tuple = ()
+    checkpoint: str = ""             # campaign checkpoint file ("" = off)
+    prefetch: bool = False
+
+    def __post_init__(self):
+        _require(self.schema_version == SCHEMA_VERSION,
+                 f"config schema_version {self.schema_version} does not "
+                 f"match this library's schema {SCHEMA_VERSION}")
+        _require(self.mode in MODES,
+                 f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.mode == "campaign":
+            _require(bool(self.scenarios),
+                     "campaign mode needs at least one scenario")
+        for s in self.scenarios:
+            _require(isinstance(s, ScenarioConfig),
+                     "scenarios entries must be ScenarioConfig mappings")
+
+    # -- JSON round-trip ---------------------------------------------------
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StcoConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"config is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "StcoConfig":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def builder_kind(self) -> str:
+        """Which characterization path this run uses."""
+        if self.mode == "fast":
+            return "gnn"
+        if self.mode == "traditional":
+            return "spice"
+        return self.model.kind

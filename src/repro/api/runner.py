@@ -1,0 +1,206 @@
+"""run(config, workspace): one dispatcher for the whole pipeline.
+
+Every front door funnels through here:
+
+* ``mode="fast"`` / ``"traditional"`` — the paper's STCO loop (GNN or
+  SPICE characterization) on one benchmark;
+* ``mode="search"`` — a single instrumented search with any registry
+  optimizer;
+* ``mode="portfolio"`` — a racing portfolio of optimizers;
+* ``mode="campaign"`` — a checkpointed multi-scenario sweep.
+
+All modes return the same normalized :class:`~repro.api.report.RunReport`.
+The execution primitive, :func:`execute_search`, is also what the legacy
+entry points (:class:`repro.stco.framework.FastSTCO`,
+:class:`repro.engine.campaign.Campaign`) delegate to — one place owns
+the ask → engine → tell loop and its runtime accounting.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from .config import ConfigError, ModelConfig, StcoConfig
+from .report import RunReport
+from .workspace import Workspace
+
+__all__ = ["SearchExecution", "execute_search", "run"]
+
+
+@dataclass
+class SearchExecution:
+    """One search's :class:`~repro.search.driver.SearchResult` plus the
+    runtime split every report needs (fresh evaluations only — cache
+    hits carry the *original* run's timings)."""
+
+    result: object
+    runtime_s: float
+    charlib_s: float
+    flow_s: float
+
+
+def execute_search(netlist, optimizer, engine, weights, iterations: int,
+                   archive=None, hv_reference=None) -> SearchExecution:
+    """Drive one optimizer against one engine and account the cost."""
+    from ..search.driver import SearchRun
+    t0 = time.perf_counter()
+    search = SearchRun(netlist, optimizer, engine, weights=weights,
+                       archive=archive, hv_reference=hv_reference)
+    result = search.run(budget=iterations)
+    runtime = time.perf_counter() - t0
+    return SearchExecution(
+        result=result,
+        runtime_s=runtime,
+        charlib_s=sum(r.library_runtime_s for r in result.records
+                      if not r.cached),
+        flow_s=sum(r.flow_runtime_s for r in result.records
+                   if not r.cached))
+
+
+def _coerce_config(config) -> StcoConfig:
+    if isinstance(config, StcoConfig):
+        return config
+    if isinstance(config, dict):
+        return StcoConfig.from_dict(config)
+    if isinstance(config, (str, Path)):
+        return StcoConfig.load(config)
+    raise ConfigError(
+        f"run() expects an StcoConfig, a mapping, or a path to a JSON "
+        f"document; got {type(config).__name__}")
+
+
+def _effective_model(config: StcoConfig) -> ModelConfig:
+    """``mode`` overrides ``model.kind`` for the two STCO modes."""
+    kind = config.builder_kind()
+    if config.model.kind == kind:
+        return config.model
+    return replace(config.model, kind=kind)
+
+
+def _make_optimizer(config: StcoConfig, space, weights, builder):
+    from ..search.optimizers import make_optimizer
+    from ..search.portfolio import PortfolioSearch
+    search = config.search
+    if config.mode != "portfolio":
+        return make_optimizer(search.optimizer, space, seed=search.seed,
+                              weights=weights, builder=builder)
+    if not search.members:
+        return make_optimizer("portfolio", space, seed=search.seed,
+                              weights=weights, builder=builder)
+    members = [(name, make_optimizer(name, space, seed=search.seed + i,
+                                     weights=weights, builder=builder))
+               for i, name in enumerate(search.members)]
+    return PortfolioSearch(members)
+
+
+def _cache_stats(engine, workspace: Workspace) -> dict:
+    return {"engine": engine.stats(), "workspace": workspace.stats()}
+
+
+def _run_single(config: StcoConfig, workspace: Workspace) -> RunReport:
+    from ..eda.benchmarks import build_benchmark
+    model = _effective_model(config)
+    engine = workspace.engine(config.technology, model, config.engine)
+    space = config.search.space()
+    weights = config.search.ppa_weights()
+    optimizer = _make_optimizer(config, space, weights, engine.builder)
+    netlist = build_benchmark(config.benchmark)
+    execution = execute_search(netlist, optimizer, engine, weights,
+                               config.search.iterations)
+    result = execution.result
+    return RunReport(
+        mode=config.mode,
+        design=config.benchmark,
+        optimizer=result.optimizer,
+        best_corner=result.best_corner,
+        best_reward=result.best_reward,
+        best_ppa=result.best_record.result.ppa(),
+        evaluations=result.evaluations,
+        engine_misses=result.engine_misses,
+        characterizations=result.characterizations,
+        evaluations_to_optimum=result.evaluations_to_optimum,
+        pareto_front=result.pareto_front,
+        hypervolume=result.hypervolume,
+        rewards=[float(r) for r in result.rewards],
+        runtime={"total_s": execution.runtime_s,
+                 "charlib_s": execution.charlib_s,
+                 "flow_s": execution.flow_s},
+        cache_stats=_cache_stats(engine, workspace),
+        config=config.to_dict())
+
+
+def _run_campaign(config: StcoConfig, workspace: Workspace,
+                  resume: bool) -> RunReport:
+    from ..engine.campaign import Campaign
+    model = _effective_model(config)
+    engine = workspace.engine(config.technology, model, config.engine)
+    checkpoint = None
+    if config.checkpoint:
+        checkpoint = Path(config.checkpoint)
+        if not checkpoint.is_absolute():
+            # Relative checkpoints live with the workspace, so the same
+            # document resumes wherever the artifacts are.
+            checkpoint = workspace.root / checkpoint
+    # The workspace memoizes engines, so the lifetime counters may carry
+    # earlier runs' work; report this run's deltas.
+    misses0 = engine.flow_evaluations
+    chars0 = engine.characterizations
+    with warnings.catch_warnings():
+        # The runner *is* the new API; constructing the legacy Campaign
+        # internally must not surface its deprecation warning.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        campaign = Campaign(
+            engine.builder, [s.scenario() for s in config.scenarios],
+            space=config.search.space(), engine=engine,
+            checkpoint_path=checkpoint,
+            prefetch=config.prefetch)
+    report = campaign.run(resume=resume)
+    best = report.best()
+    return RunReport(
+        mode=config.mode,
+        optimizer=best.scenario.agent if best is not None else "",
+        best_corner=best.best_corner if best is not None else (),
+        best_reward=best.best_reward if best is not None else 0.0,
+        best_ppa=dict(best.best_ppa) if best is not None else {},
+        evaluations=sum(r.evaluations for r in report.results),
+        engine_misses=engine.flow_evaluations - misses0,
+        characterizations=engine.characterizations - chars0,
+        pareto_fronts=report.pareto_fronts(),
+        hypervolume=max((r.hypervolume for r in report.results),
+                        default=0.0),
+        scenarios=[dict(r.to_dict(), resumed=r.resumed)
+                   for r in report.results],
+        resumed_scenarios=report.resumed_scenarios,
+        runtime={"total_s": report.total_runtime_s,
+                 "charlib_s": sum(r.charlib_s for r in report.results),
+                 "flow_s": sum(r.flow_s for r in report.results)},
+        cache_stats=_cache_stats(engine, workspace),
+        config=config.to_dict())
+
+
+def run(config, workspace: Workspace | None = None,
+        resume: bool = True) -> RunReport:
+    """Execute one config document end to end.
+
+    Parameters
+    ----------
+    config:
+        An :class:`~repro.api.config.StcoConfig`, a plain mapping, or a
+        path to a JSON document.
+    workspace:
+        The artifact store to build against. ``None`` runs in a
+        throwaway temp workspace (nothing persists) — pass a real
+        :class:`~repro.api.workspace.Workspace` to make the second run
+        free.
+    resume:
+        Campaign mode only: honor an existing checkpoint.
+    """
+    config = _coerce_config(config)
+    workspace = workspace if workspace is not None else \
+        Workspace.ephemeral()
+    if config.mode == "campaign":
+        return _run_campaign(config, workspace, resume)
+    return _run_single(config, workspace)

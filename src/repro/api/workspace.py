@@ -1,0 +1,229 @@
+"""Workspace: the long-lived, on-disk home of every expensive artifact.
+
+The pipeline's costly state — characterization measurement rows, trained
+:class:`~repro.charlib.model.CellCharGCN` weights, the evaluation
+engine's content-addressed corner caches — outlives any single run. A
+:class:`Workspace` owns one directory tree for all of it:
+
+``datasets/``
+    Measurement-row pickles (managed by
+    :func:`repro.charlib.dataset.build_char_dataset`'s own content key).
+``models/``
+    Trained GNN weights as ``.npz``, keyed by a stable hash of the
+    (technology, model) config pair; the registry records the resulting
+    :meth:`GNNLibraryBuilder.fingerprint` so cached engine entries can
+    be traced back to the exact weights that produced them.
+``engine/``
+    The engine's disk cache (library + result tiers; entries are keyed
+    by builder fingerprint, so many models share one directory safely).
+``reports/``
+    Default output location for CLI run reports.
+``registry.json``
+    Index of every artifact this workspace has produced.
+
+Point two runs at the same workspace and the second retrains nothing
+and re-characterizes nothing — in the same process (in-memory
+memoization) or across processes (the on-disk artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from .config import EngineConfig, ModelConfig, TechnologyConfig
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Artifact registry + factory for datasets, models and engines."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.datasets_dir = self.root / "datasets"
+        self.models_dir = self.root / "models"
+        self.engine_dir = self.root / "engine"
+        self.reports_dir = self.root / "reports"
+        for d in (self.datasets_dir, self.models_dir, self.engine_dir,
+                  self.reports_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self.registry_path = self.root / "registry.json"
+        self._datasets: dict = {}
+        self._models: dict = {}
+        self._builders: dict = {}
+        self._engines: dict = {}
+        self._tmp = None                # keeps ephemeral roots alive
+        self.counters = {"datasets_built": 0, "datasets_loaded": 0,
+                         "models_trained": 0, "models_loaded": 0,
+                         "engines_created": 0, "engines_reused": 0}
+
+    @classmethod
+    def ephemeral(cls) -> "Workspace":
+        """A throwaway workspace in a temp dir (deleted with the object)."""
+        tmp = tempfile.TemporaryDirectory(prefix="repro-ws-")
+        ws = cls(tmp.name)
+        ws._tmp = tmp
+        return ws
+
+    def __repr__(self):
+        return f"Workspace({str(self.root)!r})"
+
+    # -- registry ----------------------------------------------------------
+    def registry(self) -> dict:
+        if not self.registry_path.exists():
+            return {}
+        try:
+            with open(self.registry_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def _register(self, key: str, entry: dict) -> None:
+        registry = self.registry()
+        registry[key] = dict(entry, created_s=time.time())
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(registry, fh, indent=1, sort_keys=True)
+        os.replace(tmp, self.registry_path)
+
+    # -- datasets ----------------------------------------------------------
+    def _dataset_key(self, tech: TechnologyConfig) -> str:
+        from ..engine.hashing import stable_hash
+        return stable_hash({"kind": "dataset",
+                            "technology": tech.to_dict()})
+
+    def dataset(self, tech: TechnologyConfig):
+        """The characterization dataset for ``tech`` (measured once)."""
+        from ..charlib.dataset import build_char_dataset
+        key = self._dataset_key(tech)
+        if key in self._datasets:
+            return self._datasets[key]
+        before = set(self.datasets_dir.glob("*.pkl"))
+        dataset = build_char_dataset(
+            tech.technology, cells=tech.cells,
+            train_corners=tech.corners("train"),
+            test_corners=tech.corners("test"),
+            config=tech.char_config(), cache_dir=self.datasets_dir)
+        fresh = set(self.datasets_dir.glob("*.pkl")) - before
+        if fresh:
+            self.counters["datasets_built"] += 1
+            self._register(key, {"kind": "dataset",
+                                 "technology": tech.technology,
+                                 "path": sorted(p.name for p in fresh)[0]})
+        else:
+            self.counters["datasets_loaded"] += 1
+        self._datasets[key] = dataset
+        return dataset
+
+    # -- models ------------------------------------------------------------
+    def _model_key(self, tech: TechnologyConfig,
+                   model: ModelConfig) -> str:
+        from ..engine.hashing import stable_hash
+        return stable_hash({"kind": "model", "technology": tech.to_dict(),
+                            "model": model.to_dict()})
+
+    def model(self, tech: TechnologyConfig, model: ModelConfig):
+        """A trained characterization GNN — from the registry when one
+        with this exact (technology, model) config already exists."""
+        if model.kind != "gnn":
+            raise ValueError(
+                f"model.kind={model.kind!r} has no trained model; only "
+                f"'gnn' models are workspace artifacts")
+        key = self._model_key(tech, model)
+        if key in self._models:
+            return self._models[key]
+        from ..charlib.model import (CellCharGCN, CellCharGCNConfig,
+                                     CharTrainConfig, train_char_model)
+        from ..nn.serialization import load_model, save_model
+        dataset = self.dataset(tech)
+        arch = CellCharGCNConfig(
+            hidden=model.hidden, num_layers=model.num_layers,
+            head_hidden=model.head_hidden,
+            metrics=tuple(dataset.metrics_present()),
+            seed=model.model_seed)
+        path = self.models_dir / f"{key}.npz"
+        if path.exists():
+            net = CellCharGCN(arch)
+            load_model(net, path)
+            self.counters["models_loaded"] += 1
+        else:
+            net = train_char_model(
+                dataset, model_config=arch,
+                train_config=CharTrainConfig(
+                    epochs=model.epochs, batch_size=model.batch_size,
+                    lr=model.lr, grad_clip=model.grad_clip,
+                    seed=model.train_seed))
+            save_model(net, path,
+                       meta={"technology": tech.technology,
+                             "metrics": list(arch.metrics)})
+            self.counters["models_trained"] += 1
+            # Memoize the builder now so registration and later
+            # engine keying share one fingerprint (weights-hash) pass.
+            builder = self._builder_for(tech, net, dataset)
+            self._builders[key] = builder
+            self._register(key, {
+                "kind": "model", "technology": tech.technology,
+                "path": path.name,
+                "fingerprint": builder.fingerprint()})
+        self._models[key] = net
+        return net
+
+    # -- builders ----------------------------------------------------------
+    def _builder_for(self, tech: TechnologyConfig, net, dataset):
+        from ..charlib.fastchar import GNNLibraryBuilder
+        return GNNLibraryBuilder(net, dataset, cells=tech.cells,
+                                 config=tech.char_config())
+
+    def builder(self, tech: TechnologyConfig,
+                model: ModelConfig | None = None):
+        """The library builder for this configuration (GNN or SPICE)."""
+        model = model if model is not None else ModelConfig()
+        if model.kind == "spice":
+            from ..charlib.fastchar import SpiceLibraryBuilder
+            return SpiceLibraryBuilder(tech.technology, cells=tech.cells,
+                                       config=tech.char_config())
+        key = self._model_key(tech, model)
+        if key not in self._builders:
+            net = self.model(tech, model)
+            self._builders[key] = self._builder_for(tech, net,
+                                                    self.dataset(tech))
+        return self._builders[key]
+
+    # -- engines -----------------------------------------------------------
+    def engine(self, tech: TechnologyConfig,
+               model: ModelConfig | None = None,
+               engine: EngineConfig | None = None):
+        """A shared :class:`~repro.engine.engine.EvaluationEngine`.
+
+        Engines are memoized per (builder fingerprint, engine config),
+        so every run in this process against the same configuration
+        reuses one warm engine; the disk tier under ``engine/`` extends
+        that across processes.
+        """
+        from ..engine.engine import EvaluationEngine
+        from ..engine.hashing import stable_hash
+        engine = engine if engine is not None else EngineConfig()
+        builder = self.builder(tech, model)
+        key = stable_hash({"builder": builder.fingerprint(),
+                           "engine": engine.to_dict()})
+        if key in self._engines:
+            self.counters["engines_reused"] += 1
+            return self._engines[key]
+        self.counters["engines_created"] += 1
+        self._engines[key] = EvaluationEngine(
+            builder, engine.engine_config(cache_dir=self.engine_dir))
+        return self._engines[key]
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> dict:
+        registry = self.registry()
+        kinds: dict = {}
+        for entry in registry.values():
+            kinds[entry.get("kind", "?")] = \
+                kinds.get(entry.get("kind", "?"), 0) + 1
+        return {"root": str(self.root), "artifacts": kinds,
+                **self.counters}

@@ -24,7 +24,7 @@ from .executor import (SerialBackend, ThreadPoolBackend, ProcessPoolBackend,
 from .batching import BatchedGNNCharacterizer
 from .engine import EngineConfig, EvaluationEngine
 from .campaign import (Scenario, ScenarioResult, CampaignReport, Campaign,
-                       sweep_scenarios)
+                       CampaignCheckpointError, sweep_scenarios)
 
 __all__ = [
     "PPAWeights", "EvaluationRecord",
@@ -36,5 +36,5 @@ __all__ = [
     "BatchedGNNCharacterizer",
     "EngineConfig", "EvaluationEngine",
     "Scenario", "ScenarioResult", "CampaignReport", "Campaign",
-    "sweep_scenarios",
+    "CampaignCheckpointError", "sweep_scenarios",
 ]

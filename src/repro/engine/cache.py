@@ -83,11 +83,23 @@ class LRUCache:
 
 
 class DiskCache:
-    """Pickle-per-entry persistent cache under one directory."""
+    """Pickle-per-entry persistent cache under one directory.
 
-    def __init__(self, directory: str | Path):
+    ``max_bytes`` bounds the total size of the directory's entries:
+    after every write, least-recently-used entries (by mtime — reads
+    touch their entry, so a hot corner never ages out under a cold
+    sweep) are deleted until the tier fits. ``None`` keeps the
+    historical unbounded behavior.
+    """
+
+    def __init__(self, directory: str | Path,
+                 max_bytes: int | None = None):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive or None, "
+                             f"got {max_bytes}")
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
 
     def path(self, digest: str) -> Path:
@@ -111,6 +123,12 @@ class DiskCache:
             # just re-characterizes and overwrites it.
             self.stats.misses += 1
             return default
+        if self.max_bytes is not None:
+            # Touch the entry so size eviction is LRU, not FIFO.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         self.stats.hits += 1
         return value
 
@@ -127,6 +145,47 @@ class DiskCache:
                 pass
             raise
         self.stats.puts += 1
+        if self.max_bytes is not None:
+            self._evict_to_fit(keep=self.path(digest))
+
+    def size_bytes(self) -> int:
+        """Total bytes held by this tier's entries."""
+        total = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _evict_to_fit(self, keep: Path | None = None) -> None:
+        """Delete oldest-mtime entries until the tier fits ``max_bytes``.
+
+        The just-written entry (``keep``) is never evicted — even when a
+        single entry exceeds the budget, the cache must still serve it
+        for the current run; it becomes eviction fodder on the next put.
+        """
+        entries = []
+        for path in self.directory.glob("*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                return
 
     def clear(self) -> None:
         for path in self.directory.glob("*.pkl"):
@@ -144,9 +203,11 @@ class EvaluationCache:
     """
 
     def __init__(self, capacity: int = 256,
-                 directory: str | Path | None = None):
+                 directory: str | Path | None = None,
+                 max_bytes: int | None = None):
         self.memory = LRUCache(capacity)
-        self.disk = DiskCache(directory) if directory is not None else None
+        self.disk = (DiskCache(directory, max_bytes=max_bytes)
+                     if directory is not None else None)
 
     def get(self, key: EvalKey, default=None):
         digest = key.digest if isinstance(key, EvalKey) else key

@@ -9,10 +9,20 @@ Progress is checkpointed to JSON after every scenario (atomic replace),
 keyed by a content hash of the campaign configuration — rerunning the
 same campaign resumes where it stopped, while any change to the builder,
 space or scenario list invalidates the checkpoint instead of silently
-mixing results.
+mixing results. Checkpoints additionally record the config schema
+version (:data:`repro.api.config.SCHEMA_VERSION`); a checkpoint written
+under a *different* schema — where the same scenario fields may mean
+different things — raises :class:`CampaignCheckpointError` instead of
+being silently reinterpreted.
 
 The STCO layer is imported lazily to keep the package import DAG acyclic
 (``repro.stco`` itself builds on :mod:`repro.engine`).
+
+.. deprecated::
+    Construct campaigns declaratively: a ``mode="campaign"``
+    :class:`repro.api.StcoConfig` run through :func:`repro.api.run`
+    builds this class internally. Direct construction keeps working but
+    emits a ``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ import json
 import os
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -29,9 +40,13 @@ from .hashing import stable_hash
 from .records import PPAWeights
 
 __all__ = ["Scenario", "ScenarioResult", "CampaignReport", "Campaign",
-           "sweep_scenarios"]
+           "CampaignCheckpointError", "sweep_scenarios"]
 
 _CHECKPOINT_VERSION = 1
+
+
+class CampaignCheckpointError(RuntimeError):
+    """A checkpoint exists but cannot be safely resumed."""
 
 
 @dataclass(frozen=True)
@@ -237,6 +252,13 @@ class Campaign:
                  engine_config: EngineConfig | None = None,
                  checkpoint_path: str | Path | None = None,
                  prefetch: bool = False):
+        warnings.warn(
+            "Campaign is superseded by the declarative API: a "
+            "mode='campaign' repro.api.StcoConfig run through "
+            "repro.api.run(config, workspace) builds this class "
+            "internally. Direct construction keeps working "
+            "(bit-identical under fixed seeds).",
+            DeprecationWarning, stacklevel=2)
         self.builder = builder
         self.scenarios = list(scenarios)
         self.space = space
@@ -284,6 +306,21 @@ class Campaign:
                 data = json.load(fh)
         except (OSError, json.JSONDecodeError):
             return {}
+        from ..api.config import SCHEMA_VERSION
+        found = data.get("config_schema", SCHEMA_VERSION)
+        if found != SCHEMA_VERSION:
+            # A schema change can alter what the recorded scenario
+            # fields *mean*; resuming would mix results computed under
+            # different interpretations. Refuse loudly — a stale
+            # builder/space fingerprint (below) merely re-runs, because
+            # there the stored rows are simply unusable, not ambiguous.
+            raise CampaignCheckpointError(
+                f"checkpoint {path} was written under config schema "
+                f"{found}, but this library uses schema "
+                f"{SCHEMA_VERSION}; delete the checkpoint, or disable "
+                f"resuming (run(resume=False) / `repro run "
+                f"--no-resume`), to start fresh instead of mixing "
+                f"results across schemas")
         if (data.get("version") != _CHECKPOINT_VERSION
                 or data.get("campaign") != self.fingerprint()):
             return {}
@@ -293,8 +330,10 @@ class Campaign:
         path = self.checkpoint_path
         if path is None:
             return
+        from ..api.config import SCHEMA_VERSION
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": _CHECKPOINT_VERSION,
+                   "config_schema": SCHEMA_VERSION,
                    "campaign": self.fingerprint(),
                    "completed": completed}
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -311,28 +350,23 @@ class Campaign:
                               builder=self.builder)
 
     def _run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        from ..api.runner import execute_search
         from ..eda.benchmarks import build_benchmark
-        from ..search.driver import SearchRun
         netlist = build_benchmark(scenario.benchmark)
         optimizer = self._make_optimizer(scenario)
-        search = SearchRun(netlist, optimizer, self.engine,
-                           weights=scenario.ppa_weights())
-        t0 = time.perf_counter()
-        result = search.run(budget=scenario.iterations)
-        runtime = time.perf_counter() - t0
+        execution = execute_search(netlist, optimizer, self.engine,
+                                   scenario.ppa_weights(),
+                                   scenario.iterations)
+        result = execution.result
         return ScenarioResult(
             scenario=scenario,
             best_corner=result.best_corner,
             best_reward=result.best_reward,
             best_ppa=result.best_record.result.ppa(),
             evaluations=result.evaluations,
-            runtime_s=runtime,
-            # Cache-hit records carry the *original* run's timings; only
-            # freshly evaluated records represent time spent here.
-            charlib_s=sum(r.library_runtime_s for r in result.records
-                          if not r.cached),
-            flow_s=sum(r.flow_runtime_s for r in result.records
-                       if not r.cached),
+            runtime_s=execution.runtime_s,
+            charlib_s=execution.charlib_s,
+            flow_s=execution.flow_s,
             history_rewards=list(result.rewards),
             pareto_front=result.pareto_front,
             hypervolume=result.hypervolume,

@@ -45,6 +45,7 @@ class EngineConfig:
     cache_results: bool = True          # cache full evaluation records
     batch_characterization: bool = False
     max_graphs_per_batch: int = 1024
+    cache_max_bytes: int | None = None  # per disk tier; None = unbounded
 
 
 def _build_library_task(payload):
@@ -84,10 +85,13 @@ class EvaluationEngine:
         self.backend = get_backend(self.config.backend)
         cap = self.config.cache_capacity
         root = self.config.cache_dir
+        max_bytes = self.config.cache_max_bytes
         self.library_cache = EvaluationCache(
-            cap, None if root is None else f"{root}/libraries")
+            cap, None if root is None else f"{root}/libraries",
+            max_bytes=max_bytes)
         self.result_cache = EvaluationCache(
-            cap, None if root is None else f"{root}/results")
+            cap, None if root is None else f"{root}/results",
+            max_bytes=max_bytes)
         self.characterizations = 0      # corners actually characterized
         self.flow_evaluations = 0       # system flows actually run
         self.timing = TimingRecord()

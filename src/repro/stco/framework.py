@@ -21,11 +21,21 @@ behavior bit-for-bit; pass ``backend="process"``, ``cache_dir=...`` or
 ``engine`` — to parallelize, persist, and amortize characterization
 across campaigns. Multi-scenario sweeps live in
 :class:`repro.engine.campaign.Campaign`.
+
+.. deprecated::
+    ``FastSTCO`` / ``TraditionalSTCO`` are now thin shims over
+    :func:`repro.api.runner.execute_search` — the same loop the
+    declarative entry point :func:`repro.api.run` drives. New code
+    should describe the run as an :class:`repro.api.StcoConfig` and
+    call ``repro.api.run(config, workspace)``; these classes keep
+    working (bit-identical under fixed seeds) but emit a
+    ``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from ..charlib.dataset import CharDataset, DEFAULT_CI_CELLS
@@ -34,13 +44,21 @@ from ..charlib.characterizer import CharConfig
 from ..charlib.model import CellCharGCN
 from ..eda.netlist import GateNetlist
 from ..engine.engine import EngineConfig, EvaluationEngine
-from ..search.driver import SearchRun
 from ..search.optimizers import Optimizer, make_optimizer
 from .env import PPAWeights, STCOEnvironment
 from .runtime import IterationTiming, RuntimeLedger
 from .space import DesignSpace, default_space
 
 __all__ = ["STCOOutcome", "FastSTCO", "TraditionalSTCO"]
+
+
+def _warn_deprecated(cls_name: str) -> None:
+    warnings.warn(
+        f"{cls_name} is superseded by the declarative API: describe the "
+        f"run as a repro.api.StcoConfig and call repro.api.run(config, "
+        f"workspace). {cls_name} keeps working (bit-identical under "
+        f"fixed seeds) but will not grow new features.",
+        DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -104,10 +122,13 @@ class _CampaignBase:
         self.ledger = RuntimeLedger()
 
     def run(self, iterations: int = 12) -> STCOOutcome:
+        # The api runner owns the ask → engine → tell loop; this class
+        # only adapts its result to the historical outcome shape.
+        from ..api.runner import execute_search
         start = time.perf_counter()
-        search = SearchRun(self.netlist, self.optimizer, self.engine,
-                           weights=self.weights)
-        result = search.run(budget=iterations)
+        execution = execute_search(self.netlist, self.optimizer,
+                                   self.engine, self.weights, iterations)
+        result = execution.result
         total = time.perf_counter() - start
         # Mirror the run into the environment, which remains the
         # user-facing observability surface (env.history / env.best()).
@@ -164,6 +185,7 @@ class FastSTCO(_CampaignBase):
                  backend: str = "serial", cache_dir=None,
                  batch_characterization: bool = False,
                  optimizer: str | Optimizer = "qlearning"):
+        _warn_deprecated("FastSTCO")
         _check_engine_kwargs(engine, backend, cache_dir,
                              batch_characterization)
         if engine is not None:
@@ -201,6 +223,7 @@ class TraditionalSTCO(_CampaignBase):
                  backend: str = "serial", cache_dir=None,
                  batch_characterization: bool = False,
                  optimizer: str | Optimizer = "qlearning"):
+        _warn_deprecated("TraditionalSTCO")
         _check_engine_kwargs(engine, backend, cache_dir,
                              batch_characterization)
         if engine is not None:

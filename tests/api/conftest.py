@@ -1,0 +1,39 @@
+"""Shared fixtures for the api-layer tests.
+
+One session workspace (tiny dataset + GNN trained once) backs the
+runner / workspace / CLI tests, mirroring the engine test fixtures'
+CI-scale configuration.
+"""
+
+import pytest
+
+from repro.api import (ModelConfig, SearchConfig, StcoConfig,
+                       TechnologyConfig, Workspace)
+
+TECH = TechnologyConfig(
+    cells=("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"),
+    train_corners=((1.0, 0.0, 1.0), (0.9, 0.05, 1.1)),
+    test_corners=((0.95, 0.02, 1.05),),
+    slews=(8e-9,), loads=(15e-15,), n_bisect=3, max_steps=200)
+
+MODEL = ModelConfig(epochs=10)
+
+SEARCH = SearchConfig(optimizer="qlearning", seed=0, iterations=6,
+                      vdd_scales=(0.9, 1.0, 1.1), vth_shifts=(0.0,),
+                      cox_scales=(0.9, 1.1))
+
+
+@pytest.fixture(scope="session")
+def ws_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("api_workspace")
+
+
+@pytest.fixture(scope="session")
+def workspace(ws_root):
+    return Workspace(ws_root)
+
+
+@pytest.fixture(scope="session")
+def base_config():
+    return StcoConfig(mode="search", benchmark="s298", technology=TECH,
+                      model=MODEL, search=SEARCH)

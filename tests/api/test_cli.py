@@ -1,0 +1,122 @@
+"""CLI: run / search / campaign / report subcommands."""
+
+import json
+
+import pytest
+
+from repro.api import RunReport, ScenarioConfig, StcoConfig
+from repro.api.cli import main
+from tests.api.conftest import MODEL, SEARCH, TECH
+
+
+@pytest.fixture(scope="module")
+def config_path(tmp_path_factory, workspace):
+    # Warm the session workspace once so CLI runs stay fast.
+    from repro.api import run
+    config = StcoConfig(mode="search", benchmark="s298",
+                        technology=TECH, model=MODEL, search=SEARCH)
+    run(config, workspace)
+    path = tmp_path_factory.mktemp("cli") / "cfg.json"
+    config.save(path)
+    return path
+
+
+class TestRun:
+    def test_run_writes_report(self, config_path, ws_root, tmp_path,
+                               capsys):
+        out = tmp_path / "report.json"
+        code = main(["run", str(config_path), "--workspace",
+                     str(ws_root), "--out", str(out)])
+        assert code == 0
+        report = RunReport.load(out)
+        assert report.mode == "search"
+        assert report.cache_stats["workspace"]["models_trained"] == 0
+        assert "best corner" in capsys.readouterr().out
+
+    def test_run_default_out_under_workspace(self, config_path, ws_root,
+                                             capsys):
+        code = main(["run", str(config_path), "--workspace",
+                     str(ws_root), "--quiet"])
+        assert code == 0
+        printed = capsys.readouterr().out.strip()
+        assert printed.endswith("report.json")
+        assert json.loads(open(printed).read())["mode"] == "search"
+
+    def test_missing_config_errors(self, capsys):
+        assert main(["run", "/nonexistent/cfg.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_config_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"mode": "warp"}')
+        assert main(["run", str(path)]) == 2
+        assert "mode" in capsys.readouterr().err
+
+
+class TestSearchOverrides:
+    def test_search_forces_mode_and_overrides(self, ws_root, tmp_path,
+                                              capsys):
+        base = StcoConfig(mode="fast", benchmark="s298",
+                          technology=TECH, model=MODEL, search=SEARCH)
+        path = tmp_path / "cfg.json"
+        base.save(path)
+        out = tmp_path / "report.json"
+        code = main(["search", str(path), "--workspace", str(ws_root),
+                     "--out", str(out), "--optimizer", "random",
+                     "--iterations", "4", "--quiet"])
+        assert code == 0
+        report = RunReport.load(out)
+        assert report.mode == "search"
+        assert report.optimizer == "random"
+        assert len(report.rewards) == 4
+
+
+class TestCampaign:
+    def test_campaign_subcommand(self, ws_root, tmp_path, capsys):
+        config = StcoConfig(
+            mode="campaign", technology=TECH, model=MODEL, search=SEARCH,
+            scenarios=(ScenarioConfig(benchmark="s298", agent="random",
+                                      iterations=2),))
+        path = tmp_path / "cfg.json"
+        config.save(path)
+        out = tmp_path / "report.json"
+        code = main(["campaign", str(path), "--workspace", str(ws_root),
+                     "--out", str(out), "--quiet"])
+        assert code == 0
+        assert RunReport.load(out).mode == "campaign"
+
+
+class TestCheckpointErrors:
+    def test_foreign_schema_checkpoint_is_clean_error(self, ws_root,
+                                                      tmp_path, capsys):
+        config = StcoConfig(
+            mode="campaign", technology=TECH, model=MODEL, search=SEARCH,
+            checkpoint=str(tmp_path / "ckpt.json"),
+            scenarios=(ScenarioConfig(benchmark="s298", agent="random",
+                                      iterations=2),))
+        path = tmp_path / "cfg.json"
+        config.save(path)
+        assert main(["run", str(path), "--workspace", str(ws_root),
+                     "--quiet"]) == 0
+        ckpt = json.loads((tmp_path / "ckpt.json").read_text())
+        ckpt["config_schema"] += 1
+        (tmp_path / "ckpt.json").write_text(json.dumps(ckpt))
+        assert main(["run", str(path), "--workspace", str(ws_root),
+                     "--quiet"]) == 2
+        assert "config schema" in capsys.readouterr().err
+        # --no-resume is the advertised way out.
+        assert main(["run", str(path), "--workspace", str(ws_root),
+                     "--no-resume", "--quiet"]) == 0
+
+
+class TestReport:
+    def test_report_pretty_prints(self, tmp_path, capsys):
+        path = RunReport(mode="search", design="s298",
+                         best_corner=(1.0, 0.0, 1.0),
+                         best_reward=8.5).save(tmp_path / "r.json")
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "best reward" in out and "8.5" in out
+
+    def test_report_missing_file(self, capsys):
+        assert main(["report", "/nonexistent/r.json"]) == 2

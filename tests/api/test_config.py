@@ -1,0 +1,167 @@
+"""Config layer: round trips, unknown-key rejection, schema versioning."""
+
+import json
+
+import pytest
+
+from repro.api import (SCHEMA_VERSION, ConfigError, EngineConfig,
+                       ModelConfig, RunReport, ScenarioConfig,
+                       SearchConfig, StcoConfig, TechnologyConfig)
+
+ALL_CONFIGS = [
+    TechnologyConfig(),
+    TechnologyConfig(cells=("INV_X1",), train_corners=((1.0, 0.0, 1.0),),
+                     slews=(8e-9,), loads=(15e-15,)),
+    ModelConfig(),
+    ModelConfig(kind="spice"),
+    EngineConfig(),
+    EngineConfig(backend="thread", cache_max_bytes=1 << 20,
+                 persist=False),
+    SearchConfig(),
+    SearchConfig(optimizer="anneal", members=("anneal", "random")),
+    ScenarioConfig(),
+    ScenarioConfig(benchmark="s386", agent="nsga2", weights=(2, 1, 1)),
+    StcoConfig(),
+    StcoConfig(mode="campaign",
+               scenarios=(ScenarioConfig(), ScenarioConfig(seed=1))),
+    StcoConfig(mode="portfolio",
+               search=SearchConfig(members=("anneal", "evolution"))),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("config", ALL_CONFIGS,
+                             ids=lambda c: type(c).__name__)
+    def test_dict_round_trip(self, config):
+        assert type(config).from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS,
+                             ids=lambda c: type(c).__name__)
+    def test_json_round_trip(self, config):
+        # Through real JSON text, so tuples must survive list form.
+        data = json.loads(json.dumps(config.to_dict()))
+        assert type(config).from_dict(data) == config
+
+    def test_root_json_helpers(self, tmp_path):
+        config = StcoConfig(mode="search", benchmark="s386")
+        assert StcoConfig.from_json(config.to_json()) == config
+        path = config.save(tmp_path / "cfg.json")
+        assert StcoConfig.load(path) == config
+
+    def test_to_dict_is_json_native(self):
+        text = json.dumps(StcoConfig(mode="campaign",
+                                     scenarios=(ScenarioConfig(),))
+                          .to_dict())
+        assert "scenarios" in json.loads(text)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cls", [TechnologyConfig, ModelConfig,
+                                     EngineConfig, SearchConfig,
+                                     ScenarioConfig, StcoConfig])
+    def test_unknown_key_rejected(self, cls):
+        with pytest.raises(ConfigError, match="unknown key.*bogus"):
+            cls.from_dict({"bogus": 1})
+
+    def test_nested_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown key.*typo"):
+            StcoConfig.from_dict({"search": {"typo": 3}})
+
+    def test_schema_version_mismatch(self):
+        with pytest.raises(ConfigError, match="schema_version"):
+            StcoConfig.from_dict({"schema_version": SCHEMA_VERSION + 1})
+
+    def test_schema_version_default_is_current(self):
+        assert StcoConfig().schema_version == SCHEMA_VERSION
+
+    def test_bad_mode(self):
+        with pytest.raises(ConfigError, match="mode"):
+            StcoConfig(mode="warp")
+
+    def test_campaign_needs_scenarios(self):
+        with pytest.raises(ConfigError, match="scenario"):
+            StcoConfig(mode="campaign")
+
+    def test_bad_model_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            ModelConfig(kind="tarot")
+
+    def test_bad_corner_shape(self):
+        with pytest.raises(ConfigError, match="triples"):
+            TechnologyConfig(train_corners=((1.0, 0.0),))
+
+    def test_non_mapping(self):
+        with pytest.raises(ConfigError, match="mapping"):
+            StcoConfig.from_dict([1, 2, 3])
+
+    def test_negative_cache_bytes(self):
+        with pytest.raises(ConfigError, match="cache_max_bytes"):
+            EngineConfig(cache_max_bytes=-1)
+
+
+class TestMapping:
+    def test_char_config(self):
+        tech = TechnologyConfig(slews=(1e-9,), loads=(2e-15,),
+                                n_bisect=3, max_steps=99)
+        cfg = tech.char_config()
+        assert cfg.slews == (1e-9,) and cfg.loads == (2e-15,)
+        assert cfg.n_bisect == 3 and cfg.max_steps == 99
+
+    def test_corner_defaults_are_ci_grids(self):
+        tech = TechnologyConfig()
+        assert len(tech.corners("train")) == 8
+        assert len(tech.corners("test")) == 27
+
+    def test_explicit_corners(self):
+        tech = TechnologyConfig(train_corners=((1.0, 0.0, 1.0),))
+        [corner] = tech.corners("train")
+        assert corner.key() == (1.0, 0.0, 1.0)
+
+    def test_search_space(self):
+        space = SearchConfig(vdd_scales=(0.9, 1.1), vth_shifts=(0.0,),
+                             cox_scales=(1.0,)).space()
+        assert space.size == 2
+
+    def test_search_weights(self):
+        w = SearchConfig(weights=(2.0, 1.0, 0.25)).ppa_weights()
+        assert (w.power, w.performance, w.area) == (2.0, 1.0, 0.25)
+
+    def test_scenario_mapping(self):
+        s = ScenarioConfig(benchmark="s386", agent="anneal", seed=3,
+                           iterations=7, weights=(2.0, 1.0, 0.5))
+        scenario = s.scenario()
+        assert scenario.benchmark == "s386"
+        assert scenario.agent == "anneal"
+        assert scenario.weights == (2.0, 1.0, 0.5)
+
+    def test_builder_kind_follows_mode(self):
+        assert StcoConfig(mode="fast").builder_kind() == "gnn"
+        assert StcoConfig(mode="traditional").builder_kind() == "spice"
+        assert StcoConfig(mode="search",
+                          model=ModelConfig(kind="spice")
+                          ).builder_kind() == "spice"
+
+
+class TestRunReport:
+    def test_json_round_trip(self):
+        report = RunReport(mode="search", design="s298",
+                           best_corner=(1.0, 0.0, 1.0),
+                           best_reward=8.25,
+                           pareto_front=[{"corner": [1.0, 0.0, 1.0]}],
+                           runtime={"total_s": 1.5})
+        again = RunReport.from_json(report.to_json())
+        assert again == report
+        assert isinstance(again.best_corner, tuple)
+
+    def test_save_load(self, tmp_path):
+        report = RunReport(mode="fast", best_reward=1.0)
+        path = report.save(tmp_path / "r.json")
+        assert RunReport.load(path) == report
+
+    def test_summary_rows_render(self):
+        report = RunReport(mode="search", design="s298",
+                           best_ppa={"power_w": 1e-5,
+                                     "performance_hz": 1e6,
+                                     "area_um2": 100.0})
+        rows = report.summary_rows()
+        assert all(len(r) == 2 for r in rows)

@@ -1,0 +1,137 @@
+"""Runner: dispatch, warm-workspace reuse, legacy equivalence."""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.api import (ConfigError, RunReport, ScenarioConfig,
+                       SearchConfig, StcoConfig, Workspace, run)
+from tests.api.conftest import MODEL, SEARCH, TECH
+
+
+class TestSearchMode:
+    def test_search_runs_and_reports(self, base_config, workspace):
+        report = run(base_config, workspace)
+        assert report.mode == "search"
+        assert report.design == "s298"
+        assert len(report.best_corner) == 3
+        assert report.evaluations >= 1
+        assert report.rewards and len(report.rewards) == 6
+        assert report.pareto_front
+        assert report.hypervolume >= 0.0
+        assert report.runtime["total_s"] > 0.0
+        assert report.config == base_config.to_dict()
+
+    def test_report_json_loadable(self, base_config, workspace,
+                                  tmp_path):
+        report = run(base_config, workspace)
+        path = report.save(tmp_path / "report.json")
+        assert RunReport.load(path).best_reward == report.best_reward
+
+    def test_warm_workspace_skips_all_work(self, base_config, workspace):
+        run(base_config, workspace)
+        fresh = Workspace(workspace.root)    # new process simulation
+        report = run(base_config, fresh)
+        ws = report.cache_stats["workspace"]
+        assert ws["models_trained"] == 0
+        assert ws["models_loaded"] == 1
+        assert report.characterizations == 0
+        assert report.engine_misses == 0
+
+    def test_config_accepts_dict_and_path(self, base_config, workspace,
+                                          tmp_path):
+        by_obj = run(base_config, workspace)
+        by_dict = run(base_config.to_dict(), workspace)
+        path = base_config.save(tmp_path / "cfg.json")
+        by_path = run(path, workspace)
+        assert by_obj.best_reward == by_dict.best_reward \
+            == by_path.best_reward
+
+    def test_bad_config_type(self):
+        with pytest.raises(ConfigError, match="expects"):
+            run(42)
+
+
+class TestLegacyEquivalence:
+    def test_fast_mode_matches_faststco_bitwise(self, base_config,
+                                                workspace):
+        from repro.eda import build_benchmark
+        from repro.stco import DesignSpace, FastSTCO
+        config = replace(base_config, mode="fast")
+        report = run(config, workspace)
+        model = workspace.model(TECH, MODEL)
+        dataset = workspace.dataset(TECH)
+        space = DesignSpace(vdd_scales=SEARCH.vdd_scales,
+                            vth_shifts=SEARCH.vth_shifts,
+                            cox_scales=SEARCH.cox_scales)
+        with pytest.warns(DeprecationWarning, match="FastSTCO"):
+            stco = FastSTCO(build_benchmark("s298"), model, dataset,
+                            cells=TECH.cells,
+                            char_config=TECH.char_config(),
+                            space=space, agent_seed=SEARCH.seed)
+        outcome = stco.run(iterations=SEARCH.iterations)
+        assert tuple(report.best_corner) == tuple(outcome.best_corner)
+        assert report.best_reward == outcome.best_reward
+        assert report.rewards == [float(r)
+                                  for r in outcome.history_rewards]
+
+    def test_traditional_mode_uses_spice(self, workspace, base_config):
+        config = replace(
+            base_config, mode="traditional",
+            search=SearchConfig(iterations=2, vdd_scales=(1.0,),
+                                vth_shifts=(0.0,), cox_scales=(1.0,)))
+        report = run(config, workspace)
+        assert report.best_corner == (1.0, 0.0, 1.0)
+
+
+class TestPortfolioMode:
+    def test_members_race(self, base_config, workspace):
+        config = replace(
+            base_config, mode="portfolio",
+            search=replace(SEARCH, iterations=8,
+                           members=("anneal", "random")))
+        report = run(config, workspace)
+        assert report.optimizer == "portfolio"
+        assert report.evaluations >= 1
+
+
+class TestCampaignMode:
+    def test_campaign_runs_and_resumes(self, base_config, workspace):
+        config = replace(
+            base_config, mode="campaign", checkpoint="ckpt_runner.json",
+            scenarios=(ScenarioConfig(benchmark="s298",
+                                      agent="qlearning", iterations=3),
+                       ScenarioConfig(benchmark="s298", agent="random",
+                                      iterations=3)))
+        report = run(config, workspace)
+        assert report.mode == "campaign"
+        assert len(report.scenarios) == 2
+        assert report.resumed_scenarios == 0
+        assert (workspace.root / "ckpt_runner.json").exists()
+        again = run(config, workspace)
+        assert again.resumed_scenarios == 2
+        assert again.best_reward == report.best_reward
+        # The memoized engine carries lifetime counters; the report must
+        # show this run's deltas (a fully-resumed run does no work).
+        assert again.characterizations == 0
+        assert again.engine_misses == 0
+
+    def test_campaign_reports_fronts_per_benchmark(self, base_config,
+                                                   workspace):
+        config = replace(
+            base_config, mode="campaign",
+            scenarios=(ScenarioConfig(benchmark="s298",
+                                      agent="qlearning", iterations=3),))
+        report = run(config, workspace)
+        assert "s298" in report.pareto_fronts
+
+    def test_internal_campaign_emits_no_deprecation(self, base_config,
+                                                    workspace):
+        config = replace(
+            base_config, mode="campaign",
+            scenarios=(ScenarioConfig(benchmark="s298", agent="random",
+                                      iterations=2),))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run(config, workspace)

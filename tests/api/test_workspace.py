@@ -1,0 +1,98 @@
+"""Workspace: artifact reuse in-process and across instances."""
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig, ModelConfig, Workspace
+from tests.api.conftest import MODEL, TECH
+
+
+class TestDatasets:
+    def test_dataset_built_then_memoized(self, workspace):
+        first = workspace.dataset(TECH)
+        again = workspace.dataset(TECH)
+        assert again is first
+        assert workspace.counters["datasets_built"] >= 1
+
+    def test_new_instance_loads_from_disk(self, workspace, ws_root):
+        workspace.dataset(TECH)
+        other = Workspace(ws_root)
+        other.dataset(TECH)
+        assert other.counters["datasets_built"] == 0
+        assert other.counters["datasets_loaded"] == 1
+
+
+class TestModels:
+    def test_model_trained_once(self, workspace):
+        first = workspace.model(TECH, MODEL)
+        again = workspace.model(TECH, MODEL)
+        assert again is first
+        assert workspace.counters["models_trained"] == 1
+
+    def test_reload_reproduces_weights_exactly(self, workspace, ws_root):
+        model = workspace.model(TECH, MODEL)
+        other = Workspace(ws_root)
+        reloaded = other.model(TECH, MODEL)
+        assert other.counters["models_trained"] == 0
+        assert other.counters["models_loaded"] == 1
+        state, state2 = model.state_dict(), reloaded.state_dict()
+        assert set(state) == set(state2)
+        for name in state:
+            np.testing.assert_array_equal(state[name], state2[name])
+
+    def test_reload_preserves_builder_fingerprint(self, workspace,
+                                                  ws_root):
+        fp = workspace.builder(TECH, MODEL).fingerprint()
+        assert Workspace(ws_root).builder(TECH, MODEL).fingerprint() == fp
+
+    def test_spice_kind_has_no_model(self, workspace):
+        with pytest.raises(ValueError, match="spice"):
+            workspace.model(TECH, ModelConfig(kind="spice"))
+
+    def test_registry_records_artifacts(self, workspace):
+        workspace.model(TECH, MODEL)
+        kinds = {e["kind"] for e in workspace.registry().values()}
+        assert {"dataset", "model"} <= kinds
+
+
+class TestBuilders:
+    def test_spice_builder(self, workspace):
+        builder = workspace.builder(TECH, ModelConfig(kind="spice"))
+        assert builder.technology == TECH.technology
+        assert tuple(builder.cells) == TECH.cells
+
+    def test_gnn_builder_memoized(self, workspace):
+        assert workspace.builder(TECH, MODEL) is \
+            workspace.builder(TECH, MODEL)
+
+
+class TestEngines:
+    def test_engine_memoized_per_config(self, workspace):
+        engine = workspace.engine(TECH, MODEL, EngineConfig())
+        assert workspace.engine(TECH, MODEL, EngineConfig()) is engine
+        other = workspace.engine(TECH, MODEL,
+                                 EngineConfig(cache_capacity=7))
+        assert other is not engine
+
+    def test_engine_uses_workspace_disk_cache(self, workspace):
+        engine = workspace.engine(TECH, MODEL, EngineConfig())
+        assert engine.result_cache.disk is not None
+        assert str(workspace.engine_dir) in \
+            str(engine.result_cache.disk.directory)
+
+    def test_persist_false_disables_disk(self, workspace):
+        engine = workspace.engine(TECH, MODEL,
+                                  EngineConfig(persist=False))
+        assert engine.result_cache.disk is None
+
+    def test_cache_max_bytes_reaches_disk_tier(self, workspace):
+        engine = workspace.engine(
+            TECH, MODEL, EngineConfig(cache_max_bytes=1 << 20))
+        assert engine.library_cache.disk.max_bytes == 1 << 20
+
+
+class TestEphemeral:
+    def test_ephemeral_workspace_works(self):
+        ws = Workspace.ephemeral()
+        assert ws.root.exists()
+        assert ws.stats()["models_trained"] == 0

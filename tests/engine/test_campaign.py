@@ -240,3 +240,55 @@ class TestCheckpointResume:
         assert warm.engine_stats["characterizations"] == 0
         assert warm.best().best_corner == cold.best().best_corner
         assert isinstance(warm, CampaignReport)
+
+
+class TestCheckpointSchemaGuard:
+    def test_checkpoint_records_config_schema(self, builder, small_space,
+                                              scenarios, tmp_path):
+        from repro.api.config import SCHEMA_VERSION
+        ckpt = tmp_path / "campaign.json"
+        Campaign(builder, scenarios[:1], space=small_space,
+                 checkpoint_path=ckpt).run()
+        assert json.loads(ckpt.read_text())["config_schema"] \
+            == SCHEMA_VERSION
+
+    def test_foreign_schema_refused(self, builder, small_space,
+                                    scenarios, tmp_path):
+        from repro.engine import CampaignCheckpointError
+        ckpt = tmp_path / "campaign.json"
+        Campaign(builder, scenarios[:1], space=small_space,
+                 checkpoint_path=ckpt).run()
+        data = json.loads(ckpt.read_text())
+        data["config_schema"] = data["config_schema"] + 1
+        ckpt.write_text(json.dumps(data))
+        with pytest.raises(CampaignCheckpointError,
+                           match="config schema"):
+            Campaign(builder, scenarios[:1], space=small_space,
+                     checkpoint_path=ckpt).run()
+
+    def test_resume_false_bypasses_guard(self, builder, small_space,
+                                         scenarios, tmp_path):
+        ckpt = tmp_path / "campaign.json"
+        Campaign(builder, scenarios[:1], space=small_space,
+                 checkpoint_path=ckpt).run()
+        data = json.loads(ckpt.read_text())
+        data["config_schema"] = data["config_schema"] + 1
+        ckpt.write_text(json.dumps(data))
+        report = Campaign(builder, scenarios[:1], space=small_space,
+                          checkpoint_path=ckpt).run(resume=False)
+        assert report.resumed_scenarios == 0
+
+    def test_pre_schema_checkpoint_still_resumes(self, builder,
+                                                 small_space, scenarios,
+                                                 tmp_path):
+        """Checkpoints written before schema tracking lack the field and
+        must keep resuming (they predate any schema change)."""
+        ckpt = tmp_path / "campaign.json"
+        Campaign(builder, scenarios[:1], space=small_space,
+                 checkpoint_path=ckpt).run()
+        data = json.loads(ckpt.read_text())
+        del data["config_schema"]
+        ckpt.write_text(json.dumps(data))
+        report = Campaign(builder, scenarios[:1], space=small_space,
+                          checkpoint_path=ckpt).run()
+        assert report.resumed_scenarios == 1

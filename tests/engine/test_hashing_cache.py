@@ -159,3 +159,58 @@ class TestEvaluationCache:
         cache.put(key, 42)
         assert cache.get(key) == 42
         assert cache.stats().keys() == {"memory"}
+
+
+class TestDiskCacheSizeEviction:
+    def _put(self, cache, name, payload, mtime):
+        cache.put(name, payload)
+        os.utime(cache.path(name), (mtime, mtime))
+
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        cache = DiskCache(tmp_path / "c", max_bytes=1)
+        # Each pickled payload far exceeds 1 byte, so every put must
+        # evict all *other* entries (the newest is always kept).
+        self._put(cache, "a", b"x" * 64, 100)
+        self._put(cache, "b", b"y" * 64, 200)
+        assert "b" in cache and "a" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_under_budget_keeps_everything(self, tmp_path):
+        cache = DiskCache(tmp_path / "c", max_bytes=1 << 20)
+        for i in range(8):
+            cache.put(f"k{i}", b"z" * 128)
+        assert len(cache) == 8
+        assert cache.stats.evictions == 0
+
+    def test_eviction_is_lru_not_fifo(self, tmp_path):
+        cache = DiskCache(tmp_path / "c", max_bytes=None)
+        self._put(cache, "old", b"x" * 400, 100)
+        self._put(cache, "new", b"y" * 400, 200)
+        cache.max_bytes = 1000
+        # Reading "old" refreshes its mtime, so "new" is now the LRU
+        # entry and the next over-budget put evicts it instead.
+        assert cache.get("old") is not None
+        assert cache.path("old").stat().st_mtime > 200
+        self._put(cache, "third", b"z" * 400, 300)
+        assert "old" in cache and "third" in cache
+        assert "new" not in cache
+
+    def test_just_written_entry_survives(self, tmp_path):
+        cache = DiskCache(tmp_path / "c", max_bytes=1)
+        cache.put("huge", b"w" * 4096)
+        assert cache.get("huge") is not None
+
+    def test_unbounded_by_default(self, tmp_path):
+        assert DiskCache(tmp_path / "c").max_bytes is None
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCache(tmp_path / "c", max_bytes=0)
+
+    def test_engine_config_plumbs_max_bytes(self, tmp_path):
+        from repro.engine import EngineConfig
+        config = EngineConfig(cache_dir=tmp_path / "e",
+                              cache_max_bytes=1 << 16)
+        cache = EvaluationCache(4, f"{config.cache_dir}/x",
+                                max_bytes=config.cache_max_bytes)
+        assert cache.disk.max_bytes == 1 << 16
