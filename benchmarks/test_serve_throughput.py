@@ -1,0 +1,134 @@
+"""Serve-layer throughput bench: cold vs warm vs coalesced requests.
+
+Boots a real :class:`~repro.serve.pool.ServeService` +
+:class:`~repro.serve.http.StcoServer` on an ephemeral port and measures
+end-to-end request latency through :class:`~repro.serve.client
+.ServeClient` in four regimes, writing ``BENCH_serve.json``:
+
+* ``cold`` — first request ever: measures, trains the GNN,
+  characterizes, searches;
+* ``warm_forced`` — the same document again with ``force=True``: a real
+  execution, but every expensive artifact (model, libraries, results)
+  comes from the shared workspace/engine caches;
+* ``coalesced`` — N identical *new* requests submitted back-to-back:
+  one execution, N answers (per-request latency = wall / N);
+* ``duplicate`` — the idempotent path: answered from the completed
+  job's stored report without executing anything.
+
+Acceptance (machine-independent): warm and coalesced per-request
+latency are each ≥ 10× better than cold.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.api import (ModelConfig, SearchConfig, StcoConfig,
+                       TechnologyConfig, Workspace)
+from repro.serve import ServeClient, ServeService, StcoServer
+from repro.utils import print_table
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+TECH = TechnologyConfig(
+    cells=("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"),
+    train_corners=((1.0, 0.0, 1.0), (0.9, 0.05, 1.1)),
+    test_corners=((0.95, 0.02, 1.05),),
+    slews=(8e-9,), loads=(15e-15,), n_bisect=3, max_steps=200)
+
+COALESCED_CLIENTS = 8
+
+
+def _config(**search_overrides) -> StcoConfig:
+    search = dict(optimizer="anneal", seed=0, iterations=6,
+                  vdd_scales=(0.9, 1.0, 1.1), vth_shifts=(0.0,),
+                  cox_scales=(0.9, 1.1))
+    search.update(search_overrides)
+    return StcoConfig(mode="search", benchmark="s298", technology=TECH,
+                      model=ModelConfig(epochs=10),
+                      search=SearchConfig(**search))
+
+
+def test_serve_throughput(tmp_path):
+    workspace = Workspace(tmp_path / "ws")
+    service = ServeService(workspace, workers=2)
+    runs = {}
+    try:
+        with StcoServer(service) as server:
+            client = ServeClient(server.url)
+            base = _config()
+
+            # 1) Cold: nothing exists yet — the full pipeline runs.
+            t0 = time.perf_counter()
+            cold_report = client.run(base, timeout_s=1800)
+            runs["cold"] = {"wall_s": time.perf_counter() - t0,
+                            "requests": 1}
+
+            # 2) Warm, forced: re-executes against the warm caches.
+            t0 = time.perf_counter()
+            warm_report = client.run(base, force=True, timeout_s=1800)
+            runs["warm_forced"] = {"wall_s": time.perf_counter() - t0,
+                                   "requests": 1}
+            assert warm_report.best_reward == cold_report.best_reward
+            assert warm_report.cache_stats["workspace"][
+                "models_trained"] == 1    # lifetime: only the cold train
+
+            # 3) Coalesced: N identical new requests, one execution.
+            #    (A different sub-space, so the engine truly works.)
+            burst = _config(seed=1, optimizer="random",
+                            vdd_scales=(0.95, 1.05),
+                            vth_shifts=(-0.02, 0.02),
+                            cox_scales=(1.0,))
+            t0 = time.perf_counter()
+            ids = [client.submit(burst)["job_id"]
+                   for _ in range(COALESCED_CLIENTS)]
+            jobs = [client.wait(i, timeout_s=1800, poll_s=0.05)
+                    for i in ids]
+            wall = time.perf_counter() - t0
+            leaders = sum(1 for j in jobs if not j["coalesced_with"])
+            runs["coalesced"] = {"wall_s": wall,
+                                 "requests": COALESCED_CLIENTS,
+                                 "executions": leaders}
+            assert all(j["state"] == "succeeded" for j in jobs)
+            assert all(j["report"] == jobs[0]["report"] for j in jobs)
+            assert leaders < COALESCED_CLIENTS   # sharing happened
+
+            # 4) Duplicate: answered from the stored report.
+            t0 = time.perf_counter()
+            dup_report = client.run(base, timeout_s=60)
+            runs["duplicate"] = {"wall_s": time.perf_counter() - t0,
+                                 "requests": 1}
+            assert dup_report.best_reward == cold_report.best_reward
+    finally:
+        service.close(timeout=30)
+
+    def per_request(name):
+        return runs[name]["wall_s"] / runs[name]["requests"]
+
+    speedups = {f"{name}_vs_cold": per_request("cold") / max(
+        per_request(name), 1e-9) for name in runs if name != "cold"}
+    artifact = {
+        "clients": COALESCED_CLIENTS,
+        "runs": runs,
+        "per_request_s": {name: per_request(name) for name in runs},
+        "requests_per_s": {name: runs[name]["requests"]
+                           / max(runs[name]["wall_s"], 1e-9)
+                           for name in runs},
+        "speedups": speedups,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=1))
+
+    print()
+    print_table(
+        ["Regime", "Requests", "Wall(s)", "Per-req(s)", "vs cold(X)"],
+        [[name, str(data["requests"]), f"{data['wall_s']:.3f}",
+          f"{per_request(name):.3f}",
+          f"{per_request('cold') / max(per_request(name), 1e-9):.1f}"]
+         for name, data in runs.items()],
+        title=f"Serve throughput ({COALESCED_CLIENTS}-client burst)")
+
+    # Hard guarantees (the acceptance criterion): the served warm and
+    # coalesced paths beat a cold request by ≥ 10×.
+    assert speedups["warm_forced_vs_cold"] >= 10.0
+    assert speedups["coalesced_vs_cold"] >= 10.0
+    assert speedups["duplicate_vs_cold"] >= 10.0

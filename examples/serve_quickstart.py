@@ -1,0 +1,86 @@
+"""Serve quickstart: submit → poll → report through ServeClient.
+
+Boots the STCO service in-process (the same thing ``repro serve
+--workspace .cache/workspace`` runs standalone), then plays two
+tenants: both submit the *same* config document, so the second request
+coalesces onto the first execution — one engine run, two identical
+reports — and a third submission after completion is answered instantly
+from the stored report (idempotent resubmission).
+
+Run:  python examples/serve_quickstart.py
+(add PYTHONPATH=src if the package is not installed;
+ set REPRO_SMOKE=1 for a CI-sized run)
+"""
+
+import os
+
+from repro.api import (ModelConfig, SearchConfig, StcoConfig,
+                       TechnologyConfig, Workspace)
+from repro.serve import ServeClient, ServeService, StcoServer
+from repro.utils import print_table
+
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
+
+def make_config() -> StcoConfig:
+    return StcoConfig(
+        mode="search",
+        benchmark="s298",
+        technology=TechnologyConfig(
+            cells=("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"),
+            train_corners=((1.0, 0.0, 1.0), (0.9, 0.05, 1.1)),
+            test_corners=((0.95, 0.02, 1.05),),
+            slews=(8e-9,), loads=(15e-15,), n_bisect=3, max_steps=200),
+        model=ModelConfig(epochs=8 if SMOKE else 20),
+        search=SearchConfig(
+            optimizer="anneal", iterations=6 if SMOKE else 15,
+            vdd_scales=(0.9, 1.0, 1.1), vth_shifts=(0.0,),
+            cox_scales=(0.9, 1.1)))
+
+
+def main():
+    service = ServeService(Workspace(".cache/serve-workspace"),
+                           workers=2)
+    with StcoServer(service) as server:   # port=0 → ephemeral
+        print(f"1) Service listening on {server.url}")
+        client = ServeClient(server.url)
+        config = make_config()
+
+        print("2) Two tenants submit the same document…")
+        first = client.submit(config)
+        second = client.submit(config)
+        print(f"   first:  job {first['job_id']} "
+              f"(state {first['state']})")
+        print(f"   second: job {second['job_id']} "
+              f"(coalesced with {second['coalesced_with'] or 'nobody'})")
+
+        print("3) Polling until both finish…")
+        jobs = [client.wait(j["job_id"], timeout_s=1800)
+                for j in (first, second)]
+        for job in jobs:
+            rounds = len(client.events(job["job_id"]))
+            print(f"   {job['job_id']}: {job['state']} "
+                  f"({rounds} progress event(s))")
+        assert jobs[0]["report"] == jobs[1]["report"], \
+            "coalesced jobs must share one report"
+
+        print("4) Resubmitting after completion (idempotent)…")
+        third = client.submit(config)
+        print(f"   answered instantly: state {third['state']}, "
+              f"reused {third['coalesced_with']}")
+
+        report = jobs[0]["report"]
+        print_table(["field", "value"],
+                    [["best corner", str(report["best_corner"])],
+                     ["best reward", f"{report['best_reward']:.4f}"],
+                     ["engine misses", str(report["engine_misses"])],
+                     ["jobs sharing it", "3"]],
+                    title="One execution, three answers")
+        health = client.health()
+        print(f"   health: {health['jobs']['succeeded']} succeeded, "
+              f"coalescer {health['coalescer']}")
+    service.close()
+
+
+if __name__ == "__main__":
+    main()

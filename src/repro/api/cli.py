@@ -6,11 +6,17 @@
     repro search cfg.json --optimizer anneal --iterations 30
     repro campaign cfg.json --workspace .cache/ws
     repro report report.json
+    repro serve --workspace .cache/ws --port 8765
+    repro submit cfg.json --url http://127.0.0.1:8765 --wait
+    repro workspace list|stats|gc .cache/ws
 
 ``run`` executes whatever ``mode`` the document declares; ``search`` /
 ``campaign`` force that mode (with a few common overrides) so one base
 document can serve several invocations. ``report`` pretty-prints a
-previously saved :class:`~repro.api.report.RunReport`.
+previously saved :class:`~repro.api.report.RunReport`. ``serve`` boots
+the :mod:`repro.serve` HTTP service on a workspace; ``submit`` sends a
+config document to a running server. ``workspace`` inspects (and
+garbage-collects) a workspace's artifact registry.
 """
 
 from __future__ import annotations
@@ -72,6 +78,59 @@ def _build_parser() -> argparse.ArgumentParser:
     report_p = sub.add_parser(
         "report", help="pretty-print a saved RunReport JSON")
     report_p.add_argument("report", help="path to a RunReport JSON file")
+
+    serve_p = sub.add_parser(
+        "serve", help="serve run() over HTTP on a shared workspace")
+    serve_p.add_argument("--workspace", metavar="DIR", required=True,
+                         help="artifact workspace every job runs against")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="listen port (0 = ephemeral; default 8765)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="worker threads draining the job queue")
+    serve_p.add_argument("--no-reuse-completed", action="store_true",
+                         help="always re-execute identical submissions "
+                              "instead of answering from a completed "
+                              "job's report")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log HTTP requests and job progress")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a config document to a running server")
+    submit_p.add_argument("config", help="path to an StcoConfig JSON file")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8765",
+                          help="server base URL")
+    submit_p.add_argument("--priority", type=int, default=0,
+                          help="queue priority (higher runs first)")
+    submit_p.add_argument("--force", action="store_true",
+                          help="opt out of coalescing: always execute")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes and print "
+                               "its report")
+    submit_p.add_argument("--timeout", type=float, default=3600.0,
+                          help="--wait polling deadline in seconds")
+    submit_p.add_argument("--out", metavar="FILE", default=None,
+                          help="with --wait: write the job record JSON")
+    submit_p.add_argument("--quiet", action="store_true",
+                          help="print only the job id (and report path)")
+
+    ws_p = sub.add_parser(
+        "workspace", help="inspect or garbage-collect a workspace")
+    ws_p.add_argument("action", choices=("list", "stats", "gc"))
+    ws_p.add_argument("workspace", metavar="DIR",
+                      help="workspace directory")
+    ws_p.add_argument("--older-than", type=float, default=None,
+                      metavar="SECONDS",
+                      help="gc: only artifacts older than this")
+    ws_p.add_argument("--all", action="store_true",
+                      help="gc: remove regardless of age (required when "
+                           "--older-than is omitted)")
+    ws_p.add_argument("--kinds", default="dataset,model,engine,job",
+                      help="gc: comma-separated artifact kinds "
+                           "(default: dataset,model,engine,job — "
+                           "'job' covers terminal serve job records)")
+    ws_p.add_argument("--dry-run", action="store_true",
+                      help="gc: report what would be removed")
     return parser
 
 
@@ -146,6 +205,129 @@ def _print_report(report: RunReport) -> None:
             print(line)
 
 
+def _cmd_serve(args) -> int:
+    from ..serve import ServeService, StcoServer
+    workspace = Workspace(args.workspace)
+    on_event = None
+    if args.verbose:
+        def on_event(job, snapshot):
+            print(f"[{job.job_id}] round {snapshot.get('round', '?')}: "
+                  f"best {snapshot.get('best_reward', float('nan')):.4f}",
+                  file=sys.stderr)
+    service = ServeService(workspace, workers=args.workers,
+                           reuse_completed=not args.no_reuse_completed,
+                           on_event=on_event)
+    server = StcoServer(service, host=args.host, port=args.port,
+                        verbose=args.verbose)
+    recovered = service.store.recovered
+    if recovered:
+        print(f"resubmitted {len(recovered)} interrupted job(s): "
+              f"{', '.join(recovered)}")
+    print(f"serving {workspace} on {server.url} "
+          f"({args.workers} worker(s)) — Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining…")
+    finally:
+        server.close(close_service=True)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import urllib.error
+
+    from ..serve import ServeClient, ServeClientError
+    client = ServeClient(args.url)
+    # Same coercion as `repro run`: a missing/corrupt file is a clean
+    # ConfigError (exit 2 via main), never a traceback.
+    document = _load_document(args.config)
+    try:
+        submitted = client.submit(document, priority=args.priority,
+                                  force=args.force)
+        job_id = submitted["job_id"]
+        if submitted.get("coalesced_with") and not args.quiet:
+            print(f"coalesced with job {submitted['coalesced_with']}")
+        print(job_id)
+        if not args.wait:
+            return 0
+        job = client.wait(job_id, timeout_s=args.timeout)
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {args.url}: {exc.reason}",
+              file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    if args.out is not None:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(job, indent=1, sort_keys=True),
+                        encoding="utf-8")
+        print(str(path))
+    if job["state"] != "succeeded":
+        print(f"job {job_id} {job['state']}: {job['error']}",
+              file=sys.stderr)
+        return 1
+    if not args.quiet:
+        _print_report(RunReport.from_dict(job["report"]))
+    return 0
+
+
+def _cmd_workspace(args) -> int:
+    from ..utils.tables import print_table
+    workspace = Workspace(args.workspace)
+    if args.action == "stats":
+        print(json.dumps(workspace.stats(), indent=1, sort_keys=True))
+        return 0
+    if args.action == "list":
+        rows = workspace.list_artifacts()
+        if not rows:
+            print(f"{workspace}: no registered artifacts")
+            return 0
+        print_table(
+            ["kind", "technology", "path", "size", "age"],
+            [[r["kind"], r["technology"], r["path"],
+              f"{r['size_bytes'] / 1024:.1f} KiB" if r["exists"]
+              else "missing",
+              _age(r["created_s"])] for r in rows],
+            title=f"workspace {workspace.root}")
+        return 0
+    # gc
+    if args.older_than is None and not getattr(args, "all", False):
+        print("error: gc needs --older-than SECONDS or --all",
+              file=sys.stderr)
+        return 2
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    unknown = set(kinds) - {"dataset", "model", "engine", "job"}
+    if unknown:
+        print(f"error: unknown gc kind(s) {sorted(unknown)}",
+              file=sys.stderr)
+        return 2
+    result = workspace.gc(older_than_s=args.older_than, kinds=kinds,
+                          dry_run=args.dry_run)
+    verb = "would remove" if result["dry_run"] else "removed"
+    print(f"{verb} {len(result['removed'])} artifact(s), "
+          f"{result['freed_bytes'] / 1024:.1f} KiB "
+          f"({result['kept']} kept)")
+    for entry in result["removed"]:
+        print(f"  {entry['kind']}: {entry['path']} "
+              f"({entry['bytes'] / 1024:.1f} KiB)")
+    return 0
+
+
+def _age(created_s: float) -> str:
+    import time
+    seconds = max(0.0, time.time() - created_s)
+    for unit, span in (("d", 86400), ("h", 3600), ("m", 60)):
+        if seconds >= span:
+            return f"{seconds / span:.1f}{unit}"
+    return f"{seconds:.0f}s"
+
+
 def _cmd_report(args) -> int:
     try:
         report = RunReport.load(args.report)
@@ -163,6 +345,12 @@ def main(argv=None) -> int:
     try:
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "workspace":
+            return _cmd_workspace(args)
         return _cmd_run(args)
     except (ConfigError, CampaignCheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)

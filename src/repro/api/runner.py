@@ -43,13 +43,20 @@ class SearchExecution:
 
 
 def execute_search(netlist, optimizer, engine, weights, iterations: int,
-                   archive=None, hv_reference=None) -> SearchExecution:
-    """Drive one optimizer against one engine and account the cost."""
+                   archive=None, hv_reference=None,
+                   progress_callback=None) -> SearchExecution:
+    """Drive one optimizer against one engine and account the cost.
+
+    ``progress_callback`` is forwarded to
+    :meth:`repro.search.driver.SearchRun.run` (one snapshot per
+    optimizer round); ``None`` keeps the legacy call shape.
+    """
     from ..search.driver import SearchRun
     t0 = time.perf_counter()
     search = SearchRun(netlist, optimizer, engine, weights=weights,
                        archive=archive, hv_reference=hv_reference)
-    result = search.run(budget=iterations)
+    result = search.run(budget=iterations,
+                        progress_callback=progress_callback)
     runtime = time.perf_counter() - t0
     return SearchExecution(
         result=result,
@@ -100,7 +107,8 @@ def _cache_stats(engine, workspace: Workspace) -> dict:
     return {"engine": engine.stats(), "workspace": workspace.stats()}
 
 
-def _run_single(config: StcoConfig, workspace: Workspace) -> RunReport:
+def _run_single(config: StcoConfig, workspace: Workspace,
+                progress_callback=None) -> RunReport:
     from ..eda.benchmarks import build_benchmark
     model = _effective_model(config)
     engine = workspace.engine(config.technology, model, config.engine)
@@ -109,7 +117,8 @@ def _run_single(config: StcoConfig, workspace: Workspace) -> RunReport:
     optimizer = _make_optimizer(config, space, weights, engine.builder)
     netlist = build_benchmark(config.benchmark)
     execution = execute_search(netlist, optimizer, engine, weights,
-                               config.search.iterations)
+                               config.search.iterations,
+                               progress_callback=progress_callback)
     result = execution.result
     return RunReport(
         mode=config.mode,
@@ -182,7 +191,7 @@ def _run_campaign(config: StcoConfig, workspace: Workspace,
 
 
 def run(config, workspace: Workspace | None = None,
-        resume: bool = True) -> RunReport:
+        resume: bool = True, progress_callback=None) -> RunReport:
     """Execute one config document end to end.
 
     Parameters
@@ -197,10 +206,15 @@ def run(config, workspace: Workspace | None = None,
         free.
     resume:
         Campaign mode only: honor an existing checkpoint.
+    progress_callback:
+        Optional per-round snapshot hook for the single-search modes
+        (fast / traditional / search / portfolio) — see
+        :meth:`repro.search.driver.SearchRun.run`. Campaign mode
+        checkpoints per scenario instead and ignores it.
     """
     config = _coerce_config(config)
     workspace = workspace if workspace is not None else \
         Workspace.ephemeral()
     if config.mode == "campaign":
         return _run_campaign(config, workspace, resume)
-    return _run_single(config, workspace)
+    return _run_single(config, workspace, progress_callback)

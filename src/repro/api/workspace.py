@@ -29,7 +29,6 @@ memoization) or across processes (the on-disk artifacts).
 from __future__ import annotations
 
 import json
-import os
 import tempfile
 import time
 from pathlib import Path
@@ -82,13 +81,14 @@ class Workspace:
         except (OSError, json.JSONDecodeError):
             return {}
 
+    def _write_registry(self, registry: dict) -> None:
+        from ..utils.io import atomic_write_json
+        atomic_write_json(self.registry_path, registry)
+
     def _register(self, key: str, entry: dict) -> None:
         registry = self.registry()
         registry[key] = dict(entry, created_s=time.time())
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            json.dump(registry, fh, indent=1, sort_keys=True)
-        os.replace(tmp, self.registry_path)
+        self._write_registry(registry)
 
     # -- datasets ----------------------------------------------------------
     def _dataset_key(self, tech: TechnologyConfig) -> str:
@@ -227,3 +227,189 @@ class Workspace:
                 kinds.get(entry.get("kind", "?"), 0) + 1
         return {"root": str(self.root), "artifacts": kinds,
                 **self.counters}
+
+    def engine_stats(self) -> dict:
+        """Live :meth:`~repro.engine.engine.EvaluationEngine.stats` per
+        memoized engine, keyed by the (builder fingerprint, engine
+        config) hash the workspace memoizes on."""
+        # list() first: the serve layer calls this from HTTP threads
+        # while a worker may be memoizing a new engine.
+        return {key: engine.stats()
+                for key, engine in list(self._engines.items())}
+
+    # -- maintenance -------------------------------------------------------
+    def _artifact_path(self, entry: dict) -> Path | None:
+        name = entry.get("path")
+        if not name:
+            return None
+        base = {"dataset": self.datasets_dir,
+                "model": self.models_dir}.get(entry.get("kind"))
+        return None if base is None else base / name
+
+    def list_artifacts(self) -> list:
+        """Registry contents as JSON-able rows (oldest first)."""
+        rows = []
+        for key, entry in self.registry().items():
+            path = self._artifact_path(entry)
+            exists = path is not None and path.exists()
+            rows.append({
+                "key": key,
+                "kind": entry.get("kind", "?"),
+                "technology": entry.get("technology", ""),
+                "path": entry.get("path", ""),
+                "created_s": float(entry.get("created_s", 0.0)),
+                "size_bytes": path.stat().st_size if exists else 0,
+                "exists": exists})
+        return sorted(rows, key=lambda r: (r["created_s"], r["key"]))
+
+    def gc(self, older_than_s: float | None = None,
+           kinds=("dataset", "model", "engine", "job"),
+           dry_run: bool = False) -> dict:
+        """Reclaim artifacts: registered datasets/models, engine
+        disk-cache entries (and orphan files the registry lost track
+        of), and the serve layer's *terminal* job records under
+        ``serve/jobs`` (active jobs are never touched).
+
+        ``older_than_s`` keeps anything younger than that many seconds
+        (``None`` removes every artifact of the selected ``kinds``).
+        ``dry_run`` reports what *would* go without touching disk.
+        Returns ``{"removed": [...], "freed_bytes": n, "kept": n}``.
+        """
+        now = time.time()
+        cutoff = None if older_than_s is None else now - older_than_s
+
+        def expired(age_anchor_s: float) -> bool:
+            return cutoff is None or age_anchor_s < cutoff
+
+        removed, freed = [], 0
+        kept = 0
+        removed_keys = set()
+        registry = self.registry()
+        survivors = {}
+        for key, entry in registry.items():
+            kind = entry.get("kind", "?")
+            path = self._artifact_path(entry)
+            if kind not in kinds or not expired(
+                    float(entry.get("created_s", 0.0))):
+                survivors[key] = entry
+                kept += 1
+                continue
+            size = path.stat().st_size if path and path.exists() else 0
+            removed.append({"kind": kind, "key": key,
+                            "path": entry.get("path", ""),
+                            "bytes": size})
+            freed += size
+            removed_keys.add(key)
+            if not dry_run:
+                if path is not None and path.exists():
+                    path.unlink()
+                self._datasets.pop(key, None)
+                self._models.pop(key, None)
+                self._builders.pop(key, None)
+        if not dry_run and removed_keys:
+            # Re-read before writing: a concurrent run may have
+            # registered new artifacts since our snapshot, and those
+            # entries must survive — only drop the keys gc reclaimed.
+            fresh = self.registry()
+            self._write_registry({k: v for k, v in fresh.items()
+                                  if k not in removed_keys})
+
+        # Every registry-backed file was already handled above (kept or
+        # removed); the scan below only reclaims true orphans. Removed
+        # entries must stay "referenced" or a dry run double-counts
+        # files that are still on disk — and entries registered
+        # *concurrently* (by a live server) since our snapshot must be
+        # honored too, so fold in a fresh read.
+        referenced = {entry.get("path") for entry in registry.values()}
+        if not dry_run:
+            referenced |= {entry.get("path")
+                           for entry in self.registry().values()}
+        scans = []
+        if "dataset" in kinds:
+            scans.append(("dataset", self.datasets_dir.glob("*.pkl")))
+        if "model" in kinds:
+            scans.append(("model", self.models_dir.glob("*.npz")))
+        if "engine" in kinds:
+            scans.append(("engine", self.engine_dir.rglob("*.pkl")))
+        for kind, files in scans:
+            for path in sorted(files):
+                if kind != "engine" and path.name in referenced:
+                    continue        # registry-backed, already counted
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                if not expired(stat.st_mtime):
+                    kept += 1
+                    continue
+                removed.append({"kind": kind, "key": "",
+                                "path": path.name,
+                                "bytes": stat.st_size})
+                freed += stat.st_size
+                if not dry_run:
+                    path.unlink()
+        if "job" in kinds:
+            job_removed, job_freed, job_kept = self._gc_jobs(
+                expired, dry_run)
+            removed += job_removed
+            freed += job_freed
+            kept += job_kept
+        return {"removed": removed, "freed_bytes": freed,
+                "kept": kept, "dry_run": dry_run}
+
+    def _gc_jobs(self, expired, dry_run: bool):
+        """Reclaim terminal serve job records (+ event sidecars).
+
+        A live :class:`~repro.serve.jobs.JobStore` keeps its records in
+        memory, so deleting terminal files under it is safe; active
+        (submitted/running) records are always kept — they are the
+        crash-recovery state.
+        """
+        from ..serve.jobs import JobState
+        jobs_dir = self.root / "serve" / "jobs"
+        removed, freed, kept = [], 0, 0
+        if not jobs_dir.is_dir():
+            return removed, freed, kept
+        record_ids = set()
+        for path in sorted(jobs_dir.glob("*.json")):
+            record_ids.add(path.stem)
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                stat = path.stat()
+            except (OSError, json.JSONDecodeError):
+                continue                 # torn record: recovery's call
+            anchor = float(record.get("finished_s") or stat.st_mtime)
+            if record.get("state") not in JobState.TERMINAL \
+                    or not expired(anchor):
+                kept += 1
+                continue
+            size = stat.st_size
+            sidecar = jobs_dir / f"{path.stem}.events.jsonl"
+            if sidecar.exists():
+                size += sidecar.stat().st_size
+            removed.append({"kind": "job", "key": path.stem,
+                            "path": path.name, "bytes": size})
+            freed += size
+            if not dry_run:
+                path.unlink()
+                if sidecar.exists():
+                    sidecar.unlink()
+                record_ids.discard(path.stem)
+        for sidecar in sorted(jobs_dir.glob("*.events.jsonl")):
+            job_id = sidecar.name[:-len(".events.jsonl")]
+            if job_id in record_ids:
+                continue                 # still owned by a kept record
+            try:
+                stat = sidecar.stat()
+            except OSError:
+                continue
+            if not expired(stat.st_mtime):
+                kept += 1
+                continue
+            removed.append({"kind": "job", "key": job_id,
+                            "path": sidecar.name,
+                            "bytes": stat.st_size})
+            freed += stat.st_size
+            if not dry_run:
+                sidecar.unlink()
+        return removed, freed, kept

@@ -28,8 +28,6 @@ The STCO layer is imported lazily to keep the package import DAG acyclic
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -336,10 +334,8 @@ class Campaign:
                    "config_schema": SCHEMA_VERSION,
                    "campaign": self.fingerprint(),
                    "completed": completed}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=1)
-        os.replace(tmp, path)
+        from ..utils.io import atomic_write_json
+        atomic_write_json(path, payload, sort_keys=False)
 
     # -- execution ----------------------------------------------------------
     def _make_optimizer(self, scenario: Scenario):

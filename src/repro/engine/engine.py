@@ -48,6 +48,24 @@ class EngineConfig:
     cache_max_bytes: int | None = None  # per disk tier; None = unbounded
 
 
+def _flatten_counters(stats: dict, prefix: str = "") -> dict:
+    """Dotted-path view of the numeric counters in a stats tree.
+
+    Derived ratios (``hit_rate``) and non-numeric leaves are excluded so
+    the result is safe to subtract snapshot-from-snapshot.
+    """
+    flat = {}
+    for key, value in stats.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten_counters(value, f"{path}."))
+        elif isinstance(value, bool) or key == "hit_rate":
+            continue
+        elif isinstance(value, (int, float)):
+            flat[path] = value
+    return flat
+
+
 def _build_library_task(payload):
     """Worker task: characterize one corner (library only, no flow)."""
     builder, corner = payload
@@ -303,6 +321,24 @@ class EvaluationEngine:
             "result_cache": self.result_cache.stats(),
             "timing_s": dict(self.timing.totals),
         }
+
+    def snapshot(self) -> dict:
+        """Flat, monotonic counter snapshot of :meth:`stats`.
+
+        Keys are dotted paths (``result_cache.memory.hits``, …) mapping
+        to numbers only — derived rates and descriptive strings are
+        dropped — so two snapshots subtract cleanly. Callers sharing a
+        long-lived engine (several search runs, many serve jobs) bracket
+        a window of work with :meth:`snapshot` / :meth:`delta` instead
+        of resetting the engine's lifetime counters.
+        """
+        return _flatten_counters(self.stats())
+
+    def delta(self, before: dict) -> dict:
+        """Counter movement since ``before`` (a :meth:`snapshot`)."""
+        now = self.snapshot()
+        return {key: value - before.get(key, 0)
+                for key, value in now.items()}
 
     def reset_counters(self) -> None:
         self.characterizations = 0

@@ -98,12 +98,22 @@ class SearchRun:
         self.archive = archive if archive is not None else ParetoArchive()
         self.hv_reference = hv_reference
 
-    def run(self, budget: int = 45, max_stalls: int = 5) -> SearchResult:
+    def run(self, budget: int = 45, max_stalls: int = 5,
+            progress_callback=None) -> SearchResult:
         """Drive the loop until ``budget`` evaluations are told.
 
         ``max_stalls`` bounds consecutive empty asks (a finished grid
         sweep, a portfolio with every member done) so the loop always
         terminates.
+
+        ``progress_callback`` (optional) is invoked once per optimizer
+        round — after each ask → evaluate → tell cycle — with a
+        JSON-able snapshot dict (round index, told/unique evaluation
+        counts, engine misses so far, current best, Pareto size,
+        elapsed seconds). Exceptions it raises propagate out of the
+        loop, which is how callers abort a run in flight (see
+        :mod:`repro.serve.pool`). ``None`` (the default) keeps the loop
+        bit-identical to the historical behavior.
         """
         t0 = time.perf_counter()
         seen = {}                       # corner key -> unique-eval index
@@ -114,6 +124,7 @@ class SearchRun:
         misses0 = self.engine.flow_evaluations
         chars0 = self.engine.characterizations
         stalls = 0
+        rounds = 0
         while len(rewards) < budget and not self.optimizer.done:
             corners = self.optimizer.ask()
             if not corners:
@@ -136,6 +147,19 @@ class SearchRun:
                     first_seen_of_best = seen[key]
                 self.archive.add(record)
             self.optimizer.tell(records)
+            rounds += 1
+            if progress_callback is not None:
+                progress_callback({
+                    "round": rounds,
+                    "told": len(rewards),
+                    "budget": budget,
+                    "evaluations": len(seen),
+                    "engine_misses":
+                        self.engine.flow_evaluations - misses0,
+                    "best_reward": float(best.reward),
+                    "best_corner": list(best.corner.key()),
+                    "pareto_points": len(self.archive),
+                    "elapsed_s": time.perf_counter() - t0})
         if best is None:
             raise RuntimeError(
                 f"search run produced no evaluations (optimizer "

@@ -1,0 +1,122 @@
+"""ServeClient: the thin urllib client for the serve HTTP API.
+
+Everything the server speaks is JSON, so the client is a dozen small
+methods over one ``urllib.request`` helper — no dependencies, usable
+from tests, examples and the ``repro submit`` CLI alike. HTTP error
+responses raise :class:`ServeClientError` carrying the decoded error
+body and status code; transport failures (connection refused, timeouts)
+surface as the underlying ``URLError``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServeClientError", "ServeClient"]
+
+
+class ServeClientError(RuntimeError):
+    """The server answered with an HTTP error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Client for one serve endpoint (``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        body = (None if payload is None
+                else json.dumps(payload).encode("utf-8"))
+        request = urllib.request.Request(
+            url, data=body, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(
+                    exc.read().decode("utf-8")).get("error", str(exc))
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                message = str(exc)
+            raise ServeClientError(exc.code, message) from None
+
+    # -- service introspection --------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def workspace_stats(self) -> dict:
+        return self._request("GET", "/v1/workspace/stats")
+
+    # -- jobs --------------------------------------------------------------
+    def submit(self, config, priority: int = 0,
+               force: bool = False) -> dict:
+        """Submit a config (StcoConfig, mapping, or path to JSON)."""
+        from ..api.config import StcoConfig
+        if not isinstance(config, (dict, StcoConfig)):
+            config = StcoConfig.load(config)
+        if isinstance(config, StcoConfig):
+            config = config.to_dict()
+        return self._request("POST", "/v1/runs",
+                             {"config": config, "priority": priority,
+                              "force": force})
+
+    def jobs(self) -> list:
+        return self._request("GET", "/v1/runs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/runs/{job_id}")
+
+    def events(self, job_id: str) -> list:
+        return self._request("GET", f"/v1/runs/{job_id}/events")["events"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/runs/{job_id}/cancel")
+
+    # -- conveniences ------------------------------------------------------
+    def wait(self, job_id: str, timeout_s: float = 600.0,
+             poll_s: float = 0.2) -> dict:
+        """Poll until the job is terminal; returns the full job dict.
+
+        Polling uses the summary view (no config/report/events bodies)
+        so waiting on a long run stays O(1) per poll; the full record
+        is fetched once, at the end.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            state = self._request(
+                "GET", f"/v1/runs/{job_id}?view=summary")["state"]
+            if state in ("succeeded", "failed", "cancelled"):
+                return self.job(job_id)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state} after "
+                    f"{timeout_s:.1f}s")
+            time.sleep(poll_s)
+
+    def run(self, config, priority: int = 0, force: bool = False,
+            timeout_s: float = 600.0):
+        """submit → wait → :class:`~repro.api.report.RunReport`.
+
+        Raises ``RuntimeError`` unless the job succeeded.
+        """
+        from ..api.report import RunReport
+        job = self.wait(self.submit(config, priority, force)["job_id"],
+                        timeout_s)
+        if job["state"] != "succeeded":
+            raise RuntimeError(
+                f"job {job['job_id']} {job['state']}: {job['error']}")
+        return RunReport.from_dict(job["report"])

@@ -1,0 +1,131 @@
+"""Content-keyed request coalescing: identical requests share one run.
+
+The whole repository is built on content addressing — the engine caches
+by (builder, corner, design, weights) keys, the workspace registers
+models by (technology, model) hashes — and the serve layer extends the
+same idea one level up: a *request* is content too. Two clients
+submitting the same :class:`~repro.api.config.StcoConfig` against the
+same workspace are asking for the same deterministic computation, so
+:func:`request_key` (built on :func:`repro.engine.hashing.stable_hash`)
+gives them the same key, and the :class:`Coalescer` makes the second
+request ride the first one's execution:
+
+* no job in flight for the key → the new job is the **leader** and gets
+  a queue slot;
+* a leader is in flight → the new job is a **follower**: no queue slot,
+  it is resolved with the leader's report the moment the leader
+  finishes;
+* a job with the key already succeeded → the new job is a
+  **duplicate**: it completes immediately with the stored report
+  (idempotent resubmission for free).
+
+``force=True`` opts a submission out of sharing (it always executes),
+without disturbing the key's current leader.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+__all__ = ["request_key", "Coalescer"]
+
+
+def request_key(config, workspace_root) -> str:
+    """Stable content key for (config document, workspace identity).
+
+    ``config`` may be an :class:`~repro.api.config.StcoConfig` or a
+    mapping (validated and normalized through ``StcoConfig`` first, so
+    two documents that *mean* the same run key identically regardless
+    of field order or defaulted-vs-explicit spelling).
+    """
+    from ..api.config import StcoConfig
+    from ..engine.hashing import stable_hash
+    if not isinstance(config, StcoConfig):
+        config = StcoConfig.from_dict(dict(config))
+    return stable_hash({"kind": "serve-request",
+                        "config": config.to_dict(),
+                        "workspace": str(Path(workspace_root).resolve())},
+                       length=32)
+
+
+class Coalescer:
+    """In-flight leader and completed-run bookkeeping per content key."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._leaders: dict[str, str] = {}      # key -> leader job id
+        self._followers: dict[str, list] = {}   # leader id -> follower ids
+        self._completed: dict[str, str] = {}    # key -> last success id
+        self.counters = {"leaders": 0, "followers": 0, "duplicates": 0}
+
+    # -- admission ---------------------------------------------------------
+    def admit(self, key: str, job_id: str, force: bool = False,
+              reuse_completed: bool = True) -> tuple:
+        """Classify a new submission. Returns ``(role, other_id)``:
+
+        ``("leader", None)`` — run it; ``("follower", leader_id)`` —
+        parked on the in-flight leader; ``("duplicate", done_id)`` —
+        answerable right now from a completed job's report
+        (``reuse_completed=False`` disables only this last path).
+        """
+        with self._lock:
+            if not force:
+                leader = self._leaders.get(key)
+                if leader is not None:
+                    self._followers.setdefault(leader, []).append(job_id)
+                    self.counters["followers"] += 1
+                    return "follower", leader
+                done = self._completed.get(key)
+                if done is not None and reuse_completed:
+                    self.counters["duplicates"] += 1
+                    return "duplicate", done
+            if key not in self._leaders:
+                # A forced run never displaces the key's current leader
+                # (followers keep riding the original execution).
+                self._leaders[key] = job_id
+            self.counters["leaders"] += 1
+            return "leader", None
+
+    def remove_follower(self, leader_id: str, job_id: str) -> bool:
+        """Detach a cancelled follower before its leader finishes."""
+        with self._lock:
+            followers = self._followers.get(leader_id, [])
+            if job_id in followers:
+                followers.remove(job_id)
+                return True
+            return False
+
+    # -- completion --------------------------------------------------------
+    def resolve(self, key: str, job_id: str, success: bool) -> list:
+        """A leader finished: release the key, return its followers.
+
+        On success the key is remembered so later identical submissions
+        become duplicates of this job.
+        """
+        with self._lock:
+            if self._leaders.get(key) == job_id:
+                del self._leaders[key]
+            if success and key:
+                self._completed[key] = job_id
+            return self._followers.pop(job_id, [])
+
+    # -- restart rebuild ---------------------------------------------------
+    def restore_leader(self, key: str, job_id: str) -> None:
+        with self._lock:
+            self._leaders.setdefault(key, job_id)
+
+    def restore_follower(self, leader_id: str, job_id: str) -> None:
+        with self._lock:
+            self._followers.setdefault(leader_id, []).append(job_id)
+
+    def restore_completed(self, key: str, job_id: str) -> None:
+        with self._lock:
+            self._completed[key] = job_id
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {"in_flight_keys": len(self._leaders),
+                    "known_results": len(self._completed),
+                    **self.counters}

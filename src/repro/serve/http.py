@@ -1,0 +1,219 @@
+"""Stdlib JSON-over-HTTP front end for a :class:`ServeService`.
+
+No third-party dependencies: a ``ThreadingHTTPServer`` whose handler
+translates a small REST surface onto the service —
+
+======  ==========================  =====================================
+POST    ``/v1/runs``                submit (body: a config document, or
+                                    ``{"config": …, "priority": n,
+                                    "force": bool}``) → 202 + job
+GET     ``/v1/runs``                all job summaries
+GET     ``/v1/runs/{id}``           one job, report included when done
+GET     ``/v1/runs/{id}/events``    per-round progress snapshots
+POST    ``/v1/runs/{id}/cancel``    cancel (now if queued, next round
+                                    if running)
+GET     ``/v1/workspace/stats``     workspace + live engine statistics
+GET     ``/healthz``                liveness, queue depth, job counts
+======  ==========================  =====================================
+
+Error mapping: unknown paths/jobs → 404, malformed JSON or configs →
+400, a draining service → 503; every body (including errors) is a JSON
+object. :class:`StcoServer` wraps server-socket lifecycle: ``port=0``
+binds an ephemeral port (tests), :meth:`start` serves on a daemon
+thread, :meth:`close` stops cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .jobs import UnknownJobError
+from .pool import ServeService, ServiceClosed
+
+__all__ = ["StcoServer"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _ApiError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    @property
+    def service(self) -> ServeService:
+        return self.server.service
+
+    def log_message(self, format, *args):   # noqa: A002 — stdlib name
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload, indent=1, sort_keys=True,
+                          default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _ApiError(400, "request body required")
+        if length > _MAX_BODY_BYTES:
+            # The body stays unread: drop the connection after the
+            # error or the leftover bytes would be parsed as the next
+            # request on this keep-alive socket.
+            self.close_connection = True
+            raise _ApiError(413, "request body too large")
+        try:
+            data = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _ApiError(400, f"body is not valid JSON: {exc}") \
+                from None
+        if not isinstance(data, dict):
+            raise _ApiError(400, "body must be a JSON object")
+        return data
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            self._route(method)
+        except _ApiError as exc:
+            self._send({"error": exc.message}, exc.status)
+        except UnknownJobError as exc:
+            self._send({"error": f"unknown job {exc.args[0]!r}"}, 404)
+        except ServiceClosed as exc:
+            self._send({"error": str(exc)}, 503)
+        except Exception as exc:        # noqa: BLE001 — request boundary
+            self._send({"error": f"internal error: {exc}"}, 500)
+
+    def do_GET(self):                   # noqa: N802 — stdlib casing
+        self._dispatch("GET")
+
+    def do_POST(self):                  # noqa: N802 — stdlib casing
+        self._dispatch("POST")
+
+    # -- routing -----------------------------------------------------------
+    def _route(self, method: str) -> None:
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+        if method == "GET" and path == "/healthz":
+            return self._send(self.service.health())
+        if parts[:2] != ["v1", "runs"] and parts[:2] != ["v1",
+                                                         "workspace"]:
+            raise _ApiError(404, f"no such endpoint: {path}")
+        if parts[:2] == ["v1", "workspace"]:
+            if method == "GET" and parts[2:] == ["stats"]:
+                return self._send(self.service.workspace_stats())
+            raise _ApiError(404, f"no such endpoint: {path}")
+        # /v1/runs...
+        rest = parts[2:]
+        if not rest:
+            if method == "POST":
+                return self._submit()
+            return self._send({"jobs": self.service.store.jobs()})
+        job_id = rest[0]
+        if method == "GET" and len(rest) == 1:
+            if "view=summary" in query:
+                # Light polling view: no config/report/events payload,
+                # so a wait loop costs O(1) per poll, not O(rounds).
+                return self._send(self.service.store.summary(job_id))
+            return self._send(self.service.store.describe(job_id))
+        if method == "GET" and rest[1:] == ["events"]:
+            return self._send(self.service.events(job_id))
+        if method == "POST" and rest[1:] == ["cancel"]:
+            cancelled = self.service.cancel(job_id)
+            job = self.service.store.describe(job_id)
+            return self._send({"job_id": job_id, "cancelled": cancelled,
+                               "state": job["state"]})
+        raise _ApiError(404, f"no such endpoint: {path}")
+
+    def _submit(self) -> None:
+        from ..api.config import ConfigError
+        data = self._read_json()
+        if "config" in data:
+            config = data["config"]
+            priority = data.get("priority", 0)
+            force = bool(data.get("force", False))
+            if not isinstance(config, dict):
+                raise _ApiError(400, "'config' must be a JSON object")
+            if not isinstance(priority, int) or isinstance(priority,
+                                                           bool):
+                raise _ApiError(400, "'priority' must be an integer")
+        else:                            # bare config document
+            config, priority, force = data, 0, False
+        try:
+            job = self.service.submit(config, priority=priority,
+                                      force=force)
+        except ConfigError as exc:
+            raise _ApiError(400, f"invalid config: {exc}") from None
+        self._send({"job_id": job.job_id, "state": job.state,
+                    "content_key": job.content_key,
+                    "coalesced_with": job.coalesced_with,
+                    "priority": job.priority}, 202)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class StcoServer:
+    """Socket + thread lifecycle around the HTTP handler.
+
+    ``port=0`` binds an OS-assigned ephemeral port (read it back from
+    :attr:`port` / :attr:`url`). Usable as a context manager; serving
+    happens on a daemon thread so :meth:`start` returns immediately.
+    """
+
+    def __init__(self, service: ServeService, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False):
+        self.service = service
+        self.httpd = _Server((host, port), _Handler)
+        self.httpd.service = service
+        self.httpd.verbose = verbose
+        self.host = self.httpd.server_address[0]
+        self.port = self.httpd.server_address[1]
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "StcoServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever, name="serve-http",
+                daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the ``repro serve`` CLI foreground mode)."""
+        self.httpd.serve_forever()
+
+    def close(self, close_service: bool = False) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        if close_service:
+            self.service.close()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.close()

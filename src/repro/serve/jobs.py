@@ -1,0 +1,362 @@
+"""Persistent job queue: the durable half of the serve layer.
+
+A :class:`JobStore` owns one directory of JSON job records — one file
+per job, written atomically on every state change — plus the in-memory
+priority queue workers drain. Because every transition hits disk before
+it is observable, a crashed server restarts into a consistent store:
+jobs found ``running`` on load were interrupted mid-flight and are
+resubmitted (queued again, ``resubmitted`` flagged, original priority
+and FIFO position preserved), while terminal jobs keep their reports.
+
+Scheduling is priority-then-FIFO: higher ``priority`` first, and within
+one priority class strictly submission order (a monotonic sequence
+number persisted with the job, so the order survives restarts too).
+
+The store knows nothing about *what* a job runs or how identical jobs
+are shared — that is :mod:`repro.serve.pool` and
+:mod:`repro.serve.coalesce`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+from ..utils.io import atomic_write_json
+
+__all__ = ["JobState", "Job", "JobStore", "UnknownJobError"]
+
+
+class UnknownJobError(KeyError):
+    """No job with that id in this store."""
+
+
+class JobState:
+    """Lifecycle: submitted → running → succeeded/failed/cancelled."""
+
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ACTIVE = (SUBMITTED, RUNNING)
+    TERMINAL = (SUCCEEDED, FAILED, CANCELLED)
+    ALL = ACTIVE + TERMINAL
+
+
+@dataclass
+class Job:
+    """One submitted run request and everything that happened to it."""
+
+    job_id: str
+    config: dict
+    content_key: str = ""            # request_key() of (config, workspace)
+    priority: int = 0                # higher drains first
+    seq: int = 0                     # FIFO tiebreaker within a priority
+    state: str = JobState.SUBMITTED
+    submitted_s: float = 0.0
+    started_s: float = 0.0
+    finished_s: float = 0.0
+    attempts: int = 0                # claim count (resubmission-aware)
+    resubmitted: bool = False        # True after a crash-recovery requeue
+    coalesced_with: str = ""         # leader / original job id ("" = none)
+    error: str = ""
+    report: dict | None = None       # RunReport.to_dict() when succeeded
+    events: list = field(default_factory=list)   # progress snapshots
+    ledger: dict = field(default_factory=dict)   # queue/lock/exec seconds
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def summary(self) -> dict:
+        """The list-endpoint view: everything but the heavy payloads."""
+        out = self.to_dict()
+        out["events"] = len(self.events)
+        out["has_report"] = self.report is not None
+        del out["report"], out["config"]
+        return out
+
+
+class JobStore:
+    """Crash-safe job records + the priority/FIFO queue over them."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._queue: list = []           # (-priority, seq, job_id) heap
+        self._seq = 0
+        self.recovered: list = []        # ids resubmitted by recovery
+        self._load()
+
+    # -- persistence -------------------------------------------------------
+    def _path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.json"
+
+    def _events_path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.events.jsonl"
+
+    def _persist(self, job: Job) -> None:
+        # Events live in an append-only sidecar (see add_event), so the
+        # per-transition record write stays O(record), not O(rounds).
+        record = job.to_dict()
+        del record["events"]
+        atomic_write_json(self._path(job.job_id), record)
+
+    def _load_events(self, job_id: str) -> list:
+        path = self._events_path(job_id)
+        if not path.exists():
+            return []
+        events = []
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    try:
+                        events.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        pass             # torn tail from a crash
+        except OSError:
+            pass
+        return events
+
+    def _load(self) -> None:
+        """Read every record; requeue interrupted and pending work."""
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                job = Job.from_dict(
+                    json.loads(path.read_text(encoding="utf-8")))
+            except (OSError, json.JSONDecodeError, TypeError):
+                continue                 # torn/foreign file: skip, keep
+            job.events = self._load_events(job.job_id)
+            if job.state == JobState.RUNNING:
+                # Interrupted mid-flight by a crash: resubmit.
+                job.state = JobState.SUBMITTED
+                job.started_s = 0.0
+                job.resubmitted = True
+                self._persist(job)
+                self.recovered.append(job.job_id)
+            self._jobs[job.job_id] = job
+            self._seq = max(self._seq, job.seq + 1)
+        for job in self._jobs.values():
+            if job.state == JobState.SUBMITTED and not job.coalesced_with:
+                heapq.heappush(self._queue,
+                               (-job.priority, job.seq, job.job_id))
+
+    # -- submission / lookup ----------------------------------------------
+    def submit(self, config: dict, priority: int = 0,
+               content_key: str = "", enqueue: bool = True) -> Job:
+        """Create (and persist) a new job; queue it unless told not to.
+
+        ``enqueue=False`` leaves the job parked in ``submitted`` without
+        a queue slot — the coalescing layer uses this for follower jobs
+        that ride another job's execution.
+        """
+        with self._lock:
+            job = Job(job_id=uuid.uuid4().hex[:12], config=dict(config),
+                      content_key=content_key, priority=int(priority),
+                      seq=self._seq, submitted_s=time.time())
+            self._seq += 1
+            self._jobs[job.job_id] = job
+            self._persist(job)
+            if enqueue:
+                heapq.heappush(self._queue,
+                               (-job.priority, job.seq, job.job_id))
+                self._cond.notify()
+            return job
+
+    def enqueue(self, job_id: str) -> None:
+        """Queue a parked ``submitted`` job (e.g. a promoted follower)."""
+        with self._lock:
+            job = self.get(job_id)
+            if job.state != JobState.SUBMITTED:
+                raise ValueError(
+                    f"cannot enqueue job {job_id} in state {job.state}")
+            heapq.heappush(self._queue,
+                           (-job.priority, job.seq, job.job_id))
+            self._cond.notify()
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id) from None
+
+    def describe(self, job_id: str) -> dict:
+        """A consistent JSON view of one job (taken under the lock)."""
+        with self._lock:
+            return self.get(job_id).to_dict()
+
+    def jobs(self) -> list:
+        """Summaries of every job, submission order."""
+        with self._lock:
+            return [job.summary() for job in
+                    sorted(self._jobs.values(), key=lambda j: j.seq)]
+
+    def all_jobs(self) -> list:
+        """Snapshot of the live Job objects, submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def summary(self, job_id: str) -> dict:
+        """One job's light view (no config/report payloads)."""
+        with self._lock:
+            return self.get(job_id).summary()
+
+    def boost(self, job_id: str, priority: int) -> bool:
+        """Raise a queued job's priority (never lowers it).
+
+        The old heap entry goes stale and is skipped by :meth:`claim`
+        (entry priority no longer matches the job's).
+        """
+        with self._lock:
+            job = self.get(job_id)
+            if job.state != JobState.SUBMITTED or job.coalesced_with \
+                    or priority <= job.priority:
+                return False
+            job.priority = int(priority)
+            self._persist(job)
+            heapq.heappush(self._queue,
+                           (-job.priority, job.seq, job.job_id))
+            self._cond.notify()
+            return True
+
+    def counts(self) -> dict:
+        with self._lock:
+            out = {state: 0 for state in JobState.ALL}
+            queued = 0
+            for job in self._jobs.values():
+                out[job.state] = out.get(job.state, 0) + 1
+                # Not len(self._queue): the heap holds stale entries
+                # (priority boosts, cancelled-while-queued jobs) that
+                # claim() skips — they are not real backlog.
+                if job.state == JobState.SUBMITTED \
+                        and not job.coalesced_with:
+                    queued += 1
+            out["queued"] = queued
+            return out
+
+    # -- worker side -------------------------------------------------------
+    def claim(self, timeout: float | None = None) -> Job | None:
+        """Pop the next runnable job (priority, then FIFO), marking it
+        ``running``. Blocks up to ``timeout`` seconds; ``None`` on
+        timeout. Entries whose job was cancelled while queued are
+        skipped lazily."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                while self._queue:
+                    neg_pri, _, job_id = heapq.heappop(self._queue)
+                    job = self._jobs.get(job_id)
+                    if job is None or job.state != JobState.SUBMITTED \
+                            or -neg_pri != job.priority:
+                        continue         # cancelled / stale boost entry
+                    job.state = JobState.RUNNING
+                    job.started_s = time.time()
+                    job.attempts += 1
+                    self._persist(job)
+                    return job
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+    def add_event(self, job_id: str, snapshot: dict) -> None:
+        with self._lock:
+            job = self.get(job_id)
+            job.events.append(dict(snapshot))
+            with open(self._events_path(job_id), "a",
+                      encoding="utf-8") as fh:
+                fh.write(json.dumps(snapshot, sort_keys=True) + "\n")
+
+    def update(self, job: Job) -> None:
+        """Persist caller-made mutations to ``job``."""
+        with self._lock:
+            self._persist(job)
+            self._cond.notify_all()
+
+    def finish(self, job_id: str, state: str, report: dict | None = None,
+               error: str = "", coalesced_with: str | None = None,
+               ledger: dict | None = None) -> Job:
+        """Move a job to a terminal state and persist it."""
+        if state not in JobState.TERMINAL:
+            raise ValueError(f"finish() needs a terminal state, "
+                             f"got {state!r}")
+        with self._lock:
+            job = self.get(job_id)
+            if job.terminal:
+                # First writer wins: a cancel racing the leader's
+                # resolution (or vice versa) must not overwrite an
+                # already-persisted outcome.
+                return job
+            job.state = state
+            job.finished_s = time.time()
+            if report is not None:
+                job.report = report
+            if error:
+                job.error = error
+            if coalesced_with is not None:
+                job.coalesced_with = coalesced_with
+            if ledger:
+                job.ledger = dict(job.ledger, **ledger)
+            self._persist(job)
+            self._cond.notify_all()
+            return job
+
+    def cancel_queued(self, job_id: str) -> bool:
+        """Cancel a job that has not started; False if it already did."""
+        with self._lock:
+            job = self.get(job_id)
+            if job.state != JobState.SUBMITTED:
+                return False
+            self.finish(job_id, JobState.CANCELLED)
+            return True
+
+    # -- waiting -----------------------------------------------------------
+    def wait_for(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until ``job_id`` reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                job = self.get(job_id)
+                if job.terminal:
+                    return job
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {job.state} after "
+                        f"{timeout:.1f}s")
+                self._cond.wait(remaining)
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no job is submitted/running (a graceful drain)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                if not any(j.state in JobState.ACTIVE
+                           for j in self._jobs.values()):
+                    return True
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)

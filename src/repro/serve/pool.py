@@ -1,0 +1,401 @@
+"""ServeService: a worker pool draining the job queue against one
+shared workspace.
+
+This is the piece that turns ``run(config, workspace)`` from a function
+call into a multi-tenant service. One :class:`ServeService` composes
+
+* a :class:`~repro.serve.jobs.JobStore` (durable queue + lifecycle),
+* a :class:`~repro.serve.coalesce.Coalescer` (identical requests share
+  one execution),
+* one shared :class:`~repro.api.workspace.Workspace` (so the
+  zero-retrain / zero-recharacterize guarantee holds *across tenants*:
+  the model your request trained is the model every later request
+  loads), and
+* N worker threads claiming jobs and running them through
+  :func:`repro.api.runner.run`.
+
+Engine executions serialize on one process-wide lock: the GNN inference
+path toggles process-global autograd state
+(:data:`repro.nn.tensor._GRAD_ENABLED`), which is not thread-safe, and
+this container's parallelism lives *inside* the engine (its executor
+backends) anyway. The service's concurrency win comes from admission
+(submissions never block on running work), coalescing, and the shared
+warm caches — the per-job ``ledger`` records queue wait, lock wait and
+execution seconds separately so that split stays observable.
+
+Cancellation: queued jobs cancel immediately; running jobs cancel at
+the next optimizer round via the progress callback (the per-round hook
+raises :class:`JobCancelled` inside the search loop). Followers of a
+cancelled or failed-by-crash leader are not silently dropped — the
+first is promoted to leader and re-queued, the rest re-coalesce onto
+it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+
+from .coalesce import Coalescer, request_key
+from .jobs import JobState, JobStore, UnknownJobError
+
+__all__ = ["JobCancelled", "ServiceClosed", "ServeService"]
+
+
+class JobCancelled(Exception):
+    """Raised inside a job's progress callback to abort it mid-search."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service is draining or shut down and takes no new work."""
+
+
+def _default_runner(config, workspace, progress_callback=None):
+    from ..api.runner import run
+    return run(config, workspace, progress_callback=progress_callback)
+
+
+class ServeService:
+    """Job admission, scheduling and execution over one workspace.
+
+    Parameters
+    ----------
+    workspace:
+        A :class:`~repro.api.workspace.Workspace` (or a path, coerced
+        to one). All jobs execute against it.
+    jobs_dir:
+        Where job records persist; default ``<workspace>/serve/jobs``.
+    workers:
+        Worker-thread count. More workers mainly overlap admission,
+        persistence and follower resolution — executions themselves
+        serialize (see module docstring).
+    reuse_completed:
+        When True (default), a submission whose content key already
+        succeeded completes instantly with the stored report.
+    runner:
+        Execution hook ``(config_dict, workspace, progress_callback)
+        -> RunReport``; tests substitute stubs. Default:
+        :func:`repro.api.runner.run`.
+    on_event:
+        Optional observer called with ``(job, snapshot)`` after every
+        persisted progress event (logging, test orchestration).
+    autostart:
+        Start the worker threads immediately (default). Pass False to
+        stage jobs first — e.g. to test queued-state behavior — then
+        call :meth:`start`.
+    """
+
+    def __init__(self, workspace, jobs_dir=None, workers: int = 2,
+                 reuse_completed: bool = True, runner=None,
+                 on_event=None, autostart: bool = True):
+        from ..api.workspace import Workspace
+        if not isinstance(workspace, Workspace):
+            workspace = Workspace(workspace)
+        self.workspace = workspace
+        self.store = JobStore(jobs_dir if jobs_dir is not None
+                              else workspace.root / "serve" / "jobs")
+        self.coalescer = Coalescer()
+        self.workers = max(1, int(workers))
+        self.reuse_completed = reuse_completed
+        self._runner = runner if runner is not None else _default_runner
+        self._on_event = on_event
+        self._exec_lock = threading.Lock()
+        self._cancel_events: dict[str, threading.Event] = {}
+        self._state_lock = threading.Lock()
+        self._accepting = True
+        self._stop = threading.Event()
+        self._threads: list = []
+        self._started_s = time.time()
+        self._rebuild()
+        if autostart:
+            self.start()
+
+    # -- restart rebuild ---------------------------------------------------
+    def _rebuild(self) -> None:
+        """Reconstruct coalescer state from the persisted store."""
+        jobs = sorted(self.store.all_jobs(),
+                      key=lambda j: j.finished_s)
+        for job in jobs:
+            if job.state == JobState.SUCCEEDED and job.content_key:
+                self.coalescer.restore_completed(job.content_key,
+                                                 job.job_id)
+        leaders_by_key: dict = {}
+        for job in jobs:
+            if job.state != JobState.SUBMITTED:
+                continue
+            if not job.coalesced_with:
+                self.coalescer.restore_leader(job.content_key,
+                                              job.job_id)
+                leaders_by_key.setdefault(job.content_key, job.job_id)
+        for job in jobs:
+            if job.state != JobState.SUBMITTED or not job.coalesced_with:
+                continue
+            try:
+                leader = self.store.get(job.coalesced_with)
+            except UnknownJobError:
+                # The leader's record is gone (gc'd, torn file): a
+                # dangling follower must never make the boot fail —
+                # promote it and run solo.
+                leader = None
+            if leader is not None and leader.state in JobState.ACTIVE:
+                self.coalescer.restore_follower(leader.job_id,
+                                                job.job_id)
+            elif leader is not None and \
+                    leader.state == JobState.SUCCEEDED:
+                self.store.finish(job.job_id, JobState.SUCCEEDED,
+                                  report=leader.report)
+            elif job.content_key in leaders_by_key:
+                # An earlier rebuilt/promoted job already owns this
+                # key: re-coalesce instead of executing twice.
+                new_leader = leaders_by_key[job.content_key]
+                job.coalesced_with = new_leader
+                self.store.update(job)
+                self.coalescer.restore_follower(new_leader, job.job_id)
+            else:
+                # Leader died terminally (or vanished) while we were
+                # down: run solo.
+                job.coalesced_with = ""
+                self.store.update(job)
+                self.coalescer.restore_leader(job.content_key,
+                                              job.job_id)
+                self.store.enqueue(job.job_id)
+                leaders_by_key[job.content_key] = job.job_id
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            return
+        for i in range(self.workers):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"serve-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop accepting work; wait for the queue to empty."""
+        with self._state_lock:
+            self._accepting = False
+        return self.store.wait_idle(timeout)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: drain, stop workers, join threads."""
+        self.drain(timeout)
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- admission ---------------------------------------------------------
+    def submit(self, config, priority: int = 0, force: bool = False):
+        """Admit one run request; returns its (persisted) Job.
+
+        Validates/normalizes the config, computes its content key, and
+        routes through the coalescer: leaders queue, followers park on
+        the in-flight leader, duplicates complete instantly from the
+        stored report. ``force=True`` always executes.
+        """
+        from ..api.config import StcoConfig
+        with self._state_lock:
+            if not self._accepting:
+                raise ServiceClosed("service is draining; not accepting "
+                                    "new submissions")
+        if not isinstance(config, StcoConfig):
+            config = StcoConfig.from_dict(dict(config))
+        key = request_key(config, self.workspace.root)
+        job = self.store.submit(config.to_dict(), priority=priority,
+                                content_key=key, enqueue=False)
+        role, other = self.coalescer.admit(
+            key, job.job_id, force=force,
+            reuse_completed=self.reuse_completed)
+        if role == "leader":
+            self.store.enqueue(job.job_id)
+        elif role == "follower":
+            job.coalesced_with = other
+            self.store.update(job)
+            # A high-priority request must not wait at its queued
+            # leader's lower priority: the leader inherits the boost.
+            self.store.boost(other, priority)
+        else:                            # duplicate: answer immediately
+            done = self.store.get(other)
+            self.store.finish(job.job_id, JobState.SUCCEEDED,
+                              report=done.report, coalesced_with=other,
+                              ledger={"queued_s": 0.0, "lock_wait_s": 0.0,
+                                      "execution_s": 0.0})
+        return self.store.get(job.job_id)
+
+    # -- cancellation ------------------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job. Queued/parked jobs cancel now; running jobs at
+        their next progress event. False if it was already terminal
+        (including losing the race against its own completion)."""
+        job = self.store.get(job_id)
+        if job.terminal:
+            return False
+        if job.state == JobState.SUBMITTED and job.coalesced_with:
+            # Parked follower: detach it from the leader first. Losing
+            # that race means the leader's resolution (or a
+            # repatriation) owns the job now — retry once against the
+            # possibly-new leader, then answer honestly.
+            for _ in range(2):
+                if self.coalescer.remove_follower(job.coalesced_with,
+                                                  job_id):
+                    return self.store.finish(
+                        job_id, JobState.CANCELLED).state == \
+                        JobState.CANCELLED
+                job = self.store.get(job_id)
+                if job.terminal or not job.coalesced_with:
+                    break
+            if job.terminal:
+                return False
+            if job.state == JobState.SUBMITTED and job.coalesced_with:
+                # Mid-repatriation and we lost twice: the job is about
+                # to be resolved or re-queued; report not-cancelled
+                # rather than flag a run that will never consult it.
+                return False
+        if job.state == JobState.SUBMITTED and not job.coalesced_with:
+            if self.store.cancel_queued(job_id):
+                self._repatriate_followers(
+                    self.coalescer.resolve(job.content_key, job_id,
+                                           success=False))
+                return True
+        # Running (or it started while we were deciding): flag it for
+        # the next progress round, then re-check — if it completed in
+        # the meantime the worker's cleanup may already have run, so
+        # drop our (re-created) event rather than leak it.
+        self._cancel_event(job_id).set()
+        job = self.store.get(job_id)
+        if job.terminal:
+            with self._state_lock:
+                self._cancel_events.pop(job_id, None)
+            return job.state == JobState.CANCELLED
+        return True
+
+    def _cancel_event(self, job_id: str) -> threading.Event:
+        with self._state_lock:
+            return self._cancel_events.setdefault(job_id,
+                                                  threading.Event())
+
+    # -- execution ---------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.store.claim(timeout=0.2)
+            if job is not None:
+                self._execute(job)
+
+    def _execute(self, job) -> None:
+        cancel = self._cancel_event(job.job_id)
+        ledger = {"queued_s": time.time() - job.submitted_s}
+
+        def on_progress(snapshot):
+            self.store.add_event(job.job_id, snapshot)
+            if self._on_event is not None:
+                self._on_event(job, snapshot)
+            if cancel.is_set():
+                raise JobCancelled(job.job_id)
+
+        try:
+            if cancel.is_set():          # cancelled between claim & here
+                raise JobCancelled(job.job_id)
+            t0 = time.perf_counter()
+            with self._exec_lock:
+                ledger["lock_wait_s"] = time.perf_counter() - t0
+                t1 = time.perf_counter()
+                report = self._runner(job.config, self.workspace,
+                                      progress_callback=on_progress)
+                ledger["execution_s"] = time.perf_counter() - t1
+        except JobCancelled:
+            self.store.finish(job.job_id, JobState.CANCELLED,
+                              ledger=ledger)
+            self._repatriate_followers(
+                self.coalescer.resolve(job.content_key, job.job_id,
+                                       success=False))
+        except Exception as exc:         # noqa: BLE001 — job boundary
+            error = "".join(traceback.format_exception_only(exc)).strip()
+            self.store.finish(job.job_id, JobState.FAILED, error=error,
+                              ledger=ledger)
+            # Same config, same workspace → the same deterministic
+            # failure; followers inherit it instead of re-running.
+            for follower in self.coalescer.resolve(job.content_key,
+                                                   job.job_id,
+                                                   success=False):
+                self.store.finish(follower, JobState.FAILED, error=error)
+        else:
+            payload = (report.to_dict()
+                       if hasattr(report, "to_dict") else dict(report))
+            self.store.finish(job.job_id, JobState.SUCCEEDED,
+                              report=payload, ledger=ledger)
+            for follower in self.coalescer.resolve(job.content_key,
+                                                   job.job_id,
+                                                   success=True):
+                self.store.finish(follower, JobState.SUCCEEDED,
+                                  report=payload)
+        finally:
+            with self._state_lock:
+                self._cancel_events.pop(job.job_id, None)
+
+    def _repatriate_followers(self, followers: list) -> None:
+        """A leader went away without a result: promote the first
+        still-pending follower to leader, re-coalesce the rest."""
+        pending = []
+        for job_id in followers:
+            job = self.store.get(job_id)
+            if job.state == JobState.SUBMITTED:
+                pending.append(job)
+        for job in pending:
+            job.coalesced_with = ""
+            self.store.update(job)
+            role, other = self.coalescer.admit(
+                job.content_key, job.job_id,
+                reuse_completed=self.reuse_completed)
+            if role == "leader":
+                self.store.enqueue(job.job_id)
+            elif role == "follower":
+                job.coalesced_with = other
+                self.store.update(job)
+            else:                        # resolved while we repatriated
+                done = self.store.get(other)
+                self.store.finish(job.job_id, JobState.SUCCEEDED,
+                                  report=done.report,
+                                  coalesced_with=other)
+
+    # -- introspection -----------------------------------------------------
+    def wait(self, job_id: str, timeout: float | None = None):
+        """Block until the job is terminal; returns the Job."""
+        return self.store.wait_for(job_id, timeout)
+
+    def events(self, job_id: str) -> dict:
+        """Progress snapshots for a job — a coalesced job that recorded
+        none of its own transparently reports its leader's."""
+        job = self.store.get(job_id)
+        events = list(job.events)
+        source = job.job_id
+        if not events and job.coalesced_with:
+            try:
+                events = list(self.store.get(job.coalesced_with).events)
+                source = job.coalesced_with
+            except UnknownJobError:      # leader record gone: own (none)
+                pass
+        return {"job_id": job_id, "state": job.state,
+                "source": source, "events": events}
+
+    def health(self) -> dict:
+        counts = self.store.counts()
+        with self._state_lock:
+            accepting = self._accepting
+        return {"status": "ok" if accepting else "draining",
+                "accepting": accepting,
+                "workers": len(self._threads),
+                "uptime_s": time.time() - self._started_s,
+                "jobs": counts,
+                "coalescer": self.coalescer.stats()}
+
+    def workspace_stats(self) -> dict:
+        return {"workspace": self.workspace.stats(),
+                "engines": self.workspace.engine_stats()}

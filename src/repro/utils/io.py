@@ -1,0 +1,40 @@
+"""Atomic file writes: never let a reader observe a torn document.
+
+Everything durable in this codebase — workspace registries, campaign
+checkpoints, serve job records — is JSON that other processes (or a
+post-crash restart) may read at any moment. The only safe way to
+update such a file is write-to-temp + ``os.replace``; this module is
+the one copy of that pattern.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_json"]
+
+
+def atomic_write_json(path, payload, indent: int = 1,
+                      sort_keys: bool = True) -> Path:
+    """Serialize ``payload`` to ``path`` atomically (temp + rename).
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` never crosses filesystems; on serialization failure
+    the temp file is removed and the original document is untouched.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=indent, sort_keys=sort_keys)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

@@ -109,6 +109,133 @@ class TestCheckpointErrors:
                      "--no-resume", "--quiet"]) == 0
 
 
+class TestWorkspaceCommands:
+    @pytest.fixture
+    def fake_ws(self, tmp_path):
+        """A workspace with fabricated artifacts: registry + files only,
+        so maintenance commands are tested without any pipeline work."""
+        from repro.api import Workspace
+        ws = Workspace(tmp_path / "ws")
+        (ws.datasets_dir / "d1.pkl").write_bytes(b"x" * 100)
+        (ws.models_dir / "m1.npz").write_bytes(b"y" * 200)
+        orphan_dir = ws.engine_dir / "libraries"
+        orphan_dir.mkdir()
+        (orphan_dir / "e1.pkl").write_bytes(b"z" * 50)
+        ws._register("k-d1", {"kind": "dataset", "technology": "ltps",
+                              "path": "d1.pkl"})
+        ws._register("k-m1", {"kind": "model", "technology": "ltps",
+                              "path": "m1.npz"})
+        return ws
+
+    def test_list_shows_artifacts(self, fake_ws, capsys):
+        assert main(["workspace", "list", str(fake_ws.root)]) == 0
+        out = capsys.readouterr().out
+        assert "d1.pkl" in out and "m1.npz" in out
+
+    def test_stats_prints_json(self, fake_ws, capsys):
+        assert main(["workspace", "stats", str(fake_ws.root)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["artifacts"] == {"dataset": 1, "model": 1}
+
+    def test_gc_requires_age_or_all(self, fake_ws, capsys):
+        assert main(["workspace", "gc", str(fake_ws.root)]) == 2
+        assert "--older-than" in capsys.readouterr().err
+
+    def test_gc_rejects_unknown_kind(self, fake_ws, capsys):
+        assert main(["workspace", "gc", str(fake_ws.root), "--all",
+                     "--kinds", "model,reports"]) == 2
+        assert "reports" in capsys.readouterr().err
+
+    def test_gc_dry_run_removes_nothing(self, fake_ws, capsys):
+        assert main(["workspace", "gc", str(fake_ws.root), "--all",
+                     "--dry-run"]) == 0
+        assert "would remove 3" in capsys.readouterr().out
+        assert (fake_ws.datasets_dir / "d1.pkl").exists()
+        assert (fake_ws.models_dir / "m1.npz").exists()
+
+    def test_gc_all_reclaims_files_and_registry(self, fake_ws, capsys):
+        assert main(["workspace", "gc", str(fake_ws.root), "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 3" in out
+        assert not (fake_ws.datasets_dir / "d1.pkl").exists()
+        assert not (fake_ws.models_dir / "m1.npz").exists()
+        assert not list(fake_ws.engine_dir.rglob("*.pkl"))
+        assert fake_ws.registry() == {}
+
+    def test_gc_reclaims_terminal_serve_jobs_only(self, fake_ws,
+                                                  capsys):
+        jobs_dir = fake_ws.root / "serve" / "jobs"
+        jobs_dir.mkdir(parents=True)
+        (jobs_dir / "aaa.json").write_text(
+            json.dumps({"job_id": "aaa", "state": "succeeded",
+                        "finished_s": 1.0}))
+        (jobs_dir / "aaa.events.jsonl").write_text('{"round": 1}\n')
+        (jobs_dir / "bbb.json").write_text(
+            json.dumps({"job_id": "bbb", "state": "running"}))
+        assert main(["workspace", "gc", str(fake_ws.root), "--all",
+                     "--kinds", "job"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not (jobs_dir / "aaa.json").exists()
+        assert not (jobs_dir / "aaa.events.jsonl").exists()
+        # The interrupted job is crash-recovery state: never collected.
+        assert (jobs_dir / "bbb.json").exists()
+
+    def test_gc_registry_keeps_concurrent_registrations(self, fake_ws):
+        # Simulate a live server registering a new artifact after gc
+        # snapshotted the registry: the rewrite must not clobber it.
+        real_registry = fake_ws.registry
+
+        def racing_registry():
+            registry = real_registry()
+            if not getattr(racing_registry, "raced", False):
+                racing_registry.raced = True
+                (fake_ws.models_dir / "m2.npz").write_bytes(b"z" * 10)
+                fake_ws._register("k-m2", {"kind": "model",
+                                           "technology": "ltps",
+                                           "path": "m2.npz"})
+            return registry
+
+        fake_ws.registry = racing_registry
+        fake_ws.gc(kinds=("dataset", "model"))
+        fake_ws.registry = real_registry
+        # The snapshot-era artifacts went; the concurrently registered
+        # model survived — entry *and* file (the orphan scan must use
+        # the fresh registry, not the stale snapshot).
+        assert "k-m2" in fake_ws.registry()
+        assert (fake_ws.models_dir / "m2.npz").exists()
+        assert "k-d1" not in fake_ws.registry()
+        assert "k-m1" not in fake_ws.registry()
+
+    def test_gc_respects_age_and_kinds(self, fake_ws, capsys):
+        # Everything is seconds old: an hour-long horizon keeps it all.
+        assert main(["workspace", "gc", str(fake_ws.root),
+                     "--older-than", "3600"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        # Kind filtering: only the model goes.
+        assert main(["workspace", "gc", str(fake_ws.root), "--all",
+                     "--kinds", "model"]) == 0
+        assert not (fake_ws.models_dir / "m1.npz").exists()
+        assert (fake_ws.datasets_dir / "d1.pkl").exists()
+        assert "k-d1" in fake_ws.registry()
+
+
+class TestSubmitErrors:
+    def test_unreachable_server_is_clean_error(self, tmp_path, capsys):
+        config = StcoConfig(mode="search")
+        path = tmp_path / "cfg.json"
+        config.save(path)
+        # Port 1 is never listening; urllib fails fast with ECONNREFUSED.
+        assert main(["submit", str(path), "--url",
+                     "http://127.0.0.1:1"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_missing_config_is_clean_error(self, capsys):
+        # The file is validated before any network traffic happens.
+        assert main(["submit", "/nonexistent/cfg.json", "--url",
+                     "http://127.0.0.1:1"]) == 2
+        assert "cannot read config" in capsys.readouterr().err
+
+
 class TestReport:
     def test_report_pretty_prints(self, tmp_path, capsys):
         path = RunReport(mode="search", design="s298",

@@ -268,3 +268,32 @@ class TestFastSTCOEquivalence:
                                    runs["batched"].history_rewards,
                                    rtol=1e-9)
         assert runs["serial"].engine_stats["characterizations"] >= 1
+
+
+class TestSnapshotDelta:
+    def test_snapshot_is_flat_and_numeric(self, builder):
+        engine = EvaluationEngine(builder, EngineConfig())
+        snap = engine.snapshot()
+        assert snap["characterizations"] == 0
+        assert snap["flow_evaluations"] == 0
+        assert all(isinstance(v, (int, float)) for v in snap.values())
+        assert not any(k.endswith("hit_rate") for k in snap)
+        assert "backend" not in snap            # strings excluded
+
+    def test_delta_brackets_a_window_of_work(self, builder, netlist,
+                                             corners):
+        engine = EvaluationEngine(builder, EngineConfig())
+        engine.evaluate_many(netlist, corners[:2])
+        before = engine.snapshot()
+        engine.evaluate_many(netlist, corners[:3])   # 2 hits + 1 miss
+        delta = engine.delta(before)
+        assert delta["flow_evaluations"] == 1
+        assert delta["characterizations"] == 1
+        assert delta["result_cache.memory.hits"] == 2
+        # Untouched counters report zero movement, not absence.
+        assert delta["result_cache.memory.evictions"] == 0
+
+    def test_delta_tolerates_new_counter_keys(self, builder):
+        engine = EvaluationEngine(builder, EngineConfig())
+        delta = engine.delta({})                # e.g. older snapshot
+        assert delta["flow_evaluations"] == 0

@@ -57,6 +57,54 @@ class TestSearchRunMechanics:
         assert len(payload["rewards"]) == 8
 
 
+class TestProgressCallback:
+    def test_snapshot_per_round(self, fake_engine):
+        import json
+        space = default_space()
+        snapshots = []
+        result = SearchRun(None, SimulatedAnnealing(space, seed=0),
+                           fake_engine).run(
+            budget=8, progress_callback=snapshots.append)
+        # Annealing asks one corner per round: one snapshot per told
+        # evaluation, monotonically advancing.
+        assert [s["round"] for s in snapshots] == list(range(1, 9))
+        assert snapshots[-1]["told"] == 8
+        assert snapshots[-1]["budget"] == 8
+        best_seen = [s["best_reward"] for s in snapshots]
+        assert best_seen == sorted(best_seen)      # best only improves
+        assert best_seen[-1] == result.best_reward
+        assert snapshots[-1]["evaluations"] == result.evaluations
+        assert snapshots[-1]["engine_misses"] == result.engine_misses
+        json.dumps(snapshots)                      # JSON-able contract
+
+    def test_none_callback_is_bit_identical(self, fake_engine):
+        space = default_space()
+        plain = SearchRun(None, SimulatedAnnealing(space, seed=0),
+                          fake_engine).run(budget=10)
+        hooked = SearchRun(None, SimulatedAnnealing(space, seed=0),
+                           fake_engine).run(
+            budget=10, progress_callback=lambda s: None)
+        assert hooked.rewards == plain.rewards
+        assert hooked.best_corner == plain.best_corner
+
+    def test_callback_exception_aborts_run(self, fake_engine):
+        space = default_space()
+
+        class Abort(Exception):
+            pass
+
+        def bomb(snapshot):
+            if snapshot["round"] >= 3:
+                raise Abort()
+
+        with pytest.raises(Abort):
+            SearchRun(None, SimulatedAnnealing(space, seed=0),
+                      fake_engine).run(budget=30,
+                                       progress_callback=bomb)
+        # The abort fired mid-run: only the rounds before it executed.
+        assert fake_engine.flow_evaluations <= 3
+
+
 class TestAcceptance:
     """Real engine + GNN builder on the 45-point default space."""
 

@@ -1,0 +1,101 @@
+"""request_key normalization + Coalescer admission semantics."""
+
+import pytest
+
+from repro.api import ConfigError, StcoConfig
+from repro.serve import Coalescer, request_key
+
+from tests.serve.conftest import make_config
+
+
+class TestRequestKey:
+    def test_equal_configs_key_identically(self, tmp_path):
+        assert request_key(make_config(), tmp_path) == \
+            request_key(make_config(), tmp_path)
+
+    def test_dict_and_config_spellings_agree(self, tmp_path):
+        config = make_config()
+        assert request_key(config.to_dict(), tmp_path) == \
+            request_key(config, tmp_path)
+
+    def test_defaulted_and_explicit_fields_agree(self, tmp_path):
+        # {"mode": "search"} and the fully expanded document mean the
+        # same run — normalization through StcoConfig makes them one key.
+        sparse = {"mode": "search"}
+        dense = StcoConfig.from_dict(sparse).to_dict()
+        assert request_key(sparse, tmp_path) == \
+            request_key(dense, tmp_path)
+
+    def test_different_config_different_key(self, tmp_path):
+        assert request_key(make_config(seed=0), tmp_path) != \
+            request_key(make_config(seed=1), tmp_path)
+
+    def test_different_workspace_different_key(self, tmp_path):
+        config = make_config()
+        assert request_key(config, tmp_path / "a") != \
+            request_key(config, tmp_path / "b")
+
+    def test_invalid_config_rejected_at_keying(self, tmp_path):
+        with pytest.raises(ConfigError):
+            request_key({"mode": "warp"}, tmp_path)
+
+
+class TestCoalescer:
+    def test_first_is_leader_second_follows(self):
+        c = Coalescer()
+        assert c.admit("k", "a") == ("leader", None)
+        assert c.admit("k", "b") == ("follower", "a")
+        assert c.admit("k", "c") == ("follower", "a")
+        assert sorted(c.resolve("k", "a", success=True)) == ["b", "c"]
+
+    def test_distinct_keys_do_not_interact(self):
+        c = Coalescer()
+        assert c.admit("k1", "a") == ("leader", None)
+        assert c.admit("k2", "b") == ("leader", None)
+
+    def test_completed_key_becomes_duplicate(self):
+        c = Coalescer()
+        c.admit("k", "a")
+        c.resolve("k", "a", success=True)
+        assert c.admit("k", "b") == ("duplicate", "a")
+
+    def test_reuse_completed_false_runs_again(self):
+        c = Coalescer()
+        c.admit("k", "a")
+        c.resolve("k", "a", success=True)
+        assert c.admit("k", "b", reuse_completed=False) == \
+            ("leader", None)
+
+    def test_failed_leader_is_not_remembered(self):
+        c = Coalescer()
+        c.admit("k", "a")
+        assert c.resolve("k", "a", success=False) == []
+        assert c.admit("k", "b") == ("leader", None)
+
+    def test_force_executes_without_displacing_leader(self):
+        c = Coalescer()
+        c.admit("k", "a")
+        assert c.admit("k", "b", force=True) == ("leader", None)
+        # followers keep riding the original leader
+        assert c.admit("k", "c") == ("follower", "a")
+
+    def test_remove_follower(self):
+        c = Coalescer()
+        c.admit("k", "a")
+        c.admit("k", "b")
+        assert c.remove_follower("a", "b")
+        assert not c.remove_follower("a", "b")
+        assert c.resolve("k", "a", success=True) == []
+
+    def test_stats_counters(self):
+        c = Coalescer()
+        c.admit("k", "a")
+        c.admit("k", "b")
+        c.resolve("k", "a", success=True)
+        c.admit("k", "c")
+        stats = c.stats()
+        assert stats["leaders"] == 1
+        assert stats["followers"] == 1
+        assert stats["duplicates"] == 1
+        assert stats["known_results"] == 1
+        assert stats["in_flight_keys"] == 0

@@ -1,0 +1,209 @@
+"""JobStore: lifecycle, persistence, scheduling, crash recovery."""
+
+import json
+
+import pytest
+
+from repro.serve import JobState, JobStore, UnknownJobError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "jobs")
+
+
+CFG = {"mode": "search"}
+
+
+class TestLifecycle:
+    def test_submit_persists_record(self, store, tmp_path):
+        job = store.submit(CFG, priority=3, content_key="k1")
+        data = json.loads(
+            (tmp_path / "jobs" / f"{job.job_id}.json").read_text())
+        assert data["state"] == JobState.SUBMITTED
+        assert data["priority"] == 3
+        assert data["content_key"] == "k1"
+        assert data["config"] == CFG
+        assert data["submitted_s"] > 0
+
+    def test_claim_marks_running_and_counts_attempts(self, store):
+        job = store.submit(CFG)
+        claimed = store.claim(timeout=1)
+        assert claimed.job_id == job.job_id
+        assert claimed.state == JobState.RUNNING
+        assert claimed.attempts == 1
+        assert claimed.started_s > 0
+
+    def test_finish_requires_terminal_state(self, store):
+        job = store.submit(CFG)
+        with pytest.raises(ValueError):
+            store.finish(job.job_id, JobState.RUNNING)
+
+    def test_full_success_path(self, store):
+        job = store.submit(CFG)
+        store.claim(timeout=1)
+        store.add_event(job.job_id, {"round": 1})
+        done = store.finish(job.job_id, JobState.SUCCEEDED,
+                            report={"best_reward": 1.5},
+                            ledger={"execution_s": 0.1})
+        assert done.terminal
+        assert done.report == {"best_reward": 1.5}
+        assert done.events == [{"round": 1}]
+        assert done.ledger["execution_s"] == 0.1
+        assert done.finished_s >= done.started_s
+
+    def test_unknown_job_raises(self, store):
+        with pytest.raises(UnknownJobError):
+            store.get("nope")
+        with pytest.raises(UnknownJobError):
+            store.describe("nope")
+
+    def test_claim_timeout_returns_none(self, store):
+        assert store.claim(timeout=0.05) is None
+
+
+class TestScheduling:
+    def test_priority_then_fifo(self, store):
+        low1 = store.submit(CFG, priority=0)
+        high = store.submit(CFG, priority=5)
+        low2 = store.submit(CFG, priority=0)
+        order = [store.claim(timeout=1).job_id for _ in range(3)]
+        assert order == [high.job_id, low1.job_id, low2.job_id]
+
+    def test_cancelled_queued_jobs_are_skipped(self, store):
+        first = store.submit(CFG)
+        second = store.submit(CFG)
+        assert store.cancel_queued(first.job_id)
+        assert store.claim(timeout=1).job_id == second.job_id
+        assert store.get(first.job_id).state == JobState.CANCELLED
+
+    def test_cancel_queued_refuses_running(self, store):
+        job = store.submit(CFG)
+        store.claim(timeout=1)
+        assert not store.cancel_queued(job.job_id)
+
+    def test_parked_jobs_get_no_queue_slot(self, store):
+        store.submit(CFG, enqueue=False)
+        assert store.claim(timeout=0.05) is None
+
+    def test_enqueue_parks_and_releases(self, store):
+        job = store.submit(CFG, enqueue=False)
+        store.enqueue(job.job_id)
+        assert store.claim(timeout=1).job_id == job.job_id
+
+    def test_boost_reorders_the_queue(self, store):
+        low = store.submit(CFG, priority=0)
+        high = store.submit(CFG, priority=5)
+        assert store.boost(low.job_id, 9)
+        assert not store.boost(low.job_id, 1)     # never lowers
+        assert store.claim(timeout=1).job_id == low.job_id
+        assert store.claim(timeout=1).job_id == high.job_id
+        # The stale pre-boost heap entry was skipped, not double-run.
+        assert store.claim(timeout=0.05) is None
+
+
+class TestPersistence:
+    def test_reload_round_trips_every_field(self, store, tmp_path):
+        job = store.submit(CFG, priority=2, content_key="key")
+        store.claim(timeout=1)
+        store.add_event(job.job_id, {"round": 1, "best_reward": 0.5})
+        store.finish(job.job_id, JobState.SUCCEEDED,
+                     report={"ok": True}, ledger={"queued_s": 0.0})
+        reloaded = JobStore(tmp_path / "jobs").get(job.job_id)
+        original = store.get(job.job_id)
+        assert reloaded.to_dict() == original.to_dict()
+
+    def test_sequence_numbers_survive_restart(self, store, tmp_path):
+        a = store.submit(CFG)
+        fresh = JobStore(tmp_path / "jobs")
+        b = fresh.submit(CFG)
+        assert b.seq > a.seq             # FIFO order survives reloads
+
+
+class TestRecovery:
+    def test_interrupted_running_job_is_resubmitted(self, store,
+                                                    tmp_path):
+        job = store.submit(CFG)
+        store.claim(timeout=1)           # now "running"; simulate crash
+        fresh = JobStore(tmp_path / "jobs")
+        recovered = fresh.get(job.job_id)
+        assert recovered.state == JobState.SUBMITTED
+        assert recovered.resubmitted
+        assert fresh.recovered == [job.job_id]
+        # ... and it is claimable again.
+        assert fresh.claim(timeout=1).job_id == job.job_id
+        assert fresh.get(job.job_id).attempts == 2
+
+    def test_terminal_jobs_are_left_alone(self, store, tmp_path):
+        job = store.submit(CFG)
+        store.claim(timeout=1)
+        store.finish(job.job_id, JobState.SUCCEEDED, report={"r": 1})
+        fresh = JobStore(tmp_path / "jobs")
+        assert fresh.get(job.job_id).state == JobState.SUCCEEDED
+        assert fresh.recovered == []
+        assert fresh.claim(timeout=0.05) is None
+
+    def test_torn_record_is_skipped(self, store, tmp_path):
+        store.submit(CFG)
+        (tmp_path / "jobs" / "garbage.json").write_text("{not json")
+        fresh = JobStore(tmp_path / "jobs")
+        assert len(fresh.jobs()) == 1
+
+    def test_events_sidecar_survives_reload_and_torn_tail(self, store,
+                                                          tmp_path):
+        job = store.submit(CFG)
+        store.claim(timeout=1)
+        store.add_event(job.job_id, {"round": 1})
+        store.add_event(job.job_id, {"round": 2})
+        sidecar = tmp_path / "jobs" / f"{job.job_id}.events.jsonl"
+        assert len(sidecar.read_text().splitlines()) == 2
+        with open(sidecar, "a") as fh:
+            fh.write('{"round": 3')     # crash mid-append
+        fresh = JobStore(tmp_path / "jobs")
+        assert [e["round"] for e in fresh.get(job.job_id).events] == \
+            [1, 2]
+
+    def test_finish_is_first_writer_wins(self, store):
+        job = store.submit(CFG)
+        store.claim(timeout=1)
+        store.finish(job.job_id, JobState.SUCCEEDED, report={"r": 1})
+        # A racing cancel (or duplicate resolution) must not overwrite
+        # the persisted outcome.
+        after = store.finish(job.job_id, JobState.CANCELLED)
+        assert after.state == JobState.SUCCEEDED
+        assert after.report == {"r": 1}
+
+
+class TestWaiting:
+    def test_wait_for_timeout(self, store):
+        job = store.submit(CFG)
+        with pytest.raises(TimeoutError):
+            store.wait_for(job.job_id, timeout=0.05)
+
+    def test_wait_idle(self, store):
+        assert store.wait_idle(timeout=0.05)
+        store.submit(CFG)
+        assert not store.wait_idle(timeout=0.05)
+
+    def test_counts(self, store):
+        store.submit(CFG)
+        job = store.submit(CFG)
+        store.cancel_queued(job.job_id)
+        counts = store.counts()
+        assert counts[JobState.SUBMITTED] == 1
+        assert counts[JobState.CANCELLED] == 1
+        # Real backlog only — the cancelled job's stale heap entry and
+        # any boost duplicates are not phantom queue depth.
+        assert counts["queued"] == 1
+
+
+class TestSummaries:
+    def test_summary_drops_heavy_payloads(self, store):
+        job = store.submit(CFG)
+        store.claim(timeout=1)
+        store.finish(job.job_id, JobState.SUCCEEDED,
+                     report={"huge": list(range(100))})
+        (summary,) = store.jobs()
+        assert "report" not in summary and "config" not in summary
+        assert summary["has_report"]
+        assert summary["events"] == 0

@@ -1,0 +1,334 @@
+"""ServeService: coalesced execution, cancellation, recovery, ledgers.
+
+The stub tier drives the machinery with a fake runner (fast,
+deterministic); ``TestRealPipeline`` at the bottom runs the genuine
+``run(config, workspace)`` against a warm session workspace and pins
+the acceptance property: N identical submissions → one engine
+execution, N identical reports.
+"""
+
+import pytest
+
+from repro.serve import JobState, ServeService, ServiceClosed
+
+from tests.serve.conftest import StubRunner, make_config
+
+CFG = make_config().to_dict()
+
+
+def _submit_n(service, config, n):
+    return [service.submit(config) for _ in range(n)]
+
+
+class TestCoalescedExecution:
+    def test_identical_submissions_share_one_execution(self, make_service,
+                                                       stub_runner):
+        service = make_service(stub_runner, autostart=False)
+        jobs = _submit_n(service, CFG, 5)
+        assert [bool(j.coalesced_with) for j in jobs] == \
+            [False, True, True, True, True]
+        service.start()
+        done = [service.wait(j.job_id, timeout=10) for j in jobs]
+        assert len(stub_runner.calls) == 1
+        assert all(j.state == JobState.SUCCEEDED for j in done)
+        reports = [j.report for j in done]
+        assert all(r == reports[0] for r in reports)
+
+    def test_followers_surface_leader_events(self, make_service,
+                                             stub_runner):
+        service = make_service(stub_runner, autostart=False)
+        leader, follower = _submit_n(service, CFG, 2)
+        service.start()
+        service.wait(follower.job_id, timeout=10)
+        assert service.store.get(follower.job_id).events == []
+        view = service.events(follower.job_id)
+        assert view["source"] == leader.job_id
+        assert [e["round"] for e in view["events"]] == [1, 2, 3]
+
+    def test_high_priority_follower_boosts_queued_leader(
+            self, make_service, stub_runner):
+        service = make_service(stub_runner, autostart=False)
+        low = service.submit(make_config(seed=51), priority=0)
+        mid = service.submit(make_config(seed=52), priority=5)
+        urgent = service.submit(make_config(seed=51), priority=10)
+        assert urgent.coalesced_with == low.job_id
+        # The coalesced request's urgency transferred to its leader:
+        # the leader now outranks the priority-5 job in the queue.
+        assert service.store.get(low.job_id).priority == 10
+        first = service.store.claim(timeout=1)
+        assert first.job_id == low.job_id
+        assert service.store.claim(timeout=1).job_id == mid.job_id
+
+    def test_distinct_configs_each_execute(self, make_service,
+                                           stub_runner):
+        service = make_service(stub_runner)
+        a = service.submit(make_config(seed=11))
+        b = service.submit(make_config(seed=12))
+        service.wait(a.job_id, timeout=10)
+        service.wait(b.job_id, timeout=10)
+        assert len(stub_runner.calls) == 2
+
+    def test_completed_key_answers_instantly(self, make_service,
+                                             stub_runner):
+        service = make_service(stub_runner)
+        first = service.submit(CFG)
+        done = service.wait(first.job_id, timeout=10)
+        again = service.submit(CFG)
+        assert again.state == JobState.SUCCEEDED
+        assert again.coalesced_with == first.job_id
+        assert again.report == done.report
+        assert len(stub_runner.calls) == 1
+
+    def test_reuse_completed_opt_out(self, make_service, stub_runner):
+        service = make_service(stub_runner, reuse_completed=False)
+        service.wait(service.submit(CFG).job_id, timeout=10)
+        second = service.wait(service.submit(CFG).job_id, timeout=10)
+        assert second.state == JobState.SUCCEEDED
+        assert len(stub_runner.calls) == 2
+
+    def test_force_always_executes(self, make_service, stub_runner):
+        service = make_service(stub_runner)
+        service.wait(service.submit(CFG).job_id, timeout=10)
+        forced = service.submit(CFG, force=True)
+        service.wait(forced.job_id, timeout=10)
+        assert len(stub_runner.calls) == 2
+
+
+class TestFailures:
+    def test_failure_propagates_to_followers(self, make_service):
+        runner = StubRunner(error=RuntimeError("char exploded"))
+        service = make_service(runner, autostart=False)
+        leader, follower = _submit_n(service, CFG, 2)
+        service.start()
+        l = service.wait(leader.job_id, timeout=10)
+        f = service.wait(follower.job_id, timeout=10)
+        assert l.state == f.state == JobState.FAILED
+        assert "char exploded" in l.error and "char exploded" in f.error
+
+    def test_failed_key_is_retried_not_reused(self, make_service):
+        runner = StubRunner(error=RuntimeError("boom"))
+        service = make_service(runner)
+        service.wait(service.submit(CFG).job_id, timeout=10)
+        runner.error = None              # "the flake went away"
+        retry = service.wait(service.submit(CFG).job_id, timeout=10)
+        assert retry.state == JobState.SUCCEEDED
+        assert len(runner.calls) == 2
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_runs(self, make_service,
+                                          stub_runner):
+        service = make_service(stub_runner, autostart=False)
+        job = service.submit(CFG)
+        assert service.cancel(job.job_id)
+        service.start()
+        done = service.wait(job.job_id, timeout=10)
+        assert done.state == JobState.CANCELLED
+        assert stub_runner.calls == []
+
+    def test_cancel_terminal_job_returns_false(self, make_service,
+                                               stub_runner):
+        service = make_service(stub_runner)
+        job = service.submit(CFG)
+        service.wait(job.job_id, timeout=10)
+        assert not service.cancel(job.job_id)
+
+    def test_cancel_running_job_stops_at_next_round(self, make_service):
+        runner = StubRunner(rounds=50, delay_s=0.02)
+        service = make_service(runner, workers=1)
+        job = service.submit(CFG)
+        assert runner.started.wait(10)
+        assert service.cancel(job.job_id)
+        done = service.wait(job.job_id, timeout=10)
+        assert done.state == JobState.CANCELLED
+        assert 0 < len(done.events) < 50
+        assert "execution_s" not in done.ledger   # it never completed
+
+    def test_cancel_parked_follower_leaves_leader_running(
+            self, make_service, stub_runner):
+        service = make_service(stub_runner, autostart=False)
+        leader, follower = _submit_n(service, CFG, 2)
+        assert service.cancel(follower.job_id)
+        service.start()
+        l = service.wait(leader.job_id, timeout=10)
+        assert l.state == JobState.SUCCEEDED
+        assert service.store.get(follower.job_id).state == \
+            JobState.CANCELLED
+
+    def test_repatriation_honors_reuse_completed_opt_out(
+            self, make_service):
+        # With reuse_completed=False, a follower promoted after its
+        # leader's cancellation must re-execute — not be answered from
+        # the key's earlier completed run.
+        runner = StubRunner(rounds=50, delay_s=0.02)
+        service = make_service(runner, workers=1,
+                               reuse_completed=False)
+        runner.rounds = 3
+        service.wait(service.submit(CFG).job_id, timeout=10)  # completes
+        runner.rounds = 50
+        runner.started.clear()
+        leader = service.submit(CFG)      # re-executes (no reuse)
+        assert runner.started.wait(10)
+        follower = service.submit(CFG)
+        service.cancel(leader.job_id)
+        runner.rounds = 3                 # promoted rerun finishes fast
+        promoted = service.wait(follower.job_id, timeout=10)
+        assert promoted.state == JobState.SUCCEEDED
+        assert len(runner.calls) == 3     # cold + leader + promoted
+
+    def test_cancelled_leader_promotes_follower(self, make_service):
+        runner = StubRunner(rounds=50, delay_s=0.02)
+        service = make_service(runner, workers=1)
+        leader = service.submit(CFG)
+        assert runner.started.wait(10)
+        follower = service.submit(CFG)
+        assert follower.coalesced_with == leader.job_id
+        runner.rounds = 3                # promoted rerun finishes fast
+        service.cancel(leader.job_id)
+        assert service.wait(leader.job_id,
+                            timeout=10).state == JobState.CANCELLED
+        promoted = service.wait(follower.job_id, timeout=10)
+        assert promoted.state == JobState.SUCCEEDED
+        assert len(runner.calls) == 2    # follower truly re-executed
+
+
+class TestDrainAndHealth:
+    def test_drain_refuses_new_work(self, make_service, stub_runner):
+        service = make_service(stub_runner)
+        job = service.submit(CFG)
+        assert service.drain(timeout=10)
+        with pytest.raises(ServiceClosed):
+            service.submit(make_config(seed=99))
+        assert service.store.get(job.job_id).state == JobState.SUCCEEDED
+        health = service.health()
+        assert health["status"] == "draining"
+        assert not health["accepting"]
+
+    def test_health_reports_counts(self, make_service, stub_runner):
+        service = make_service(stub_runner)
+        service.wait(service.submit(CFG).job_id, timeout=10)
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["jobs"][JobState.SUCCEEDED] == 1
+        assert health["coalescer"]["leaders"] == 1
+
+    def test_ledger_splits_queue_lock_execution(self, make_service,
+                                                stub_runner):
+        service = make_service(stub_runner)
+        done = service.wait(service.submit(CFG).job_id, timeout=10)
+        assert set(done.ledger) >= {"queued_s", "lock_wait_s",
+                                    "execution_s"}
+        assert done.ledger["execution_s"] >= 0
+
+
+class TestRestartRecovery:
+    def test_interrupted_job_reruns_after_restart(self, make_service,
+                                                  stub_runner):
+        crashed = make_service(stub_runner, autostart=False)
+        job = crashed.submit(CFG)
+        crashed.store.claim(timeout=1)   # running; simulate crash here
+        revived = make_service(stub_runner)   # same jobs_dir + workspace
+        done = revived.wait(job.job_id, timeout=10)
+        assert done.state == JobState.SUCCEEDED
+        assert done.resubmitted
+        assert done.attempts == 2
+
+    def test_dangling_follower_never_blocks_boot(self, make_service,
+                                                 stub_runner, tmp_path):
+        # A follower whose leader record was gc'd (or torn) must be
+        # promoted at boot, not crash the service.
+        crashed = make_service(stub_runner, autostart=False)
+        leader, f1, f2 = _submit_n(crashed, CFG, 3)
+        (tmp_path / "jobs" / f"{leader.job_id}.json").unlink()
+        revived = make_service(stub_runner)
+        done = [revived.wait(f.job_id, timeout=10) for f in (f1, f2)]
+        assert all(j.state == JobState.SUCCEEDED for j in done)
+        # One follower was promoted, the other re-coalesced onto it:
+        # still exactly one execution for the shared key.
+        assert len(stub_runner.calls) == 1
+
+    def test_follower_of_completed_leader_resolves_on_restart(
+            self, make_service, stub_runner):
+        first = make_service(stub_runner, autostart=False)
+        leader, follower = _submit_n(first, CFG, 2)
+        first.start()
+        first.wait(leader.job_id, timeout=10)
+        # Pretend the crash hit after the leader persisted its success
+        # but before the follower was resolved.
+        parked = first.store.get(follower.job_id)
+        parked.state = JobState.SUBMITTED
+        parked.report = None
+        parked.finished_s = 0.0
+        first.store.update(parked)
+        revived = make_service(stub_runner)
+        done = revived.wait(follower.job_id, timeout=10)
+        assert done.state == JobState.SUCCEEDED
+        assert done.report is not None
+        assert len(stub_runner.calls) == 1   # never re-executed
+
+
+class TestRealPipeline:
+    """End-to-end against the warm session workspace (real runner)."""
+
+    def test_concurrent_identical_submissions_one_engine_execution(
+            self, serve_ws, warm_report, tmp_path):
+        from repro.api.runner import run as api_run
+        calls = []
+
+        def counting_runner(config, workspace, progress_callback=None):
+            calls.append(config)
+            return api_run(config, workspace,
+                           progress_callback=progress_callback)
+
+        # A space no other test sweeps → these corners truly execute.
+        config = make_config(seed=21, optimizer="random",
+                             vdd_scales=(0.88, 1.02), vth_shifts=(0.02,),
+                             cox_scales=(0.95, 1.15))
+        engine = serve_ws.engine(config.technology, config.model,
+                                 config.engine)
+        before = engine.snapshot()
+        trained_before = serve_ws.counters["models_trained"]
+        service = ServeService(serve_ws, jobs_dir=tmp_path / "jobs",
+                               workers=2, runner=counting_runner,
+                               autostart=False)
+        jobs = _submit_n(service, config, 4)
+        service.start()
+        done = [service.wait(j.job_id, timeout=300) for j in jobs]
+        service.close(timeout=10)
+
+        assert [j.state for j in done] == [JobState.SUCCEEDED] * 4
+        assert len(calls) == 1                       # one execution
+        assert sum(1 for j in done if not j.coalesced_with) == 1
+        reports = [j.report for j in done]
+        assert all(r == reports[0] for r in reports)  # byte-identical
+        delta = engine.delta(before)
+        assert reports[0]["engine_misses"] > 0
+        assert delta["flow_evaluations"] == reports[0]["engine_misses"]
+        # Multi-tenancy reused the session model: nothing retrained.
+        assert serve_ws.counters["models_trained"] == trained_before
+
+    def test_cancel_mid_search_through_real_driver(self, serve_ws,
+                                                   warm_report,
+                                                   tmp_path):
+        cancel_at_round = 2
+        service_box = {}
+
+        def on_event(job, snapshot):
+            if snapshot["round"] >= cancel_at_round:
+                service_box["service"].cancel(job.job_id)
+
+        service = ServeService(serve_ws, jobs_dir=tmp_path / "jobs",
+                               workers=1, on_event=on_event,
+                               autostart=False)
+        service_box["service"] = service
+        config = make_config(seed=22, optimizer="qlearning",
+                             iterations=10)
+        job = service.submit(config)
+        service.start()
+        done = service.wait(job.job_id, timeout=300)
+        service.close(timeout=10)
+        assert done.state == JobState.CANCELLED
+        # The per-round hook fired, then the raise stopped the search
+        # in flight: strictly fewer rounds than the budget.
+        assert 0 < len(done.events) < 10
