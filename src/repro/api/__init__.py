@@ -19,16 +19,16 @@ characterization → system evaluation → optimization):
 """
 
 from .config import (SCHEMA_VERSION, MODES, ConfigError, TechnologyConfig,
-                     ModelConfig, EngineConfig, SearchConfig,
-                     ScenarioConfig, StcoConfig)
+                     ModelConfig, EngineConfig, AxisConfig, SearchConfig,
+                     SurrogateConfig, ScenarioConfig, StcoConfig)
 from .report import RunReport
 from .workspace import Workspace
 from .runner import SearchExecution, execute_search, run
 
 __all__ = [
     "SCHEMA_VERSION", "MODES", "ConfigError",
-    "TechnologyConfig", "ModelConfig", "EngineConfig", "SearchConfig",
-    "ScenarioConfig", "StcoConfig",
+    "TechnologyConfig", "ModelConfig", "EngineConfig", "AxisConfig",
+    "SearchConfig", "SurrogateConfig", "ScenarioConfig", "StcoConfig",
     "RunReport", "Workspace",
     "SearchExecution", "execute_search", "run",
 ]

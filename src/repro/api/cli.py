@@ -9,6 +9,7 @@
     repro serve --workspace .cache/ws --port 8765
     repro submit cfg.json --url http://127.0.0.1:8765 --wait
     repro workspace list|stats|gc .cache/ws
+    repro surrogate stats|train .cache/ws
 
 ``run`` executes whatever ``mode`` the document declares; ``search`` /
 ``campaign`` force that mode (with a few common overrides) so one base
@@ -70,6 +71,15 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="override search.seed")
     search_p.add_argument("--benchmark", default=None,
                           help="override the target benchmark")
+    search_p.add_argument("--harvest", action="store_true",
+                          help="harvest every evaluation into the "
+                               "workspace's surrogate record store")
+    search_p.add_argument("--screen", type=int, default=None,
+                          help="surrogate promotion gate: candidates "
+                               "screened per round (0 disables)")
+    search_p.add_argument("--promote", type=int, default=None,
+                          help="surrogate promotion gate: top-k "
+                               "promoted to the engine per round")
 
     campaign_p = sub.add_parser(
         "campaign", help="execute a config forced to mode=campaign")
@@ -125,12 +135,32 @@ def _build_parser() -> argparse.ArgumentParser:
     ws_p.add_argument("--all", action="store_true",
                       help="gc: remove regardless of age (required when "
                            "--older-than is omitted)")
-    ws_p.add_argument("--kinds", default="dataset,model,engine,job",
+    ws_p.add_argument("--kinds",
+                      default="dataset,model,engine,surrogate,job",
                       help="gc: comma-separated artifact kinds "
-                           "(default: dataset,model,engine,job — "
-                           "'job' covers terminal serve job records)")
+                           "(default: dataset,model,engine,surrogate,"
+                           "job — 'job' covers terminal serve job "
+                           "records, 'surrogate' the learned PPA "
+                           "models and their record stores)")
     ws_p.add_argument("--dry-run", action="store_true",
                       help="gc: report what would be removed")
+
+    sg_p = sub.add_parser(
+        "surrogate", help="inspect or train the workspace's learned "
+                          "PPA surrogate")
+    sg_p.add_argument("action", choices=("stats", "train"))
+    sg_p.add_argument("workspace", metavar="DIR",
+                      help="workspace directory holding the record store")
+    sg_p.add_argument("--members", type=int, default=3,
+                      help="train: ensemble size")
+    sg_p.add_argument("--hidden", type=int, default=16,
+                      help="train: hidden width per member")
+    sg_p.add_argument("--epochs", type=int, default=60,
+                      help="train: epochs per member")
+    sg_p.add_argument("--seed", type=int, default=0,
+                      help="train: ensemble seed")
+    sg_p.add_argument("--min-rows", type=int, default=8,
+                      help="train: refuse with fewer harvested rows")
     return parser
 
 
@@ -162,6 +192,15 @@ def _apply_overrides(data: dict, args) -> dict:
         data["search"] = search
         if args.benchmark is not None:
             data["benchmark"] = args.benchmark
+        surrogate = dict(data.get("surrogate", {}))
+        if args.harvest:
+            surrogate["harvest"] = True
+        if args.screen is not None:
+            surrogate["screen"] = args.screen
+        if args.promote is not None:
+            surrogate["promote"] = args.promote
+        if surrogate:
+            data["surrogate"] = surrogate
     elif args.command == "campaign":
         data["mode"] = "campaign"
     return data
@@ -302,7 +341,8 @@ def _cmd_workspace(args) -> int:
               file=sys.stderr)
         return 2
     kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
-    unknown = set(kinds) - {"dataset", "model", "engine", "job"}
+    unknown = set(kinds) - {"dataset", "model", "engine", "surrogate",
+                            "job"}
     if unknown:
         print(f"error: unknown gc kind(s) {sorted(unknown)}",
               file=sys.stderr)
@@ -328,6 +368,32 @@ def _age(created_s: float) -> str:
     return f"{seconds:.0f}s"
 
 
+def _cmd_surrogate(args) -> int:
+    workspace = Workspace(args.workspace)
+    if args.action == "stats":
+        stats = workspace.surrogate_stats()
+        store = workspace.record_store()
+        print(json.dumps({**stats, "default_store": store.stats()},
+                         indent=1, sort_keys=True))
+        return 0
+    # train
+    from ..surrogate.models import EnsembleConfig
+    config = EnsembleConfig(members=args.members, hidden=args.hidden,
+                            epochs=args.epochs, seed=args.seed)
+    try:
+        model = workspace.surrogate_model(config,
+                                          min_rows=args.min_rows)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps({"fingerprint": model.fingerprint(),
+                      "trained_rows": model.trained_rows,
+                      "members": config.members,
+                      "loaded": workspace.counters["surrogates_loaded"]
+                      > 0}, indent=1, sort_keys=True))
+    return 0
+
+
 def _cmd_report(args) -> int:
     try:
         report = RunReport.load(args.report)
@@ -351,6 +417,8 @@ def main(argv=None) -> int:
             return _cmd_submit(args)
         if args.command == "workspace":
             return _cmd_workspace(args)
+        if args.command == "surrogate":
+            return _cmd_surrogate(args)
         return _cmd_run(args)
     except (ConfigError, CampaignCheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)

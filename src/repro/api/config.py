@@ -25,8 +25,8 @@ from pathlib import Path
 from typing import ClassVar
 
 __all__ = ["SCHEMA_VERSION", "ConfigError", "TechnologyConfig",
-           "ModelConfig", "EngineConfig", "SearchConfig", "ScenarioConfig",
-           "StcoConfig", "MODES"]
+           "ModelConfig", "EngineConfig", "AxisConfig", "SearchConfig",
+           "SurrogateConfig", "ScenarioConfig", "StcoConfig", "MODES"]
 
 #: Version of the config document schema. Bumped whenever the meaning of
 #: an existing field changes (adding fields with defaults does not bump).
@@ -228,14 +228,71 @@ class EngineConfig(_Config):
 
 
 @dataclass(frozen=True)
+class AxisConfig(_Config):
+    """One declarative design-space axis (maps to
+    :class:`repro.search.spaces.Axis`).
+
+    ``values`` (non-empty) declares a discrete axis; otherwise
+    ``lo``/``hi`` declare a continuous box, with optional ``step``
+    snapping resolution (0 = snap only to the cache-key precision).
+    Axis names must be Corner knobs (``vdd_scale`` / ``vth_shift`` /
+    ``cox_scale``) — config documents have no way to carry a custom
+    ``corner_factory``.
+    """
+
+    name: str = ""
+    values: tuple = ()
+    lo: float = 0.0
+    hi: float = 0.0
+    step: float = 0.0
+
+    def __post_init__(self):
+        from ..search.spaces import DEFAULT_KNOBS
+        _require(self.name in DEFAULT_KNOBS,
+                 f"axis name must be one of {DEFAULT_KNOBS}, "
+                 f"got {self.name!r}")
+        if self.values:
+            # Contradictory documents hard-fail (like unknown keys):
+            # a discrete axis silently swallowing lo/hi/step would
+            # explore a different space than the author wrote down.
+            _require(self.lo == 0.0 and self.hi == 0.0
+                     and self.step == 0.0,
+                     f"axis {self.name!r} mixes discrete 'values' with "
+                     f"continuous lo/hi/step; declare one or the other")
+        else:
+            _require(self.hi > self.lo,
+                     f"continuous axis {self.name!r} needs hi > lo")
+        _require(self.step >= 0.0,
+                 f"axis {self.name!r} step must be >= 0")
+
+    def axis(self):
+        from ..search.spaces import Axis
+        if self.values:
+            return Axis.discrete(self.name, self.values)
+        return Axis.continuous(self.name, self.lo, self.hi,
+                               step=self.step or None)
+
+
+@dataclass(frozen=True)
 class SearchConfig(_Config):
     """One exploration: optimizer, budget, scalarisation, design space.
 
-    The space is the discrete (vdd_scale × vth_shift × cox_scale) grid
-    of :class:`repro.stco.space.DesignSpace`; defaults reproduce the
-    paper's 45-point grid. ``members`` names the portfolio entrants
-    (``mode="portfolio"``); empty means the registry default race.
+    Without ``axes`` the space is the discrete (vdd_scale × vth_shift ×
+    cox_scale) grid of :class:`repro.stco.space.DesignSpace`; defaults
+    reproduce the paper's 45-point grid. A non-empty ``axes`` tuple of
+    :class:`AxisConfig` declares a generalised
+    :class:`~repro.search.spaces.SearchSpace` instead — continuous
+    boxes and mixed grids straight from a JSON document (index-based
+    optimizers still require every axis to be discrete).
+
+    ``members`` names the portfolio entrants (``mode="portfolio"``;
+    empty means the registry default race) and ``portfolio_scoring``
+    how the race ranks them (``scalar`` best reward, ``hypervolume``
+    archive hypervolume, ``auto`` = hypervolume as soon as any member
+    optimizes in pareto mode).
     """
+
+    _nested: ClassVar[dict] = {"axes": ("tuple", AxisConfig)}
 
     optimizer: str = "qlearning"
     seed: int = 0
@@ -244,7 +301,9 @@ class SearchConfig(_Config):
     vdd_scales: tuple = (0.8, 0.9, 1.0, 1.1, 1.2)
     vth_shifts: tuple = (-0.1, 0.0, 0.1)
     cox_scales: tuple = (0.8, 1.0, 1.2)
+    axes: tuple = ()
     members: tuple = ()
+    portfolio_scoring: str = "scalar"
 
     def __post_init__(self):
         _require(self.iterations > 0, "search.iterations must be positive")
@@ -253,6 +312,17 @@ class SearchConfig(_Config):
         for name in ("vdd_scales", "vth_shifts", "cox_scales"):
             _require(bool(getattr(self, name)),
                      f"search.{name} must not be empty")
+        for axis in self.axes:
+            _require(isinstance(axis, AxisConfig),
+                     "search.axes entries must be axis mappings")
+        names = [a.name for a in self.axes]
+        _require(len(set(names)) == len(names),
+                 f"search.axes names must be unique, got {names}")
+        # One source of truth: the portfolio module owns the mode names.
+        from ..search.portfolio import SCORING_MODES
+        _require(self.portfolio_scoring in SCORING_MODES,
+                 f"search.portfolio_scoring must be one of "
+                 f"{SCORING_MODES}, got {self.portfolio_scoring!r}")
 
     def ppa_weights(self):
         from ..engine.records import PPAWeights
@@ -262,10 +332,86 @@ class SearchConfig(_Config):
                           area=float(area))
 
     def space(self):
+        if self.axes:
+            from ..search.spaces import SearchSpace
+            return SearchSpace([a.axis() for a in self.axes])
         from ..stco.space import DesignSpace
         return DesignSpace(vdd_scales=self.vdd_scales,
                            vth_shifts=self.vth_shifts,
                            cox_scales=self.cox_scales)
+
+
+@dataclass(frozen=True)
+class SurrogateConfig(_Config):
+    """The learned multi-fidelity layer (``repro.surrogate``).
+
+    ``harvest`` turns every engine evaluation of the run into a
+    persisted training row (content-keyed in the workspace — warm runs
+    re-featurize nothing). ``screen`` > 0 gates the optimizer behind a
+    :class:`~repro.surrogate.fidelity.PromotionSchedule` that sends
+    only ``promote`` of ``screen`` screened candidates per round to the
+    engine. The ensemble fields parameterize both the online
+    ``bayes`` / ``ucb`` surrogates and the promotion gate (the
+    acquisition itself is the optimizer *name*: ``bayes`` = expected
+    improvement, ``ucb`` = upper confidence bound with ``ucb_beta``);
+    ``persist_model`` additionally trains an ensemble on the full
+    record store after the run and registers it as a workspace
+    artifact.
+    """
+
+    harvest: bool = False
+    persist_model: bool = False
+    members: int = 3
+    hidden: int = 16
+    depth: int = 2
+    epochs: int = 60
+    seed: int = 0
+    ucb_beta: float = 1.0
+    screen: int = 0                  # 0 = no promotion gate
+    promote: int = 4
+    min_observations: int = 6
+    kappa: float = 1.0
+
+    def __post_init__(self):
+        _require(self.members >= 1,
+                 "surrogate.members must be >= 1")
+        _require(self.screen >= 0, "surrogate.screen must be >= 0")
+        if self.screen:
+            _require(self.promote >= 1,
+                     "surrogate.promote must be >= 1")
+            _require(self.screen >= self.promote,
+                     "surrogate.screen must be >= surrogate.promote")
+
+    def model_config(self):
+        """The :class:`repro.surrogate.models.EnsembleConfig` this maps to."""
+        from ..surrogate.models import EnsembleConfig
+        return EnsembleConfig(members=self.members, hidden=self.hidden,
+                              depth=self.depth, epochs=self.epochs,
+                              seed=self.seed)
+
+    def schedule(self):
+        """The :class:`repro.surrogate.fidelity.PromotionSchedule` (or
+        None when screening is off)."""
+        if not self.screen:
+            return None
+        from ..surrogate.fidelity import PromotionSchedule
+        return PromotionSchedule(screen=self.screen,
+                                 promote=self.promote,
+                                 min_observations=self.min_observations,
+                                 kappa=self.kappa,
+                                 ucb_beta=self.ucb_beta)
+
+    def optimizer_options(self) -> dict:
+        """Constructor kwargs for the ``bayes`` / ``ucb`` optimizers.
+
+        Deliberately carries no ``acquisition`` key — the registry
+        *name* decides that (``bayes`` = EI, ``ucb`` = UCB), and an
+        explicit entry here would override it.
+        """
+        return {"ucb_beta": self.ucb_beta, "members": self.members,
+                "hidden": self.hidden, "depth": self.depth,
+                "epochs": self.epochs,
+                "init": max(self.min_observations, 2)}
 
 
 @dataclass(frozen=True)
@@ -311,6 +457,7 @@ class StcoConfig(_Config):
     _nested: ClassVar[dict] = {
         "technology": TechnologyConfig, "model": ModelConfig,
         "engine": EngineConfig, "search": SearchConfig,
+        "surrogate": SurrogateConfig,
         "scenarios": ("tuple", ScenarioConfig)}
 
     schema_version: int = SCHEMA_VERSION
@@ -320,6 +467,7 @@ class StcoConfig(_Config):
     model: ModelConfig = field(default_factory=ModelConfig)
     engine: EngineConfig = field(default_factory=EngineConfig)
     search: SearchConfig = field(default_factory=SearchConfig)
+    surrogate: SurrogateConfig = field(default_factory=SurrogateConfig)
     scenarios: tuple = ()
     checkpoint: str = ""             # campaign checkpoint file ("" = off)
     prefetch: bool = False

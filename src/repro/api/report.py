@@ -39,6 +39,7 @@ class RunReport:
     rewards: list = field(default_factory=list)
     scenarios: list = field(default_factory=list)       # campaign mode
     resumed_scenarios: int = 0
+    surrogate: dict = field(default_factory=dict)       # harvest/screening
     runtime: dict = field(default_factory=dict)
     cache_stats: dict = field(default_factory=dict)
     config: dict = field(default_factory=dict)          # document echo
@@ -108,6 +109,18 @@ class RunReport:
             rows.append(["scenarios",
                          f"{len(self.scenarios)} "
                          f"({self.resumed_scenarios} resumed)"])
+        if self.surrogate:
+            sg = self.surrogate
+            if "harvested" in sg:
+                rows.append(["surrogate rows",
+                             f"{sg.get('store_rows', 0)} stored "
+                             f"(+{sg.get('harvested', 0)} this run, "
+                             f"{sg.get('skipped', 0)} already known)"])
+            if sg.get("screened"):
+                rows.append(["surrogate screening",
+                             f"{sg.get('promoted', 0)} of "
+                             f"{sg.get('screened', 0)} promoted to the "
+                             f"engine"])
         ws = self.cache_stats.get("workspace", {})
         if ws:
             rows.append(["models trained / loaded",

@@ -87,24 +87,63 @@ def _effective_model(config: StcoConfig) -> ModelConfig:
     return replace(config.model, kind=kind)
 
 
+def _optimizer_options(config: StcoConfig, name: str) -> dict | None:
+    """Per-name constructor options: the surrogate block parameterizes
+    the Bayesian optimizers, the portfolio scoring mode follows the
+    config wherever a portfolio is built (``mode="portfolio"``,
+    ``search.optimizer="portfolio"``, or a nested member); everything
+    else takes registry defaults."""
+    if name in ("bayes", "ucb"):
+        return config.surrogate.optimizer_options()
+    if name == "portfolio":
+        return {"scoring": config.search.portfolio_scoring}
+    return None
+
+
 def _make_optimizer(config: StcoConfig, space, weights, builder):
     from ..search.optimizers import make_optimizer
     from ..search.portfolio import PortfolioSearch
     search = config.search
     if config.mode != "portfolio":
-        return make_optimizer(search.optimizer, space, seed=search.seed,
-                              weights=weights, builder=builder)
+        return make_optimizer(
+            search.optimizer, space, seed=search.seed, weights=weights,
+            builder=builder,
+            options=_optimizer_options(config, search.optimizer))
     if not search.members:
-        return make_optimizer("portfolio", space, seed=search.seed,
-                              weights=weights, builder=builder)
-    members = [(name, make_optimizer(name, space, seed=search.seed + i,
-                                     weights=weights, builder=builder))
+        return make_optimizer(
+            "portfolio", space, seed=search.seed, weights=weights,
+            builder=builder,
+            options=_optimizer_options(config, "portfolio"))
+    members = [(name, make_optimizer(
+                    name, space, seed=search.seed + i, weights=weights,
+                    builder=builder,
+                    options=_optimizer_options(config, name)))
                for i, name in enumerate(search.members)]
-    return PortfolioSearch(members)
+    return PortfolioSearch(members, scoring=search.portfolio_scoring)
 
 
 def _cache_stats(engine, workspace: Workspace) -> dict:
     return {"engine": engine.stats(), "workspace": workspace.stats()}
+
+
+def _surrogate_summary(config: StcoConfig, workspace: Workspace,
+                       harvester, result) -> dict:
+    """The RunReport ``surrogate`` block: harvest + screening + model."""
+    out = dict(result.surrogate)
+    if harvester is not None:
+        out.update(harvester.stats())
+    if config.surrogate.persist_model:
+        try:
+            model = workspace.surrogate_model(
+                config.surrogate.model_config())
+        except ValueError as exc:
+            # A store still too thin to train on must not discard the
+            # finished search — report why the model step was skipped.
+            out["model_error"] = str(exc)
+        else:
+            out["model_fingerprint"] = model.fingerprint()
+            out["model_rows"] = model.trained_rows
+    return out
 
 
 def _run_single(config: StcoConfig, workspace: Workspace,
@@ -115,12 +154,30 @@ def _run_single(config: StcoConfig, workspace: Workspace,
     space = config.search.space()
     weights = config.search.ppa_weights()
     optimizer = _make_optimizer(config, space, weights, engine.builder)
+    schedule = config.surrogate.schedule()
+    if schedule is not None:
+        from ..surrogate.fidelity import PromotedOptimizer
+        optimizer = PromotedOptimizer(
+            optimizer, space, schedule=schedule, weights=weights,
+            model_config=config.surrogate.model_config(),
+            seed=config.surrogate.seed)
     netlist = build_benchmark(config.benchmark)
-    execution = execute_search(netlist, optimizer, engine, weights,
-                               config.search.iterations,
-                               progress_callback=progress_callback)
+    harvester = None
+    if config.surrogate.harvest or config.surrogate.persist_model:
+        from ..surrogate.records import RecordHarvester
+        harvester = RecordHarvester(workspace.record_store())
+        engine.add_record_listener(harvester.observe)
+    try:
+        execution = execute_search(netlist, optimizer, engine, weights,
+                                   config.search.iterations,
+                                   progress_callback=progress_callback)
+    finally:
+        if harvester is not None:
+            engine.remove_record_listener(harvester.observe)
     result = execution.result
     return RunReport(
+        surrogate=_surrogate_summary(config, workspace, harvester,
+                                     result),
         mode=config.mode,
         design=config.benchmark,
         optimizer=result.optimizer,

@@ -47,18 +47,23 @@ class Workspace:
         self.models_dir = self.root / "models"
         self.engine_dir = self.root / "engine"
         self.reports_dir = self.root / "reports"
+        self.surrogate_dir = self.root / "surrogate"
         for d in (self.datasets_dir, self.models_dir, self.engine_dir,
-                  self.reports_dir):
+                  self.reports_dir, self.surrogate_dir):
             d.mkdir(parents=True, exist_ok=True)
         self.registry_path = self.root / "registry.json"
         self._datasets: dict = {}
         self._models: dict = {}
         self._builders: dict = {}
         self._engines: dict = {}
+        self._record_stores: dict = {}
+        self._surrogates: dict = {}
+        self._row_counts: dict = {}     # jsonl path -> (sig, rows)
         self._tmp = None                # keeps ephemeral roots alive
         self.counters = {"datasets_built": 0, "datasets_loaded": 0,
                          "models_trained": 0, "models_loaded": 0,
-                         "engines_created": 0, "engines_reused": 0}
+                         "engines_created": 0, "engines_reused": 0,
+                         "surrogates_trained": 0, "surrogates_loaded": 0}
 
     @classmethod
     def ephemeral(cls) -> "Workspace":
@@ -218,6 +223,101 @@ class Workspace:
             builder, engine.engine_config(cache_dir=self.engine_dir))
         return self._engines[key]
 
+    # -- surrogate training data / models -----------------------------------
+    def record_store(self, featurizer=None):
+        """The surrogate :class:`~repro.surrogate.records.RecordStore`
+        for ``featurizer`` (default featurizer when omitted).
+
+        One store per featurizer fingerprint under
+        ``surrogate/records``; rows accumulate across runs, tenants and
+        scalarisations — harvest once, train forever.
+        """
+        from ..surrogate.records import Featurizer, RecordStore
+        featurizer = featurizer if featurizer is not None else Featurizer()
+        key = featurizer.fingerprint()
+        if key not in self._record_stores:
+            self._record_stores[key] = RecordStore(
+                self.surrogate_dir / "records", featurizer)
+        return self._record_stores[key]
+
+    def _surrogate_key(self, store, config) -> str:
+        from ..engine.hashing import stable_hash
+        from dataclasses import asdict
+        return stable_hash({"kind": "surrogate",
+                            "featurizer": store.featurizer.fingerprint(),
+                            "config": asdict(config)})
+
+    def surrogate_model(self, config=None, featurizer=None,
+                        min_rows: int = 8):
+        """A trained system-level PPA ensemble over the record store.
+
+        Loads the registered ``.npz`` when one exists for this
+        (featurizer, ensemble config) pair **and** the store has not
+        grown past the row count it was trained on; otherwise (re)trains
+        on all rows, saves, and registers the artifact with its
+        fingerprint — trained surrogate weights are workspace artifacts
+        exactly like trained characterization GNNs.
+        """
+        from ..surrogate.models import EnsembleConfig, EnsemblePPAModel
+        config = config if config is not None else EnsembleConfig()
+        store = self.record_store(featurizer)
+        if len(store) < min_rows:
+            raise ValueError(
+                f"record store has {len(store)} rows; need >= {min_rows} "
+                f"to train a surrogate (run with surrogate.harvest "
+                f"first)")
+        key = self._surrogate_key(store, config)
+        cached = self._surrogates.get(key)
+        if cached is not None and cached.trained_rows == len(store):
+            return cached
+        path = self.surrogate_dir / f"{key}.npz"
+        if path.exists():
+            model = EnsemblePPAModel.load(path)
+            if model.trained_rows == len(store):
+                self.counters["surrogates_loaded"] += 1
+                self._surrogates[key] = model
+                return model
+        X, Y = store.matrices()
+        model = EnsemblePPAModel(config).fit(X, Y)
+        model.save(path)
+        self.counters["surrogates_trained"] += 1
+        self._register(key, {"kind": "surrogate",
+                             "path": path.name,
+                             "rows": len(store),
+                             "fingerprint": model.fingerprint()})
+        self._surrogates[key] = model
+        return model
+
+    def surrogate_stats(self) -> dict:
+        """Row counts of every on-disk record store + model artifacts.
+
+        stats() is on the serve layer's health/poll path, so line
+        counts are cached per file and invalidated by (mtime, size) —
+        a big store is re-read only after it actually changed.
+        """
+        rows = 0
+        stores = 0
+        records_dir = self.surrogate_dir / "records"
+        if records_dir.is_dir():
+            for path in records_dir.glob("*.jsonl"):
+                try:
+                    stat = path.stat()
+                    sig = (stat.st_mtime_ns, stat.st_size)
+                    cached = self._row_counts.get(str(path))
+                    if cached is not None and cached[0] == sig:
+                        count = cached[1]
+                    else:
+                        with open(path, "rb") as fh:
+                            count = sum(1 for _ in fh)
+                        self._row_counts[str(path)] = (sig, count)
+                    rows += count
+                    stores += 1
+                except OSError:
+                    continue
+        models = len(list(self.surrogate_dir.glob("*.npz")))
+        return {"record_rows": rows, "record_stores": stores,
+                "models": models}
+
     # -- reporting ---------------------------------------------------------
     def stats(self) -> dict:
         registry = self.registry()
@@ -226,6 +326,7 @@ class Workspace:
             kinds[entry.get("kind", "?")] = \
                 kinds.get(entry.get("kind", "?"), 0) + 1
         return {"root": str(self.root), "artifacts": kinds,
+                "surrogate": self.surrogate_stats(),
                 **self.counters}
 
     def engine_stats(self) -> dict:
@@ -243,7 +344,8 @@ class Workspace:
         if not name:
             return None
         base = {"dataset": self.datasets_dir,
-                "model": self.models_dir}.get(entry.get("kind"))
+                "model": self.models_dir,
+                "surrogate": self.surrogate_dir}.get(entry.get("kind"))
         return None if base is None else base / name
 
     def list_artifacts(self) -> list:
@@ -263,12 +365,13 @@ class Workspace:
         return sorted(rows, key=lambda r: (r["created_s"], r["key"]))
 
     def gc(self, older_than_s: float | None = None,
-           kinds=("dataset", "model", "engine", "job"),
+           kinds=("dataset", "model", "engine", "surrogate", "job"),
            dry_run: bool = False) -> dict:
-        """Reclaim artifacts: registered datasets/models, engine
-        disk-cache entries (and orphan files the registry lost track
-        of), and the serve layer's *terminal* job records under
-        ``serve/jobs`` (active jobs are never touched).
+        """Reclaim artifacts: registered datasets/models/surrogates,
+        engine disk-cache entries (and orphan files the registry lost
+        track of), surrogate record stores, and the serve layer's
+        *terminal* job records under ``serve/jobs`` (active jobs are
+        never touched).
 
         ``older_than_s`` keeps anything younger than that many seconds
         (``None`` removes every artifact of the selected ``kinds``).
@@ -306,6 +409,7 @@ class Workspace:
                 self._datasets.pop(key, None)
                 self._models.pop(key, None)
                 self._builders.pop(key, None)
+                self._surrogates.pop(key, None)
         if not dry_run and removed_keys:
             # Re-read before writing: a concurrent run may have
             # registered new artifacts since our snapshot, and those
@@ -331,6 +435,10 @@ class Workspace:
             scans.append(("model", self.models_dir.glob("*.npz")))
         if "engine" in kinds:
             scans.append(("engine", self.engine_dir.rglob("*.pkl")))
+        if "surrogate" in kinds:
+            scans.append(("surrogate", self.surrogate_dir.glob("*.npz")))
+            scans.append(("surrogate",
+                          self.surrogate_dir.rglob("records/*.jsonl")))
         for kind, files in scans:
             for path in sorted(files):
                 if kind != "engine" and path.name in referenced:
@@ -354,6 +462,11 @@ class Workspace:
             removed += job_removed
             freed += job_freed
             kept += job_kept
+        if "surrogate" in kinds and not dry_run:
+            # Memoized stores/models may reference files gc just
+            # reclaimed; drop them so the next access rebuilds cleanly.
+            self._record_stores.clear()
+            self._surrogates.clear()
         return {"removed": removed, "freed_bytes": freed,
                 "kept": kept, "dry_run": dry_run}
 

@@ -117,6 +117,29 @@ class EvaluationEngine:
         # Weakly keyed so a long-lived shared engine does not pin every
         # netlist it ever evaluated in memory.
         self._netlist_fps = weakref.WeakKeyDictionary()
+        self._record_listeners = []
+
+    # -- record stream -------------------------------------------------------
+    def add_record_listener(self, listener) -> None:
+        """Subscribe ``listener(netlist, records)`` to every evaluation.
+
+        Called once per :meth:`evaluate_many` with the full, input-order
+        record list — cache hits included, so a listener building a
+        training corpus (see
+        :class:`repro.surrogate.records.RecordHarvester`) sees warm
+        traffic too and can dedupe by content instead of missing it.
+        Listener exceptions propagate: a corrupted harvest must fail
+        loudly, not silently drop rows.
+        """
+        if listener not in self._record_listeners:
+            self._record_listeners.append(listener)
+
+    def remove_record_listener(self, listener) -> None:
+        """Unsubscribe; unknown listeners are ignored (idempotent)."""
+        try:
+            self._record_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # -- keys --------------------------------------------------------------
     def builder_fingerprint(self) -> str:
@@ -248,6 +271,8 @@ class EvaluationEngine:
         for i, j in dup_of.items():
             out[i] = out[j]
         self.timing.add("evaluate_many", time.perf_counter() - total0)
+        for listener in list(self._record_listeners):
+            listener(netlist, out)
         return out
 
     def _evaluate_missing(self, netlist, corners, weights, missing, out):

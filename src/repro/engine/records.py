@@ -42,7 +42,14 @@ class PPAWeights:
 
 @dataclass
 class EvaluationRecord:
-    """One corner evaluation's outcome (one STCO iteration)."""
+    """One corner evaluation's outcome (one STCO iteration).
+
+    ``predicted`` marks surrogate-filled records (see
+    :mod:`repro.surrogate.fidelity`) that never touched the engine —
+    consumers that require ground truth must check it (old pickled
+    records predate the field, so read via
+    ``getattr(record, "predicted", False)``).
+    """
 
     corner: Corner
     result: SystemResult
@@ -50,3 +57,4 @@ class EvaluationRecord:
     library_runtime_s: float
     flow_runtime_s: float
     cached: bool = False
+    predicted: bool = False

@@ -28,7 +28,8 @@ from .pareto import (OBJECTIVE_NAMES, objectives_of, dominates,
 from .optimizers import (Optimizer, RandomOptimizer, GridOptimizer,
                          QLearningOptimizer, SimulatedAnnealing,
                          EvolutionaryOptimizer, SurrogateGuidedOptimizer,
-                         surrogate_ranker, make_optimizer, OPTIMIZER_NAMES)
+                         BayesianOptimizer, surrogate_ranker,
+                         make_optimizer, OPTIMIZER_NAMES)
 from .portfolio import PortfolioSearch
 from .driver import SearchResult, SearchRun
 
@@ -40,8 +41,8 @@ __all__ = [
     "ParetoArchive",
     "Optimizer", "RandomOptimizer", "GridOptimizer", "QLearningOptimizer",
     "SimulatedAnnealing", "EvolutionaryOptimizer",
-    "SurrogateGuidedOptimizer", "surrogate_ranker", "make_optimizer",
-    "OPTIMIZER_NAMES",
+    "SurrogateGuidedOptimizer", "BayesianOptimizer", "surrogate_ranker",
+    "make_optimizer", "OPTIMIZER_NAMES",
     "PortfolioSearch",
     "SearchResult", "SearchRun",
 ]

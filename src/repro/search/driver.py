@@ -43,6 +43,7 @@ class SearchResult:
     hypervolume: float = 0.0
     runtime_s: float = 0.0
     records: list = field(default_factory=list)   # unique, first-eval order
+    surrogate: dict = field(default_factory=dict)  # screening economics
 
     def to_dict(self) -> dict:
         return {"optimizer": self.optimizer,
@@ -55,7 +56,8 @@ class SearchResult:
                 "evaluations_to_optimum": self.evaluations_to_optimum,
                 "pareto_front": list(self.pareto_front),
                 "hypervolume": float(self.hypervolume),
-                "runtime_s": float(self.runtime_s)}
+                "runtime_s": float(self.runtime_s),
+                "surrogate": dict(self.surrogate)}
 
 
 class SearchRun:
@@ -149,7 +151,11 @@ class SearchRun:
             self.optimizer.tell(records)
             rounds += 1
             if progress_callback is not None:
+                stats_fn = getattr(self.optimizer, "surrogate_stats",
+                                   None)
                 progress_callback({
+                    **({"surrogate": stats_fn()} if callable(stats_fn)
+                       else {}),
                     "round": rounds,
                     "told": len(rewards),
                     "budget": budget,
@@ -164,7 +170,9 @@ class SearchRun:
             raise RuntimeError(
                 f"search run produced no evaluations (optimizer "
                 f"{self.optimizer.name!r} never asked)")
+        stats_fn = getattr(self.optimizer, "surrogate_stats", None)
         return SearchResult(
+            surrogate=stats_fn() if callable(stats_fn) else {},
             optimizer=self.optimizer.name,
             best_corner=best.corner.key(),
             best_reward=best.reward,

@@ -36,7 +36,8 @@ from .spaces import SearchSpace, as_search_space
 __all__ = ["Optimizer", "RandomOptimizer", "GridOptimizer",
            "QLearningOptimizer", "SimulatedAnnealing",
            "EvolutionaryOptimizer", "SurrogateGuidedOptimizer",
-           "surrogate_ranker", "make_optimizer", "OPTIMIZER_NAMES"]
+           "BayesianOptimizer", "surrogate_ranker", "make_optimizer",
+           "OPTIMIZER_NAMES"]
 
 
 class Optimizer(abc.ABC):
@@ -306,6 +307,20 @@ class EvolutionaryOptimizer(Optimizer):
         pass
 
 
+def _elite_or_sample(space, rng, elites, explore: float):
+    """One raw candidate: an elite perturbation or a fresh sample.
+
+    The shared proposal distribution of the screening optimizers
+    (surrogate, bayes/ucb): with probability ``1 - explore`` (and any
+    elites known) perturb a random elite, otherwise sample the space
+    uniformly. RNG call order is part of the seeded contract.
+    """
+    if elites and rng.random() > explore:
+        base = elites[int(rng.integers(0, len(elites)))]
+        return space.perturb_point(base, rng, 0.3)
+    return space.sample_point(rng)
+
+
 class SurrogateGuidedOptimizer(Optimizer):
     """Rank a candidate pool with a cheap surrogate, evaluate the top-k.
 
@@ -340,23 +355,14 @@ class SurrogateGuidedOptimizer(Optimizer):
         return cls(space, ranker=surrogate_ranker(builder, weights),
                    **kwargs)
 
+    def _propose(self):
+        return _elite_or_sample(self.space, self.rng, self._elites,
+                                self.explore)
+
     def _candidates(self) -> list:
-        out, keys = [], set()
-        attempts = 0
-        while len(out) < self.pool and attempts < self.pool * 8:
-            attempts += 1
-            if self._elites and self.rng.random() > self.explore:
-                base = self._elites[int(self.rng.integers(
-                    0, len(self._elites)))]
-                point = self.space.perturb_point(base, self.rng, 0.3)
-            else:
-                point = self.space.sample_point(self.rng)
-            key = self.space.corner(point).key()
-            if key in keys or key in self._asked_keys:
-                continue
-            keys.add(key)
-            out.append(point)
-        return out
+        return self.space.sample_unique(self.rng, self.pool,
+                                        exclude=self._asked_keys,
+                                        propose=self._propose)
 
     def ask(self) -> list:
         points = self._candidates()
@@ -390,11 +396,145 @@ class SurrogateGuidedOptimizer(Optimizer):
     def tell(self, records) -> None:
         super().tell(records)
         for point, record in zip(self._pending, records):
+            if getattr(record, "predicted", False):
+                continue             # never seed elites from back-fills
             if (self.best_record is not None
                     and record.reward >= self.best_record.reward):
                 self._elites.append(point)
         self._elites = self._elites[-4:]
         self._pending = []
+
+
+class BayesianOptimizer(Optimizer):
+    """Ensemble-surrogate Bayesian optimization on the ask/tell protocol.
+
+    Unlike :class:`SurrogateGuidedOptimizer` — which ranks with a fixed,
+    *single-cell* GNN proxy — this strategy learns the **system-level**
+    objective online: every ``tell()``-ed record becomes a training row
+    for a deep ensemble (:class:`repro.surrogate.models.EnsemblePPAModel`)
+    whose member spread provides the epistemic uncertainty that expected
+    improvement (``acquisition="ei"``, registry name ``bayes``) or an
+    upper confidence bound (``"ucb"``) needs to balance exploration
+    against exploitation.
+
+    Each round after ``init`` seeded-random warmup evaluations:
+
+    1. refit the ensemble on all observations (seeded, from scratch —
+       the whole trajectory is reproducible from the optimizer seed);
+    2. enumerate candidates — every not-yet-asked grid point when the
+       space is a small grid (≤ ``max_grid_candidates``), otherwise a
+       ``pool`` of random samples mixed with perturbations of the best
+       points seen;
+    3. score the acquisition against the best *observed* reward and ask
+       the top ``batch``.
+
+    Fitting costs milliseconds (tiny MLPs, ≤ a few hundred rows), which
+    buys orders of magnitude where it matters: engine evaluations.
+    """
+
+    name = "bayes"
+
+    def __init__(self, space, seed: int = 0, weights=None, batch: int = 1,
+                 init: int = 6, pool: int = 24, acquisition: str = "ei",
+                 ucb_beta: float = 1.0, xi: float = 0.01,
+                 members: int = 3, hidden: int = 16, depth: int = 2,
+                 epochs: int = 60, explore: float = 0.5,
+                 max_grid_candidates: int = 512):
+        from ..surrogate.acquisition import (RewardSurrogate,
+                                             make_acquisition)
+        from ..surrogate.models import EnsembleConfig
+        super().__init__()
+        self.space = as_search_space(space)
+        self.rng = make_rng(seed)
+        self.batch = max(batch, 1)
+        self.init = max(init, 2)
+        self.pool = max(pool, self.batch)
+        self.explore = explore
+        self.max_grid_candidates = max_grid_candidates
+        self.name = acquisition if acquisition == "ucb" else "bayes"
+        self._acquire = make_acquisition(acquisition, ucb_beta=ucb_beta,
+                                         xi=xi)
+        self.surrogate = RewardSurrogate(
+            weights, EnsembleConfig(members=members, hidden=hidden,
+                                    depth=depth, epochs=epochs,
+                                    seed=seed))
+        self._asked_keys = set()
+        self._pending = []
+        self._elites = []               # best points observed, ask order
+
+    def _features(self, corners) -> np.ndarray:
+        return np.asarray([c.feature_vector() for c in corners])
+
+    def _grid_candidates(self) -> list:
+        """All unasked grid points (small grids: exhaustive screening)."""
+        return [p for p in (self.space.grid_point(i)
+                            for i in range(self.space.size))
+                if self.space.corner(p).key() not in self._asked_keys]
+
+    def _propose(self):
+        return _elite_or_sample(self.space, self.rng, self._elites,
+                                self.explore)
+
+    def _sampled_candidates(self) -> list:
+        return self.space.sample_unique(self.rng, self.pool,
+                                        exclude=self._asked_keys,
+                                        propose=self._propose)
+
+    def _candidates(self) -> list:
+        if (self.space.is_grid
+                and self.space.size <= self.max_grid_candidates):
+            return self._grid_candidates()
+        return self._sampled_candidates()
+
+    def ask(self) -> list:
+        if len(self.surrogate) < self.init:
+            points = self._sampled_candidates()[:self.batch]
+        else:
+            points = self._candidates()
+            if len(points) > self.batch:
+                corners = [self.space.corner(p) for p in points]
+                mean, std = self.surrogate.reward_posterior(
+                    self._features(corners))
+                scores = self._acquire(mean, std,
+                                       self.surrogate.best_observed())
+                order = np.argsort(-scores, kind="stable")[:self.batch]
+                points = [points[i] for i in order]
+        self._pending = points
+        for p in points:
+            self._asked_keys.add(self.space.corner(p).key())
+        return [self.space.corner(p) for p in points]
+
+    def tell(self, records) -> None:
+        super().tell(records)
+        from ..surrogate.records import targets_of
+        for point, record in zip(self._pending, records):
+            # Under a promotion gate the inner optimizer also receives
+            # surrogate back-fills (predicted=True); training the
+            # ensemble — or seeding elites — from its own fabricated
+            # targets would self-confirm every pessimistic guess.
+            if getattr(record, "predicted", False):
+                continue
+            self.surrogate.observe(record.corner.feature_vector(),
+                                   targets_of(record.result))
+            if (self.best_record is not None
+                    and record.reward >= self.best_record.reward):
+                self._elites.append(point)
+        self._elites = self._elites[-4:]
+        self._pending = []
+
+    def _observe(self, record) -> None:
+        pass
+
+    @property
+    def done(self) -> bool:
+        """Exhausted once every point of a small grid has been asked."""
+        return (self.space.is_grid
+                and self.space.size <= self.max_grid_candidates
+                and len(self._asked_keys) >= self.space.size)
+
+    def surrogate_stats(self) -> dict:
+        return {"observations": len(self.surrogate),
+                "fits": self.surrogate.fits}
 
 
 def surrogate_ranker(builder, weights=None):
@@ -414,41 +554,52 @@ def surrogate_ranker(builder, weights=None):
 
 #: Names accepted by make_optimizer / Scenario.agent.
 OPTIMIZER_NAMES = ("qlearning", "random", "grid", "anneal", "evolution",
-                   "nsga2", "surrogate", "portfolio")
+                   "nsga2", "surrogate", "bayes", "ucb", "portfolio")
 
 
 def make_optimizer(name: str, space, seed: int = 0, weights=None,
-                   builder=None) -> Optimizer:
+                   builder=None, options: dict | None = None) -> Optimizer:
     """Build a named optimizer (the registry campaigns use).
 
     ``nsga2`` is :class:`EvolutionaryOptimizer` in pareto mode;
     ``surrogate`` wires the ranker from ``builder`` when it has the
-    proxy hook; ``portfolio`` races annealing, evolution and random
-    (see :class:`repro.search.portfolio.PortfolioSearch`).
+    proxy hook; ``bayes`` / ``ucb`` are :class:`BayesianOptimizer`
+    under expected improvement / upper confidence bound; ``portfolio``
+    races annealing, evolution and random (see
+    :class:`repro.search.portfolio.PortfolioSearch`). ``options``
+    forwards extra constructor kwargs (e.g. the surrogate block of an
+    :class:`~repro.api.config.StcoConfig`).
     """
+    options = dict(options or {})
     if name == "qlearning":
-        return QLearningOptimizer(space, seed=seed)
+        return QLearningOptimizer(space, seed=seed, **options)
     if name == "random":
-        return RandomOptimizer(space, seed=seed)
+        return RandomOptimizer(space, seed=seed, **options)
     if name == "grid":
-        return GridOptimizer(space)
+        return GridOptimizer(space, **options)
     if name == "anneal":
-        return SimulatedAnnealing(space, seed=seed)
+        return SimulatedAnnealing(space, seed=seed, **options)
     if name == "evolution":
-        return EvolutionaryOptimizer(space, seed=seed)
+        return EvolutionaryOptimizer(space, seed=seed, **options)
     if name == "nsga2":
-        return EvolutionaryOptimizer(space, seed=seed, mode="pareto")
+        return EvolutionaryOptimizer(space, seed=seed, mode="pareto",
+                                     **options)
     if name == "surrogate":
         if builder is not None:
             return SurrogateGuidedOptimizer.from_builder(
-                space, builder, weights=weights, seed=seed)
-        return SurrogateGuidedOptimizer(space, seed=seed)
+                space, builder, weights=weights, seed=seed, **options)
+        return SurrogateGuidedOptimizer(space, seed=seed, **options)
+    if name in ("bayes", "ucb"):
+        options.setdefault("acquisition", "ei" if name == "bayes"
+                           else "ucb")
+        return BayesianOptimizer(space, seed=seed, weights=weights,
+                                 **options)
     if name == "portfolio":
         # Scheduling is deterministic; seed only diversifies the members.
         from .portfolio import PortfolioSearch
         return PortfolioSearch(
             [SimulatedAnnealing(space, seed=seed),
              EvolutionaryOptimizer(space, seed=seed + 1),
-             RandomOptimizer(space, seed=seed + 2)])
+             RandomOptimizer(space, seed=seed + 2)], **options)
     raise ValueError(f"unknown agent {name!r}; expected one of "
                      f"{OPTIMIZER_NAMES}")

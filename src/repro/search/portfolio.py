@@ -20,8 +20,13 @@ from __future__ import annotations
 import numpy as np
 
 from .optimizers import Optimizer
+from .pareto import ParetoArchive
 
-__all__ = ["PortfolioSearch"]
+__all__ = ["PortfolioSearch", "SCORING_MODES"]
+
+#: Member-ranking modes: scalar best reward, archive hypervolume, or
+#: auto (hypervolume as soon as any member optimizes in pareto mode).
+SCORING_MODES = ("scalar", "hypervolume", "auto")
 
 
 class PortfolioSearch(Optimizer):
@@ -35,12 +40,26 @@ class PortfolioSearch(Optimizer):
     round_size:
         Evaluations per member per round *on average* — each round
         distributes ``round_size × len(members)`` evaluations by rank.
+    scoring:
+        How members are ranked between rounds. ``"scalar"`` (the
+        historical behavior) ranks by best scalarised reward — which
+        systematically starves pareto-mode members, whose job is to
+        *spread along the front* rather than maximise any one
+        scalarisation. ``"hypervolume"`` ranks every member by the
+        hypervolume of its own Pareto archive against one shared
+        reference (the log-nadir of everything the race has seen), so
+        front coverage earns budget. ``"auto"`` picks hypervolume as
+        soon as any member declares ``mode="pareto"``.
     """
 
     name = "portfolio"
 
-    def __init__(self, members, round_size: int = 4):
+    def __init__(self, members, round_size: int = 4,
+                 scoring: str = "scalar"):
         super().__init__()
+        if scoring not in SCORING_MODES:
+            raise ValueError(f"scoring must be one of {SCORING_MODES}, "
+                             f"got {scoring!r}")
         named = []
         used = set()
         for member in members:
@@ -57,17 +76,45 @@ class PortfolioSearch(Optimizer):
             raise ValueError("a portfolio needs at least one member")
         self.members = dict(named)
         self.round_size = max(round_size, 1)
+        self.scoring = scoring
         self._quota = {name: self.round_size for name in self.members}
         self._order = list(self.members)        # round-robin rotation
         self._asker = None                      # member owing a tell
         self._stats = {name: {"evaluations": 0, "best": -np.inf,
-                              "prev_best": -np.inf, "rounds": 0}
+                              "prev_best": -np.inf, "rounds": 0,
+                              "hv": 0.0, "prev_hv": 0.0}
                        for name in self.members}
+        self._archives = {name: ParetoArchive() for name in self.members}
+        self._union = ParetoArchive()           # shared hv reference
         self.rounds = 0
+
+    def _resolved_scoring(self) -> str:
+        if self.scoring != "auto":
+            return self.scoring
+        return "hypervolume" if any(
+            getattr(m, "mode", "scalar") == "pareto"
+            for m in self.members.values()) else "scalar"
 
     # -- scheduling --------------------------------------------------------
     def _live(self) -> list:
         return [n for n in self._order if not self.members[n].done]
+
+    def _hypervolumes(self) -> dict:
+        """Current per-member hypervolume against one shared reference.
+
+        The reference is the union archive's log-nadir-plus-margin —
+        recomputed on every call so it always covers everything any
+        member has seen, keeping the numbers comparable *within* a
+        round (absolute values still drift as the race explores; ranks
+        are what matter here). Pure read: callers decide whether to
+        fold the values into the race's prev/current bookkeeping, so
+        merely *observing* standings never perturbs scheduling.
+        """
+        if not len(self._union):
+            return {name: 0.0 for name in self.members}
+        reference = self._union.reference_point()
+        return {name: archive.hypervolume(reference)
+                for name, archive in self._archives.items()}
 
     def _reallocate(self) -> None:
         """Rank members and hand out the next round's quotas."""
@@ -75,11 +122,20 @@ class PortfolioSearch(Optimizer):
         live = self._live()
         if not live:
             return
+        scoring = self._resolved_scoring()
+        if scoring == "hypervolume":
+            hvs = self._hypervolumes()
+            for name, hv in hvs.items():
+                s = self._stats[name]
+                s["prev_hv"] = s["hv"]
+                s["hv"] = hv
         # Sort best-first; recent improvement breaks ties so a member
         # that just moved outranks one that has been flat at the same
-        # reward for rounds.
+        # score for rounds.
         def key(name):
             s = self._stats[name]
+            if scoring == "hypervolume" and len(self._union):
+                return (s["hv"], s["hv"] - s["prev_hv"])
             improve = s["best"] - s["prev_best"]
             return (s["best"], improve)
         ranked = sorted(live, key=key, reverse=True)
@@ -133,9 +189,12 @@ class PortfolioSearch(Optimizer):
         self.members[name].tell(records)
         s = self._stats[name]
         s["evaluations"] += len(records)
+        archive = self._archives[name]
         for record in records:
             if record.reward > s["best"]:
                 s["best"] = record.reward
+            archive.add(record)
+            self._union.add(record)
 
     def _observe(self, record) -> None:
         pass
@@ -145,13 +204,24 @@ class PortfolioSearch(Optimizer):
         return not self._live()
 
     def standings(self) -> list:
-        """Per-member race state, leader first."""
+        """Per-member race state, leader first (current scoring mode).
+
+        A pure observation: polling standings between rounds must not
+        disturb the prev/current hypervolume bookkeeping the scheduler
+        ranks with."""
+        scoring = self._resolved_scoring()
+        hvs = self._hypervolumes()
         rows = [{"name": name,
                  "evaluations": s["evaluations"],
                  "best_reward": (None if not np.isfinite(s["best"])
                                  else float(s["best"])),
+                 "hypervolume": float(hvs[name]),
+                 "pareto_points": len(self._archives[name]),
+                 "scoring": scoring,
                  "quota": self._quota.get(name, 0),
                  "done": self.members[name].done}
                 for name, s in self._stats.items()]
+        if scoring == "hypervolume":
+            return sorted(rows, key=lambda r: -r["hypervolume"])
         return sorted(rows, key=lambda r: (r["best_reward"] is None,
                                            -(r["best_reward"] or 0.0)))

@@ -189,6 +189,34 @@ class SearchSpace:
         return tuple(a.perturb(v, rng, scale) if m else v
                      for a, v, m in zip(self.axes, point, moved))
 
+    def sample_unique(self, rng: np.random.Generator, count: int,
+                      exclude=frozenset(), propose=None,
+                      attempts_factor: int = 8) -> list:
+        """Up to ``count`` distinct points whose corner keys avoid
+        ``exclude`` (and each other).
+
+        Rejection sampling with a bounded attempt budget, so tiny or
+        nearly-exhausted grids return fewer points instead of looping
+        forever. ``propose`` (default :meth:`sample_point`) generates
+        raw candidates — pass a closure to mix in elite perturbations
+        or any other proposal distribution; it is called once per
+        attempt, keeping seeded RNG streams reproducible.
+        """
+        if propose is None:
+            def propose():
+                return self.sample_point(rng)
+        out, keys = [], set()
+        attempts = 0
+        while len(out) < count and attempts < count * attempts_factor:
+            attempts += 1
+            point = propose()
+            key = self.corner(point).key()
+            if key in keys or key in exclude:
+                continue
+            keys.add(key)
+            out.append(point)
+        return out
+
     def params(self, point) -> dict:
         return dict(zip(self.names, point))
 

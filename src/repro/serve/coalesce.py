@@ -123,6 +123,16 @@ class Coalescer:
         with self._lock:
             self._completed[key] = job_id
 
+    def forget_completed(self, key: str, job_id: str) -> bool:
+        """Drop a stale completed mapping (the job's report is gone —
+        e.g. its record was gc'd). Only removes the entry if it still
+        points at ``job_id``, so a racing fresh completion survives."""
+        with self._lock:
+            if self._completed.get(key) == job_id:
+                del self._completed[key]
+                return True
+            return False
+
     # -- reporting ---------------------------------------------------------
     def stats(self) -> dict:
         with self._lock:

@@ -12,6 +12,15 @@ Scheduling is priority-then-FIFO: higher ``priority`` first, and within
 one priority class strictly submission order (a monotonic sequence
 number persisted with the job, so the order survives restarts too).
 
+**Terminal records load lazily.** A weeks-old live process accumulates
+thousands of finished jobs, and boot used to pin every config, report
+and event history in memory forever. Now ``_load`` keeps only a light
+*stub* per terminal record (state, priority, sequence, content key —
+the fields scheduling and coalescer rebuild need); the heavy body
+(config, report, events) is read from disk on first :meth:`get` and
+held in a small bounded LRU. Active jobs still load fully — they are
+the crash-recovery state.
+
 The store knows nothing about *what* a job runs or how identical jobs
 are shared — that is :mod:`repro.serve.pool` and
 :mod:`repro.serve.coalesce`.
@@ -24,12 +33,19 @@ import json
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 
 from ..utils.io import atomic_write_json
 
 __all__ = ["JobState", "Job", "JobStore", "UnknownJobError"]
+
+#: Loaded terminal-job bodies kept in memory (LRU; stubs stay forever).
+BODY_CACHE_SIZE = 128
+
+#: Record fields whose payload justifies lazy loading.
+_HEAVY_FIELDS = ("config", "report", "events")
 
 
 class UnknownJobError(KeyError):
@@ -95,12 +111,17 @@ class Job:
 class JobStore:
     """Crash-safe job records + the priority/FIFO queue over them."""
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path,
+                 body_cache_size: int = BODY_CACHE_SIZE):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
-        self._jobs: dict[str, Job] = {}
+        self._jobs: dict[str, Job] = {}  # active + this-process jobs
+        self._stubs: dict[str, Job] = {}      # terminal, body on disk
+        self._stub_meta: dict[str, dict] = {}  # has_report / event count
+        self._bodies: OrderedDict = OrderedDict()   # loaded-body LRU
+        self._body_cache_size = max(1, int(body_cache_size))
         self._queue: list = []           # (-priority, seq, job_id) heap
         self._seq = 0
         self.recovered: list = []        # ids resubmitted by recovery
@@ -116,8 +137,11 @@ class JobStore:
     def _persist(self, job: Job) -> None:
         # Events live in an append-only sidecar (see add_event), so the
         # per-transition record write stays O(record), not O(rounds).
+        # The count rides along as a light field so boot can index
+        # terminal jobs without reading any sidecar.
         record = job.to_dict()
         del record["events"]
+        record["events_count"] = len(job.events)
         atomic_write_json(self._path(job.job_id), record)
 
     def _load_events(self, job_id: str) -> list:
@@ -136,14 +160,44 @@ class JobStore:
             pass
         return events
 
+    def _count_events(self, job_id: str) -> int:
+        path = self._events_path(job_id)
+        if not path.exists():
+            return 0
+        try:
+            with open(path, "rb") as fh:
+                return sum(1 for _ in fh)
+        except OSError:
+            return 0
+
     def _load(self) -> None:
-        """Read every record; requeue interrupted and pending work."""
+        """Index every record; requeue interrupted and pending work.
+
+        Active (submitted/running) jobs load fully — they drive
+        recovery and scheduling. Terminal jobs become light stubs: the
+        record JSON is parsed once to learn its light fields, and the
+        heavy payload (config, report, events) is dropped immediately,
+        to be re-read on demand by :meth:`get`.
+        """
         for path in sorted(self.root.glob("*.json")):
             try:
-                job = Job.from_dict(
-                    json.loads(path.read_text(encoding="utf-8")))
+                record = json.loads(path.read_text(encoding="utf-8"))
+                job = Job.from_dict(record)
             except (OSError, json.JSONDecodeError, TypeError):
                 continue                 # torn/foreign file: skip, keep
+            self._seq = max(self._seq, job.seq + 1)
+            if job.state in JobState.TERMINAL:
+                job.config = {}
+                job.report = None
+                job.events = []
+                self._stubs[job.job_id] = job
+                events = record.get("events_count")
+                if events is None:      # pre-upgrade record: count once
+                    events = self._count_events(job.job_id)
+                self._stub_meta[job.job_id] = {
+                    "has_report": record.get("report") is not None,
+                    "events": int(events)}
+                continue
             job.events = self._load_events(job.job_id)
             if job.state == JobState.RUNNING:
                 # Interrupted mid-flight by a crash: resubmit.
@@ -153,11 +207,37 @@ class JobStore:
                 self._persist(job)
                 self.recovered.append(job.job_id)
             self._jobs[job.job_id] = job
-            self._seq = max(self._seq, job.seq + 1)
         for job in self._jobs.values():
             if job.state == JobState.SUBMITTED and not job.coalesced_with:
                 heapq.heappush(self._queue,
                                (-job.priority, job.seq, job.job_id))
+
+    def _load_body(self, job_id: str, stub: Job) -> Job:
+        """Materialize a stub's full record — called WITHOUT the lock.
+
+        Terminal records are immutable on disk (first-writer-wins), so
+        the read needs no lock and must not hold one: claim/submit/
+        finish share the store lock, and a slow read of an old report
+        must never stall the scheduler. Two racing readers simply both
+        read; the second insert wins.
+        """
+        try:
+            job = Job.from_dict(json.loads(
+                self._path(job_id).read_text(encoding="utf-8")))
+            job.events = self._load_events(job_id)
+        except (OSError, json.JSONDecodeError, TypeError):
+            # Record vanished (gc) or tore after boot: the stub's light
+            # fields are still the truth we indexed — degrade to them.
+            job = stub
+        with self._lock:
+            cached = self._bodies.get(job_id)
+            if cached is not None:
+                self._bodies.move_to_end(job_id)
+                return cached
+            self._bodies[job_id] = job
+            while len(self._bodies) > self._body_cache_size:
+                self._bodies.popitem(last=False)
+        return job
 
     # -- submission / lookup ----------------------------------------------
     def submit(self, config: dict, priority: int = 0,
@@ -194,31 +274,67 @@ class JobStore:
 
     def get(self, job_id: str) -> Job:
         with self._lock:
-            try:
-                return self._jobs[job_id]
-            except KeyError:
-                raise UnknownJobError(job_id) from None
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job
+            cached = self._bodies.get(job_id)
+            if cached is not None:
+                self._bodies.move_to_end(job_id)
+                return cached
+            stub = self._stubs.get(job_id)
+            if stub is None:
+                raise UnknownJobError(job_id)
+        return self._load_body(job_id, stub)     # disk I/O: no lock
+
+    def _peek(self, job_id: str) -> Job:
+        """Light view: never touches disk (stub for lazy terminals)."""
+        with self._lock:
+            job = self._jobs.get(job_id) or self._stubs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return job
 
     def describe(self, job_id: str) -> dict:
         """A consistent JSON view of one job (taken under the lock)."""
+        job = self.get(job_id)      # lazy body loads happen un-locked
         with self._lock:
-            return self.get(job_id).to_dict()
+            return job.to_dict()
+
+    def _summary_of(self, job: Job) -> dict:
+        meta = self._stub_meta.get(job.job_id)
+        if meta is None or job.job_id in self._jobs:
+            return job.summary()
+        out = job.summary()              # stub: patch the lazy fields
+        out["events"] = meta["events"]
+        out["has_report"] = meta["has_report"]
+        return out
 
     def jobs(self) -> list:
-        """Summaries of every job, submission order."""
+        """Summaries of every job, submission order (no disk reads)."""
         with self._lock:
-            return [job.summary() for job in
-                    sorted(self._jobs.values(), key=lambda j: j.seq)]
+            everything = list(self._jobs.values()) \
+                + [s for jid, s in self._stubs.items()
+                   if jid not in self._jobs]
+            return [self._summary_of(job) for job in
+                    sorted(everything, key=lambda j: j.seq)]
 
     def all_jobs(self) -> list:
-        """Snapshot of the live Job objects, submission order."""
+        """Snapshot of the live Job objects, submission order.
+
+        Lazily-indexed terminal jobs appear as their stubs — every
+        scheduling-relevant field is present, but ``config`` / ``report``
+        / ``events`` are empty until :meth:`get` loads the body.
+        """
         with self._lock:
-            return sorted(self._jobs.values(), key=lambda j: j.seq)
+            everything = list(self._jobs.values()) \
+                + [s for jid, s in self._stubs.items()
+                   if jid not in self._jobs]
+            return sorted(everything, key=lambda j: j.seq)
 
     def summary(self, job_id: str) -> dict:
         """One job's light view (no config/report payloads)."""
         with self._lock:
-            return self.get(job_id).summary()
+            return self._summary_of(self._peek(job_id))
 
     def boost(self, job_id: str, priority: int) -> bool:
         """Raise a queued job's priority (never lowers it).
@@ -227,7 +343,7 @@ class JobStore:
         (entry priority no longer matches the job's).
         """
         with self._lock:
-            job = self.get(job_id)
+            job = self._peek(job_id)
             if job.state != JobState.SUBMITTED or job.coalesced_with \
                     or priority <= job.priority:
                 return False
@@ -242,7 +358,8 @@ class JobStore:
         with self._lock:
             out = {state: 0 for state in JobState.ALL}
             queued = 0
-            for job in self._jobs.values():
+            for job_id in set(self._jobs) | set(self._stubs):
+                job = self._jobs.get(job_id) or self._stubs[job_id]
                 out[job.state] = out.get(job.state, 0) + 1
                 # Not len(self._queue): the heap holds stale entries
                 # (priority boosts, cancelled-while-queued jobs) that
@@ -252,6 +369,14 @@ class JobStore:
                     queued += 1
             out["queued"] = queued
             return out
+
+    def memory_stats(self) -> dict:
+        """What the store holds in memory vs indexes lazily."""
+        with self._lock:
+            return {"loaded": len(self._jobs),
+                    "lazy_terminal": len(self._stubs),
+                    "bodies_cached": len(self._bodies),
+                    "body_cache_size": self._body_cache_size}
 
     # -- worker side -------------------------------------------------------
     def claim(self, timeout: float | None = None) -> Job | None:
@@ -280,9 +405,12 @@ class JobStore:
                 self._cond.wait(remaining)
 
     def add_event(self, job_id: str, snapshot: dict) -> None:
+        job = self.get(job_id)      # lazy body loads happen un-locked
         with self._lock:
-            job = self.get(job_id)
             job.events.append(dict(snapshot))
+            meta = self._stub_meta.get(job_id)
+            if meta is not None:
+                meta["events"] += 1
             with open(self._events_path(job_id), "a",
                       encoding="utf-8") as fh:
                 fh.write(json.dumps(snapshot, sort_keys=True) + "\n")
@@ -300,6 +428,10 @@ class JobStore:
         if state not in JobState.TERMINAL:
             raise ValueError(f"finish() needs a terminal state, "
                              f"got {state!r}")
+        # Warm a lazy body outside the lock so the read-modify-write
+        # below is pure dict work (barring an improbable LRU eviction
+        # in between, which the reentrant lock handles correctly).
+        self.get(job_id)
         with self._lock:
             job = self.get(job_id)
             if job.terminal:
@@ -318,13 +450,37 @@ class JobStore:
             if ledger:
                 job.ledger = dict(job.ledger, **ledger)
             self._persist(job)
+            self._demote(job)
             self._cond.notify_all()
             return job
+
+    def _demote(self, job: Job) -> None:
+        """Swap a just-finished job for a light stub + cached body.
+
+        Without this, a long-lived process would still pin every
+        config/report/event history of the jobs *it* completed — the
+        exact leak the lazy boot index exists to prevent. The full
+        record goes into the bounded body LRU (so the submitter's
+        immediate ``get`` is free) and can always be re-read from the
+        file just persisted.
+        """
+        record = {k: v for k, v in job.to_dict().items()
+                  if k not in _HEAVY_FIELDS}
+        stub = Job.from_dict({**record, "config": {}})
+        self._stubs[job.job_id] = stub
+        self._stub_meta[job.job_id] = {
+            "has_report": job.report is not None,
+            "events": len(job.events)}
+        self._bodies[job.job_id] = job
+        self._bodies.move_to_end(job.job_id)
+        while len(self._bodies) > self._body_cache_size:
+            self._bodies.popitem(last=False)
+        self._jobs.pop(job.job_id, None)
 
     def cancel_queued(self, job_id: str) -> bool:
         """Cancel a job that has not started; False if it already did."""
         with self._lock:
-            job = self.get(job_id)
+            job = self._peek(job_id)
             if job.state != JobState.SUBMITTED:
                 return False
             self.finish(job_id, JobState.CANCELLED)
@@ -334,6 +490,7 @@ class JobStore:
     def wait_for(self, job_id: str, timeout: float | None = None) -> Job:
         """Block until ``job_id`` reaches a terminal state."""
         deadline = None if timeout is None else time.monotonic() + timeout
+        self.get(job_id)            # lazy body loads happen un-locked
         with self._lock:
             while True:
                 job = self.get(job_id)

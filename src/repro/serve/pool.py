@@ -118,6 +118,14 @@ class ServeService:
                       key=lambda j: j.finished_s)
         for job in jobs:
             if job.state == JobState.SUCCEEDED and job.content_key:
+                # Lazily-indexed jobs are stubs here; the summary's
+                # has_report flag says whether the record can actually
+                # answer a duplicate. A report-less success must not
+                # become a completed key (it would resolve duplicates
+                # with report: null).
+                if job.report is None and not self.store.summary(
+                        job.job_id).get("has_report"):
+                    continue
                 self.coalescer.restore_completed(job.content_key,
                                                  job.job_id)
         leaders_by_key: dict = {}
@@ -141,8 +149,9 @@ class ServeService:
             if leader is not None and leader.state in JobState.ACTIVE:
                 self.coalescer.restore_follower(leader.job_id,
                                                 job.job_id)
-            elif leader is not None and \
-                    leader.state == JobState.SUCCEEDED:
+            elif leader is not None \
+                    and leader.state == JobState.SUCCEEDED \
+                    and leader.report is not None:
                 self.store.finish(job.job_id, JobState.SUCCEEDED,
                                   report=leader.report)
             elif job.content_key in leaders_by_key:
@@ -211,23 +220,38 @@ class ServeService:
         key = request_key(config, self.workspace.root)
         job = self.store.submit(config.to_dict(), priority=priority,
                                 content_key=key, enqueue=False)
-        role, other = self.coalescer.admit(
-            key, job.job_id, force=force,
-            reuse_completed=self.reuse_completed)
-        if role == "leader":
-            self.store.enqueue(job.job_id)
-        elif role == "follower":
-            job.coalesced_with = other
-            self.store.update(job)
-            # A high-priority request must not wait at its queued
-            # leader's lower priority: the leader inherits the boost.
-            self.store.boost(other, priority)
-        else:                            # duplicate: answer immediately
+        # Two admission attempts: the second only runs when a
+        # "duplicate" classification turned out to point at a job whose
+        # report no longer exists (record gc'd from under the lazy
+        # store) — the stale key is forgotten and the job re-admitted,
+        # which can only yield leader or follower.
+        for _ in range(2):
+            role, other = self.coalescer.admit(
+                key, job.job_id, force=force,
+                reuse_completed=self.reuse_completed)
+            if role == "leader":
+                self.store.enqueue(job.job_id)
+                break
+            if role == "follower":
+                job.coalesced_with = other
+                self.store.update(job)
+                # A high-priority request must not wait at its queued
+                # leader's lower priority: the leader inherits the boost.
+                self.store.boost(other, priority)
+                break
+            # duplicate: answer immediately — but never with a null
+            # report (the eager store kept reports in memory; the lazy
+            # one must re-execute when the record vanished).
             done = self.store.get(other)
-            self.store.finish(job.job_id, JobState.SUCCEEDED,
-                              report=done.report, coalesced_with=other,
-                              ledger={"queued_s": 0.0, "lock_wait_s": 0.0,
-                                      "execution_s": 0.0})
+            if done.state == JobState.SUCCEEDED \
+                    and done.report is not None:
+                self.store.finish(
+                    job.job_id, JobState.SUCCEEDED,
+                    report=done.report, coalesced_with=other,
+                    ledger={"queued_s": 0.0, "lock_wait_s": 0.0,
+                            "execution_s": 0.0})
+                break
+            self.coalescer.forget_completed(key, other)
         return self.store.get(job.job_id)
 
     # -- cancellation ------------------------------------------------------
@@ -394,6 +418,7 @@ class ServeService:
                 "workers": len(self._threads),
                 "uptime_s": time.time() - self._started_s,
                 "jobs": counts,
+                "store_memory": self.store.memory_stats(),
                 "coalescer": self.coalescer.stats()}
 
     def workspace_stats(self) -> dict:

@@ -1,14 +1,42 @@
-"""GNN surrogates for TCAD simulation (paper Sec. II-A, Table II)."""
+"""Learned surrogates: device-level GNNs and system-level PPA models.
+
+Two generations of surrogate live here:
+
+* the paper's **device-level** GNN emulators (Sec. II-A, Table II):
+  :class:`PoissonEmulator` / :class:`IVPredictor` over RelGAT networks,
+  trained once from TCAD data;
+* the **system-level multi-fidelity** stack (records → models →
+  acquisition → fidelity): every engine evaluation is harvested into a
+  content-keyed :class:`RecordStore`, a deep :class:`EnsemblePPAModel`
+  learns (power, delay, area) with epistemic uncertainty from the
+  ensemble spread, and the ``bayes`` / ``ucb`` optimizers plus the
+  :class:`PromotedOptimizer` fidelity gate spend real evaluations only
+  where the surrogate cannot already answer.
+"""
 
 from .relgat import (RelGATConfig, RelGATNetwork, paper_poisson_config,
                      paper_iv_config, ci_poisson_config, ci_iv_config)
 from .poisson_emulator import PoissonEmulator
 from .iv_predictor import IVPredictor
 from .training import SurrogateMetrics, SurrogateTrainer, train_surrogates
+from .records import (TARGET_NAMES, Featurizer, RecordStore,
+                      RecordHarvester, targets_of)
+from .models import EnsembleConfig, RidgeSurrogate, EnsemblePPAModel
+from .acquisition import (ACQUISITION_NAMES, scalarize_log, reward_stats,
+                          expected_improvement, upper_confidence_bound,
+                          make_acquisition, RewardSurrogate)
+from .fidelity import PromotionSchedule, PredictedResult, PromotedOptimizer
 
 __all__ = [
     "RelGATConfig", "RelGATNetwork", "paper_poisson_config",
     "paper_iv_config", "ci_poisson_config", "ci_iv_config",
     "PoissonEmulator", "IVPredictor",
     "SurrogateMetrics", "SurrogateTrainer", "train_surrogates",
+    "TARGET_NAMES", "Featurizer", "RecordStore", "RecordHarvester",
+    "targets_of",
+    "EnsembleConfig", "RidgeSurrogate", "EnsemblePPAModel",
+    "ACQUISITION_NAMES", "scalarize_log", "reward_stats",
+    "expected_improvement", "upper_confidence_bound", "make_acquisition",
+    "RewardSurrogate",
+    "PromotionSchedule", "PredictedResult", "PromotedOptimizer",
 ]

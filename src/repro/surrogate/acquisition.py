@@ -1,0 +1,178 @@
+"""Acquisition functions: uncertainty-aware candidate ranking.
+
+The surrogate predicts the three log10 objectives; the search layer
+optimizes one scalarized reward. This module bridges the two:
+
+* :func:`scalarize_log` maps predicted ``(log_power, log_delay,
+  log_area)`` rows to the exact reward
+  :meth:`repro.engine.records.PPAWeights.score` would assign
+  (``log10(fmax) = -log10(delay)``, so the mapping is linear in the
+  log domain — no exponentiation, no precision loss);
+* :func:`reward_stats` propagates a deep ensemble's per-member
+  predictions into a per-candidate reward mean and spread;
+* :func:`expected_improvement` / :func:`upper_confidence_bound` turn
+  (mean, spread, incumbent) into the acquisition values the ``bayes`` /
+  ``ucb`` optimizers rank with. Both are written for the maximisation
+  convention used throughout the search subsystem (higher reward is
+  better).
+
+The standard-normal pdf/cdf are closed-form (``erf``-based) — no scipy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.records import PPAWeights
+
+__all__ = ["scalarize_log", "reward_stats", "expected_improvement",
+           "upper_confidence_bound", "make_acquisition",
+           "ACQUISITION_NAMES", "RewardSurrogate"]
+
+
+def scalarize_log(log_objectives, weights: PPAWeights | None = None):
+    """Reward of each ``(log_power, log_delay, log_area)`` row.
+
+    Exactly :meth:`PPAWeights.score` in the log domain:
+    ``performance * log10(fmax) - power * log10(power) - area *
+    log10(area)`` with ``log10(fmax) = -log_delay``.
+    """
+    weights = weights if weights is not None else PPAWeights()
+    logs = np.asarray(log_objectives, dtype=float)
+    lp, ld, la = logs[..., 0], logs[..., 1], logs[..., 2]
+    return (-weights.performance * ld - weights.power * lp
+            - weights.area * la)
+
+
+def reward_stats(member_predictions, weights: PPAWeights | None = None):
+    """``(mean, std)`` of the scalarized reward over ensemble members.
+
+    ``member_predictions`` has shape ``(members, n, 3)`` (see
+    :meth:`repro.surrogate.models.EnsemblePPAModel.predict_members`).
+    Scalarizing *per member* and then taking statistics preserves the
+    correlations between the objectives each member learned — the
+    spread of the reward is what acquisition needs, not the spread of
+    each objective in isolation.
+    """
+    rewards = scalarize_log(member_predictions, weights)   # (members, n)
+    return rewards.mean(axis=0), rewards.std(axis=0)
+
+
+def _norm_pdf(z: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * z * z) / np.sqrt(2.0 * np.pi)
+
+
+def _norm_cdf(z: np.ndarray) -> np.ndarray:
+    # erf is vectorized in numpy >= 2 via math fallback; keep it manual
+    # so any numpy works: cdf(z) = 0.5 (1 + erf(z / sqrt 2)).
+    from math import erf
+    flat = np.asarray(z, dtype=float).ravel()
+    out = np.array([0.5 * (1.0 + erf(v / np.sqrt(2.0))) for v in flat])
+    return out.reshape(np.shape(z))
+
+
+def expected_improvement(mean, std, best: float,
+                         xi: float = 0.01) -> np.ndarray:
+    """EI (maximisation): expected amount by which a candidate beats the
+    incumbent ``best``, under a Gaussian posterior ``N(mean, std²)``.
+
+    ``xi`` trades exploration for exploitation; candidates with zero
+    spread degrade gracefully to ``max(mean - best - xi, 0)`` (pure
+    exploitation), so EI stays well-defined with a ridge surrogate or a
+    collapsed ensemble.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    gain = mean - best - xi
+    out = np.maximum(gain, 0.0)
+    active = std > 1e-12
+    if np.any(active):
+        z = gain[active] / std[active]
+        out = out.astype(float)
+        out[active] = (gain[active] * _norm_cdf(z)
+                       + std[active] * _norm_pdf(z))
+    return out
+
+
+def upper_confidence_bound(mean, std, beta: float = 1.0) -> np.ndarray:
+    """UCB (maximisation): optimism in the face of uncertainty."""
+    return np.asarray(mean, dtype=float) \
+        + float(beta) * np.asarray(std, dtype=float)
+
+
+#: Names accepted by make_acquisition (and SurrogateConfig.acquisition).
+ACQUISITION_NAMES = ("ei", "ucb")
+
+
+def make_acquisition(name: str, ucb_beta: float = 1.0, xi: float = 0.01):
+    """An acquisition callable ``(mean, std, best) -> scores``."""
+    if name == "ei":
+        return lambda mean, std, best: expected_improvement(
+            mean, std, best, xi=xi)
+    if name == "ucb":
+        return lambda mean, std, best: upper_confidence_bound(
+            mean, std, beta=ucb_beta)
+    raise ValueError(f"unknown acquisition {name!r}; expected one of "
+                     f"{ACQUISITION_NAMES}")
+
+
+class RewardSurrogate:
+    """An online reward posterior fitted from ``tell()``-ed records.
+
+    The shared engine of the ``bayes`` / ``ucb`` optimizers and the
+    :class:`~repro.surrogate.fidelity.PromotedOptimizer`: it accumulates
+    ``(feature, log-objective)`` observations, lazily refits a deep
+    ensemble whenever the data changed since the last fit, and answers
+    reward-posterior queries. Refits are from scratch and seeded, so a
+    fixed optimizer seed reproduces the exact trajectory.
+    """
+
+    def __init__(self, weights: PPAWeights | None = None, config=None):
+        from .models import EnsembleConfig
+        self.weights = weights if weights is not None else PPAWeights()
+        self.config = config if config is not None else EnsembleConfig()
+        self._X: list = []
+        self._Y: list = []
+        self._model = None
+        self._fitted_rows = 0
+        self.fits = 0
+
+    def __len__(self) -> int:
+        return len(self._X)
+
+    def observe(self, features, log_objectives) -> None:
+        self._X.append(np.asarray(features, dtype=float))
+        self._Y.append(np.asarray(log_objectives, dtype=float))
+
+    def observe_record(self, features, record) -> None:
+        from .records import targets_of
+        self.observe(features, targets_of(record.result))
+
+    def best_observed(self) -> float:
+        if not self._Y:
+            return -np.inf
+        return float(scalarize_log(np.asarray(self._Y), self.weights).max())
+
+    def _ensure_fitted(self):
+        from .models import EnsemblePPAModel
+        if self._model is None or self._fitted_rows != len(self._X):
+            self._model = EnsemblePPAModel(self.config).fit(
+                np.asarray(self._X), np.asarray(self._Y))
+            self._fitted_rows = len(self._X)
+            self.fits += 1
+        return self._model
+
+    def reward_posterior(self, features):
+        """``(mean, std)`` of the scalarized reward per feature row."""
+        if not self._X:
+            raise RuntimeError("no observations to fit a surrogate on")
+        model = self._ensure_fitted()
+        members = model.predict_members(np.asarray(features, dtype=float))
+        return reward_stats(members, self.weights)
+
+    def objective_posterior(self, features):
+        """``(mean, std)`` of the three log10 objectives per row."""
+        if not self._X:
+            raise RuntimeError("no observations to fit a surrogate on")
+        return self._ensure_fitted().predict(
+            np.asarray(features, dtype=float))

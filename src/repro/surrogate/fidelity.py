@@ -1,0 +1,221 @@
+"""Multi-fidelity promotion: surrogate screening before real evaluation.
+
+The fidelity ladder has two rungs: the learned ensemble (microseconds
+per prediction) and the real evaluation engine (characterization + full
+system flow). A :class:`PromotionSchedule` decides how candidates climb
+it — each optimizer round, up to ``screen`` candidates are scored by the
+surrogate and only the ``promote`` most promising reach the engine.
+
+:class:`PromotedOptimizer` wires the schedule onto the existing
+ask/tell protocol, so it plugs into
+:class:`~repro.search.driver.SearchRun` like any optimizer — dedup,
+engine-miss accounting and ``progress_callback`` all hold untouched:
+
+* ``ask()`` asks the *inner* optimizer, tops the pool up with random
+  space samples to ``screen`` candidates, and (once the surrogate has
+  ``min_observations`` rows) returns only the promoted top-k;
+* ``tell()`` forwards the real records and back-fills the inner
+  optimizer's unpromoted candidates with **pessimistic** surrogate
+  predictions (mean + ``kappa``·spread on each minimised objective), so
+  the inner strategy's state advances over its full ask without ever
+  chasing a phantom optimum — filled records carry
+  ``predicted=True`` and are ignored by
+  :class:`~repro.surrogate.records.RecordHarvester`.
+
+Promotion ranks by UCB (optimism selects what to *measure*); back-fill
+is pessimistic (caution decides what to *believe* unmeasured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.records import EvaluationRecord, PPAWeights
+from ..search.optimizers import Optimizer
+from ..search.spaces import as_search_space
+from ..utils.rng import make_rng
+from .acquisition import RewardSurrogate, upper_confidence_bound
+
+__all__ = ["PromotionSchedule", "PredictedResult", "PromotedOptimizer"]
+
+
+@dataclass(frozen=True)
+class PromotionSchedule:
+    """How candidates climb the fidelity ladder each round."""
+
+    screen: int = 16            # candidates scored by the surrogate
+    promote: int = 4            # top-k sent to the engine
+    min_observations: int = 6   # real rows before screening starts
+    kappa: float = 1.0          # pessimism for surrogate back-fill
+    ucb_beta: float = 1.0       # optimism for promotion ranking
+
+    def __post_init__(self):
+        if self.promote < 1:
+            raise ValueError("schedule must promote at least 1 candidate")
+        if self.screen < self.promote:
+            raise ValueError("screen must be >= promote")
+
+
+@dataclass
+class PredictedResult:
+    """A surrogate-predicted stand-in for a ``SystemResult``."""
+
+    total_power_w: float
+    min_period_s: float
+    area_um2: float
+
+    @property
+    def fmax_hz(self) -> float:
+        return 1.0 / max(self.min_period_s, 1e-300)
+
+    def ppa(self) -> dict:
+        return {"power_w": self.total_power_w,
+                "performance_hz": self.fmax_hz,
+                "area_um2": self.area_um2}
+
+
+class PromotedOptimizer(Optimizer):
+    """Wrap any optimizer behind a surrogate promotion gate.
+
+    Parameters
+    ----------
+    inner:
+        The proposal strategy. Its full ask (plus random padding up to
+        ``schedule.screen``) is screened; only promoted candidates cost
+        engine evaluations.
+    space:
+        The search space (padding samples come from it).
+    schedule:
+        The :class:`PromotionSchedule`; default promotes 4 of 16.
+    weights:
+        Scalarisation used for surrogate rewards and back-fill scores.
+    model_config:
+        :class:`~repro.surrogate.models.EnsembleConfig` for the online
+        ensemble (default: the small online configuration).
+    featurize:
+        ``corner -> feature vector`` override; the default is the
+        corner's normalised knob descriptor.
+    """
+
+    name = "promoted"
+
+    def __init__(self, inner: Optimizer, space, schedule=None,
+                 weights: PPAWeights | None = None, model_config=None,
+                 featurize=None, seed: int = 0):
+        super().__init__()
+        self.inner = inner
+        self.name = f"promoted-{inner.name}"
+        self.space = as_search_space(space)
+        self.schedule = schedule if schedule is not None \
+            else PromotionSchedule()
+        self.weights = weights if weights is not None else PPAWeights()
+        self.featurize = featurize if featurize is not None \
+            else (lambda corner: corner.feature_vector())
+        self.surrogate = RewardSurrogate(self.weights, model_config)
+        self.rng = make_rng(seed)
+        self._inner_pending: list = []   # inner's ask, its order
+        self._promoted: list = []        # corners sent to the engine
+        self._evaluated: dict = {}       # corner key -> real record
+        self._asked_keys: set = set()
+        self.screened = 0
+        self.promotions = 0
+        self.backfilled = 0
+        self.rounds = 0
+
+    # -- ask ---------------------------------------------------------------
+    def _padding(self, have_keys: set, count: int) -> list:
+        """Random space samples to widen the screened pool."""
+        if count <= 0:
+            return []
+        points = self.space.sample_unique(
+            self.rng, count, exclude=have_keys | self._asked_keys)
+        return [self.space.corner(p) for p in points]
+
+    def ask(self) -> list:
+        self.rounds += 1
+        inner_corners = list(self.inner.ask())
+        self._inner_pending = inner_corners
+        self._evaluated = {}
+        sched = self.schedule
+        if len(self.surrogate) < sched.min_observations:
+            # Warmup: everything the inner strategy asks is ground truth.
+            self._promoted = inner_corners
+            self._asked_keys.update(c.key() for c in inner_corners)
+            return list(inner_corners)
+        keys = {c.key() for c in inner_corners}
+        pool = inner_corners + self._padding(
+            keys, sched.screen - len(inner_corners))
+        pool = pool[:sched.screen]
+        self.screened += len(pool)
+        if len(pool) <= sched.promote:
+            self._promoted = pool
+        else:
+            features = np.asarray([self.featurize(c) for c in pool])
+            mean, std = self.surrogate.reward_posterior(features)
+            scores = upper_confidence_bound(mean, std,
+                                            beta=sched.ucb_beta)
+            order = np.argsort(-scores, kind="stable")[:sched.promote]
+            # Preserve pool (inner-first) order among the promoted so
+            # prefix-truncation by the driver cuts padding first.
+            self._promoted = [pool[i] for i in sorted(order)]
+        self.promotions += len(self._promoted)
+        self._asked_keys.update(c.key() for c in self._promoted)
+        return list(self._promoted)
+
+    # -- tell --------------------------------------------------------------
+    def _backfill(self, corner) -> EvaluationRecord | None:
+        """A pessimistic surrogate record for an unpromoted candidate."""
+        if len(self.surrogate) < self.schedule.min_observations:
+            return None
+        mean, std = self.surrogate.objective_posterior(
+            np.asarray([self.featurize(corner)]))
+        # Objectives are minimised: pessimism inflates every one.
+        logs = mean[0] + self.schedule.kappa * std[0]
+        result = PredictedResult(total_power_w=float(10.0 ** logs[0]),
+                                 min_period_s=float(10.0 ** logs[1]),
+                                 area_um2=float(10.0 ** logs[2]))
+        self.backfilled += 1
+        return EvaluationRecord(corner=corner, result=result,
+                                reward=self.weights.score(result),
+                                library_runtime_s=0.0, flow_runtime_s=0.0,
+                                predicted=True)
+
+    def tell(self, records) -> None:
+        super().tell(records)            # wrapper best = real records only
+        from .records import targets_of
+        for corner, record in zip(self._promoted, records):
+            self._evaluated[corner.key()] = record
+            self.surrogate.observe(self.featurize(record.corner),
+                                   targets_of(record.result))
+        # Advance the inner strategy over its *full* ask: real records
+        # where measured, pessimistic predictions elsewhere. Protocol
+        # allows a prefix, so stop at the first unresolvable slot (a
+        # promoted corner the driver's budget truncated away).
+        inner_records = []
+        for corner in self._inner_pending:
+            record = self._evaluated.get(corner.key())
+            if record is None:
+                record = self._backfill(corner)
+            if record is None:
+                break
+            inner_records.append(record)
+        self.inner.tell(inner_records)
+        self._inner_pending = []
+        self._promoted = []
+
+    def _observe(self, record) -> None:
+        pass
+
+    @property
+    def done(self) -> bool:
+        return self.inner.done
+
+    def surrogate_stats(self) -> dict:
+        """Screening economics (surfaces in SearchResult / RunReport)."""
+        return {"rounds": self.rounds, "screened": self.screened,
+                "promoted": self.promotions,
+                "backfilled": self.backfilled,
+                "observations": len(self.surrogate),
+                "fits": self.surrogate.fits}

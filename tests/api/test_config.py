@@ -165,3 +165,124 @@ class TestRunReport:
                                      "area_um2": 100.0})
         rows = report.summary_rows()
         assert all(len(r) == 2 for r in rows)
+
+
+class TestDeclarativeAxes:
+    def _axes_config(self):
+        from repro.api import AxisConfig
+        return SearchConfig(
+            optimizer="anneal",
+            axes=(AxisConfig(name="vdd_scale", lo=0.8, hi=1.2,
+                             step=0.05),
+                  AxisConfig(name="vth_shift",
+                             values=(-0.1, 0.0, 0.1)),
+                  AxisConfig(name="cox_scale", lo=0.8, hi=1.2)))
+
+    def test_round_trips_through_json(self):
+        config = StcoConfig(mode="search", search=self._axes_config())
+        assert StcoConfig.from_json(config.to_json()) == config
+
+    def test_builds_a_mixed_search_space(self):
+        from repro.search.spaces import SearchSpace
+        space = self._axes_config().space()
+        assert isinstance(space, SearchSpace)
+        assert not space.is_grid
+        names = [a.name for a in space.axes]
+        assert names == ["vdd_scale", "vth_shift", "cox_scale"]
+        # The stepped continuous axis snaps off-grid values.
+        assert space.axes[0].snap(0.837) == pytest.approx(0.85)
+
+    def test_all_discrete_axes_stay_a_grid(self):
+        from repro.api import AxisConfig
+        config = SearchConfig(
+            axes=(AxisConfig(name="vdd_scale", values=(0.9, 1.1)),
+                  AxisConfig(name="vth_shift", values=(0.0,))))
+        space = config.space()
+        assert space.is_grid and space.size == 2
+
+    def test_default_space_unchanged_without_axes(self):
+        from repro.stco.space import DesignSpace
+        assert isinstance(SearchConfig().space(), DesignSpace)
+
+    def test_rejects_unknown_knob_names(self):
+        from repro.api import AxisConfig
+        with pytest.raises(ConfigError, match="axis name"):
+            AxisConfig(name="finfet_pitch", lo=0.0, hi=1.0)
+
+    def test_rejects_degenerate_boxes_and_duplicates(self):
+        from repro.api import AxisConfig
+        with pytest.raises(ConfigError, match="hi > lo"):
+            AxisConfig(name="vdd_scale", lo=1.0, hi=1.0)
+        with pytest.raises(ConfigError, match="unique"):
+            SearchConfig(axes=(
+                AxisConfig(name="vdd_scale", values=(1.0,)),
+                AxisConfig(name="vdd_scale", values=(0.9,))))
+
+    def test_axes_from_plain_json_document(self):
+        document = {"mode": "search",
+                    "search": {"optimizer": "bayes",
+                               "axes": [{"name": "vdd_scale",
+                                         "lo": 0.8, "hi": 1.2,
+                                         "step": 0.1}]}}
+        config = StcoConfig.from_dict(document)
+        assert config.search.space().axes[0].step == pytest.approx(0.1)
+
+
+class TestSurrogateConfig:
+    def test_round_trip_and_defaults(self):
+        from repro.api import SurrogateConfig
+        config = StcoConfig(
+            mode="search",
+            surrogate=SurrogateConfig(harvest=True, screen=12,
+                                      promote=3, ucb_beta=2.0))
+        assert StcoConfig.from_json(config.to_json()) == config
+        assert StcoConfig().surrogate == SurrogateConfig()
+        assert not StcoConfig().surrogate.harvest
+
+    def test_validation(self):
+        from repro.api import SurrogateConfig
+        with pytest.raises(ConfigError, match="screen"):
+            SurrogateConfig(screen=2, promote=4)
+        with pytest.raises(ConfigError, match="members"):
+            SurrogateConfig(members=0)
+
+    def test_optimizer_name_decides_the_acquisition(self):
+        """surrogate options must never override the registry name:
+        selecting optimizer=\"ucb\" has to produce a UCB optimizer."""
+        from repro.api import SurrogateConfig
+        from repro.search import make_optimizer
+        from repro.stco import default_space
+        options = SurrogateConfig().optimizer_options()
+        assert "acquisition" not in options
+        space = default_space()
+        assert make_optimizer("ucb", space, options=options).name == "ucb"
+        assert make_optimizer("bayes", space,
+                              options=options).name == "bayes"
+
+    def test_maps_to_schedule_and_ensemble(self):
+        from repro.api import SurrogateConfig
+        config = SurrogateConfig(screen=10, promote=2, kappa=0.5,
+                                 members=4, hidden=8, epochs=12)
+        schedule = config.schedule()
+        assert schedule.screen == 10 and schedule.promote == 2
+        assert schedule.kappa == 0.5
+        model = config.model_config()
+        assert model.members == 4 and model.epochs == 12
+        assert SurrogateConfig().schedule() is None
+
+    def test_portfolio_scoring_validated(self):
+        with pytest.raises(ConfigError, match="portfolio_scoring"):
+            SearchConfig(portfolio_scoring="best")
+        assert SearchConfig(
+            portfolio_scoring="hypervolume").portfolio_scoring \
+            == "hypervolume"
+
+
+class TestAxisMutualExclusion:
+    def test_discrete_axis_rejects_continuous_fields(self):
+        from repro.api import AxisConfig
+        with pytest.raises(ConfigError, match="mixes discrete"):
+            AxisConfig(name="vdd_scale", values=(0.9, 1.1),
+                       lo=0.8, hi=1.2, step=0.025)
+        with pytest.raises(ConfigError, match="mixes discrete"):
+            AxisConfig(name="vdd_scale", values=(0.9, 1.1), step=0.05)

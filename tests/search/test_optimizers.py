@@ -224,3 +224,60 @@ class TestPortfolio:
         result, _ = drive(portfolio, budget=1000)
         assert portfolio.done
         assert result.evaluations == tiny.size
+
+
+class TestPortfolioHypervolumeScoring:
+    def test_scalar_is_the_default(self):
+        portfolio = PortfolioSearch([RandomOptimizer(SPACE, seed=0)])
+        assert portfolio.scoring == "scalar"
+        with pytest.raises(ValueError, match="scoring"):
+            PortfolioSearch([RandomOptimizer(SPACE, seed=0)],
+                            scoring="best")
+
+    def test_standings_report_hypervolume(self):
+        members = [SimulatedAnnealing(SPACE, seed=0),
+                   EvolutionaryOptimizer(SPACE, seed=1, mode="pareto")]
+        portfolio = PortfolioSearch(members, scoring="hypervolume")
+        drive(portfolio, budget=36)
+        rows = portfolio.standings()
+        assert all(r["scoring"] == "hypervolume" for r in rows)
+        hvs = [r["hypervolume"] for r in rows]
+        assert hvs == sorted(hvs, reverse=True)
+        assert any(hv > 0 for hv in hvs)
+        assert all(r["pareto_points"] >= 1 for r in rows)
+
+    def test_auto_resolves_by_member_modes(self):
+        scalar_only = PortfolioSearch(
+            [SimulatedAnnealing(SPACE, seed=0)], scoring="auto")
+        assert scalar_only._resolved_scoring() == "scalar"
+        with_pareto = PortfolioSearch(
+            [SimulatedAnnealing(SPACE, seed=0),
+             EvolutionaryOptimizer(SPACE, seed=1, mode="pareto")],
+            scoring="auto")
+        assert with_pareto._resolved_scoring() == "hypervolume"
+
+    def test_front_coverage_earns_budget(self):
+        """Under hypervolume scoring, a member spreading along the
+        front out-earns one camped on a single point."""
+        best = true_best()
+
+        class Fixed(RandomOptimizer):
+            def __init__(self, corner, name):
+                super().__init__(SPACE, seed=0)
+                self._corner = corner
+                self.name = name
+
+            def ask(self):
+                return [self._corner]
+
+        portfolio = PortfolioSearch(
+            [Fixed(best.corner, "camper"),
+             EvolutionaryOptimizer(SPACE, seed=0, mode="pareto")],
+            round_size=4, scoring="hypervolume")
+        drive(portfolio, budget=48, engine=FakeEngine())
+        stats = {r["name"]: r for r in portfolio.standings()}
+        assert stats["evolution"]["evaluations"] \
+            > stats["camper"]["evaluations"]
+        # Scalar scoring would have ranked the camper first every round.
+        assert stats["camper"]["best_reward"] \
+            >= stats["evolution"]["best_reward"]

@@ -207,3 +207,107 @@ class TestSummaries:
         assert "report" not in summary and "config" not in summary
         assert summary["has_report"]
         assert summary["events"] == 0
+
+
+class TestLazyLoading:
+    """Terminal records index at boot; bodies load on demand."""
+
+    def _populate(self, store, n=4):
+        ids = []
+        for i in range(n):
+            job = store.submit(dict(CFG, i=i), content_key=f"k{i}")
+            store.claim(timeout=1)
+            store.add_event(job.job_id, {"round": 1})
+            store.add_event(job.job_id, {"round": 2})
+            store.finish(job.job_id, JobState.SUCCEEDED,
+                         report={"i": i})
+            ids.append(job.job_id)
+        return ids
+
+    def test_boot_indexes_terminal_records_as_stubs(self, store,
+                                                    tmp_path):
+        ids = self._populate(store)
+        fresh = JobStore(tmp_path / "jobs")
+        stats = fresh.memory_stats()
+        assert stats["loaded"] == 0
+        assert stats["lazy_terminal"] == len(ids)
+        assert stats["bodies_cached"] == 0
+        # Listing and counting never touch bodies...
+        assert len(fresh.jobs()) == len(ids)
+        assert fresh.counts()[JobState.SUCCEEDED] == len(ids)
+        assert fresh.memory_stats()["bodies_cached"] == 0
+        # ... but the summaries are still exact.
+        summary = fresh.summary(ids[0])
+        assert summary["has_report"] and summary["events"] == 2
+
+    def test_get_loads_full_body_on_demand(self, store, tmp_path):
+        ids = self._populate(store)
+        fresh = JobStore(tmp_path / "jobs")
+        job = fresh.get(ids[2])
+        assert job.report == {"i": 2}
+        assert job.config["i"] == 2
+        assert job.events == [{"round": 1}, {"round": 2}]
+        assert fresh.memory_stats()["bodies_cached"] == 1
+
+    def test_body_cache_is_bounded_lru(self, store, tmp_path):
+        ids = self._populate(store, n=5)
+        fresh = JobStore(tmp_path / "jobs", body_cache_size=2)
+        for job_id in ids:
+            assert fresh.get(job_id).report is not None
+        assert fresh.memory_stats()["bodies_cached"] == 2
+        # Most recently used bodies survive; evicted ones reload fine.
+        assert fresh.get(ids[0]).report == {"i": 0}
+
+    def test_stub_fields_drive_scheduling_decisions(self, store,
+                                                    tmp_path):
+        (job_id, *_) = self._populate(store)
+        fresh = JobStore(tmp_path / "jobs")
+        # Terminal stubs answer state checks without disk reads.
+        assert not fresh.cancel_queued(job_id)
+        assert not fresh.boost(job_id, 99)
+        assert fresh.memory_stats()["bodies_cached"] == 0
+        # all_jobs carries the light fields the pool rebuild needs.
+        stub = [j for j in fresh.all_jobs() if j.job_id == job_id][0]
+        assert stub.state == JobState.SUCCEEDED
+        assert stub.content_key == "k0"
+
+    def test_active_jobs_still_load_eagerly(self, store, tmp_path):
+        self._populate(store, n=2)
+        queued = store.submit(dict(CFG, fresh=True))
+        fresh = JobStore(tmp_path / "jobs")
+        stats = fresh.memory_stats()
+        assert stats["loaded"] == 1
+        assert stats["lazy_terminal"] == 2
+        claimed = fresh.claim(timeout=1)
+        assert claimed.job_id == queued.job_id
+        assert claimed.config == dict(CFG, fresh=True)
+
+    def test_wait_for_lazy_terminal_returns_report(self, store,
+                                                   tmp_path):
+        (job_id, *_) = self._populate(store)
+        fresh = JobStore(tmp_path / "jobs")
+        assert fresh.wait_for(job_id, timeout=1).report == {"i": 0}
+
+    def test_vanished_body_degrades_to_stub(self, store, tmp_path):
+        (job_id, *_) = self._populate(store)
+        fresh = JobStore(tmp_path / "jobs")
+        (tmp_path / "jobs" / f"{job_id}.json").unlink()   # gc raced us
+        job = fresh.get(job_id)
+        assert job.state == JobState.SUCCEEDED
+        assert job.report is None        # body gone; light fields stand
+
+    def test_live_finish_demotes_to_stub(self, store):
+        """Jobs finished during the process's lifetime must not stay
+        fully loaded — that is the leak the lazy index exists to fix."""
+        ids = self._populate(store, n=3)
+        stats = store.memory_stats()
+        assert stats["loaded"] == 0
+        assert stats["lazy_terminal"] == 3
+        assert stats["bodies_cached"] == 3   # bounded LRU, not _jobs
+        # Reports remain reachable (LRU now, disk after eviction)...
+        assert store.get(ids[1]).report == {"i": 1}
+        # ... and summaries stay exact without loading bodies.
+        summary = store.summary(ids[2])
+        assert summary["has_report"] and summary["events"] == 2
+        counts = store.counts()
+        assert counts[JobState.SUCCEEDED] == 3

@@ -332,3 +332,48 @@ class TestRealPipeline:
         # The per-round hook fired, then the raise stopped the search
         # in flight: strictly fewer rounds than the budget.
         assert 0 < len(done.events) < 10
+
+
+class TestGcedCompletedRecords:
+    """A duplicate must never be answered with a report that gc took."""
+
+    def test_vanished_record_reexecutes_instead_of_null_report(
+            self, make_service, stub_runner, tmp_path):
+        service = make_service(stub_runner)
+        first = service.submit(CFG)
+        done = service.wait(first.job_id, timeout=10)
+        assert done.report is not None
+        assert len(stub_runner.calls) == 1
+        # gc reclaims the terminal record; the body falls out of the
+        # lazy store's memory too.
+        (service.store.root / f"{first.job_id}.json").unlink()
+        with service.store._lock:
+            service.store._jobs.pop(first.job_id, None)
+            service.store._bodies.clear()
+            service.store._stubs.setdefault(first.job_id, done)
+        second = service.submit(CFG)
+        result = service.wait(second.job_id, timeout=10)
+        # Re-executed (or honestly resolved) — never SUCCEEDED w/ null.
+        assert result.state == JobState.SUCCEEDED
+        assert result.report is not None
+        assert len(stub_runner.calls) == 2
+
+    def test_rebuild_skips_reportless_completed_keys(self, tmp_path,
+                                                     stub_runner):
+        service = ServeService(tmp_path / "ws", workers=1,
+                               runner=stub_runner, autostart=False)
+        job = service.submit(CFG)
+        service.start()
+        service.wait(job.job_id, timeout=10)
+        service.close()
+        # Strip the report from the persisted record (torn/partial gc).
+        import json
+        path = service.store.root / f"{job.job_id}.json"
+        record = json.loads(path.read_text())
+        record["report"] = None
+        path.write_text(json.dumps(record))
+        fresh = ServeService(tmp_path / "ws", workers=1,
+                             runner=stub_runner, autostart=False)
+        # The reportless success never became a duplicate-answering key.
+        assert fresh.coalescer.stats()["known_results"] == 0
+        fresh.close()

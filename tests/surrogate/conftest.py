@@ -1,0 +1,55 @@
+"""Shared fixtures for the system-level surrogate tests.
+
+The analytic ``FakeEngine`` landscape from the search suite doubles as
+the surrogate test bed: fully controllable, millisecond evaluations,
+and a known 45-point grid optimum the Bayesian acceptance tests race
+towards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.records import EvaluationRecord, PPAWeights
+from repro.stco import default_space
+
+from ..search.conftest import FakeEngine, FakeResult, smooth_ppa
+
+SPACE = default_space()
+
+
+@pytest.fixture
+def fake_engine():
+    return FakeEngine()
+
+
+def true_best(engine=None):
+    """Exhaustive optimum of the analytic landscape on the 45 grid."""
+    engine = engine if engine is not None else FakeEngine()
+    records = engine.evaluate_many(None, SPACE.points(), PPAWeights())
+    return max(records, key=lambda r: r.reward)
+
+
+def analytic_records(corners, weights=None):
+    """EvaluationRecords for ``corners`` under the analytic landscape."""
+    weights = weights if weights is not None else PPAWeights()
+    out = []
+    for corner in corners:
+        result = smooth_ppa(corner)
+        out.append(EvaluationRecord(corner=corner, result=result,
+                                    reward=weights.score(result),
+                                    library_runtime_s=1e-3,
+                                    flow_runtime_s=1e-3))
+    return out
+
+
+def synthetic_rows(n: int, seed: int = 0, noise: float = 0.0):
+    """``(X, Y)`` rows from a smooth 3-knob → 3-objective map."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, size=(n, 3))
+    Y = np.column_stack([
+        -5.0 + 0.8 * X[:, 0] + 0.3 * X[:, 1] ** 2,
+        -7.0 - 0.5 * X[:, 0] + 0.4 * (X[:, 1] + 0.2) ** 2,
+        4.0 + 0.1 * X[:, 2]])
+    if noise:
+        Y = Y + rng.normal(0.0, noise, size=Y.shape)
+    return X, Y

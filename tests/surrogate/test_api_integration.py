@@ -1,0 +1,112 @@
+"""End-to-end: surrogate-guided search through the real pipeline.
+
+One tiny GNN-backed workspace (session-scoped) carries every test:
+``bayes`` search with harvesting on, a warm second run that re-trains
+nothing / re-characterizes nothing / re-featurizes nothing, the
+promotion gate through ``repro.api.run``, and the ``repro surrogate``
+CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (StcoConfig, ModelConfig, SearchConfig,
+                       SurrogateConfig, TechnologyConfig, Workspace, run)
+from repro.api.cli import main
+
+TECH = TechnologyConfig(
+    cells=("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"),
+    train_corners=((1.0, 0.0, 1.0), (0.9, 0.05, 1.1)),
+    test_corners=((0.95, 0.02, 1.05),),
+    slews=(8e-9,), loads=(15e-15,), n_bisect=3, max_steps=200)
+
+MODEL = ModelConfig(epochs=10)
+
+SEARCH = SearchConfig(optimizer="bayes", seed=0, iterations=10,
+                      vdd_scales=(0.85, 0.95, 1.05, 1.15),
+                      vth_shifts=(-0.05, 0.05),
+                      cox_scales=(0.9, 1.1))
+
+
+@pytest.fixture(scope="module")
+def ws_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("surrogate_ws")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return StcoConfig(mode="search", benchmark="s298", technology=TECH,
+                      model=MODEL, search=SEARCH,
+                      surrogate=SurrogateConfig(harvest=True,
+                                                min_observations=4))
+
+
+@pytest.fixture(scope="module")
+def first_report(ws_root, config):
+    return run(config, Workspace(ws_root))
+
+
+class TestHarvestThroughApi:
+    def test_first_run_harvests_every_unique_evaluation(self,
+                                                        first_report):
+        sg = first_report.surrogate
+        assert sg["harvested"] == first_report.evaluations
+        assert sg["featurizations"] == sg["harvested"]
+        assert sg["store_rows"] == sg["harvested"]
+
+    def test_warm_run_reuses_store_without_refeaturizing(self, ws_root,
+                                                         config,
+                                                         first_report):
+        """The acceptance property: a second run against the warm
+        workspace re-trains nothing, re-characterizes nothing and
+        re-featurizes nothing."""
+        report = run(config, Workspace(ws_root))
+        ws = report.cache_stats["workspace"]
+        assert ws["models_trained"] == 0
+        assert report.engine_misses == 0
+        sg = report.surrogate
+        assert sg["harvested"] == 0
+        assert sg["featurizations"] == 0      # zero re-featurization
+        assert sg["store_rows"] == first_report.surrogate["store_rows"]
+        assert report.best_corner == first_report.best_corner
+
+    def test_promotion_gate_through_api(self, ws_root, config):
+        from dataclasses import replace
+        gated = replace(
+            config,
+            search=replace(SEARCH, optimizer="random", seed=1),
+            surrogate=SurrogateConfig(harvest=True, screen=8, promote=2,
+                                      min_observations=4))
+        report = run(gated, Workspace(ws_root))
+        assert report.optimizer == "promoted-random"
+        assert report.surrogate["screened"] >= \
+            report.surrogate["promoted"]
+
+    def test_persist_model_registers_artifact(self, ws_root, config):
+        from dataclasses import replace
+        persisting = replace(
+            config, surrogate=SurrogateConfig(harvest=True,
+                                              persist_model=True,
+                                              members=2, hidden=8,
+                                              epochs=20))
+        ws = Workspace(ws_root)
+        report = run(persisting, ws)
+        assert report.surrogate["model_fingerprint"]
+        kinds = [r["kind"] for r in ws.list_artifacts()]
+        assert "surrogate" in kinds
+
+
+class TestSurrogateCli:
+    def test_stats_and_train(self, ws_root, first_report, capsys):
+        assert main(["surrogate", "stats", str(ws_root)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["record_rows"] >= first_report.surrogate["store_rows"]
+        assert main(["surrogate", "train", str(ws_root),
+                     "--members", "2", "--epochs", "10"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["fingerprint"]
+        assert out["trained_rows"] >= 8
+
+    def test_train_refuses_empty_workspace(self, tmp_path, capsys):
+        assert main(["surrogate", "train", str(tmp_path / "empty")]) == 2

@@ -1,0 +1,134 @@
+"""Promotion schedule: surrogate screening before real evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.records import PPAWeights
+from repro.search import RandomOptimizer, SearchRun
+from repro.surrogate import (EnsembleConfig, PromotedOptimizer,
+                             PromotionSchedule)
+
+from ..search.conftest import FakeEngine
+from .conftest import SPACE, true_best
+
+FAST = EnsembleConfig(members=2, hidden=8, epochs=30, seed=0)
+
+
+def promoted(schedule, batch=6, seed=0, inner_seed=0):
+    inner = RandomOptimizer(SPACE, seed=inner_seed, batch=batch)
+    return PromotedOptimizer(inner, SPACE, schedule=schedule,
+                             weights=PPAWeights(), model_config=FAST,
+                             seed=seed)
+
+
+class TestSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="screen"):
+            PromotionSchedule(screen=2, promote=4)
+        with pytest.raises(ValueError, match="promote"):
+            PromotionSchedule(promote=0)
+
+
+class TestPromotion:
+    def test_respects_engine_miss_budget(self):
+        """After warmup, each round costs at most ``promote`` misses."""
+        schedule = PromotionSchedule(screen=12, promote=2,
+                                     min_observations=6)
+        optimizer = promoted(schedule, batch=6)
+        engine = FakeEngine()
+        result = SearchRun(None, optimizer, engine).run(budget=26)
+        stats = result.surrogate
+        # One warmup round of 6 ground-truth evaluations, then <= 2
+        # promoted per round.
+        warmup_rounds = 1
+        assert stats["promoted"] <= \
+            schedule.promote * (stats["rounds"] - warmup_rounds)
+        assert engine.flow_evaluations <= 6 + stats["promoted"]
+        assert stats["screened"] >= stats["promoted"]
+        assert stats["backfilled"] > 0
+
+    def test_warmup_passes_through(self):
+        schedule = PromotionSchedule(screen=12, promote=2,
+                                     min_observations=100)   # never ready
+        optimizer = promoted(schedule, batch=4)
+        engine = FakeEngine()
+        SearchRun(None, optimizer, engine).run(budget=12)
+        stats = optimizer.surrogate_stats()
+        assert stats["screened"] == 0
+        assert stats["backfilled"] == 0
+
+    def test_backfill_records_are_marked_predicted(self):
+        schedule = PromotionSchedule(screen=10, promote=2,
+                                     min_observations=4)
+        optimizer = promoted(schedule, batch=5)
+        engine = FakeEngine()
+        SearchRun(None, optimizer, engine).run(budget=15)
+        assert optimizer.backfilled > 0
+        # The inner optimizer consumed full asks: real + predicted.
+        assert optimizer.inner.told > optimizer.told
+
+    def test_wrapper_best_is_ground_truth_only(self):
+        schedule = PromotionSchedule(screen=10, promote=2,
+                                     min_observations=4, kappa=0.0)
+        optimizer = promoted(schedule, batch=5)
+        engine = FakeEngine()
+        result = SearchRun(None, optimizer, engine).run(budget=20)
+        # The reported best corner was actually evaluated by the engine.
+        key = (tuple(result.best_corner), PPAWeights().key())
+        assert key in engine._cache
+
+    def test_archive_never_sees_predictions(self):
+        schedule = PromotionSchedule(screen=10, promote=2,
+                                     min_observations=4)
+        optimizer = promoted(schedule, batch=5)
+        engine = FakeEngine()
+        result = SearchRun(None, optimizer, engine).run(budget=16)
+        # Every archive point is a real evaluation (present in the
+        # engine's cache); predictions only flow to the inner optimizer.
+        for point in result.pareto_front:
+            key = (tuple(point["corner"]), PPAWeights().key())
+            assert key in engine._cache
+
+    def test_still_finds_the_optimum(self):
+        schedule = PromotionSchedule(screen=14, promote=3,
+                                     min_observations=6)
+        optimizer = promoted(schedule, batch=7, seed=1)
+        engine = FakeEngine()
+        result = SearchRun(None, optimizer, engine).run(budget=36)
+        assert result.best_reward >= 0.98 * true_best().reward
+        # ... while spending well under an exhaustive sweep.
+        assert engine.flow_evaluations < SPACE.size
+
+    def test_deterministic_under_fixed_seed(self):
+        schedule = PromotionSchedule(screen=10, promote=2,
+                                     min_observations=5)
+        runs = []
+        for _ in range(2):
+            optimizer = promoted(schedule, batch=5, seed=2, inner_seed=3)
+            result = SearchRun(None, optimizer, FakeEngine()).run(
+                budget=18)
+            runs.append((result.rewards, result.best_corner))
+        assert runs[0] == runs[1]
+
+
+class TestGatedBayes:
+    def test_inner_bayes_never_learns_from_backfills(self):
+        """A promotion-gated BayesianOptimizer must train its ensemble
+        on ground truth only — learning from its own pessimistic
+        back-fills would self-confirm every guess."""
+        from repro.search import BayesianOptimizer
+        inner = BayesianOptimizer(SPACE, seed=0, batch=5, init=4)
+        schedule = PromotionSchedule(screen=10, promote=2,
+                                     min_observations=4)
+        optimizer = PromotedOptimizer(inner, SPACE, schedule=schedule,
+                                      weights=PPAWeights(),
+                                      model_config=FAST, seed=0)
+        SearchRun(None, optimizer, FakeEngine()).run(budget=16)
+        assert optimizer.backfilled > 0
+        # The inner optimizer was told real + predicted records, but
+        # its ensemble observed only the real subset of its own asks —
+        # never more rows than ground-truth evaluations exist, and
+        # strictly fewer than it was told (the back-fills were
+        # filtered, not learned).
+        assert len(inner.surrogate) < inner.told
+        assert len(inner.surrogate) <= optimizer.told

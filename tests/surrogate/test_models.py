@@ -1,0 +1,100 @@
+"""Surrogate regressors: ridge baseline, deep ensemble, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.surrogate import (EnsembleConfig, EnsemblePPAModel,
+                             RidgeSurrogate)
+
+from .conftest import synthetic_rows
+
+SMALL = EnsembleConfig(members=3, hidden=12, epochs=80, seed=0)
+
+
+class TestRidge:
+    def test_fits_smooth_map_better_than_mean(self):
+        X, Y = synthetic_rows(60, seed=1)
+        Xt, Yt = synthetic_rows(40, seed=2)
+        model = RidgeSurrogate().fit(X, Y)
+        mean, std = model.predict(Xt)
+        assert std.max() == 0.0          # no epistemic term
+        ridge_err = np.abs(mean - Yt).mean()
+        mean_err = np.abs(Y.mean(axis=0) - Yt).mean()
+        assert ridge_err < 0.3 * mean_err
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError, match="zero rows"):
+            RidgeSurrogate().fit(np.zeros((0, 3)), np.zeros((0, 3)))
+
+
+class TestEnsemble:
+    def test_predicts_smooth_map(self):
+        X, Y = synthetic_rows(60, seed=1)
+        Xt, Yt = synthetic_rows(30, seed=2)
+        model = EnsemblePPAModel(SMALL).fit(X, Y)
+        mean, std = model.predict(Xt)
+        assert mean.shape == Yt.shape and std.shape == Yt.shape
+        assert np.abs(mean - Yt).mean() < \
+            0.5 * np.abs(Y.mean(axis=0) - Yt).mean()
+        assert (std >= 0).all()
+
+    def test_uncertainty_shrinks_with_data(self):
+        """The epistemic spread at probe points falls as rows accumulate
+        — the property acquisition functions rely on."""
+        Xt, _ = synthetic_rows(25, seed=9)
+        spreads = []
+        for n in (8, 64):
+            X, Y = synthetic_rows(n, seed=1)
+            model = EnsemblePPAModel(SMALL).fit(X, Y)
+            _, std = model.predict(Xt)
+            spreads.append(std.mean())
+        assert spreads[1] < spreads[0]
+
+    def test_members_disagree_far_from_data(self):
+        X, Y = synthetic_rows(12, seed=1)
+        model = EnsemblePPAModel(SMALL).fit(X, Y)
+        near = model.predict(X)[1].mean()
+        far = model.predict(np.full((5, 3), 4.0))[1].mean()
+        assert far > near
+
+    def test_fit_is_deterministic(self):
+        X, Y = synthetic_rows(20, seed=1)
+        a = EnsemblePPAModel(SMALL).fit(X, Y)
+        b = EnsemblePPAModel(SMALL).fit(X, Y)
+        Xt, _ = synthetic_rows(10, seed=3)
+        np.testing.assert_array_equal(a.predict(Xt)[0], b.predict(Xt)[0])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_seed_changes_fingerprint(self):
+        X, Y = synthetic_rows(20, seed=1)
+        a = EnsemblePPAModel(SMALL).fit(X, Y)
+        b = EnsemblePPAModel(
+            EnsembleConfig(members=3, hidden=12, epochs=80, seed=7)
+        ).fit(X, Y)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="expected X"):
+            EnsemblePPAModel(SMALL).fit(np.zeros((4, 3)),
+                                        np.zeros((4, 2)))
+
+
+class TestPersistence:
+    def test_npz_round_trip(self, tmp_path):
+        X, Y = synthetic_rows(24, seed=1)
+        model = EnsemblePPAModel(SMALL).fit(X, Y)
+        path = tmp_path / "ensemble.npz"
+        model.save(path)
+        loaded = EnsemblePPAModel.load(path)
+        Xt, _ = synthetic_rows(10, seed=4)
+        np.testing.assert_allclose(loaded.predict(Xt)[0],
+                                   model.predict(Xt)[0])
+        np.testing.assert_allclose(loaded.predict(Xt)[1],
+                                   model.predict(Xt)[1])
+        assert loaded.fingerprint() == model.fingerprint()
+        assert loaded.trained_rows == 24
+        assert loaded.config == model.config
+
+    def test_save_requires_fit(self, tmp_path):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            EnsemblePPAModel(SMALL).save(tmp_path / "x.npz")

@@ -1,0 +1,96 @@
+"""Workspace integration: record stores and surrogate model artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.api import Workspace
+from repro.surrogate import EnsembleConfig, RecordHarvester
+
+from .conftest import SPACE, analytic_records
+
+FAST = EnsembleConfig(members=2, hidden=8, epochs=30, seed=0)
+
+
+def harvest(workspace, count=12):
+    harvester = RecordHarvester(workspace.record_store())
+    harvester.observe(None, analytic_records(SPACE.points()[:count]))
+    return harvester
+
+
+class TestRecordStoreRoundTrip:
+    def test_rows_accumulate_across_workspace_instances(self, tmp_path):
+        first = Workspace(tmp_path)
+        assert harvest(first, 10).harvested == 10
+        # A second process over the same root sees the rows and
+        # re-featurizes nothing for known evaluations.
+        second = Workspace(tmp_path)
+        harvester = harvest(second, 10)
+        assert harvester.harvested == 0
+        assert harvester.skipped == 10
+        assert harvester.featurizer.calls == 0
+        assert len(second.record_store()) == 10
+
+    def test_store_memoized_per_featurizer(self, tmp_path):
+        ws = Workspace(tmp_path)
+        assert ws.record_store() is ws.record_store()
+
+    def test_stats_count_rows(self, tmp_path):
+        ws = Workspace(tmp_path)
+        harvest(ws, 9)
+        stats = ws.stats()["surrogate"]
+        assert stats["record_rows"] == 9
+        assert stats["record_stores"] == 1
+
+
+class TestSurrogateModelArtifact:
+    def test_train_registers_and_reload_skips_training(self, tmp_path):
+        ws = Workspace(tmp_path)
+        harvest(ws, 12)
+        model = ws.surrogate_model(FAST)
+        assert ws.counters["surrogates_trained"] == 1
+        rows = [r for r in ws.list_artifacts() if r["kind"] == "surrogate"]
+        assert len(rows) == 1 and rows[0]["exists"]
+
+        fresh = Workspace(tmp_path)
+        loaded = fresh.surrogate_model(FAST)
+        assert fresh.counters["surrogates_trained"] == 0
+        assert fresh.counters["surrogates_loaded"] == 1
+        assert loaded.fingerprint() == model.fingerprint()
+
+    def test_retrains_when_store_grows(self, tmp_path):
+        ws = Workspace(tmp_path)
+        harvest(ws, 12)
+        first = ws.surrogate_model(FAST)
+        harvester = RecordHarvester(ws.record_store())
+        harvester.observe(None, analytic_records(SPACE.points()[12:20]))
+        second = ws.surrogate_model(FAST)
+        assert second.trained_rows == 20
+        assert second.fingerprint() != first.fingerprint()
+        assert ws.counters["surrogates_trained"] == 2
+
+    def test_refuses_thin_stores(self, tmp_path):
+        ws = Workspace(tmp_path)
+        harvest(ws, 3)
+        with pytest.raises(ValueError, match="need >= 8"):
+            ws.surrogate_model(FAST)
+
+    def test_gc_reclaims_surrogate_artifacts(self, tmp_path):
+        ws = Workspace(tmp_path)
+        harvest(ws, 12)
+        ws.surrogate_model(FAST)
+        result = ws.gc(kinds=("surrogate",))
+        kinds = {r["kind"] for r in result["removed"]}
+        assert kinds == {"surrogate"}
+        # Model npz and the record store jsonl are both gone.
+        assert not list(ws.surrogate_dir.glob("*.npz"))
+        assert not list((ws.surrogate_dir / "records").glob("*.jsonl"))
+        assert len(ws.record_store()) == 0
+
+    def test_gc_dry_run_touches_nothing(self, tmp_path):
+        ws = Workspace(tmp_path)
+        harvest(ws, 12)
+        ws.surrogate_model(FAST)
+        before = ws.stats()["surrogate"]
+        result = ws.gc(kinds=("surrogate",), dry_run=True)
+        assert result["removed"]
+        assert ws.stats()["surrogate"] == before
