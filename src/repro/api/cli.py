@@ -7,7 +7,9 @@
     repro campaign cfg.json --workspace .cache/ws
     repro report report.json
     repro serve --workspace .cache/ws --port 8765
-    repro submit cfg.json --url http://127.0.0.1:8765 --wait
+    repro submit cfg.json --url http://127.0.0.1:8765 --wait --follow
+    repro metrics --url http://127.0.0.1:8765 --watch
+    repro trace JOB_ID --url http://127.0.0.1:8765
     repro workspace list|stats|gc .cache/ws
     repro surrogate stats|train .cache/ws
 
@@ -117,12 +119,39 @@ def _build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--wait", action="store_true",
                           help="poll until the job finishes and print "
                                "its report")
+    submit_p.add_argument("--follow", action="store_true",
+                          help="stream per-round progress live over SSE "
+                               "while waiting (implies --wait)")
     submit_p.add_argument("--timeout", type=float, default=3600.0,
                           help="--wait polling deadline in seconds")
     submit_p.add_argument("--out", metavar="FILE", default=None,
                           help="with --wait: write the job record JSON")
     submit_p.add_argument("--quiet", action="store_true",
                           help="print only the job id (and report path)")
+
+    metrics_p = sub.add_parser(
+        "metrics", help="scrape a running server's /v1/metrics")
+    metrics_p.add_argument("--url", default="http://127.0.0.1:8765",
+                           help="server base URL")
+    metrics_p.add_argument("--format", choices=("text", "json"),
+                           default="text",
+                           help="Prometheus text (default) or JSON")
+    metrics_p.add_argument("--watch", action="store_true",
+                           help="re-scrape every --interval seconds "
+                                "until interrupted")
+    metrics_p.add_argument("--interval", type=float, default=2.0,
+                           help="--watch period in seconds")
+    metrics_p.add_argument("--grep", default=None, metavar="SUBSTRING",
+                           help="text format: only lines containing "
+                                "this substring")
+
+    trace_p = sub.add_parser(
+        "trace", help="render a finished job's span tree")
+    trace_p.add_argument("job_id", help="serve job id")
+    trace_p.add_argument("--url", default="http://127.0.0.1:8765",
+                         help="server base URL")
+    trace_p.add_argument("--json", action="store_true",
+                         help="print the raw span tree JSON")
 
     ws_p = sub.add_parser(
         "workspace", help="inspect or garbage-collect a workspace")
@@ -288,8 +317,24 @@ def _cmd_submit(args) -> int:
         if submitted.get("coalesced_with") and not args.quiet:
             print(f"coalesced with job {submitted['coalesced_with']}")
         print(job_id)
-        if not args.wait:
+        if not (args.wait or args.follow):
             return 0
+        if args.follow:
+            # Live SSE feed instead of summary polling; the stream ends
+            # with the terminal state, so the wait below is instant.
+            for item in client.events(job_id, stream=True):
+                if args.quiet:
+                    continue
+                kind, data = item["event"], item["data"]
+                if kind == "progress" and isinstance(data, dict) \
+                        and "round" in data:
+                    print(f"round {data['round']}: "
+                          f"told {data.get('told', '?')}, best "
+                          f"{data.get('best_reward', float('nan')):.4f}",
+                          file=sys.stderr)
+                elif kind == "end" and isinstance(data, dict):
+                    print(f"job {data.get('job_id', job_id)} "
+                          f"{data.get('state', '?')}", file=sys.stderr)
         job = client.wait(job_id, timeout_s=args.timeout)
     except ServeClientError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -313,6 +358,72 @@ def _cmd_submit(args) -> int:
         return 1
     if not args.quiet:
         _print_report(RunReport.from_dict(job["report"]))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import time as _time
+    import urllib.error
+
+    from ..serve import ServeClient, ServeClientError
+    client = ServeClient(args.url)
+    try:
+        while True:
+            if args.format == "json":
+                print(json.dumps(client.metrics("json"), indent=1,
+                                 sort_keys=True))
+            else:
+                text = client.metrics()
+                if args.grep:
+                    text = "\n".join(line for line in text.splitlines()
+                                     if args.grep in line)
+                print(text)
+            if not args.watch:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {args.url}: {exc.reason}",
+              file=sys.stderr)
+        return 2
+
+
+def _cmd_trace(args) -> int:
+    import urllib.error
+
+    from ..obs.trace import render_tree
+    from ..serve import ServeClient, ServeClientError
+    client = ServeClient(args.url)
+    try:
+        trace = None
+        # Prefer the serve-side span tree (covers queue/lock/execute);
+        # fall back to the report's run-level trace block.
+        for event in reversed(client.events(args.job_id)):
+            if isinstance(event, dict) and event.get("kind") == "trace":
+                trace = event.get("trace")
+                break
+        if not trace:
+            job = client.job(args.job_id)
+            trace = (job.get("report") or {}).get("trace")
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {args.url}: {exc.reason}",
+              file=sys.stderr)
+        return 2
+    if not trace:
+        print(f"no trace recorded for job {args.job_id}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(trace, indent=1, sort_keys=True))
+    else:
+        print("\n".join(render_tree(trace)))
     return 0
 
 
@@ -415,6 +526,10 @@ def main(argv=None) -> int:
             return _cmd_serve(args)
         if args.command == "submit":
             return _cmd_submit(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "workspace":
             return _cmd_workspace(args)
         if args.command == "surrogate":

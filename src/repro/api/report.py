@@ -42,6 +42,7 @@ class RunReport:
     surrogate: dict = field(default_factory=dict)       # harvest/screening
     runtime: dict = field(default_factory=dict)
     cache_stats: dict = field(default_factory=dict)
+    trace: dict = field(default_factory=dict)           # span tree
     config: dict = field(default_factory=dict)          # document echo
 
     # -- serialization -----------------------------------------------------

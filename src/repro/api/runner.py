@@ -23,6 +23,7 @@ import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from ..obs.trace import Span, span
 from .config import ConfigError, ModelConfig, StcoConfig
 from .report import RunReport
 from .workspace import Workspace
@@ -272,6 +273,12 @@ def run(config, workspace: Workspace | None = None,
     config = _coerce_config(config)
     workspace = workspace if workspace is not None else \
         Workspace.ephemeral()
-    if config.mode == "campaign":
-        return _run_campaign(config, workspace, resume)
-    return _run_single(config, workspace, progress_callback)
+    with span("run", mode=config.mode,
+              benchmark=config.benchmark or "-") as root:
+        if config.mode == "campaign":
+            report = _run_campaign(config, workspace, resume)
+        else:
+            report = _run_single(config, workspace, progress_callback)
+    if isinstance(root, Span):
+        report.trace = root.to_dict()
+    return report

@@ -38,10 +38,16 @@ class BatchedGNNCharacterizer:
     """
 
     def __init__(self, builder, max_graphs_per_batch: int = 1024):
+        from ..obs.metrics import get_registry
         self.builder = builder
         self.max_graphs_per_batch = int(max_graphs_per_batch)
         self.last_runtime_s = 0.0
         self.last_forward_passes = 0
+        self._m_occupancy = get_registry().histogram(
+            "repro_engine_batch_graphs",
+            "Graphs packed per batched forward pass",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+                     2048, 4096))
 
     def _predict_chunked(self, graphs, metric: str) -> np.ndarray:
         builder = self.builder
@@ -51,6 +57,7 @@ class BatchedGNNCharacterizer:
             chunk = graphs[start:start + self.max_graphs_per_batch]
             outs.append(builder.model.predict(chunk, metric))
             self.last_forward_passes += 1
+            self._m_occupancy.observe(len(chunk))
         return norm.denormalize(np.concatenate(outs))
 
     def build_many(self, corners) -> list:

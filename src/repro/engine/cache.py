@@ -195,37 +195,106 @@ class DiskCache:
                 pass
 
 
+class _NullLock:
+    """Stand-in lock so the unlocked path stays branch-free."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
 class EvaluationCache:
     """Two-tier cache: LRU in front of an optional persistent directory.
 
     ``get`` promotes disk hits into memory; ``put`` writes through to
     both tiers. With ``directory=None`` this degrades to a plain LRU.
+
+    ``name`` opts the cache into process metrics: every tier movement
+    is mirrored into the registry's
+    ``repro_engine_cache_events_total{cache,tier,event}`` counters —
+    derived exactly from the per-tier :class:`CacheStats` deltas, so the
+    exported numbers always agree with :meth:`stats`. ``lock`` (shared
+    with the owning engine) makes get/put atomic against concurrent
+    counter snapshots.
     """
 
     def __init__(self, capacity: int = 256,
                  directory: str | Path | None = None,
-                 max_bytes: int | None = None):
+                 max_bytes: int | None = None,
+                 name: str | None = None, lock=None):
         self.memory = LRUCache(capacity)
         self.disk = (DiskCache(directory, max_bytes=max_bytes)
                      if directory is not None else None)
+        self._lock = lock if lock is not None else _NullLock()
+        self._metric = None
+        self._name = name
+        self._children: dict = {}
+        if name is not None:
+            from ..obs.metrics import get_registry
+            self._metric = get_registry().counter(
+                "repro_engine_cache_events_total",
+                "Engine cache tier events (hit/miss/put/eviction)",
+                labels=("cache", "tier", "event"))
+
+    def _child(self, tier: str, event: str):
+        # Label resolution per event is the bulk of a warm hit's cost;
+        # memoize the eight possible children on first use.
+        child = self._children.get((tier, event))
+        if child is None:
+            child = self._children[(tier, event)] = self._metric.labels(
+                cache=self._name, tier=tier, event=event)
+        return child
+
+    def _emit(self, tier: str, stats: CacheStats, before: tuple) -> None:
+        after = (stats.hits, stats.misses, stats.puts, stats.evictions)
+        for event, b, a in zip(("hit", "miss", "put", "eviction"),
+                               before, after):
+            if a > b:
+                self._child(tier, event).inc(a - b)
+
+    @staticmethod
+    def _mark(stats: CacheStats) -> tuple:
+        return (stats.hits, stats.misses, stats.puts, stats.evictions)
 
     def get(self, key: EvalKey, default=None):
         digest = key.digest if isinstance(key, EvalKey) else key
-        value = self.memory.get(digest, _MISS)
-        if value is not _MISS:
-            return value
-        if self.disk is not None:
-            value = self.disk.get(digest, _MISS)
-            if value is not _MISS:
-                self.memory.put(digest, value)
-                return value
-        return default
+        with self._lock:
+            mem0 = self._mark(self.memory.stats) if self._metric else None
+            disk0 = (self._mark(self.disk.stats)
+                     if self._metric and self.disk is not None else None)
+            try:
+                value = self.memory.get(digest, _MISS)
+                if value is not _MISS:
+                    return value
+                if self.disk is not None:
+                    value = self.disk.get(digest, _MISS)
+                    if value is not _MISS:
+                        self.memory.put(digest, value)
+                        return value
+                return default
+            finally:
+                if self._metric is not None:
+                    self._emit("memory", self.memory.stats, mem0)
+                    if disk0 is not None:
+                        self._emit("disk", self.disk.stats, disk0)
 
     def put(self, key: EvalKey, value) -> None:
         digest = key.digest if isinstance(key, EvalKey) else key
-        self.memory.put(digest, value)
-        if self.disk is not None:
-            self.disk.put(digest, value)
+        with self._lock:
+            mem0 = self._mark(self.memory.stats) if self._metric else None
+            disk0 = (self._mark(self.disk.stats)
+                     if self._metric and self.disk is not None else None)
+            try:
+                self.memory.put(digest, value)
+                if self.disk is not None:
+                    self.disk.put(digest, value)
+            finally:
+                if self._metric is not None:
+                    self._emit("memory", self.memory.stats, mem0)
+                    if disk0 is not None:
+                        self._emit("disk", self.disk.stats, disk0)
 
     def __contains__(self, key) -> bool:
         digest = key.digest if isinstance(key, EvalKey) else key

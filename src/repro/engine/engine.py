@@ -20,11 +20,14 @@ parallelism, batching and disk persistence are opt-in knobs.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import weakref
 from dataclasses import dataclass, replace
 
 from ..eda.flow import evaluate_system
+from ..obs.metrics import get_registry
+from ..obs.trace import span
 from ..utils.timing import TimingRecord
 from .batching import BatchedGNNCharacterizer
 from .cache import EvaluationCache
@@ -104,15 +107,43 @@ class EvaluationEngine:
         cap = self.config.cache_capacity
         root = self.config.cache_dir
         max_bytes = self.config.cache_max_bytes
+        # One reentrant lock makes every counter mutation — the engine's
+        # own tallies and both caches' CacheStats — atomic against
+        # snapshot()/delta() readers, so a bracketed window taken by a
+        # concurrent serve worker can never tear mid-update.
+        self._counter_lock = threading.RLock()
         self.library_cache = EvaluationCache(
             cap, None if root is None else f"{root}/libraries",
-            max_bytes=max_bytes)
+            max_bytes=max_bytes, name="library",
+            lock=self._counter_lock)
         self.result_cache = EvaluationCache(
             cap, None if root is None else f"{root}/results",
-            max_bytes=max_bytes)
+            max_bytes=max_bytes, name="result",
+            lock=self._counter_lock)
         self.characterizations = 0      # corners actually characterized
         self.flow_evaluations = 0       # system flows actually run
         self.timing = TimingRecord()
+        registry = get_registry()
+        self._m_characterizations = registry.counter(
+            "repro_engine_characterizations_total",
+            "Corners actually characterized (cache misses)")
+        self._m_flow_evaluations = registry.counter(
+            "repro_engine_flow_evaluations_total",
+            "System flows actually run (result-cache misses)")
+        self._m_evaluations = registry.counter(
+            "repro_engine_evaluations_total",
+            "Corner evaluations requested, by cache outcome",
+            labels=("outcome",))
+        self._m_executor = registry.histogram(
+            "repro_engine_executor_seconds",
+            "Executor batch latency by stage",
+            labels=("stage",))
+        # Hot-path children bound once; label resolution per call is
+        # measurable against a warm all-hit sweep.
+        self._m_eval_hit = self._m_evaluations.labels(outcome="hit")
+        self._m_eval_miss = self._m_evaluations.labels(outcome="miss")
+        self._m_eval_dup = self._m_evaluations.labels(
+            outcome="duplicate")
         self._builder_fp = None
         # Weakly keyed so a long-lived shared engine does not pin every
         # netlist it ever evaluated in memory.
@@ -207,9 +238,13 @@ class EvaluationEngine:
                 missing.append(i)
         if missing:
             t0 = time.perf_counter()
-            built, built_times = self._characterize(
-                [corners[i] for i in missing])
-            self.timing.add("characterization", time.perf_counter() - t0)
+            with span("engine.characterize", corners=len(missing)):
+                built, built_times = self._characterize(
+                    [corners[i] for i in missing])
+            elapsed = time.perf_counter() - t0
+            self.timing.add("characterization", elapsed)
+            self._m_executor.labels(stage="characterization") \
+                .observe(elapsed)
             for i, lib, secs in zip(missing, built, built_times):
                 libs[i] = lib
                 times[i] = secs
@@ -219,7 +254,9 @@ class EvaluationEngine:
         return libs, times
 
     def _characterize(self, corners):
-        self.characterizations += len(corners)
+        with self._counter_lock:
+            self.characterizations += len(corners)
+        self._m_characterizations.inc(len(corners))
         if (self.config.batch_characterization
                 and hasattr(self.builder, "plan_cell")
                 and len(corners) > 1):
@@ -253,23 +290,33 @@ class EvaluationEngine:
         total0 = time.perf_counter()
         out = [None] * len(corners)
         missing, first_at, dup_of = [], {}, {}
-        for i, corner in enumerate(corners):
-            key = self.evaluation_key(netlist, corner, weights)
-            record = (self.result_cache.get(key)
-                      if self.config.cache_results else None)
-            if record is not None:
-                out[i] = replace(record, cached=True)
-                continue
-            # Duplicate corners in one call are evaluated once.
-            if key.digest in first_at:
-                dup_of[i] = first_at[key.digest]
-            else:
-                first_at[key.digest] = i
-                missing.append(i)
+        with span("engine.evaluate_many", corners=len(corners)) as sp:
+            for i, corner in enumerate(corners):
+                key = self.evaluation_key(netlist, corner, weights)
+                record = (self.result_cache.get(key)
+                          if self.config.cache_results else None)
+                if record is not None:
+                    out[i] = replace(record, cached=True)
+                    continue
+                # Duplicate corners in one call are evaluated once.
+                if key.digest in first_at:
+                    dup_of[i] = first_at[key.digest]
+                else:
+                    first_at[key.digest] = i
+                    missing.append(i)
+            if missing:
+                self._evaluate_missing(netlist, corners, weights,
+                                       missing, out)
+            for i, j in dup_of.items():
+                out[i] = out[j]
+            sp.annotate(misses=len(missing))
+        hits = len(corners) - len(missing) - len(dup_of)
+        if hits:
+            self._m_eval_hit.inc(hits)
         if missing:
-            self._evaluate_missing(netlist, corners, weights, missing, out)
-        for i, j in dup_of.items():
-            out[i] = out[j]
+            self._m_eval_miss.inc(len(missing))
+        if dup_of:
+            self._m_eval_dup.inc(len(dup_of))
         self.timing.add("evaluate_many", time.perf_counter() - total0)
         for listener in list(self._record_listeners):
             listener(netlist, out)
@@ -295,8 +342,13 @@ class EvaluationEngine:
             payloads = [(None, lib, netlist, corner, weights)
                         for lib, corner in zip(libs, miss_corners)]
             t0 = time.perf_counter()
-            results = self.backend.map(_evaluate_corner_task, payloads)
-            self.timing.add("system_flow", time.perf_counter() - t0)
+            with span("engine.executor", stage="system_flow",
+                      backend=self.backend.name, tasks=len(payloads)):
+                results = self.backend.map(_evaluate_corner_task,
+                                           payloads)
+            elapsed = time.perf_counter() - t0
+            self.timing.add("system_flow", elapsed)
+            self._m_executor.labels(stage="system_flow").observe(elapsed)
             records = []
             for (lib, record), secs in zip(results, lib_times):
                 record.library_runtime_s = secs
@@ -315,12 +367,20 @@ class EvaluationEngine:
                 if lib is not None:
                     payloads.append((None, lib, netlist, corner, weights))
                 else:
-                    self.characterizations += 1
+                    with self._counter_lock:
+                        self.characterizations += 1
+                    self._m_characterizations.inc()
                     payloads.append((self.builder, None, netlist, corner,
                                      weights))
             t0 = time.perf_counter()
-            results = self.backend.map(_evaluate_corner_task, payloads)
-            self.timing.add("parallel_evaluate", time.perf_counter() - t0)
+            with span("engine.executor", stage="parallel_evaluate",
+                      backend=self.backend.name, tasks=len(payloads)):
+                results = self.backend.map(_evaluate_corner_task,
+                                           payloads)
+            elapsed = time.perf_counter() - t0
+            self.timing.add("parallel_evaluate", elapsed)
+            self._m_executor.labels(stage="parallel_evaluate") \
+                .observe(elapsed)
             records = []
             for (lib, record), payload, corner in zip(results, payloads,
                                                       miss_corners):
@@ -329,23 +389,30 @@ class EvaluationEngine:
                     # to disk on each warm sweep.
                     self.library_cache.put(self.library_key(corner), lib)
                 records.append(record)
-        self.flow_evaluations += len(records)
-        for i, record in zip(missing, records):
-            if self.config.cache_results:
-                key = self.evaluation_key(netlist, corners[i], weights)
-                self.result_cache.put(key, record)
-            out[i] = record
+        # One lock block for the tally and the puts it implies, so a
+        # concurrent snapshot never sees flows without their cache puts
+        # (the lock is reentrant; the caches share it).
+        with self._counter_lock:
+            self.flow_evaluations += len(records)
+            for i, record in zip(missing, records):
+                if self.config.cache_results:
+                    key = self.evaluation_key(netlist, corners[i],
+                                              weights)
+                    self.result_cache.put(key, record)
+                out[i] = record
+        self._m_flow_evaluations.inc(len(records))
 
     # -- reporting / lifecycle ----------------------------------------------
     def stats(self) -> dict:
-        return {
-            "backend": repr(self.backend),
-            "characterizations": self.characterizations,
-            "flow_evaluations": self.flow_evaluations,
-            "library_cache": self.library_cache.stats(),
-            "result_cache": self.result_cache.stats(),
-            "timing_s": dict(self.timing.totals),
-        }
+        with self._counter_lock:
+            return {
+                "backend": repr(self.backend),
+                "characterizations": self.characterizations,
+                "flow_evaluations": self.flow_evaluations,
+                "library_cache": self.library_cache.stats(),
+                "result_cache": self.result_cache.stats(),
+                "timing_s": dict(self.timing.totals),
+            }
 
     def snapshot(self) -> dict:
         """Flat, monotonic counter snapshot of :meth:`stats`.
@@ -356,8 +423,15 @@ class EvaluationEngine:
         long-lived engine (several search runs, many serve jobs) bracket
         a window of work with :meth:`snapshot` / :meth:`delta` instead
         of resetting the engine's lifetime counters.
+
+        The read happens under the engine's counter lock — the same
+        lock every cache movement and tally increment takes — so the
+        snapshot is *consistent*: it can never catch, say, a result-
+        cache put without the flow-evaluation increment that produced
+        it, even while serve workers are mid-evaluation.
         """
-        return _flatten_counters(self.stats())
+        with self._counter_lock:
+            return _flatten_counters(self.stats())
 
     def delta(self, before: dict) -> dict:
         """Counter movement since ``before`` (a :meth:`snapshot`)."""
@@ -366,9 +440,10 @@ class EvaluationEngine:
                 for key, value in now.items()}
 
     def reset_counters(self) -> None:
-        self.characterizations = 0
-        self.flow_evaluations = 0
-        self.timing = TimingRecord()
+        with self._counter_lock:
+            self.characterizations = 0
+            self.flow_evaluations = 0
+            self.timing = TimingRecord()
 
     def shutdown(self) -> None:
         self.backend.shutdown()

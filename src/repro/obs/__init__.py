@@ -1,0 +1,47 @@
+"""repro.obs: unified metrics + tracing across the whole pipeline.
+
+Two dependency-free primitives, threaded through every layer:
+
+* :mod:`~repro.obs.metrics` — a process-wide
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  histograms (thread-safe, labeled, snapshot/delta semantics) with
+  Prometheus-text and JSON exposition. The engine's cache hits,
+  the batcher's occupancy, the serve queue depth and the coalescer's
+  leader/follower/duplicate counts all land here, and the serve layer
+  exports it live at ``GET /v1/metrics``.
+* :mod:`~repro.obs.trace` — lightweight span trees
+  (``with span("engine.characterize", corners=3): …``) with wall and
+  CPU time, built per request as the serve worker → search driver →
+  engine call tree executes. Serve jobs persist their tree to the
+  events sidecar; ``repro trace JOB_ID`` renders it.
+
+:func:`disabled` turns both off (no-op instruments, no-op spans) — the
+configuration the overhead benchmark compares against.
+"""
+
+from contextlib import contextmanager
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      NullRegistry, get_registry, use_registry)
+from .trace import Span, current_span, render_tree, span
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "get_registry", "use_registry",
+    "Span", "span", "current_span", "render_tree",
+    "disabled",
+]
+
+
+@contextmanager
+def disabled():
+    """No-op every instrument and span within the block (components
+    must be constructed inside it to bind the null instruments)."""
+    from . import trace as _trace
+    was = _trace.enabled()
+    _trace.set_enabled(False)
+    try:
+        with use_registry(NullRegistry()) as registry:
+            yield registry
+    finally:
+        _trace.set_enabled(was)

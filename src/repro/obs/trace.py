@@ -1,0 +1,237 @@
+"""Lightweight span tracing: where did this request's time actually go?
+
+A :class:`Span` is one named, timed stage of work (wall clock via
+``perf_counter``, CPU via ``thread_time``) with free-form attributes
+and child spans. The module-level :func:`span` context manager
+maintains a per-thread stack, so nested ``with`` blocks build a tree
+without any plumbing::
+
+    with span("serve.execute", job_id=jid) as root:
+        ...
+        with span("engine.evaluate_many", corners=3):
+            ...
+    root.to_dict()      # the whole tree, JSON-able
+
+The tree shape mirrors the call tree: the serve worker opens the root,
+the search driver adds per-round spans, the engine adds
+characterize/flow/executor spans underneath — all on the same thread,
+which is exactly how the serve layer executes jobs (engine executions
+serialize on one lock).
+
+Span durations also feed the process metrics registry
+(``repro_span_seconds{span=...}`` histograms), so every traced stage
+gets a latency distribution for free; :func:`set_enabled` (or
+:func:`repro.obs.disabled`) turns the whole mechanism into a no-op.
+
+Synthetic spans (:meth:`Span.synthetic`) cover stages that were
+measured externally rather than executed under a tracer — e.g. a serve
+job's queue wait, reconstructed from its ledger.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from .metrics import get_registry
+
+__all__ = ["Span", "span", "current_span", "set_enabled", "enabled",
+           "render_tree"]
+
+#: Children beyond this are dropped (counted in ``dropped``) so a
+#: pathological loop cannot grow an unbounded tree.
+MAX_CHILDREN = 256
+
+_local = threading.local()
+_enabled = True
+
+# Span-exit fast path: resolving histogram children through the family
+# costs label-key validation per call, which adds up on micro-spans.
+# Memoize per (registry, span name); invalidated whenever use_registry
+# swaps the default registry out from under us.
+_hist_registry = None
+_hist_children: dict = {}
+
+
+def _span_histogram(name: str):
+    global _hist_registry, _hist_children
+    registry = get_registry()
+    if registry is not _hist_registry:
+        _hist_registry = registry
+        _hist_children = {}
+    child = _hist_children.get(name)
+    if child is None:
+        child = _hist_children[name] = registry.histogram(
+            "repro_span_seconds",
+            "Wall-clock seconds per traced stage",
+            labels=("span",)).labels(span=name)
+    return child
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable tracing (spans become no-ops)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+class Span:
+    """One timed stage; a node in a per-request trace tree."""
+
+    __slots__ = ("name", "attrs", "children", "start_s", "wall_s",
+                 "cpu_s", "dropped", "error", "_t0", "_c0")
+
+    def __init__(self, name: str, attrs: dict | None = None):
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.children: list = []
+        self.start_s = time.time()
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.dropped = 0
+        self.error = ""
+        self._t0 = time.perf_counter()
+        self._c0 = time.thread_time()
+
+    def finish(self) -> "Span":
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.thread_time() - self._c0
+        return self
+
+    def add_child(self, child: "Span") -> None:
+        if len(self.children) >= MAX_CHILDREN:
+            self.dropped += 1
+            return
+        self.children.append(child)
+
+    def annotate(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    @classmethod
+    def synthetic(cls, name: str, wall_s: float,
+                  start_s: float | None = None, **attrs) -> "Span":
+        """A finished span for an externally measured stage."""
+        out = cls(name, attrs)
+        out.wall_s = float(wall_s)
+        out.cpu_s = 0.0
+        if start_s is not None:
+            out.start_s = float(start_s)
+        return out
+
+    def to_dict(self) -> dict:
+        out = {"name": self.name, "start_s": self.start_s,
+               "wall_s": self.wall_s, "cpu_s": self.cpu_s}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        if self.dropped:
+            out["dropped"] = self.dropped
+        if self.error:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        out = cls.synthetic(data.get("name", "?"),
+                            data.get("wall_s", 0.0),
+                            start_s=data.get("start_s"),
+                            **data.get("attrs", {}))
+        out.cpu_s = data.get("cpu_s", 0.0)
+        out.dropped = data.get("dropped", 0)
+        out.error = data.get("error", "")
+        out.children = [cls.from_dict(c)
+                        for c in data.get("children", [])]
+        return out
+
+
+class _NullSpan:
+    """Stands in when tracing is disabled: absorbs annotations."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    children: list = []
+    wall_s = 0.0
+    cpu_s = 0.0
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def add_child(self, child) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_span():
+    """The innermost open span on this thread (``None`` outside any)."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """Open a child span of this thread's current span.
+
+    Yields the :class:`Span`; on exit it is finished, attached to its
+    parent (roots stay with the caller), and its wall time is observed
+    into the ``repro_span_seconds{span=name}`` histogram. An exception
+    marks the span's ``error`` and propagates.
+    """
+    if not _enabled:
+        yield _NULL_SPAN
+        return
+    node = Span(name, attrs)
+    stack = _stack()
+    stack.append(node)
+    try:
+        yield node
+    except BaseException as exc:
+        node.error = type(exc).__name__
+        raise
+    finally:
+        stack.pop()
+        node.finish()
+        if stack:
+            stack[-1].add_child(node)
+        _span_histogram(name).observe(node.wall_s)
+
+
+def render_tree(trace: dict, indent: int = 0) -> list:
+    """Pretty lines for one ``Span.to_dict()`` tree (CLI renderer)."""
+    if not trace:
+        return []
+    wall = trace.get("wall_s", 0.0)
+    cpu = trace.get("cpu_s", 0.0)
+    attrs = trace.get("attrs", {})
+    suffix = ""
+    if attrs:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        suffix = f"  [{inner}]"
+    if trace.get("error"):
+        suffix += f"  !{trace['error']}"
+    lines = [f"{'  ' * indent}{trace.get('name', '?')}  "
+             f"{wall * 1000:.2f} ms wall / {cpu * 1000:.2f} ms cpu"
+             f"{suffix}"]
+    for child in trace.get("children", []):
+        lines.extend(render_tree(child, indent + 1))
+    if trace.get("dropped"):
+        lines.append(f"{'  ' * (indent + 1)}"
+                     f"… {trace['dropped']} child span(s) dropped")
+    return lines

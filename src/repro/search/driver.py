@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass, field
 
 from ..engine.records import PPAWeights
+from ..obs.metrics import get_registry
+from ..obs.trace import span
 from .optimizers import Optimizer
 from .pareto import ParetoArchive
 
@@ -127,28 +129,42 @@ class SearchRun:
         chars0 = self.engine.characterizations
         stalls = 0
         rounds = 0
+        ask_timer = get_registry().histogram(
+            "repro_optimizer_seconds",
+            "Optimizer ask/tell wall-clock per round",
+            labels=("phase", "optimizer"))
+        name = self.optimizer.name
         while len(rewards) < budget and not self.optimizer.done:
-            corners = self.optimizer.ask()
-            if not corners:
-                stalls += 1
-                if stalls >= max_stalls:
-                    break
-                continue
-            stalls = 0
-            corners = corners[:budget - len(rewards)]
-            records = self.engine.evaluate_many(self.netlist, corners,
-                                                self.weights)
-            for record in records:
-                key = record.corner.key()
-                if key not in seen:
-                    seen[key] = len(seen) + 1
-                    unique_records.append(record)
-                rewards.append(record.reward)
-                if best is None or record.reward > best.reward:
-                    best = record
-                    first_seen_of_best = seen[key]
-                self.archive.add(record)
-            self.optimizer.tell(records)
+            with span("search.round", round=rounds + 1,
+                      optimizer=name):
+                with ask_timer.labels(phase="ask",
+                                      optimizer=name).time(), \
+                        span("optimizer.ask"):
+                    corners = self.optimizer.ask()
+                if not corners:
+                    stalls += 1
+                    if stalls >= max_stalls:
+                        break
+                    continue
+                stalls = 0
+                corners = corners[:budget - len(rewards)]
+                records = self.engine.evaluate_many(self.netlist,
+                                                    corners,
+                                                    self.weights)
+                for record in records:
+                    key = record.corner.key()
+                    if key not in seen:
+                        seen[key] = len(seen) + 1
+                        unique_records.append(record)
+                    rewards.append(record.reward)
+                    if best is None or record.reward > best.reward:
+                        best = record
+                        first_seen_of_best = seen[key]
+                    self.archive.add(record)
+                with ask_timer.labels(phase="tell",
+                                      optimizer=name).time(), \
+                        span("optimizer.tell"):
+                    self.optimizer.tell(records)
             rounds += 1
             if progress_callback is not None:
                 stats_fn = getattr(self.optimizer, "surrogate_stats",

@@ -61,6 +61,20 @@ class ServeClient:
     def workspace_stats(self) -> dict:
         return self._request("GET", "/v1/workspace/stats")
 
+    def metrics(self, format: str = "text"):
+        """Scrape ``/v1/metrics``: Prometheus text (``format="text"``,
+        returns ``str``) or the JSON document (``format="json"``)."""
+        if format == "json":
+            return self._request("GET", "/v1/metrics?format=json")
+        url = f"{self.base_url}/v1/metrics"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServeClientError(exc.code, str(exc)) from None
+
     # -- jobs --------------------------------------------------------------
     def submit(self, config, priority: int = 0,
                force: bool = False) -> dict:
@@ -80,8 +94,56 @@ class ServeClient:
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/runs/{job_id}")
 
-    def events(self, job_id: str) -> list:
-        return self._request("GET", f"/v1/runs/{job_id}/events")["events"]
+    def events(self, job_id: str, stream: bool = False):
+        """Progress snapshots for a job.
+
+        ``stream=False`` (default): one request, returns the list
+        recorded so far. ``stream=True``: returns a generator over the
+        live SSE feed — each item is ``{"event": kind, "data": ...}``
+        with ``data`` JSON-decoded; the stream ends after the ``end``
+        event (terminal state). Heartbeat comments are filtered out.
+        """
+        if not stream:
+            return self._request(
+                "GET", f"/v1/runs/{job_id}/events")["events"]
+        return self._event_stream(job_id)
+
+    def _event_stream(self, job_id: str):
+        url = f"{self.base_url}/v1/runs/{job_id}/events?stream=1"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            resp = urllib.request.urlopen(request,
+                                          timeout=self.timeout_s)
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(
+                    exc.read().decode("utf-8")).get("error", str(exc))
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                message = str(exc)
+            raise ServeClientError(exc.code, message) from None
+        # http.client decodes the chunked framing; we parse SSE lines.
+        with resp:
+            kind, data_lines = "message", []
+            for raw in resp:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith(":"):
+                    continue             # heartbeat comment
+                if line.startswith("event:"):
+                    kind = line[6:].strip()
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].strip())
+                    continue
+                if line == "" and data_lines:
+                    payload = "\n".join(data_lines)
+                    try:
+                        payload = json.loads(payload)
+                    except json.JSONDecodeError:
+                        pass
+                    yield {"event": kind, "data": payload}
+                    if kind == "end":
+                        return
+                    kind, data_lines = "message", []
 
     def cancel(self, job_id: str) -> dict:
         return self._request("POST", f"/v1/runs/{job_id}/cancel")

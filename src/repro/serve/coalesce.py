@@ -53,11 +53,16 @@ class Coalescer:
     """In-flight leader and completed-run bookkeeping per content key."""
 
     def __init__(self):
+        from ..obs.metrics import get_registry
         self._lock = threading.Lock()
         self._leaders: dict[str, str] = {}      # key -> leader job id
         self._followers: dict[str, list] = {}   # leader id -> follower ids
         self._completed: dict[str, str] = {}    # key -> last success id
         self.counters = {"leaders": 0, "followers": 0, "duplicates": 0}
+        self._m_roles = get_registry().counter(
+            "repro_serve_coalescer_total",
+            "Submissions by coalescer classification",
+            labels=("role",))
 
     # -- admission ---------------------------------------------------------
     def admit(self, key: str, job_id: str, force: bool = False,
@@ -75,16 +80,19 @@ class Coalescer:
                 if leader is not None:
                     self._followers.setdefault(leader, []).append(job_id)
                     self.counters["followers"] += 1
+                    self._m_roles.labels(role="follower").inc()
                     return "follower", leader
                 done = self._completed.get(key)
                 if done is not None and reuse_completed:
                     self.counters["duplicates"] += 1
+                    self._m_roles.labels(role="duplicate").inc()
                     return "duplicate", done
             if key not in self._leaders:
                 # A forced run never displaces the key's current leader
                 # (followers keep riding the original execution).
                 self._leaders[key] = job_id
             self.counters["leaders"] += 1
+            self._m_roles.labels(role="leader").inc()
             return "leader", None
 
     def remove_follower(self, leader_id: str, job_id: str) -> bool:

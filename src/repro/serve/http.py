@@ -9,12 +9,23 @@ POST    ``/v1/runs``                submit (body: a config document, or
                                     "force": bool}``) → 202 + job
 GET     ``/v1/runs``                all job summaries
 GET     ``/v1/runs/{id}``           one job, report included when done
-GET     ``/v1/runs/{id}/events``    per-round progress snapshots
+GET     ``/v1/runs/{id}/events``    per-round progress snapshots;
+                                    ``?stream=1`` upgrades to a live
+                                    Server-Sent-Events stream (chunked)
 POST    ``/v1/runs/{id}/cancel``    cancel (now if queued, next round
                                     if running)
 GET     ``/v1/workspace/stats``     workspace + live engine statistics
+GET     ``/v1/metrics``             process metrics — Prometheus text
+                                    by default, ``?format=json`` for
+                                    the structured document
 GET     ``/healthz``                liveness, queue depth, job counts
 ======  ==========================  =====================================
+
+The SSE stream emits one ``progress`` event per persisted snapshot
+(``id:`` is the event's index), a ``trace`` event for the job's span
+tree, comment heartbeats while idle, and a final ``end`` event carrying
+the terminal state. A coalesced follower transparently streams its
+leader's events.
 
 Error mapping: unknown paths/jobs → 404, malformed JSON or configs →
 400, a draining service → 503; every body (including errors) is a JSON
@@ -29,12 +40,23 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from .jobs import UnknownJobError
+from ..obs.metrics import get_registry
+from .jobs import JobState, UnknownJobError
 from .pool import ServeService, ServiceClosed
 
 __all__ = ["StcoServer"]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _route_label(path: str) -> str:
+    """Collapse job ids to a template so the request counter's label
+    cardinality stays bounded."""
+    path = path.partition("?")[0]
+    parts = [p for p in path.split("/") if p]
+    if parts[:2] == ["v1", "runs"] and len(parts) >= 3:
+        parts[2] = "{id}"
+    return "/" + "/".join(parts) if parts else "/"
 
 
 class _ApiError(Exception):
@@ -86,6 +108,12 @@ class _Handler(BaseHTTPRequestHandler):
         return data
 
     def _dispatch(self, method: str) -> None:
+        get_registry().counter(
+            "repro_http_requests_total",
+            "API requests by method and route template",
+            labels=("method", "route")).labels(
+                method=method,
+                route=_route_label(self.path)).inc()
         try:
             self._route(method)
         except _ApiError as exc:
@@ -110,6 +138,8 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in path.split("/") if p]
         if method == "GET" and path == "/healthz":
             return self._send(self.service.health())
+        if method == "GET" and parts == ["v1", "metrics"]:
+            return self._metrics(query)
         if parts[:2] != ["v1", "runs"] and parts[:2] != ["v1",
                                                          "workspace"]:
             raise _ApiError(404, f"no such endpoint: {path}")
@@ -131,6 +161,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._send(self.service.store.summary(job_id))
             return self._send(self.service.store.describe(job_id))
         if method == "GET" and rest[1:] == ["events"]:
+            if "stream=1" in query.split("&"):
+                return self._stream_events(job_id)
             return self._send(self.service.events(job_id))
         if method == "POST" and rest[1:] == ["cancel"]:
             cancelled = self.service.cancel(job_id)
@@ -138,6 +170,77 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send({"job_id": job_id, "cancelled": cancelled,
                                "state": job["state"]})
         raise _ApiError(404, f"no such endpoint: {path}")
+
+    # -- observability -----------------------------------------------------
+    def _metrics(self, query: str) -> None:
+        registry = get_registry()
+        if "format=json" in query.split("&"):
+            return self._send(registry.render_json())
+        body = registry.render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _write_chunk(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii")
+                         + data + b"\r\n")
+        self.wfile.flush()
+
+    def _stream_events(self, job_id: str) -> None:
+        """Server-Sent Events over manual chunked framing.
+
+        ``events_since`` long-polls the store; each wake-up flushes the
+        fresh snapshots as ``progress`` (or ``trace``) events. Idle
+        timeouts emit comment heartbeats so proxies and clients can
+        tell a quiet run from a dead socket.
+        """
+        store = self.service.store
+        job = store.get(job_id)          # 404 before headers if unknown
+        source = job.job_id
+        if job.coalesced_with:
+            try:
+                store.get(job.coalesced_with)
+                source = job.coalesced_with
+            except UnknownJobError:
+                pass                     # leader gone: own (empty) feed
+        heartbeat = getattr(self.server, "sse_heartbeat_s", 10.0)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        index = 0
+        try:
+            while True:
+                events, state = store.events_since(source, index,
+                                                   timeout=heartbeat)
+                for event in events:
+                    kind = ("trace" if event.get("kind") == "trace"
+                            else "progress")
+                    data = json.dumps(event, sort_keys=True,
+                                      default=str)
+                    self._write_chunk(f"id: {index}\nevent: {kind}\n"
+                                      f"data: {data}\n\n")
+                    index += 1
+                if state in JobState.TERMINAL:
+                    final = json.dumps({"job_id": job_id,
+                                        "source": source,
+                                        "state": state},
+                                       sort_keys=True)
+                    self._write_chunk(f"event: end\ndata: {final}\n\n")
+                    break
+                if not events:
+                    self._write_chunk(": heartbeat\n\n")
+            self.wfile.write(b"0\r\n\r\n")   # chunked terminator
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass                         # client hung up mid-stream
+        finally:
+            self.close_connection = True
 
     def _submit(self) -> None:
         from ..api.config import ConfigError
@@ -178,11 +281,13 @@ class StcoServer:
     """
 
     def __init__(self, service: ServeService, host: str = "127.0.0.1",
-                 port: int = 0, verbose: bool = False):
+                 port: int = 0, verbose: bool = False,
+                 sse_heartbeat_s: float = 10.0):
         self.service = service
         self.httpd = _Server((host, port), _Handler)
         self.httpd.service = service
         self.httpd.verbose = verbose
+        self.httpd.sse_heartbeat_s = float(sse_heartbeat_s)
         self.host = self.httpd.server_address[0]
         self.port = self.httpd.server_address[1]
         self._thread = None

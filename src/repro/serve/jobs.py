@@ -414,6 +414,36 @@ class JobStore:
             with open(self._events_path(job_id), "a",
                       encoding="utf-8") as fh:
                 fh.write(json.dumps(snapshot, sort_keys=True) + "\n")
+            # Streaming readers (SSE) block on the store condition.
+            self._cond.notify_all()
+
+    def events_since(self, job_id: str, start: int,
+                     timeout: float | None = None) -> tuple:
+        """Block until the job has events past index ``start`` or is
+        terminal; returns ``(new_events, state)``.
+
+        The long-poll primitive behind SSE streaming: each call either
+        delivers fresh progress snapshots, reports the terminal state
+        (possibly with a final batch of events), or times out with
+        ``([], current_state)`` so the caller can heartbeat.
+        """
+        deadline = None if timeout is None else \
+            time.monotonic() + timeout
+        self.get(job_id)            # existence check, body warm-up
+        with self._lock:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    break            # terminal + demoted: read the body
+                if len(job.events) > start or job.terminal:
+                    return list(job.events[start:]), job.state
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return [], job.state
+                self._cond.wait(remaining)
+        job = self.get(job_id)      # lazy body loads happen un-locked
+        return list(job.events[start:]), job.state
 
     def update(self, job: Job) -> None:
         """Persist caller-made mutations to ``job``."""

@@ -37,6 +37,8 @@ import threading
 import time
 import traceback
 
+from ..obs.metrics import get_registry
+from ..obs.trace import Span, span
 from .coalesce import Coalescer, request_key
 from .jobs import JobState, JobStore, UnknownJobError
 
@@ -107,6 +109,30 @@ class ServeService:
         self._stop = threading.Event()
         self._threads: list = []
         self._started_s = time.time()
+        registry = get_registry()
+        self._m_outcomes = registry.counter(
+            "repro_serve_jobs_total",
+            "Jobs finished by this service, by outcome",
+            labels=("outcome",))
+        g_queue = registry.gauge(
+            "repro_serve_queue_depth",
+            "Runnable jobs waiting for a worker")
+        g_jobs = registry.gauge(
+            "repro_serve_jobs", "Jobs known to the store, by state",
+            labels=("state",))
+
+        def _collect(store=self.store):
+            # Scrape-time sampling: counts() is the ground truth the
+            # gauges must agree with, so read it at exposition instead
+            # of shadowing every transition.
+            counts = store.counts()
+            g_queue.set(counts.get("queued", 0))
+            for state in JobState.ALL:
+                g_jobs.labels(state=state).set(counts.get(state, 0))
+
+        self._collector = _collect
+        self._registry = registry
+        registry.add_collector(_collect)
         self._rebuild()
         if autostart:
             self.start()
@@ -194,6 +220,7 @@ class ServeService:
         for t in self._threads:
             t.join(timeout=timeout)
         self._threads = []
+        self._registry.remove_collector(self._collector)
 
     def __enter__(self):
         return self
@@ -316,6 +343,7 @@ class ServeService:
     def _execute(self, job) -> None:
         cancel = self._cancel_event(job.job_id)
         ledger = {"queued_s": time.time() - job.submitted_s}
+        root = None
 
         def on_progress(snapshot):
             self.store.add_event(job.job_id, snapshot)
@@ -327,23 +355,41 @@ class ServeService:
         try:
             if cancel.is_set():          # cancelled between claim & here
                 raise JobCancelled(job.job_id)
-            t0 = time.perf_counter()
-            with self._exec_lock:
-                ledger["lock_wait_s"] = time.perf_counter() - t0
-                t1 = time.perf_counter()
-                report = self._runner(job.config, self.workspace,
-                                      progress_callback=on_progress)
-                ledger["execution_s"] = time.perf_counter() - t1
+            with span("serve.job", job_id=job.job_id,
+                      priority=job.priority) as root:
+                root.add_child(Span.synthetic(
+                    "serve.queued", ledger["queued_s"],
+                    start_s=job.submitted_s))
+                t0 = time.perf_counter()
+                with self._exec_lock:
+                    ledger["lock_wait_s"] = time.perf_counter() - t0
+                    root.add_child(Span.synthetic(
+                        "serve.lock_wait", ledger["lock_wait_s"]))
+                    t1 = time.perf_counter()
+                    with span("serve.execute") as ex:
+                        report = self._runner(
+                            job.config, self.workspace,
+                            progress_callback=on_progress)
+                    ledger["execution_s"] = time.perf_counter() - t1
+                    if isinstance(ex, Span):
+                        # Pin the stage to the ledger value so the
+                        # trace's queued/lock_wait/execute children sum
+                        # exactly to the ledger total.
+                        ex.wall_s = ledger["execution_s"]
         except JobCancelled:
+            self._record_trace(job, root, ledger, JobState.CANCELLED)
             self.store.finish(job.job_id, JobState.CANCELLED,
                               ledger=ledger)
+            self._m_outcomes.labels(outcome=JobState.CANCELLED).inc()
             self._repatriate_followers(
                 self.coalescer.resolve(job.content_key, job.job_id,
                                        success=False))
         except Exception as exc:         # noqa: BLE001 — job boundary
             error = "".join(traceback.format_exception_only(exc)).strip()
+            self._record_trace(job, root, ledger, JobState.FAILED)
             self.store.finish(job.job_id, JobState.FAILED, error=error,
                               ledger=ledger)
+            self._m_outcomes.labels(outcome=JobState.FAILED).inc()
             # Same config, same workspace → the same deterministic
             # failure; followers inherit it instead of re-running.
             for follower in self.coalescer.resolve(job.content_key,
@@ -353,8 +399,10 @@ class ServeService:
         else:
             payload = (report.to_dict()
                        if hasattr(report, "to_dict") else dict(report))
+            self._record_trace(job, root, ledger, JobState.SUCCEEDED)
             self.store.finish(job.job_id, JobState.SUCCEEDED,
                               report=payload, ledger=ledger)
+            self._m_outcomes.labels(outcome=JobState.SUCCEEDED).inc()
             for follower in self.coalescer.resolve(job.content_key,
                                                    job.job_id,
                                                    success=True):
@@ -363,6 +411,21 @@ class ServeService:
         finally:
             with self._state_lock:
                 self._cancel_events.pop(job.job_id, None)
+
+    def _record_trace(self, job, root, ledger, state: str) -> None:
+        """Persist the job's finished span tree as a ``kind: trace``
+        event on its sidecar — the last event, before the terminal
+        transition, so restarts index the right count."""
+        if not isinstance(root, Span):
+            return                       # tracing disabled / never ran
+        root.annotate(state=state,
+                      **{k: round(v, 6) for k, v in ledger.items()})
+        try:
+            self.store.add_event(job.job_id,
+                                 {"kind": "trace",
+                                  "trace": root.to_dict()})
+        except Exception:                # noqa: BLE001 — best effort
+            pass
 
     def _repatriate_followers(self, followers: list) -> None:
         """A leader went away without a result: promote the first

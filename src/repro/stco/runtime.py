@@ -10,6 +10,13 @@ This ledger carries both views:
   (SPICE characterization, full Poisson solves) vs fast path (GNN
   inference) on this machine, demonstrating the same speedup structure
   end-to-end on real code.
+
+The ledger is a compat view over the unified :mod:`repro.obs` timing
+substrate: :meth:`RuntimeLedger.record` mirrors every stage into the
+process metrics registry
+(``repro_stco_iteration_seconds{benchmark,path,stage}``), so Table I's
+measured split is scrapeable from ``GET /v1/metrics`` while the
+rendered rows stay numerically identical to the historical ones.
 """
 
 from __future__ import annotations
@@ -48,6 +55,15 @@ class RuntimeLedger:
                slow_path: bool = False) -> None:
         target = self.measured_slow if slow_path else self.measured
         target[benchmark] = timing
+        from ..obs.metrics import get_registry
+        gauge = get_registry().gauge(
+            "repro_stco_iteration_seconds",
+            "Measured STCO iteration split (last recorded)",
+            labels=("benchmark", "path", "stage"))
+        path = "slow" if slow_path else "fast"
+        for stage in ("tcad_s", "charlib_s", "setup_s", "system_eval_s"):
+            gauge.labels(benchmark=benchmark, path=path,
+                         stage=stage[:-2]).set(getattr(timing, stage))
 
     # ------------------------------------------------------------------
     def calibrated_row(self, benchmark: str) -> dict:

@@ -33,6 +33,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..engine.records import EvaluationRecord, PPAWeights
+from ..obs.metrics import get_registry
+from ..obs.trace import span
 from ..search.optimizers import Optimizer
 from ..search.spaces import as_search_space
 from ..utils.rng import make_rng
@@ -123,6 +125,13 @@ class PromotedOptimizer(Optimizer):
         self.promotions = 0
         self.backfilled = 0
         self.rounds = 0
+        self._m_decisions = get_registry().counter(
+            "repro_surrogate_screen_total",
+            "Screened candidates by promotion decision",
+            labels=("decision",))
+        self._m_backfills = get_registry().counter(
+            "repro_surrogate_backfills_total",
+            "Inner-optimizer slots filled with pessimistic predictions")
 
     # -- ask ---------------------------------------------------------------
     def _padding(self, have_keys: set, count: int) -> list:
@@ -149,18 +158,26 @@ class PromotedOptimizer(Optimizer):
             keys, sched.screen - len(inner_corners))
         pool = pool[:sched.screen]
         self.screened += len(pool)
-        if len(pool) <= sched.promote:
-            self._promoted = pool
-        else:
-            features = np.asarray([self.featurize(c) for c in pool])
-            mean, std = self.surrogate.reward_posterior(features)
-            scores = upper_confidence_bound(mean, std,
-                                            beta=sched.ucb_beta)
-            order = np.argsort(-scores, kind="stable")[:sched.promote]
-            # Preserve pool (inner-first) order among the promoted so
-            # prefix-truncation by the driver cuts padding first.
-            self._promoted = [pool[i] for i in sorted(order)]
+        with span("surrogate.screen", pool=len(pool),
+                  promote=sched.promote):
+            if len(pool) <= sched.promote:
+                self._promoted = pool
+            else:
+                features = np.asarray([self.featurize(c) for c in pool])
+                mean, std = self.surrogate.reward_posterior(features)
+                scores = upper_confidence_bound(mean, std,
+                                                beta=sched.ucb_beta)
+                order = np.argsort(-scores,
+                                   kind="stable")[:sched.promote]
+                # Preserve pool (inner-first) order among the promoted
+                # so prefix-truncation by the driver cuts padding first.
+                self._promoted = [pool[i] for i in sorted(order)]
         self.promotions += len(self._promoted)
+        self._m_decisions.labels(decision="promoted") \
+            .inc(len(self._promoted))
+        rejected = len(pool) - len(self._promoted)
+        if rejected:
+            self._m_decisions.labels(decision="rejected").inc(rejected)
         self._asked_keys.update(c.key() for c in self._promoted)
         return list(self._promoted)
 
@@ -177,6 +194,7 @@ class PromotedOptimizer(Optimizer):
                                  min_period_s=float(10.0 ** logs[1]),
                                  area_um2=float(10.0 ** logs[2]))
         self.backfilled += 1
+        self._m_backfills.inc()
         return EvaluationRecord(corner=corner, result=result,
                                 reward=self.weights.score(result),
                                 library_runtime_s=0.0, flow_runtime_s=0.0,

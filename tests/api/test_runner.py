@@ -135,3 +135,31 @@ class TestCampaignMode:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             run(config, workspace)
+
+
+class TestTraceBlock:
+    def test_report_carries_the_run_span_tree(self, base_config,
+                                              workspace):
+        report = run(base_config, workspace)
+        trace = report.trace
+        assert trace["name"] == "run"
+        assert trace["attrs"]["mode"] == "search"
+        assert trace["attrs"]["benchmark"] == "s298"
+        assert trace["wall_s"] > 0.0
+        names = [c["name"] for c in trace.get("children", [])]
+        # The search driver's per-round spans nest under the run root.
+        assert "search.round" in names
+        rounds = [c for c in trace["children"]
+                  if c["name"] == "search.round"]
+        inner = {g["name"] for r in rounds
+                 for g in r.get("children", [])}
+        assert "optimizer.ask" in inner
+        # The whole tree must serialize with the report.
+        assert RunReport.from_json(report.to_json()).trace == trace
+
+    def test_disabled_tracing_leaves_the_block_empty(self, base_config,
+                                                     workspace):
+        from repro.obs import disabled
+        with disabled():
+            report = run(base_config, workspace)
+        assert report.trace == {}

@@ -297,3 +297,67 @@ class TestSnapshotDelta:
         engine = EvaluationEngine(builder, EngineConfig())
         delta = engine.delta({})                # e.g. older snapshot
         assert delta["flow_evaluations"] == 0
+
+
+class TestSnapshotConsistency:
+    def test_concurrent_snapshots_never_tear(self, builder, netlist,
+                                             small_space):
+        """A reader bracketing windows while a worker evaluates must
+        never see a result-cache put without the flow tally that
+        produced it (or vice versa): both move under one lock."""
+        import threading
+
+        engine = EvaluationEngine(builder, EngineConfig())
+        corners = small_space.points()
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                snap = engine.snapshot()
+                if snap["result_cache.memory.puts"] \
+                        != snap["flow_evaluations"]:
+                    torn.append(snap)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            # Fresh corners each pass: every record is a miss, so every
+            # flow evaluation pairs with exactly one result-cache put.
+            for corner in corners:
+                engine.evaluate_many(netlist, [corner])
+        finally:
+            stop.set()
+            t.join()
+        assert torn == []
+        final = engine.snapshot()
+        assert final["flow_evaluations"] == len(corners)
+        assert final["result_cache.memory.puts"] == len(corners)
+
+    def test_cache_event_counters_match_cache_stats(self, builder,
+                                                    netlist, corners):
+        """The exported repro_engine_cache_events_total series agree
+        exactly with the caches' own stats() tallies."""
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            engine = EvaluationEngine(builder, EngineConfig())
+            engine.evaluate_many(netlist, corners[:3])
+            engine.evaluate_many(netlist, corners[:3])    # warm pass
+        snap = registry.snapshot()
+        for cache, tier_stats in (
+                ("result", engine.result_cache.stats()),
+                ("library", engine.library_cache.stats())):
+            memory = tier_stats["memory"]
+            for event, stat in (("hit", "hits"), ("miss", "misses"),
+                                ("put", "puts"),
+                                ("eviction", "evictions")):
+                series = (f'repro_engine_cache_events_total{{'
+                          f'cache="{cache}",tier="memory",'
+                          f'event="{event}"}}')
+                assert snap.get(series, 0) == memory[stat], series
+        assert snap["repro_engine_flow_evaluations_total"] \
+            == engine.flow_evaluations
+        assert snap["repro_engine_characterizations_total"] \
+            == engine.characterizations

@@ -1,0 +1,172 @@
+"""MetricsRegistry: instruments, thread safety, exposition formats."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_BUCKETS, MetricsRegistry,
+                               NullRegistry, get_registry, use_registry)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_is_monotonic(self, registry):
+        c = registry.counter("c_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self, registry):
+        g = registry.gauge("g")
+        g.set(10)
+        g.dec(3)
+        g.inc(1)
+        assert g.value == 8.0
+
+    def test_histogram_sum_count_and_cumulative_buckets(self, registry):
+        h = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+        cum = dict(h.cumulative())
+        assert cum[0.1] == 1
+        assert cum[1.0] == 3
+        assert cum[float("inf")] == 4
+
+    def test_histogram_time_context(self, registry):
+        h = registry.histogram("t_seconds")
+        with h.time():
+            pass
+        assert h.count == 1
+        assert 0 <= h.sum < 1.0
+
+    def test_labels_fan_out_and_memoize(self, registry):
+        c = registry.counter("lbl_total", labels=("tier", "event"))
+        c.labels(tier="memory", event="hit").inc(2)
+        c.labels(event="hit", tier="memory").inc()     # order-free
+        assert c.labels(tier="memory", event="hit").value == 3.0
+        with pytest.raises(ValueError):
+            c.labels(tier="memory")                    # missing label
+        with pytest.raises(ValueError):
+            c.inc()                                    # labeled family
+
+    def test_reregistration_is_idempotent_but_typed(self, registry):
+        a = registry.counter("same_total", labels=("k",))
+        b = registry.counter("same_total", labels=("k",))
+        assert a is b
+        with pytest.raises(ValueError):
+            registry.gauge("same_total", labels=("k",))
+        with pytest.raises(ValueError):
+            registry.counter("same_total", labels=("other",))
+
+
+class TestThreadSafety:
+    def test_hammered_counters_and_histograms_are_exact(self, registry):
+        """N threads x M increments lose nothing (the satellite's
+        acceptance bar: exact totals under concurrency)."""
+        c = registry.counter("hammer_total", labels=("worker",))
+        h = registry.histogram("hammer_seconds", buckets=DEFAULT_BUCKETS)
+        g = registry.gauge("hammer_gauge")
+        threads, per = 8, 2500
+
+        def work(i):
+            child = c.labels(worker=str(i % 2))
+            for _ in range(per):
+                child.inc()
+                h.observe(0.001)
+                g.inc()
+
+        pool = [threading.Thread(target=work, args=(i,))
+                for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        total = sum(child.value for _, child in c.children())
+        assert total == threads * per
+        assert h.count == threads * per
+        assert h.sum == pytest.approx(threads * per * 0.001)
+        assert g.value == threads * per
+        cum = h.cumulative()
+        assert cum[-1][1] == threads * per             # +Inf bucket
+
+
+class TestSnapshotDelta:
+    def test_snapshot_and_delta_subtract_cleanly(self, registry):
+        c = registry.counter("win_total", labels=("k",))
+        h = registry.histogram("win_seconds")
+        c.labels(k="a").inc(5)
+        h.observe(1.0)
+        before = registry.snapshot()
+        c.labels(k="a").inc(2)
+        c.labels(k="b").inc(1)                 # new series mid-window
+        h.observe(2.0)
+        delta = registry.delta(before)
+        assert delta['win_total{k="a"}'] == 2
+        assert delta['win_total{k="b"}'] == 1
+        assert delta["win_seconds_count"] == 1
+        assert delta["win_seconds_sum"] == pytest.approx(2.0)
+
+    def test_collectors_run_at_scrape_time(self, registry):
+        g = registry.gauge("sampled")
+        state = {"v": 0}
+        registry.add_collector(lambda: g.set(state["v"]))
+        state["v"] = 7
+        assert registry.snapshot()["sampled"] == 7
+        state["v"] = 9
+        assert "sampled 9" in registry.render_prometheus()
+        # A broken collector must not break exposition.
+        registry.add_collector(lambda: 1 / 0)
+        text = registry.render_prometheus()
+        assert "sampled 9" in text
+        assert registry.render_json()["collector_errors"] >= 1
+
+
+class TestExposition:
+    def test_prometheus_text_format(self, registry):
+        c = registry.counter("fmt_total", "help text", labels=("k",))
+        c.labels(k='va"l').inc(3)
+        h = registry.histogram("fmt_seconds", buckets=(0.5,))
+        h.observe(0.1)
+        text = registry.render_prometheus()
+        assert "# HELP fmt_total help text" in text
+        assert "# TYPE fmt_total counter" in text
+        assert 'fmt_total{k="va\\"l"} 3' in text
+        assert 'fmt_seconds_bucket{le="0.5"} 1' in text
+        assert 'fmt_seconds_bucket{le="+Inf"} 1' in text
+        assert "fmt_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_json_document_mirrors_the_text(self, registry):
+        registry.counter("j_total").inc(4)
+        doc = registry.render_json()
+        series = doc["metrics"]["j_total"]["series"]
+        assert series == [{"labels": {}, "value": 4.0}]
+
+
+class TestRegistrySwap:
+    def test_use_registry_scopes_the_default(self):
+        assert isinstance(get_registry(), MetricsRegistry)
+        mine = MetricsRegistry()
+        with use_registry(mine):
+            assert get_registry() is mine
+            get_registry().counter("scoped_total").inc()
+        assert get_registry() is not mine
+        assert mine.snapshot()["scoped_total"] == 1
+
+    def test_null_registry_absorbs_everything(self):
+        null = NullRegistry()
+        c = null.counter("x_total", labels=("k",))
+        c.labels(k="a").inc(5)
+        null.histogram("y").observe(1.0)
+        with null.gauge("z").time():
+            pass
+        assert null.snapshot() == {}
+        assert null.render_prometheus() == ""

@@ -1,0 +1,127 @@
+"""Span trees: nesting, error marking, disable switch, metrics feed."""
+
+import threading
+
+import pytest
+
+from repro.obs import disabled
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import (MAX_CHILDREN, Span, current_span,
+                             render_tree, span)
+
+
+class TestNesting:
+    def test_with_blocks_build_the_tree(self):
+        with span("root", job="j1") as root:
+            with span("child-a"):
+                with span("leaf"):
+                    pass
+            with span("child-b", n=2):
+                pass
+        d = root.to_dict()
+        assert d["name"] == "root"
+        assert d["attrs"] == {"job": "j1"}
+        assert [c["name"] for c in d["children"]] == ["child-a",
+                                                      "child-b"]
+        assert d["children"][0]["children"][0]["name"] == "leaf"
+        assert d["wall_s"] >= d["children"][0]["wall_s"]
+
+    def test_current_span_tracks_the_stack(self):
+        assert current_span() is None
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_threads_have_independent_stacks(self):
+        seen = {}
+
+        def work():
+            with span("worker-root") as s:
+                seen["inner"] = current_span() is s
+            seen["after"] = current_span()
+
+        with span("main-root") as root:
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+            # The worker's span must not have attached to our root.
+            assert root.children == []
+        assert seen["inner"] is True
+        assert seen["after"] is None
+
+    def test_error_marks_the_span_and_propagates(self):
+        with pytest.raises(RuntimeError):
+            with span("fails") as s:
+                raise RuntimeError("boom")
+        assert s.error == "RuntimeError"
+        assert s.wall_s >= 0.0
+
+    def test_child_cap_counts_drops(self):
+        parent = Span("p")
+        for _ in range(MAX_CHILDREN + 7):
+            parent.add_child(Span("c").finish())
+        assert len(parent.children) == MAX_CHILDREN
+        assert parent.dropped == 7
+        assert parent.to_dict()["dropped"] == 7
+
+
+class TestSynthetic:
+    def test_synthetic_spans_carry_external_measurements(self):
+        s = Span.synthetic("queued", 1.25, start_s=100.0, job="j")
+        assert s.wall_s == 1.25
+        assert s.start_s == 100.0
+        assert s.attrs == {"job": "j"}
+
+    def test_round_trips_through_dicts(self):
+        with span("root", k=1) as root:
+            with span("child"):
+                pass
+        back = Span.from_dict(root.to_dict())
+        assert back.to_dict() == root.to_dict()
+
+
+class TestDisable:
+    def test_disabled_spans_are_noops(self):
+        with disabled():
+            with span("invisible") as s:
+                s.annotate(x=1)
+                assert s.to_dict() == {}
+            assert current_span() is None
+
+    def test_reenabled_after_the_block(self):
+        with disabled():
+            pass
+        with span("visible") as s:
+            pass
+        assert s.to_dict()["name"] == "visible"
+
+
+class TestMetricsFeed:
+    def test_every_span_observes_its_histogram(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with span("stage.x"):
+                pass
+            with span("stage.x"):
+                pass
+            with span("stage.y"):
+                pass
+        snap = registry.snapshot()
+        assert snap['repro_span_seconds_count{span="stage.x"}'] == 2
+        assert snap['repro_span_seconds_count{span="stage.y"}'] == 1
+
+
+class TestRender:
+    def test_render_tree_lines(self):
+        with span("root", job="j1") as root:
+            with span("child"):
+                pass
+        lines = render_tree(root.to_dict())
+        assert lines[0].startswith("root")
+        assert "[job=j1]" in lines[0]
+        assert lines[1].strip().startswith("child")
+        assert "ms wall" in lines[1]
+        assert render_tree({}) == []

@@ -58,7 +58,11 @@ class TestEndpoints:
         job_id = client.submit(make_config(seed=31))["job_id"]
         client.wait(job_id, timeout_s=10)
         events = client.events(job_id)
-        assert [e["round"] for e in events] == [1, 2, 3]
+        assert [e["round"] for e in events
+                if e.get("kind") != "trace"] == [1, 2, 3]
+        # The worker appended its span tree as the final event.
+        assert events[-1]["kind"] == "trace"
+        assert events[-1]["trace"]["name"] == "serve.job"
 
     def test_summary_view_is_light(self, client):
         job_id = client.submit(make_config(seed=36))["job_id"]
@@ -67,7 +71,8 @@ class TestEndpoints:
                                   f"/v1/runs/{job_id}?view=summary")
         assert summary["state"] == JobState.SUCCEEDED
         assert "report" not in summary and "config" not in summary
-        assert summary["events"] == 3         # count, not the payload
+        # Count, not the payload: 3 progress rounds + the trace event.
+        assert summary["events"] == 4
 
     def test_jobs_listing_is_light(self, client):
         job_id = client.submit(make_config(seed=32))["job_id"]

@@ -1,0 +1,216 @@
+"""Observability through the serve stack: gauges agree with the store,
+the metrics endpoint exports both formats, SSE streams live events, and
+every finished job carries a span tree whose serve stages sum exactly
+to its ledger."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
+from repro.serve import ServeClient, ServeService, StcoServer
+from repro.serve.jobs import JobState
+
+from .conftest import StubRunner, make_config
+
+
+@pytest.fixture
+def scoped_registry():
+    """A fresh registry for services constructed inside the test, so
+    assertions see only this test's traffic."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        yield registry
+
+
+class TestGaugesMatchStore:
+    def test_queue_and_state_gauges_track_counts(self, tmp_path,
+                                                 scoped_registry,
+                                                 make_service):
+        runner = StubRunner(rounds=2)
+        gate = runner.gate = threading.Event()
+        service = make_service(runner, workers=1)
+        running = service.submit(make_config(seed=81))
+        assert runner.started.wait(10)
+        queued = [service.submit(make_config(seed=82 + i))
+                  for i in range(3)]
+        snap = scoped_registry.snapshot()   # collectors sample now
+        counts = service.store.counts()
+        assert snap["repro_serve_queue_depth"] == counts["queued"] == 3
+        assert snap['repro_serve_jobs{state="running"}'] \
+            == counts["running"] == 1
+        gate.set()
+        for job in [running] + queued:
+            service.wait(job.job_id, timeout=10)
+        snap = scoped_registry.snapshot()
+        counts = service.store.counts()
+        assert snap["repro_serve_queue_depth"] == counts["queued"] == 0
+        assert snap['repro_serve_jobs{state="succeeded"}'] \
+            == counts["succeeded"] == 4
+        assert snap['repro_serve_jobs_total{outcome="succeeded"}'] == 4
+
+    def test_coalescer_counters_match_ground_truth(self, scoped_registry,
+                                                   make_service):
+        runner = StubRunner(rounds=1)
+        gate = runner.gate = threading.Event()
+        service = make_service(runner, workers=1)
+        cfg = make_config(seed=90)
+        leader = service.submit(cfg)
+        assert runner.started.wait(10)
+        follower = service.submit(cfg)      # rides the in-flight leader
+        gate.set()
+        service.wait(leader.job_id, timeout=10)
+        service.wait(follower.job_id, timeout=10)
+        duplicate = service.submit(cfg)     # answered from the report
+        assert duplicate.state == JobState.SUCCEEDED
+        snap = scoped_registry.snapshot()
+        truth = service.coalescer.counters
+        for role in ("leaders", "followers", "duplicates"):
+            series = f'repro_serve_coalescer_total{{role="{role[:-1]}"}}'
+            assert snap[series] == truth[role]
+        assert truth == {"leaders": 1, "followers": 1, "duplicates": 1}
+
+    def test_collector_removed_on_close(self, tmp_path, scoped_registry):
+        from repro.api import Workspace
+        service = ServeService(Workspace(tmp_path / "ws"),
+                               jobs_dir=tmp_path / "jobs", workers=1,
+                               runner=StubRunner(rounds=1))
+        assert len(scoped_registry._collectors) == 1
+        service.close(timeout=5)
+        assert scoped_registry._collectors == []
+
+
+class TestMetricsEndpoint:
+    def test_both_formats_and_request_counter(self, scoped_registry,
+                                              make_service):
+        runner = StubRunner(rounds=2)
+        service = make_service(runner, workers=1)
+        with StcoServer(service) as server:
+            client = ServeClient(server.url)
+            job = client.submit(make_config(seed=70).to_dict())
+            client.wait(job["job_id"], timeout_s=10)
+            text = client.metrics()
+            assert "# TYPE repro_serve_jobs_total counter" in text
+            assert 'repro_serve_jobs_total{outcome="succeeded"} 1' \
+                in text
+            assert "repro_serve_queue_depth 0" in text
+            doc = client.metrics("json")
+            families = doc["metrics"]
+            assert families["repro_serve_jobs_total"]["type"] == "counter"
+            requests = families["repro_http_requests_total"]["series"]
+            routes = {tuple(sorted(s["labels"].items())): s["value"]
+                      for s in requests}
+            # Job ids collapse to a template: bounded cardinality.
+            assert all("{id}" in dict(k)["route"]
+                       for k in routes
+                       if "/runs/" in dict(k)["route"])
+
+    def test_content_type_is_prometheus_text(self, make_service):
+        service = make_service(StubRunner(), workers=1)
+        with StcoServer(service) as server:
+            with urllib.request.urlopen(
+                    f"{server.url}/v1/metrics", timeout=10) as resp:
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4")
+                assert b"# TYPE" in resp.read()
+
+
+class TestSseStreaming:
+    def test_stream_delivers_live_rounds_then_trace_then_end(
+            self, make_service):
+        runner = StubRunner(rounds=3, delay_s=0.05)
+        service = make_service(runner, workers=1)
+        with StcoServer(service, sse_heartbeat_s=0.2) as server:
+            client = ServeClient(server.url)
+            job_id = client.submit(make_config(seed=71).to_dict())[
+                "job_id"]
+            got = list(client.events(job_id, stream=True))
+        kinds = [g["event"] for g in got]
+        assert kinds == ["progress", "progress", "progress", "trace",
+                         "end"]
+        assert [g["data"]["round"] for g in got[:3]] == [1, 2, 3]
+        assert got[-1]["data"]["state"] == JobState.SUCCEEDED
+        assert got[-1]["data"]["job_id"] == job_id
+
+    def test_follower_streams_its_leaders_feed(self, make_service):
+        runner = StubRunner(rounds=2, delay_s=0.05)
+        gate = runner.gate = threading.Event()
+        service = make_service(runner, workers=1)
+        with StcoServer(service, sse_heartbeat_s=0.2) as server:
+            client = ServeClient(server.url)
+            cfg = make_config(seed=72).to_dict()
+            leader = client.submit(cfg)["job_id"]
+            assert runner.started.wait(10)
+            follower = client.submit(cfg)["job_id"]
+            assert follower != leader
+            gate.set()
+            got = list(client.events(follower, stream=True))
+        end = got[-1]["data"]
+        assert end["source"] == leader
+        assert [g["data"]["round"] for g in got
+                if g["event"] == "progress"] == [1, 2]
+
+    def test_stream_of_finished_job_replays_and_ends(self,
+                                                     make_service):
+        service = make_service(StubRunner(rounds=2), workers=1)
+        with StcoServer(service, sse_heartbeat_s=0.2) as server:
+            client = ServeClient(server.url)
+            job_id = client.submit(make_config(seed=73).to_dict())[
+                "job_id"]
+            client.wait(job_id, timeout_s=10)
+            got = list(client.events(job_id, stream=True))
+        assert [g["event"] for g in got] == \
+            ["progress", "progress", "trace", "end"]
+
+    def test_unknown_job_404s_before_headers(self, make_service):
+        service = make_service(StubRunner(), workers=1)
+        with StcoServer(service) as server:
+            client = ServeClient(server.url)
+            from repro.serve import ServeClientError
+            with pytest.raises(ServeClientError) as err:
+                list(client.events("nope", stream=True))
+            assert err.value.status == 404
+
+
+class TestJobTrace:
+    def test_trace_stages_sum_to_ledger_total(self, make_service):
+        runner = StubRunner(rounds=2, delay_s=0.02)
+        service = make_service(runner, workers=1)
+        job = service.submit(make_config(seed=74))
+        done = service.wait(job.job_id, timeout=10)
+        trace = done.events[-1]
+        assert trace["kind"] == "trace"
+        tree = trace["trace"]
+        assert tree["name"] == "serve.job"
+        stages = {c["name"]: c["wall_s"] for c in tree["children"]}
+        assert set(stages) == {"serve.queued", "serve.lock_wait",
+                               "serve.execute"}
+        assert sum(stages.values()) == pytest.approx(
+            sum(done.ledger.values()), abs=1e-9)
+        assert tree["attrs"]["state"] == JobState.SUCCEEDED
+
+    def test_cancelled_job_still_records_its_trace(self, make_service):
+        runner = StubRunner(rounds=50, delay_s=0.02)
+        service = make_service(runner, workers=1)
+        job = service.submit(make_config(seed=75))
+        assert runner.started.wait(10)
+        assert service.cancel(job.job_id)
+        done = service.wait(job.job_id, timeout=10)
+        assert done.state == JobState.CANCELLED
+        trace = done.events[-1]
+        assert trace["kind"] == "trace"
+        assert trace["trace"]["attrs"]["state"] == JobState.CANCELLED
+        assert trace["trace"]["error"] == "JobCancelled"
+
+    def test_trace_survives_store_reload(self, tmp_path, make_service):
+        from repro.serve.jobs import JobStore
+        service = make_service(StubRunner(rounds=1), workers=1)
+        job = service.submit(make_config(seed=76))
+        service.wait(job.job_id, timeout=10)
+        service.close(timeout=5)
+        fresh = JobStore(tmp_path / "jobs")
+        events = fresh.get(job.job_id).events
+        assert events[-1]["kind"] == "trace"
+        assert json.dumps(events[-1]["trace"])   # JSON-clean
