@@ -38,7 +38,12 @@ SWEEP = DesignSpace(vdd_scales=(0.85, 0.95, 1.05, 1.15),
                     vth_shifts=(-0.06, -0.02, 0.02, 0.06),
                     cox_scales=(0.85, 0.95, 1.05, 1.15))
 
-REPEATS = 31
+REPEATS = 51
+#: Consecutive warm sweeps per timed window. One 64-corner sweep is only
+#: ~1 ms — short enough that timer granularity and scheduler interrupts
+#: on a single-CPU runner swamp a sub-5% effect; five back-to-back
+#: sweeps make each sample long enough for min-of-repeats to converge.
+PASSES = 5
 MAX_OVERHEAD = 1.05
 
 
@@ -55,9 +60,10 @@ def builder():
 
 
 def _warm_sweep_s(engine, netlist, corners) -> float:
-    """One timed pass over the fully warm evaluate_many loop."""
+    """One timed window: PASSES consecutive fully-warm sweeps."""
     t0 = time.perf_counter()
-    records = engine.evaluate_many(netlist, corners, PPAWeights())
+    for _ in range(PASSES):
+        records = engine.evaluate_many(netlist, corners, PPAWeights())
     elapsed = time.perf_counter() - t0
     assert all(r.cached for r in records)
     return elapsed
@@ -133,14 +139,15 @@ def test_instrumented_hot_loop_overhead_under_5pct(builder):
     hits = snap.get('repro_engine_cache_events_total{cache="result",'
                     'tier="memory",event="hit"}', 0)
     # populate pass misses; every timed pass is all hits.
-    assert hits == len(corners) * REPEATS   # it really was instrumented
+    assert hits == len(corners) * REPEATS * PASSES   # instrumented for real
 
     ratio = instr_s / base_s
     payload = {
         "corners": len(corners),
         "repeats": REPEATS,
-        "baseline_warm_sweep_s": base_s,
-        "instrumented_warm_sweep_s": instr_s,
+        "passes": PASSES,
+        "baseline_warm_sweep_s": base_s / PASSES,
+        "instrumented_warm_sweep_s": instr_s / PASSES,
         "overhead_ratio": ratio,
         "budget_ratio": MAX_OVERHEAD,
         "primitive_ns": _primitive_costs_ns(),
@@ -149,8 +156,8 @@ def test_instrumented_hot_loop_overhead_under_5pct(builder):
                         + "\n", encoding="utf-8")
     print_table(
         ["configuration", "warm sweep [ms]"],
-        [["disabled (null registry)", f"{base_s * 1e3:.3f}"],
-         ["instrumented", f"{instr_s * 1e3:.3f}"],
+        [["disabled (null registry)", f"{base_s / PASSES * 1e3:.3f}"],
+         ["instrumented", f"{instr_s / PASSES * 1e3:.3f}"],
          ["overhead", f"{(ratio - 1) * 100:+.2f}%"]],
         title="observability overhead")
     assert ratio < MAX_OVERHEAD, (

@@ -14,6 +14,8 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -211,11 +213,15 @@ class EvaluationCache:
     ``get`` promotes disk hits into memory; ``put`` writes through to
     both tiers. With ``directory=None`` this degrades to a plain LRU.
 
-    ``name`` opts the cache into process metrics: every tier movement
-    is mirrored into the registry's
+    ``name`` opts the cache into process metrics: tier movement is
+    mirrored into the registry's
     ``repro_engine_cache_events_total{cache,tier,event}`` counters —
     derived exactly from the per-tier :class:`CacheStats` deltas, so the
-    exported numbers always agree with :meth:`stats`. ``lock`` (shared
+    exported numbers always agree with :meth:`stats`. The mirroring is
+    lazy: get/put only bump the plain-int stats they always did, and a
+    scrape-time collector (:meth:`flush_metrics`, run before every
+    registry snapshot/render) folds the movement into the counters —
+    the hot warm-hit path pays nothing for metrics. ``lock`` (shared
     with the owning engine) makes get/put atomic against concurrent
     counter snapshots.
     """
@@ -231,70 +237,81 @@ class EvaluationCache:
         self._metric = None
         self._name = name
         self._children: dict = {}
+        self._flushed: dict = {}       # tier -> last mark pushed
+        self._flush_lock = threading.Lock()
         if name is not None:
             from ..obs.metrics import get_registry
-            self._metric = get_registry().counter(
+            registry = get_registry()
+            self._metric = registry.counter(
                 "repro_engine_cache_events_total",
                 "Engine cache tier events (hit/miss/put/eviction)",
                 labels=("cache", "tier", "event"))
+            # The collector must not pin the cache alive in the
+            # process-wide registry; it unregisters itself once the
+            # cache is gone.
+            ref = weakref.ref(self)
+
+            def _collect():
+                cache = ref()
+                if cache is None:
+                    registry.remove_collector(_collect)
+                else:
+                    cache.flush_metrics()
+
+            registry.add_collector(_collect)
 
     def _child(self, tier: str, event: str):
-        # Label resolution per event is the bulk of a warm hit's cost;
-        # memoize the eight possible children on first use.
+        # Memoize the eight possible children on first use.
         child = self._children.get((tier, event))
         if child is None:
             child = self._children[(tier, event)] = self._metric.labels(
                 cache=self._name, tier=tier, event=event)
         return child
 
-    def _emit(self, tier: str, stats: CacheStats, before: tuple) -> None:
-        after = (stats.hits, stats.misses, stats.puts, stats.evictions)
-        for event, b, a in zip(("hit", "miss", "put", "eviction"),
-                               before, after):
-            if a > b:
-                self._child(tier, event).inc(a - b)
-
     @staticmethod
     def _mark(stats: CacheStats) -> tuple:
         return (stats.hits, stats.misses, stats.puts, stats.evictions)
 
+    def flush_metrics(self) -> None:
+        """Fold :class:`CacheStats` movement since the last flush into
+        the registry counters. Runs at scrape time (registry collector);
+        ``_flush_lock`` serializes concurrent scrapers so no delta is
+        counted twice, and the marks are read under the cache lock so a
+        mid-``get`` update can't tear them."""
+        if self._metric is None:
+            return
+        with self._flush_lock:
+            with self._lock:
+                marks = [("memory", self._mark(self.memory.stats))]
+                if self.disk is not None:
+                    marks.append(("disk", self._mark(self.disk.stats)))
+            for tier, now in marks:
+                before = self._flushed.get(tier, (0, 0, 0, 0))
+                for event, b, a in zip(
+                        ("hit", "miss", "put", "eviction"), before, now):
+                    if a > b:
+                        self._child(tier, event).inc(a - b)
+                self._flushed[tier] = now
+
     def get(self, key: EvalKey, default=None):
         digest = key.digest if isinstance(key, EvalKey) else key
         with self._lock:
-            mem0 = self._mark(self.memory.stats) if self._metric else None
-            disk0 = (self._mark(self.disk.stats)
-                     if self._metric and self.disk is not None else None)
-            try:
-                value = self.memory.get(digest, _MISS)
+            value = self.memory.get(digest, _MISS)
+            if value is not _MISS:
+                return value
+            if self.disk is not None:
+                value = self.disk.get(digest, _MISS)
                 if value is not _MISS:
+                    self.memory.put(digest, value)
                     return value
-                if self.disk is not None:
-                    value = self.disk.get(digest, _MISS)
-                    if value is not _MISS:
-                        self.memory.put(digest, value)
-                        return value
-                return default
-            finally:
-                if self._metric is not None:
-                    self._emit("memory", self.memory.stats, mem0)
-                    if disk0 is not None:
-                        self._emit("disk", self.disk.stats, disk0)
+            return default
 
     def put(self, key: EvalKey, value) -> None:
         digest = key.digest if isinstance(key, EvalKey) else key
         with self._lock:
-            mem0 = self._mark(self.memory.stats) if self._metric else None
-            disk0 = (self._mark(self.disk.stats)
-                     if self._metric and self.disk is not None else None)
-            try:
-                self.memory.put(digest, value)
-                if self.disk is not None:
-                    self.disk.put(digest, value)
-            finally:
-                if self._metric is not None:
-                    self._emit("memory", self.memory.stats, mem0)
-                    if disk0 is not None:
-                        self._emit("disk", self.disk.stats, disk0)
+            self.memory.put(digest, value)
+            if self.disk is not None:
+                self.disk.put(digest, value)
 
     def __contains__(self, key) -> bool:
         digest = key.digest if isinstance(key, EvalKey) else key
