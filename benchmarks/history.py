@@ -1,0 +1,119 @@
+"""Benchmark history gate: append each fresh ``BENCH_obs.json`` ratio
+to ``benchmarks/history/`` and fail on a >10% regression.
+
+The overhead benchmark overwrites ``BENCH_obs.json`` in the worktree,
+so the *committed* artifact is the baseline: by default this script
+reads it back via ``git show HEAD:BENCH_obs.json`` (override with
+``--baseline PATH``). A fresh ``overhead_ratio`` more than
+``--tolerance`` (default 10%) above the baseline's exits non-zero —
+the CI signal that an observability change made the hot loop slower.
+Every comparison is appended as one JSONL line to
+``benchmarks/history/obs_overhead.jsonl`` regardless of outcome, so
+the trajectory accumulates run over run.
+
+Usage::
+
+    python benchmarks/history.py                  # compare + append
+    python benchmarks/history.py --check-only     # compare, no append
+    python benchmarks/history.py --baseline old.json --tolerance 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FRESH = REPO / "BENCH_obs.json"
+HISTORY = REPO / "benchmarks" / "history" / "obs_overhead.jsonl"
+
+
+def _load_fresh(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read fresh artifact {path}: {exc}")
+
+
+def _load_baseline(explicit: str | None) -> tuple[dict, str]:
+    if explicit is not None:
+        path = Path(explicit)
+        try:
+            return (json.loads(path.read_text(encoding="utf-8")),
+                    str(path))
+        except (OSError, json.JSONDecodeError) as exc:
+            sys.exit(f"error: cannot read baseline {path}: {exc}")
+    # The worktree file was just overwritten by the benchmark run; the
+    # committed one is the baseline.
+    spec = f"HEAD:{FRESH.name}"
+    proc = subprocess.run(["git", "show", spec], cwd=REPO,
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.exit(f"error: cannot read committed baseline ({spec}): "
+                 f"{proc.stderr.strip()}")
+    try:
+        return json.loads(proc.stdout), spec
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: committed baseline {spec} is not JSON: {exc}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default=str(FRESH),
+                        help="fresh benchmark artifact (default: "
+                             "BENCH_obs.json at the repo root)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline artifact path (default: the "
+                             "committed BENCH_obs.json via git show)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative ratio increase "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--history", default=str(HISTORY),
+                        help="JSONL trajectory file to append to")
+    parser.add_argument("--check-only", action="store_true",
+                        help="compare without appending to history")
+    args = parser.parse_args(argv)
+
+    fresh = _load_fresh(Path(args.fresh))
+    baseline, baseline_ref = _load_baseline(args.baseline)
+    fresh_ratio = float(fresh["overhead_ratio"])
+    base_ratio = float(baseline["overhead_ratio"])
+    limit = base_ratio * (1.0 + args.tolerance)
+    regressed = fresh_ratio > limit
+
+    entry = {
+        "t": time.time(),
+        "overhead_ratio": fresh_ratio,
+        "baseline_ratio": base_ratio,
+        "baseline": baseline_ref,
+        "limit": round(limit, 6),
+        "tolerance": args.tolerance,
+        "regressed": regressed,
+        "baseline_warm_sweep_s": fresh.get("baseline_warm_sweep_s"),
+        "instrumented_warm_sweep_s":
+            fresh.get("instrumented_warm_sweep_s"),
+    }
+    if not args.check_only:
+        history = Path(args.history)
+        history.parent.mkdir(parents=True, exist_ok=True)
+        with open(history, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    print(f"fresh overhead ratio  {fresh_ratio:.4f}")
+    print(f"baseline ({baseline_ref})  {base_ratio:.4f}")
+    print(f"limit (+{args.tolerance:.0%})  {limit:.4f}")
+    if regressed:
+        print(f"REGRESSION: {fresh_ratio:.4f} > {limit:.4f} "
+              f"({(fresh_ratio / base_ratio - 1) * 100:+.1f}% vs "
+              "baseline)", file=sys.stderr)
+        return 1
+    print("ok: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,10 @@
     repro serve --workspace .cache/ws --port 8765
     repro submit cfg.json --url http://127.0.0.1:8765 --wait --follow
     repro metrics --url http://127.0.0.1:8765 --watch
+    repro metrics --window 300
+    repro slo --url http://127.0.0.1:8765
     repro trace JOB_ID --url http://127.0.0.1:8765
+    repro profile JOB_ID --url http://127.0.0.1:8765
     repro workspace list|stats|gc .cache/ws
     repro surrogate stats|train .cache/ws
 
@@ -144,6 +147,18 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics_p.add_argument("--grep", default=None, metavar="SUBSTRING",
                            help="text format: only lines containing "
                                 "this substring")
+    metrics_p.add_argument("--window", type=float, default=None,
+                           metavar="SECONDS",
+                           help="windowed report instead of a scrape: "
+                                "deltas, rates and quantiles over the "
+                                "last SECONDS of recorded series")
+
+    slo_p = sub.add_parser(
+        "slo", help="evaluate a running server's SLO rules")
+    slo_p.add_argument("--url", default="http://127.0.0.1:8765",
+                       help="server base URL")
+    slo_p.add_argument("--json", action="store_true",
+                       help="print the raw SLO report JSON")
 
     trace_p = sub.add_parser(
         "trace", help="render a finished job's span tree")
@@ -152,6 +167,15 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="server base URL")
     trace_p.add_argument("--json", action="store_true",
                          help="print the raw span tree JSON")
+
+    profile_p = sub.add_parser(
+        "profile", help="render a job's execute-stage sampling profile "
+                        "as flamegraph collapsed-stack text")
+    profile_p.add_argument("job_id", help="serve job id")
+    profile_p.add_argument("--url", default="http://127.0.0.1:8765",
+                           help="server base URL")
+    profile_p.add_argument("--json", action="store_true",
+                           help="print the raw profile JSON")
 
     ws_p = sub.add_parser(
         "workspace", help="inspect or garbage-collect a workspace")
@@ -165,12 +189,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="gc: remove regardless of age (required when "
                            "--older-than is omitted)")
     ws_p.add_argument("--kinds",
-                      default="dataset,model,engine,surrogate,job",
+                      default="dataset,model,engine,surrogate,job,"
+                              "series",
                       help="gc: comma-separated artifact kinds "
                            "(default: dataset,model,engine,surrogate,"
-                           "job — 'job' covers terminal serve job "
-                           "records, 'surrogate' the learned PPA "
-                           "models and their record stores)")
+                           "job,series — 'job' covers terminal serve "
+                           "job records, 'surrogate' the learned PPA "
+                           "models and their record stores, 'series' "
+                           "the recorded obs metric history)")
     ws_p.add_argument("--dry-run", action="store_true",
                       help="gc: report what would be removed")
 
@@ -369,7 +395,10 @@ def _cmd_metrics(args) -> int:
     client = ServeClient(args.url)
     try:
         while True:
-            if args.format == "json":
+            if args.window is not None:
+                print(json.dumps(client.metrics(window_s=args.window),
+                                 indent=1, sort_keys=True))
+            elif args.format == "json":
                 print(json.dumps(client.metrics("json"), indent=1,
                                  sort_keys=True))
             else:
@@ -390,6 +419,64 @@ def _cmd_metrics(args) -> int:
         print(f"error: cannot reach {args.url}: {exc.reason}",
               file=sys.stderr)
         return 2
+
+
+def _cmd_slo(args) -> int:
+    import urllib.error
+
+    from ..serve import ServeClient, ServeClientError
+    from ..utils.tables import print_table
+    client = ServeClient(args.url)
+    try:
+        report = client.slo()
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {args.url}: {exc.reason}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        def fmt(value):
+            return "-" if value is None else f"{value:.4g}"
+        print_table(
+            ["rule", "kind", "state", "value", "objective", "burn",
+             "window"],
+            [[r["name"], r["kind"], r["state"], fmt(r["value"]),
+              fmt(r["objective"]), fmt(r.get("burn_rate")),
+              f"{r['window_s']:.0f}s"] for r in report["rules"]],
+            title=f"SLO — service {report['health']}")
+    return 0 if report["health"] == "healthy" else 1
+
+
+def _cmd_profile(args) -> int:
+    import urllib.error
+
+    from ..serve import ServeClient, ServeClientError
+    client = ServeClient(args.url)
+    try:
+        if args.json:
+            found = client.profile(args.job_id, format="json")
+            if found.get("profile") is None:
+                print(f"no profile recorded for job {args.job_id}",
+                      file=sys.stderr)
+                return 1
+            print(json.dumps(found, indent=1, sort_keys=True))
+        else:
+            sys.stdout.write(client.profile(args.job_id))
+    except ServeClientError as exc:
+        if exc.status == 404:
+            print(f"error: {exc.message}", file=sys.stderr)
+            return 1
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {args.url}: {exc.reason}",
+              file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -453,7 +540,7 @@ def _cmd_workspace(args) -> int:
         return 2
     kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
     unknown = set(kinds) - {"dataset", "model", "engine", "surrogate",
-                            "job"}
+                            "job", "series"}
     if unknown:
         print(f"error: unknown gc kind(s) {sorted(unknown)}",
               file=sys.stderr)
@@ -528,8 +615,12 @@ def main(argv=None) -> int:
             return _cmd_submit(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "slo":
+            return _cmd_slo(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "workspace":
             return _cmd_workspace(args)
         if args.command == "surrogate":

@@ -365,13 +365,15 @@ class Workspace:
         return sorted(rows, key=lambda r: (r["created_s"], r["key"]))
 
     def gc(self, older_than_s: float | None = None,
-           kinds=("dataset", "model", "engine", "surrogate", "job"),
+           kinds=("dataset", "model", "engine", "surrogate", "job",
+                  "series"),
            dry_run: bool = False) -> dict:
         """Reclaim artifacts: registered datasets/models/surrogates,
         engine disk-cache entries (and orphan files the registry lost
-        track of), surrogate record stores, and the serve layer's
+        track of), surrogate record stores, the serve layer's
         *terminal* job records under ``serve/jobs`` (active jobs are
-        never touched).
+        never touched), and recorded obs metric history under
+        ``obs/series``.
 
         ``older_than_s`` keeps anything younger than that many seconds
         (``None`` removes every artifact of the selected ``kinds``).
@@ -439,6 +441,12 @@ class Workspace:
             scans.append(("surrogate", self.surrogate_dir.glob("*.npz")))
             scans.append(("surrogate",
                           self.surrogate_dir.rglob("records/*.jsonl")))
+        if "series" in kinds:
+            # SeriesRecorder history (samples.jsonl + rotated .1); a
+            # live recorder just reopens the file on its next append.
+            scans.append(("series",
+                          (self.root / "obs" / "series")
+                          .glob("*.jsonl*")))
         for kind, files in scans:
             for path in sorted(files):
                 if kind != "engine" and path.name in referenced:

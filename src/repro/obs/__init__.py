@@ -15,20 +15,40 @@ Two dependency-free primitives, threaded through every layer:
   engine call tree executes. Serve jobs persist their tree to the
   events sidecar; ``repro trace JOB_ID`` renders it.
 
-:func:`disabled` turns both off (no-op instruments, no-op spans) — the
-configuration the overhead benchmark compares against.
+Three closed-loop layers build on them:
+
+* :mod:`~repro.obs.series` — a
+  :class:`~repro.obs.series.SeriesRecorder` sampling the registry on
+  an interval into a bounded ring + workspace JSONL, with windowed
+  queries (deltas, rates, histogram quantiles over time).
+* :mod:`~repro.obs.slo` — declarative
+  :class:`~repro.obs.slo.SloRule` objectives over those windows with
+  ok/warning/breach states and burn rates, rolled up to the
+  healthy/degraded/unhealthy value ``/healthz`` reports.
+* :mod:`~repro.obs.prof` — a stdlib
+  :class:`~repro.obs.prof.SamplingProfiler` attached per serve job,
+  persisting collapsed stacks (``kind="profile"`` event) rendered by
+  ``repro profile JOB_ID``.
+
+:func:`disabled` turns the primitives off (no-op instruments, no-op
+spans) — the configuration the overhead benchmark compares against.
 """
 
 from contextlib import contextmanager
 
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       NullRegistry, get_registry, use_registry)
+from .prof import Profile, SamplingProfiler
+from .series import SeriesRecorder
+from .slo import SloEngine, SloRule, default_rules
 from .trace import Span, current_span, render_tree, span
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "get_registry", "use_registry",
     "Span", "span", "current_span", "render_tree",
+    "SeriesRecorder", "SloEngine", "SloRule", "default_rules",
+    "Profile", "SamplingProfiler",
     "disabled",
 ]
 

@@ -39,7 +39,7 @@ from contextlib import contextmanager
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "NullRegistry", "get_registry", "use_registry",
-           "DEFAULT_BUCKETS"]
+           "quantile_from_cumulative", "DEFAULT_BUCKETS"]
 
 #: Default histogram buckets (seconds): spans microsecond GNN forwards
 #: to minute-scale campaign sweeps.
@@ -148,6 +148,57 @@ class Histogram:
             out.append((bound, total))
         return out
 
+    def quantile(self, q: float):
+        """Interpolated quantile of everything ever observed.
+
+        ``None`` on an empty histogram; mass in the ``+Inf`` bucket
+        clamps to the largest finite bound. See
+        :func:`quantile_from_cumulative` for the interpolation rules.
+        """
+        return quantile_from_cumulative(self.cumulative(), q)
+
+
+def quantile_from_cumulative(cumulative, q: float):
+    """Interpolated quantile from ``[(upper_bound, cumulative_count)]``.
+
+    The shared math behind :meth:`Histogram.quantile` and the series
+    layer's quantile-over-window (which feeds it *bucket deltas*
+    between two samples). Prometheus ``histogram_quantile`` semantics:
+    linear interpolation inside the bucket holding the target rank.
+    Returns ``None`` when there is no mass. Mass in the ``+Inf`` bucket
+    clamps to the largest finite bound (the distribution's true tail is
+    unknowable from the buckets).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not cumulative:
+        return None
+    total = cumulative[-1][1]
+    if total <= 0:
+        return None
+    finite = [b for b, _ in cumulative
+              if b is not None and b != float("inf")]
+    largest_finite = finite[-1] if finite else None
+    rank = q * total
+    prev_bound, prev_cum = None, 0
+    for bound, cum in cumulative:
+        if cum > 0 and cum >= rank:
+            if bound is None or bound == float("inf"):
+                return largest_finite
+            in_bucket = cum - prev_cum
+            if prev_bound is None:
+                # First (non-empty) bucket: no lower edge to
+                # interpolate from — use 0 for positive bounds (the
+                # natural origin for durations), else the bound itself.
+                lower = 0.0 if bound > 0 else bound
+            else:
+                lower = prev_bound
+            if in_bucket <= 0:
+                return bound
+            return lower + (bound - lower) * (rank - prev_cum) / in_bucket
+        prev_bound, prev_cum = bound, cum
+    return largest_finite
+
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
@@ -229,6 +280,9 @@ class Family:
     def cumulative(self) -> list:
         return self._default().cumulative()
 
+    def quantile(self, q: float):
+        return self._default().quantile(q)
+
     def children(self) -> list:
         """[(label_dict, instrument)] snapshot, insertion order."""
         with self._lock:
@@ -249,8 +303,17 @@ def _series(name: str, labels: dict, extra: dict | None = None) -> str:
 
 
 def _escape(value: str) -> str:
+    """Label-value escaping per the 0.0.4 text format: backslash
+    first (or the other escapes would double up), then double-quote
+    and newline."""
     return value.replace("\\", "\\\\").replace('"', '\\"') \
         .replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: the 0.0.4 format escapes only backslash and
+    newline there (quotes are legal verbatim in help text)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt(value: float) -> str:
@@ -351,13 +414,28 @@ class MetricsRegistry:
         return {key: value - before.get(key, 0)
                 for key, value in now.items()}
 
+    def histogram_cumulative(self) -> dict:
+        """``{series: [(upper_bound, cumulative_count), …]}`` for every
+        histogram child — the bucket-level view :meth:`snapshot` folds
+        away, needed by the series layer for quantile-over-window.
+        Does *not* run collectors (call after :meth:`snapshot` to get a
+        consistent pair)."""
+        out = {}
+        for family in self._items():
+            if family.kind != "histogram":
+                continue
+            for labels, child in family.children():
+                out[_series(family.name, labels)] = child.cumulative()
+        return out
+
     def render_prometheus(self) -> str:
         """Prometheus text exposition (version 0.0.4)."""
         self.collect()
         lines = []
         for family in self._items():
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(f"# HELP {family.name} "
+                             f"{_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             for labels, child in family.children():
                 if family.kind == "histogram":
@@ -435,6 +513,9 @@ class _NullInstrument:
 
     def cumulative(self) -> list:
         return []
+
+    def quantile(self, q: float):
+        return None
 
     def children(self) -> list:
         return []

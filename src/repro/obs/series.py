@@ -1,0 +1,262 @@
+"""Time-series history over the metrics registry: what changed, when?
+
+``GET /v1/metrics`` is a point-in-time scrape — fine for a dashboard
+that stores its own history, useless for a process that must judge its
+*own* recent behaviour ("is the p95 over the last five minutes within
+the objective?"). A :class:`SeriesRecorder` closes that gap:
+
+* **sampling** — a daemon thread calls :meth:`sample` every
+  ``interval_s`` seconds; each sample is the registry's flat
+  :meth:`~MetricsRegistry.snapshot` plus per-histogram cumulative
+  bucket counts (the part ``snapshot`` folds away, without which no
+  quantile can be computed over a window).
+* **retention** — samples land in a bounded in-memory ring buffer
+  (``deque(maxlen=window)``) and, when ``persist_dir`` is given, an
+  append-only JSONL file (``samples.jsonl``) that rotates once at
+  ``max_bytes`` — bounded history a weeks-long process can afford.
+* **windowed queries** — :meth:`delta` (counter movement),
+  :meth:`rate` (per-second), :meth:`bucket_delta` /
+  :meth:`quantile` (histogram-quantile-over-window via
+  :func:`~repro.obs.metrics.quantile_from_cumulative`),
+  :meth:`gauge_last` / :meth:`gauge_max`, and the whole-registry
+  :meth:`window_report` behind ``/v1/metrics?window=S``.
+
+``+Inf`` bucket bounds are stored as ``None`` in samples so every
+persisted line is strict JSON. The clock is injectable (tests drive
+window arithmetic deterministically); :meth:`sample` may also be called
+manually, with or without the thread running.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from .metrics import MetricsRegistry, get_registry, \
+    quantile_from_cumulative
+
+__all__ = ["SeriesRecorder", "DEFAULT_INTERVAL_S", "DEFAULT_WINDOW"]
+
+#: Default sampling period (seconds).
+DEFAULT_INTERVAL_S = 5.0
+
+#: Default ring-buffer length — at the default interval, one hour.
+DEFAULT_WINDOW = 720
+
+#: Rotate the JSONL file once past this size (one ``.1`` backup kept).
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+
+def _jsonable_buckets(buckets: dict) -> dict:
+    """``+Inf`` bounds become ``None`` so samples are strict JSON."""
+    inf = float("inf")
+    return {series: [[None if bound == inf else bound, count]
+                     for bound, count in cumulative]
+            for series, cumulative in buckets.items()}
+
+
+class SeriesRecorder:
+    """Periodic registry snapshots with bounded history and windows."""
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 interval_s: float = DEFAULT_INTERVAL_S,
+                 window: int = DEFAULT_WINDOW,
+                 persist_dir: str | Path | None = None,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 clock=time.time):
+        self.registry = registry if registry is not None \
+            else get_registry()
+        self.interval_s = float(interval_s)
+        self.persist_dir = None if persist_dir is None \
+            else Path(persist_dir)
+        self.max_bytes = int(max_bytes)
+        self.clock = clock
+        self.samples_taken = 0
+        self.persist_errors = 0
+        self._ring: deque = deque(maxlen=max(2, int(window)))
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "SeriesRecorder":
+        """Begin background sampling (no-op when ``interval_s <= 0``
+        or already running)."""
+        if self.interval_s <= 0 or self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="obs-series", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample()
+            except Exception:    # noqa: BLE001 — a scrape failure must
+                pass             # not kill the sampler thread.
+
+    # -- sampling ----------------------------------------------------------
+    def sample(self) -> dict:
+        """Take one sample now: snapshot + histogram buckets, appended
+        to the ring (and the JSONL file when persisting)."""
+        values = self.registry.snapshot()       # runs collectors
+        buckets = _jsonable_buckets(
+            self.registry.histogram_cumulative())
+        entry = {"t": self.clock(), "values": values,
+                 "buckets": buckets}
+        with self._lock:
+            self._ring.append(entry)
+            self.samples_taken += 1
+        if self.persist_dir is not None:
+            self._persist(entry)
+        return entry
+
+    def _persist(self, entry: dict) -> None:
+        try:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+            path = self.persist_dir / "samples.jsonl"
+            if path.exists() and path.stat().st_size >= self.max_bytes:
+                path.replace(path.with_suffix(".jsonl.1"))
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        except OSError:
+            self.persist_errors += 1     # history is best-effort; the
+            #                              live ring stays authoritative.
+
+    # -- windows -----------------------------------------------------------
+    def samples(self, window_s: float | None = None) -> list:
+        """Ring contents, oldest first; ``window_s`` keeps only samples
+        taken within the last that-many seconds."""
+        with self._lock:
+            out = list(self._ring)
+        if window_s is None:
+            return out
+        horizon = self.clock() - float(window_s)
+        return [s for s in out if s["t"] >= horizon]
+
+    def _ends(self, window_s: float):
+        pts = self.samples(window_s)
+        if len(pts) < 2:
+            return None, None
+        return pts[0], pts[-1]
+
+    def delta(self, series: str, window_s: float):
+        """Counter movement across the window; ``None`` without two
+        samples (or the series absent from both ends). Negative deltas
+        (a counter reset — process restart) clamp to the end value."""
+        first, last = self._ends(window_s)
+        if first is None:
+            return None
+        a, b = first["values"].get(series), last["values"].get(series)
+        if b is None:
+            return None
+        if a is None:                    # series born mid-window
+            return b
+        return b - a if b >= a else b
+
+    def rate(self, series: str, window_s: float):
+        """Per-second movement of a counter series over the window."""
+        first, last = self._ends(window_s)
+        if first is None:
+            return None
+        elapsed = last["t"] - first["t"]
+        moved = self.delta(series, window_s)
+        if moved is None or elapsed <= 0:
+            return None
+        return moved / elapsed
+
+    def bucket_delta(self, series: str, window_s: float):
+        """Histogram bucket movement over the window as
+        ``[(upper_bound, cumulative_count)]`` (``None`` bound = +Inf),
+        ready for :func:`quantile_from_cumulative`."""
+        first, last = self._ends(window_s)
+        if first is None:
+            return None
+        end = last["buckets"].get(series)
+        if end is None:
+            return None
+        start = {bound: count
+                 for bound, count in first["buckets"].get(series, [])}
+        out = []
+        for bound, count in end:
+            moved = count - start.get(bound, 0)
+            out.append((bound, max(0, moved)))
+        return out
+
+    def quantile(self, series: str, q: float, window_s: float):
+        """Interpolated quantile of a histogram's observations *within
+        the window* — ``None`` when nothing was observed in it."""
+        moved = self.bucket_delta(series, window_s)
+        if moved is None:
+            return None
+        return quantile_from_cumulative(moved, q)
+
+    def gauge_last(self, series: str):
+        pts = self.samples()
+        if not pts:
+            return None
+        return pts[-1]["values"].get(series)
+
+    def gauge_max(self, series: str, window_s: float):
+        values = [s["values"][series] for s in self.samples(window_s)
+                  if series in s["values"]]
+        return max(values) if values else None
+
+    # -- exposition --------------------------------------------------------
+    def window_report(self, window_s: float,
+                      quantiles=(0.5, 0.95, 0.99)) -> dict:
+        """One JSON document for ``/v1/metrics?window=S``: counter
+        deltas + rates and histogram quantiles over the window."""
+        pts = self.samples(window_s)
+        report = {"window_s": float(window_s), "samples": len(pts),
+                  "interval_s": self.interval_s,
+                  "from_s": pts[0]["t"] if pts else None,
+                  "to_s": pts[-1]["t"] if pts else None,
+                  "deltas": {}, "rates": {}, "quantiles": {}}
+        if len(pts) < 2:
+            return report
+        first, last = pts[0], pts[-1]
+        elapsed = last["t"] - first["t"]
+        for series, value in sorted(last["values"].items()):
+            start = first["values"].get(series, 0)
+            moved = value - start if value >= start else value
+            report["deltas"][series] = moved
+            if elapsed > 0:
+                report["rates"][series] = moved / elapsed
+        for series in sorted(last["buckets"]):
+            entry = {}
+            for q in quantiles:
+                value = self.quantile(series, q, window_s)
+                if value is not None:
+                    entry[f"p{round(q * 100)}"] = value
+            if entry:
+                report["quantiles"][series] = entry
+        return report
+
+    def stats(self) -> dict:
+        with self._lock:
+            ring = len(self._ring)
+        return {"interval_s": self.interval_s, "ring": ring,
+                "ring_max": self._ring.maxlen,
+                "samples_taken": self.samples_taken,
+                "persist_errors": self.persist_errors,
+                "running": self._thread is not None,
+                "persist_dir": (str(self.persist_dir)
+                                if self.persist_dir else None)}

@@ -1,0 +1,200 @@
+"""Declarative SLOs over recorded series: is the service *healthy*?
+
+A scrape says what the counters are; an SLO says what they are
+*allowed* to be. Each :class:`SloRule` names one objective over one
+window of a :class:`~repro.obs.series.SeriesRecorder` and comes in four
+kinds:
+
+``latency``
+    quantile of a histogram series (default p95) must stay **at or
+    under** ``objective`` seconds — e.g. ``repro_span_seconds`` with
+    ``{span="serve.execute"}``.
+``error_rate``
+    ``numerator_delta / denominator_delta`` over the window must stay
+    at or under ``objective`` — e.g. failed / (failed + succeeded)
+    job outcomes.
+``ratio_floor``
+    the same ratio must stay **at or above** ``objective`` — e.g. a
+    cache-hit-ratio floor. ``min_count`` gates the rule until the
+    denominator has seen enough traffic (a cold cache is not an
+    incident).
+``gauge_ceiling``
+    the max of a gauge over the window must stay at or under
+    ``objective`` — e.g. queue depth.
+
+Every evaluation yields ``ok`` / ``warning`` / ``breach`` per rule
+(``warning`` at ``warning`` — default 80% of the way to a ceiling
+objective, 1.25× a floor), a **burn rate** (how fast the error budget
+is being consumed: 1.0 = exactly at objective), and cumulative
+``breach_s`` per rule. :class:`SloEngine` rolls rules up to a single
+service ``health``: ``healthy`` (all ok), ``degraded`` (any warning),
+``unhealthy`` (any breach) — the value ``/healthz`` now reports.
+
+Absence of data is *not* a breach: a rule with no observations in its
+window reports ``ok`` with ``value=None``. SLOs catch bad behaviour,
+not quiet periods.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from .series import SeriesRecorder
+
+__all__ = ["SloRule", "SloEngine", "default_rules",
+           "HEALTHY", "DEGRADED", "UNHEALTHY"]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+UNHEALTHY = "unhealthy"
+
+_KINDS = ("latency", "error_rate", "ratio_floor", "gauge_ceiling")
+
+#: Series the default rules watch (single source for tests/docs).
+EXECUTE_SERIES = 'repro_span_seconds{span="serve.execute"}'
+JOBS_FAILED = 'repro_serve_jobs_total{outcome="failed"}'
+JOBS_SUCCEEDED = 'repro_serve_jobs_total{outcome="succeeded"}'
+CACHE_HITS = ('repro_engine_cache_events_total{cache="result",'
+              'tier="memory",event="hit"}')
+CACHE_MISSES = ('repro_engine_cache_events_total{cache="result",'
+                'tier="memory",event="miss"}')
+QUEUE_DEPTH = "repro_serve_queue_depth"
+
+
+@dataclass
+class SloRule:
+    """One objective over one window. ``series`` is the full snapshot
+    key (``name{labels}``); ratio kinds use ``numerator`` /
+    ``denominator`` tuples of such keys instead."""
+
+    name: str
+    kind: str
+    objective: float
+    window_s: float = 300.0
+    series: str | None = None
+    quantile: float = 0.95
+    numerator: tuple = ()
+    denominator: tuple = ()
+    min_count: int = 0
+    warning: float | None = None
+    description: str = ""
+    _breach_s: float = field(default=0.0, repr=False)
+    _last_eval_t: float | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; "
+                             f"expected one of {_KINDS}")
+        if self.warning is None:
+            self.warning = (self.objective * 1.25
+                            if self.kind == "ratio_floor"
+                            else self.objective * 0.8)
+
+    # -- measurement -------------------------------------------------------
+    def _sum_delta(self, recorder: SeriesRecorder, keys) -> float:
+        total = 0.0
+        for key in keys:
+            moved = recorder.delta(key, self.window_s)
+            if moved is not None:
+                total += moved
+        return total
+
+    def measure(self, recorder: SeriesRecorder):
+        """Current value of the watched quantity over the window, or
+        ``None`` when the window holds no usable data."""
+        if self.kind == "latency":
+            return recorder.quantile(self.series, self.quantile,
+                                     self.window_s)
+        if self.kind == "gauge_ceiling":
+            return recorder.gauge_max(self.series, self.window_s)
+        num = self._sum_delta(recorder, self.numerator)
+        den = self._sum_delta(recorder, self.denominator)
+        if den < max(1, self.min_count):
+            return None
+        return num / den
+
+    def evaluate(self, recorder: SeriesRecorder, now: float) -> dict:
+        value = self.measure(recorder)
+        floor = self.kind == "ratio_floor"
+        if value is None:
+            state, burn = "ok", 0.0
+        elif floor:
+            state = ("ok" if value >= self.warning else
+                     "warning" if value >= self.objective
+                     else "breach")
+            # budget is the shortfall below a perfect 1.0 ratio.
+            budget = 1.0 - self.objective
+            burn = (1.0 - value) / budget if budget > 0 else \
+                (0.0 if value >= self.objective else float("inf"))
+        else:
+            state = ("ok" if value <= self.warning else
+                     "warning" if value <= self.objective
+                     else "breach")
+            burn = value / self.objective if self.objective > 0 \
+                else (0.0 if value <= 0 else float("inf"))
+        if state == "breach" and self._last_eval_t is not None:
+            self._breach_s += max(0.0, now - self._last_eval_t)
+        self._last_eval_t = now
+        out = {"name": self.name, "kind": self.kind, "state": state,
+               "value": value, "objective": self.objective,
+               "warning": self.warning, "window_s": self.window_s,
+               "burn_rate": round(burn, 4),
+               "breach_s": round(self._breach_s, 3)}
+        if self.kind == "latency":
+            out["quantile"] = self.quantile
+        if self.series:
+            out["series"] = self.series
+        if self.description:
+            out["description"] = self.description
+        return out
+
+
+def default_rules() -> list:
+    """Rules safe for any deployment of the serve tier: generous
+    enough never to page on a CI smoke run, tight enough to catch a
+    wedged worker or a thrashing cache in production."""
+    return [
+        SloRule(name="execute-latency", kind="latency",
+                series=EXECUTE_SERIES, quantile=0.95,
+                objective=900.0, window_s=300.0,
+                description="p95 of serve.execute under 15 min"),
+        SloRule(name="job-error-rate", kind="error_rate",
+                numerator=(JOBS_FAILED,),
+                denominator=(JOBS_FAILED, JOBS_SUCCEEDED),
+                objective=0.1, window_s=600.0,
+                description="failed / finished jobs under 10%"),
+        SloRule(name="cache-hit-ratio", kind="ratio_floor",
+                numerator=(CACHE_HITS,),
+                denominator=(CACHE_HITS, CACHE_MISSES),
+                objective=0.5, min_count=200, window_s=600.0,
+                description="result-cache memory hit ratio over 50% "
+                            "once 200 lookups have happened"),
+        SloRule(name="queue-depth", kind="gauge_ceiling",
+                series=QUEUE_DEPTH, objective=50.0, window_s=300.0,
+                description="submission queue shorter than 50 jobs"),
+    ]
+
+
+class SloEngine:
+    """Evaluate a rule set against a recorder; roll up to health."""
+
+    def __init__(self, recorder: SeriesRecorder, rules=None):
+        self.recorder = recorder
+        self.rules = list(rules) if rules is not None \
+            else default_rules()
+        self._lock = threading.Lock()
+
+    def evaluate(self) -> dict:
+        now = self.recorder.clock()
+        with self._lock:     # rules carry breach_s accumulators
+            results = [rule.evaluate(self.recorder, now)
+                       for rule in self.rules]
+        states = {r["state"] for r in results}
+        health = (UNHEALTHY if "breach" in states else
+                  DEGRADED if "warning" in states else HEALTHY)
+        return {"health": health, "evaluated_at": now,
+                "rules": results}
+
+    def health(self) -> str:
+        return self.evaluate()["health"]

@@ -61,19 +61,46 @@ class ServeClient:
     def workspace_stats(self) -> dict:
         return self._request("GET", "/v1/workspace/stats")
 
-    def metrics(self, format: str = "text"):
+    def metrics(self, format: str = "text", window_s=None):
         """Scrape ``/v1/metrics``: Prometheus text (``format="text"``,
-        returns ``str``) or the JSON document (``format="json"``)."""
+        returns ``str``) or the JSON document (``format="json"``).
+        ``window_s`` returns the windowed report instead (deltas,
+        rates and histogram quantiles over the last that-many
+        seconds of recorded series — always JSON)."""
+        if window_s is not None:
+            return self._request("GET",
+                                 f"/v1/metrics?window={window_s}")
         if format == "json":
             return self._request("GET", "/v1/metrics?format=json")
-        url = f"{self.base_url}/v1/metrics"
+        return self._request_text("/v1/metrics")
+
+    def slo(self) -> dict:
+        """Evaluate the service's SLO rules: per-rule state + rolled-up
+        health."""
+        return self._request("GET", "/v1/slo")
+
+    def profile(self, job_id: str, format: str = "text"):
+        """A job's execute-stage sampling profile: flamegraph
+        collapsed-stack text (default) or the JSON document."""
+        if format == "json":
+            return self._request(
+                "GET", f"/v1/runs/{job_id}/profile?format=json")
+        return self._request_text(f"/v1/runs/{job_id}/profile")
+
+    def _request_text(self, path: str) -> str:
+        url = f"{self.base_url}{path}"
         request = urllib.request.Request(url, method="GET")
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout_s) as resp:
                 return resp.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
-            raise ServeClientError(exc.code, str(exc)) from None
+            try:
+                message = json.loads(
+                    exc.read().decode("utf-8")).get("error", str(exc))
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                message = str(exc)
+            raise ServeClientError(exc.code, message) from None
 
     # -- jobs --------------------------------------------------------------
     def submit(self, config, priority: int = 0,

@@ -14,18 +14,29 @@ GET     ``/v1/runs/{id}/events``    per-round progress snapshots;
                                     Server-Sent-Events stream (chunked)
 POST    ``/v1/runs/{id}/cancel``    cancel (now if queued, next round
                                     if running)
+GET     ``/v1/runs/{id}/profile``   execute-stage sampling profile —
+                                    flamegraph collapsed-stack text by
+                                    default, ``?format=json`` for the
+                                    structured document
 GET     ``/v1/workspace/stats``     workspace + live engine statistics
 GET     ``/v1/metrics``             process metrics — Prometheus text
                                     by default, ``?format=json`` for
-                                    the structured document
-GET     ``/healthz``                liveness, queue depth, job counts
+                                    the structured document,
+                                    ``?window=SECONDS`` for deltas /
+                                    rates / quantiles over the recorded
+                                    series window
+GET     ``/v1/slo``                 SLO rule evaluation (per-rule
+                                    ok/warning/breach + burn rates)
+GET     ``/healthz``                liveness + SLO-derived ``health``
+                                    (healthy/degraded/unhealthy),
+                                    queue depth, job counts
 ======  ==========================  =====================================
 
 The SSE stream emits one ``progress`` event per persisted snapshot
-(``id:`` is the event's index), a ``trace`` event for the job's span
-tree, comment heartbeats while idle, and a final ``end`` event carrying
-the terminal state. A coalesced follower transparently streams its
-leader's events.
+(``id:`` is the event's index), ``profile`` / ``trace`` events for the
+job's sampling profile and span tree, comment heartbeats while idle,
+and a final ``end`` event carrying the terminal state. A coalesced
+follower transparently streams its leader's events.
 
 Error mapping: unknown paths/jobs → 404, malformed JSON or configs →
 400, a draining service → 503; every body (including errors) is a JSON
@@ -140,6 +151,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send(self.service.health())
         if method == "GET" and parts == ["v1", "metrics"]:
             return self._metrics(query)
+        if method == "GET" and parts == ["v1", "slo"]:
+            return self._send(self.service.slo_report())
         if parts[:2] != ["v1", "runs"] and parts[:2] != ["v1",
                                                          "workspace"]:
             raise _ApiError(404, f"no such endpoint: {path}")
@@ -164,6 +177,8 @@ class _Handler(BaseHTTPRequestHandler):
             if "stream=1" in query.split("&"):
                 return self._stream_events(job_id)
             return self._send(self.service.events(job_id))
+        if method == "GET" and rest[1:] == ["profile"]:
+            return self._profile(job_id, query)
         if method == "POST" and rest[1:] == ["cancel"]:
             cancelled = self.service.cancel(job_id)
             job = self.service.store.describe(job_id)
@@ -173,13 +188,40 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- observability -----------------------------------------------------
     def _metrics(self, query: str) -> None:
+        params = query.split("&")
+        window = next((p.partition("=")[2] for p in params
+                       if p.startswith("window=")), None)
+        if window is not None:
+            try:
+                window_s = float(window)
+            except ValueError:
+                raise _ApiError(400, f"invalid window: {window!r}") \
+                    from None
+            return self._send(
+                self.service.recorder.window_report(window_s))
         registry = get_registry()
-        if "format=json" in query.split("&"):
+        if "format=json" in params:
             return self._send(registry.render_json())
         body = registry.render_prometheus().encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type",
                          "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _profile(self, job_id: str, query: str) -> None:
+        from ..obs.prof import Profile
+        found = self.service.profile(job_id)   # 404 if unknown
+        if "format=json" in query.split("&"):
+            return self._send(found)
+        if found["profile"] is None:
+            raise _ApiError(404, f"job {job_id!r} has no profile "
+                                 "(profiling off, or not executed yet)")
+        body = Profile.from_dict(found["profile"]) \
+            .render_collapsed().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -219,8 +261,9 @@ class _Handler(BaseHTTPRequestHandler):
                 events, state = store.events_since(source, index,
                                                    timeout=heartbeat)
                 for event in events:
-                    kind = ("trace" if event.get("kind") == "trace"
-                            else "progress")
+                    kind = event.get("kind") \
+                        if event.get("kind") in ("trace", "profile") \
+                        else "progress"
                     data = json.dumps(event, sort_keys=True,
                                       default=str)
                     self._write_chunk(f"id: {index}\nevent: {kind}\n"

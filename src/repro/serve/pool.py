@@ -38,6 +38,9 @@ import time
 import traceback
 
 from ..obs.metrics import get_registry
+from ..obs.prof import SamplingProfiler
+from ..obs.series import SeriesRecorder
+from ..obs.slo import SloEngine
 from ..obs.trace import Span, span
 from .coalesce import Coalescer, request_key
 from .jobs import JobState, JobStore, UnknownJobError
@@ -86,11 +89,26 @@ class ServeService:
         Start the worker threads immediately (default). Pass False to
         stage jobs first — e.g. to test queued-state behavior — then
         call :meth:`start`.
+    series_interval_s:
+        Sampling period of the service's
+        :class:`~repro.obs.series.SeriesRecorder` (history under
+        ``<workspace>/obs/series/``). ``0`` disables the background
+        sampler; :meth:`slo_report` then sees only manual samples.
+    slo_rules:
+        SLO rule set for the built-in
+        :class:`~repro.obs.slo.SloEngine`; default
+        :func:`~repro.obs.slo.default_rules`.
+    profile_interval_s:
+        Sampling period of the per-job execute-stage profiler
+        (``kind="profile"`` event on the job's sidecar). ``0``
+        disables profiling.
     """
 
     def __init__(self, workspace, jobs_dir=None, workers: int = 2,
                  reuse_completed: bool = True, runner=None,
-                 on_event=None, autostart: bool = True):
+                 on_event=None, autostart: bool = True,
+                 series_interval_s: float = 5.0, slo_rules=None,
+                 profile_interval_s: float = 0.01):
         from ..api.workspace import Workspace
         if not isinstance(workspace, Workspace):
             workspace = Workspace(workspace)
@@ -133,6 +151,12 @@ class ServeService:
         self._collector = _collect
         self._registry = registry
         registry.add_collector(_collect)
+        self.profile_interval_s = float(profile_interval_s)
+        self.recorder = SeriesRecorder(
+            registry=registry, interval_s=series_interval_s,
+            persist_dir=workspace.root / "obs" / "series")
+        self.recorder.start()
+        self.slo = SloEngine(self.recorder, rules=slo_rules)
         self._rebuild()
         if autostart:
             self.start()
@@ -220,6 +244,7 @@ class ServeService:
         for t in self._threads:
             t.join(timeout=timeout)
         self._threads = []
+        self.recorder.stop()
         self._registry.remove_collector(self._collector)
 
     def __enter__(self):
@@ -344,6 +369,7 @@ class ServeService:
         cancel = self._cancel_event(job.job_id)
         ledger = {"queued_s": time.time() - job.submitted_s}
         root = None
+        prof = None
 
         def on_progress(snapshot):
             self.store.add_event(job.job_id, snapshot)
@@ -367,9 +393,17 @@ class ServeService:
                         "serve.lock_wait", ledger["lock_wait_s"]))
                     t1 = time.perf_counter()
                     with span("serve.execute") as ex:
-                        report = self._runner(
-                            job.config, self.workspace,
-                            progress_callback=on_progress)
+                        if self.profile_interval_s > 0:
+                            prof = SamplingProfiler(
+                                interval_s=self.profile_interval_s
+                            ).start()
+                        try:
+                            report = self._runner(
+                                job.config, self.workspace,
+                                progress_callback=on_progress)
+                        finally:
+                            if prof is not None:
+                                prof.stop()
                     ledger["execution_s"] = time.perf_counter() - t1
                     if isinstance(ex, Span):
                         # Pin the stage to the ledger value so the
@@ -377,6 +411,7 @@ class ServeService:
                         # exactly to the ledger total.
                         ex.wall_s = ledger["execution_s"]
         except JobCancelled:
+            self._record_profile(job, prof)
             self._record_trace(job, root, ledger, JobState.CANCELLED)
             self.store.finish(job.job_id, JobState.CANCELLED,
                               ledger=ledger)
@@ -386,6 +421,7 @@ class ServeService:
                                        success=False))
         except Exception as exc:         # noqa: BLE001 — job boundary
             error = "".join(traceback.format_exception_only(exc)).strip()
+            self._record_profile(job, prof)
             self._record_trace(job, root, ledger, JobState.FAILED)
             self.store.finish(job.job_id, JobState.FAILED, error=error,
                               ledger=ledger)
@@ -399,6 +435,7 @@ class ServeService:
         else:
             payload = (report.to_dict()
                        if hasattr(report, "to_dict") else dict(report))
+            self._record_profile(job, prof)
             self._record_trace(job, root, ledger, JobState.SUCCEEDED)
             self.store.finish(job.job_id, JobState.SUCCEEDED,
                               report=payload, ledger=ledger)
@@ -411,6 +448,19 @@ class ServeService:
         finally:
             with self._state_lock:
                 self._cancel_events.pop(job.job_id, None)
+
+    def _record_profile(self, job, prof) -> None:
+        """Persist the execute-stage sampling profile as a
+        ``kind: profile`` event — before the trace event, so the trace
+        stays the last pre-terminal entry restarts index against."""
+        if prof is None or prof.profile.samples == 0:
+            return
+        try:
+            self.store.add_event(job.job_id,
+                                 {"kind": "profile",
+                                  "profile": prof.profile.to_dict()})
+        except Exception:                # noqa: BLE001 — best effort
+            pass
 
     def _record_trace(self, job, root, ledger, state: str) -> None:
         """Persist the job's finished span tree as a ``kind: trace``
@@ -476,13 +526,44 @@ class ServeService:
         counts = self.store.counts()
         with self._state_lock:
             accepting = self._accepting
+        slo = self.slo.evaluate()
         return {"status": "ok" if accepting else "draining",
+                "health": slo["health"],
+                "slo_breaches": [r["name"] for r in slo["rules"]
+                                 if r["state"] != "ok"],
                 "accepting": accepting,
                 "workers": len(self._threads),
                 "uptime_s": time.time() - self._started_s,
                 "jobs": counts,
                 "store_memory": self.store.memory_stats(),
                 "coalescer": self.coalescer.stats()}
+
+    def slo_report(self) -> dict:
+        """Full SLO evaluation plus the recorder's own vitals."""
+        report = self.slo.evaluate()
+        report["series"] = self.recorder.stats()
+        return report
+
+    def profile(self, job_id: str) -> dict:
+        """A job's persisted execute-stage profile (``None`` when the
+        job recorded none — profiling off, or not yet executed). A
+        coalesced job transparently reports its leader's."""
+        job = self.store.get(job_id)
+        sources = [job]
+        if job.coalesced_with:
+            try:
+                sources.append(self.store.get(job.coalesced_with))
+            except UnknownJobError:
+                pass
+        for source in sources:
+            for event in reversed(list(source.events)):
+                if isinstance(event, dict) \
+                        and event.get("kind") == "profile":
+                    return {"job_id": job_id, "state": job.state,
+                            "source": source.job_id,
+                            "profile": event["profile"]}
+        return {"job_id": job_id, "state": job.state,
+                "source": job.job_id, "profile": None}
 
     def workspace_stats(self) -> dict:
         return {"workspace": self.workspace.stats(),

@@ -1,11 +1,13 @@
 """MetricsRegistry: instruments, thread safety, exposition formats."""
 
+import re
 import threading
 
 import pytest
 
 from repro.obs.metrics import (DEFAULT_BUCKETS, MetricsRegistry,
-                               NullRegistry, get_registry, use_registry)
+                               NullRegistry, get_registry,
+                               quantile_from_cumulative, use_registry)
 
 
 @pytest.fixture
@@ -149,6 +151,123 @@ class TestExposition:
         doc = registry.render_json()
         series = doc["metrics"]["j_total"]["series"]
         assert series == [{"labels": {}, "value": 4.0}]
+
+
+def _parse_prometheus(text: str) -> dict:
+    """Minimal 0.0.4 parser: ``{(name, frozen_labels): value}`` with
+    label values *unescaped* — the inverse of the renderer, so a
+    round trip proves the escaping."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+                     r'(?:\{(.*)\})? (\S+)$', line)
+        assert m, f"unparseable exposition line: {line!r}"
+        name, raw, value = m.groups()
+        labels = {}
+        if raw:
+            for lm in re.finditer(
+                    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                    raw):
+                k, v = lm.groups()
+                # Left-to-right decode: sequential str.replace would
+                # mis-read the 'n' after an escaped backslash.
+                labels[k] = re.sub(
+                    r'\\(.)',
+                    lambda m: "\n" if m.group(1) == "n"
+                    else m.group(1), v)
+        out[(name, frozenset(labels.items()))] = float(value)
+    return out
+
+
+class TestExpositionRoundTrip:
+    NASTY = ('back\\slash', 'new\nline', 'quo"te', '\\n literal',
+             'all\\of"it\ntogether', 'trailing\\')
+
+    def test_label_values_survive_a_round_trip(self, registry):
+        c = registry.counter("rt_total", labels=("k",))
+        for i, value in enumerate(self.NASTY):
+            c.labels(k=value).inc(i + 1)
+        parsed = _parse_prometheus(registry.render_prometheus())
+        for i, value in enumerate(self.NASTY):
+            key = ("rt_total", frozenset([("k", value)]))
+            assert parsed[key] == i + 1, value
+        # No two nasty values may collapse onto one series.
+        assert len([k for k in parsed if k[0] == "rt_total"]) \
+            == len(self.NASTY)
+
+    def test_help_text_escapes_newline_and_backslash(self, registry):
+        registry.counter("h_total", "line one\nand a \\ slash").inc()
+        text = registry.render_prometheus()
+        assert "# HELP h_total line one\\nand a \\\\ slash" in text
+        # Exposition must stay line-oriented: the raw newline is gone.
+        assert all(line.startswith(("#", "h_total"))
+                   for line in text.splitlines() if "h_" in line)
+
+    def test_exposition_stays_parseable_with_nasty_labels(self,
+                                                          registry):
+        h = registry.histogram("rt_seconds", buckets=(1.0,),
+                               labels=("k",))
+        h.labels(k='le="1.0"\n\\').observe(0.5)
+        parsed = _parse_prometheus(registry.render_prometheus())
+        key = ("rt_seconds_bucket",
+               frozenset([("k", 'le="1.0"\n\\'), ("le", "1")]))
+        assert parsed[key] == 1
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_returns_none(self, registry):
+        h = registry.histogram("q_seconds", buckets=(1.0, 2.0))
+        assert h.quantile(0.5) is None
+        assert quantile_from_cumulative([], 0.5) is None
+
+    def test_single_bucket_mass_interpolates_within_it(self, registry):
+        h = registry.histogram("q1_seconds", buckets=(1.0, 2.0))
+        for _ in range(4):
+            h.observe(1.5)               # all mass in (1.0, 2.0]
+        assert h.quantile(0.0) == pytest.approx(1.0)
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_inf_bucket_clamps_to_largest_finite_bound(self, registry):
+        h = registry.histogram("q2_seconds", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(50.0)                  # lands in +Inf
+        assert h.quantile(1.0) == pytest.approx(2.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_all_mass_in_inf_bucket_still_clamps(self):
+        cum = [(1.0, 0), (2.0, 0), (float("inf"), 3)]
+        assert quantile_from_cumulative(cum, 0.5) == pytest.approx(2.0)
+        # None spelling of +Inf (the JSONL form) behaves identically.
+        assert quantile_from_cumulative(
+            [(1.0, 0), (2.0, 0), (None, 3)], 0.5) == pytest.approx(2.0)
+
+    def test_first_bucket_interpolates_from_zero(self, registry):
+        h = registry.histogram("q3_seconds", buckets=(2.0, 4.0))
+        h.observe(1.0)
+        h.observe(1.0)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(ValueError):
+            quantile_from_cumulative([(1.0, 1)], 1.5)
+        with pytest.raises(ValueError):
+            quantile_from_cumulative([(1.0, 1)], -0.1)
+
+    def test_interpolation_matches_prometheus_semantics(self, registry):
+        h = registry.histogram("q4_seconds", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        # rank p50 = 2.0 observations -> cumulative hits 2 at le=2.0:
+        # lower 1.0 + (2.0-1.0) * (2-1)/2
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.25) == pytest.approx(1.0)
+
+    def test_null_registry_quantile_is_none(self):
+        assert NullRegistry().histogram("n_seconds").quantile(0.9) \
+            is None
 
 
 class TestRegistrySwap:

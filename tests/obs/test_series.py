@@ -1,0 +1,226 @@
+"""SeriesRecorder: sampling, retention, windowed queries, persistence."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.series import SeriesRecorder
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def recorder(registry, clock):
+    return SeriesRecorder(registry=registry, interval_s=0, clock=clock)
+
+
+class TestSampling:
+    def test_sample_captures_values_and_buckets(self, registry,
+                                                recorder):
+        registry.counter("s_total").inc(3)
+        registry.histogram("s_seconds", buckets=(1.0,)).observe(0.5)
+        entry = recorder.sample()
+        assert entry["values"]["s_total"] == 3
+        assert entry["buckets"]["s_seconds"] == [[1.0, 1], [None, 1]]
+        assert recorder.samples_taken == 1
+
+    def test_inf_bound_is_none_so_samples_are_strict_json(
+            self, registry, recorder):
+        registry.histogram("j_seconds").observe(0.1)
+        assert json.loads(json.dumps(recorder.sample(),
+                                     allow_nan=False))
+
+    def test_ring_is_bounded(self, registry, clock):
+        rec = SeriesRecorder(registry=registry, interval_s=0, window=5,
+                             clock=clock)
+        for _ in range(12):
+            clock.advance(1)
+            rec.sample()
+        assert len(rec.samples()) == 5
+        assert rec.samples_taken == 12
+
+    def test_background_thread_samples_and_stops(self, registry):
+        rec = SeriesRecorder(registry=registry, interval_s=0.01)
+        registry.counter("bg_total").inc()
+        with rec:
+            deadline = threading.Event()
+            for _ in range(200):
+                if rec.samples_taken >= 3:
+                    break
+                deadline.wait(0.02)
+        assert rec.samples_taken >= 3
+        assert not rec.stats()["running"]
+
+    def test_zero_interval_never_starts_a_thread(self, recorder):
+        assert recorder.start() is recorder
+        assert not recorder.stats()["running"]
+
+
+class TestWindows:
+    def test_delta_and_rate_over_window(self, registry, clock,
+                                        recorder):
+        c = registry.counter("w_total", labels=("k",))
+        c.labels(k="a").inc(5)
+        recorder.sample()
+        clock.advance(10)
+        c.labels(k="a").inc(15)
+        recorder.sample()
+        assert recorder.delta('w_total{k="a"}', 60) == 15
+        assert recorder.rate('w_total{k="a"}', 60) == pytest.approx(1.5)
+
+    def test_window_excludes_old_samples(self, registry, clock,
+                                         recorder):
+        c = registry.counter("old_total")
+        c.inc(100)
+        recorder.sample()
+        clock.advance(500)
+        c.inc(1)
+        recorder.sample()
+        clock.advance(10)
+        c.inc(1)
+        recorder.sample()
+        # 60 s window only sees the last two samples: delta 1, not 102.
+        assert recorder.delta("old_total", 60) == 1
+        assert recorder.delta("old_total", 10000) == 2
+
+    def test_fewer_than_two_samples_is_none(self, registry, recorder):
+        registry.counter("lone_total").inc()
+        assert recorder.delta("lone_total", 60) is None
+        recorder.sample()
+        assert recorder.delta("lone_total", 60) is None
+        assert recorder.rate("lone_total", 60) is None
+        assert recorder.quantile("lone_seconds", 0.5, 60) is None
+
+    def test_series_born_mid_window_counts_from_zero(self, registry,
+                                                     clock, recorder):
+        recorder.sample()
+        clock.advance(5)
+        registry.counter("born_total").inc(4)
+        recorder.sample()
+        assert recorder.delta("born_total", 60) == 4
+
+    def test_counter_reset_clamps_to_end_value(self, clock):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        rec = SeriesRecorder(registry=a, interval_s=0, clock=clock)
+        a.counter("r_total").inc(50)
+        rec.sample()
+        clock.advance(5)
+        b.counter("r_total").inc(3)      # "restarted process"
+        rec.registry = b
+        rec.sample()
+        assert rec.delta("r_total", 60) == 3
+
+    def test_quantile_sees_only_window_observations(self, registry,
+                                                    clock, recorder):
+        h = registry.histogram("q_seconds", buckets=(0.1, 1.0, 10.0))
+        for _ in range(100):
+            h.observe(8.0)               # old, slow traffic
+        recorder.sample()
+        clock.advance(5)
+        for _ in range(10):
+            h.observe(0.05)              # recent, fast traffic
+        recorder.sample()
+        q = recorder.quantile("q_seconds", 0.95, 60)
+        assert q is not None and q <= 0.1
+        # All-time quantile (no window) would sit near 10: prove the
+        # window actually subtracted the old mass.
+        assert registry.histogram("q_seconds").quantile(0.95) > 1.0
+
+    def test_gauge_last_and_max(self, registry, clock, recorder):
+        g = registry.gauge("depth")
+        g.set(3)
+        recorder.sample()
+        clock.advance(1)
+        g.set(9)
+        recorder.sample()
+        clock.advance(1)
+        g.set(2)
+        recorder.sample()
+        assert recorder.gauge_last("depth") == 2
+        assert recorder.gauge_max("depth", 60) == 9
+
+
+class TestWindowReport:
+    def test_report_has_deltas_rates_and_quantiles(self, registry,
+                                                   clock, recorder):
+        c = registry.counter("rep_total")
+        h = registry.histogram("rep_seconds", buckets=(0.1, 1.0))
+        c.inc(1)
+        recorder.sample()
+        clock.advance(10)
+        c.inc(9)
+        for _ in range(5):
+            h.observe(0.5)
+        recorder.sample()
+        report = recorder.window_report(60)
+        assert report["samples"] == 2
+        assert report["deltas"]["rep_total"] == 9
+        assert report["rates"]["rep_total"] == pytest.approx(0.9)
+        assert 0.1 < report["quantiles"]["rep_seconds"]["p50"] <= 1.0
+        assert json.loads(json.dumps(report, allow_nan=False))
+
+    def test_empty_report_is_well_formed(self, recorder):
+        report = recorder.window_report(60)
+        assert report["samples"] == 0
+        assert report["deltas"] == {} and report["quantiles"] == {}
+
+
+class TestPersistence:
+    def test_jsonl_lines_append_per_sample(self, registry, clock,
+                                           tmp_path):
+        rec = SeriesRecorder(registry=registry, interval_s=0,
+                             persist_dir=tmp_path / "series",
+                             clock=clock)
+        registry.counter("p_total").inc()
+        rec.sample()
+        clock.advance(1)
+        rec.sample()
+        lines = (tmp_path / "series" / "samples.jsonl") \
+            .read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["values"]["p_total"] == 1
+
+    def test_rotation_keeps_one_backup(self, registry, clock,
+                                       tmp_path):
+        rec = SeriesRecorder(registry=registry, interval_s=0,
+                             persist_dir=tmp_path / "series",
+                             max_bytes=200, clock=clock)
+        registry.counter("rot_total").inc()
+        for _ in range(20):
+            clock.advance(1)
+            rec.sample()
+        files = sorted(p.name for p in (tmp_path / "series").iterdir())
+        assert files == ["samples.jsonl", "samples.jsonl.1"]
+        assert rec.persist_errors == 0
+
+    def test_persist_failure_is_counted_not_raised(self, registry,
+                                                   clock, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        rec = SeriesRecorder(registry=registry, interval_s=0,
+                             persist_dir=blocker / "series",
+                             clock=clock)
+        rec.sample()                     # mkdir fails under a file
+        assert rec.persist_errors == 1
+        assert len(rec.samples()) == 1   # ring still recorded it

@@ -1,0 +1,207 @@
+"""SLO engine: rule kinds, state transitions, burn rates, rollup."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.series import SeriesRecorder
+from repro.obs.slo import (DEGRADED, HEALTHY, UNHEALTHY, SloEngine,
+                           SloRule, default_rules)
+
+from .test_series import FakeClock
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def recorder(registry, clock):
+    return SeriesRecorder(registry=registry, interval_s=0, clock=clock)
+
+
+def latency_rule(objective=0.1, window_s=60.0, **kw):
+    return SloRule(name="lat", kind="latency", series="lat_seconds",
+                   objective=objective, window_s=window_s, **kw)
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SloRule(name="x", kind="vibes", objective=1.0)
+
+    def test_warning_defaults_derive_from_objective(self):
+        ceiling = latency_rule(objective=10.0)
+        assert ceiling.warning == pytest.approx(8.0)
+        floor = SloRule(name="f", kind="ratio_floor", objective=0.4)
+        assert floor.warning == pytest.approx(0.5)
+
+
+class TestLatencyRule:
+    def test_ok_breach_ok_transitions_across_windows(self, registry,
+                                                     clock, recorder):
+        """The acceptance scenario: injected latency breaches the
+        objective, then ages out of the window and the rule recovers."""
+        h = registry.histogram("lat_seconds",
+                               buckets=(0.05, 0.25, 1.0))
+        engine = SloEngine(recorder, [latency_rule(objective=0.1,
+                                                   window_s=30)])
+        # Phase 1: fast traffic -> ok.
+        for _ in range(10):
+            h.observe(0.01)
+        recorder.sample()
+        clock.advance(5)
+        recorder.sample()
+        assert engine.evaluate()["health"] == HEALTHY
+        # Phase 2: injected latency inside the window -> breach.
+        for _ in range(10):
+            h.observe(0.9)
+        clock.advance(5)
+        recorder.sample()
+        report = engine.evaluate()
+        assert report["health"] == UNHEALTHY
+        assert report["rules"][0]["state"] == "breach"
+        assert report["rules"][0]["burn_rate"] > 1.0
+        # Phase 3: the slow burst ages out of the 30 s window; only
+        # fresh fast traffic remains -> ok again.
+        clock.advance(40)
+        for _ in range(10):
+            h.observe(0.01)
+        recorder.sample()
+        clock.advance(5)
+        recorder.sample()
+        report = engine.evaluate()
+        assert report["health"] == HEALTHY
+        assert report["rules"][0]["state"] == "ok"
+        # Breach time accrued while it was breaching, then froze.
+        assert report["rules"][0]["breach_s"] > 0
+
+    def test_no_data_is_ok_not_breach(self, recorder):
+        engine = SloEngine(recorder, [latency_rule()])
+        report = engine.evaluate()
+        assert report["health"] == HEALTHY
+        assert report["rules"][0]["value"] is None
+
+    def test_warning_band_degrades(self, registry, clock, recorder):
+        h = registry.histogram("lat_seconds", buckets=(0.05, 0.09, 0.25))
+        recorder.sample()
+        for _ in range(10):
+            h.observe(0.085)             # between warning 0.08 and 0.1
+        clock.advance(5)
+        recorder.sample()
+        engine = SloEngine(recorder, [latency_rule(objective=0.1)])
+        report = engine.evaluate()
+        assert report["rules"][0]["state"] == "warning"
+        assert report["health"] == DEGRADED
+
+
+class TestRatioRules:
+    def test_error_rate_breaches_on_failures(self, registry, clock,
+                                             recorder):
+        c = registry.counter("jobs_total", labels=("outcome",))
+        rule = SloRule(name="err", kind="error_rate", objective=0.1,
+                       numerator=('jobs_total{outcome="failed"}',),
+                       denominator=('jobs_total{outcome="failed"}',
+                                    'jobs_total{outcome="succeeded"}'),
+                       window_s=60)
+        engine = SloEngine(recorder, [rule])
+        recorder.sample()
+        c.labels(outcome="succeeded").inc(6)
+        c.labels(outcome="failed").inc(4)
+        clock.advance(5)
+        recorder.sample()
+        report = engine.evaluate()
+        assert report["rules"][0]["value"] == pytest.approx(0.4)
+        assert report["rules"][0]["state"] == "breach"
+        assert report["rules"][0]["burn_rate"] == pytest.approx(4.0)
+
+    def test_min_count_gates_cold_ratio_floor(self, registry, clock,
+                                              recorder):
+        c = registry.counter("cache_total", labels=("event",))
+        rule = SloRule(name="hits", kind="ratio_floor", objective=0.5,
+                       numerator=('cache_total{event="hit"}',),
+                       denominator=('cache_total{event="hit"}',
+                                    'cache_total{event="miss"}'),
+                       min_count=100, window_s=60)
+        engine = SloEngine(recorder, [rule])
+        recorder.sample()
+        c.labels(event="miss").inc(10)   # cold cache, tiny traffic
+        clock.advance(5)
+        recorder.sample()
+        report = engine.evaluate()       # gated: not an incident
+        assert report["rules"][0]["value"] is None
+        assert report["health"] == HEALTHY
+        c.labels(event="miss").inc(200)  # real traffic, all misses
+        clock.advance(5)
+        recorder.sample()
+        report = engine.evaluate()
+        assert report["rules"][0]["state"] == "breach"
+
+    def test_healthy_ratio_floor_passes(self, registry, clock,
+                                        recorder):
+        c = registry.counter("cache_total", labels=("event",))
+        rule = SloRule(name="hits", kind="ratio_floor", objective=0.5,
+                       numerator=('cache_total{event="hit"}',),
+                       denominator=('cache_total{event="hit"}',
+                                    'cache_total{event="miss"}'),
+                       min_count=10, window_s=60)
+        recorder.sample()
+        c.labels(event="hit").inc(90)
+        c.labels(event="miss").inc(10)
+        clock.advance(5)
+        recorder.sample()
+        report = SloEngine(recorder, [rule]).evaluate()
+        assert report["rules"][0]["state"] == "ok"
+        assert report["rules"][0]["burn_rate"] < 1.0
+
+
+class TestGaugeCeiling:
+    def test_window_max_not_instantaneous_value(self, registry, clock,
+                                                recorder):
+        g = registry.gauge("depth")
+        rule = SloRule(name="queue", kind="gauge_ceiling",
+                       series="depth", objective=10.0, window_s=60)
+        engine = SloEngine(recorder, [rule])
+        g.set(50)                        # spike…
+        recorder.sample()
+        clock.advance(5)
+        g.set(0)                         # …already drained
+        recorder.sample()
+        report = engine.evaluate()
+        assert report["rules"][0]["value"] == 50
+        assert report["rules"][0]["state"] == "breach"
+
+
+class TestRollup:
+    def test_worst_rule_wins(self, registry, clock, recorder):
+        h = registry.histogram("lat_seconds", buckets=(0.05, 0.25))
+        g = registry.gauge("depth")
+        recorder.sample()
+        h.observe(0.01)
+        g.set(3)
+        clock.advance(5)
+        recorder.sample()
+        ok_lat = latency_rule(objective=1.0)
+        breach_gauge = SloRule(name="queue", kind="gauge_ceiling",
+                               series="depth", objective=1.0,
+                               window_s=60)
+        report = SloEngine(recorder, [ok_lat, breach_gauge]).evaluate()
+        assert report["health"] == UNHEALTHY
+        states = {r["name"]: r["state"] for r in report["rules"]}
+        assert states == {"lat": "ok", "queue": "breach"}
+
+    def test_default_rules_are_quiet_on_an_idle_service(self,
+                                                       recorder):
+        engine = SloEngine(recorder)     # default_rules()
+        assert len(engine.rules) == 4
+        assert engine.evaluate()["health"] == HEALTHY
+
+    def test_default_rules_cover_the_four_kinds(self):
+        kinds = sorted(r.kind for r in default_rules())
+        assert kinds == ["error_rate", "gauge_ceiling", "latency",
+                        "ratio_floor"]

@@ -59,7 +59,7 @@ class TestEndpoints:
         client.wait(job_id, timeout_s=10)
         events = client.events(job_id)
         assert [e["round"] for e in events
-                if e.get("kind") != "trace"] == [1, 2, 3]
+                if e.get("kind") not in ("trace", "profile")] == [1, 2, 3]
         # The worker appended its span tree as the final event.
         assert events[-1]["kind"] == "trace"
         assert events[-1]["trace"]["name"] == "serve.job"
@@ -71,8 +71,9 @@ class TestEndpoints:
                                   f"/v1/runs/{job_id}?view=summary")
         assert summary["state"] == JobState.SUCCEEDED
         assert "report" not in summary and "config" not in summary
-        # Count, not the payload: 3 progress rounds + the trace event.
-        assert summary["events"] == 4
+        # Count, not the payload: 3 progress rounds + the profile and
+        # trace events.
+        assert summary["events"] == 5
 
     def test_jobs_listing_is_light(self, client):
         job_id = client.submit(make_config(seed=32))["job_id"]

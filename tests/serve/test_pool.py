@@ -44,7 +44,7 @@ class TestCoalescedExecution:
         view = service.events(follower.job_id)
         assert view["source"] == leader.job_id
         assert [e["round"] for e in view["events"]
-                if e.get("kind") != "trace"] == [1, 2, 3]
+                if e.get("kind") not in ("trace", "profile")] == [1, 2, 3]
 
     def test_high_priority_follower_boosts_queued_leader(
             self, make_service, stub_runner):
