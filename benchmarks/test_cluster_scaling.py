@@ -1,0 +1,216 @@
+"""Cluster scaling bench: shards, routing overhead, peer borrowing.
+
+Boots real subprocess clusters (:class:`~repro.cluster.client
+.LocalCluster` — one ``repro serve`` process per shard, router on top)
+and measures three things, writing ``BENCH_cluster.json``:
+
+* ``throughput`` — N distinct-key requests (each with its own corner
+  set, so each is real characterization work) through a 2-shard
+  cluster vs the same N through a single shard. The request set is
+  pre-balanced on the ring (equal keys per shard), so the measured
+  ratio is the sharding win, not routing luck.
+* ``duplicate`` — the idempotent answered-from-stored-report path,
+  through the router vs direct to the owning shard: the router's added
+  hop must stay within 2× of direct.
+* ``borrow`` — an exhaustive grid sweep characterized cold on its
+  owning shard, then submitted *directly to the other shard*: every
+  corner arrives by peer borrowing (zero characterizations, zero
+  engine misses on the borrower) and the end-to-end latency beats the
+  cold run ≥ 10× (a peer fetch is ~1 ms; a characterization tens).
+
+Acceptance: duplicate ≤ 2× direct; borrow ≥ 10× vs cold with clean
+borrower counters; 2-shard ≥ 1.5× single-shard throughput — asserted
+only on multi-core machines (recorded either way).
+"""
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.api import (ModelConfig, SearchConfig, StcoConfig,
+                       TechnologyConfig)
+from repro.api.report import RunReport
+from repro.cluster import LocalCluster
+from repro.serve import ServeClient
+from repro.utils import print_table
+
+ARTIFACT = Path(__file__).resolve().parent.parent \
+    / "BENCH_cluster.json"
+
+TECH = TechnologyConfig(
+    cells=("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"),
+    train_corners=((1.0, 0.0, 1.0), (0.9, 0.05, 1.1)),
+    test_corners=((0.95, 0.02, 1.05),),
+    slews=(8e-9,), loads=(15e-15,), n_bisect=3, max_steps=200)
+
+MEASURED_PER_SHARD = 3                   # distinct-key jobs per shard
+DUPLICATE_REPEATS = 5
+
+
+def _config(seed=0, vth=0.0, benchmark="s298",
+            **search_overrides) -> StcoConfig:
+    search = dict(optimizer="anneal", seed=seed, iterations=6,
+                  vdd_scales=(0.9, 1.0, 1.1), vth_shifts=(vth,),
+                  cox_scales=(0.9, 1.1))
+    search.update(search_overrides)
+    return StcoConfig(mode="search", benchmark=benchmark,
+                      technology=TECH, model=ModelConfig(epochs=10),
+                      search=SearchConfig(**search))
+
+
+def _borrow_config() -> StcoConfig:
+    """An exhaustive 80-corner grid sweep on the biggest ISCAS
+    netlist: seconds of characterization work cold, milliseconds of
+    HTTP fetches borrowed — the contrast is real work, not timer
+    noise."""
+    return _config(seed=99, benchmark="s1488", optimizer="grid",
+                   iterations=80,
+                   vdd_scales=(0.85, 0.9, 0.95, 1.05, 1.1),
+                   vth_shifts=(0.013, 0.017, 0.021, 0.025),
+                   cox_scales=(0.9, 0.95, 1.05, 1.1))
+
+
+def _measured_configs(router):
+    """Distinct-corner configs, pre-balanced: exactly
+    ``MEASURED_PER_SHARD`` keys per shard of ``router``'s ring."""
+    want = {name: MEASURED_PER_SHARD for name in router.ring.members}
+    picked = []
+    i = 0
+    while any(want.values()):
+        i += 1
+        config = _config(seed=i, vth=0.0002 * i)
+        owner = router.route(config)[1]
+        if want[owner]:
+            want[owner] -= 1
+            picked.append(config)
+        assert i < 200, "ring never balanced the sample"
+    return picked
+
+
+def _run_all(client, configs, timeout_s=1800.0):
+    """Submit everything, then wait for everything; returns (wall_s,
+    jobs)."""
+    t0 = time.perf_counter()
+    ids = [client.submit(c)["job_id"] for c in configs]
+    jobs = [client.wait(i, timeout_s=timeout_s, poll_s=0.05)
+            for i in ids]
+    wall = time.perf_counter() - t0
+    assert all(j["state"] == "succeeded" for j in jobs)
+    return wall, jobs
+
+
+def _timed_run(client, config, timeout_s=1800.0, force=False):
+    """submit → tight-poll wait: the 0.2 s default poll quantum would
+    otherwise dominate every sub-second measurement."""
+    t0 = time.perf_counter()
+    job_id = client.submit(config, force=force)["job_id"]
+    job = client.wait(job_id, timeout_s=timeout_s, poll_s=0.01)
+    elapsed = time.perf_counter() - t0
+    assert job["state"] == "succeeded", job.get("error")
+    return elapsed, RunReport.from_dict(job["report"])
+
+
+def test_cluster_scaling(tmp_path):
+    results = {"cpus": os.cpu_count()}
+
+    # ---- 2-shard cluster -------------------------------------------------
+    with LocalCluster(tmp_path / "pair", shards=2, workers=2,
+                      boot_timeout_s=300) as pair:
+        router_client = pair.client(timeout_s=30)
+        router = pair.router
+        shard_urls = {s.name: s.url for s in pair.shards}
+
+        # Warm every shard: one cold job (train + characterize) each.
+        warm = {}
+        for name in shard_urls:
+            for seed in range(1000, 1100):
+                config = _config(seed=seed)
+                if router.route(config)[1] == name:
+                    warm[name] = config
+                    break
+        cold_walls = {}
+        for name, config in warm.items():
+            cold_walls[name], _ = _timed_run(router_client, config)
+        results["cold_warmup_s"] = cold_walls
+
+        # a) Distinct-key throughput through the pair.
+        configs = _measured_configs(router)
+        pair_wall, pair_jobs = _run_all(router_client, configs)
+        results["throughput"] = {
+            "requests": len(configs),
+            "two_shard_wall_s": pair_wall,
+            "two_shard_rps": len(configs) / pair_wall}
+        by_shard = {}
+        for job in pair_jobs:
+            by_shard[job["shard"]] = by_shard.get(job["shard"], 0) + 1
+        assert by_shard == {name: MEASURED_PER_SHARD
+                            for name in shard_urls}
+
+        # b) Duplicate latency: router hop vs direct to the owner.
+        base = warm[pair.shards[0].name]
+        owner_client = ServeClient(shard_urls[pair.shards[0].name],
+                                   timeout_s=30)
+        direct = statistics.median(
+            _timed_run(owner_client, base, timeout_s=60)[0]
+            for _ in range(DUPLICATE_REPEATS))
+        routed = statistics.median(
+            _timed_run(router_client, base, timeout_s=60)[0]
+            for _ in range(DUPLICATE_REPEATS))
+        results["duplicate"] = {"direct_s": direct, "routed_s": routed,
+                                "ratio": routed / max(direct, 1e-9)}
+
+        # c) Cross-shard borrow: cold on the owner, then the same
+        #    corners direct to the *other* shard — everything borrowed.
+        borrow = _borrow_config()
+        owner = router.route(borrow)[1]
+        other = next(n for n in shard_urls if n != owner)
+        cold_s, _ = _timed_run(ServeClient(shard_urls[owner],
+                                           timeout_s=30), borrow)
+        borrowed_s, borrowed_report = _timed_run(
+            ServeClient(shard_urls[other], timeout_s=30), borrow)
+        assert borrowed_report.characterizations == 0
+        assert borrowed_report.engine_misses == 0
+        results["borrow"] = {
+            "owner": owner, "borrower": other,
+            "cold_s": cold_s, "borrowed_s": borrowed_s,
+            "speedup": cold_s / max(borrowed_s, 1e-9)}
+
+        # The aggregated cluster stayed green through all of it.
+        assert router_client.slo()["health"] == "healthy"
+        health = router_client.health()
+        borrower_peers = health["shards"][other]["peers"]
+        assert borrower_peers["hits"] > 0
+
+    # ---- single shard, same traffic -------------------------------------
+    with LocalCluster(tmp_path / "solo", shards=1, workers=2,
+                      boot_timeout_s=300) as solo:
+        solo_client = solo.client(timeout_s=30)
+        _timed_run(solo_client, _config(seed=1000))     # warm: train once
+        solo_wall, _ = _run_all(solo_client, configs)
+        results["throughput"]["one_shard_wall_s"] = solo_wall
+        results["throughput"]["one_shard_rps"] = \
+            len(configs) / solo_wall
+
+    speedup = solo_wall / max(pair_wall, 1e-9)
+    results["throughput"]["speedup"] = speedup
+    ARTIFACT.write_text(json.dumps(results, indent=1))
+
+    print()
+    print_table(
+        ["Measure", "Value"],
+        [["distinct-key speedup (2 vs 1 shard)", f"{speedup:.2f}x"],
+         ["duplicate routed/direct",
+          f"{results['duplicate']['ratio']:.2f}x"],
+         ["borrow vs cold",
+          f"{results['borrow']['speedup']:.1f}x"],
+         ["cpus", str(results["cpus"])]],
+        title="Cluster scaling")
+
+    # Hard guarantees.
+    assert results["duplicate"]["routed_s"] \
+        <= 2.0 * max(results["duplicate"]["direct_s"], 0.05)
+    assert results["borrow"]["speedup"] >= 10.0
+    if (os.cpu_count() or 1) >= 2:
+        assert speedup >= 1.5

@@ -7,6 +7,8 @@
     repro campaign cfg.json --workspace .cache/ws
     repro report report.json
     repro serve --workspace .cache/ws --port 8765
+    repro cluster serve --workspace .cache/cluster --shards 2
+    repro cluster status --url http://127.0.0.1:8765
     repro submit cfg.json --url http://127.0.0.1:8765 --wait --follow
     repro metrics --url http://127.0.0.1:8765 --watch
     repro metrics --window 300
@@ -109,6 +111,51 @@ def _build_parser() -> argparse.ArgumentParser:
                               "job's report")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log HTTP requests and job progress")
+    serve_p.add_argument("--port-file", metavar="FILE", default=None,
+                         help="write the bound URL to FILE once "
+                              "listening (ephemeral-port discovery "
+                              "for cluster supervisors)")
+    serve_p.add_argument("--shard", metavar="NAME", default="",
+                         help="shard identity inside a cluster "
+                              "(labels this service's health and "
+                              "metrics)")
+
+    cluster_p = sub.add_parser(
+        "cluster", help="run or inspect a sharded serve cluster")
+    cluster_sub = cluster_p.add_subparsers(dest="cluster_command",
+                                           required=True)
+    cserve_p = cluster_sub.add_parser(
+        "serve", help="boot a router + N local shard processes, or "
+                      "join an existing cluster with --join")
+    cserve_p.add_argument("--workspace", metavar="DIR", required=True,
+                          help="cluster root (each shard works in "
+                               "<DIR>/shard-i); with --join: this "
+                               "one shard's workspace")
+    cserve_p.add_argument("--shards", type=int, default=2,
+                          help="shard process count (default 2)")
+    cserve_p.add_argument("--host", default="127.0.0.1")
+    cserve_p.add_argument("--port", type=int, default=8765,
+                          help="router listen port (0 = ephemeral; "
+                               "default 8765)")
+    cserve_p.add_argument("--workers", type=int, default=2,
+                          help="worker threads per shard")
+    cserve_p.add_argument("--join", metavar="ROUTER_URL", default=None,
+                          help="boot ONE shard and announce it to the "
+                               "router at this URL instead of booting "
+                               "a whole cluster")
+    cserve_p.add_argument("--name", default=None,
+                          help="--join: shard name (default derived "
+                               "from the bound port)")
+    cserve_p.add_argument("--weight", type=float, default=1.0,
+                          help="--join: ring weight (default 1.0)")
+    cserve_p.add_argument("--verbose", action="store_true",
+                          help="log HTTP requests")
+    cstatus_p = cluster_sub.add_parser(
+        "status", help="show a router's topology and shard health")
+    cstatus_p.add_argument("--url", default="http://127.0.0.1:8765",
+                           help="router base URL")
+    cstatus_p.add_argument("--json", action="store_true",
+                           help="print the raw health + topology JSON")
 
     submit_p = sub.add_parser(
         "submit", help="submit a config document to a running server")
@@ -299,6 +346,21 @@ def _print_report(report: RunReport) -> None:
             print(line)
 
 
+def _graceful_sigterm() -> None:
+    """Translate SIGTERM into KeyboardInterrupt so the serve loops'
+    ``finally`` blocks run — a plain ``kill`` must not orphan shard
+    subprocesses or skip draining."""
+    import signal
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except ValueError:                   # non-main thread (tests)
+        pass
+
+
 def _cmd_serve(args) -> int:
     from ..serve import ServeService, StcoServer
     workspace = Workspace(args.workspace)
@@ -310,15 +372,26 @@ def _cmd_serve(args) -> int:
                   file=sys.stderr)
     service = ServeService(workspace, workers=args.workers,
                            reuse_completed=not args.no_reuse_completed,
-                           on_event=on_event)
+                           on_event=on_event,
+                           shard_name=getattr(args, "shard", ""))
     server = StcoServer(service, host=args.host, port=args.port,
                         verbose=args.verbose)
+    port_file = getattr(args, "port_file", None)
+    if port_file:
+        # Atomic publish: a supervisor polling the file never reads a
+        # torn URL.
+        target = Path(port_file)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.parent / (target.name + ".tmp")
+        tmp.write_text(server.url + "\n", encoding="utf-8")
+        tmp.replace(target)
     recovered = service.store.recovered
     if recovered:
         print(f"resubmitted {len(recovered)} interrupted job(s): "
               f"{', '.join(recovered)}")
     print(f"serving {workspace} on {server.url} "
           f"({args.workers} worker(s)) — Ctrl-C to stop")
+    _graceful_sigterm()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -326,6 +399,109 @@ def _cmd_serve(args) -> int:
     finally:
         server.close(close_service=True)
     return 0
+
+
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "status":
+        return _cmd_cluster_status(args)
+    if args.join is not None:
+        return _cmd_cluster_join(args)
+    from ..cluster import LocalCluster
+    cluster = LocalCluster(args.workspace, shards=args.shards,
+                           host=args.host, port=args.port,
+                           workers=args.workers, verbose=args.verbose)
+    for shard in cluster.shards:
+        print(f"  {shard.name}: {shard.url} "
+              f"(workspace {shard.workspace})")
+    print(f"routing {len(cluster.shards)} shard(s) on {cluster.url} "
+          f"— Ctrl-C to stop")
+    _graceful_sigterm()
+    try:
+        cluster.serve_forever()
+    except KeyboardInterrupt:
+        print("\nstopping cluster…")
+    finally:
+        cluster.close()
+    return 0
+
+
+def _cmd_cluster_join(args) -> int:
+    from ..cluster.client import join_cluster
+    from ..serve import ServeService, StcoServer
+    workspace = Workspace(args.workspace)
+    # Bind first (ephemeral port), then announce: the router needs a
+    # reachable URL, and the name defaults to the bound port.
+    service = ServeService(workspace, workers=args.workers,
+                           shard_name=args.name or "")
+    server = StcoServer(service, host=args.host, port=0,
+                        verbose=args.verbose)
+    name = args.name or f"shard-{server.port}"
+    service.shard_name = name
+    try:
+        joined = join_cluster(args.join, name, server.url,
+                              weight=args.weight)
+    except Exception as exc:             # noqa: BLE001 — CLI boundary
+        server.close(close_service=True)
+        print(f"error: cannot join {args.join}: {exc}",
+              file=sys.stderr)
+        return 2
+    ring = joined.get("ring", {})
+    print(f"joined {args.join} as {name} on {server.url} "
+          f"({ring.get('points', '?')} ring points) — Ctrl-C to stop")
+    _graceful_sigterm()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining…")
+    finally:
+        server.close(close_service=True)
+    return 0
+
+
+def _cmd_cluster_status(args) -> int:
+    import urllib.error
+
+    from ..serve import ServeClient, ServeClientError
+    from ..utils.tables import print_table
+    client = ServeClient(args.url)
+    try:
+        health = client.health()
+        topology = client._request("GET", "/v1/cluster")
+    except ServeClientError as exc:
+        if exc.status == 404:
+            print(f"error: {args.url} is not a cluster router "
+                  f"(no /v1/cluster endpoint)", file=sys.stderr)
+            return 2
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {args.url}: {exc.reason}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"health": health, "cluster": topology},
+                         indent=1, sort_keys=True))
+        return 0 if health.get("health") == "healthy" else 1
+    shards = topology.get("shards", {})
+    rows = []
+    for name in sorted(shards):
+        doc = (health.get("shards") or {}).get(name, {})
+        jobs = doc.get("jobs") or {}
+        rows.append([name, shards[name].get("url", ""),
+                     doc.get("health", "?"),
+                     "yes" if doc.get("accepting") else "no",
+                     str(jobs.get("running", 0)),
+                     str(jobs.get("queued", 0)),
+                     str(jobs.get("succeeded", 0))])
+    ring = topology.get("ring", {})
+    print_table(
+        ["shard", "url", "health", "accepting", "running", "queued",
+         "succeeded"],
+        rows,
+        title=f"cluster {health.get('health', '?')} — "
+              f"{len(shards)} shard(s), "
+              f"{ring.get('points', 0)} ring points")
+    return 0 if health.get("health") == "healthy" else 1
 
 
 def _cmd_submit(args) -> int:
@@ -611,6 +787,8 @@ def main(argv=None) -> int:
             return _cmd_report(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
         if args.command == "submit":
             return _cmd_submit(args)
         if args.command == "metrics":

@@ -58,6 +58,7 @@ class Workspace:
         self._engines: dict = {}
         self._record_stores: dict = {}
         self._surrogates: dict = {}
+        self._engine_hooks: list = []
         self._row_counts: dict = {}     # jsonl path -> (sig, rows)
         self._tmp = None                # keeps ephemeral roots alive
         self.counters = {"datasets_built": 0, "datasets_loaded": 0,
@@ -219,9 +220,25 @@ class Workspace:
             self.counters["engines_reused"] += 1
             return self._engines[key]
         self.counters["engines_created"] += 1
-        self._engines[key] = EvaluationEngine(
+        created = EvaluationEngine(
             builder, engine.engine_config(cache_dir=self.engine_dir))
-        return self._engines[key]
+        self._engines[key] = created
+        for hook in list(self._engine_hooks):
+            hook(created)
+        return created
+
+    def add_engine_hook(self, hook) -> None:
+        """Register ``hook(engine)`` against every engine this
+        workspace memoizes — the ones that already exist (applied now)
+        and every one created later. The cluster layer uses this to
+        wire peer cache borrowing onto engines it has never seen
+        (engines are created lazily, per builder fingerprint, deep
+        inside a run). Idempotent per hook object."""
+        if hook in self._engine_hooks:
+            return
+        self._engine_hooks.append(hook)
+        for engine in list(self._engines.values()):
+            hook(engine)
 
     # -- surrogate training data / models -----------------------------------
     def record_store(self, featurizer=None):
@@ -328,6 +345,10 @@ class Workspace:
         return {"root": str(self.root), "artifacts": kinds,
                 "surrogate": self.surrogate_stats(),
                 **self.counters}
+
+    def engines(self) -> list:
+        """The live memoized engines (snapshot; safe across threads)."""
+        return list(self._engines.values())
 
     def engine_stats(self) -> dict:
         """Live :meth:`~repro.engine.engine.EvaluationEngine.stats` per

@@ -1,0 +1,177 @@
+"""Consistent hashing: a deterministic request-key → shard map.
+
+The cluster layer shards work by *content*, not by connection: a
+submission's :func:`route_key` (the workspace-independent sibling of
+:func:`repro.serve.coalesce.request_key`) lands on the same shard no
+matter which router — or which process, or which machine — computes
+the assignment. That property is what keeps per-shard coalescing
+global: identical configs always meet in the same queue.
+
+Two implementation rules follow:
+
+* **Never the builtin ``hash``.** It is salted per process
+  (``PYTHONHASHSEED``), so two routers would disagree about ownership.
+  Every position on the ring comes from SHA-256, same as the rest of
+  the repository's content addressing.
+* **Virtual nodes.** Each member owns ``vnodes × weight`` points on a
+  64-bit ring, so load spreads evenly and membership changes remap
+  only the slice a new member claims (~1/N of the key space), never
+  reshuffle everything — the classic consistent-hashing contract.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing", "route_key"]
+
+
+def _h64(token: str) -> int:
+    """A position on the 64-bit ring, derived from SHA-256 — stable
+    across processes, platforms and Python versions."""
+    digest = hashlib.sha256(token.encode("utf-8")).hexdigest()
+    return int(digest[:16], 16)
+
+
+def route_key(config) -> str:
+    """Cluster-wide content key for a config document.
+
+    Unlike :func:`repro.serve.coalesce.request_key`, the workspace path
+    is deliberately excluded: every shard runs its own workspace
+    directory, so a workspace-bound key would never collide across the
+    cluster and routing would be meaningless. Normalization goes
+    through :class:`~repro.api.config.StcoConfig`, so two spellings of
+    the same run route identically.
+    """
+    from ..api.config import StcoConfig
+    from ..engine.hashing import stable_hash
+    if not isinstance(config, StcoConfig):
+        config = StcoConfig.from_dict(dict(config))
+    return stable_hash({"kind": "cluster-route",
+                        "config": config.to_dict()}, length=32)
+
+
+class HashRing:
+    """Weighted consistent-hash ring over named members.
+
+    ``members`` is ``{name: weight}`` (or an iterable of names, all
+    weight 1.0). A member of weight ``w`` owns ``round(vnodes * w)``
+    points (at least one), so a weight-2 shard receives ~2× the key
+    space of a weight-1 shard.
+    """
+
+    def __init__(self, members=None, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._weights: dict[str, float] = {}
+        self._positions: list[int] = []
+        self._names: list[str] = []
+        if members:
+            items = (members.items() if hasattr(members, "items")
+                     else ((name, 1.0) for name in members))
+            for name, weight in items:
+                self._set(name, weight)
+            self._rebuild()
+
+    # -- membership --------------------------------------------------------
+    def _set(self, name: str, weight: float) -> None:
+        if not name:
+            raise ValueError("member name must be non-empty")
+        weight = float(weight)
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight} "
+                             f"for {name!r}")
+        self._weights[name] = weight
+
+    def _rebuild(self) -> None:
+        points = []
+        for name, weight in self._weights.items():
+            count = max(1, round(self.vnodes * weight))
+            for i in range(count):
+                points.append((_h64(f"shard:{name}:{i}"), name))
+        # Position ties (astronomically unlikely) break on the name, so
+        # every process sorts the ring identically.
+        points.sort()
+        self._positions = [p for p, _ in points]
+        self._names = [n for _, n in points]
+
+    def add(self, name: str, weight: float = 1.0) -> None:
+        """Add (or re-weight) a member; remaps ~1/N of the key space."""
+        self._set(name, weight)
+        self._rebuild()
+
+    def remove(self, name: str) -> None:
+        """Remove a member; its keys redistribute to the survivors."""
+        self._weights.pop(name, None)
+        self._rebuild()
+
+    @property
+    def members(self) -> dict:
+        return dict(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._weights
+
+    # -- lookup ------------------------------------------------------------
+    def shard_for(self, key: str) -> str:
+        """The member owning ``key`` (first point clockwise)."""
+        if not self._positions:
+            raise ValueError("ring has no members")
+        pos = _h64(f"key:{key}")
+        idx = bisect.bisect_right(self._positions, pos) \
+            % len(self._positions)
+        return self._names[idx]
+
+    def preference(self, key: str, count: int | None = None) -> list:
+        """Distinct members in clockwise order from ``key`` — the
+        owner first, then the natural fallback/replica order."""
+        if not self._positions:
+            raise ValueError("ring has no members")
+        want = len(self._weights) if count is None \
+            else min(count, len(self._weights))
+        start = bisect.bisect_right(self._positions,
+                                    _h64(f"key:{key}"))
+        out: list[str] = []
+        for step in range(len(self._names)):
+            name = self._names[(start + step) % len(self._names)]
+            if name not in out:
+                out.append(name)
+                if len(out) >= want:
+                    break
+        return out
+
+    def neighbors(self, name: str, count: int | None = None) -> list:
+        """Other members in clockwise order from ``name``'s first
+        point — the deterministic peer-ask order for cache borrowing.
+        Unknown names see the whole ring (a joining shard can ask
+        everyone)."""
+        if not self._positions:
+            return []
+        out: list[str] = []
+        start = bisect.bisect_right(self._positions,
+                                    _h64(f"shard:{name}:0"))
+        for step in range(len(self._names)):
+            other = self._names[(start + step) % len(self._names)]
+            if other != name and other not in out:
+                out.append(other)
+                if count is not None and len(out) >= count:
+                    break
+        return out
+
+    # -- introspection -----------------------------------------------------
+    def spread(self, keys) -> dict:
+        """``{member: key_count}`` over an iterable of keys (balance
+        diagnostics; every member appears, even with zero keys)."""
+        counts = {name: 0 for name in self._weights}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+    def stats(self) -> dict:
+        return {"members": self.members, "vnodes": self.vnodes,
+                "points": len(self._positions)}

@@ -1,0 +1,343 @@
+"""The router: N shards behind one shard-shaped API.
+
+A :class:`Router` owns the cluster membership (names, URLs, weights),
+the consistent-hash ring built from it, and one retrying
+:class:`~repro.serve.client.ServeClient` per shard. Its methods mirror
+a single :class:`~repro.serve.pool.ServeService` so the HTTP front end
+(:mod:`~repro.cluster.router_http`) can expose the *same* surface a
+shard does — clients cannot tell a cluster from a shard. The mapping:
+
+* **submissions** route by :func:`~repro.cluster.ring.route_key` to
+  the owning shard, so per-shard coalescing/dedup is globally correct;
+* **job reads** go to the shard that owns the job (a location cache,
+  refilled by fan-out probe when cold — e.g. after a router restart);
+* **health / SLO** aggregate worst-of-shards (an unreachable shard is
+  unhealthy: silent partial clusters must not look green);
+* **metrics** merge every shard's JSON exposition under an added
+  ``shard`` label, re-rendered to Prometheus text on demand;
+* **membership changes** (:meth:`add_shard`) rebuild the ring and push
+  the new document to every shard's ``POST /v1/cluster/peers``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..obs.metrics import _escape_help, _fmt, _series, get_registry
+from ..serve.client import ServeClient, ServeClientError
+from ..serve.jobs import UnknownJobError
+from .ring import HashRing, route_key
+
+__all__ = ["ShardUnavailable", "Router"]
+
+_HEALTH_RANK = {"healthy": 0, "degraded": 1, "unhealthy": 2,
+                "unreachable": 2}
+
+
+class ShardUnavailable(RuntimeError):
+    """A shard the request needs could not be reached."""
+
+    def __init__(self, shard: str, cause: str):
+        super().__init__(f"shard {shard!r} unavailable: {cause}")
+        self.shard = shard
+        self.cause = cause
+
+
+def _worst(a: str, b: str) -> str:
+    return a if _HEALTH_RANK.get(a, 2) >= _HEALTH_RANK.get(b, 2) else b
+
+
+class Router:
+    """Route-by-key writes, fan-out reads, worst-of-shards health.
+
+    ``shards`` maps name → URL string or ``{"url": ..., "weight": ...}``.
+    ``client_factory(url) -> client`` lets tests substitute stubs.
+    """
+
+    def __init__(self, shards: dict, timeout_s: float = 30.0,
+                 vnodes: int = 64, client_factory=None):
+        if not shards:
+            raise ValueError("a router needs at least one shard")
+        self._factory = client_factory if client_factory is not None \
+            else (lambda url: ServeClient(url, timeout_s=timeout_s))
+        self._members: dict[str, dict] = {}
+        self._clients: dict[str, object] = {}
+        for name, spec in shards.items():
+            self._adopt(name, spec)
+        self.ring = HashRing({n: m["weight"]
+                              for n, m in self._members.items()},
+                             vnodes=vnodes)
+        self._locations: dict[str, str] = {}   # job id -> shard name
+        self._lock = threading.Lock()
+        self._m_requests = get_registry().counter(
+            "repro_router_requests_total",
+            "Router operations by kind and target shard",
+            labels=("op", "shard"))
+
+    # -- membership --------------------------------------------------------
+    def _adopt(self, name: str, spec) -> None:
+        if isinstance(spec, str):
+            spec = {"url": spec}
+        url = str(spec.get("url", "")).rstrip("/")
+        if not url:
+            raise ValueError(f"shard {name!r} needs a url")
+        weight = float(spec.get("weight", 1.0))
+        self._members[name] = {"url": url, "weight": weight}
+        self._clients[name] = self._factory(url)
+
+    @property
+    def shards(self) -> dict:
+        return {name: dict(m) for name, m in self._members.items()}
+
+    def membership(self) -> dict:
+        """The document every shard adopts for peer borrowing."""
+        return {"shards": self.shards}
+
+    def client(self, name: str):
+        return self._clients[name]
+
+    def add_shard(self, name: str, url: str,
+                  weight: float = 1.0) -> dict:
+        """Join a shard: extend the ring (~1/N keys remap to it) and
+        push the new membership to everyone."""
+        self._adopt(name, {"url": url, "weight": weight})
+        self.ring.add(name, weight)
+        return {"shard": name, "ring": self.ring.stats(),
+                "peers": self.push_membership()}
+
+    def push_membership(self) -> dict:
+        """``POST /v1/cluster/peers`` to every shard; per-shard result
+        (an unreachable shard records its error — it will adopt the
+        document when it rejoins)."""
+        doc = self.membership()
+        out = {}
+        for name, client in self._clients.items():
+            try:
+                out[name] = client._request("POST", "/v1/cluster/peers",
+                                            doc)
+            except (ServeClientError, OSError) as exc:
+                out[name] = {"error": str(exc)}
+        return out
+
+    # -- routing -----------------------------------------------------------
+    def route(self, config) -> tuple:
+        """``(route_key, owning_shard)`` for a config document."""
+        key = route_key(config)
+        return key, self.ring.shard_for(key)
+
+    def submit(self, config, priority: int = 0,
+               force: bool = False) -> dict:
+        key, owner = self.route(config)
+        self._m_requests.labels(op="submit", shard=owner).inc()
+        try:
+            job = self._clients[owner].submit(config, priority=priority,
+                                              force=force)
+        except OSError as exc:
+            raise ShardUnavailable(owner, str(exc)) from None
+        with self._lock:
+            self._locations[job["job_id"]] = owner
+        return dict(job, shard=owner, route_key=key)
+
+    def locate(self, job_id: str) -> str:
+        """The shard holding ``job_id`` — cached, else fan-out probe.
+
+        Raises :class:`UnknownJobError` only when *every* shard
+        answered 404; with any shard unreachable the honest answer is
+        503, not "gone".
+        """
+        with self._lock:
+            cached = self._locations.get(job_id)
+        order = list(self._clients)
+        if cached in self._clients:
+            order.remove(cached)
+            order.insert(0, cached)
+        unreachable = []
+        for name in order:
+            try:
+                self._clients[name]._request(
+                    "GET", f"/v1/runs/{job_id}?view=summary")
+            except ServeClientError as exc:
+                if exc.status == 404:
+                    continue
+                unreachable.append(name)
+            except OSError:
+                unreachable.append(name)
+            else:
+                with self._lock:
+                    self._locations[job_id] = name
+                return name
+        if unreachable:
+            raise ShardUnavailable(",".join(unreachable),
+                                   f"cannot locate job {job_id!r}")
+        raise UnknownJobError(job_id)
+
+    def _on_shard(self, job_id: str, op: str, call):
+        name = self.locate(job_id)
+        self._m_requests.labels(op=op, shard=name).inc()
+        try:
+            return name, call(self._clients[name])
+        except OSError as exc:
+            raise ShardUnavailable(name, str(exc)) from None
+
+    # -- jobs --------------------------------------------------------------
+    def jobs(self) -> dict:
+        merged, unreachable = [], []
+        for name, client in self._clients.items():
+            try:
+                for job in client.jobs():
+                    merged.append(dict(job, shard=name))
+            except (ServeClientError, OSError):
+                unreachable.append(name)
+        merged.sort(key=lambda j: j.get("submitted_s", 0.0))
+        return {"jobs": merged, "unreachable": unreachable}
+
+    def job(self, job_id: str, summary: bool = False) -> dict:
+        view = "?view=summary" if summary else ""
+        name, doc = self._on_shard(
+            job_id, "job",
+            lambda c: c._request("GET", f"/v1/runs/{job_id}{view}"))
+        return dict(doc, shard=name)
+
+    def events(self, job_id: str) -> dict:
+        name, doc = self._on_shard(
+            job_id, "events",
+            lambda c: c._request("GET", f"/v1/runs/{job_id}/events"))
+        return dict(doc, shard=name)
+
+    def event_stream(self, job_id: str):
+        """The owning shard's live SSE feed (parsed-event generator)."""
+        name = self.locate(job_id)
+        self._m_requests.labels(op="stream", shard=name).inc()
+        return self._clients[name].events(job_id, stream=True)
+
+    def profile(self, job_id: str, format: str = "text"):
+        name, doc = self._on_shard(
+            job_id, "profile",
+            lambda c: c.profile(job_id, format=format))
+        return dict(doc, shard=name) if isinstance(doc, dict) else doc
+
+    def cancel(self, job_id: str) -> dict:
+        name, doc = self._on_shard(job_id, "cancel",
+                                   lambda c: c.cancel(job_id))
+        return dict(doc, shard=name)
+
+    # -- aggregate reads ---------------------------------------------------
+    def _fan_out(self, call) -> tuple:
+        """``({shard: result}, {shard: error_doc})`` over all shards."""
+        results, errors = {}, {}
+        for name, client in self._clients.items():
+            try:
+                results[name] = call(client)
+            except ServeClientError as exc:
+                errors[name] = {"error": exc.message,
+                                "status": exc.status,
+                                "body": exc.body}
+            except OSError as exc:
+                errors[name] = {"error": str(exc)}
+        return results, errors
+
+    def health(self) -> dict:
+        shards, worst, accepting = {}, "healthy", False
+        jobs: dict[str, int] = {}
+        for name, client in self._clients.items():
+            try:
+                doc = client.health()
+            except (ServeClientError, OSError) as exc:
+                doc = {"health": "unreachable", "error": str(exc)}
+            shards[name] = doc
+            worst = _worst(worst, doc.get("health", "unreachable"))
+            accepting = accepting or bool(doc.get("accepting"))
+            for state, count in (doc.get("jobs") or {}).items():
+                jobs[state] = jobs.get(state, 0) + int(count)
+        return {"status": "ok", "role": "router", "health": worst,
+                "accepting": accepting, "jobs": jobs,
+                "shards": shards, "ring": self.ring.stats()}
+
+    def slo(self) -> dict:
+        rules, shards, worst = [], {}, "healthy"
+        results, errors = self._fan_out(lambda c: c.slo())
+        for name, report in results.items():
+            shards[name] = {"health": report.get("health", "unknown")}
+            worst = _worst(worst, report.get("health", "unhealthy"))
+            for rule in report.get("rules", []):
+                rules.append(dict(rule, shard=name))
+        for name, error in errors.items():
+            shards[name] = {"health": "unreachable", **error}
+            worst = "unhealthy"
+        return {"health": worst, "rules": rules, "shards": shards,
+                "role": "router"}
+
+    def workspace_stats(self) -> dict:
+        results, errors = self._fan_out(lambda c: c.workspace_stats())
+        return {"role": "router", "shards": {**results, **errors}}
+
+    def cache_entry(self, digest: str, tier: str | None = None):
+        """First shard that holds the digest wins (fan-out read)."""
+        for name, client in self._clients.items():
+            try:
+                found = client.cache_entry(digest, tier)
+            except (ServeClientError, OSError):
+                continue
+            if found is not None:
+                return found
+        return None
+
+    def cluster_info(self) -> dict:
+        with self._lock:
+            located = len(self._locations)
+        return {"role": "router", "shards": self.shards,
+                "ring": self.ring.stats(), "located_jobs": located}
+
+    # -- metrics merge -----------------------------------------------------
+    def metrics_json(self) -> dict:
+        """Every shard's JSON exposition merged; each series gains a
+        ``shard`` label so identical families never collide."""
+        merged: dict[str, dict] = {}
+        collector_errors = 0
+        results, errors = self._fan_out(
+            lambda c: c.metrics(format="json"))
+        for name, doc in results.items():
+            collector_errors += int(doc.get("collector_errors", 0))
+            for fam_name, family in doc.get("metrics", {}).items():
+                out = merged.setdefault(
+                    fam_name, {"type": family.get("type", "gauge"),
+                               "help": family.get("help", ""),
+                               "series": []})
+                for series in family.get("series", []):
+                    labels = dict(series.get("labels", {}))
+                    labels["shard"] = name
+                    out["series"].append(dict(series, labels=labels))
+        return {"metrics": merged,
+                "collector_errors": collector_errors,
+                "unreachable": sorted(errors)}
+
+    def metrics_text(self) -> str:
+        """The merged exposition as Prometheus text 0.0.4."""
+        doc = self.metrics_json()
+        lines = []
+        for name, family in doc["metrics"].items():
+            if family.get("help"):
+                lines.append(f"# HELP {name} "
+                             f"{_escape_help(family['help'])}")
+            lines.append(f"# TYPE {name} {family['type']}")
+            for series in family["series"]:
+                labels = series.get("labels", {})
+                if family["type"] == "histogram":
+                    for bound, count in series.get("buckets", []):
+                        lines.append(
+                            f"{_series(name + '_bucket', labels, {'le': bound})}"
+                            f" {count}")
+                    lines.append(f"{_series(name + '_sum', labels)} "
+                                 f"{series.get('sum', 0.0)!r}")
+                    lines.append(f"{_series(name + '_count', labels)} "
+                                 f"{series.get('count', 0)}")
+                else:
+                    lines.append(f"{_series(name, labels)} "
+                                 f"{_fmt(series.get('value', 0.0))}")
+        return "\n".join(lines) + "\n"
+
+    def metrics_window(self, window_s: float) -> dict:
+        results, errors = self._fan_out(
+            lambda c: c.metrics(window_s=window_s))
+        return {"role": "router", "window_s": window_s,
+                "shards": {**results, **errors}}

@@ -213,6 +213,15 @@ class EvaluationCache:
     ``get`` promotes disk hits into memory; ``put`` writes through to
     both tiers. With ``directory=None`` this degrades to a plain LRU.
 
+    A third, optional tier sits behind both: a **fetcher** installed
+    via :meth:`set_fetcher` (the cluster layer's peer-borrow hook). On
+    a miss in both local tiers, ``get`` asks the fetcher for the entry
+    — outside the cache lock, because the fetcher may do network I/O
+    and must not stall concurrent gets or metric scrapes — and
+    installs a non-``None`` answer through both local tiers, so the
+    borrow is paid exactly once. Borrow traffic is tallied in
+    ``borrows`` / ``borrow_misses`` (surfaced by :meth:`stats`).
+
     ``name`` opts the cache into process metrics: tier movement is
     mirrored into the registry's
     ``repro_engine_cache_events_total{cache,tier,event}`` counters —
@@ -234,6 +243,9 @@ class EvaluationCache:
         self.disk = (DiskCache(directory, max_bytes=max_bytes)
                      if directory is not None else None)
         self._lock = lock if lock is not None else _NullLock()
+        self._fetcher = None
+        self.borrows = 0               # fetcher answered a local miss
+        self.borrow_misses = 0         # fetcher asked, had nothing
         self._metric = None
         self._name = name
         self._children: dict = {}
@@ -293,6 +305,12 @@ class EvaluationCache:
                         self._child(tier, event).inc(a - b)
                 self._flushed[tier] = now
 
+    def set_fetcher(self, fetcher) -> None:
+        """Install (or clear, with ``None``) the miss-fallback hook:
+        ``fetcher(digest) -> value | None``. Called outside the cache
+        lock; any network failure must come back as ``None``."""
+        self._fetcher = fetcher
+
     def get(self, key: EvalKey, default=None):
         digest = key.digest if isinstance(key, EvalKey) else key
         with self._lock:
@@ -304,7 +322,22 @@ class EvaluationCache:
                 if value is not _MISS:
                     self.memory.put(digest, value)
                     return value
-            return default
+            fetcher = self._fetcher
+        if fetcher is not None:
+            value = fetcher(digest)
+            if value is not None:
+                # A borrowed hit is installed through both local tiers
+                # (the "disk-cache install"): the next request — this
+                # process or a restart — never asks the peer again.
+                with self._lock:
+                    self.borrows += 1
+                    self.memory.put(digest, value)
+                    if self.disk is not None:
+                        self.disk.put(digest, value)
+                return value
+            with self._lock:
+                self.borrow_misses += 1
+        return default
 
     def put(self, key: EvalKey, value) -> None:
         digest = key.digest if isinstance(key, EvalKey) else key
@@ -327,4 +360,8 @@ class EvaluationCache:
         out = {"memory": self.memory.stats.as_dict()}
         if self.disk is not None:
             out["disk"] = self.disk.stats.as_dict()
+        if self._fetcher is not None or self.borrows \
+                or self.borrow_misses:
+            out["peer"] = {"borrows": self.borrows,
+                           "borrow_misses": self.borrow_misses}
         return out

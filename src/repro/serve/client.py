@@ -4,13 +4,24 @@ Everything the server speaks is JSON, so the client is a dozen small
 methods over one ``urllib.request`` helper — no dependencies, usable
 from tests, examples and the ``repro submit`` CLI alike. HTTP error
 responses raise :class:`ServeClientError` carrying the decoded error
-body and status code; transport failures (connection refused, timeouts)
-surface as the underlying ``URLError``.
+body and status code.
+
+Transport failures are retried: transient ``URLError`` / connection
+resets get bounded exponential backoff with jitter (a restarting shard
+or a mid-request socket drop should not fail a whole submission), and
+a 503 answer honors the server's ``Retry-After`` hint before backing
+off. Retries are bounded (``retries`` attempts after the first) and
+off-able (``retries=0``); non-transient HTTP errors never retry.
+Submissions are content-keyed and coalesced server-side, so a retried
+POST is idempotent — except ``force=True``, where a retry after an
+ambiguous drop may execute twice (forced runs opt out of dedup by
+definition).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -21,42 +32,135 @@ __all__ = ["ServeClientError", "ServeClient"]
 class ServeClientError(RuntimeError):
     """The server answered with an HTTP error status."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, body=None,
+                 retry_after: float | None = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.body = body                 # decoded JSON body, when any
+        self.retry_after = retry_after   # server's Retry-After seconds
+
+
+def _transient(exc: urllib.error.URLError) -> bool:
+    """Worth retrying? Socket-level failures (refused, reset, timeout)
+    are; structural errors (bad URL scheme, ...) are not."""
+    return isinstance(exc.reason, (OSError, TimeoutError))
 
 
 class ServeClient:
-    """Client for one serve endpoint (``http://host:port``)."""
+    """Client for one serve endpoint (``http://host:port``).
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+    ``retries`` is the number of *re*-attempts after the first try;
+    ``backoff_s`` the initial backoff, doubled per attempt up to
+    ``backoff_max_s``, each sleep jittered to 50–100% of its nominal
+    value so a fleet of clients never retries in lockstep.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0,
+                 retries: int = 2, backoff_s: float = 0.2,
+                 backoff_max_s: float = 5.0):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+
+    # -- transport ---------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        base = min(self.backoff_s * (2 ** attempt), self.backoff_max_s)
+        return base * (0.5 + random.random() * 0.5)
+
+    @staticmethod
+    def _error(exc: urllib.error.HTTPError) -> ServeClientError:
+        retry_after = None
+        raw_hint = exc.headers.get("Retry-After") \
+            if exc.headers is not None else None
+        if raw_hint is not None:
+            try:
+                retry_after = max(0.0, float(raw_hint))
+            except ValueError:
+                retry_after = None       # HTTP-date form: ignore
+        body, message = None, str(exc)
+        try:
+            body = json.loads(exc.read().decode("utf-8"))
+            if isinstance(body, dict):
+                message = body.get("error", message)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            pass
+        return ServeClientError(exc.code, message, body=body,
+                                retry_after=retry_after)
+
+    def _open(self, request, retry_503: bool = True):
+        """``urlopen`` with the retry policy; returns the response or
+        raises :class:`ServeClientError` / the final ``URLError``."""
+        attempt = 0
+        while True:
+            try:
+                return urllib.request.urlopen(request,
+                                              timeout=self.timeout_s)
+            except urllib.error.HTTPError as exc:
+                error = self._error(exc)
+                exc.close()
+                if exc.code == 503 and retry_503 \
+                        and attempt < self.retries:
+                    # The server said when to come back; otherwise use
+                    # our own (jittered) schedule.
+                    delay = (error.retry_after
+                             if error.retry_after is not None
+                             else self._backoff(attempt))
+                    time.sleep(min(delay, self.backoff_max_s))
+                    attempt += 1
+                    continue
+                raise error from None
+            except urllib.error.URLError as exc:
+                if attempt < self.retries and _transient(exc):
+                    time.sleep(self._backoff(attempt))
+                    attempt += 1
+                    continue
+                raise
+            except (ConnectionError, TimeoutError):
+                # A reset after the connection was established arrives
+                # bare, not wrapped in URLError.
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self._backoff(attempt))
+                attempt += 1
 
     def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> dict:
+                 payload: dict | None = None,
+                 retry_503: bool = True) -> dict:
         url = f"{self.base_url}{path}"
         body = (None if payload is None
                 else json.dumps(payload).encode("utf-8"))
         request = urllib.request.Request(
             url, data=body, method=method,
             headers={"Content-Type": "application/json"})
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout_s) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            try:
-                message = json.loads(
-                    exc.read().decode("utf-8")).get("error", str(exc))
-            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
-                message = str(exc)
-            raise ServeClientError(exc.code, message) from None
+        with self._open(request, retry_503=retry_503) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def _request_text(self, path: str) -> str:
+        request = urllib.request.Request(f"{self.base_url}{path}",
+                                         method="GET")
+        with self._open(request) as resp:
+            return resp.read().decode("utf-8")
 
     # -- service introspection --------------------------------------------
     def health(self) -> dict:
-        return self._request("GET", "/healthz")
+        """The health document — even from an SLO-unhealthy service.
+
+        ``/healthz`` answers 503 when health is ``unhealthy`` so load
+        balancers can eject the shard without parsing anything; this
+        client *does* want the body, so a 503 that carries a health
+        document is returned, not raised (and never retried — the
+        answer is the answer).
+        """
+        try:
+            return self._request("GET", "/healthz", retry_503=False)
+        except ServeClientError as exc:
+            if exc.status == 503 and isinstance(exc.body, dict) \
+                    and "health" in exc.body:
+                return exc.body
+            raise
 
     def workspace_stats(self) -> dict:
         return self._request("GET", "/v1/workspace/stats")
@@ -87,20 +191,25 @@ class ServeClient:
                 "GET", f"/v1/runs/{job_id}/profile?format=json")
         return self._request_text(f"/v1/runs/{job_id}/profile")
 
-    def _request_text(self, path: str) -> str:
-        url = f"{self.base_url}{path}"
-        request = urllib.request.Request(url, method="GET")
+    def cache_entry(self, digest: str, tier: str | None = None):
+        """Fetch one engine disk-cache entry by content digest.
+
+        Returns ``(tier, raw_pickle_bytes)`` or ``None`` when no shard
+        tier holds the digest — the cluster peer-borrow primitive.
+        """
+        path = f"/v1/cache/{digest}"
+        if tier is not None:
+            path += f"?tier={tier}"
+        request = urllib.request.Request(f"{self.base_url}{path}",
+                                         method="GET")
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout_s) as resp:
-                return resp.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            try:
-                message = json.loads(
-                    exc.read().decode("utf-8")).get("error", str(exc))
-            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
-                message = str(exc)
-            raise ServeClientError(exc.code, message) from None
+            with self._open(request) as resp:
+                found = resp.headers.get("X-Repro-Tier", tier or "")
+                return found, resp.read()
+        except ServeClientError as exc:
+            if exc.status == 404:
+                return None
+            raise
 
     # -- jobs --------------------------------------------------------------
     def submit(self, config, priority: int = 0,
@@ -138,16 +247,9 @@ class ServeClient:
     def _event_stream(self, job_id: str):
         url = f"{self.base_url}/v1/runs/{job_id}/events?stream=1"
         request = urllib.request.Request(url, method="GET")
-        try:
-            resp = urllib.request.urlopen(request,
-                                          timeout=self.timeout_s)
-        except urllib.error.HTTPError as exc:
-            try:
-                message = json.loads(
-                    exc.read().decode("utf-8")).get("error", str(exc))
-            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
-                message = str(exc)
-            raise ServeClientError(exc.code, message) from None
+        # Connect errors retry; a drop mid-stream does not (the caller
+        # would see duplicated events).
+        resp = self._open(request)
         # http.client decodes the chunked framing; we parse SSE lines.
         with resp:
             kind, data_lines = "message", []

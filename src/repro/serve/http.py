@@ -27,9 +27,20 @@ GET     ``/v1/metrics``             process metrics — Prometheus text
                                     series window
 GET     ``/v1/slo``                 SLO rule evaluation (per-rule
                                     ok/warning/breach + burn rates)
+GET     ``/v1/cache/{digest}``      one engine disk-cache entry as raw
+                                    pickle bytes (``?tier=libraries``
+                                    or ``results``; both tried when
+                                    omitted) — the cluster peer-borrow
+                                    primitive
+POST    ``/v1/cluster/peers``       adopt a cluster membership document
+                                    (``{"shards": {name: {url,
+                                    weight}}}``) for peer borrowing
 GET     ``/healthz``                liveness + SLO-derived ``health``
                                     (healthy/degraded/unhealthy),
-                                    queue depth, job counts
+                                    queue depth, job counts — HTTP 503
+                                    when ``unhealthy`` so load
+                                    balancers can eject the shard
+                                    without parsing the body
 ======  ==========================  =====================================
 
 The SSE stream emits one ``progress`` event per persisted snapshot
@@ -55,9 +66,28 @@ from ..obs.metrics import get_registry
 from .jobs import JobState, UnknownJobError
 from .pool import ServeService, ServiceClosed
 
-__all__ = ["StcoServer"]
+__all__ = ["ROUTES", "StcoServer"]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: The shard's route table, one ``(method, template)`` per endpoint.
+#: The cluster router mirrors this surface; the parity test diffs the
+#: two tables, so a route added here without router support (or vice
+#: versa) fails fast.
+ROUTES = (
+    ("GET", "/healthz"),
+    ("GET", "/v1/metrics"),
+    ("GET", "/v1/slo"),
+    ("GET", "/v1/workspace/stats"),
+    ("GET", "/v1/cache/{digest}"),
+    ("POST", "/v1/cluster/peers"),
+    ("POST", "/v1/runs"),
+    ("GET", "/v1/runs"),
+    ("GET", "/v1/runs/{id}"),
+    ("GET", "/v1/runs/{id}/events"),
+    ("GET", "/v1/runs/{id}/profile"),
+    ("POST", "/v1/runs/{id}/cancel"),
+)
 
 
 def _route_label(path: str) -> str:
@@ -90,12 +120,15 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send(self, payload: dict, status: int = 200) -> None:
+    def _send(self, payload: dict, status: int = 200,
+              extra_headers: dict | None = None) -> None:
         body = json.dumps(payload, indent=1, sort_keys=True,
                           default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -132,7 +165,9 @@ class _Handler(BaseHTTPRequestHandler):
         except UnknownJobError as exc:
             self._send({"error": f"unknown job {exc.args[0]!r}"}, 404)
         except ServiceClosed as exc:
-            self._send({"error": str(exc)}, 503)
+            # The hint tells retrying clients when to come back.
+            self._send({"error": str(exc)}, 503,
+                       extra_headers={"Retry-After": "1"})
         except Exception as exc:        # noqa: BLE001 — request boundary
             self._send({"error": f"internal error: {exc}"}, 500)
 
@@ -148,11 +183,25 @@ class _Handler(BaseHTTPRequestHandler):
         path = path.rstrip("/") or "/"
         parts = [p for p in path.split("/") if p]
         if method == "GET" and path == "/healthz":
-            return self._send(self.service.health())
+            health = self.service.health()
+            if health.get("health") == "unhealthy":
+                # SLO-unhealthy shards answer 503 (body intact) so a
+                # router or LB can eject them on status alone.
+                return self._send(health, 503,
+                                  extra_headers={"Retry-After": "5"})
+            return self._send(health)
         if method == "GET" and parts == ["v1", "metrics"]:
             return self._metrics(query)
         if method == "GET" and parts == ["v1", "slo"]:
             return self._send(self.service.slo_report())
+        if parts[:2] == ["v1", "cache"] and len(parts) == 3:
+            if method == "GET":
+                return self._cache_entry(parts[2], query)
+            raise _ApiError(404, f"no such endpoint: {path}")
+        if parts[:2] == ["v1", "cluster"]:
+            if method == "POST" and parts[2:] == ["peers"]:
+                return self._configure_peers()
+            raise _ApiError(404, f"no such endpoint: {path}")
         if parts[:2] != ["v1", "runs"] and parts[:2] != ["v1",
                                                          "workspace"]:
             raise _ApiError(404, f"no such endpoint: {path}")
@@ -185,6 +234,31 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send({"job_id": job_id, "cancelled": cancelled,
                                "state": job["state"]})
         raise _ApiError(404, f"no such endpoint: {path}")
+
+    # -- cluster -----------------------------------------------------------
+    def _cache_entry(self, digest: str, query: str) -> None:
+        tier = next((p.partition("=")[2] for p in query.split("&")
+                     if p.startswith("tier=")), None)
+        found = self.service.cache_entry(digest, tier)
+        if found is None:
+            where = f" in tier {tier!r}" if tier else ""
+            raise _ApiError(404, f"no cache entry {digest!r}{where}")
+        name, data = found
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("X-Repro-Tier", name)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _configure_peers(self) -> None:
+        data = self._read_json()
+        members = data.get("shards")
+        if not isinstance(members, dict) or not all(
+                isinstance(m, dict) for m in members.values()):
+            raise _ApiError(400, "'shards' must be an object of "
+                                 "{name: {url, weight}}")
+        self._send(self.service.configure_peers(members))
 
     # -- observability -----------------------------------------------------
     def _metrics(self, query: str) -> None:

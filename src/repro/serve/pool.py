@@ -102,13 +102,20 @@ class ServeService:
         Sampling period of the per-job execute-stage profiler
         (``kind="profile"`` event on the job's sidecar). ``0``
         disables profiling.
+    shard_name:
+        This service's identity inside a cluster (empty = standalone).
+        Surfaced in :meth:`health` and as the ``repro_shard_info``
+        gauge so merged metrics stay attributable; peers are wired
+        later via :meth:`configure_peers` (membership is only known
+        once every shard has bound its port).
     """
 
     def __init__(self, workspace, jobs_dir=None, workers: int = 2,
                  reuse_completed: bool = True, runner=None,
                  on_event=None, autostart: bool = True,
                  series_interval_s: float = 5.0, slo_rules=None,
-                 profile_interval_s: float = 0.01):
+                 profile_interval_s: float = 0.01,
+                 shard_name: str = ""):
         from ..api.workspace import Workspace
         if not isinstance(workspace, Workspace):
             workspace = Workspace(workspace)
@@ -127,7 +134,19 @@ class ServeService:
         self._stop = threading.Event()
         self._threads: list = []
         self._started_s = time.time()
+        self.shard_name = str(shard_name)
+        self.peers = None                # PeerBorrower once clustered
+        # One stable hook (borrower delegation happens inside it), so
+        # re-configuring membership never stacks stale hooks on the
+        # workspace.
+        self.workspace.add_engine_hook(self._peer_hook)
         registry = get_registry()
+        if self.shard_name:
+            registry.gauge(
+                "repro_shard_info",
+                "Static shard identity (always 1; labels carry it)",
+                labels=("shard",)).labels(
+                    shard=self.shard_name).set(1)
         self._m_outcomes = registry.counter(
             "repro_serve_jobs_total",
             "Jobs finished by this service, by outcome",
@@ -502,6 +521,45 @@ class ServeService:
                                   report=done.report,
                                   coalesced_with=other)
 
+    # -- cluster -----------------------------------------------------------
+    def _peer_hook(self, engine) -> None:
+        if self.peers is not None:
+            self.peers.attach(engine)
+
+    def configure_peers(self, members: dict) -> dict:
+        """Adopt a cluster membership document
+        (``{name: {"url": ..., "weight": ...}}``): future cache misses
+        ask ring neighbors before characterizing. Idempotent;
+        re-configuring replaces the previous membership."""
+        from ..cluster.peers import PeerBorrower
+        borrower = PeerBorrower(self.shard_name or "shard", members)
+        self.peers = borrower
+        for engine in self.workspace.engines():
+            borrower.attach(engine)
+        return {"shard": self.shard_name,
+                "peers": list(borrower.peer_names)}
+
+    def cache_entry(self, digest: str, tier: str | None = None):
+        """One engine disk-cache entry as ``(tier, raw_bytes)``, or
+        ``None``. Digests are validated against the hex grammar before
+        they touch a path, and entries are read as opaque bytes — the
+        server never unpickles foreign requests' keys."""
+        from ..cluster.peers import CACHE_TIERS, DIGEST_RE
+        if not isinstance(digest, str) or not DIGEST_RE.match(digest):
+            return None
+        tiers = (tier,) if tier is not None else CACHE_TIERS
+        for name in tiers:
+            if name not in CACHE_TIERS:
+                continue
+            path = self.workspace.engine_dir / name / f"{digest}.pkl"
+            try:
+                # Atomic writers (temp + rename) mean a readable file
+                # is always a whole entry.
+                return name, path.read_bytes()
+            except OSError:
+                continue
+        return None
+
     # -- introspection -----------------------------------------------------
     def wait(self, job_id: str, timeout: float | None = None):
         """Block until the job is terminal; returns the Job."""
@@ -528,6 +586,9 @@ class ServeService:
             accepting = self._accepting
         slo = self.slo.evaluate()
         return {"status": "ok" if accepting else "draining",
+                "shard": self.shard_name,
+                "peers": (self.peers.stats()
+                          if self.peers is not None else None),
                 "health": slo["health"],
                 "slo_breaches": [r["name"] for r in slo["rules"]
                                  if r["state"] != "ok"],

@@ -1,0 +1,170 @@
+"""Consistent-hash ring: cross-process stability and remap economics.
+
+The ring is the cluster's only coordination-free agreement mechanism:
+every router, shard and test must compute byte-identical assignments.
+The golden values here were produced once and are frozen — if they
+ever change, deployed clusters would disagree about key ownership
+mid-flight, so a failure in this file is a wire-compatibility break,
+not a test to update casually.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api.config import StcoConfig
+from repro.cluster.ring import HashRing, _h64, route_key
+from tests.serve.conftest import make_config
+
+KEYS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"]
+
+
+class TestGoldenStability:
+    """Frozen assignments: any drift is a cross-version ring break."""
+
+    def test_h64_golden(self):
+        assert _h64("key:alpha") == 12885579678385920263
+        assert _h64("shard:a:0") == 6743554134973859567
+
+    def test_two_shard_assignment_golden(self):
+        ring = HashRing({"shard-0": 1.0, "shard-1": 1.0})
+        assert {k: ring.shard_for(k) for k in KEYS} == {
+            "alpha": "shard-0", "bravo": "shard-0",
+            "charlie": "shard-0", "delta": "shard-0",
+            "echo": "shard-0", "foxtrot": "shard-1"}
+
+    def test_three_shard_assignment_golden(self):
+        ring = HashRing({"a": 1.0, "b": 1.0, "c": 1.0}, vnodes=32)
+        assert {k: ring.shard_for(k) for k in KEYS} == {
+            "alpha": "b", "bravo": "b", "charlie": "b",
+            "delta": "c", "echo": "a", "foxtrot": "a"}
+
+    def test_assignment_identical_across_processes(self):
+        """A subprocess with a different ``PYTHONHASHSEED`` must agree
+        byte-for-byte — the builtin ``hash`` would not."""
+        script = (
+            "import json, sys\n"
+            "from repro.cluster.ring import HashRing\n"
+            "keys = json.loads(sys.argv[1])\n"
+            "ring = HashRing({'a': 1.0, 'b': 1.0, 'c': 2.0}, vnodes=48)\n"
+            "print(json.dumps({k: ring.shard_for(k) for k in keys}))\n")
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        many = [f"k{i}" for i in range(200)]
+        out = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(many)],
+            capture_output=True, text=True, env=env, check=True)
+        local = HashRing({"a": 1.0, "b": 1.0, "c": 2.0}, vnodes=48)
+        assert json.loads(out.stdout) == {k: local.shard_for(k)
+                                          for k in many}
+
+    def test_insertion_order_is_irrelevant(self):
+        a = HashRing({"x": 1.0, "y": 1.0, "z": 1.0})
+        b = HashRing({"z": 1.0, "x": 1.0, "y": 1.0})
+        assert all(a.shard_for(f"k{i}") == b.shard_for(f"k{i}")
+                   for i in range(100))
+
+
+class TestRemap:
+    """The consistent-hashing contract: growth remaps ~1/N, never all."""
+
+    def test_adding_a_shard_remaps_about_one_over_n(self):
+        keys = [f"key-{i}" for i in range(300)]
+        ring = HashRing({"a": 1.0, "b": 1.0})
+        before = {k: ring.shard_for(k) for k in keys}
+        ring.add("c")
+        after = {k: ring.shard_for(k) for k in keys}
+        moved = [k for k in keys if before[k] != after[k]]
+        # Expected fraction is 1/3 (the share the new member claims);
+        # allow generous slack for a 300-key sample.
+        assert 0.15 <= len(moved) / len(keys) <= 0.55
+        # Every mover lands on the *new* member — keys never shuffle
+        # between survivors.
+        assert all(after[k] == "c" for k in moved)
+
+    def test_removing_the_shard_restores_the_old_map(self):
+        keys = [f"key-{i}" for i in range(300)]
+        ring = HashRing({"a": 1.0, "b": 1.0})
+        before = {k: ring.shard_for(k) for k in keys}
+        ring.add("c")
+        ring.remove("c")
+        assert {k: ring.shard_for(k) for k in keys} == before
+
+    def test_spread_is_roughly_even(self):
+        ring = HashRing({"a": 1.0, "b": 1.0})
+        spread = ring.spread(f"k{i}" for i in range(400))
+        assert set(spread) == {"a", "b"}
+        assert all(400 * 0.2 <= n <= 400 * 0.8
+                   for n in spread.values())
+
+    def test_weight_scales_key_share(self):
+        ring = HashRing({"big": 2.0, "small": 1.0}, vnodes=50)
+        assert ring.stats()["points"] == 150
+        spread = ring.spread(f"k{i}" for i in range(3000))
+        assert 1.5 <= spread["big"] / spread["small"] <= 3.0
+
+
+class TestRingApi:
+    def test_preference_starts_with_the_owner(self):
+        ring = HashRing({"a": 1.0, "b": 1.0, "c": 1.0})
+        for key in KEYS:
+            pref = ring.preference(key)
+            assert pref[0] == ring.shard_for(key)
+            assert sorted(pref) == ["a", "b", "c"]
+        assert len(ring.preference("alpha", count=2)) == 2
+
+    def test_neighbors_exclude_self_and_are_deterministic(self):
+        ring = HashRing({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        for name in ring.members:
+            neighbors = ring.neighbors(name)
+            assert name not in neighbors
+            assert sorted(neighbors) == sorted(
+                set(ring.members) - {name})
+            assert neighbors == ring.neighbors(name)
+        assert len(ring.neighbors("a", count=2)) == 2
+
+    def test_membership_protocol(self):
+        ring = HashRing()
+        assert len(ring) == 0
+        ring.add("a")
+        ring.add("b", weight=2.0)
+        assert "a" in ring and "c" not in ring
+        assert ring.members == {"a": 1.0, "b": 2.0}
+        ring.remove("a")
+        assert ring.members == {"b": 2.0}
+        assert ring.shard_for("anything") == "b"
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="no members"):
+            HashRing().shard_for("k")
+        with pytest.raises(ValueError, match="no members"):
+            HashRing().preference("k")
+        with pytest.raises(ValueError, match="positive"):
+            HashRing({"a": 0.0})
+        with pytest.raises(ValueError, match="non-empty"):
+            HashRing({"": 1.0})
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing({"a": 1.0}, vnodes=0)
+        assert HashRing().neighbors("a") == []
+
+
+class TestRouteKey:
+    def test_normalized_spellings_route_identically(self):
+        config = make_config(seed=3)
+        assert route_key(config) == route_key(config.to_dict())
+        assert route_key(config) == route_key(
+            StcoConfig.from_dict(config.to_dict()))
+
+    def test_distinct_configs_get_distinct_keys(self):
+        assert route_key(make_config(seed=1)) \
+            != route_key(make_config(seed=2))
+
+    def test_key_shape(self):
+        key = route_key(make_config())
+        assert len(key) == 32
+        assert int(key, 16) >= 0          # pure hex

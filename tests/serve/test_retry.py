@@ -1,0 +1,263 @@
+"""ServeClient transport resilience: bounded retry with exponential
+backoff + jitter on transient failures, Retry-After honored on 503 —
+plus the server side of that contract (``/healthz`` → 503 when the SLO
+health is ``unhealthy``).
+
+Transport tests monkeypatch ``urlopen`` inside the client module (no
+sockets, no sleeps): each test scripts a failure sequence and asserts
+exactly how many attempts and which delays the client produced.
+"""
+
+import io
+import json
+import urllib.error
+
+import pytest
+
+import repro.serve.client as client_module
+from repro.serve import ServeClient, StcoServer
+from repro.serve.client import ServeClientError
+from tests.serve.conftest import StubRunner, make_config
+
+
+class FakeResponse:
+    def __init__(self, payload):
+        self._data = json.dumps(payload).encode("utf-8")
+        self.headers = {}
+
+    def read(self):
+        return self._data
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def http_error(code, body=None, retry_after=None):
+    import email.message
+    headers = email.message.Message()
+    if retry_after is not None:
+        headers["Retry-After"] = str(retry_after)
+    data = b"" if body is None else json.dumps(body).encode("utf-8")
+    return urllib.error.HTTPError("http://test/", code, f"err {code}",
+                                  headers, io.BytesIO(data))
+
+
+@pytest.fixture
+def transport(monkeypatch):
+    """Scripted urlopen: pops one outcome per attempt (an exception
+    instance/factory or a payload dict), recording attempts + sleeps."""
+    state = {"attempts": 0, "sleeps": [], "script": []}
+
+    def fake_urlopen(request, timeout=None):
+        state["attempts"] += 1
+        step = state["script"].pop(0)
+        if callable(step):
+            step = step()
+        if isinstance(step, BaseException):
+            raise step
+        return FakeResponse(step)
+
+    class FakeTime:
+        @staticmethod
+        def sleep(seconds):
+            state["sleeps"].append(seconds)
+
+        monotonic = staticmethod(lambda: 0.0)
+
+    monkeypatch.setattr(client_module.urllib.request, "urlopen",
+                        fake_urlopen)
+    monkeypatch.setattr(client_module, "time", FakeTime)
+    return state
+
+
+def refused():
+    return urllib.error.URLError(ConnectionRefusedError(111,
+                                                        "refused"))
+
+
+class TestTransientRetry:
+    def test_transient_failures_retry_then_succeed(self, transport):
+        transport["script"] = [refused(), refused(), {"ok": True}]
+        client = ServeClient("http://test", retries=2, backoff_s=0.2)
+        assert client._request("GET", "/x") == {"ok": True}
+        assert transport["attempts"] == 3
+        # Exponential with 50–100% jitter: 0.2·2⁰ then 0.2·2¹.
+        first, second = transport["sleeps"]
+        assert 0.1 <= first <= 0.2
+        assert 0.2 <= second <= 0.4
+
+    def test_retries_are_bounded(self, transport):
+        transport["script"] = [refused()] * 10
+        client = ServeClient("http://test", retries=1)
+        with pytest.raises(urllib.error.URLError):
+            client._request("GET", "/x")
+        assert transport["attempts"] == 2    # first try + 1 retry
+
+    def test_retries_zero_means_one_attempt(self, transport):
+        transport["script"] = [refused()] * 10
+        client = ServeClient("http://test", retries=0)
+        with pytest.raises(urllib.error.URLError):
+            client._request("GET", "/x")
+        assert transport["attempts"] == 1
+        assert transport["sleeps"] == []
+
+    def test_non_transient_urlerror_never_retries(self, transport):
+        transport["script"] = [urllib.error.URLError("unknown scheme")]
+        client = ServeClient("http://test", retries=5)
+        with pytest.raises(urllib.error.URLError):
+            client._request("GET", "/x")
+        assert transport["attempts"] == 1
+
+    def test_bare_connection_reset_retries(self, transport):
+        transport["script"] = [ConnectionResetError(104, "reset"),
+                               {"ok": True}]
+        client = ServeClient("http://test", retries=2)
+        assert client._request("GET", "/x") == {"ok": True}
+        assert transport["attempts"] == 2
+
+    def test_backoff_is_capped(self, transport):
+        transport["script"] = [refused()] * 8 + [{"ok": True}]
+        client = ServeClient("http://test", retries=8, backoff_s=0.2,
+                             backoff_max_s=1.0)
+        client._request("GET", "/x")
+        assert all(s <= 1.0 for s in transport["sleeps"])
+
+
+class TestHttp503:
+    def test_retry_after_hint_is_honored(self, transport):
+        transport["script"] = [
+            lambda: http_error(503, {"error": "draining"},
+                               retry_after=0.01),
+            lambda: http_error(503, {"error": "draining"},
+                               retry_after=0.01),
+            {"ok": True}]
+        client = ServeClient("http://test", retries=2, backoff_s=9.0)
+        assert client._request("GET", "/x") == {"ok": True}
+        # The server's schedule, not the client's 9-second backoff.
+        assert transport["sleeps"] == [0.01, 0.01]
+
+    def test_503_without_hint_uses_backoff(self, transport):
+        transport["script"] = [lambda: http_error(503), {"ok": True}]
+        client = ServeClient("http://test", retries=1, backoff_s=0.2)
+        client._request("GET", "/x")
+        (sleep,) = transport["sleeps"]
+        assert 0.1 <= sleep <= 0.2
+
+    def test_503_retries_exhaust_into_the_error(self, transport):
+        transport["script"] = [
+            lambda: http_error(503, {"error": "still down"},
+                               retry_after=0.01)] * 3
+        client = ServeClient("http://test", retries=2)
+        with pytest.raises(ServeClientError) as err:
+            client._request("GET", "/x")
+        assert err.value.status == 503
+        assert err.value.retry_after == 0.01
+        assert transport["attempts"] == 3
+
+    def test_non_503_http_errors_never_retry(self, transport):
+        transport["script"] = [
+            lambda: http_error(400, {"error": "bad config"})] * 5
+        client = ServeClient("http://test", retries=5)
+        with pytest.raises(ServeClientError) as err:
+            client._request("GET", "/x")
+        assert transport["attempts"] == 1
+        assert err.value.status == 400
+        assert err.value.message == "bad config"
+        assert err.value.body == {"error": "bad config"}
+
+    def test_http_date_retry_after_is_ignored(self, transport):
+        transport["script"] = [
+            lambda: http_error(503, retry_after="Wed, 21 Oct 2026"),
+            {"ok": True}]
+        client = ServeClient("http://test", retries=1, backoff_s=0.2)
+        client._request("GET", "/x")
+        (sleep,) = transport["sleeps"]      # fell back to own backoff
+        assert 0.1 <= sleep <= 0.2
+
+    def test_health_returns_the_503_document(self, transport):
+        doc = {"health": "unhealthy", "slo_breaches": ["latency"]}
+        transport["script"] = [lambda: http_error(503, doc)]
+        client = ServeClient("http://test", retries=5)
+        assert client.health() == doc
+        assert transport["attempts"] == 1    # the answer IS the answer
+
+    def test_health_without_a_document_still_raises(self, transport):
+        transport["script"] = [lambda: http_error(503)] * 1
+        client = ServeClient("http://test", retries=0)
+        with pytest.raises(ServeClientError):
+            client.health()
+
+
+class TestHealthzGate:
+    """Server side: an SLO-unhealthy shard answers 503 so a load
+    balancer can eject it — with the health document still attached."""
+
+    def test_unhealthy_service_healthz_is_503(self, make_service):
+        import urllib.request
+        service = make_service(StubRunner(), workers=1)
+        real = service.health()
+        assert real["health"] == "healthy"
+        service.health = lambda: dict(real, health="unhealthy")
+        with StcoServer(service) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/healthz",
+                                       timeout=10)
+            assert err.value.code == 503
+            assert err.value.headers["Retry-After"] == "5"
+            body = json.loads(err.value.read().decode("utf-8"))
+            assert body["health"] == "unhealthy"
+            # The retrying client still gets the document, instantly.
+            client = ServeClient(server.url, retries=3)
+            assert client.health()["health"] == "unhealthy"
+
+    def test_healthy_service_healthz_is_200(self, make_service):
+        import urllib.request
+        service = make_service(StubRunner(), workers=1)
+        with StcoServer(service) as server:
+            with urllib.request.urlopen(f"{server.url}/healthz",
+                                        timeout=10) as resp:
+                assert resp.status == 200
+
+    def test_degraded_is_not_ejected(self, make_service):
+        """Only ``unhealthy`` trips the 503 — a degraded shard still
+        serves (ejecting on the warning level would flap)."""
+        import urllib.request
+        service = make_service(StubRunner(), workers=1)
+        real = service.health()
+        service.health = lambda: dict(real, health="degraded")
+        with StcoServer(service) as server:
+            with urllib.request.urlopen(f"{server.url}/healthz",
+                                        timeout=10) as resp:
+                assert resp.status == 200
+                body = json.loads(resp.read().decode("utf-8"))
+                assert body["health"] == "degraded"
+
+    def test_submission_survives_a_restarting_shard(self, make_service,
+                                                    tmp_path):
+        """End-to-end retry: the first submit hits a dead port, the
+        retry (same client call) lands on the live server."""
+        service = make_service(StubRunner(), workers=1)
+        with StcoServer(service) as server:
+            real_url = server.url
+            flaky_calls = {"n": 0}
+            client = ServeClient(real_url, retries=2, backoff_s=0.01)
+            original = client_module.urllib.request.urlopen
+
+            def flaky(request, timeout=None):
+                flaky_calls["n"] += 1
+                if flaky_calls["n"] == 1:
+                    raise urllib.error.URLError(
+                        ConnectionRefusedError(111, "refused"))
+                return original(request, timeout=timeout)
+
+            client_module.urllib.request.urlopen = flaky
+            try:
+                job = client.submit(make_config(seed=61))
+            finally:
+                client_module.urllib.request.urlopen = original
+            assert flaky_calls["n"] == 2
+            assert client.wait(job["job_id"], timeout_s=10)["state"] \
+                == "succeeded"
