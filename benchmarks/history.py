@@ -1,19 +1,31 @@
-"""Benchmark history gate: append each fresh ``BENCH_obs.json`` ratio
-to ``benchmarks/history/`` and fail on a >10% regression.
+"""Benchmark history gate: append each fresh benchmark artifact's key
+metric to ``benchmarks/history/`` and fail on a regression.
 
-The overhead benchmark overwrites ``BENCH_obs.json`` in the worktree,
-so the *committed* artifact is the baseline: by default this script
-reads it back via ``git show HEAD:BENCH_obs.json`` (override with
-``--baseline PATH``). A fresh ``overhead_ratio`` more than
-``--tolerance`` (default 10%) above the baseline's exits non-zero —
-the CI signal that an observability change made the hot loop slower.
-Every comparison is appended as one JSONL line to
-``benchmarks/history/obs_overhead.jsonl`` regardless of outcome, so
-the trajectory accumulates run over run.
+Each benchmark overwrites its artifact at the repo root, so the
+*committed* artifact is the baseline: by default this script reads it
+back via ``git show HEAD:<artifact>`` (override with ``--baseline
+PATH``). Two gates are registered:
+
+* ``obs`` — ``BENCH_obs.json`` ``overhead_ratio``; *lower is better*,
+  a fresh ratio more than ``--tolerance`` (default 10%) above the
+  baseline fails — the CI signal that an observability change made
+  the hot loop slower.
+* ``predict`` — ``BENCH_predict.json``
+  ``speedups.predict_vs_cold``; *higher is better*, a fresh speedup
+  more than ``--tolerance`` (default 50%) below the baseline fails —
+  the signal that the tier-0 edge lost its latency advantage. The
+  loose default absorbs machine noise in wall-clock ratios; a real
+  collapse (caching broken, a forward pass per member again) is
+  orders of magnitude, not percent.
+
+Every comparison is appended as one JSONL line to the gate's
+trajectory file under ``benchmarks/history/`` regardless of outcome,
+so the trajectory accumulates run over run.
 
 Usage::
 
-    python benchmarks/history.py                  # compare + append
+    python benchmarks/history.py                  # obs gate (default)
+    python benchmarks/history.py predict          # predict gate
     python benchmarks/history.py --check-only     # compare, no append
     python benchmarks/history.py --baseline old.json --tolerance 0.2
 """
@@ -25,11 +37,48 @@ import json
 import subprocess
 import sys
 import time
+from dataclasses import dataclass
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-FRESH = REPO / "BENCH_obs.json"
-HISTORY = REPO / "benchmarks" / "history" / "obs_overhead.jsonl"
+HISTORY_DIR = REPO / "benchmarks" / "history"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One (artifact, metric) regression gate."""
+
+    artifact: str                 # artifact file name at the repo root
+    metric: str                   # dotted path into the artifact JSON
+    higher_is_worse: bool         # direction of "regression"
+    tolerance: float              # default allowed relative drift
+    history: str                  # JSONL file under benchmarks/history/
+    extras: tuple = ()            # context keys copied into the entry
+
+
+GATES = {
+    "obs": Gate(artifact="BENCH_obs.json", metric="overhead_ratio",
+                higher_is_worse=True, tolerance=0.10,
+                history="obs_overhead.jsonl",
+                extras=("baseline_warm_sweep_s",
+                        "instrumented_warm_sweep_s")),
+    "predict": Gate(artifact="BENCH_predict.json",
+                    metric="speedups.predict_vs_cold",
+                    higher_is_worse=False, tolerance=0.50,
+                    history="predict_speedup.jsonl",
+                    extras=("predict_p50_s",
+                            "speedups.predict_vs_warm_coalesced",
+                            "speedups.batch_vs_single_per_item")),
+}
+
+
+def _dig(doc: dict, path: str):
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
 
 
 def _load_fresh(path: Path) -> dict:
@@ -39,7 +88,7 @@ def _load_fresh(path: Path) -> dict:
         sys.exit(f"error: cannot read fresh artifact {path}: {exc}")
 
 
-def _load_baseline(explicit: str | None) -> tuple[dict, str]:
+def _load_baseline(explicit: str | None, name: str) -> tuple[dict, str]:
     if explicit is not None:
         path = Path(explicit)
         try:
@@ -49,7 +98,7 @@ def _load_baseline(explicit: str | None) -> tuple[dict, str]:
             sys.exit(f"error: cannot read baseline {path}: {exc}")
     # The worktree file was just overwritten by the benchmark run; the
     # committed one is the baseline.
-    spec = f"HEAD:{FRESH.name}"
+    spec = f"HEAD:{name}"
     proc = subprocess.run(["git", "show", spec], cwd=REPO,
                           capture_output=True, text=True)
     if proc.returncode != 0:
@@ -63,53 +112,84 @@ def _load_baseline(explicit: str | None) -> tuple[dict, str]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--fresh", default=str(FRESH),
-                        help="fresh benchmark artifact (default: "
-                             "BENCH_obs.json at the repo root)")
+    parser.add_argument("gate", nargs="?", default="obs",
+                        choices=sorted(GATES),
+                        help="which registered gate to run "
+                             "(default: obs)")
+    parser.add_argument("--fresh", default=None,
+                        help="fresh benchmark artifact (default: the "
+                             "gate's artifact at the repo root)")
     parser.add_argument("--baseline", default=None,
                         help="baseline artifact path (default: the "
-                             "committed BENCH_obs.json via git show)")
-    parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="allowed relative ratio increase "
-                             "(default 0.10 = 10%%)")
-    parser.add_argument("--history", default=str(HISTORY),
+                             "committed artifact via git show)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed relative drift (default: the "
+                             "gate's own, e.g. 0.10 = 10%%)")
+    parser.add_argument("--history", default=None,
                         help="JSONL trajectory file to append to")
     parser.add_argument("--check-only", action="store_true",
                         help="compare without appending to history")
     args = parser.parse_args(argv)
 
-    fresh = _load_fresh(Path(args.fresh))
-    baseline, baseline_ref = _load_baseline(args.baseline)
-    fresh_ratio = float(fresh["overhead_ratio"])
-    base_ratio = float(baseline["overhead_ratio"])
-    limit = base_ratio * (1.0 + args.tolerance)
-    regressed = fresh_ratio > limit
+    gate = GATES[args.gate]
+    tolerance = (gate.tolerance if args.tolerance is None
+                 else args.tolerance)
+    fresh_path = Path(args.fresh) if args.fresh else REPO / gate.artifact
+    fresh = _load_fresh(fresh_path)
+    baseline, baseline_ref = _load_baseline(args.baseline,
+                                            gate.artifact)
+
+    fresh_value = _dig(fresh, gate.metric)
+    base_value = _dig(baseline, gate.metric)
+    if fresh_value is None:
+        sys.exit(f"error: {fresh_path} has no '{gate.metric}'")
+    if base_value is None:
+        sys.exit(f"error: baseline {baseline_ref} has no "
+                 f"'{gate.metric}'")
+    fresh_value, base_value = float(fresh_value), float(base_value)
+
+    if gate.higher_is_worse:
+        limit = base_value * (1.0 + tolerance)
+        regressed = fresh_value > limit
+        drift = fresh_value / base_value - 1
+    else:
+        limit = base_value * (1.0 - tolerance)
+        regressed = fresh_value < limit
+        drift = fresh_value / base_value - 1
 
     entry = {
         "t": time.time(),
-        "overhead_ratio": fresh_ratio,
-        "baseline_ratio": base_ratio,
+        "gate": args.gate,
+        "metric": gate.metric,
+        "value": fresh_value,
+        "baseline_value": base_value,
         "baseline": baseline_ref,
         "limit": round(limit, 6),
-        "tolerance": args.tolerance,
+        "tolerance": tolerance,
         "regressed": regressed,
-        "baseline_warm_sweep_s": fresh.get("baseline_warm_sweep_s"),
-        "instrumented_warm_sweep_s":
-            fresh.get("instrumented_warm_sweep_s"),
     }
+    for key in gate.extras:
+        entry[key.rsplit(".", 1)[-1]] = _dig(fresh, key)
+    # Back-compat keys the obs trajectory has carried since PR 7.
+    if args.gate == "obs":
+        entry["overhead_ratio"] = fresh_value
+        entry["baseline_ratio"] = base_value
+
     if not args.check_only:
-        history = Path(args.history)
+        history = (Path(args.history) if args.history
+                   else HISTORY_DIR / gate.history)
         history.parent.mkdir(parents=True, exist_ok=True)
         with open(history, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(entry, sort_keys=True) + "\n")
 
-    print(f"fresh overhead ratio  {fresh_ratio:.4f}")
-    print(f"baseline ({baseline_ref})  {base_ratio:.4f}")
-    print(f"limit (+{args.tolerance:.0%})  {limit:.4f}")
+    sense = "must not rise" if gate.higher_is_worse else "must not fall"
+    print(f"gate {args.gate}: {gate.metric} ({sense})")
+    print(f"fresh     {fresh_value:.4f}")
+    print(f"baseline ({baseline_ref})  {base_value:.4f}")
+    print(f"limit ({tolerance:.0%})  {limit:.4f}")
     if regressed:
-        print(f"REGRESSION: {fresh_ratio:.4f} > {limit:.4f} "
-              f"({(fresh_ratio / base_ratio - 1) * 100:+.1f}% vs "
-              "baseline)", file=sys.stderr)
+        print(f"REGRESSION: {fresh_value:.4f} vs limit {limit:.4f} "
+              f"({drift * 100:+.1f}% vs baseline)", file=sys.stderr)
         return 1
     print("ok: within tolerance")
     return 0

@@ -17,6 +17,7 @@
     repro profile JOB_ID --url http://127.0.0.1:8765
     repro workspace list|stats|gc .cache/ws
     repro surrogate stats|train .cache/ws
+    repro predict c17 --corner 0.8,0.35,1.2e-2 --url http://127.0.0.1:8765
 
 ``run`` executes whatever ``mode`` the document declares; ``search`` /
 ``campaign`` force that mode (with a few common overrides) so one base
@@ -119,6 +120,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="shard identity inside a cluster "
                               "(labels this service's health and "
                               "metrics)")
+    serve_p.add_argument("--refresh-rows", type=int, default=0,
+                         metavar="N",
+                         help="warm-refit the served surrogate "
+                              "whenever the record store grows by N "
+                              "rows (0 = refresher off; default 0)")
 
     cluster_p = sub.add_parser(
         "cluster", help="run or inspect a sharded serve cluster")
@@ -263,6 +269,23 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="train: ensemble seed")
     sg_p.add_argument("--min-rows", type=int, default=8,
                       help="train: refuse with fewer harvested rows")
+
+    predict_p = sub.add_parser(
+        "predict", help="tier-0 PPA inference from the served "
+                        "surrogate (microseconds, no engine)")
+    predict_p.add_argument("design", help="benchmark name (c17, ...)")
+    predict_p.add_argument("--corner", action="append", required=True,
+                           metavar="VDD,VTH,COX",
+                           help="design corner as three comma-"
+                                "separated numbers; repeat for a "
+                                "batched query")
+    predict_p.add_argument("--url", default=None,
+                           help="query a running server / cluster "
+                                "router instead of a local workspace")
+    predict_p.add_argument("--workspace", metavar="DIR", default=None,
+                           help="local workspace holding the model "
+                                "(default when --url is omitted: "
+                                "error)")
     return parser
 
 
@@ -370,10 +393,16 @@ def _cmd_serve(args) -> int:
             print(f"[{job.job_id}] round {snapshot.get('round', '?')}: "
                   f"best {snapshot.get('best_reward', float('nan')):.4f}",
                   file=sys.stderr)
+    predict_config = None
+    refresh_rows = getattr(args, "refresh_rows", 0) or 0
+    if refresh_rows > 0:
+        from .config import PredictConfig
+        predict_config = PredictConfig(refresh_delta_rows=refresh_rows)
     service = ServeService(workspace, workers=args.workers,
                            reuse_completed=not args.no_reuse_completed,
                            on_event=on_event,
-                           shard_name=getattr(args, "shard", ""))
+                           shard_name=getattr(args, "shard", ""),
+                           predict_config=predict_config)
     server = StcoServer(service, host=args.host, port=args.port,
                         verbose=args.verbose)
     port_file = getattr(args, "port_file", None)
@@ -768,6 +797,53 @@ def _cmd_surrogate(args) -> int:
     return 0
 
 
+def _parse_corner(text: str) -> tuple:
+    parts = [p.strip() for p in text.split(",")]
+    if len(parts) != 3:
+        raise ConfigError(
+            f"--corner wants three comma-separated numbers "
+            f"(vdd,vth,cox), got {text!r}")
+    try:
+        return tuple(float(p) for p in parts)
+    except ValueError:
+        raise ConfigError(f"--corner {text!r} is not numeric") from None
+
+
+def _cmd_predict(args) -> int:
+    import urllib.error
+    corners = [_parse_corner(c) for c in args.corner]
+    if args.url is not None:
+        from ..serve import ServeClient, ServeClientError
+        client = ServeClient(args.url)
+        try:
+            doc = (client.predict(args.design, corners[0])
+                   if len(corners) == 1
+                   else client.predict_batch(args.design, corners))
+        except ServeClientError as exc:
+            print(f"error: {exc.message}", file=sys.stderr)
+            return 1 if exc.status == 409 else 2
+        except urllib.error.URLError as exc:
+            print(f"error: cannot reach {args.url}: {exc.reason}",
+                  file=sys.stderr)
+            return 2
+    elif args.workspace is not None:
+        from ..predict import PredictError, PredictService
+        service = PredictService(Workspace(args.workspace))
+        try:
+            doc = (service.predict(args.design, corners[0])
+                   if len(corners) == 1
+                   else service.predict_batch(args.design, corners))
+        except PredictError as exc:
+            print(f"error: {exc.message}", file=sys.stderr)
+            return 1 if exc.status == 409 else 2
+    else:
+        print("error: predict needs --url or --workspace",
+              file=sys.stderr)
+        return 2
+    print(json.dumps(doc, indent=1, sort_keys=True))
+    return 0
+
+
 def _cmd_report(args) -> int:
     try:
         report = RunReport.load(args.report)
@@ -803,6 +879,8 @@ def main(argv=None) -> int:
             return _cmd_workspace(args)
         if args.command == "surrogate":
             return _cmd_surrogate(args)
+        if args.command == "predict":
+            return _cmd_predict(args)
         return _cmd_run(args)
     except (ConfigError, CampaignCheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)

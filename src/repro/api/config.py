@@ -26,7 +26,8 @@ from typing import ClassVar
 
 __all__ = ["SCHEMA_VERSION", "ConfigError", "TechnologyConfig",
            "ModelConfig", "EngineConfig", "AxisConfig", "SearchConfig",
-           "SurrogateConfig", "ScenarioConfig", "StcoConfig", "MODES"]
+           "SurrogateConfig", "PredictConfig", "ScenarioConfig",
+           "StcoConfig", "MODES", "FIDELITIES"]
 
 #: Version of the config document schema. Bumped whenever the meaning of
 #: an existing field changes (adding fields with defaults does not bump).
@@ -34,6 +35,10 @@ SCHEMA_VERSION = 1
 
 #: Run modes the runner dispatches on.
 MODES = ("fast", "traditional", "search", "portfolio", "campaign")
+
+#: Evaluation fidelities: tier-1 runs the engine; tier-0 runs the
+#: whole search against the workspace's trained surrogate ensemble.
+FIDELITIES = ("engine", "surrogate")
 
 
 class ConfigError(ValueError):
@@ -415,6 +420,52 @@ class SurrogateConfig(_Config):
 
 
 @dataclass(frozen=True)
+class PredictConfig(_Config):
+    """The tier-0 inference edge (``repro.predict``).
+
+    ``fidelity="surrogate"`` reruns the whole search against the
+    workspace's trained :class:`~repro.surrogate.models.EnsemblePPAModel`
+    instead of the engine — the report carries an honest
+    ``uncertainty`` block. ``escalate_threshold`` > 0 auto-submits an
+    engine-backed job (``fidelity="engine"`` twin of the same document,
+    through the serve/coalesce path at ``escalate_url``) when the
+    best corner's mean predicted log10 spread exceeds it.
+
+    The refresh fields drive the background
+    :class:`~repro.predict.refresh.ModelRefresher`:
+    ``refresh_delta_rows`` new harvested rows trigger a warm-started
+    incremental refit (0 disables), checked every
+    ``refresh_interval_s``; ``refresh_epochs`` 0 reuses the ensemble's
+    configured epochs.
+    """
+
+    fidelity: str = "engine"
+    escalate_threshold: float = 0.0   # 0 = never escalate
+    escalate_url: str = ""
+    min_rows: int = 8
+    cache_size: int = 256
+    refresh_delta_rows: int = 0       # 0 = refresher off
+    refresh_interval_s: float = 2.0
+    refresh_epochs: int = 0           # 0 = ensemble's epochs
+
+    def __post_init__(self):
+        _require(self.fidelity in FIDELITIES,
+                 f"predict.fidelity must be one of {FIDELITIES}, "
+                 f"got {self.fidelity!r}")
+        _require(self.escalate_threshold >= 0.0,
+                 "predict.escalate_threshold must be >= 0")
+        _require(self.min_rows >= 1, "predict.min_rows must be >= 1")
+        _require(self.cache_size >= 0,
+                 "predict.cache_size must be >= 0")
+        _require(self.refresh_delta_rows >= 0,
+                 "predict.refresh_delta_rows must be >= 0")
+        _require(self.refresh_interval_s > 0.0,
+                 "predict.refresh_interval_s must be positive")
+        _require(self.refresh_epochs >= 0,
+                 "predict.refresh_epochs must be >= 0")
+
+
+@dataclass(frozen=True)
 class ScenarioConfig(_Config):
     """One campaign scenario (maps to :class:`repro.engine.campaign.Scenario`)."""
 
@@ -457,7 +508,7 @@ class StcoConfig(_Config):
     _nested: ClassVar[dict] = {
         "technology": TechnologyConfig, "model": ModelConfig,
         "engine": EngineConfig, "search": SearchConfig,
-        "surrogate": SurrogateConfig,
+        "surrogate": SurrogateConfig, "predict": PredictConfig,
         "scenarios": ("tuple", ScenarioConfig)}
 
     schema_version: int = SCHEMA_VERSION
@@ -468,6 +519,7 @@ class StcoConfig(_Config):
     engine: EngineConfig = field(default_factory=EngineConfig)
     search: SearchConfig = field(default_factory=SearchConfig)
     surrogate: SurrogateConfig = field(default_factory=SurrogateConfig)
+    predict: PredictConfig = field(default_factory=PredictConfig)
     scenarios: tuple = ()
     checkpoint: str = ""             # campaign checkpoint file ("" = off)
     prefetch: bool = False
@@ -481,6 +533,10 @@ class StcoConfig(_Config):
         if self.mode == "campaign":
             _require(bool(self.scenarios),
                      "campaign mode needs at least one scenario")
+        if self.predict.fidelity == "surrogate":
+            _require(self.mode in ("fast", "traditional", "search"),
+                     f"predict.fidelity='surrogate' supports single-"
+                     f"search modes only, not {self.mode!r}")
         for s in self.scenarios:
             _require(isinstance(s, ScenarioConfig),
                      "scenarios entries must be ScenarioConfig mappings")

@@ -40,6 +40,7 @@ class RunReport:
     scenarios: list = field(default_factory=list)       # campaign mode
     resumed_scenarios: int = 0
     surrogate: dict = field(default_factory=dict)       # harvest/screening
+    uncertainty: dict = field(default_factory=dict)     # surrogate fidelity
     runtime: dict = field(default_factory=dict)
     cache_stats: dict = field(default_factory=dict)
     trace: dict = field(default_factory=dict)           # span tree
@@ -122,6 +123,13 @@ class RunReport:
                              f"{sg.get('promoted', 0)} of "
                              f"{sg.get('screened', 0)} promoted to the "
                              f"engine"])
+        if self.uncertainty:
+            un = self.uncertainty
+            rows.append(["fidelity", un.get("fidelity", "surrogate")])
+            rows.append(["best-corner spread (log10)",
+                         f"{un.get('best_corner_std', 0.0):.4f}"])
+            if un.get("escalated_job_id"):
+                rows.append(["escalated to", un["escalated_job_id"]])
         ws = self.cache_stats.get("workspace", {})
         if ws:
             rows.append(["models trained / loaded",

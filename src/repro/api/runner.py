@@ -277,6 +277,10 @@ def run(config, workspace: Workspace | None = None,
               benchmark=config.benchmark or "-") as root:
         if config.mode == "campaign":
             report = _run_campaign(config, workspace, resume)
+        elif config.predict.fidelity == "surrogate":
+            from ..predict.fidelity import run_surrogate_fidelity
+            report = run_surrogate_fidelity(config, workspace,
+                                            progress_callback)
         else:
             report = _run_single(config, workspace, progress_callback)
     if isinstance(root, Span):

@@ -265,7 +265,7 @@ class Workspace:
                             "config": asdict(config)})
 
     def surrogate_model(self, config=None, featurizer=None,
-                        min_rows: int = 8):
+                        min_rows: int = 8, allow_stale: bool = False):
         """A trained system-level PPA ensemble over the record store.
 
         Loads the registered ``.npz`` when one exists for this
@@ -274,6 +274,13 @@ class Workspace:
         on all rows, saves, and registers the artifact with its
         fingerprint — trained surrogate weights are workspace artifacts
         exactly like trained characterization GNNs.
+
+        ``allow_stale=True`` is the read path: return the memoized or
+        on-disk model even when the store has grown since it was
+        trained — training happens only when no model exists at all.
+        The predict edge serves on this path so a request never blocks
+        on a retrain; the background refresher closes the staleness
+        gap (see :mod:`repro.predict.refresh`).
         """
         from ..surrogate.models import EnsembleConfig, EnsemblePPAModel
         config = config if config is not None else EnsembleConfig()
@@ -285,12 +292,13 @@ class Workspace:
                 f"first)")
         key = self._surrogate_key(store, config)
         cached = self._surrogates.get(key)
-        if cached is not None and cached.trained_rows == len(store):
+        if cached is not None and (allow_stale
+                                   or cached.trained_rows == len(store)):
             return cached
         path = self.surrogate_dir / f"{key}.npz"
         if path.exists():
             model = EnsemblePPAModel.load(path)
-            if model.trained_rows == len(store):
+            if allow_stale or model.trained_rows == len(store):
                 self.counters["surrogates_loaded"] += 1
                 self._surrogates[key] = model
                 return model
@@ -301,9 +309,36 @@ class Workspace:
         self._register(key, {"kind": "surrogate",
                              "path": path.name,
                              "rows": len(store),
+                             "members": model.config.members,
                              "fingerprint": model.fingerprint()})
         self._surrogates[key] = model
         return model
+
+    def adopt_surrogate(self, model, featurizer=None) -> str:
+        """Install an externally (re)fitted ensemble as *the* artifact
+        for its (featurizer, ensemble config) pair: write the ``.npz``
+        to a temp file, atomically replace the registered one,
+        re-register under the new fingerprint, and swap the in-process
+        memo. This is the refresher's atomic model swap — a concurrent
+        reader sees either the old artifact or the new one, never a
+        torn file.
+        """
+        import os
+        if not model.fitted:
+            raise ValueError("cannot adopt an unfitted ensemble")
+        store = self.record_store(featurizer)
+        key = self._surrogate_key(store, model.config)
+        path = self.surrogate_dir / f"{key}.npz"
+        tmp = self.surrogate_dir / f".{key}.tmp.npz"
+        model.save(tmp)
+        os.replace(tmp, path)
+        self._register(key, {"kind": "surrogate",
+                             "path": path.name,
+                             "rows": model.trained_rows,
+                             "members": model.config.members,
+                             "fingerprint": model.fingerprint()})
+        self._surrogates[key] = model
+        return key
 
     def surrogate_stats(self) -> dict:
         """Row counts of every on-disk record store + model artifacts.
@@ -332,8 +367,29 @@ class Workspace:
                 except OSError:
                     continue
         models = len(list(self.surrogate_dir.glob("*.npz")))
-        return {"record_rows": rows, "record_stores": stores,
-                "models": models}
+        latest = None
+        for entry in self.registry().values():
+            if entry.get("kind") != "surrogate" or "fingerprint" \
+                    not in entry:
+                continue
+            if latest is None or float(entry.get("created_s", 0.0)) \
+                    > float(latest.get("created_s", 0.0)):
+                latest = entry
+        out = {"record_rows": rows, "record_stores": stores,
+               "models": models}
+        if latest is not None:
+            trained = int(latest.get("rows", 0))
+            out["latest_model"] = {
+                "fingerprint": latest.get("fingerprint", ""),
+                "members": latest.get("members"),
+                "trained_rows": trained,
+                "created_s": float(latest.get("created_s", 0.0))}
+            # Staleness the refresher (and operators) key off: engine
+            # truth harvested since the newest model was trained.
+            out["rows_since_train"] = max(0, rows - trained)
+        else:
+            out["rows_since_train"] = rows
+        return out
 
     # -- reporting ---------------------------------------------------------
     def stats(self) -> dict:

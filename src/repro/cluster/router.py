@@ -15,6 +15,10 @@ shard does — clients cannot tell a cluster from a shard. The mapping:
   unhealthy: silent partial clusters must not look green);
 * **metrics** merge every shard's JSON exposition under an added
   ``shard`` label, re-rendered to Prometheus text on demand;
+* **predictions** are stateless, so any shard with a servable model
+  answers; shards are tried in ring-preference order from the design
+  name (a stable first choice keeps that shard's prediction LRU hot),
+  skipping shards that answer 409 (no model yet);
 * **membership changes** (:meth:`add_shard`) rebuild the ring and push
   the new document to every shard's ``POST /v1/cluster/peers``.
 """
@@ -178,6 +182,48 @@ class Router:
             return name, call(self._clients[name])
         except OSError as exc:
             raise ShardUnavailable(name, str(exc)) from None
+
+    # -- tier-0 inference --------------------------------------------------
+    def _predict_any(self, op: str, call) -> dict:
+        """Predictions are stateless (no job, no workspace write), so
+        any shard with a servable model answers. Shards are tried in
+        ring order from the design's hash — identical queries keep
+        landing on the same shard first, so its prediction LRU stays
+        hot. A 409 (no servable model on that shard — LocalCluster
+        shards train independently) falls through to the next; any
+        other HTTP error is the answer."""
+        first = None
+        lacking, unreachable = [], []
+        for name in self.ring.preference(op):
+            self._m_requests.labels(op="predict", shard=name).inc()
+            try:
+                doc = call(self._clients[name])
+            except ServeClientError as exc:
+                if exc.status == 409:
+                    lacking.append(name)
+                    continue
+                raise
+            except OSError as exc:
+                unreachable.append(name)
+                if first is None:
+                    first = str(exc)
+                continue
+            return dict(doc, shard=name)
+        if unreachable:
+            raise ShardUnavailable(",".join(unreachable),
+                                   first or "no shard reachable")
+        raise ServeClientError(
+            409, f"no shard holds a servable surrogate model "
+                 f"(tried {', '.join(lacking) or 'none'})")
+
+    def predict(self, design: str, corner) -> dict:
+        return self._predict_any(
+            f"predict:{design}", lambda c: c.predict(design, corner))
+
+    def predict_batch(self, design: str, corners) -> dict:
+        return self._predict_any(
+            f"predict:{design}",
+            lambda c: c.predict_batch(design, corners))
 
     # -- jobs --------------------------------------------------------------
     def jobs(self) -> dict:

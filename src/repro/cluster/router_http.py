@@ -40,6 +40,8 @@ ROUTES = (
     ("GET", "/v1/cache/{digest}"),
     ("GET", "/v1/cluster"),
     ("POST", "/v1/cluster/join"),
+    ("POST", "/v1/predict"),
+    ("POST", "/v1/predict/batch"),
     ("POST", "/v1/runs"),
     ("GET", "/v1/runs"),
     ("GET", "/v1/runs/{id}"),
@@ -164,6 +166,10 @@ class _Handler(BaseHTTPRequestHandler):
             if method == "POST" and parts[2:] == ["join"]:
                 return self._join()
             raise _ApiError(404, f"no such endpoint: {path}")
+        if parts[:2] == ["v1", "predict"]:
+            if method == "POST" and parts[2:] in ([], ["batch"]):
+                return self._predict(batch=bool(parts[2:]))
+            raise _ApiError(404, f"no such endpoint: {path}")
         if parts[:2] != ["v1", "runs"]:
             raise _ApiError(404, f"no such endpoint: {path}")
         rest = parts[2:]
@@ -236,6 +242,20 @@ class _Handler(BaseHTTPRequestHandler):
         if weight <= 0:
             raise _ApiError(400, "'weight' must be positive")
         self._send(self.router.add_shard(name, url, weight), 201)
+
+    def _predict(self, batch: bool) -> None:
+        data = self._read_json()
+        design = data.get("design", "")
+        if batch:
+            corners = data.get("corners")
+            if not isinstance(corners, list):
+                raise _ApiError(400, "'corners' must be a list")
+            return self._send(self.router.predict_batch(design,
+                                                        corners))
+        corner = data.get("corner")
+        if not isinstance(corner, (list, tuple)):
+            raise _ApiError(400, "'corner' must be a 3-number list")
+        return self._send(self.router.predict(design, corner))
 
     def _submit(self) -> None:
         from ..api.config import ConfigError

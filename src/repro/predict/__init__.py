@@ -1,0 +1,22 @@
+"""repro.predict: the tier-0 surrogate inference edge.
+
+The paper replaces expensive characterization with a learned model;
+this package pushes that move to the *serving* edge. A
+:class:`~repro.predict.service.PredictService` answers point and batch
+PPA queries from the workspace's registered
+:class:`~repro.surrogate.models.EnsemblePPAModel` in microseconds
+(``POST /v1/predict``), :mod:`~repro.predict.fidelity` runs whole
+searches against the surrogate only (``predict.fidelity="surrogate"``)
+with uncertainty-gated escalation to an engine-backed job, and
+:class:`~repro.predict.refresh.ModelRefresher` keeps the served model
+tracking harvested engine truth through warm-started incremental
+refits. Heavy-traffic reads become model inference; the engine is
+reserved for the queries the model is unsure about.
+"""
+
+from .fidelity import SurrogateEngine, run_surrogate_fidelity
+from .refresh import ModelRefresher
+from .service import PredictError, PredictService
+
+__all__ = ["PredictService", "PredictError", "SurrogateEngine",
+           "run_surrogate_fidelity", "ModelRefresher"]

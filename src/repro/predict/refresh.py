@@ -1,0 +1,147 @@
+"""ModelRefresher: the served ensemble tracks harvested engine truth.
+
+The PR-5 open thread: :meth:`Workspace.surrogate_model` either retrains
+from scratch on any store growth or (``allow_stale``) serves a stale
+model forever. The refresher closes the gap with **warm-started
+incremental refits** — a background thread watches the
+:class:`~repro.surrogate.records.RecordStore` row count and, when it
+grows past ``delta_rows``, continues Adam training from the current
+weights (:meth:`~repro.surrogate.models.EnsemblePPAModel.refit`) on the
+full grown row set, then atomically swaps the artifact on disk
+(:meth:`~repro.api.workspace.Workspace.adopt_surrogate`) and the
+in-process served model (:meth:`~repro.predict.service.PredictService
+.swap_model`) — no restart, no request ever blocked on training.
+
+Refits run :mod:`repro.nn` backward passes, which toggle process-global
+autograd state; pass the serve layer's execution lock (``exec_lock``)
+so a refit never interleaves with an engine execution.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+
+from ..obs.metrics import get_registry
+
+__all__ = ["ModelRefresher"]
+
+
+class ModelRefresher:
+    """Background warm-refit loop for one workspace's served ensemble.
+
+    Parameters
+    ----------
+    workspace:
+        Owns the record store and the registered artifact.
+    service:
+        Optional :class:`~repro.predict.service.PredictService` whose
+        served model is swapped after each refit.
+    delta_rows:
+        Harvested-row growth that triggers a refit (>= 1).
+    interval_s:
+        Poll period of the background thread (:meth:`refresh_now` is
+        the deterministic, test-friendly synchronous path).
+    epochs:
+        Adam steps per refit; ``None`` uses the ensemble's configured
+        epochs.
+    exec_lock:
+        Lock serializing autograd work (the serve layer's execution
+        lock); a private lock when ``None``.
+    """
+
+    def __init__(self, workspace, service=None, delta_rows: int = 16,
+                 interval_s: float = 2.0, epochs: int | None = None,
+                 exec_lock=None, min_rows: int = 8):
+        if delta_rows < 1:
+            raise ValueError("delta_rows must be >= 1")
+        self.workspace = workspace
+        self.service = service
+        self.delta_rows = int(delta_rows)
+        self.interval_s = float(interval_s)
+        self.epochs = epochs
+        self.min_rows = int(min_rows)
+        self._exec_lock = exec_lock if exec_lock is not None \
+            else threading.Lock()
+        self._refit_lock = threading.Lock()   # one refit at a time
+        self._stop = threading.Event()
+        self._thread = None
+        self.refits = 0
+        registry = get_registry()
+        self._m_refits = registry.counter(
+            "repro_predict_refits_total",
+            "Warm-started ensemble refits by outcome",
+            labels=("outcome",))
+        self._g_staleness = registry.gauge(
+            "repro_predict_rows_since_train",
+            "Harvested rows the served ensemble has not seen")
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ModelRefresher":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="predict-refresher", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.refresh_now()
+            except Exception:           # noqa: BLE001 — keep watching
+                self._m_refits.labels(outcome="error").inc()
+
+    # -- the refit ---------------------------------------------------------
+    def _current_model(self):
+        if self.service is not None:
+            model = self.service.info()
+            if model.get("loaded"):
+                return self.service.model()
+        try:
+            return self.workspace.surrogate_model(
+                min_rows=self.min_rows, allow_stale=True)
+        except ValueError:
+            return None
+
+    def refresh_now(self) -> dict:
+        """One synchronous staleness check + (maybe) refit.
+
+        Returns a JSON-able outcome: ``{"refit": bool, "rows": n,
+        "delta": n, ...}`` with the new fingerprint when a swap
+        happened.
+        """
+        with self._refit_lock:
+            store = self.workspace.record_store()
+            rows = len(store)
+            model = self._current_model()
+            if model is None:
+                self._g_staleness.set(float(rows))
+                return {"refit": False, "rows": rows,
+                        "reason": f"no servable model yet "
+                                  f"({rows} rows)"}
+            delta = rows - model.trained_rows
+            self._g_staleness.set(float(max(0, delta)))
+            if delta < self.delta_rows:
+                return {"refit": False, "rows": rows, "delta": delta}
+            X, Y = store.matrices()
+            # Refit a copy: the served model keeps answering while
+            # training runs; the swap below is atomic.
+            fresh = copy.deepcopy(model)
+            with self._exec_lock:
+                fresh.refit(X, Y, epochs=self.epochs)
+            self.workspace.adopt_surrogate(fresh)
+            if self.service is not None:
+                self.service.swap_model(fresh)
+            self.refits += 1
+            self._m_refits.labels(outcome="refit").inc()
+            self._g_staleness.set(0.0)
+            return {"refit": True, "rows": rows, "delta": delta,
+                    "fingerprint": fresh.fingerprint(),
+                    "trained_rows": fresh.trained_rows}

@@ -211,6 +211,23 @@ class ServeClient:
                 return None
             raise
 
+    # -- tier-0 inference --------------------------------------------------
+    def predict(self, design: str, corner) -> dict:
+        """One tier-0 prediction: ``corner`` is a ``(vdd, vth, cox)``
+        triple (or :class:`~repro.engine.corners.Corner`). Returns the
+        prediction document with its ``uncertainty`` block."""
+        key = corner.key() if hasattr(corner, "key") else corner
+        return self._request("POST", "/v1/predict",
+                             {"design": design, "corner": list(key)})
+
+    def predict_batch(self, design: str, corners) -> dict:
+        """Batched tier-0 predictions — one stacked ensemble forward
+        server-side for every corner not already cached."""
+        keys = [c.key() if hasattr(c, "key") else c for c in corners]
+        return self._request("POST", "/v1/predict/batch",
+                             {"design": design,
+                              "corners": [list(k) for k in keys]})
+
     # -- jobs --------------------------------------------------------------
     def submit(self, config, priority: int = 0,
                force: bool = False) -> dict:

@@ -19,6 +19,14 @@ GET     ``/v1/runs/{id}/profile``   execute-stage sampling profile —
                                     default, ``?format=json`` for the
                                     structured document
 GET     ``/v1/workspace/stats``     workspace + live engine statistics
+POST    ``/v1/predict``             tier-0 inference: ``{"design",
+                                    "corner": [vdd, vth, cox]}`` →
+                                    (power, delay, area) + per-objective
+                                    epistemic uncertainty, microseconds
+                                    from the served ensemble
+POST    ``/v1/predict/batch``       ``{"design", "corners": [...]}`` —
+                                    one stacked ensemble forward for
+                                    every uncached corner
 GET     ``/v1/metrics``             process metrics — Prometheus text
                                     by default, ``?format=json`` for
                                     the structured document,
@@ -81,6 +89,8 @@ ROUTES = (
     ("GET", "/v1/workspace/stats"),
     ("GET", "/v1/cache/{digest}"),
     ("POST", "/v1/cluster/peers"),
+    ("POST", "/v1/predict"),
+    ("POST", "/v1/predict/batch"),
     ("POST", "/v1/runs"),
     ("GET", "/v1/runs"),
     ("GET", "/v1/runs/{id}"),
@@ -202,6 +212,10 @@ class _Handler(BaseHTTPRequestHandler):
             if method == "POST" and parts[2:] == ["peers"]:
                 return self._configure_peers()
             raise _ApiError(404, f"no such endpoint: {path}")
+        if parts[:2] == ["v1", "predict"]:
+            if method == "POST" and parts[2:] in ([], ["batch"]):
+                return self._predict(batch=bool(parts[2:]))
+            raise _ApiError(404, f"no such endpoint: {path}")
         if parts[:2] != ["v1", "runs"] and parts[:2] != ["v1",
                                                          "workspace"]:
             raise _ApiError(404, f"no such endpoint: {path}")
@@ -250,6 +264,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
+
+    # -- tier-0 predict ----------------------------------------------------
+    def _predict(self, batch: bool) -> None:
+        from ..predict.service import PredictError
+        data = self._read_json()
+        try:
+            if batch:
+                return self._send(self.service.predict_batch(data))
+            return self._send(self.service.predict(data))
+        except PredictError as exc:
+            raise _ApiError(exc.status, exc.message) from None
 
     def _configure_peers(self) -> None:
         data = self._read_json()

@@ -115,7 +115,7 @@ class ServeService:
                  on_event=None, autostart: bool = True,
                  series_interval_s: float = 5.0, slo_rules=None,
                  profile_interval_s: float = 0.01,
-                 shard_name: str = ""):
+                 shard_name: str = "", predict_config=None):
         from ..api.workspace import Workspace
         if not isinstance(workspace, Workspace):
             workspace = Workspace(workspace)
@@ -170,6 +170,21 @@ class ServeService:
         self._collector = _collect
         self._registry = registry
         registry.add_collector(_collect)
+        from ..api.config import PredictConfig
+        self.predict_config = predict_config if predict_config \
+            is not None else PredictConfig()
+        self._predict = None            # lazy PredictService
+        self._predict_lock = threading.Lock()
+        self.refresher = None
+        if self.predict_config.refresh_delta_rows > 0:
+            from ..predict.refresh import ModelRefresher
+            self.refresher = ModelRefresher(
+                self.workspace, service=None,
+                delta_rows=self.predict_config.refresh_delta_rows,
+                interval_s=self.predict_config.refresh_interval_s,
+                epochs=self.predict_config.refresh_epochs or None,
+                exec_lock=self._exec_lock,
+                min_rows=self.predict_config.min_rows).start()
         self.profile_interval_s = float(profile_interval_s)
         self.recorder = SeriesRecorder(
             registry=registry, interval_s=series_interval_s,
@@ -263,6 +278,8 @@ class ServeService:
         for t in self._threads:
             t.join(timeout=timeout)
         self._threads = []
+        if self.refresher is not None:
+            self.refresher.close()
         self.recorder.stop()
         self._registry.remove_collector(self._collector)
 
@@ -629,3 +646,37 @@ class ServeService:
     def workspace_stats(self) -> dict:
         return {"workspace": self.workspace.stats(),
                 "engines": self.workspace.engine_stats()}
+
+    # -- tier-0 predict ----------------------------------------------------
+    def predict_service(self):
+        """The lazily-built tier-0 inference edge over this service's
+        workspace (see :class:`~repro.predict.service.PredictService`);
+        once built, the background refresher (when enabled) swaps its
+        served model after every warm refit."""
+        with self._predict_lock:
+            if self._predict is None:
+                from ..predict.service import PredictService
+                self._predict = PredictService(
+                    self.workspace,
+                    min_rows=self.predict_config.min_rows,
+                    cache_size=self.predict_config.cache_size)
+                if self.refresher is not None:
+                    self.refresher.service = self._predict
+            return self._predict
+
+    def predict(self, payload: dict) -> dict:
+        """One ``/v1/predict`` request: ``{"design", "corner"}``."""
+        from ..predict.service import PredictError
+        if not isinstance(payload, dict):
+            raise PredictError("request body must be a JSON object")
+        return self.predict_service().predict(
+            payload.get("design", ""), payload.get("corner"))
+
+    def predict_batch(self, payload: dict) -> dict:
+        """One ``/v1/predict/batch`` request:
+        ``{"design", "corners": [...]}``."""
+        from ..predict.service import PredictError
+        if not isinstance(payload, dict):
+            raise PredictError("request body must be a JSON object")
+        return self.predict_service().predict_batch(
+            payload.get("design", ""), payload.get("corners"))

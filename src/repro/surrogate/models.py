@@ -130,6 +130,7 @@ class EnsemblePPAModel:
         self._x_norm = _Standardizer()
         self._y_norm = _Standardizer()
         self._in_dim = None
+        self._stacked = None            # [(W (K,d_in,d_out), b (K,1,d_out))]
         self.trained_rows = 0
 
     @property
@@ -183,9 +184,91 @@ class EnsemblePPAModel:
                 loss.backward()
                 opt.step()
         self.trained_rows = len(X)
+        self._stacked = None
+        return self
+
+    def refit(self, X, Y, epochs: int | None = None) -> "EnsemblePPAModel":
+        """Warm-started incremental refit on the full (grown) row set.
+
+        Members keep their current weights and the fitted normalizers,
+        then continue Adam training — cheap enough to run on every
+        record-store delta, so a served model tracks harvested engine
+        truth without periodic full retrains. Falls back to
+        :meth:`fit` when the ensemble is untrained. Deterministic: the
+        bootstrap stream depends only on ``(seed, member, len(X))``.
+        """
+        if not self.fitted:
+            return self.fit(X, Y)
+        from ..nn import Adam, Tensor, mse_loss
+        X = np.asarray(X, dtype=float)
+        Y = np.asarray(Y, dtype=float)
+        if len(X) == 0:
+            raise ValueError("cannot refit a surrogate on zero rows")
+        if X.ndim != 2 or X.shape[1] != self._in_dim \
+                or Y.ndim != 2 or Y.shape[1] != len(TARGET_NAMES):
+            raise ValueError(
+                f"expected X (n, {self._in_dim}) and Y "
+                f"(n, {len(TARGET_NAMES)}); got {X.shape} / {Y.shape}")
+        Z = self._x_norm.transform(X)
+        T = self._y_norm.transform(Y)
+        cfg = self.config
+        steps = cfg.epochs if epochs is None else int(epochs)
+        for k, member in enumerate(self._members):
+            rng = np.random.default_rng(
+                cfg.seed + 1000 * k + 1 + 7919 * len(Z))
+            idx = (rng.integers(0, len(Z), size=len(Z))
+                   if len(Z) > 1 else np.zeros(1, dtype=int))
+            xb = Tensor(Z[idx])
+            tb = Tensor(T[idx])
+            opt = Adam(member.parameters(), lr=cfg.lr)
+            for _ in range(steps):
+                opt.zero_grad()
+                loss = mse_loss(member(xb), tb)
+                loss.backward()
+                opt.step()
+        self.trained_rows = len(X)
+        self._stacked = None
         return self
 
     # -- inference ---------------------------------------------------------
+    def _stacked_layers(self):
+        """Per-layer ``(W, b)`` arrays stacked across members, cached
+        until the weights change (fit / refit / load)."""
+        if self._stacked is None:
+            from ..nn.layers import Linear
+            per_member = [[m for m in member.net if isinstance(m, Linear)]
+                          for member in self._members]
+            self._stacked = [
+                (np.stack([layers[i].weight.data for layers in per_member]),
+                 np.stack([layers[i].bias.data
+                           for layers in per_member])[:, None, :])
+                for i in range(len(per_member[0]))]
+        return self._stacked
+
+    def predict_members_batch(self, X) -> np.ndarray:
+        """One stacked ensemble forward: all K members advance together
+        through batched ``(K, n, d) @ (K, d, d')`` matmuls — pure
+        numpy, no autograd graph, no per-member Python loop. Same
+        result as :meth:`predict_members` (members are built with tanh
+        hidden activations), shape ``(members, n, targets)``.
+        """
+        if not self.fitted:
+            raise RuntimeError("EnsemblePPAModel.predict before fit")
+        X = np.asarray(X, dtype=float)
+        Z = self._x_norm.transform(X)
+        H = np.broadcast_to(Z, (len(self._members),) + Z.shape)
+        layers = self._stacked_layers()
+        for i, (W, b) in enumerate(layers):
+            H = H @ W + b
+            if i < len(layers) - 1:
+                H = np.tanh(H)
+        return self._y_norm.inverse(H)
+
+    def predict_batch(self, X):
+        """``(mean, std)`` via the stacked forward — the serving path."""
+        preds = self.predict_members_batch(X)
+        return preds.mean(axis=0), preds.std(axis=0)
+
     def predict_members(self, X) -> np.ndarray:
         """Per-member predictions, shape ``(members, n, targets)``,
         in the original (denormalized) log10-objective units."""
@@ -270,4 +353,5 @@ class EnsemblePPAModel:
             model._y_norm = _Standardizer(archive["norm.y_mean"],
                                           archive["norm.y_std"])
         model.trained_rows = int(meta.get("trained_rows", 0))
+        model._stacked = None
         return model

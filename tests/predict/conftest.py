@@ -1,0 +1,52 @@
+"""Shared fixtures for the tier-0 predict subsystem tests.
+
+One session workspace is warmed by a single real harvesting run (the
+same CI-scale technology as the surrogate integration tests) and
+carries a registered ensemble; every predict/fidelity/refresh test
+reads from it. Tests that grow the store or adopt refit models only
+*append* — nothing here asserts absolute row counts, so ordering
+between modules stays irrelevant.
+"""
+
+import pytest
+
+from repro.api import (ModelConfig, SearchConfig, StcoConfig,
+                       SurrogateConfig, TechnologyConfig, Workspace,
+                       run)
+
+TECH = TechnologyConfig(
+    cells=("INV_X1", "NAND2_X1", "NOR2_X1", "DFF_X1"),
+    train_corners=((1.0, 0.0, 1.0), (0.9, 0.05, 1.1)),
+    test_corners=((0.95, 0.02, 1.05),),
+    slews=(8e-9,), loads=(15e-15,), n_bisect=3, max_steps=200)
+
+MODEL = ModelConfig(epochs=10)
+
+SEARCH = SearchConfig(optimizer="random", seed=0, iterations=16,
+                      vdd_scales=(0.85, 0.95, 1.05, 1.15),
+                      vth_shifts=(-0.05, 0.05),
+                      cox_scales=(0.9, 1.1))
+
+SURROGATE = SurrogateConfig(harvest=True, persist_model=True,
+                            members=3, hidden=8, epochs=40,
+                            min_observations=4)
+
+DESIGN = "s298"
+
+
+def make_config(**overrides) -> StcoConfig:
+    """The harvesting base document; override any top-level field."""
+    base = dict(mode="search", benchmark=DESIGN, technology=TECH,
+                model=MODEL, search=SEARCH, surrogate=SURROGATE)
+    base.update(overrides)
+    return StcoConfig(**base)
+
+
+@pytest.fixture(scope="session")
+def predict_ws(tmp_path_factory):
+    """A workspace with harvested rows + one registered ensemble."""
+    ws = Workspace(tmp_path_factory.mktemp("predict_ws"))
+    report = run(make_config(), ws)
+    assert report.surrogate.get("model_fingerprint"), \
+        "harvest run must register a servable ensemble"
+    return ws

@@ -1,0 +1,60 @@
+"""``repro predict``: the CLI front door of the tier-0 edge."""
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+from repro.serve import ServeService, StcoServer
+
+from .conftest import DESIGN
+
+
+class TestPredictCli:
+    def test_local_workspace_single_corner(self, predict_ws, capsys):
+        rc = main(["predict", DESIGN, "--corner", "0.85,-0.05,0.9",
+                   "--workspace", str(predict_ws.root)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["prediction"]["power_w"] > 0
+        assert doc["uncertainty"]["mean_std"] >= 0.0
+
+    def test_multiple_corners_batch(self, predict_ws, capsys):
+        rc = main(["predict", DESIGN,
+                   "--corner", "0.85,-0.05,0.9",
+                   "--corner", "1.05,0.05,1.1",
+                   "--workspace", str(predict_ws.root)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 2
+
+    def test_remote_url(self, predict_ws, capsys):
+        service = ServeService(predict_ws, workers=1)
+        server = StcoServer(service).start()
+        try:
+            rc = main(["predict", DESIGN,
+                       "--corner", "0.85,-0.05,0.9",
+                       "--url", server.url])
+        finally:
+            server.close()
+            service.close(timeout=10)
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["design"] == DESIGN
+
+    def test_empty_workspace_exits_1(self, tmp_path, capsys):
+        rc = main(["predict", DESIGN, "--corner", "1,0,1",
+                   "--workspace", str(tmp_path / "empty")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_corner_exits_2(self, predict_ws, capsys):
+        rc = main(["predict", DESIGN, "--corner", "1,2",
+                   "--workspace", str(predict_ws.root)])
+        assert rc == 2
+        assert "three comma-separated" in capsys.readouterr().err
+
+    def test_needs_target(self, capsys):
+        rc = main(["predict", DESIGN, "--corner", "1,0,1"])
+        assert rc == 2
+        assert "--url or --workspace" in capsys.readouterr().err

@@ -79,6 +79,82 @@ class TestEnsemble:
                                         np.zeros((4, 2)))
 
 
+class TestStackedForward:
+    def test_matches_per_member_loop_exactly(self):
+        """The (K, n, d) stacked path is the same arithmetic as the
+        per-member MLP loop — bit-identical, not just close."""
+        X, Y = synthetic_rows(24, seed=1)
+        model = EnsemblePPAModel(SMALL).fit(X, Y)
+        Xt, _ = synthetic_rows(15, seed=4)
+        np.testing.assert_array_equal(model.predict_members_batch(Xt),
+                                      model.predict_members(Xt))
+        mean_b, std_b = model.predict_batch(Xt)
+        mean, std = model.predict(Xt)
+        np.testing.assert_array_equal(mean_b, mean)
+        np.testing.assert_array_equal(std_b, std)
+
+    def test_survives_npz_round_trip(self, tmp_path):
+        X, Y = synthetic_rows(24, seed=1)
+        model = EnsemblePPAModel(SMALL).fit(X, Y)
+        path = tmp_path / "e.npz"
+        model.save(path)
+        loaded = EnsemblePPAModel.load(path)
+        Xt, _ = synthetic_rows(9, seed=5)
+        np.testing.assert_allclose(loaded.predict_batch(Xt)[0],
+                                   model.predict_batch(Xt)[0])
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            EnsemblePPAModel(SMALL).predict_batch(np.zeros((2, 3)))
+
+
+class TestRefit:
+    def test_warm_refit_improves_on_grown_data(self):
+        """Refit continues from the current weights on the grown row
+        set; the result predicts the new rows better than the stale
+        model did."""
+        X0, Y0 = synthetic_rows(16, seed=1)
+        model = EnsemblePPAModel(SMALL).fit(X0, Y0)
+        X1, Y1 = synthetic_rows(48, seed=2)
+        stale_err = np.abs(model.predict(X1)[0] - Y1).mean()
+        model.refit(X1, Y1)
+        fresh_err = np.abs(model.predict(X1)[0] - Y1).mean()
+        assert fresh_err < stale_err
+        assert model.trained_rows == 48
+
+    def test_refit_changes_fingerprint_and_keeps_config(self):
+        X0, Y0 = synthetic_rows(16, seed=1)
+        model = EnsemblePPAModel(SMALL).fit(X0, Y0)
+        before = model.fingerprint()
+        X1, Y1 = synthetic_rows(24, seed=2)
+        model.refit(X1, Y1)
+        assert model.fingerprint() != before
+        assert model.config == SMALL
+
+    def test_refit_on_unfitted_model_is_a_fit(self):
+        X, Y = synthetic_rows(20, seed=1)
+        model = EnsemblePPAModel(SMALL)
+        model.refit(X, Y)
+        assert model.trained_rows == 20
+        mean, std = model.predict(X)
+        assert mean.shape == Y.shape and (std >= 0).all()
+
+    def test_refit_validates_width(self):
+        X, Y = synthetic_rows(16, seed=1)
+        model = EnsemblePPAModel(SMALL).fit(X, Y)
+        with pytest.raises(ValueError, match="expected X"):
+            model.refit(np.zeros((10, 5)), np.zeros((10, 3)))
+
+    def test_refit_is_deterministic(self):
+        X0, Y0 = synthetic_rows(16, seed=1)
+        X1, Y1 = synthetic_rows(32, seed=2)
+        a = EnsemblePPAModel(SMALL).fit(X0, Y0)
+        b = EnsemblePPAModel(SMALL).fit(X0, Y0)
+        a.refit(X1, Y1)
+        b.refit(X1, Y1)
+        assert a.fingerprint() == b.fingerprint()
+
+
 class TestPersistence:
     def test_npz_round_trip(self, tmp_path):
         X, Y = synthetic_rows(24, seed=1)
