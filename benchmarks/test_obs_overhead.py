@@ -5,15 +5,19 @@ Times the warm-cache engine sweep — the hottest loop the serve layer
 drives — twice: once fully instrumented against the default metrics
 registry with tracing on, a :class:`SeriesRecorder` sampling at its
 default interval, and a :class:`SamplingProfiler` walking the sweep
-thread at its default interval (the exact configuration a served job
-runs under since the profiler attached per job); once constructed
-under :func:`repro.obs.disabled` (no-op instruments, no-op spans, no
-recorder, no profiler). Min-of-repeats on both sides; the ratio must
-stay under 1.05 (the ISSUE's 5% budget). Raw per-primitive costs
-(counter inc, histogram observe, span open/close) are recorded for
-reference without an assertion, and everything lands in
-``BENCH_obs.json`` at the repo root. ``benchmarks/history.py``
-compares that artifact against the committed baseline in CI.
+thread at its default interval, and a distributed
+:class:`~repro.obs.trace.TraceContext` installed so every span in the
+sweep adopts and propagates it (the exact configuration a *routed* job
+runs under since the router hop carries ``traceparent``); once
+constructed under :func:`repro.obs.disabled` (no-op instruments, no-op
+spans, no recorder, no profiler). Min-of-repeats on both sides; the
+ratio must stay under 1.05 (the ISSUE's 5% budget). Raw per-primitive
+costs (counter inc, histogram observe, span open/close) and the
+per-request drift envelope check at the predict edge
+(``drift_check_ns``) are recorded for reference without an assertion,
+and everything lands in ``BENCH_obs.json`` at the repo root.
+``benchmarks/history.py`` compares that artifact against the committed
+baseline in CI.
 """
 
 import gc
@@ -34,7 +38,7 @@ from repro.obs.prof import DEFAULT_INTERVAL_S as PROFILE_INTERVAL_S
 from repro.obs.prof import SamplingProfiler
 from repro.obs.series import DEFAULT_INTERVAL_S as SERIES_INTERVAL_S
 from repro.obs.series import SeriesRecorder
-from repro.obs.trace import span
+from repro.obs.trace import mint_context, span, trace_context
 from repro.stco import DesignSpace
 from repro.utils import print_table
 
@@ -104,7 +108,33 @@ def _primitive_costs_ns() -> dict:
     return out
 
 
-def test_instrumented_hot_loop_overhead_under_5pct(builder):
+def _drift_check_ns(tmp_path) -> float:
+    """Per-predict cost of the drift envelope check — the real
+    :class:`PredictService` hot-path pair (``_drift_scores`` +
+    ``_note_drift``) on a single-row query against a realistic
+    envelope, gauge and counter updates included."""
+    import numpy as np
+
+    from repro.api import Workspace
+    from repro.predict import PredictService
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        service = PredictService(Workspace(tmp_path / "drift-ws"))
+        d = 16                           # corner triple + netlist stats
+        rng = np.random.default_rng(0)
+        lo, hi = -np.ones(d), np.ones(d)
+        service._drift_arrays = (lo, hi,
+                                 np.maximum(0.1 * (hi - lo), 1e-6))
+        X = rng.uniform(-1.5, 1.5, size=(1, d))
+        n = 20_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            service._note_drift(service._drift_scores(X))
+        return (time.perf_counter() - t0) / n * 1e9
+
+
+def test_instrumented_hot_loop_overhead_under_5pct(builder, tmp_path):
     netlist = build_benchmark("s298")
     corners = SWEEP.points()
     assert len(corners) == 64    # campaign-sized batch: amortizes the
@@ -136,7 +166,13 @@ def test_instrumented_hot_loop_overhead_under_5pct(builder):
         # themselves stay outside it).
         prof = SamplingProfiler(interval_s=PROFILE_INTERVAL_S).start()
         try:
-            return _warm_sweep_s(engine, netlist, corners)
+            # A distributed trace context is active for the whole
+            # window, exactly as on a routed job: the root span adopts
+            # the upstream ``traceparent`` and every child span
+            # threads the ids through. Installing it sits outside the
+            # timed region; *carrying* it is in every measured span.
+            with trace_context(mint_context()):
+                return _warm_sweep_s(engine, netlist, corners)
         finally:
             prof.stop()
 
@@ -177,6 +213,7 @@ def test_instrumented_hot_loop_overhead_under_5pct(builder):
                      "samples": recorder.samples_taken},
         "profiler": {"interval_s": PROFILE_INTERVAL_S},
         "primitive_ns": _primitive_costs_ns(),
+        "drift_check_ns": _drift_check_ns(tmp_path),
     }
     ARTIFACT.write_text(json.dumps(payload, indent=1, sort_keys=True)
                         + "\n", encoding="utf-8")

@@ -592,6 +592,19 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _metrics_grep(pattern: str, text: str) -> str:
+    """Filter exposition lines by substring. A bare ``key=value``
+    pattern also matches the *rendered* label form ``key="value"``,
+    so ``--grep shard=a`` finds ``repro_jobs_total{shard="a",...}``
+    without the caller shell-quoting exposition syntax."""
+    needles = [pattern]
+    if "=" in pattern and '"' not in pattern:
+        key, _, value = pattern.partition("=")
+        needles.append(f'{key}="{value}"')
+    return "\n".join(line for line in text.splitlines()
+                     if any(needle in line for needle in needles))
+
+
 def _cmd_metrics(args) -> int:
     import time as _time
     import urllib.error
@@ -609,8 +622,7 @@ def _cmd_metrics(args) -> int:
             else:
                 text = client.metrics()
                 if args.grep:
-                    text = "\n".join(line for line in text.splitlines()
-                                     if args.grep in line)
+                    text = _metrics_grep(args.grep, text)
                 print(text)
             if not args.watch:
                 return 0

@@ -306,6 +306,9 @@ class Workspace:
         model = EnsemblePPAModel(config).fit(X, Y)
         model.save(path)
         self.counters["surrogates_trained"] += 1
+        # Persist the training envelope alongside the artifact: the
+        # predict edge scores request features against it (drift).
+        store.save_feature_stats()
         self._register(key, {"kind": "surrogate",
                              "path": path.name,
                              "rows": len(store),
@@ -332,6 +335,7 @@ class Workspace:
         tmp = self.surrogate_dir / f".{key}.tmp.npz"
         model.save(tmp)
         os.replace(tmp, path)
+        store.save_feature_stats()       # refresh the drift envelope
         self._register(key, {"kind": "surrogate",
                              "path": path.name,
                              "rows": model.trained_rows,

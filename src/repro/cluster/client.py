@@ -154,7 +154,12 @@ class LocalCluster:
             members = {s.name: {"url": s.wait_ready(deadline),
                                 "weight": 1.0}
                        for s in self.shards}
-            self.router = Router(members)
+            # The real deployment topology records federated series
+            # history on the default interval, persisted under the
+            # cluster root so windows survive a router restart.
+            self.router = Router(members, series_interval_s=5.0,
+                                 recorder_dir=self.root / "obs"
+                                 / "series")
             self.peer_wiring = self.router.push_membership()
             self.server = RouterServer(self.router, host=host,
                                        port=port, verbose=verbose)
@@ -178,6 +183,9 @@ class LocalCluster:
         if self.server is not None:
             self.server.close()
             self.server = None
+        if self.router is not None:
+            self.router.close()          # idempotent vs. server.close
+            self.router = None
         for shard in self.shards:
             shard.stop()
 

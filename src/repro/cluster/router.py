@@ -26,13 +26,22 @@ shard does — clients cannot tell a cluster from a shard. The mapping:
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 
 from ..obs.metrics import _escape_help, _fmt, _series, get_registry
+from ..obs.series import SeriesRecorder
+from ..obs.slo import SloEngine, cluster_rules
+from ..obs.trace import (Span, TraceContext, current_context,
+                         new_span_id, new_trace_id, span,
+                         trace_context)
 from ..serve.client import ServeClient, ServeClientError
 from ..serve.jobs import UnknownJobError
 from .ring import HashRing, route_key
 
 __all__ = ["ShardUnavailable", "Router"]
+
+#: Router-side submit spans kept for stitching (newest win).
+TRACES_MAX = 1024
 
 _HEALTH_RANK = {"healthy": 0, "degraded": 1, "unhealthy": 2,
                 "unreachable": 2}
@@ -59,7 +68,9 @@ class Router:
     """
 
     def __init__(self, shards: dict, timeout_s: float = 30.0,
-                 vnodes: int = 64, client_factory=None):
+                 vnodes: int = 64, client_factory=None,
+                 series_interval_s: float = 0.0,
+                 recorder_dir=None, slo_rules=None):
         if not shards:
             raise ValueError("a router needs at least one shard")
         self._factory = client_factory if client_factory is not None \
@@ -72,11 +83,41 @@ class Router:
                               for n, m in self._members.items()},
                              vnodes=vnodes)
         self._locations: dict[str, str] = {}   # job id -> shard name
+        self._traces: OrderedDict = OrderedDict()  # job id -> hop span
         self._lock = threading.Lock()
         self._m_requests = get_registry().counter(
             "repro_router_requests_total",
             "Router operations by kind and target shard",
             labels=("op", "shard"))
+        self._m_predicts = get_registry().counter(
+            "repro_router_predict_total",
+            "Cluster predict requests by outcome",
+            labels=("outcome",))
+        # The router's own history: the merged shard-labeled snapshot
+        # sampled on an interval, so windowed rates/quantiles and SLO
+        # burn exist at the cluster level and survive shard restarts
+        # (each sample is a new scrape; persisted history spans
+        # *router* restarts too). ``series_interval_s=0`` (default)
+        # keeps background sampling off — embedders and the HTTP front
+        # end opt in.
+        self.recorder = SeriesRecorder(
+            interval_s=series_interval_s, persist_dir=recorder_dir,
+            source=self._federated_sample)
+        self.recorder.start()
+        self.slo_engine = SloEngine(
+            self.recorder,
+            rules=slo_rules if slo_rules is not None
+            else cluster_rules(self._members))
+
+    def close(self) -> None:
+        """Stop the background series sampler (idempotent)."""
+        self.recorder.stop()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
 
     # -- membership --------------------------------------------------------
     def _adopt(self, name: str, spec) -> None:
@@ -129,17 +170,41 @@ class Router:
         key = route_key(config)
         return key, self.ring.shard_for(key)
 
-    def submit(self, config, priority: int = 0,
-               force: bool = False) -> dict:
+    def submit(self, config, priority: int = 0, force: bool = False,
+               trace: TraceContext | None = None) -> dict:
+        """Route-by-key submit under a ``router.submit`` span.
+
+        The span joins the submitter's trace (``trace`` argument, the
+        thread's active context, or a freshly minted one) and the hop
+        to the owning shard carries it onward as ``traceparent`` — the
+        shard's whole span tree lands under the same trace id, and the
+        finished router span is kept for :meth:`events` to stitch.
+        """
         key, owner = self.route(config)
         self._m_requests.labels(op="submit", shard=owner).inc()
+        incoming = trace if trace is not None else current_context()
         try:
-            job = self._clients[owner].submit(config, priority=priority,
-                                              force=force)
+            with span("router.submit", shard=owner) as hop:
+                if not isinstance(hop, Span):
+                    downstream = incoming    # tracing off: pass along
+                elif incoming is not None:
+                    downstream = hop.adopt(incoming)
+                else:
+                    hop.trace_id = new_trace_id()
+                    hop.span_id = new_span_id()
+                    downstream = TraceContext(hop.trace_id,
+                                              hop.span_id)
+                with trace_context(downstream):
+                    job = self._clients[owner].submit(
+                        config, priority=priority, force=force)
         except OSError as exc:
             raise ShardUnavailable(owner, str(exc)) from None
         with self._lock:
             self._locations[job["job_id"]] = owner
+            if isinstance(hop, Span):
+                self._traces[job["job_id"]] = hop.to_dict()
+                while len(self._traces) > TRACES_MAX:
+                    self._traces.popitem(last=False)
         return dict(job, shard=owner, route_key=key)
 
     def locate(self, job_id: str) -> str:
@@ -202,13 +267,16 @@ class Router:
                 if exc.status == 409:
                     lacking.append(name)
                     continue
+                self._m_predicts.labels(outcome="failed").inc()
                 raise
             except OSError as exc:
                 unreachable.append(name)
                 if first is None:
                     first = str(exc)
                 continue
+            self._m_predicts.labels(outcome="served").inc()
             return dict(doc, shard=name)
+        self._m_predicts.labels(outcome="failed").inc()
         if unreachable:
             raise ShardUnavailable(",".join(unreachable),
                                    first or "no shard reachable")
@@ -248,13 +316,82 @@ class Router:
         name, doc = self._on_shard(
             job_id, "events",
             lambda c: c._request("GET", f"/v1/runs/{job_id}/events"))
-        return dict(doc, shard=name)
+        doc = dict(doc, shard=name)
+        doc["events"] = [self._stitch_event(e, job_id)
+                         for e in doc.get("events", [])]
+        return doc
+
+    # -- trace stitching ---------------------------------------------------
+    def _stitch_event(self, event, job_id: str, depth: int = 0):
+        """Rewrite a shard's ``kind="trace"`` event into the cluster
+        view: the shard tree wrapped under the router's submit span,
+        with the escalation twin's trace (when the job escalated)
+        grafted at its parent span."""
+        if not isinstance(event, dict) or event.get("kind") != "trace":
+            return event
+        tree = event.get("trace")
+        if not isinstance(tree, dict):
+            return event
+        with self._lock:
+            hop = self._traces.get(job_id)
+        if hop:
+            wrapper = dict(hop)
+            wrapper["children"] = list(wrapper.get("children", [])) \
+                + [tree]
+            tree = wrapper
+        if depth == 0:
+            twin = self._escalated_trace(job_id)
+            if twin is not None:
+                self._graft(tree, twin)
+        return dict(event, trace=tree)
+
+    def _escalated_trace(self, job_id: str):
+        """The escalation twin's stitched trace tree, best effort:
+        ``None`` when the job never escalated, the twin is elsewhere
+        unreachable, or its trace has not landed yet."""
+        try:
+            doc = self.job(job_id)
+            twin_id = ((doc.get("report") or {})
+                       .get("uncertainty", {})
+                       .get("escalated_job_id"))
+            if not twin_id:
+                return None
+            twin = self._on_shard(
+                twin_id, "events",
+                lambda c: c._request(
+                    "GET", f"/v1/runs/{twin_id}/events"))[1]
+        except (ShardUnavailable, UnknownJobError, ServeClientError,
+                OSError):
+            return None
+        for event in reversed(twin.get("events", [])):
+            stitched = self._stitch_event(event, twin_id, depth=1)
+            if isinstance(stitched, dict) \
+                    and stitched.get("kind") == "trace":
+                return stitched.get("trace")
+        return None
+
+    @staticmethod
+    def _graft(tree: dict, twin: dict) -> None:
+        """Attach ``twin`` under the span it names as parent
+        (``parent_span_id``), falling back to the root."""
+        target, queue = None, [tree]
+        want = twin.get("parent_span_id")
+        while queue:
+            node = queue.pop()
+            if want and node.get("span_id") == want:
+                target = node
+                break
+            queue.extend(node.get("children", []))
+        host = target if target is not None else tree
+        host.setdefault("children", []).append(twin)
 
     def event_stream(self, job_id: str):
-        """The owning shard's live SSE feed (parsed-event generator)."""
+        """The owning shard's live SSE feed (parsed-event generator,
+        heartbeats included so the HTTP front end can re-emit them)."""
         name = self.locate(job_id)
         self._m_requests.labels(op="stream", shard=name).inc()
-        return self._clients[name].events(job_id, stream=True)
+        return self._clients[name].events(job_id, stream=True,
+                                          heartbeats=True)
 
     def profile(self, job_id: str, format: str = "text"):
         name, doc = self._on_shard(
@@ -310,8 +447,15 @@ class Router:
         for name, error in errors.items():
             shards[name] = {"health": "unreachable", **error}
             worst = "unhealthy"
+        # Cluster-level rules evaluate over the router's own recorded
+        # history (shard-labeled series + router counters) — burn that
+        # survives a shard restarting with fresh counters. They live
+        # under their own key: every entry in "rules" stays a
+        # shard-tagged rule from a live shard.
+        cluster = self.slo_engine.evaluate()
+        worst = _worst(worst, cluster["health"])
         return {"health": worst, "rules": rules, "shards": shards,
-                "role": "router"}
+                "cluster": cluster, "role": "router"}
 
     def workspace_stats(self) -> dict:
         results, errors = self._fan_out(lambda c: c.workspace_stats())
@@ -383,7 +527,45 @@ class Router:
         return "\n".join(lines) + "\n"
 
     def metrics_window(self, window_s: float) -> dict:
+        """The router recorder's windowed report over the merged
+        shard-labeled history (deltas, rates, quantiles), with each
+        shard's own windowed report riding along under ``shards``."""
         results, errors = self._fan_out(
             lambda c: c.metrics(window_s=window_s))
-        return {"role": "router", "window_s": window_s,
-                "shards": {**results, **errors}}
+        report = self.recorder.window_report(window_s)
+        report["role"] = "router"
+        report["shards"] = {**results, **errors}
+        return report
+
+    def _federated_sample(self) -> tuple:
+        """One cluster-wide sample for the router's recorder: every
+        series of the merged exposition flattened to the snapshot form
+        (histograms as ``_sum``/``_count`` values + cumulative
+        buckets), keyed exactly as :func:`~repro.obs.slo.shard_series`
+        spells them, plus the router's own registry."""
+        values, buckets = {}, {}
+        doc = self.metrics_json()
+        for fam_name, family in doc["metrics"].items():
+            is_hist = family.get("type") == "histogram"
+            for series in family["series"]:
+                labels = series.get("labels", {})
+                if is_hist:
+                    key = _series(fam_name, labels)
+                    values[_series(fam_name + "_sum", labels)] = \
+                        series.get("sum", 0.0)
+                    values[_series(fam_name + "_count", labels)] = \
+                        series.get("count", 0)
+                    buckets[key] = [
+                        [None if bound in (None, "+Inf")
+                         else float(bound), count]
+                        for bound, count in series.get("buckets", [])]
+                else:
+                    values[_series(fam_name, labels)] = \
+                        series.get("value", 0.0)
+        registry = get_registry()
+        values.update(registry.snapshot())
+        for key, cumulative in registry.histogram_cumulative().items():
+            inf = float("inf")
+            buckets[key] = [[None if bound == inf else bound, count]
+                            for bound, count in cumulative]
+        return values, buckets

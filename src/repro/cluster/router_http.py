@@ -21,6 +21,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..obs.metrics import get_registry
+from ..obs.trace import TRACEPARENT_HEADER, parse_traceparent
 from ..serve.client import ServeClientError
 from ..serve.http import _route_label
 from ..serve.jobs import UnknownJobError
@@ -271,9 +272,11 @@ class _Handler(BaseHTTPRequestHandler):
                 raise _ApiError(400, "'priority' must be an integer")
         else:                            # bare config document
             config, priority, force = data, 0, False
+        ctx = parse_traceparent(
+            self.headers.get(TRACEPARENT_HEADER, ""))
         try:
             job = self.router.submit(config, priority=priority,
-                                     force=force)
+                                     force=force, trace=ctx)
         except ConfigError as exc:
             raise _ApiError(400, f"invalid config: {exc}") from None
         self._send(job, 202)
@@ -287,7 +290,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _stream_events(self, job_id: str) -> None:
         """SSE passthrough: consume the owning shard's stream, re-frame
         each parsed event for our client. Locate errors surface before
-        headers (clean 404/503); a drop mid-stream just ends it."""
+        headers (clean 404/503). The shard's heartbeat comments are
+        re-emitted so our client's idle timeout keeps getting fed, and
+        a shard dying mid-stream surfaces as an ``error`` event rather
+        than a silent hang-up."""
         stream = self.router.event_stream(job_id)   # may raise: pre-headers
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
@@ -295,15 +301,30 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
         try:
-            for item in stream:
-                data = json.dumps(item["data"], sort_keys=True,
-                                  default=str)
-                self._write_chunk(f"event: {item['event']}\n"
-                                  f"data: {data}\n\n")
+            ended, error = False, ""
+            try:
+                for item in stream:
+                    if item["event"] == "heartbeat":
+                        self._write_chunk(": heartbeat\n\n")
+                        continue
+                    data = json.dumps(item["data"], sort_keys=True,
+                                      default=str)
+                    self._write_chunk(f"event: {item['event']}\n"
+                                      f"data: {data}\n\n")
+                    if item["event"] == "end":
+                        ended = True
+            except Exception as exc:     # noqa: BLE001 — upstream died
+                error = f"{type(exc).__name__}: {exc}"
+            if not ended:
+                payload = json.dumps(
+                    {"error": error or "shard stream ended before a "
+                                       "terminal state",
+                     "job_id": job_id}, sort_keys=True)
+                self._write_chunk(f"event: error\ndata: {payload}\n\n")
             self.wfile.write(b"0\r\n\r\n")   # chunked terminator
             self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError, OSError):
-            pass                         # either side hung up
+            pass                         # our client hung up
         finally:
             self.close_connection = True
 
@@ -348,6 +369,7 @@ class RouterServer:
         if self._thread is not None:
             self._thread.join(timeout=10)
             self._thread = None
+        self.router.close()              # stop the series sampler
 
     def __enter__(self):
         return self.start()

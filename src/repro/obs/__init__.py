@@ -40,14 +40,22 @@ from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       NullRegistry, get_registry, use_registry)
 from .prof import Profile, SamplingProfiler
 from .series import SeriesRecorder
-from .slo import SloEngine, SloRule, default_rules
-from .trace import Span, current_span, render_tree, span
+from .slo import (SloEngine, SloRule, cluster_rules, default_rules,
+                  shard_series)
+from .trace import (TraceContext, Span, current_context, current_span,
+                    current_traceparent, format_traceparent,
+                    mint_context, parse_traceparent, render_tree, span,
+                    trace_context)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "get_registry", "use_registry",
     "Span", "span", "current_span", "render_tree",
+    "TraceContext", "mint_context", "parse_traceparent",
+    "format_traceparent", "trace_context", "current_context",
+    "current_traceparent",
     "SeriesRecorder", "SloEngine", "SloRule", "default_rules",
+    "cluster_rules", "shard_series",
     "Profile", "SamplingProfiler",
     "disabled",
 ]

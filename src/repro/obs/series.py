@@ -66,9 +66,21 @@ class SeriesRecorder:
                  window: int = DEFAULT_WINDOW,
                  persist_dir: str | Path | None = None,
                  max_bytes: int = DEFAULT_MAX_BYTES,
-                 clock=time.time):
+                 clock=time.time, source=None):
+        """``source`` replaces the registry scrape: a callable
+        returning ``(values, buckets)`` already in sample form (flat
+        ``{series: value}`` plus ``{series: [[bound, count], …]}``
+        with ``None`` for +Inf) — how the cluster router records the
+        merged shard-labeled exposition instead of a local registry.
+
+        When ``persist_dir`` holds history from an earlier process
+        (``samples.jsonl`` and its one rotation backup), it is
+        preloaded into the ring, so windowed queries span restarts
+        and the rotation boundary.
+        """
+        self.source = source
         self.registry = registry if registry is not None \
-            else get_registry()
+            else (None if source is not None else get_registry())
         self.interval_s = float(interval_s)
         self.persist_dir = None if persist_dir is None \
             else Path(persist_dir)
@@ -76,10 +88,12 @@ class SeriesRecorder:
         self.clock = clock
         self.samples_taken = 0
         self.persist_errors = 0
+        self.preloaded = 0
         self._ring: deque = deque(maxlen=max(2, int(window)))
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._preload()
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "SeriesRecorder":
@@ -113,12 +127,40 @@ class SeriesRecorder:
                 pass             # not kill the sampler thread.
 
     # -- sampling ----------------------------------------------------------
+    def _preload(self) -> None:
+        """Seed the ring with persisted history — the backup first,
+        then the live file, so a window reaching past the rotation
+        boundary (or a restart) still sees both sides."""
+        if self.persist_dir is None:
+            return
+        entries = []
+        for name in ("samples.jsonl.1", "samples.jsonl"):
+            try:
+                with open(self.persist_dir / name,
+                          encoding="utf-8") as fh:
+                    for line in fh:
+                        try:
+                            entry = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue     # torn tail write: skip
+                        if isinstance(entry, dict) and "t" in entry:
+                            entries.append(entry)
+            except OSError:
+                continue
+        entries.sort(key=lambda e: e["t"])
+        with self._lock:
+            self._ring.extend(entries)
+            self.preloaded = len(entries)
+
     def sample(self) -> dict:
         """Take one sample now: snapshot + histogram buckets, appended
         to the ring (and the JSONL file when persisting)."""
-        values = self.registry.snapshot()       # runs collectors
-        buckets = _jsonable_buckets(
-            self.registry.histogram_cumulative())
+        if self.source is not None:
+            values, buckets = self.source()
+        else:
+            values = self.registry.snapshot()   # runs collectors
+            buckets = _jsonable_buckets(
+                self.registry.histogram_cumulative())
         entry = {"t": self.clock(), "values": values,
                  "buckets": buckets}
         with self._lock:
@@ -256,6 +298,7 @@ class SeriesRecorder:
         return {"interval_s": self.interval_s, "ring": ring,
                 "ring_max": self._ring.maxlen,
                 "samples_taken": self.samples_taken,
+                "preloaded": self.preloaded,
                 "persist_errors": self.persist_errors,
                 "running": self._thread is not None,
                 "persist_dir": (str(self.persist_dir)

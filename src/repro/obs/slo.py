@@ -33,6 +33,18 @@ service ``health``: ``healthy`` (all ok), ``degraded`` (any warning),
 Absence of data is *not* a breach: a rule with no observations in its
 window reports ``ok`` with ``value=None``. SLOs catch bad behaviour,
 not quiet periods.
+
+A rule's ``severity`` caps what its breach rolls up to: the default
+``unhealthy`` ejects the service from load balancing, while
+``degraded`` (the drift and predict-availability rules) flags it
+without ejecting — a stale surrogate model should page someone, not
+take the job tier down with it.
+
+:func:`cluster_rules` builds the router's federated rule set: the
+per-shard objectives re-expressed over the ``shard``-labeled series of
+the merged exposition (:func:`shard_series` maps a single-shard key to
+its federated spelling), plus cluster-level predict availability over
+the router's own ``repro_router_predict_total`` counter.
 """
 
 from __future__ import annotations
@@ -42,12 +54,14 @@ from dataclasses import dataclass, field
 
 from .series import SeriesRecorder
 
-__all__ = ["SloRule", "SloEngine", "default_rules",
-           "HEALTHY", "DEGRADED", "UNHEALTHY"]
+__all__ = ["SloRule", "SloEngine", "default_rules", "cluster_rules",
+           "shard_series", "HEALTHY", "DEGRADED", "UNHEALTHY"]
 
 HEALTHY = "healthy"
 DEGRADED = "degraded"
 UNHEALTHY = "unhealthy"
+
+_HEALTH_RANK = {HEALTHY: 0, DEGRADED: 1, UNHEALTHY: 2}
 
 _KINDS = ("latency", "error_rate", "ratio_floor", "gauge_ceiling")
 
@@ -60,6 +74,9 @@ CACHE_HITS = ('repro_engine_cache_events_total{cache="result",'
 CACHE_MISSES = ('repro_engine_cache_events_total{cache="result",'
                 'tier="memory",event="miss"}')
 QUEUE_DEPTH = "repro_serve_queue_depth"
+DRIFT_GAUGE = "repro_predict_drift"
+PREDICTS_SERVED = 'repro_router_predict_total{outcome="served"}'
+PREDICTS_FAILED = 'repro_router_predict_total{outcome="failed"}'
 
 
 @dataclass
@@ -79,6 +96,7 @@ class SloRule:
     min_count: int = 0
     warning: float | None = None
     description: str = ""
+    severity: str = UNHEALTHY        # what a breach rolls health to
     _breach_s: float = field(default=0.0, repr=False)
     _last_eval_t: float | None = field(default=None, repr=False)
 
@@ -86,6 +104,9 @@ class SloRule:
         if self.kind not in _KINDS:
             raise ValueError(f"unknown SLO kind {self.kind!r}; "
                              f"expected one of {_KINDS}")
+        if self.severity not in (DEGRADED, UNHEALTHY):
+            raise ValueError(f"severity must be {DEGRADED!r} or "
+                             f"{UNHEALTHY!r}, got {self.severity!r}")
         if self.warning is None:
             self.warning = (self.objective * 1.25
                             if self.kind == "ratio_floor"
@@ -140,7 +161,8 @@ class SloRule:
                "value": value, "objective": self.objective,
                "warning": self.warning, "window_s": self.window_s,
                "burn_rate": round(burn, 4),
-               "breach_s": round(self._breach_s, 3)}
+               "breach_s": round(self._breach_s, 3),
+               "severity": self.severity}
         if self.kind == "latency":
             out["quantile"] = self.quantile
         if self.series:
@@ -173,7 +195,67 @@ def default_rules() -> list:
         SloRule(name="queue-depth", kind="gauge_ceiling",
                 series=QUEUE_DEPTH, objective=50.0, window_s=300.0,
                 description="submission queue shorter than 50 jobs"),
+        SloRule(name="predict-drift", kind="gauge_ceiling",
+                series=DRIFT_GAUGE, objective=1.0, window_s=300.0,
+                severity=DEGRADED,
+                description="surrogate feature-drift score under 1.0 "
+                            "(requests within the training "
+                            "distribution)"),
     ]
+
+
+def shard_series(series: str, shard: str) -> str:
+    """A single-shard series key re-spelled as the router's merged
+    exposition keys it (the ``shard`` label is appended last)."""
+    if series.endswith("}"):
+        return f'{series[:-1]},shard="{shard}"}}'
+    return f'{series}{{shard="{shard}"}}'
+
+
+def cluster_rules(shards) -> list:
+    """The router's federated rule set over ``shards`` (an iterable of
+    shard names): per-shard error-rate / execute-latency / queue-depth
+    / drift against the shard-labeled merged series, plus cluster
+    predict availability from the router's own outcome counter."""
+    rules = []
+    for name in sorted(shards):
+        rules.extend([
+            SloRule(name=f"shard-error-rate[{name}]",
+                    kind="error_rate",
+                    numerator=(shard_series(JOBS_FAILED, name),),
+                    denominator=(shard_series(JOBS_FAILED, name),
+                                 shard_series(JOBS_SUCCEEDED, name)),
+                    objective=0.1, window_s=600.0,
+                    description=f"failed / finished jobs on shard "
+                                f"{name} under 10%"),
+            SloRule(name=f"shard-execute-latency[{name}]",
+                    kind="latency",
+                    series=shard_series(EXECUTE_SERIES, name),
+                    quantile=0.95, objective=900.0, window_s=300.0,
+                    description=f"p95 of serve.execute on shard "
+                                f"{name} under 15 min"),
+            SloRule(name=f"shard-queue-depth[{name}]",
+                    kind="gauge_ceiling",
+                    series=shard_series(QUEUE_DEPTH, name),
+                    objective=50.0, window_s=300.0,
+                    description=f"queue on shard {name} shorter than "
+                                f"50 jobs"),
+            SloRule(name=f"shard-predict-drift[{name}]",
+                    kind="gauge_ceiling",
+                    series=shard_series(DRIFT_GAUGE, name),
+                    objective=1.0, window_s=300.0, severity=DEGRADED,
+                    description=f"surrogate drift score on shard "
+                                f"{name} under 1.0"),
+        ])
+    rules.append(SloRule(
+        name="predict-availability", kind="ratio_floor",
+        numerator=(PREDICTS_SERVED,),
+        denominator=(PREDICTS_SERVED, PREDICTS_FAILED),
+        objective=0.9, min_count=20, window_s=600.0,
+        severity=DEGRADED,
+        description="cluster predict requests served over 90% once "
+                    "20 have been routed"))
+    return rules
 
 
 class SloEngine:
@@ -190,9 +272,18 @@ class SloEngine:
         with self._lock:     # rules carry breach_s accumulators
             results = [rule.evaluate(self.recorder, now)
                        for rule in self.rules]
-        states = {r["state"] for r in results}
-        health = (UNHEALTHY if "breach" in states else
-                  DEGRADED if "warning" in states else HEALTHY)
+        health = HEALTHY
+        for result in results:
+            if result["state"] == "breach":
+                # A breach rolls up to the rule's severity — drift
+                # degrades, it does not eject.
+                hit = result.get("severity", UNHEALTHY)
+            elif result["state"] == "warning":
+                hit = DEGRADED
+            else:
+                continue
+            if _HEALTH_RANK[hit] > _HEALTH_RANK[health]:
+                health = hit
         return {"health": health, "evaluated_at": now,
                 "rules": results}
 

@@ -26,10 +26,21 @@ gets a latency distribution for free; :func:`set_enabled` (or
 Synthetic spans (:meth:`Span.synthetic`) cover stages that were
 measured externally rather than executed under a tracer — e.g. a serve
 job's queue wait, reconstructed from its ledger.
+
+Traces cross process boundaries via a W3C-traceparent-shaped
+:class:`TraceContext` (``00-{trace_id}-{span_id}-01``): the caller
+mints one (:func:`mint_context`), sends it as the ``traceparent``
+header, and the receiver's root span :meth:`Span.adopt`\\ s it — same
+trace id, the caller's span id as parent, a fresh id of its own. The
+per-thread :func:`trace_context` holder lets outgoing hops made deep
+inside a request (escalations, peer borrows) pick the context up
+without plumbing it through every call signature.
 """
 
 from __future__ import annotations
 
+import os
+import re
 import threading
 import time
 from contextlib import contextmanager
@@ -37,7 +48,10 @@ from contextlib import contextmanager
 from .metrics import get_registry
 
 __all__ = ["Span", "span", "current_span", "set_enabled", "enabled",
-           "render_tree"]
+           "render_tree", "TraceContext", "mint_context",
+           "parse_traceparent", "format_traceparent", "trace_context",
+           "current_context", "current_traceparent",
+           "TRACEPARENT_HEADER"]
 
 #: Children beyond this are dropped (counted in ``dropped``) so a
 #: pathological loop cannot grow an unbounded tree.
@@ -79,11 +93,99 @@ def enabled() -> bool:
     return _enabled
 
 
+#: HTTP header that carries the propagation context between processes.
+TRACEPARENT_HEADER = "traceparent"
+
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-[0-9a-f]{2}$")
+
+
+def new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+class TraceContext:
+    """One hop's worth of trace identity: which trace, which parent."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def traceparent(self) -> str:
+        return format_traceparent(self)
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext | None":
+        trace_id = str(data.get("trace_id", ""))
+        span_id = str(data.get("span_id", ""))
+        if not trace_id:
+            return None
+        return cls(trace_id, span_id or new_span_id())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceContext({self.trace_id!r}, {self.span_id!r})"
+
+
+def mint_context() -> TraceContext:
+    """A fresh trace root: new trace id, new span id."""
+    return TraceContext(new_trace_id(), new_span_id())
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    return f"00-{ctx.trace_id}-{ctx.span_id}-01"
+
+
+def parse_traceparent(header: str) -> TraceContext | None:
+    """Parse a ``traceparent`` header; ``None`` on anything malformed."""
+    if not header:
+        return None
+    m = _TRACEPARENT_RE.match(header.strip().lower())
+    if not m:
+        return None
+    return TraceContext(m.group(1), m.group(2))
+
+
+def current_context() -> TraceContext | None:
+    """This thread's active propagation context (``None`` outside one)."""
+    return getattr(_local, "ctx", None)
+
+
+def current_traceparent() -> str:
+    """Rendered header for the active context ("" when there is none)."""
+    ctx = current_context()
+    return format_traceparent(ctx) if ctx is not None else ""
+
+
+@contextmanager
+def trace_context(ctx: TraceContext | None):
+    """Install ``ctx`` as this thread's context for the ``with`` body.
+
+    Outgoing :class:`repro.serve.client.ServeClient` requests made
+    inside the body carry it as ``traceparent`` automatically.
+    """
+    prev = getattr(_local, "ctx", None)
+    _local.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _local.ctx = prev
+
+
 class Span:
     """One timed stage; a node in a per-request trace tree."""
 
     __slots__ = ("name", "attrs", "children", "start_s", "wall_s",
-                 "cpu_s", "dropped", "error", "_t0", "_c0")
+                 "cpu_s", "dropped", "error", "trace_id", "span_id",
+                 "parent_span_id", "_t0", "_c0")
 
     def __init__(self, name: str, attrs: dict | None = None):
         self.name = name
@@ -94,6 +196,9 @@ class Span:
         self.cpu_s = 0.0
         self.dropped = 0
         self.error = ""
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_span_id = ""
         self._t0 = time.perf_counter()
         self._c0 = time.thread_time()
 
@@ -101,6 +206,15 @@ class Span:
         self.wall_s = time.perf_counter() - self._t0
         self.cpu_s = time.thread_time() - self._c0
         return self
+
+    def adopt(self, ctx: TraceContext) -> TraceContext:
+        """Join a propagated trace: ``ctx``'s trace id, its span id as
+        parent, a freshly minted id of our own. Returns the context to
+        hand to *our* downstream hops."""
+        self.trace_id = ctx.trace_id
+        self.parent_span_id = ctx.span_id
+        self.span_id = new_span_id()
+        return TraceContext(self.trace_id, self.span_id)
 
     def add_child(self, child: "Span") -> None:
         if len(self.children) >= MAX_CHILDREN:
@@ -133,6 +247,12 @@ class Span:
             out["dropped"] = self.dropped
         if self.error:
             out["error"] = self.error
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        if self.span_id:
+            out["span_id"] = self.span_id
+        if self.parent_span_id:
+            out["parent_span_id"] = self.parent_span_id
         return out
 
     @classmethod
@@ -144,6 +264,9 @@ class Span:
         out.cpu_s = data.get("cpu_s", 0.0)
         out.dropped = data.get("dropped", 0)
         out.error = data.get("error", "")
+        out.trace_id = data.get("trace_id", "")
+        out.span_id = data.get("span_id", "")
+        out.parent_span_id = data.get("parent_span_id", "")
         out.children = [cls.from_dict(c)
                         for c in data.get("children", [])]
         return out
@@ -158,12 +281,20 @@ class _NullSpan:
     children: list = []
     wall_s = 0.0
     cpu_s = 0.0
+    trace_id = ""
+    span_id = ""
+    parent_span_id = ""
 
     def annotate(self, **attrs) -> None:
         pass
 
     def add_child(self, child) -> None:
         pass
+
+    def adopt(self, ctx) -> "TraceContext":
+        # Keep propagating the caller's context even when local
+        # tracing is off — downstream processes may have it on.
+        return ctx
 
     def to_dict(self) -> dict:
         return {}
@@ -226,6 +357,8 @@ def render_tree(trace: dict, indent: int = 0) -> list:
         suffix = f"  [{inner}]"
     if trace.get("error"):
         suffix += f"  !{trace['error']}"
+    if trace.get("trace_id"):
+        suffix += f"  trace={trace['trace_id'][:8]}"
     lines = [f"{'  ' * indent}{trace.get('name', '?')}  "
              f"{wall * 1000:.2f} ms wall / {cpu * 1000:.2f} ms cpu"
              f"{suffix}"]

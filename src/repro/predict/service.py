@@ -19,6 +19,19 @@ so a refresher swap (:meth:`swap_model`) implicitly invalidates every
 stale entry. Inference runs on the pure-numpy stacked path — it never
 touches the :mod:`repro.nn` autograd state, so it needs no engine
 execution lock.
+
+Every answered request is also scored against the **training
+envelope** the served model was fit inside (the per-feature
+ranges/density :meth:`~repro.surrogate.records.RecordStore.save_feature_stats`
+persisted at train time): the drift score is the worst per-feature
+range violation in robust units (``max(std, 10% of span)``), so 0
+means in-distribution and >1 means the request left the training
+range by more than one unit. Scores ride on each response
+(``drift``), feed the ``repro_predict_drift`` EMA gauge and the
+``repro_predict_ood_total`` counter, and the default ``predict-drift``
+SLO rule turns a sustained out-of-distribution stream into degraded
+health — a stale model now degrades *health* before it degrades
+answers.
 """
 
 from __future__ import annotations
@@ -100,6 +113,15 @@ class PredictService:
         self._g_loaded = registry.gauge(
             "repro_predict_model_loaded_seconds",
             "Unix time the served ensemble was (re)loaded")
+        self._g_drift = registry.gauge(
+            "repro_predict_drift",
+            "EMA of the feature-drift score of answered predictions "
+            "(>1 = outside the training envelope)")
+        self._m_ood = registry.counter(
+            "repro_predict_ood_total",
+            "Predictions answered outside the training envelope")
+        self._drift_arrays = None        # (lo, hi, scale) | () = none
+        self._drift_ema = None           # EMA state (None = no data)
 
     # -- model lifecycle ---------------------------------------------------
     def _load_model(self):
@@ -145,11 +167,59 @@ class PredictService:
         """Atomically replace the served ensemble (refresher hook).
 
         The LRU keys include the model fingerprint, so old entries die
-        by never matching again; trim happens on the next insert.
+        by never matching again; trim happens on the next insert. The
+        drift envelope reloads too — a retrain refreshed it on disk.
         """
         with self._lock:
             self._install(model)
+            self._drift_arrays = None
             return self._model_fp
+
+    # -- drift scoring -----------------------------------------------------
+    def _drift_envelope(self):
+        """``(lo, hi, scale)`` arrays of the persisted training
+        envelope, loaded once per served model (``()`` when absent)."""
+        arrays = self._drift_arrays
+        if arrays is None:
+            stats = self.workspace.record_store().load_feature_stats()
+            lo = np.asarray(stats.get("min", []), dtype=float)
+            hi = np.asarray(stats.get("max", []), dtype=float)
+            std = np.asarray(stats.get("std", []), dtype=float)
+            if lo.size and lo.shape == hi.shape == std.shape:
+                # Robust per-feature unit: std, floored at 10% of the
+                # observed span so a constant feature never divides by
+                # ~0 and a tight range is not infinitely brittle.
+                scale = np.maximum(np.maximum(std, 0.1 * (hi - lo)),
+                                   1e-6)
+                arrays = (lo, hi, scale)
+            else:
+                arrays = ()
+            self._drift_arrays = arrays
+        return arrays
+
+    def _drift_scores(self, X: np.ndarray) -> np.ndarray:
+        """Per-row drift score: the worst per-feature violation of the
+        training range, in robust units. 0 = inside the envelope."""
+        envelope = self._drift_envelope()
+        if not envelope or X.shape[1] != envelope[0].size:
+            return np.zeros(X.shape[0])
+        lo, hi, scale = envelope
+        outside = np.maximum(np.maximum(lo - X, X - hi), 0.0)
+        return np.max(outside / scale, axis=1)
+
+    def _note_drift(self, scores) -> None:
+        """Fold scores into the EMA gauge + out-of-distribution
+        counter (cache hits replay their stored score — a repeated
+        OOD query is still sustained drift)."""
+        ema = self._drift_ema
+        for score in scores:
+            score = float(score)
+            if score > 1.0:
+                self._m_ood.inc()
+            ema = score if ema is None else 0.7 * ema + 0.3 * score
+        if ema is not None:
+            self._drift_ema = ema
+            self._g_drift.set(round(ema, 6))
 
     def info(self) -> dict:
         with self._lock:
@@ -239,11 +309,15 @@ class PredictService:
             key = self._key(design, c)
             cached = self._cache_get(key)
             if cached is not None:
+                if "drift" in cached:
+                    self._note_drift([cached["drift"]])
                 return dict(cached, model=self._model_block(),
                             cached=True)
             X = self._featurize(design, [c])
             mean, std = model.predict_batch(X)
             entry = self._entry(design, c, mean[0], std[0])
+            entry["drift"] = float(self._drift_scores(X)[0])
+            self._note_drift([entry["drift"]])
             self._cache_put(key, entry)
             return dict(entry, model=self._model_block(), cached=False)
 
@@ -266,17 +340,25 @@ class PredictService:
             keys = [self._key(design, c) for c in cs]
             entries: list = [None] * len(cs)
             fresh = []
+            replayed = []
             for i, key in enumerate(keys):
                 hit = self._cache_get(key)
                 if hit is not None:
                     entries[i] = dict(hit, cached=True)
+                    if "drift" in hit:
+                        replayed.append(hit["drift"])
                 else:
                     fresh.append(i)
+            if replayed:
+                self._note_drift(replayed)
             if fresh:
                 X = self._featurize(design, [cs[i] for i in fresh])
                 mean, std = model.predict_batch(X)
+                scores = self._drift_scores(X)
+                self._note_drift(scores)
                 for j, i in enumerate(fresh):
                     entry = self._entry(design, cs[i], mean[j], std[j])
+                    entry["drift"] = float(scores[j])
                     self._cache_put(keys[i], entry)
                     entries[i] = dict(entry, cached=False)
             return {"design": design, "count": len(entries),

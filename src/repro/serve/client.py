@@ -26,6 +26,10 @@ import time
 import urllib.error
 import urllib.request
 
+from ..obs.trace import (TRACEPARENT_HEADER, current_context,
+                         current_traceparent, mint_context,
+                         trace_context)
+
 __all__ = ["ServeClientError", "ServeClient"]
 
 
@@ -126,6 +130,18 @@ class ServeClient:
                 time.sleep(self._backoff(attempt))
                 attempt += 1
 
+    @staticmethod
+    def _headers(extra: dict | None = None) -> dict:
+        """Base headers for a hop, carrying this thread's trace
+        context (:func:`repro.obs.trace.trace_context`) when one is
+        active — escalations and peer borrows made deep inside a
+        request propagate the caller's trace for free."""
+        headers = dict(extra) if extra else {}
+        traceparent = current_traceparent()
+        if traceparent:
+            headers[TRACEPARENT_HEADER] = traceparent
+        return headers
+
     def _request(self, method: str, path: str,
                  payload: dict | None = None,
                  retry_503: bool = True) -> dict:
@@ -134,13 +150,15 @@ class ServeClient:
                 else json.dumps(payload).encode("utf-8"))
         request = urllib.request.Request(
             url, data=body, method=method,
-            headers={"Content-Type": "application/json"})
+            headers=self._headers({"Content-Type":
+                                   "application/json"}))
         with self._open(request, retry_503=retry_503) as resp:
             return json.loads(resp.read().decode("utf-8"))
 
     def _request_text(self, path: str) -> str:
         request = urllib.request.Request(f"{self.base_url}{path}",
-                                         method="GET")
+                                         method="GET",
+                                         headers=self._headers())
         with self._open(request) as resp:
             return resp.read().decode("utf-8")
 
@@ -201,7 +219,8 @@ class ServeClient:
         if tier is not None:
             path += f"?tier={tier}"
         request = urllib.request.Request(f"{self.base_url}{path}",
-                                         method="GET")
+                                         method="GET",
+                                         headers=self._headers())
         try:
             with self._open(request) as resp:
                 found = resp.headers.get("X-Repro-Tier", tier or "")
@@ -231,15 +250,23 @@ class ServeClient:
     # -- jobs --------------------------------------------------------------
     def submit(self, config, priority: int = 0,
                force: bool = False) -> dict:
-        """Submit a config (StcoConfig, mapping, or path to JSON)."""
+        """Submit a config (StcoConfig, mapping, or path to JSON).
+
+        When no trace context is active on this thread, one is minted
+        for the hop — every submission starts a trace, so the shard's
+        span tree always carries a trace id end-to-end.
+        """
         from ..api.config import StcoConfig
         if not isinstance(config, (dict, StcoConfig)):
             config = StcoConfig.load(config)
         if isinstance(config, StcoConfig):
             config = config.to_dict()
-        return self._request("POST", "/v1/runs",
-                             {"config": config, "priority": priority,
-                              "force": force})
+        payload = {"config": config, "priority": priority,
+                   "force": force}
+        if current_context() is None:
+            with trace_context(mint_context()):
+                return self._request("POST", "/v1/runs", payload)
+        return self._request("POST", "/v1/runs", payload)
 
     def jobs(self) -> list:
         return self._request("GET", "/v1/runs")["jobs"]
@@ -247,23 +274,29 @@ class ServeClient:
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/runs/{job_id}")
 
-    def events(self, job_id: str, stream: bool = False):
+    def events(self, job_id: str, stream: bool = False,
+               heartbeats: bool = False):
         """Progress snapshots for a job.
 
         ``stream=False`` (default): one request, returns the list
         recorded so far. ``stream=True``: returns a generator over the
         live SSE feed — each item is ``{"event": kind, "data": ...}``
         with ``data`` JSON-decoded; the stream ends after the ``end``
-        event (terminal state). Heartbeat comments are filtered out.
+        event (terminal state). Heartbeat comments are filtered out
+        unless ``heartbeats=True``, where they surface as
+        ``{"event": "heartbeat", "data": None}`` items — proxies
+        (the cluster router) re-emit them so *their* clients' idle
+        timeouts keep getting fed.
         """
         if not stream:
             return self._request(
                 "GET", f"/v1/runs/{job_id}/events")["events"]
-        return self._event_stream(job_id)
+        return self._event_stream(job_id, heartbeats=heartbeats)
 
-    def _event_stream(self, job_id: str):
+    def _event_stream(self, job_id: str, heartbeats: bool = False):
         url = f"{self.base_url}/v1/runs/{job_id}/events?stream=1"
-        request = urllib.request.Request(url, method="GET")
+        request = urllib.request.Request(url, method="GET",
+                                         headers=self._headers())
         # Connect errors retry; a drop mid-stream does not (the caller
         # would see duplicated events).
         resp = self._open(request)
@@ -273,7 +306,9 @@ class ServeClient:
             for raw in resp:
                 line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
                 if line.startswith(":"):
-                    continue             # heartbeat comment
+                    if heartbeats:       # comment frame: keep-alive
+                        yield {"event": "heartbeat", "data": None}
+                    continue
                 if line.startswith("event:"):
                     kind = line[6:].strip()
                     continue

@@ -71,6 +71,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..obs.metrics import get_registry
+from ..obs.trace import TRACEPARENT_HEADER, parse_traceparent
 from .jobs import JobState, UnknownJobError
 from .pool import ServeService, ServiceClosed
 
@@ -398,9 +399,12 @@ class _Handler(BaseHTTPRequestHandler):
                 raise _ApiError(400, "'priority' must be an integer")
         else:                            # bare config document
             config, priority, force = data, 0, False
+        ctx = parse_traceparent(
+            self.headers.get(TRACEPARENT_HEADER, ""))
         try:
-            job = self.service.submit(config, priority=priority,
-                                      force=force)
+            job = self.service.submit(
+                config, priority=priority, force=force,
+                trace=ctx.to_dict() if ctx is not None else None)
         except ConfigError as exc:
             raise _ApiError(400, f"invalid config: {exc}") from None
         self._send({"job_id": job.job_id, "state": job.state,

@@ -86,6 +86,7 @@ class Job:
     report: dict | None = None       # RunReport.to_dict() when succeeded
     events: list = field(default_factory=list)   # progress snapshots
     ledger: dict = field(default_factory=dict)   # queue/lock/exec seconds
+    trace: dict = field(default_factory=dict)    # propagated TraceContext
 
     @property
     def terminal(self) -> bool:
@@ -241,17 +242,21 @@ class JobStore:
 
     # -- submission / lookup ----------------------------------------------
     def submit(self, config: dict, priority: int = 0,
-               content_key: str = "", enqueue: bool = True) -> Job:
+               content_key: str = "", enqueue: bool = True,
+               trace: dict | None = None) -> Job:
         """Create (and persist) a new job; queue it unless told not to.
 
         ``enqueue=False`` leaves the job parked in ``submitted`` without
         a queue slot — the coalescing layer uses this for follower jobs
-        that ride another job's execution.
+        that ride another job's execution. ``trace`` is the submitter's
+        propagated trace context (``{"trace_id", "span_id"}``); the
+        executing worker's root span adopts it.
         """
         with self._lock:
             job = Job(job_id=uuid.uuid4().hex[:12], config=dict(config),
                       content_key=content_key, priority=int(priority),
-                      seq=self._seq, submitted_s=time.time())
+                      seq=self._seq, submitted_s=time.time(),
+                      trace=dict(trace) if trace else {})
             self._seq += 1
             self._jobs[job.job_id] = job
             self._persist(job)

@@ -41,7 +41,8 @@ from ..obs.metrics import get_registry
 from ..obs.prof import SamplingProfiler
 from ..obs.series import SeriesRecorder
 from ..obs.slo import SloEngine
-from ..obs.trace import Span, span
+from ..obs.trace import (Span, TraceContext, new_span_id, new_trace_id,
+                         span, trace_context)
 from .coalesce import Coalescer, request_key
 from .jobs import JobState, JobStore, UnknownJobError
 
@@ -290,13 +291,16 @@ class ServeService:
         self.close()
 
     # -- admission ---------------------------------------------------------
-    def submit(self, config, priority: int = 0, force: bool = False):
+    def submit(self, config, priority: int = 0, force: bool = False,
+               trace: dict | None = None):
         """Admit one run request; returns its (persisted) Job.
 
         Validates/normalizes the config, computes its content key, and
         routes through the coalescer: leaders queue, followers park on
         the in-flight leader, duplicates complete instantly from the
-        stored report. ``force=True`` always executes.
+        stored report. ``force=True`` always executes. ``trace`` is
+        the submitter's propagated trace context (from a
+        ``traceparent`` header); the job's root span adopts it.
         """
         from ..api.config import StcoConfig
         with self._state_lock:
@@ -307,7 +311,8 @@ class ServeService:
             config = StcoConfig.from_dict(dict(config))
         key = request_key(config, self.workspace.root)
         job = self.store.submit(config.to_dict(), priority=priority,
-                                content_key=key, enqueue=False)
+                                content_key=key, enqueue=False,
+                                trace=trace)
         # Two admission attempts: the second only runs when a
         # "duplicate" classification turned out to point at a job whose
         # report no longer exists (record gc'd from under the lazy
@@ -419,33 +424,48 @@ class ServeService:
                 raise JobCancelled(job.job_id)
             with span("serve.job", job_id=job.job_id,
                       priority=job.priority) as root:
-                root.add_child(Span.synthetic(
-                    "serve.queued", ledger["queued_s"],
-                    start_s=job.submitted_s))
-                t0 = time.perf_counter()
-                with self._exec_lock:
-                    ledger["lock_wait_s"] = time.perf_counter() - t0
+                ctx = TraceContext.from_dict(job.trace) \
+                    if job.trace else None
+                if not isinstance(root, Span):
+                    downstream = ctx     # tracing off: pass through
+                elif ctx is not None:
+                    downstream = root.adopt(ctx)
+                else:
+                    # No propagated context: this job roots its own
+                    # trace, so hops it makes (escalations, peer
+                    # borrows) still stitch under one id.
+                    root.trace_id = new_trace_id()
+                    root.span_id = new_span_id()
+                    downstream = TraceContext(root.trace_id,
+                                              root.span_id)
+                with trace_context(downstream):
                     root.add_child(Span.synthetic(
-                        "serve.lock_wait", ledger["lock_wait_s"]))
-                    t1 = time.perf_counter()
-                    with span("serve.execute") as ex:
-                        if self.profile_interval_s > 0:
-                            prof = SamplingProfiler(
-                                interval_s=self.profile_interval_s
-                            ).start()
-                        try:
-                            report = self._runner(
-                                job.config, self.workspace,
-                                progress_callback=on_progress)
-                        finally:
-                            if prof is not None:
-                                prof.stop()
-                    ledger["execution_s"] = time.perf_counter() - t1
-                    if isinstance(ex, Span):
-                        # Pin the stage to the ledger value so the
-                        # trace's queued/lock_wait/execute children sum
-                        # exactly to the ledger total.
-                        ex.wall_s = ledger["execution_s"]
+                        "serve.queued", ledger["queued_s"],
+                        start_s=job.submitted_s))
+                    t0 = time.perf_counter()
+                    with self._exec_lock:
+                        ledger["lock_wait_s"] = time.perf_counter() - t0
+                        root.add_child(Span.synthetic(
+                            "serve.lock_wait", ledger["lock_wait_s"]))
+                        t1 = time.perf_counter()
+                        with span("serve.execute") as ex:
+                            if self.profile_interval_s > 0:
+                                prof = SamplingProfiler(
+                                    interval_s=self.profile_interval_s
+                                ).start()
+                            try:
+                                report = self._runner(
+                                    job.config, self.workspace,
+                                    progress_callback=on_progress)
+                            finally:
+                                if prof is not None:
+                                    prof.stop()
+                        ledger["execution_s"] = time.perf_counter() - t1
+                        if isinstance(ex, Span):
+                            # Pin the stage to the ledger value so the
+                            # trace's queued/lock_wait/execute children
+                            # sum exactly to the ledger total.
+                            ex.wall_s = ledger["execution_s"]
         except JobCancelled:
             self._record_profile(job, prof)
             self._record_trace(job, root, ledger, JobState.CANCELLED)

@@ -197,6 +197,46 @@ class RecordStore:
                 "featurizer": self.featurizer.fingerprint(),
                 "path": str(self.path)}
 
+    # -- training-distribution stats (drift reference) ---------------------
+    @property
+    def stats_path(self) -> Path:
+        return self.root / f"{self.featurizer.fingerprint()}.stats.json"
+
+    def feature_stats(self) -> dict:
+        """Per-feature distribution of the current rows: the training
+        envelope a served model was fit inside. ``{}`` when empty."""
+        X, _ = self.matrices()
+        if X.shape[0] == 0:
+            return {}
+        return {"rows": int(X.shape[0]),
+                "featurizer": self.featurizer.fingerprint(),
+                "names": list(self.featurizer.names()),
+                "min": [float(v) for v in X.min(axis=0)],
+                "max": [float(v) for v in X.max(axis=0)],
+                "mean": [float(v) for v in X.mean(axis=0)],
+                "std": [float(v) for v in X.std(axis=0)]}
+
+    def save_feature_stats(self) -> dict:
+        """Compute and persist :meth:`feature_stats` next to the rows —
+        called at train/adopt time so the predict edge can score each
+        request's features against the ranges the model actually saw."""
+        stats = self.feature_stats()
+        if stats:
+            tmp = self.stats_path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(stats, sort_keys=True, indent=1)
+                           + "\n", encoding="utf-8")
+            tmp.replace(self.stats_path)
+        return stats
+
+    def load_feature_stats(self) -> dict:
+        """The persisted training envelope (``{}`` when never saved)."""
+        try:
+            stats = json.loads(
+                self.stats_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return stats if isinstance(stats, dict) else {}
+
 
 class RecordHarvester:
     """The engine-side listener feeding a :class:`RecordStore`.

@@ -236,6 +236,35 @@ class TestSubmitErrors:
         assert "cannot read config" in capsys.readouterr().err
 
 
+class TestMetricsGrep:
+    """``repro metrics --grep`` matches the *rendered* exposition."""
+
+    TEXT = "\n".join([
+        'repro_serve_jobs_total{outcome="succeeded",shard="a"} 3',
+        'repro_serve_jobs_total{outcome="failed",shard="b"} 1',
+        "repro_predict_drift 0.2",
+    ])
+
+    def test_bare_key_value_matches_rendered_labels(self):
+        from repro.api.cli import _metrics_grep
+        kept = _metrics_grep("shard=a", self.TEXT).splitlines()
+        assert kept == [
+            'repro_serve_jobs_total{outcome="succeeded",shard="a"} 3']
+
+    def test_plain_substring_still_matches(self):
+        from repro.api.cli import _metrics_grep
+        assert _metrics_grep("drift", self.TEXT) == \
+            "repro_predict_drift 0.2"
+
+    def test_quoted_pattern_is_not_rewritten(self):
+        from repro.api.cli import _metrics_grep
+        # Already-rendered patterns pass through as exact substrings.
+        kept = _metrics_grep('outcome="failed"', self.TEXT).splitlines()
+        assert kept == [
+            'repro_serve_jobs_total{outcome="failed",shard="b"} 1']
+        assert _metrics_grep('shard="z"', self.TEXT) == ""
+
+
 class TestReport:
     def test_report_pretty_prints(self, tmp_path, capsys):
         path = RunReport(mode="search", design="s298",

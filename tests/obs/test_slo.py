@@ -195,13 +195,62 @@ class TestRollup:
         states = {r["name"]: r["state"] for r in report["rules"]}
         assert states == {"lat": "ok", "queue": "breach"}
 
+    def test_degraded_severity_caps_the_rollup(self, registry, clock,
+                                               recorder):
+        """A breaching drift rule degrades health — it must not eject
+        the shard from load balancing the way an unhealthy rule does."""
+        g = registry.gauge("repro_predict_drift")
+        rule = SloRule(name="predict-drift", kind="gauge_ceiling",
+                       series="repro_predict_drift", objective=1.0,
+                       window_s=30, severity=DEGRADED)
+        engine = SloEngine(recorder, [rule])
+        g.set(4.2)                       # far out of distribution
+        recorder.sample()
+        clock.advance(1)
+        recorder.sample()
+        report = engine.evaluate()
+        assert report["rules"][0]["state"] == "breach"
+        assert report["rules"][0]["severity"] == DEGRADED
+        assert report["health"] == DEGRADED
+        # Recovery: in-distribution traffic ages the spike out of the
+        # window and health returns to ok.
+        g.set(0.05)
+        clock.advance(40)
+        recorder.sample()
+        clock.advance(1)
+        recorder.sample()
+        assert engine.evaluate()["health"] == HEALTHY
+
+    def test_unhealthy_severity_outranks_degraded(self, registry,
+                                                  clock, recorder):
+        drift = registry.gauge("repro_predict_drift")
+        depth = registry.gauge("repro_serve_queue_depth")
+        engine = SloEngine(recorder, [
+            SloRule(name="drift", kind="gauge_ceiling",
+                    series="repro_predict_drift", objective=1.0,
+                    window_s=30, severity=DEGRADED),
+            SloRule(name="queue", kind="gauge_ceiling",
+                    series="repro_serve_queue_depth", objective=5.0,
+                    window_s=30)])
+        drift.set(9.0)
+        depth.set(100.0)
+        recorder.sample()
+        clock.advance(1)
+        recorder.sample()
+        assert engine.evaluate()["health"] == UNHEALTHY
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError):
+            SloRule(name="x", kind="gauge_ceiling", objective=1.0,
+                    severity="critical")
+
     def test_default_rules_are_quiet_on_an_idle_service(self,
                                                        recorder):
         engine = SloEngine(recorder)     # default_rules()
-        assert len(engine.rules) == 4
+        assert len(engine.rules) == 5
         assert engine.evaluate()["health"] == HEALTHY
 
     def test_default_rules_cover_the_four_kinds(self):
-        kinds = sorted(r.kind for r in default_rules())
+        kinds = sorted(set(r.kind for r in default_rules()))
         assert kinds == ["error_rate", "gauge_ceiling", "latency",
                         "ratio_floor"]

@@ -1,4 +1,5 @@
-"""Span trees: nesting, error marking, disable switch, metrics feed."""
+"""Span trees: nesting, error marking, disable switch, metrics feed,
+and the W3C-style distributed trace context."""
 
 import threading
 
@@ -6,8 +7,11 @@ import pytest
 
 from repro.obs import disabled
 from repro.obs.metrics import MetricsRegistry, use_registry
-from repro.obs.trace import (MAX_CHILDREN, Span, current_span,
-                             render_tree, span)
+from repro.obs.trace import (MAX_CHILDREN, Span, TraceContext,
+                             current_context, current_span,
+                             current_traceparent, format_traceparent,
+                             mint_context, parse_traceparent,
+                             render_tree, span, trace_context)
 
 
 class TestNesting:
@@ -112,6 +116,83 @@ class TestMetricsFeed:
         snap = registry.snapshot()
         assert snap['repro_span_seconds_count{span="stage.x"}'] == 2
         assert snap['repro_span_seconds_count{span="stage.y"}'] == 1
+
+
+class TestTraceContext:
+    def test_mint_parse_format_round_trip(self):
+        ctx = mint_context()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        header = format_traceparent(ctx)
+        assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+        back = parse_traceparent(header)
+        assert back.trace_id == ctx.trace_id
+        assert back.span_id == ctx.span_id
+
+    @pytest.mark.parametrize("header", [
+        "", "garbage", "00-short-short-01",
+        "00-" + "g" * 32 + "-" + "a" * 16 + "-01",   # non-hex
+        "zz-" + "a" * 32 + "-" + "b" * 16 + "-01",   # bad version
+        "00-" + "a" * 32 + "-" + "b" * 16,           # missing flags
+    ])
+    def test_malformed_traceparent_parses_to_none(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_parse_tolerates_case_and_whitespace(self):
+        header = "  00-" + "A" * 32 + "-" + "B" * 16 + "-01 "
+        ctx = parse_traceparent(header)
+        assert ctx.trace_id == "a" * 32
+
+    def test_adopt_joins_the_trace(self):
+        ctx = mint_context()
+        s = Span("serve.job")
+        downstream = s.adopt(ctx)
+        assert s.trace_id == ctx.trace_id
+        assert s.parent_span_id == ctx.span_id
+        assert s.span_id != ctx.span_id
+        # The downstream context hands *this* span to the next hop.
+        assert downstream.trace_id == ctx.trace_id
+        assert downstream.span_id == s.span_id
+        d = s.finish().to_dict()
+        assert d["trace_id"] == ctx.trace_id
+        assert d["parent_span_id"] == ctx.span_id
+        assert Span.from_dict(d).to_dict() == d
+
+    def test_trace_context_installs_and_restores(self):
+        assert current_context() is None
+        assert current_traceparent() == ""
+        ctx = mint_context()
+        with trace_context(ctx):
+            assert current_context() is ctx
+            assert current_traceparent() == format_traceparent(ctx)
+            inner = mint_context()
+            with trace_context(inner):
+                assert current_context() is inner
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_context_is_thread_local(self):
+        seen = {}
+
+        def work():
+            seen["ctx"] = current_context()
+
+        with trace_context(mint_context()):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        assert seen["ctx"] is None
+
+    def test_context_dict_round_trip(self):
+        ctx = mint_context()
+        back = TraceContext.from_dict(ctx.to_dict())
+        assert (back.trace_id, back.span_id) == (ctx.trace_id,
+                                                 ctx.span_id)
+        assert TraceContext.from_dict({}) is None
+        assert TraceContext.from_dict({"trace_id": ""}) is None
+        # A missing span id is minted, not an error.
+        partial = TraceContext.from_dict({"trace_id": "a" * 32})
+        assert len(partial.span_id) == 16
 
 
 class TestRender:

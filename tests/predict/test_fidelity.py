@@ -153,6 +153,30 @@ class TestEscalationEconomics:
         assert job["state"] == "succeeded"
         assert len(runner.calls) == 1
 
+    def test_escalation_hop_carries_the_trace_context(self, predict_ws,
+                                                      stub_server):
+        """The engine twin joins the escalating run's trace: the hop's
+        ``traceparent`` rides the auto-submit, so the twin's root span
+        is parented on the surrogate run's active context."""
+        from repro.obs.trace import mint_context, trace_context
+        runner, server = stub_server
+        runner.gate.set()                # twin may execute immediately
+        ctx = mint_context()
+        cfg = surrogate_config(escalate_threshold=1e-12,
+                               escalate_url=server.url)
+        with trace_context(ctx):
+            unc = run(cfg, predict_ws).uncertainty
+        assert unc["escalated"] is True
+        client = ServeClient(server.url)
+        client.wait(unc["escalated_job_id"], timeout_s=30)
+        events = client.events(unc["escalated_job_id"])
+        tree = [e for e in events
+                if isinstance(e, dict)
+                and e.get("kind") == "trace"][-1]["trace"]
+        assert tree["name"] == "serve.job"
+        assert tree["trace_id"] == ctx.trace_id
+        assert tree["parent_span_id"] == ctx.span_id
+
     def test_confident_run_never_escalates(self, predict_ws,
                                            stub_server):
         runner, server = stub_server

@@ -133,6 +133,77 @@ class TestPrediction:
             pytest.approx(float(std[0, 0]))
 
 
+class TestDriftTelemetry:
+    """Every answer is scored against the persisted training envelope;
+    the score rides on the response and feeds the drift gauge/counter."""
+
+    FAR_OOD = (5.0, 1.0, 5.0)            # way outside every knob range
+
+    @staticmethod
+    def _vitals():
+        from repro.obs.metrics import get_registry
+        snap = get_registry().snapshot()
+        return (snap.get("repro_predict_drift", 0.0),
+                snap.get("repro_predict_ood_total", 0.0))
+
+    def test_stats_file_exists_after_harvest_run(self, predict_ws):
+        stats = predict_ws.record_store().load_feature_stats()
+        assert stats["rows"] >= 8
+        assert len(stats["min"]) == len(stats["names"])
+
+    def test_in_distribution_request_scores_low(self, predict_ws):
+        doc = PredictService(predict_ws).predict(DESIGN, CORNER)
+        assert 0.0 <= doc["drift"] <= 1.0
+
+    def test_ood_request_scores_high_and_counts(self, predict_ws):
+        service = PredictService(predict_ws)
+        _, ood_before = self._vitals()
+        doc = service.predict(DESIGN, self.FAR_OOD)
+        assert doc["drift"] > 1.0
+        gauge, ood = self._vitals()
+        assert ood == ood_before + 1
+        assert gauge > 0.0
+
+    def test_cache_hits_replay_their_stored_score(self, predict_ws):
+        """A repeated out-of-distribution query is still sustained
+        drift: the LRU hit re-feeds the stored score instead of going
+        silent, so the gauge cannot decay through caching."""
+        service = PredictService(predict_ws)
+        first = service.predict(DESIGN, self.FAR_OOD)
+        _, ood_before = self._vitals()
+        again = service.predict(DESIGN, self.FAR_OOD)
+        assert again["cached"] is True
+        assert again["drift"] == first["drift"]
+        gauge, ood = self._vitals()
+        assert ood == ood_before + 1     # the replay counted too
+        assert gauge > 1.0 * 0.3         # EMA pulled up by the replays
+
+    def test_batch_scores_every_row(self, predict_ws):
+        batch = PredictService(predict_ws).predict_batch(
+            DESIGN, [CORNER, self.FAR_OOD])
+        scores = {tuple(p["corner"]): p["drift"]
+                  for p in batch["predictions"]}
+        assert scores[tuple(self.FAR_OOD)] > 1.0
+        assert scores[tuple(CORNER)] < scores[tuple(self.FAR_OOD)]
+
+    def test_missing_envelope_scores_zero(self, predict_ws,
+                                          monkeypatch):
+        from repro.surrogate.records import RecordStore
+        monkeypatch.setattr(RecordStore, "load_feature_stats",
+                            lambda self: {})
+        doc = PredictService(predict_ws).predict(DESIGN, self.FAR_OOD)
+        assert doc["drift"] == 0.0
+
+    def test_swap_model_reloads_the_envelope(self, predict_ws):
+        import copy
+        service = PredictService(predict_ws)
+        service.predict(DESIGN, CORNER)
+        assert service._drift_arrays is not None
+        service.swap_model(copy.deepcopy(service.model()))
+        assert service._drift_arrays is None     # lazy reload armed
+        assert "drift" in service.predict(DESIGN, CORNER)
+
+
 def _corner(triple):
     from repro.charlib.corners import Corner
     return Corner(*triple)

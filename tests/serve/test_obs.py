@@ -332,7 +332,7 @@ class TestSloThroughServe:
             report = ServeClient(server.url).slo()
             assert {r["name"] for r in report["rules"]} == {
                 "execute-latency", "job-error-rate",
-                "cache-hit-ratio", "queue-depth"}
+                "cache-hit-ratio", "queue-depth", "predict-drift"}
             assert report["series"]["interval_s"] == 0
 
     def test_default_rules_stay_quiet_under_stub_traffic(

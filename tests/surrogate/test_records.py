@@ -90,6 +90,35 @@ class TestRecordStore:
         assert len(RecordStore(tmp_path)) == 1
 
 
+class TestFeatureStats:
+    """The training envelope the predict edge scores drift against."""
+
+    def test_empty_store_has_no_stats(self, tmp_path):
+        store = RecordStore(tmp_path)
+        assert store.feature_stats() == {}
+        assert store.save_feature_stats() == {}
+        assert not store.stats_path.exists()
+        assert store.load_feature_stats() == {}
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        store = RecordStore(tmp_path)
+        for i, corner in enumerate(SPACE.points()[:5]):
+            store.add(store.row_key("d", corner), "d", corner,
+                      [float(i), 2.0, -float(i)], [-5.0, -7.0, 1.0])
+        saved = store.save_feature_stats()
+        loaded = RecordStore(tmp_path).load_feature_stats()
+        assert loaded == saved
+        assert loaded["rows"] == 5
+        assert loaded["min"][0] == 0.0 and loaded["max"][0] == 4.0
+        assert loaded["mean"][1] == 2.0 and loaded["std"][1] == 0.0
+        assert loaded["featurizer"] == store.featurizer.fingerprint()
+
+    def test_corrupt_stats_file_loads_as_empty(self, tmp_path):
+        store = RecordStore(tmp_path)
+        store.stats_path.write_text("{broken json")
+        assert store.load_feature_stats() == {}
+
+
 class TestRecordHarvester:
     def test_harvests_and_skips_known_rows(self, tmp_path, netlist):
         store = RecordStore(tmp_path)
